@@ -1,0 +1,101 @@
+// Ablation for §2.3–2.4: importance imbalance and the balancing strategies.
+//
+// Sweeps partition strategies (none / shuffle / head-tail / greedy-LPT)
+// across importance skews (ψ targets) and reports:
+//   * Φ spread across shards (Eq. 18/19),
+//   * worst-case sampling-rate distortion vs the global IS distribution
+//     (the §2.3 "p4 < p2" pathology),
+//   * final RMSE of an IS-ASGD run under each strategy.
+//
+//   build/bench/ablation_balancing
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/evaluator.hpp"
+#include "partition/importance.hpp"
+#include "solvers/is_asgd.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isasgd;
+  util::CliParser cli("ablation_balancing",
+                      "Quantifies §2.3/2.4: importance imbalance across "
+                      "partition strategies and its convergence impact");
+  cli.add_flag("rows", "6000", "dataset rows");
+  cli.add_flag("dim", "800", "dimensionality");
+  cli.add_flag("threads", "8", "worker count");
+  cli.add_flag("epochs", "8", "training epochs");
+  cli.add_flag("psis", "0.99,0.95,0.90,0.85", "psi targets (skew sweep)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  objectives::LogisticLoss loss;
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+  const auto epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+
+  // Parse psi list.
+  std::vector<double> psis;
+  {
+    std::string v = cli.get("psis");
+    std::size_t start = 0;
+    while (start <= v.size()) {
+      const auto comma = v.find(',', start);
+      const std::string item =
+          v.substr(start, comma == std::string::npos ? comma : comma - start);
+      if (!item.empty()) psis.push_back(std::stod(item));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+
+  util::TablePrinter table({"psi", "strategy", "phi_spread", "distortion",
+                            "final_rmse", "best_err"});
+  for (double psi : psis) {
+    data::SyntheticSpec spec;
+    spec.rows = static_cast<std::size_t>(cli.get_int("rows"));
+    spec.dim = static_cast<std::size_t>(cli.get_int("dim"));
+    spec.mean_row_nnz = 10;
+    spec.target_psi = psi;
+    spec.seed = static_cast<std::uint64_t>(psi * 1e4);
+    const auto data = data::generate(spec);
+    metrics::Evaluator ev(data, loss, objectives::Regularization::none(), 4);
+    const auto lip = objectives::per_sample_lipschitz(
+        data, loss, objectives::Regularization::none());
+
+    for (auto strategy :
+         {partition::Strategy::kNone, partition::Strategy::kShuffle,
+          partition::Strategy::kHeadTail, partition::Strategy::kGreedyLpt}) {
+      // Static partition diagnostics.
+      partition::PartitionOptions popt;
+      popt.strategy = strategy;
+      partition::PartitionPlan plan(lip, threads, popt);
+      std::vector<std::uint32_t> assign(lip.size());
+      for (std::size_t tid = 0; tid < threads; ++tid) {
+        for (auto row : plan.shard(tid).rows) {
+          assign[row] = static_cast<std::uint32_t>(tid);
+        }
+      }
+      const double distortion =
+          partition::sampling_distortion(lip, assign, threads);
+
+      // Convergence under the strategy.
+      solvers::SolverOptions opt;
+      opt.epochs = epochs;
+      opt.threads = threads;
+      opt.step_size = 0.5;
+      opt.partition.strategy = strategy;
+      const auto trace = run_is_asgd(data, loss, opt, ev.as_fn());
+      table.add_row_values(psi, partition::strategy_name(strategy),
+                           plan.imbalance(), distortion,
+                           trace.points.back().rmse,
+                           trace.best_error_rate());
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nexpected shape: 'none' (raw segmentation) shows the largest "
+      "distortion at low psi; head_tail/greedy_lpt drive phi_spread toward 0 "
+      "(Eq. 19); convergence differences grow as psi falls (§2.4 — and for "
+      "large shuffled datasets random shuffling is already adequate, which "
+      "the shuffle row demonstrates).\n");
+  return 0;
+}

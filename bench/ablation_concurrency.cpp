@@ -1,0 +1,82 @@
+// Ablation for the paper's concurrency-robustness observation (§4.1,
+// Fig. 3c): as threads rise, ASGD's convergence quality degrades on denser
+// data while IS-ASGD "seems non-effected". Also prints Eq. 27's τ bound next
+// to the measured degradation onset.
+//
+//   build/bench/ablation_concurrency
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "analysis/conflict_graph.hpp"
+#include "bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/evaluator.hpp"
+#include "solvers/asgd.hpp"
+#include "solvers/is_asgd.hpp"
+#include "sparse/inverted_index.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isasgd;
+  util::CliParser cli("ablation_concurrency",
+                      "Thread sweep: ASGD vs IS-ASGD final quality on dense "
+                      "vs sparse data (Fig. 3 robustness claim + Eq. 27)");
+  cli.add_flag("rows", "8000", "dataset rows");
+  cli.add_flag("epochs", "8", "epoch budget");
+  cli.add_flag("threads", "1,2,4,8,16", "thread counts to sweep");
+  if (!cli.parse(argc, argv)) return 0;
+
+  objectives::LogisticLoss loss;
+  struct Regime {
+    const char* name;
+    std::size_t dim;
+    double nnz;
+  };
+  // Dense regime (News20-like density 1e-2 at this scale) vs sparse regime.
+  const Regime regimes[] = {{"dense", 2000, 40}, {"sparse", 60000, 8}};
+
+  for (const Regime& regime : regimes) {
+    data::SyntheticSpec spec;
+    spec.rows = static_cast<std::size_t>(cli.get_int("rows"));
+    spec.dim = regime.dim;
+    spec.mean_row_nnz = regime.nnz;
+    spec.target_psi = 0.9;
+    spec.feature_skew = 1.8;
+    spec.seed = 1337;
+    const auto data = data::generate(spec);
+    metrics::Evaluator ev(data, loss, objectives::Regularization::none(), 4);
+    const auto lip = objectives::per_sample_lipschitz(
+        data, loss, objectives::Regularization::none());
+
+    // Eq. 27 context: n/Δ̄.
+    const sparse::InvertedIndex index(data);
+    const auto conflict =
+        analysis::conflict_stats_sampled(data, index, 300, 5);
+    std::printf(
+        "\n=== %s regime: density=%.2g, avg conflict degree=%.1f, "
+        "n/conflict=%.1f (Eq. 27 structural tau bound) ===\n",
+        regime.name, data.density(), conflict.average_degree,
+        static_cast<double>(data.rows()) /
+            std::max(conflict.average_degree, 1e-9));
+
+    util::TablePrinter table({"threads", "ASGD_rmse", "IS-ASGD_rmse",
+                              "ASGD_err", "IS-ASGD_err"});
+    for (int threads : cli.get_int_list("threads")) {
+      solvers::SolverOptions opt;
+      opt.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+      opt.threads = static_cast<std::size_t>(threads);
+      opt.step_size = 0.5;
+      const auto asgd = run_asgd(data, loss, opt, ev.as_fn());
+      const auto is = run_is_asgd(data, loss, opt, ev.as_fn());
+      table.add_row_values(static_cast<double>(threads),
+                           asgd.points.back().rmse, is.points.back().rmse,
+                           asgd.best_error_rate(), is.best_error_rate());
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  std::printf(
+      "\nexpected shape: in the dense regime ASGD's final RMSE worsens as "
+      "threads grow past the Eq. 27 bound while IS-ASGD stays close to its "
+      "single-thread quality; in the sparse regime both stay flat "
+      "(conflicts are rare).\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Delay-injection ablation: Fig. 3c's shape under *controlled* staleness.
+//
+// Physical Hogwild on this container never pushes τ·Δ̄/n past the Eq. 27
+// bound (see ablation_concurrency and the EXPERIMENTS.md Fig-3 note), so the
+// paper's ASGD-degrades/IS-ASGD-robust separation cannot be produced by real
+// threads here. This bench uses the simulate::run_delayed_sgd perturbed-
+// iterate engine instead: τ is injected exactly and swept from serial (0)
+// through and beyond the theory bound, for both uniform (ASGD) and Eq. 12
+// importance (IS-ASGD) sampling.
+//
+// Two panels, because the loss decides whether staleness can hurt at all:
+//   a. cross-entropy (the paper's objective) — gradients decay as margins
+//      grow, so stale updates self-attenuate and even τ in the thousands
+//      barely moves the curves. This *quantifies* the EXPERIMENTS.md finding
+//      that Fig. 3c's ASGD collapse does not follow from delay alone.
+//   b. least squares with dense support overlap — the residual never
+//      vanishes (σ² > 0) and every pair of rows conflicts, so the Eq. 25
+//      noise term has teeth and the delayed recursion has a real stability
+//      threshold; the sweep walks straight through it.
+//
+//   build/bench/ablation_delay_injection
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/conflict_graph.hpp"
+#include "bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/evaluator.hpp"
+#include "objectives/least_squares.hpp"
+#include "simulate/delayed_sgd.hpp"
+#include "sparse/inverted_index.hpp"
+
+namespace {
+
+using namespace isasgd;
+
+double finite_or_huge(double v) { return std::isfinite(v) ? v : 1e30; }
+
+void run_panel(const sparse::CsrMatrix& data,
+               const objectives::Objective& loss, double lambda,
+               std::size_t epochs, const std::vector<int>& taus) {
+  metrics::Evaluator ev(data, loss, objectives::Regularization::none(), 4);
+  const sparse::InvertedIndex index(data);
+  const auto conflict = analysis::conflict_stats_sampled(data, index, 300, 5);
+  std::printf(
+      "n=%zu d=%zu density=%.2g, avg conflict degree=%.1f -> Eq.27 "
+      "structural tau bound n/conflict=%.0f\n",
+      data.rows(), data.dim(), data.density(), conflict.average_degree,
+      static_cast<double>(data.rows()) /
+          std::max(conflict.average_degree, 1e-9));
+
+  solvers::SolverOptions opt;
+  opt.epochs = epochs;
+  opt.step_size = lambda;
+  opt.seed = 7;
+
+  for (const char* law : {"fixed", "geometric"}) {
+    std::printf("--- %s delay law, lambda=%.2g ---\n", law, lambda);
+    util::TablePrinter table(
+        {"tau", "mean_delay", "uniform_rmse", "IS_rmse", "IS/uniform"});
+    for (int tau_int : taus) {
+      const auto tau = static_cast<std::size_t>(tau_int);
+      const simulate::DelayModel model =
+          tau == 0 ? simulate::DelayModel::none()
+          : law[0] == 'f' ? simulate::DelayModel::fixed(tau)
+                          : simulate::DelayModel::geometric(tau);
+      simulate::DelayReport uni_rep;
+      const double uni = finite_or_huge(
+          simulate::run_delayed_sgd(data, loss, opt, model, false, ev.as_fn(),
+                                    &uni_rep)
+              .points.back()
+              .rmse);
+      const double is = finite_or_huge(
+          simulate::run_delayed_sgd(data, loss, opt, model, true, ev.as_fn())
+              .points.back()
+              .rmse);
+      table.add_row_values(static_cast<double>(tau),
+                           uni_rep.mean_applied_delay, uni, is, is / uni);
+    }
+    std::printf("%s", table.render().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("ablation_delay_injection",
+                      "Controlled-staleness sweep: uniform vs IS delayed SGD "
+                      "(the Fig. 3c robustness claim with tau as an input)");
+  cli.add_flag("rows", "3000", "dataset rows");
+  cli.add_flag("epochs", "6", "epoch budget");
+  cli.add_flag("taus", "0,16,64,256,1024", "delays (steps) to sweep");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto taus = cli.get_int_list("taus");
+  const auto rows = static_cast<std::size_t>(cli.get_int("rows"));
+  const auto epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+
+  std::printf("=== panel a: cross-entropy, sparse (the paper's regime) ===\n");
+  {
+    data::SyntheticSpec spec;
+    spec.rows = rows;
+    spec.dim = 2000;
+    spec.mean_row_nnz = 12;
+    spec.target_psi = 0.85;
+    spec.difficulty_coupling = 2.0;
+    spec.label_noise = 0.05;
+    spec.seed = 4242;
+    const auto data = data::generate(spec);
+    objectives::LogisticLoss loss;
+    run_panel(data, loss, 0.5, epochs, taus);
+  }
+
+  std::printf(
+      "\n=== panel b: least squares, dense overlap (persistent residual) "
+      "===\n");
+  {
+    data::SyntheticSpec spec;
+    spec.rows = std::min<std::size_t>(rows, 1000);
+    spec.dim = 40;
+    spec.mean_row_nnz = 12;
+    spec.smoothness_beta = 1.0;
+    spec.mean_lipschitz = 1.0;
+    spec.target_psi = 0.85;
+    spec.label_noise = 0.1;
+    spec.seed = 4243;
+    const auto data = data::generate(spec);
+    objectives::LeastSquaresLoss loss;
+    run_panel(data, loss, 0.5, epochs, taus);
+  }
+
+  std::printf(
+      "\nexpected shape: panel a stays flat in tau (bounded, self-attenuating "
+      "gradients — the quantified reason Fig. 3c's ASGD collapse does not "
+      "reproduce from delay alone on this objective); panel b degrades and "
+      "then blows up (1e30 = divergence) as tau crosses the stability "
+      "threshold, with the geometric law's straggler tail breaking sooner at "
+      "equal mean. The IS/uniform ratio stays at or below 1 until both "
+      "diverge.\n");
+  return 0;
+}

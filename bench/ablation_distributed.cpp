@@ -1,0 +1,144 @@
+// Distributed ablation: the paper's sparsity argument at cluster scale.
+//
+// Three panels over the simulated cluster (src/distributed/):
+//   1. dimension sweep — async sparse-push parameter server vs synchronous
+//      dense ring-allreduce SGD: same epochs, simulated seconds. The dense
+//      collective pays Θ(d) per round (SVRG-μ economics on the wire), so the
+//      async server's advantage grows with d; the bench locates the
+//      crossover.
+//   2. node sweep — parameter-server IS-ASGD scaling and its emergent
+//      staleness (the paper's "τ is linearly related to the concurrency").
+//   3. node-level importance balancing — Φ spread across node shards per
+//      partition strategy (§2.3/2.4 at node granularity), including the
+//      greedy-LPT and Karmarkar–Karp extensions.
+//
+//   build/bench/ablation_distributed
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "distributed/allreduce.hpp"
+#include "distributed/param_server.hpp"
+#include "metrics/evaluator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isasgd;
+  util::CliParser cli("ablation_distributed",
+                      "Simulated cluster: sparse async push vs dense "
+                      "all-reduce, node scaling, node-level balancing");
+  cli.add_flag("rows", "4000", "dataset rows");
+  cli.add_flag("epochs", "3", "epoch budget");
+  cli.add_flag("dims", "1000,10000,100000,1000000", "dimension sweep");
+  cli.add_flag("nodes", "2,4,8,16", "node-count sweep");
+  if (!cli.parse(argc, argv)) return 0;
+
+  objectives::LogisticLoss loss;
+  solvers::SolverOptions opt;
+  opt.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+  opt.step_size = 0.5;
+  opt.seed = 7;
+
+  // ---- Panel 1: dimension sweep, async-sparse vs sync-dense ----
+  std::printf("=== async sparse push vs dense ring all-reduce (4 nodes) ===\n");
+  util::TablePrinter dim_table({"dim", "ps_sim_s", "ar_sim_s", "ar/ps",
+                                "ar_comm_frac", "ps_rmse", "ar_rmse"});
+  for (int dim : cli.get_int_list("dims")) {
+    data::SyntheticSpec spec;
+    spec.rows = static_cast<std::size_t>(cli.get_int("rows"));
+    spec.dim = static_cast<std::size_t>(dim);
+    spec.mean_row_nnz = 10;
+    spec.label_noise = 0.02;
+    spec.seed = 31;
+    const auto data = data::generate(spec);
+    metrics::Evaluator ev(data, loss, objectives::Regularization::none(), 8);
+    distributed::ClusterSpec cluster;
+    cluster.nodes = 4;
+    distributed::ParamServerReport ps_rep;
+    distributed::AllreduceReport ar_rep;
+    const auto ps = distributed::run_param_server(data, loss, opt, cluster,
+                                                  true, ev.as_fn(), &ps_rep);
+    auto ar_opt = opt;
+    ar_opt.batch_size = 2;
+    const auto ar = distributed::run_allreduce_sgd(
+        data, loss, ar_opt, cluster, false, ev.as_fn(), &ar_rep);
+    dim_table.add_row_values(
+        static_cast<double>(dim), ps_rep.simulated_seconds,
+        ar_rep.simulated_seconds,
+        ar_rep.simulated_seconds / std::max(ps_rep.simulated_seconds, 1e-12),
+        ar_rep.comm_fraction, ps.points.back().rmse, ar.points.back().rmse);
+  }
+  std::printf("%s\n", dim_table.render().c_str());
+
+  // ---- Panel 2: node scaling + emergent staleness ----
+  std::printf("=== parameter-server IS-ASGD node scaling ===\n");
+  {
+    data::SyntheticSpec spec;
+    spec.rows = static_cast<std::size_t>(cli.get_int("rows"));
+    spec.dim = 50000;
+    spec.mean_row_nnz = 10;
+    spec.label_noise = 0.02;
+    spec.seed = 32;
+    const auto data = data::generate(spec);
+    metrics::Evaluator ev(data, loss, objectives::Regularization::none(), 8);
+    util::TablePrinter node_table(
+        {"nodes", "sim_s", "speedup", "staleness", "rmse"});
+    double base_seconds = 0;
+    for (int nodes : cli.get_int_list("nodes")) {
+      distributed::ClusterSpec cluster;
+      cluster.nodes = static_cast<std::size_t>(nodes);
+      distributed::ParamServerReport rep;
+      const auto t = distributed::run_param_server(data, loss, opt, cluster,
+                                                   true, ev.as_fn(), &rep);
+      if (base_seconds == 0) {
+        base_seconds =
+            rep.simulated_seconds * static_cast<double>(nodes);
+      }
+      node_table.add_row_values(
+          static_cast<double>(nodes), rep.simulated_seconds,
+          base_seconds / static_cast<double>(nodes) /
+              std::max(rep.simulated_seconds, 1e-12),
+          rep.mean_staleness_updates, t.points.back().rmse);
+    }
+    std::printf("%s\n", node_table.render().c_str());
+  }
+
+  // ---- Panel 3: node-level importance balancing ----
+  std::printf("=== node-level importance balancing (8 nodes, skewed L) ===\n");
+  {
+    data::SyntheticSpec spec;
+    spec.rows = 3000;
+    spec.dim = 2000;
+    spec.mean_row_nnz = 10;
+    spec.target_psi = 0.6;  // wide Lipschitz spread: balancing matters
+    spec.seed = 33;
+    const auto data = data::generate(spec);
+    metrics::Evaluator ev(data, loss, objectives::Regularization::none(), 8);
+    util::TablePrinter bal_table({"strategy", "phi_imbalance", "rmse"});
+    for (const auto strategy :
+         {partition::Strategy::kNone, partition::Strategy::kShuffle,
+          partition::Strategy::kHeadTail, partition::Strategy::kGreedyLpt,
+          partition::Strategy::kKarmarkarKarp}) {
+      distributed::ClusterSpec cluster;
+      cluster.nodes = 8;
+      auto popt = opt;
+      popt.partition.strategy = strategy;
+      distributed::ParamServerReport rep;
+      const auto t = distributed::run_param_server(data, loss, popt, cluster,
+                                                   true, ev.as_fn(), &rep);
+      bal_table.add_row_values(partition::strategy_name(strategy),
+                               rep.phi_imbalance, t.points.back().rmse);
+    }
+    std::printf("%s\n", bal_table.render().c_str());
+  }
+
+  std::printf(
+      "expected shape: panel 1's ar/ps ratio grows with d (the dense "
+      "collective is the wire-side SVRG-μ); panel 2's staleness grows "
+      "~linearly with nodes while sim time falls near-linearly; panel 3's "
+      "Φ spread puts greedy_lpt ≈ karmarkar_karp orders of magnitude below "
+      "shuffle/none — while head_tail is *worst* here: Algorithm 3's pairing "
+      "only balances pair sums for numT = 2 (the paper's Fig. 2 case); with "
+      "more shards the contiguous split hands every globally-heavy sample to "
+      "the first shard. See EXPERIMENTS.md §2.3–2.4 notes.\n");
+  return 0;
+}

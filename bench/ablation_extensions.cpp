@@ -1,0 +1,139 @@
+// Ablation for the two extension features beyond the paper's Algorithm 4:
+//
+//   (a) mini-batch IS-ASGD (the Csiba–Richtárik direction the paper cites):
+//       batch-size sweep at fixed total sample visits — variance per update
+//       falls, updates per epoch fall; where is the sweet spot?
+//   (b) adaptive Eq. 11 importance (the "completely impractical" ideal):
+//       what does tracking ‖∇f_i(w)‖ actually cost, and what does it buy,
+//       relative to the static Eq. 12 distribution?
+//
+//   build/bench/ablation_extensions
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/evaluator.hpp"
+#include "solvers/is_asgd.hpp"
+#include "solvers/is_sgd.hpp"
+#include "solvers/prox_sgd.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isasgd;
+  util::CliParser cli("ablation_extensions",
+                      "Mini-batch IS-ASGD sweep + adaptive Eq. 11 importance "
+                      "cost/benefit");
+  cli.add_flag("rows", "20000", "dataset rows");
+  cli.add_flag("dim", "5000", "dimensionality");
+  cli.add_flag("epochs", "10", "training epochs");
+  cli.add_flag("threads", "8", "worker threads");
+  cli.add_flag("batches", "1,4,16,64,256", "batch sizes to sweep");
+  if (!cli.parse(argc, argv)) return 0;
+
+  data::SyntheticSpec spec;
+  spec.rows = static_cast<std::size_t>(cli.get_int("rows"));
+  spec.dim = static_cast<std::size_t>(cli.get_int("dim"));
+  spec.mean_row_nnz = 12;
+  spec.target_psi = 0.9;
+  spec.seed = 515;
+  const auto data = data::generate(spec);
+  objectives::LogisticLoss loss;
+  metrics::Evaluator ev(data, loss, objectives::Regularization::none(), 8);
+
+  std::printf("=== (a) mini-batch IS-ASGD, equal total sample visits ===\n");
+  util::TablePrinter batches(
+      {"batch", "final_rmse", "best_err", "train_s", "updates_per_epoch"});
+  for (int b : cli.get_int_list("batches")) {
+    solvers::SolverOptions opt;
+    opt.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+    opt.threads = static_cast<std::size_t>(cli.get_int("threads"));
+    opt.step_size = 0.5;
+    opt.batch_size = static_cast<std::size_t>(b);
+    const auto t = run_is_asgd(data, loss, opt, ev.as_fn());
+    batches.add_row_values(
+        static_cast<double>(b), t.points.back().rmse, t.best_error_rate(),
+        t.train_seconds,
+        static_cast<double>(data.rows()) / static_cast<double>(b) /
+            static_cast<double>(opt.threads));
+  }
+  std::printf("%s", batches.render().c_str());
+  std::printf(
+      "expected shape: moderate batches track b=1 quality (variance "
+      "averaging compensates fewer updates); very large batches "
+      "under-update per epoch and lag.\n\n");
+
+  std::printf("=== (b) static Eq. 12 vs adaptive Eq. 11 importance (serial) ===\n");
+  util::TablePrinter adaptive({"variant", "final_rmse", "best_err",
+                               "setup_s", "train_s"});
+  {
+    solvers::SolverOptions opt;
+    opt.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+    opt.step_size = 0.5;
+    const auto fixed = run_is_sgd(data, loss, opt, ev.as_fn());
+    adaptive.add_row_values("static Eq.12", fixed.points.back().rmse,
+                            fixed.best_error_rate(), fixed.setup_seconds,
+                            fixed.train_seconds);
+    opt.adaptive_importance = true;
+    const auto tracked = run_is_sgd(data, loss, opt, ev.as_fn());
+    adaptive.add_row_values("adaptive Eq.11 (every epoch)",
+                            tracked.points.back().rmse,
+                            tracked.best_error_rate(), tracked.setup_seconds,
+                            tracked.train_seconds);
+    opt.adaptive_interval = 4;
+    const auto sparse_track = run_is_sgd(data, loss, opt, ev.as_fn());
+    adaptive.add_row_values("adaptive Eq.11 (every 4 epochs)",
+                            sparse_track.points.back().rmse,
+                            sparse_track.best_error_rate(),
+                            sparse_track.setup_seconds,
+                            sparse_track.train_seconds);
+  }
+  std::printf("%s", adaptive.render().c_str());
+  std::printf(
+      "expected shape: adaptive importance pays an O(nnz + n log n) "
+      "re-estimation every interval (visible in train_s) for at most a "
+      "modest quality edge — quantifying why the paper settled for the "
+      "static Eq. 12 supremum approximation.\n\n");
+
+  std::printf("=== (c) async extensions: adaptive IS-ASGD, prox-(IS-)ASGD ===\n");
+  {
+    util::TablePrinter async_table(
+        {"variant", "final_rmse", "best_err", "setup_s", "train_s"});
+    solvers::SolverOptions opt;
+    opt.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+    opt.step_size = 0.5;
+    opt.threads = 4;
+    const auto static_is = run_is_asgd(data, loss, opt, ev.as_fn());
+    async_table.add_row_values("IS-ASGD static Eq.12",
+                               static_is.points.back().rmse,
+                               static_is.best_error_rate(),
+                               static_is.setup_seconds,
+                               static_is.train_seconds);
+    auto aopt = opt;
+    aopt.adaptive_importance = true;
+    const auto adaptive_is = run_is_asgd(data, loss, aopt, ev.as_fn());
+    async_table.add_row_values("IS-ASGD adaptive Eq.11",
+                               adaptive_is.points.back().rmse,
+                               adaptive_is.best_error_rate(),
+                               adaptive_is.setup_seconds,
+                               adaptive_is.train_seconds);
+    auto popt = opt;
+    popt.reg = objectives::Regularization::l1(1e-6);
+    const auto prox_uni =
+        run_prox_asgd(data, loss, popt, false, ev.as_fn());
+    async_table.add_row_values("PROX-ASGD (uniform)",
+                               prox_uni.points.back().rmse,
+                               prox_uni.best_error_rate(),
+                               prox_uni.setup_seconds,
+                               prox_uni.train_seconds);
+    const auto prox_is = run_prox_asgd(data, loss, popt, true, ev.as_fn());
+    async_table.add_row_values("IS-PROX-ASGD", prox_is.points.back().rmse,
+                               prox_is.best_error_rate(),
+                               prox_is.setup_seconds, prox_is.train_seconds);
+    std::printf("%s", async_table.render().c_str());
+    std::printf(
+        "expected shape: the adaptive refresh moves its cost from setup_s "
+        "into train_s at equal-or-better quality; the prox variants match "
+        "the subgradient IS-ASGD's quality while handling L1 exactly on "
+        "touched coordinates.\n");
+  }
+  return 0;
+}

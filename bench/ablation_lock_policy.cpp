@@ -1,0 +1,75 @@
+// Lock-policy ablation: what Hogwild's lock-freedom actually buys.
+//
+// Recht et al.'s argument for lock-free updates is throughput: locking a
+// shared model on every coordinate write serialises the hot path. This
+// bench runs the same ASGD workload under the four update disciplines
+// (wild / atomic / striped spinlocks / one global lock) across a thread
+// sweep and reports per-epoch wall-clock and final quality. Expected shape:
+// wild ≈ atomic (sparse data rarely contends a cache line), striped close
+// behind, global lock collapsing as threads rise — while all four end at
+// statistically equal quality, which is exactly why Hogwild drops the locks.
+//
+//   build/bench/ablation_lock_policy
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/evaluator.hpp"
+#include "solvers/asgd.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isasgd;
+  util::CliParser cli("ablation_lock_policy",
+                      "ASGD throughput and quality under wild / atomic / "
+                      "striped / global-lock shared-model disciplines");
+  cli.add_flag("rows", "20000", "dataset rows");
+  cli.add_flag("dim", "5000", "dataset dimensionality");
+  cli.add_flag("nnz", "12", "mean nonzeros per row");
+  cli.add_flag("epochs", "6", "epoch budget");
+  cli.add_flag("threads", "1,2,4,8,16", "thread counts to sweep");
+  if (!cli.parse(argc, argv)) return 0;
+
+  data::SyntheticSpec spec;
+  spec.rows = static_cast<std::size_t>(cli.get_int("rows"));
+  spec.dim = static_cast<std::size_t>(cli.get_int("dim"));
+  spec.mean_row_nnz = cli.get_double("nnz");
+  spec.label_noise = 0.02;
+  spec.seed = 99;
+  const auto data = data::generate(spec);
+  objectives::LogisticLoss loss;
+  metrics::Evaluator ev(data, loss, objectives::Regularization::none(), 4);
+
+  const solvers::UpdatePolicy policies[] = {
+      solvers::UpdatePolicy::kWild, solvers::UpdatePolicy::kAtomic,
+      solvers::UpdatePolicy::kStriped, solvers::UpdatePolicy::kLocked};
+
+  for (int threads : cli.get_int_list("threads")) {
+    std::printf("\n=== %d thread(s) ===\n", threads);
+    util::TablePrinter table(
+        {"policy", "train_s", "ms_per_epoch", "final_rmse", "best_err"});
+    double wild_seconds = 0;
+    for (const auto policy : policies) {
+      solvers::SolverOptions opt;
+      opt.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+      opt.threads = static_cast<std::size_t>(threads);
+      opt.update_policy = policy;
+      opt.seed = 7;
+      const auto trace = run_asgd(data, loss, opt, ev.as_fn());
+      if (policy == solvers::UpdatePolicy::kWild) {
+        wild_seconds = trace.train_seconds;
+      }
+      table.add_row_values(
+          solvers::update_policy_name(policy), trace.train_seconds,
+          1e3 * trace.train_seconds / static_cast<double>(opt.epochs),
+          trace.points.back().rmse, trace.best_error_rate());
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("(wild = %.4fs baseline at this thread count)\n",
+                wild_seconds);
+  }
+  std::printf(
+      "\nexpected shape: quality columns equal across policies; the locked "
+      "row's time grows with threads (serialisation) while wild/atomic stay "
+      "flat or improve — Hogwild's case for lock-freedom, measured.\n");
+  return 0;
+}

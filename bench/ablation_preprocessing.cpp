@@ -1,0 +1,143 @@
+// Preprocessing ablation: what the data pipeline does to the IS mechanism.
+//
+// The Eq. 12 distribution is a function of row norms, so preprocessing —
+// which the paper never specifies — decides whether importance sampling can
+// help at all:
+//   1. L2-normalising rows forces ψ = 1, ρ = 0 exactly: IS ≡ uniform.
+//      Measured before/after on a skewed analog.
+//   2. Feature hashing compresses d by orders of magnitude while leaving
+//      row norms (hence ψ, hence the IS story) approximately intact —
+//      the practical route for running URL/KDD-scale data at laptop d.
+//   3. The regularizer treatment: the subgradient handling (this repo's
+//      main solvers, the paper's code base) vs the exact prox of the
+//      Zhao–Zhang formulation the paper's analysis actually cites. Prox
+//      hard-zeroes coordinates; subgradient L1 never does.
+//
+//   build/bench/ablation_preprocessing
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "data/transforms.hpp"
+#include "metrics/evaluator.hpp"
+#include "partition/importance.hpp"
+#include "solvers/is_sgd.hpp"
+#include "solvers/prox_sgd.hpp"
+#include "solvers/sgd.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isasgd;
+  util::CliParser cli("ablation_preprocessing",
+                      "Row normalisation vs psi, feature hashing vs quality, "
+                      "prox vs subgradient L1");
+  cli.add_flag("rows", "4000", "dataset rows");
+  cli.add_flag("dim", "20000", "raw dimensionality");
+  cli.add_flag("epochs", "8", "epoch budget");
+  cli.add_flag("psi", "0.8", "target psi of the raw data");
+  if (!cli.parse(argc, argv)) return 0;
+
+  objectives::LogisticLoss loss;
+  data::SyntheticSpec spec;
+  spec.rows = static_cast<std::size_t>(cli.get_int("rows"));
+  spec.dim = static_cast<std::size_t>(cli.get_int("dim"));
+  spec.mean_row_nnz = 10;
+  spec.target_psi = cli.get_double("psi");
+  spec.difficulty_coupling = 2.0;
+  spec.label_noise = 0.05;
+  spec.seed = 777;
+  const auto raw = data::generate(spec);
+
+  solvers::SolverOptions opt;
+  opt.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+  opt.step_size = 0.5;
+  opt.seed = 7;
+
+  auto run_pair = [&](const sparse::CsrMatrix& data) {
+    metrics::Evaluator ev(data, loss, objectives::Regularization::none(), 8);
+    const auto sgd = run_sgd(data, loss, opt, ev.as_fn());
+    const auto is = run_is_sgd(data, loss, opt, ev.as_fn());
+    return std::pair{sgd.best_error_rate(), is.best_error_rate()};
+  };
+  auto stats = [&](const sparse::CsrMatrix& data) {
+    const auto lip = objectives::per_sample_lipschitz(
+        data, loss, objectives::Regularization::none());
+    return std::pair{analysis::psi(lip),
+                     partition::importance_variance(lip)};
+  };
+
+  // ---- Panel 1: normalisation deletes the mechanism ----
+  std::printf("=== (1) raw vs L2-normalised rows ===\n");
+  {
+    util::TablePrinter table(
+        {"variant", "psi", "rho", "SGD_err", "IS_err", "IS_gain"});
+    for (const bool normalize : {false, true}) {
+      const auto data = normalize ? data::l2_normalize_rows(raw) : raw;
+      const auto [psi, rho] = stats(data);
+      const auto [sgd_err, is_err] = run_pair(data);
+      table.add_row_values(normalize ? "normalised" : "raw", psi, rho,
+                           sgd_err, is_err, sgd_err / std::max(is_err, 1e-9));
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  // ---- Panel 2: feature hashing preserves the story at a fraction of d ----
+  std::printf("=== (2) feature hashing: buckets sweep ===\n");
+  {
+    util::TablePrinter table({"dim", "psi", "SGD_err", "IS_err"});
+    {
+      const auto [psi, rho] = stats(raw);
+      const auto [sgd_err, is_err] = run_pair(raw);
+      table.add_row_values(static_cast<double>(raw.dim()), psi, sgd_err,
+                           is_err);
+    }
+    for (const std::size_t buckets : {4096u, 1024u, 256u}) {
+      const auto hashed = data::hash_features(raw, buckets);
+      const auto [psi, rho] = stats(hashed);
+      const auto [sgd_err, is_err] = run_pair(hashed);
+      table.add_row_values(static_cast<double>(buckets), psi, sgd_err,
+                           is_err);
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  // ---- Panel 3: prox vs subgradient L1 ----
+  std::printf("=== (3) L1 treatment: prox vs subgradient ===\n");
+  {
+    util::TablePrinter table(
+        {"l1_eta", "sub_err", "prox_err", "sub_zeros", "prox_zeros"});
+    for (const double eta : {1e-6, 1e-5, 1e-4}) {
+      const auto reg = objectives::Regularization::l1(eta);
+      metrics::Evaluator ev(raw, loss, reg, 8);
+      auto ropt = opt;
+      ropt.reg = reg;
+      ropt.keep_final_model = true;
+      const auto sub = run_sgd(raw, loss, ropt, ev.as_fn());
+      solvers::ProxReport report;
+      const auto prox =
+          run_prox_sgd(raw, loss, ropt, /*use_importance=*/true, ev.as_fn(),
+                       &report);
+      std::size_t sub_zeros = 0;
+      for (double v : sub.final_model) sub_zeros += v == 0.0;
+      std::size_t prox_zeros = 0;
+      for (double v : prox.final_model) prox_zeros += v == 0.0;
+      table.add_row_values(eta, sub.best_error_rate(),
+                           prox.best_error_rate(),
+                           static_cast<double>(sub_zeros),
+                           static_cast<double>(prox_zeros));
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf(
+      "expected shape: (1) normalisation forces psi to exactly 1 and rho to "
+      "0 — the IS mechanism is deleted by the pipeline (at the paper's "
+      "fixed lambda the gain column is ~1 on both rows anyway; see the "
+      "EXPERIMENTS.md Fig-3 covariance note — psi/rho are where the effect "
+      "is visible); (2) psi survives hashing essentially unchanged (the IS "
+      "story is compression-proof) while accuracy pays for collisions as "
+      "the budget shrinks below the planted signal's size; (3) prox "
+      "zero-counts dominate subgradient's (which only counts never-touched "
+      "coordinates), growing with eta at comparable error until the "
+      "threshold starts eating signal coordinates.\n");
+  return 0;
+}

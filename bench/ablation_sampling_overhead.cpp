@@ -1,0 +1,65 @@
+// Ablation for §4.2's overhead accounting: "the raw computational speedups
+// of IS-ASGD are typically 7.7% to 1.1% lower than ASGD" due to sampling
+// setup, and "if we generate the sample sequence … only once and simply
+// shuffle it every epoch, there will be no computation performance gap".
+//
+// Reports, per dataset analog: setup seconds (distribution + sequences),
+// train seconds, the relative overhead, and the same numbers under the
+// reshuffle approximation.
+//
+//   build/bench/ablation_sampling_overhead
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "metrics/evaluator.hpp"
+#include "solvers/asgd.hpp"
+#include "solvers/is_asgd.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isasgd;
+  util::CliParser cli("ablation_sampling_overhead",
+                      "§4.2 overhead accounting: IS setup cost vs ASGD, and "
+                      "the reshuffle-once approximation");
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const double scale = cli.get_double("scale");
+  const std::size_t threads = bench::threads_from(cli).front();
+
+  util::TablePrinter table({"dataset", "ASGD_train_s", "IS_setup_s",
+                            "IS_train_s", "overhead_pct",
+                            "reshuffle_setup_s", "reshuffle_overhead_pct",
+                            "reshuffle_final_rmse_vs_full"});
+  for (data::PaperDataset id : bench::datasets_from(cli)) {
+    const auto prepared = bench::prepare(id, scale, cli.get_double("l1"));
+    metrics::Evaluator ev(prepared.data, prepared.objective, prepared.reg, 8);
+    solvers::SolverOptions opt;
+    opt.epochs = cli.get_int("epochs") > 0
+                     ? static_cast<std::size_t>(cli.get_int("epochs"))
+                     : std::min<std::size_t>(prepared.config.paper_epochs, 20);
+    opt.threads = threads;
+    opt.step_size = prepared.config.lambda;
+    opt.reg = prepared.reg;
+
+    const auto asgd = run_asgd(prepared.data, prepared.objective, opt, ev.as_fn());
+    const auto is = run_is_asgd(prepared.data, prepared.objective, opt, ev.as_fn());
+    opt.reshuffle_sequences = true;
+    const auto reshuffled =
+        run_is_asgd(prepared.data, prepared.objective, opt, ev.as_fn());
+
+    const double overhead =
+        100.0 * is.setup_seconds / std::max(is.train_seconds, 1e-12);
+    const double r_overhead = 100.0 * reshuffled.setup_seconds /
+                              std::max(reshuffled.train_seconds, 1e-12);
+    table.add_row_values(
+        prepared.config.name, asgd.train_seconds, is.setup_seconds,
+        is.train_seconds, overhead, reshuffled.setup_seconds, r_overhead,
+        reshuffled.points.back().rmse / is.points.back().rmse);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nexpected shape: full pre-generation costs a few %% of training "
+      "time (the paper reports 1.1-7.7%%); the reshuffle approximation cuts "
+      "setup roughly by the epoch count while final RMSE stays ~1.0x.\n");
+  return 0;
+}

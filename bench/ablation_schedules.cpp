@@ -1,0 +1,147 @@
+// Step-size schedule ablation: exercising the bound the paper never runs.
+//
+// The paper's protocol fixes λ (0.5 / 0.05) for every algorithm, and
+// EXPERIMENTS.md's Fig-3 note shows why that mutes IS: at a *fixed* step the
+// uniform-vs-IS variance gap is a covariance term, while the theory's gain
+// (Eqs. 13/14/26) enters through the *admissible step size* — IS tolerates a
+// larger λ because its gradient bound depends on L̄, not sup L. This bench
+// runs the decaying schedules and the Lemma-2 theory step on an L2-regular-
+// ised problem (μ = η strong convexity), with σ² estimated at a warm-trained
+// proxy for w*, and prints uniform vs IS quality under each — the regime
+// where the bound's λ is actually used.
+//
+//   build/bench/ablation_schedules
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/evaluator.hpp"
+#include "solvers/is_sgd.hpp"
+#include "solvers/sgd.hpp"
+#include "solvers/schedule.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isasgd;
+  util::CliParser cli("ablation_schedules",
+                      "Schedule sweep (constant / 1/t / 1/sqrt(t) / Lemma-2 "
+                      "theory step) for uniform vs importance-sampled SGD");
+  cli.add_flag("rows", "4000", "dataset rows");
+  cli.add_flag("dim", "800", "dataset dimensionality");
+  cli.add_flag("epochs", "12", "epoch budget");
+  cli.add_flag("psi", "0.8", "target psi (Lipschitz spread)");
+  cli.add_flag("l2", "1e-4", "L2 regularisation eta (= mu)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  data::SyntheticSpec spec;
+  spec.rows = static_cast<std::size_t>(cli.get_int("rows"));
+  spec.dim = static_cast<std::size_t>(cli.get_int("dim"));
+  spec.mean_row_nnz = 12;
+  spec.target_psi = cli.get_double("psi");
+  spec.difficulty_coupling = 2.0;
+  spec.label_noise = 0.05;
+  spec.seed = 555;
+  const auto data = data::generate(spec);
+  objectives::LogisticLoss loss;
+  const auto reg = objectives::Regularization::l2(cli.get_double("l2"));
+  metrics::Evaluator ev(data, loss, reg, 4);
+
+  solvers::SolverOptions base;
+  base.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+  base.reg = reg;
+  base.seed = 7;
+
+  // ---- Panel 1: schedule sweep at the paper's λ0 = 0.5 ----
+  std::printf("=== schedule sweep (lambda0 = 0.5) ===\n");
+  util::TablePrinter table(
+      {"schedule", "SGD_rmse", "IS_rmse", "SGD_err", "IS_err"});
+  for (const auto kind :
+       {solvers::ScheduleKind::kConstant, solvers::ScheduleKind::kInvEpoch,
+        solvers::ScheduleKind::kInvSqrtEpoch}) {
+    auto opt = base;
+    opt.step_size = 0.5;
+    opt.step_schedule = kind;
+    opt.schedule_offset = 4.0;
+    const auto sgd = run_sgd(data, loss, opt, ev.as_fn());
+    const auto is = run_is_sgd(data, loss, opt, ev.as_fn());
+    table.add_row_values(solvers::schedule_name(kind),
+                         sgd.points.back().rmse, is.points.back().rmse,
+                         sgd.best_error_rate(), is.best_error_rate());
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // ---- Panel 2: the Lemma-2 theory step, uniform vs IS admissible λ ----
+  // σ² is estimated at a warm-trained model (proxy for w*): the residual
+  // E‖∇φ_i(w)‖² ≈ E[(φ'(margin))²·‖x_i‖²].
+  auto warm_opt = base;
+  warm_opt.step_size = 0.5;
+  warm_opt.keep_final_model = true;
+  const auto warm = run_sgd(data, loss, warm_opt, ev.as_fn());
+  double sigma_sq = 0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const auto x = data.row(i);
+    double margin = 0;
+    const auto idx = x.indices();
+    const auto val = x.values();
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      margin += warm.final_model[idx[j]] * val[j];
+    }
+    const double g = loss.gradient_scale(margin, data.label(i));
+    sigma_sq += g * g * x.squared_norm();
+  }
+  sigma_sq /= static_cast<double>(data.rows());
+
+  const auto lipschitz = objectives::per_sample_lipschitz(data, loss, reg);
+  const auto lip = analysis::summarize_lipschitz(lipschitz);
+  analysis::BoundInputs in;
+  in.mu = reg.eta;
+  in.sigma_sq = sigma_sq;
+  in.epsilon = 1e-2;
+  const double lambda_noisy = analysis::lemma2_step_size(lip, in);
+
+  // With the measured σ² the 2σ² term dominates Lemma 2's denominator and
+  // the sup-L/L̄ distinction is invisible (both λ are tiny) — worth printing,
+  // because it shows when the bound's IS gain can matter at all. The clean
+  // regime is the interpolation bound (σ² → 0): λ = 1/(2·supL) for uniform
+  // SGD vs 1/(2·L̄) for IS — IS admits a supL/L̄× larger step because its
+  // 1/(n·p_i) reweighting shrinks exactly the heavy samples' steps.
+  auto in0 = in;
+  in0.sigma_sq = 0.0;
+  const double lambda_sup = analysis::lemma2_step_size(lip, in0);
+  auto lip_bar = lip;
+  lip_bar.sup = lip.mean;
+  const double lambda_bar = analysis::lemma2_step_size(lip_bar, in0);
+  std::printf(
+      "=== Lemma-2 theory steps (mu=%.1e, measured sigma^2=%.3g, supL=%.3g, "
+      "Lbar=%.3g) ===\n",
+      in.mu, sigma_sq, lip.sup, lip.mean);
+  std::printf(
+      "noisy-bound lambda = %.3g (sigma^2 dominates: sup-L vs L-bar "
+      "indistinguishable)\ninterpolation bounds: uniform 1/(2supL) = %.4g,  "
+      "IS 1/(2Lbar) = %.4g,  IS/uniform = %.3g\n",
+      lambda_noisy, lambda_sup, lambda_bar, lambda_bar / lambda_sup);
+
+  util::TablePrinter theory({"run", "lambda", "final_rmse", "best_err"});
+  const auto add = [&](const char* name, double lambda, bool is) {
+    auto opt = base;
+    opt.step_size = lambda;
+    const auto t = is ? run_is_sgd(data, loss, opt, ev.as_fn())
+                      : run_sgd(data, loss, opt, ev.as_fn());
+    theory.add_row_values(name, lambda, t.points.back().rmse,
+                          t.best_error_rate());
+  };
+  add("SGD @ its bound 1/(2supL)", lambda_sup, false);
+  add("SGD @ IS bound 1/(2Lbar)", lambda_bar, false);
+  add("IS-SGD @ its bound 1/(2Lbar)", lambda_bar, true);
+  std::printf("%s\n", theory.render().c_str());
+  std::printf(
+      "expected shape: panel 1's decaying schedules trade early progress for "
+      "late stability, IS tracking uniform under each; panel 2: IS-SGD at "
+      "1/(2Lbar) is at least as good as SGD at the same (for it "
+      "inadmissible) step — the 1/(n·p_i) weights damp exactly the heavy "
+      "rows — and reaches a better operating point than SGD confined to "
+      "1/(2supL). That admissible-step gap is where Eq. 26's IS gain lives, "
+      "and the fixed-lambda protocol of the paper's §4 never exercises it.\n");
+  return 0;
+}

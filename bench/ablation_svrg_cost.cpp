@@ -1,0 +1,103 @@
+// Ablation for the paper's §1.2 claims about SVRG's density:
+//   (a) per-iteration cost: dense-μ SVRG update vs index-compressed ASGD
+//       update, as the dimensionality grows (the "five to seven magnitudes"
+//       argument around Figure 1);
+//   (b) the "skip-μ" public-version approximation: cheaper per iteration but
+//       a visibly different convergence curve than faithful SVRG;
+//   (c) the lazy-aggregation rebuttal: deferring the dense term with
+//       per-coordinate closed forms computes the *same iterates* at
+//       index-compressed cost — §1.2's density is a schedule property, not
+//       an algorithm property (for smooth regularizers; L1 keeps it real).
+//
+//   build/bench/ablation_svrg_cost
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/evaluator.hpp"
+#include "solvers/asgd.hpp"
+#include "solvers/svrg_lazy.hpp"
+#include "solvers/svrg_sgd.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isasgd;
+  util::CliParser cli("ablation_svrg_cost",
+                      "Quantifies §1.2: the dense-μ cost of SVRG vs "
+                      "index-compressed updates, and the skip-μ approximation");
+  cli.add_flag("rows", "4000", "dataset rows");
+  cli.add_flag("nnz", "10", "nonzeros per row (fixed)");
+  cli.add_flag("dims", "1000,10000,100000,1000000",
+               "dimensionalities to sweep");
+  cli.add_flag("epochs", "6", "epochs for the convergence comparison");
+  if (!cli.parse(argc, argv)) return 0;
+
+  objectives::LogisticLoss loss;
+
+  // ---- (a) per-epoch cost sweep: sparsity is d-invariant, density is not.
+  std::printf("=== (a) per-epoch training cost vs dimensionality ===\n");
+  util::TablePrinter cost({"dim", "density", "ASGD_s_per_epoch",
+                           "SVRG_s_per_epoch", "slowdown",
+                           "LAZY_s_per_epoch"});
+  for (int dim : cli.get_int_list("dims")) {
+    data::SyntheticSpec spec;
+    spec.rows = static_cast<std::size_t>(cli.get_int("rows"));
+    spec.dim = static_cast<std::size_t>(dim);
+    spec.mean_row_nnz = cli.get_double("nnz");
+    spec.nnz_dispersion = 0;
+    spec.seed = 4242;
+    const auto data = data::generate(spec);
+    metrics::Evaluator ev(data, loss, objectives::Regularization::none(), 4);
+    solvers::SolverOptions opt;
+    opt.epochs = 2;
+    opt.threads = 1;
+    opt.step_size = 0.5;
+    const auto asgd = run_asgd(data, loss, opt, ev.as_fn());
+    opt.step_size = 0.2;
+    const auto svrg = run_svrg_sgd(data, loss, opt, ev.as_fn());
+    const auto lazy = run_svrg_sgd_lazy(data, loss, opt, ev.as_fn());
+    const double a = asgd.train_seconds / static_cast<double>(opt.epochs);
+    const double s = svrg.train_seconds / static_cast<double>(opt.epochs);
+    const double l = lazy.train_seconds / static_cast<double>(opt.epochs);
+    cost.add_row_values(static_cast<double>(dim), data.density(), a, s,
+                        s / std::max(a, 1e-12), l);
+  }
+  std::printf("%s", cost.render().c_str());
+  std::printf(
+      "expected shape: ASGD cost is flat in d (index-compressed); SVRG cost "
+      "grows linearly in d (dense mu each iteration), so the slowdown column "
+      "explodes exactly as §1.2 argues. The LAZY column computes the same "
+      "iterates as SVRG (tests pin it to ~1e-9) at near-ASGD cost — the "
+      "density is the schedule's, not the algorithm's, as long as the "
+      "regularizer's lazy recurrence is closed-form (none/L2; the paper's "
+      "L1 is where it stays real).\n\n");
+
+  // ---- (b) faithful vs skip-μ convergence.
+  std::printf("=== (b) faithful SVRG vs public-version skip-mu ===\n");
+  data::SyntheticSpec spec;
+  spec.rows = 3000;
+  spec.dim = 500;
+  spec.mean_row_nnz = 10;
+  spec.seed = 99;
+  const auto data = data::generate(spec);
+  metrics::Evaluator ev(data, loss, objectives::Regularization::none(), 4);
+  solvers::SolverOptions opt;
+  opt.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+  opt.step_size = 0.2;
+  const auto faithful = run_svrg_sgd(data, loss, opt, ev.as_fn());
+  opt.svrg_skip_mu = true;
+  const auto skip = run_svrg_sgd(data, loss, opt, ev.as_fn());
+  util::TablePrinter conv({"epoch", "faithful_rmse", "skip_mu_rmse"});
+  for (std::size_t e = 0; e < faithful.points.size(); ++e) {
+    conv.add_row_values(static_cast<double>(e), faithful.points[e].rmse,
+                        skip.points[e].rmse);
+  }
+  std::printf("%s", conv.render().c_str());
+  std::printf(
+      "expected shape: the curves diverge — the paper found the public "
+      "version 'far from the literature version' (§1.2). skip-mu per-epoch "
+      "cost: %.4gs vs faithful %.4gs.\n",
+      skip.train_seconds / static_cast<double>(opt.epochs),
+      faithful.train_seconds / static_cast<double>(opt.epochs));
+  return 0;
+}

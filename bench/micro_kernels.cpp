@@ -1,0 +1,173 @@
+// Micro benchmarks (google-benchmark) for the kernels whose cost structure
+// the paper's argument rests on:
+//   * index-compressed (sparse) update vs dense full-length update — Fig. 1,
+//   * alias vs CDF vs uniform sampling — "IS adds no per-iteration cost",
+//   * SharedModel wild vs atomic add under a single writer.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sampling/alias_table.hpp"
+#include "sampling/cdf_sampler.hpp"
+#include "sampling/fenwick_sampler.hpp"
+#include "solvers/model.hpp"
+#include "sparse/kernels.hpp"
+#include "sparse/sparse_vector.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace isasgd;
+
+sparse::SparseVector make_row(std::size_t dim, std::size_t nnz,
+                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<sparse::index_t> idx;
+  while (idx.size() < nnz) {
+    const auto j =
+        static_cast<sparse::index_t>(util::uniform_index(rng, dim));
+    if (std::find(idx.begin(), idx.end(), j) == idx.end()) idx.push_back(j);
+  }
+  std::sort(idx.begin(), idx.end());
+  std::vector<sparse::value_t> val(nnz);
+  for (auto& v : val) v = util::normal_double(rng);
+  return sparse::SparseVector(std::move(idx), std::move(val));
+}
+
+/// The ASGD inner-loop update: sparse dot + sparse axpy. Cost ~ nnz,
+/// independent of d — the "index-compressed" row of Figure 1.
+void BM_SparseUpdate(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const std::size_t nnz = 10;
+  const auto row = make_row(dim, nnz, 42);
+  std::vector<double> w(dim, 0.1);
+  for (auto _ : state) {
+    const double margin = sparse::sparse_dot(w, row.view());
+    sparse::sparse_axpy(w, -0.5 * margin, row.view());
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+}
+BENCHMARK(BM_SparseUpdate)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
+
+/// The SVRG inner-loop dense term: one full-length axpy per iteration. Cost
+/// ~ d — the dense μ row of Figure 1.
+void BM_DenseUpdate(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  std::vector<double> w(dim, 0.1);
+  std::vector<double> mu(dim, 0.01);
+  for (auto _ : state) {
+    sparse::dense_axpy(w, -0.5, mu);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_DenseUpdate)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
+
+void BM_UniformSample(benchmark::State& state) {
+  util::Rng rng(7);
+  const std::size_t n = 1 << 20;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += util::uniform_index(rng, n);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_UniformSample);
+
+void BM_AliasSample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(8);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = util::uniform_double(rng) + 0.01;
+  sampling::AliasTable table(weights);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += table.sample(rng);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_AliasSample)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_CdfSample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(9);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = util::uniform_double(rng) + 0.01;
+  sampling::CdfSampler sampler(weights);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += sampler.sample(rng);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_CdfSample)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_FenwickSample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(10);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = util::uniform_double(rng) + 0.01;
+  sampling::FenwickSampler sampler(weights);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += sampler.sample(rng);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_FenwickSample)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_FenwickUpdate(benchmark::State& state) {
+  // The adaptive-importance refresh path: one weight change per iteration.
+  // Compare against BM_AliasRebuild — the O(n) cost an alias table pays for
+  // the same refresh.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(11);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = util::uniform_double(rng) + 0.01;
+  sampling::FenwickSampler sampler(weights);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sampler.set_weight(i, 0.01 + util::uniform_double(rng));
+    i = (i + 7919) % n;  // stride over the table
+  }
+  benchmark::DoNotOptimize(sampler.total());
+}
+BENCHMARK(BM_FenwickUpdate)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_AliasRebuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(12);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = util::uniform_double(rng) + 0.01;
+  for (auto _ : state) {
+    weights[0] += 0.001;  // any change forces a full rebuild
+    sampling::AliasTable table(weights);
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AliasRebuild)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_SharedModelWildAdd(benchmark::State& state) {
+  solvers::SharedModel model(1 << 16);
+  util::Rng rng(10);
+  for (auto _ : state) {
+    model.add(util::uniform_index(rng, model.dim()), 0.25,
+              solvers::UpdatePolicy::kWild);
+  }
+}
+BENCHMARK(BM_SharedModelWildAdd);
+
+void BM_SharedModelAtomicAdd(benchmark::State& state) {
+  solvers::SharedModel model(1 << 16);
+  util::Rng rng(11);
+  for (auto _ : state) {
+    model.add(util::uniform_index(rng, model.dim()), 0.25,
+              solvers::UpdatePolicy::kAtomic);
+  }
+}
+BENCHMARK(BM_SharedModelAtomicAdd);
+
+}  // namespace

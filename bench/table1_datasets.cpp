@@ -1,0 +1,46 @@
+// Table 1 — "Evaluation Datasets": dimension, instances, ∇f_i sparsity, ψ, ρ
+// for the four dataset analogs, printed next to the paper's reported values.
+//
+//   build/bench/table1_datasets [--scale 1.0]
+#include <cstdio>
+
+#include "analysis/dataset_stats.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isasgd;
+  util::CliParser cli("table1_datasets",
+                      "Reproduces Table 1: dataset statistics (paper values "
+                      "vs this repo's calibrated analogs)");
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const double scale = cli.get_double("scale");
+
+  util::TablePrinter table({"Name", "Dim", "Instances", "Spa.", "psi", "rho",
+                            "conflict_deg", "paper_dim", "paper_inst",
+                            "paper_spa", "paper_psi", "paper_rho"});
+  objectives::LogisticLoss loss;
+  for (data::PaperDataset id : bench::datasets_from(cli)) {
+    const auto prepared = bench::prepare(id, scale, cli.get_double("l1"));
+    analysis::DatasetStatsOptions opt;
+    opt.conflict_samples = 256;
+    const auto stats = analysis::compute_dataset_stats(
+        prepared.config.name, prepared.data, loss,
+        objectives::Regularization::none(), opt);
+    table.add_row_values(
+        stats.name, static_cast<double>(stats.dimension),
+        static_cast<double>(stats.instances), stats.gradient_sparsity,
+        stats.psi, stats.rho, stats.avg_conflict_degree,
+        static_cast<double>(prepared.config.paper_dimension),
+        static_cast<double>(prepared.config.paper_instances),
+        prepared.config.paper_sparsity, prepared.config.paper_psi,
+        prepared.config.paper_rho);
+  }
+  std::printf("\nTable 1 — dataset statistics (measured analog vs paper)\n%s\n",
+              table.render().c_str());
+  std::printf(
+      "Note: analogs preserve psi and rho exactly and the sparsity *regime*\n"
+      "(dense 1e-3 vs sparse <=1e-5); dims/instances are scaled ~50-100x down\n"
+      "for laptop runtimes (see DESIGN.md section 4).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Delay study: watching asynchrony hurt — and importance sampling resist.
+//
+// The perturbed-iterate simulator (simulate::run_delayed_sgd) makes the
+// staleness τ of asynchronous SGD a controlled input instead of a hardware
+// accident. This example walks a least-squares problem with heavy support
+// overlap through rising τ, printing the final objective for uniform
+// sampling (ASGD's serialisation) and Eq. 12 importance sampling (IS-ASGD's)
+// side by side, plus the staleness diagnostics the simulator reports.
+//
+//   build/examples/delay_study
+#include <cmath>
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "metrics/evaluator.hpp"
+#include "objectives/least_squares.hpp"
+#include "simulate/delayed_sgd.hpp"
+
+int main() {
+  using namespace isasgd;
+
+  // Dense-overlap regression: every pair of rows shares coordinates and the
+  // label noise keeps the residual positive at the optimum — the regime
+  // where stale gradients genuinely destabilise the recursion.
+  data::SyntheticSpec spec;
+  spec.rows = 1000;
+  spec.dim = 50;
+  spec.mean_row_nnz = 12;
+  spec.smoothness_beta = 1.0;
+  spec.mean_lipschitz = 1.0;
+  spec.target_psi = 0.85;
+  spec.label_noise = 0.1;
+  spec.seed = 7;
+  const sparse::CsrMatrix data = data::generate(spec);
+  objectives::LeastSquaresLoss loss;
+  metrics::Evaluator evaluator(data, loss, objectives::Regularization::none(),
+                               4);
+
+  solvers::SolverOptions options;
+  options.epochs = 6;
+  options.step_size = 0.5;
+  options.seed = 11;
+
+  std::printf("dataset: %s\n\n", data.summary().c_str());
+  std::printf("%-8s %-12s %-14s %-14s %-12s\n", "tau", "mean-delay",
+              "uniform-rmse", "IS-rmse", "in-flight");
+  for (std::size_t tau : {0u, 8u, 32u, 128u, 512u}) {
+    const simulate::DelayModel delay =
+        tau == 0 ? simulate::DelayModel::none() : simulate::DelayModel::fixed(tau);
+    simulate::DelayReport uniform_report;
+    const solvers::Trace uniform = simulate::run_delayed_sgd(
+        data, loss, options, delay, /*use_importance=*/false,
+        evaluator.as_fn(), &uniform_report);
+    const solvers::Trace is = simulate::run_delayed_sgd(
+        data, loss, options, delay, /*use_importance=*/true,
+        evaluator.as_fn());
+    const double u = uniform.points.back().rmse;
+    const double i = is.points.back().rmse;
+    std::printf("%-8zu %-12.1f %-14s %-14s %-12zu\n", tau,
+                uniform_report.mean_applied_delay,
+                std::isfinite(u) ? std::to_string(u).c_str() : "diverged",
+                std::isfinite(i) ? std::to_string(i).c_str() : "diverged",
+                uniform_report.max_in_flight);
+  }
+  std::printf(
+      "\nReading: both columns match serial SGD at tau=0, drift as tau "
+      "grows, and blow up past the stability threshold — with the IS column "
+      "holding on longer because the 1/(n*p_i) weights shrink exactly the "
+      "heavy (large-L) samples' steps. This is Fig. 3c's concurrency story "
+      "with the delay made explicit.\n");
+  return 0;
+}

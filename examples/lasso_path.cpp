@@ -1,0 +1,64 @@
+// Lasso path: sweeping the L1 strength with proximal importance-sampled SGD.
+//
+// A realistic sparse-model workflow on the public API: train IS-prox-SGD
+// (the Zhao–Zhang algorithm the paper's analysis cites) across a grid of L1
+// strengths and print the regularisation path — active-coordinate count and
+// error at each η. Because the prox hard-zeroes coordinates (unlike the
+// subgradient treatment, which oscillates around zero), the path shows
+// genuine support shrinkage.
+//
+//   build/examples/lasso_path
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "metrics/evaluator.hpp"
+#include "objectives/logistic.hpp"
+#include "solvers/prox_sgd.hpp"
+
+int main() {
+  using namespace isasgd;
+
+  // A planted-model problem where only a fraction of features matter: the
+  // path should find small supports at strong η without losing accuracy
+  // until the support drops below the planted signal's size.
+  data::SyntheticSpec spec;
+  spec.rows = 8'000;
+  spec.dim = 4'000;
+  spec.mean_row_nnz = 15;
+  spec.target_psi = 0.85;
+  spec.label_noise = 0.03;
+  spec.seed = 12;
+  const sparse::CsrMatrix data = data::generate(spec);
+  objectives::LogisticLoss loss;
+  std::printf("dataset: %s\n\n", data.summary().c_str());
+
+  std::printf("%-10s %-12s %-12s %-12s %-10s\n", "l1_eta", "active", "of_dim",
+              "error", "rmse");
+  for (const double eta : {0.0, 1e-6, 1e-5, 1e-4, 3e-4, 1e-3}) {
+    const auto reg = eta == 0.0 ? objectives::Regularization::none()
+                                : objectives::Regularization::l1(eta);
+    metrics::Evaluator evaluator(data, loss, reg, 8);
+    solvers::SolverOptions options;
+    options.epochs = 10;
+    options.step_size = 0.5;
+    options.seed = 5;
+    options.reg = reg;
+    options.keep_final_model = true;
+    solvers::ProxReport report;
+    const solvers::Trace trace = solvers::run_prox_sgd(
+        data, loss, options, /*use_importance=*/true, evaluator.as_fn(),
+        &report);
+    const auto active = static_cast<std::size_t>(
+        (1.0 - report.sparsity) * static_cast<double>(data.dim()) + 0.5);
+    std::printf("%-10.1e %-12zu %-12.3f %-12.4f %-10.4f\n", eta, active,
+                1.0 - report.sparsity, trace.best_error_rate(),
+                trace.points.back().rmse);
+  }
+  std::printf(
+      "\nReading: as eta rises the active set shrinks (the prox's soft "
+      "threshold removes coordinates exactly); error stays near the "
+      "unregularised floor until the support is forced below the planted "
+      "signal, then climbs — the classic lasso path, produced by the IS "
+      "solver the paper's analysis is built on.\n");
+  return 0;
+}

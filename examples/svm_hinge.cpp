@@ -1,0 +1,72 @@
+// L2-regularized squared-hinge SVM — the paper's worked IS example (Eq. 16).
+// Compares the two importance definitions the library supports:
+// smoothness-based (Eq. 12) and gradient-norm-bound-based (Eq. 16).
+//
+//   build/examples/svm_hinge
+#include <cstdio>
+
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "objectives/squared_hinge.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isasgd;
+  util::CliParser cli("svm_hinge",
+                      "Squared-hinge SVM with Eq. 12 vs Eq. 16 importance");
+  cli.add_flag("rows", "15000", "dataset rows");
+  cli.add_flag("dim", "5000", "dimensionality");
+  cli.add_flag("epochs", "8", "training epochs");
+  cli.add_flag("lambda-reg", "1e-3", "L2 regularization factor (Eq. 16's λ)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  data::SyntheticSpec spec;
+  spec.rows = static_cast<std::size_t>(cli.get_int("rows"));
+  spec.dim = static_cast<std::size_t>(cli.get_int("dim"));
+  spec.mean_row_nnz = 15;
+  spec.target_psi = 0.88;
+  spec.smoothness_beta = 2.0;  // squared hinge
+  spec.mean_lipschitz = 0.6;
+  spec.seed = 2718;
+  const auto data = data::generate(spec);
+  std::printf("dataset: %s\n", data.summary().c_str());
+
+  objectives::SquaredHingeLoss loss;
+  const auto reg =
+      objectives::Regularization::l2(cli.get_double("lambda-reg"));
+  core::Trainer trainer(data, loss, reg);
+
+  util::TablePrinter table(
+      {"run", "importance", "final_rmse", "best_error", "train_s"});
+  for (auto importance : {solvers::ImportanceKind::kLipschitz,
+                          solvers::ImportanceKind::kGradientBound}) {
+    solvers::SolverOptions opt;
+    opt.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+    opt.threads = 8;
+    opt.step_size = 0.1;
+    opt.importance = importance;
+    const auto trace = trainer.train(solvers::Algorithm::kIsAsgd, opt);
+    table.add_row_values(
+        "IS-ASGD",
+        importance == solvers::ImportanceKind::kLipschitz
+            ? "Eq.12 smoothness"
+            : "Eq.16 gradient bound",
+        trace.points.back().rmse, trace.best_error_rate(),
+        trace.train_seconds);
+  }
+  // Uniform baseline for reference.
+  solvers::SolverOptions opt;
+  opt.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+  opt.threads = 8;
+  opt.step_size = 0.1;
+  const auto asgd = trainer.train(solvers::Algorithm::kAsgd, opt);
+  table.add_row_values("ASGD", "uniform", asgd.points.back().rmse,
+                       asgd.best_error_rate(), asgd.train_seconds);
+  std::printf("\n%s", table.render().c_str());
+  std::printf(
+      "\nboth importance definitions weight samples by (scaled) row norms; "
+      "Eq. 16 additionally folds in the regularizer's λ, matching the "
+      "paper's SVM example.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Malicious-URL detection scenario (the paper's URL workload): millions of
+// lexical features, ~1e-5 density, tight latency budget — the regime where
+// ASGD is standard and where the paper observes ASGD's quality degrading
+// with concurrency while IS-ASGD stays robust. This example sweeps the
+// thread count and prints the robustness comparison.
+//
+//   build/examples/url_detection [--threads 2,4,8,16]
+#include <cstdio>
+
+#include "core/trainer.hpp"
+#include "data/paper_datasets.hpp"
+#include "objectives/logistic.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isasgd;
+  util::CliParser cli("url_detection",
+                      "URL-style high-dimensional sparse classification: "
+                      "concurrency-robustness of IS-ASGD vs ASGD");
+  cli.add_flag("threads", "2,4,8,16", "thread counts to sweep");
+  cli.add_flag("epochs", "8", "training epochs");
+  cli.add_flag("scale", "0.25", "dataset scale");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto config = data::paper_dataset_config(data::PaperDataset::kUrl,
+                                                 cli.get_double("scale"));
+  std::printf("generating %s analog (n=%zu, d=%zu, density=%.1e)...\n",
+              config.paper_name.c_str(), config.spec.rows, config.spec.dim,
+              config.spec.mean_row_nnz / static_cast<double>(config.spec.dim));
+  const auto data = data::generate(config.spec);
+  objectives::LogisticLoss loss;
+  core::Trainer trainer(data, loss, objectives::Regularization::l1(1e-6));
+
+  util::TablePrinter table({"threads", "ASGD_best_err", "IS-ASGD_best_err",
+                            "ASGD_rmse", "IS-ASGD_rmse", "IS_train_s"});
+  for (int threads : cli.get_int_list("threads")) {
+    solvers::SolverOptions opt;
+    opt.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+    opt.threads = static_cast<std::size_t>(threads);
+    opt.step_size = config.lambda;  // 0.05 for URL in the paper
+    const auto asgd = trainer.train(solvers::Algorithm::kAsgd, opt);
+    const auto is = trainer.train(solvers::Algorithm::kIsAsgd, opt);
+    table.add_row_values(static_cast<double>(threads),
+                         asgd.best_error_rate(), is.best_error_rate(),
+                         asgd.points.back().rmse, is.points.back().rmse,
+                         is.train_seconds);
+  }
+  std::printf("\n%s", table.render().c_str());
+  std::printf(
+      "\nreading: if ASGD's error drifts up with the thread count while "
+      "IS-ASGD's stays flat, you are seeing Fig. 3c's concurrency "
+      "sensitivity.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Closed-form convergence-bound quantities from the paper's theory sections
+// (§2.2, §3.2). These let the ablation benches print "predicted vs measured"
+// columns next to the empirical convergence results.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace isasgd::analysis {
+
+/// ψ = (Σ L_i)² / (n · Σ L_i²)  — Eq. 15 (with the extra 1/n normalisation
+/// that makes ψ ∈ (0, 1], matching Table 1's 0.877–0.972 values; ψ = 1 ⇔
+/// all L_i equal ⇔ IS degenerates to uniform sampling). The paper's IS gain
+/// grows as ψ falls.
+double psi(std::span<const double> lipschitz);
+
+/// Summary statistics of the Lipschitz vector used by the bounds.
+struct LipschitzSummary {
+  double sup = 0;    ///< sup L
+  double inf = 0;    ///< inf L
+  double mean = 0;   ///< L̄
+  double sum = 0;    ///< Σ L
+  double sum_sq = 0; ///< Σ L²
+};
+LipschitzSummary summarize_lipschitz(std::span<const double> lipschitz);
+
+/// Convergence-bound inputs shared by the Eq. 26/28/29 iteration counts.
+struct BoundInputs {
+  double mu = 1.0;       ///< strong convexity parameter
+  double sigma_sq = 1.0; ///< σ² = E‖∇f_i(w*)‖² (residual at optimum)
+  double epsilon = 1e-3; ///< target accuracy ε
+  double epsilon0 = 1.0; ///< ε₀ = initial squared distance bound
+};
+
+/// Eq. 28: k for plain (uniform) SGD, sup-L dependence:
+///   k = 2·log(ε₀/ε)·(supL/μ + σ²/(μ²ε)).
+double sgd_iteration_bound(const LipschitzSummary& lip, const BoundInputs& in);
+
+/// Eq. 29 (= Eq. 26's content): k for IS-SGD / IS-ASGD, average-L dependence:
+///   k = 2·log(ε₀/ε)·(L̄/μ + (L̄/infL)·σ²/(μ²ε)).
+double is_sgd_iteration_bound(const LipschitzSummary& lip, const BoundInputs& in);
+
+/// The 1/T convergence-rate constants of Eqs. 13 (IS) and 14 (uniform):
+///   uniform: sqrt(‖w*−w₀‖² · ΣL² / (σ·n)),  IS: sqrt(‖w*−w₀‖² · (ΣL/n) / σ)
+/// Their ratio equals sqrt(ψ) ≤ 1 — the IS improvement factor.
+struct RateConstants {
+  double uniform = 0;
+  double importance = 0;
+  double ratio = 0;  ///< importance / uniform = sqrt(ψ)
+};
+RateConstants rate_constants(std::span<const double> lipschitz,
+                             double initial_distance_sq, double sigma);
+
+/// Eq. 27: the τ (delay / concurrency proxy) bound under which the noise
+/// term stays an order-wise constant:
+///   τ = O(min{ n/Δ̄, (εμ·supL + σ²)/(εμ²) }).
+double tau_bound(std::size_t n, double avg_conflict_degree,
+                 const LipschitzSummary& lip, const BoundInputs& in);
+
+/// Eq. 30: the IS gradient-bound inflation M_s ≤ (L̄/infL)·M.
+double is_gradient_inflation(const LipschitzSummary& lip);
+
+/// The paper's λ choice for Lemma 2: λ = εμ/(2εμ·supL + 2σ²).
+double lemma2_step_size(const LipschitzSummary& lip, const BoundInputs& in);
+
+}  // namespace isasgd::analysis

@@ -1,0 +1,84 @@
+#include "analysis/conflict_graph.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace isasgd::analysis {
+
+namespace {
+
+/// Exact degree of row i: |{j ≠ i : rows share a feature}|. Uses an epoch
+/// array so repeated calls reuse the same O(n) scratch without re-zeroing.
+class DegreeCounter {
+ public:
+  explicit DegreeCounter(std::size_t n) : seen_(n, 0) {}
+
+  std::size_t degree(const sparse::CsrMatrix& data,
+                     const sparse::InvertedIndex& index, std::size_t i) {
+    ++epoch_;
+    std::size_t count = 0;
+    for (sparse::index_t j : data.row(i).indices()) {
+      for (std::uint32_t r : index.rows_with_feature(j)) {
+        if (r != i && seen_[r] != epoch_) {
+          seen_[r] = epoch_;
+          ++count;
+        }
+      }
+    }
+    return count;
+  }
+
+ private:
+  std::vector<std::uint64_t> seen_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace
+
+ConflictStats conflict_stats_exact(const sparse::CsrMatrix& data,
+                                   const sparse::InvertedIndex& index) {
+  const std::size_t n = data.rows();
+  ConflictStats stats;
+  if (n == 0) return stats;
+  DegreeCounter counter(n);
+  double total = 0;
+  double max_deg = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto deg = static_cast<double>(counter.degree(data, index, i));
+    total += deg;
+    max_deg = std::max(max_deg, deg);
+  }
+  stats.average_degree = total / static_cast<double>(n);
+  stats.max_degree = max_deg;
+  stats.normalized = stats.average_degree / static_cast<double>(n);
+  stats.rows_examined = n;
+  return stats;
+}
+
+ConflictStats conflict_stats_sampled(const sparse::CsrMatrix& data,
+                                     const sparse::InvertedIndex& index,
+                                     std::size_t samples, std::uint64_t seed) {
+  const std::size_t n = data.rows();
+  ConflictStats stats;
+  if (n == 0 || samples == 0) return stats;
+  samples = std::min(samples, n);
+  DegreeCounter counter(n);
+  util::Rng rng(seed);
+  double total = 0;
+  double max_deg = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::size_t i = util::uniform_index(rng, n);
+    const auto deg = static_cast<double>(counter.degree(data, index, i));
+    total += deg;
+    max_deg = std::max(max_deg, deg);
+  }
+  stats.average_degree = total / static_cast<double>(samples);
+  stats.max_degree = max_deg;
+  stats.normalized = stats.average_degree / static_cast<double>(n);
+  stats.rows_examined = samples;
+  return stats;
+}
+
+}  // namespace isasgd::analysis

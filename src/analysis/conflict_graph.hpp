@@ -1,0 +1,41 @@
+// Conflict-graph statistics (paper §3.1).
+//
+// Vertices are samples; an edge (i, j) exists iff c_i ∩ c_j ≠ ∅ (the rows
+// share at least one feature). Two parameters govern the asynchrony noise
+// term δ in Eq. 25:
+//   τ  — delay, a proxy for thread count (user-controlled),
+//   Δ̄ — average degree of the conflict graph (dataset-intrinsic).
+//
+// Exact Δ̄ is O(Σ_j freq_j²) via the inverted index; for heavy-tailed
+// feature popularity that explodes, so a sampled estimator visits `samples`
+// random rows and unions their features' row lists with early exit.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr_matrix.hpp"
+#include "sparse/inverted_index.hpp"
+
+namespace isasgd::analysis {
+
+struct ConflictStats {
+  double average_degree = 0;  ///< Δ̄
+  double max_degree = 0;      ///< worst vertex (diagnostic)
+  double normalized = 0;      ///< Δ̄ / n — the τ-bound's n/Δ̄ reciprocal
+  std::size_t rows_examined = 0;
+};
+
+/// Exact average degree. O(n + Σ over examined rows of Σ freq). Intended for
+/// datasets up to ~10^4 rows (tests, News20-scale analogs).
+ConflictStats conflict_stats_exact(const sparse::CsrMatrix& data,
+                                   const sparse::InvertedIndex& index);
+
+/// Monte-Carlo estimator: examines `samples` uniformly random rows. The
+/// per-row degree is exact (set union over the row's features); only the
+/// average over rows is sampled, so the estimator is unbiased with variance
+/// shrinking as 1/samples.
+ConflictStats conflict_stats_sampled(const sparse::CsrMatrix& data,
+                                     const sparse::InvertedIndex& index,
+                                     std::size_t samples, std::uint64_t seed);
+
+}  // namespace isasgd::analysis

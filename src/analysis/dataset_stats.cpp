@@ -1,0 +1,43 @@
+#include "analysis/dataset_stats.hpp"
+
+#include "analysis/bounds.hpp"
+#include "analysis/conflict_graph.hpp"
+#include "partition/importance.hpp"
+#include "sparse/inverted_index.hpp"
+
+namespace isasgd::analysis {
+
+DatasetStats compute_dataset_stats(const std::string& name,
+                                   const sparse::CsrMatrix& data,
+                                   const objectives::Objective& objective,
+                                   const objectives::Regularization& reg,
+                                   const DatasetStatsOptions& options) {
+  DatasetStats stats;
+  stats.name = name;
+  stats.dimension = data.dim();
+  stats.instances = data.rows();
+  stats.gradient_sparsity = data.density();
+
+  const std::vector<double> lipschitz =
+      objectives::per_sample_lipschitz(data, objective, reg);
+  stats.psi = psi(lipschitz);
+  stats.rho = partition::importance_variance(lipschitz);
+  if (!lipschitz.empty()) {
+    const LipschitzSummary lip = summarize_lipschitz(lipschitz);
+    stats.lipschitz_sup = lip.sup;
+    stats.lipschitz_mean = lip.mean;
+  }
+
+  if (options.compute_conflicts && data.rows() > 0) {
+    const sparse::InvertedIndex index(data);
+    const ConflictStats conflict =
+        data.rows() <= options.conflict_samples
+            ? conflict_stats_exact(data, index)
+            : conflict_stats_sampled(data, index, options.conflict_samples,
+                                     options.seed);
+    stats.avg_conflict_degree = conflict.average_degree;
+  }
+  return stats;
+}
+
+}  // namespace isasgd::analysis

@@ -1,0 +1,44 @@
+// One-stop dataset characterisation — computes every column of the paper's
+// Table 1 (dimension, instances, ∇f_i sparsity, ψ, ρ) plus the conflict
+// statistics the theory needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "objectives/objective.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::analysis {
+
+/// Table-1 row plus conflict-graph extras.
+struct DatasetStats {
+  std::string name;
+  std::size_t dimension = 0;
+  std::size_t instances = 0;
+  double gradient_sparsity = 0;  ///< nnz / (n·d): the "∇fi-Spa." column
+  double psi = 0;                ///< Eq. 15
+  double rho = 0;                ///< Eq. 20
+  double avg_conflict_degree = 0;  ///< Δ̄ (sampled when the dataset is big)
+  double lipschitz_sup = 0;
+  double lipschitz_mean = 0;
+};
+
+struct DatasetStatsOptions {
+  /// Conflict-degree estimator budget; rows beyond this use sampling.
+  std::size_t conflict_samples = 512;
+  std::uint64_t seed = 42;
+  /// Skip the Δ̄ computation entirely (it needs the inverted index, which
+  /// costs O(nnz) memory).
+  bool compute_conflicts = true;
+};
+
+/// Computes the full row for `data` under `objective` + `reg` (which define
+/// the L_i's that ψ and ρ are functions of).
+DatasetStats compute_dataset_stats(const std::string& name,
+                                   const sparse::CsrMatrix& data,
+                                   const objectives::Objective& objective,
+                                   const objectives::Regularization& reg,
+                                   const DatasetStatsOptions& options = {});
+
+}  // namespace isasgd::analysis

@@ -1,0 +1,71 @@
+#include "core/experiment.hpp"
+
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+
+namespace isasgd::core {
+
+bool is_serial(solvers::Algorithm algorithm) {
+  return algorithm == solvers::Algorithm::kSgd ||
+         algorithm == solvers::Algorithm::kIsSgd ||
+         algorithm == solvers::Algorithm::kSvrgSgd ||
+         algorithm == solvers::Algorithm::kSaga;
+}
+
+const ExperimentRun* ExperimentResult::find(solvers::Algorithm algorithm,
+                                            std::size_t threads) const {
+  for (const ExperimentRun& run : runs) {
+    if (run.algorithm != algorithm) continue;
+    if (is_serial(algorithm) || run.threads == threads) return &run;
+  }
+  return nullptr;
+}
+
+ExperimentResult run_experiment(const Trainer& trainer,
+                                const ExperimentSpec& spec) {
+  ExperimentResult result;
+  result.dataset_name = spec.dataset_name;
+  for (solvers::Algorithm algorithm : spec.algorithms) {
+    const bool serial = is_serial(algorithm);
+    std::vector<std::size_t> counts =
+        serial ? std::vector<std::size_t>{1} : spec.thread_counts;
+    for (std::size_t threads : counts) {
+      solvers::SolverOptions options = spec.base_options;
+      options.threads = threads;
+      if (spec.verbose) {
+        util::log_info() << spec.dataset_name << ": running "
+                         << solvers::algorithm_name(algorithm) << " threads="
+                         << threads << " epochs=" << options.epochs;
+      }
+      ExperimentRun run;
+      run.algorithm = algorithm;
+      run.threads = threads;
+      run.trace = trainer.train(algorithm, options);
+      if (spec.verbose) {
+        util::log_info() << "  done in " << run.trace.train_seconds
+                         << "s train (+" << run.trace.setup_seconds
+                         << "s setup), best rmse=" << run.trace.best_rmse()
+                         << " best err=" << run.trace.best_error_rate();
+      }
+      result.runs.push_back(std::move(run));
+    }
+  }
+  return result;
+}
+
+void write_traces_csv(const std::string& path,
+                      const ExperimentResult& result) {
+  util::CsvWriter csv(path);
+  csv.header({"dataset", "algorithm", "threads", "epoch", "seconds", "rmse",
+              "error_rate", "objective", "setup_seconds"});
+  for (const ExperimentRun& run : result.runs) {
+    for (const solvers::TracePoint& p : run.trace.points) {
+      csv.row_values(result.dataset_name,
+                     solvers::algorithm_name(run.algorithm), run.threads,
+                     p.epoch, p.seconds, p.rmse, p.error_rate, p.objective,
+                     run.trace.setup_seconds);
+    }
+  }
+}
+
+}  // namespace isasgd::core

@@ -1,0 +1,54 @@
+// Experiment runner: the algorithm × thread-count sweeps behind Figures 3–5,
+// plus trace CSV export so every bench can dump its raw series.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "solvers/options.hpp"
+#include "solvers/trace.hpp"
+
+namespace isasgd::core {
+
+/// One sweep: run each algorithm at each thread count (serial algorithms run
+/// once, at threads = 1).
+struct ExperimentSpec {
+  std::string dataset_name;
+  std::vector<solvers::Algorithm> algorithms;
+  std::vector<std::size_t> thread_counts;
+  solvers::SolverOptions base_options;
+  /// Print one-line progress per run to stderr.
+  bool verbose = true;
+};
+
+/// A completed run within a sweep.
+struct ExperimentRun {
+  solvers::Algorithm algorithm;
+  std::size_t threads = 1;
+  solvers::Trace trace;
+};
+
+struct ExperimentResult {
+  std::string dataset_name;
+  std::vector<ExperimentRun> runs;
+
+  /// Finds the run for (algorithm, threads); serial algorithms match any
+  /// requested thread count. Returns nullptr when absent.
+  [[nodiscard]] const ExperimentRun* find(solvers::Algorithm algorithm,
+                                          std::size_t threads) const;
+};
+
+/// Executes the sweep against a prepared Trainer.
+ExperimentResult run_experiment(const Trainer& trainer,
+                                const ExperimentSpec& spec);
+
+/// Writes every trace point of the sweep as long-form CSV:
+/// dataset,algorithm,threads,epoch,seconds,rmse,error_rate,objective,setup_s.
+void write_traces_csv(const std::string& path, const ExperimentResult& result);
+
+/// True if `algorithm` ignores the thread count (serial solver).
+[[nodiscard]] bool is_serial(solvers::Algorithm algorithm);
+
+}  // namespace isasgd::core

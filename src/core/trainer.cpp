@@ -1,0 +1,61 @@
+#include "core/trainer.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "solvers/asgd.hpp"
+#include "solvers/is_sgd.hpp"
+#include "solvers/sag.hpp"
+#include "solvers/saga.hpp"
+#include "solvers/sgd.hpp"
+#include "solvers/svrg_asgd.hpp"
+#include "solvers/svrg_lazy.hpp"
+#include "solvers/svrg_sgd.hpp"
+
+namespace isasgd::core {
+
+Trainer::Trainer(const sparse::CsrMatrix& data,
+                 const objectives::Objective& objective,
+                 objectives::Regularization reg, std::size_t eval_threads)
+    : data_(data),
+      objective_(objective),
+      reg_(reg),
+      evaluator_(data, objective, reg,
+                 eval_threads ? eval_threads
+                              : std::max(1u, std::thread::hardware_concurrency() / 2)) {}
+
+solvers::Trace Trainer::train(solvers::Algorithm algorithm,
+                              solvers::SolverOptions options) const {
+  options.reg = reg_;
+  const solvers::EvalFn eval = evaluator_.as_fn();
+  switch (algorithm) {
+    case solvers::Algorithm::kSgd:
+      return solvers::run_sgd(data_, objective_, options, eval);
+    case solvers::Algorithm::kIsSgd:
+      return solvers::run_is_sgd(data_, objective_, options, eval);
+    case solvers::Algorithm::kAsgd:
+      return solvers::run_asgd(data_, objective_, options, eval);
+    case solvers::Algorithm::kIsAsgd:
+      return solvers::run_is_asgd(data_, objective_, options, eval);
+    case solvers::Algorithm::kSvrgSgd:
+      return solvers::run_svrg_sgd(data_, objective_, options, eval);
+    case solvers::Algorithm::kSvrgAsgd:
+      return solvers::run_svrg_asgd(data_, objective_, options, eval);
+    case solvers::Algorithm::kSaga:
+      return solvers::run_saga(data_, objective_, options, eval);
+    case solvers::Algorithm::kSvrgLazy:
+      return solvers::run_svrg_sgd_lazy(data_, objective_, options, eval);
+    case solvers::Algorithm::kSag:
+      return solvers::run_sag(data_, objective_, options, eval);
+  }
+  throw std::invalid_argument("Trainer::train: unknown algorithm");
+}
+
+solvers::Trace Trainer::train_is_asgd(solvers::SolverOptions options,
+                                      solvers::IsAsgdReport* report) const {
+  options.reg = reg_;
+  return solvers::run_is_asgd(data_, objective_, options, evaluator_.as_fn(),
+                              report);
+}
+
+}  // namespace isasgd::core

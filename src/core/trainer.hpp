@@ -1,0 +1,65 @@
+// The library's primary public API: isasgd::Trainer.
+//
+//   using namespace isasgd;
+//   auto data = data::generate_paper_dataset(data::PaperDataset::kNews20);
+//   objectives::LogisticLoss loss;
+//   core::Trainer trainer(data, loss,
+//                         objectives::Regularization::l1(1e-5));
+//   solvers::SolverOptions opt;
+//   opt.threads = 8;
+//   solvers::Trace trace = trainer.train(solvers::Algorithm::kIsAsgd, opt);
+//
+// The Trainer wires a dataset + objective + regularizer to the solver suite
+// and the standard evaluator; it owns nothing heavier than references, so it
+// is cheap to construct per experiment.
+#pragma once
+
+#include "metrics/evaluator.hpp"
+#include "objectives/objective.hpp"
+#include "solvers/is_asgd.hpp"
+#include "solvers/options.hpp"
+#include "solvers/trace.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::core {
+
+/// Facade binding a dataset and objective to the registered solvers.
+class Trainer {
+ public:
+  /// `data` and `objective` must outlive the Trainer. `eval_threads`
+  /// parallelises snapshot scoring (outside the timed training windows).
+  Trainer(const sparse::CsrMatrix& data,
+          const objectives::Objective& objective,
+          objectives::Regularization reg, std::size_t eval_threads = 0);
+
+  /// Runs `algorithm` under `options` (the options' reg field is overridden
+  /// by the Trainer's regularizer so all runs score consistently).
+  [[nodiscard]] solvers::Trace train(solvers::Algorithm algorithm,
+                                     solvers::SolverOptions options) const;
+
+  /// IS-ASGD with partition diagnostics (for the balancing ablation).
+  [[nodiscard]] solvers::Trace train_is_asgd(
+      solvers::SolverOptions options, solvers::IsAsgdReport* report) const;
+
+  /// Scores an arbitrary model snapshot.
+  [[nodiscard]] solvers::EvalResult evaluate(std::span<const double> w) const {
+    return evaluator_.evaluate(w);
+  }
+
+  [[nodiscard]] const sparse::CsrMatrix& data() const noexcept { return data_; }
+  [[nodiscard]] const objectives::Objective& objective() const noexcept {
+    return objective_;
+  }
+  [[nodiscard]] const objectives::Regularization& regularization()
+      const noexcept {
+    return reg_;
+  }
+
+ private:
+  const sparse::CsrMatrix& data_;
+  const objectives::Objective& objective_;
+  objectives::Regularization reg_;
+  metrics::Evaluator evaluator_;
+};
+
+}  // namespace isasgd::core

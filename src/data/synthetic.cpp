@@ -1,0 +1,191 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/csr_builder.hpp"
+#include "util/rng.hpp"
+
+namespace isasgd::data {
+
+namespace {
+
+/// Poisson via inversion for small means, normal approximation above 30.
+template <class Gen>
+std::size_t poisson(Gen& rng, double mean) {
+  if (mean <= 0) return 0;
+  if (mean > 30) {
+    const double v = mean + std::sqrt(mean) * util::normal_double(rng);
+    return v > 0 ? static_cast<std::size_t>(std::lround(v)) : 0;
+  }
+  const double limit = std::exp(-mean);
+  double prod = util::uniform_double(rng);
+  std::size_t k = 0;
+  while (prod > limit) {
+    prod *= util::uniform_double(rng);
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+double sigma_for_psi(double target_psi) {
+  if (!(target_psi > 0.0) || target_psi > 1.0) {
+    throw std::invalid_argument("sigma_for_psi: psi must be in (0, 1]");
+  }
+  return std::sqrt(-std::log(target_psi)) / 2.0;
+}
+
+double rho_for(const SyntheticSpec& spec) {
+  return spec.mean_lipschitz * spec.mean_lipschitz *
+         (1.0 / spec.target_psi - 1.0);
+}
+
+double mean_lipschitz_for_rho(double target_rho, double target_psi) {
+  if (target_psi >= 1.0) {
+    throw std::invalid_argument(
+        "mean_lipschitz_for_rho: rho is 0 for psi = 1; pick psi < 1");
+  }
+  return std::sqrt(target_rho * target_psi / (1.0 - target_psi));
+}
+
+double teacher_weight(std::uint64_t seed, std::uint64_t j) {
+  // Two independent hashed uniforms → one Box–Muller normal. Stateless.
+  util::SplitMix64 h(seed ^ (j * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+  (void)h();
+  util::SplitMix64 g(h());
+  return util::normal_double(g);
+}
+
+sparse::CsrMatrix generate(const SyntheticSpec& spec) {
+  if (spec.rows == 0 || spec.dim == 0) {
+    throw std::invalid_argument("generate: rows and dim must be positive");
+  }
+  if (spec.mean_row_nnz <= 0 || spec.mean_row_nnz > static_cast<double>(spec.dim)) {
+    throw std::invalid_argument("generate: mean_row_nnz must be in (0, dim]");
+  }
+  if (spec.feature_skew < 1.0) {
+    throw std::invalid_argument("generate: feature_skew must be >= 1");
+  }
+  if (spec.mean_lipschitz <= 0 || spec.smoothness_beta <= 0) {
+    throw std::invalid_argument("generate: lipschitz/beta must be positive");
+  }
+  if (spec.label_noise < 0 || spec.label_noise >= 0.5) {
+    throw std::invalid_argument("generate: label_noise must be in [0, 0.5)");
+  }
+  if (spec.duplicate_fraction < 0 || spec.duplicate_fraction >= 1.0) {
+    throw std::invalid_argument("generate: duplicate_fraction must be in [0, 1)");
+  }
+  const double sigma = sigma_for_psi(spec.target_psi);
+
+  util::Rng rng(spec.seed);
+  sparse::CsrBuilder builder(spec.dim);
+  builder.reserve(spec.rows, static_cast<std::size_t>(spec.mean_row_nnz) + 1);
+
+  // Mean of e^{2Z} is e^{2σ²}; divide it out so E[L] hits mean_lipschitz.
+  const double norm_sq_base =
+      spec.mean_lipschitz / spec.smoothness_beta * std::exp(-2.0 * sigma * sigma);
+
+  std::vector<sparse::index_t> idx;
+  std::vector<sparse::value_t> val;
+  // Reservoir of prototype rows for the duplicate mechanism. A duplicate
+  // copies a prototype's features verbatim and redraws only the label, so
+  // conflicting labels on identical inputs create an irreducible error.
+  struct Prototype {
+    std::vector<sparse::index_t> idx;
+    std::vector<sparse::value_t> val;
+    double margin = 0;       // normalised teacher margin
+    double noise_scale = 0;  // its difficulty-coupled noise std
+  };
+  std::vector<Prototype> pool;
+  constexpr std::size_t kPoolCapacity = 512;
+  auto draw_label = [&](double margin, double noise_scale) {
+    const double noisy = margin + noise_scale * util::normal_double(rng);
+    double label = noisy >= 0 ? 1.0 : -1.0;
+    if (util::uniform_double(rng) < spec.label_noise) label = -label;
+    return label;
+  };
+  for (std::size_t i = 0; i < spec.rows; ++i) {
+    if (spec.duplicate_fraction > 0 && !pool.empty() &&
+        util::uniform_double(rng) < spec.duplicate_fraction) {
+      const Prototype& p =
+          pool[util::uniform_index(rng, pool.size())];
+      builder.add_row(p.idx, p.val, draw_label(p.margin, p.noise_scale));
+      continue;
+    }
+    // Row support size.
+    std::size_t nnz;
+    if (spec.nnz_dispersion <= 0) {
+      nnz = static_cast<std::size_t>(std::lround(spec.mean_row_nnz));
+    } else {
+      nnz = poisson(rng, spec.mean_row_nnz);
+    }
+    nnz = std::clamp<std::size_t>(nnz, 1, spec.dim);
+
+    // Draw distinct features under the popularity power law. Collisions are
+    // redrawn; with nnz ≪ d the loop terminates in ~nnz iterations.
+    idx.clear();
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 64 * nnz + 256;
+    while (idx.size() < nnz && attempts++ < max_attempts) {
+      const double u = util::uniform_double(rng);
+      const auto j = static_cast<sparse::index_t>(
+          std::min<double>(static_cast<double>(spec.dim) - 1.0,
+                           std::pow(u, spec.feature_skew) *
+                               static_cast<double>(spec.dim)));
+      if (std::find(idx.begin(), idx.end(), j) == idx.end()) {
+        idx.push_back(j);
+      }
+    }
+    std::sort(idx.begin(), idx.end());
+
+    // Values: standard normals scaled so ‖x_i‖² = norm_sq_base · e^{2Z}.
+    val.resize(idx.size());
+    double sq = 0;
+    for (auto& v : val) {
+      v = util::normal_double(rng);
+      sq += v * v;
+    }
+    if (sq <= 0) {
+      val.assign(val.size(), 1.0);
+      sq = static_cast<double>(val.size());
+    }
+    const double z = sigma * util::normal_double(rng);
+    const double target_norm = std::sqrt(norm_sq_base) * std::exp(z);
+    const double rescale = target_norm / std::sqrt(sq);
+    for (auto& v : val) v *= rescale;
+
+    // Teacher label. Margin is normalised by the row norm so the decision
+    // boundary's sharpness does not depend on the importance scale; the
+    // difficulty coupling then re-introduces importance-correlated noise in
+    // a controlled way (heavier rows get noisier margins).
+    double margin = 0;
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      margin += teacher_weight(spec.seed, idx[k]) * val[k];
+    }
+    margin /= target_norm;
+    double noise_scale = spec.margin_noise;
+    if (spec.difficulty_coupling != 0.0) {
+      // L_i/L̄ = ‖x_i‖²/E‖x‖² = e^{2z}/e^{2σ²}; exponentiate by coupling/2.
+      const double rel = std::exp(2.0 * z) * std::exp(-2.0 * sigma * sigma);
+      noise_scale *= std::pow(rel, 0.5 * spec.difficulty_coupling);
+    }
+    const double label = draw_label(margin, noise_scale);
+
+    if (spec.duplicate_fraction > 0) {
+      if (pool.size() < kPoolCapacity) {
+        pool.push_back(Prototype{idx, val, margin, noise_scale});
+      } else {
+        pool[util::uniform_index(rng, pool.size())] =
+            Prototype{idx, val, margin, noise_scale};
+      }
+    }
+    builder.add_row(idx, val, label);
+  }
+  return builder.build();
+}
+
+}  // namespace isasgd::data

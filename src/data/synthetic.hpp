@@ -1,0 +1,89 @@
+// Synthetic sparse classification dataset generator.
+//
+// This is the library's substitution for the paper's LibSVM datasets (see
+// DESIGN.md §4): a planted-model generator whose knobs map one-to-one onto
+// the quantities the paper's analysis depends on:
+//
+//   rows/dim/mean_row_nnz → n, d and the ∇f_i sparsity of Table 1,
+//   feature_skew          → feature-popularity power law, which controls the
+//                           conflict-graph degree Δ̄ (paper §3.1),
+//   target_psi            → ψ (Eq. 15) via the lognormal spread of row norms
+//                           (closed form: σ = √(−ln ψ)/2),
+//   mean_lipschitz        → together with ψ fixes ρ (Eq. 20):
+//                           ρ = mean² · (1/ψ − 1).
+//
+// Labels come from a planted hashed hyperplane plus noise, so error-rate
+// curves decay like real classification tasks. The teacher needs no storage:
+// w*_j is derived from a hash of j, which keeps generation O(nnz) even at
+// d in the millions.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::data {
+
+/// Generator parameters. Defaults produce a small well-conditioned problem
+/// suitable for unit tests.
+struct SyntheticSpec {
+  std::size_t rows = 1000;
+  std::size_t dim = 500;
+  /// Mean nonzeros per row (Poisson-dispersed unless dispersion = 0).
+  double mean_row_nnz = 10;
+  /// 0 → every row has exactly mean_row_nnz features; 1 → Poisson spread.
+  double nnz_dispersion = 1.0;
+  /// Feature-popularity skew γ ≥ 1: feature = ⌊d·u^γ⌋ for u ~ U[0,1).
+  /// γ = 1 is uniform; larger γ concentrates mass on low feature ids,
+  /// raising Δ̄ (more conflicts) like real bag-of-words data.
+  double feature_skew = 1.0;
+  /// Target ψ ∈ (0, 1]; 1 means all rows get equal norm (IS ≡ uniform).
+  double target_psi = 0.95;
+  /// Mean per-sample Lipschitz constant E[L_i] = β·E[‖x_i‖²]. Together with
+  /// target_psi this pins ρ (see rho_for()).
+  double mean_lipschitz = 0.25;
+  /// Smoothness β of the objective the dataset will be trained with
+  /// (logistic = 0.25). Only used to convert mean_lipschitz into row norms.
+  double smoothness_beta = 0.25;
+  /// Probability a label is flipped after the teacher's decision.
+  double label_noise = 0.05;
+  /// Scale of the additive pre-sign margin noise (relative to margin std).
+  double margin_noise = 0.1;
+  /// Couples sample difficulty to importance: the margin-noise std of row i
+  /// is multiplied by (L_i/L̄)^(coupling/2). 0 (default) makes difficulty
+  /// independent of importance; positive values reproduce the property of
+  /// real text/KDD data that high-norm rows are intrinsically noisier —
+  /// which is precisely the regime where importance sampling pays off at a
+  /// fixed step size (IS gains require corr(residual², L) > 0; see
+  /// DESIGN.md §4 and the Lemma-1 variance identity).
+  double difficulty_coupling = 0.0;
+  /// Fraction of rows that exactly duplicate an earlier row's features while
+  /// drawing an independent label (fresh margin noise + flip). Conflicting
+  /// duplicates give the dataset a positive Bayes error floor, like the
+  /// repeated student-item interactions in KDD or repeat URLs — without it,
+  /// d ≫ n lets every solver memorize to train-error 0 and the paper's
+  /// "time to the optimum error" metric degenerates into a race over the
+  /// last handful of samples.
+  double duplicate_fraction = 0.0;
+  std::uint64_t seed = 1234;
+};
+
+/// Generates the dataset. Throws std::invalid_argument on nonsensical specs
+/// (zero rows/dim, ψ outside (0,1], negative knobs).
+sparse::CsrMatrix generate(const SyntheticSpec& spec);
+
+/// The lognormal σ that yields ψ = target for row scale s = e^Z, Z ~ N(0,σ²)
+/// (L ∝ s² ⇒ ψ = E[L]²/E[L²] = e^{−4σ²}).
+double sigma_for_psi(double target_psi);
+
+/// The ρ (Eq. 20) implied by a spec: ρ = mean_lipschitz²·(1/ψ − 1).
+double rho_for(const SyntheticSpec& spec);
+
+/// Inverse of rho_for: mean_lipschitz achieving a target ρ at given ψ.
+double mean_lipschitz_for_rho(double target_rho, double target_psi);
+
+/// Deterministic pseudo-random teacher weight for feature j under `seed`
+/// (standard-normal marginal). Exposed so tests can recompute margins.
+double teacher_weight(std::uint64_t seed, std::uint64_t j);
+
+}  // namespace isasgd::data

@@ -1,0 +1,103 @@
+#include "data/transforms.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/csr_builder.hpp"
+#include "util/rng.hpp"
+
+namespace isasgd::data {
+
+using sparse::index_t;
+using sparse::value_t;
+
+sparse::CsrMatrix l2_normalize_rows(const sparse::CsrMatrix& m) {
+  sparse::CsrBuilder builder(m.dim());
+  builder.reserve(m.rows(), static_cast<std::size_t>(m.mean_row_nnz()) + 1);
+  std::vector<value_t> scaled;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto x = m.row(i);
+    const double norm = x.norm();
+    scaled.assign(x.values().begin(), x.values().end());
+    if (norm > 0) {
+      for (auto& v : scaled) v = static_cast<value_t>(v / norm);
+    }
+    builder.add_row(x.indices(), scaled, m.label(i));
+  }
+  return builder.build();
+}
+
+sparse::CsrMatrix scale_values(const sparse::CsrMatrix& m, double c) {
+  if (c == 0.0 || !std::isfinite(c)) {
+    throw std::invalid_argument("scale_values: c must be finite and nonzero");
+  }
+  sparse::CsrBuilder builder(m.dim());
+  builder.reserve(m.rows(), static_cast<std::size_t>(m.mean_row_nnz()) + 1);
+  std::vector<value_t> scaled;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto x = m.row(i);
+    scaled.assign(x.values().begin(), x.values().end());
+    for (auto& v : scaled) v = static_cast<value_t>(v * c);
+    builder.add_row(x.indices(), scaled, m.label(i));
+  }
+  return builder.build();
+}
+
+sparse::CsrMatrix hash_features(const sparse::CsrMatrix& m,
+                                std::size_t buckets, std::uint64_t seed) {
+  if (buckets == 0) {
+    throw std::invalid_argument("hash_features: zero buckets");
+  }
+  // SplitMix64 as the hash: one mixed word per feature gives both the
+  // bucket (high bits via Lemire reduction) and the sign (low bit).
+  auto mixed = [seed](index_t j) {
+    util::SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (j + 1)));
+    return sm();
+  };
+  sparse::CsrBuilder builder(buckets);
+  builder.reserve(m.rows(), static_cast<std::size_t>(m.mean_row_nnz()) + 1);
+  std::vector<index_t> idx;
+  std::vector<value_t> val;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto x = m.row(i);
+    const auto xi = x.indices();
+    const auto xv = x.values();
+    idx.clear();
+    val.clear();
+    for (std::size_t k = 0; k < xi.size(); ++k) {
+      const std::uint64_t h = mixed(xi[k]);
+      // Lemire reduction on the full word for the bucket; the lowest bit
+      // (uncorrelated with the high bits after mixing) for the sign.
+      const auto bucket = static_cast<index_t>(
+          (static_cast<__uint128_t>(h) * buckets) >> 64);
+      const double sign = (h & 1u) ? 1.0 : -1.0;
+      idx.push_back(bucket);
+      val.push_back(static_cast<value_t>(sign * xv[k]));
+    }
+    builder.add_row_unsorted(idx, val, m.label(i));
+  }
+  return builder.build();
+}
+
+sparse::CsrMatrix subsample_rows(const sparse::CsrMatrix& m, double fraction,
+                                 std::uint64_t seed) {
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    throw std::invalid_argument("subsample_rows: need 0 < fraction <= 1");
+  }
+  util::Rng rng(seed);
+  sparse::CsrBuilder builder(m.dim());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    if (util::uniform_double(rng) < fraction) {
+      const auto x = m.row(i);
+      builder.add_row(x.indices(), x.values(), m.label(i));
+    }
+  }
+  if (builder.rows() == 0 && m.rows() > 0) {
+    const auto x = m.row(0);
+    builder.add_row(x.indices(), x.values(), m.label(0));
+  }
+  return builder.build();
+}
+
+}  // namespace isasgd::data

@@ -1,0 +1,49 @@
+// Dataset transforms: the preprocessing axis the paper leaves implicit.
+//
+// The importance distribution p_i ∝ L_i = β‖x_i‖² + reg is a function of
+// the *row norms*, so standard preprocessing decides whether IS can help at
+// all:
+//   * L2-normalising rows sets every L_i equal — ψ (Eq. 15) becomes exactly
+//     1, ρ (Eq. 20) becomes exactly 0, and IS degenerates to uniform
+//     sampling. A dataset pipeline that normalises (most text pipelines do)
+//     silently deletes the paper's entire mechanism.
+//   * Uniformly scaling feature values by c multiplies every L_i by c²,
+//     leaves ψ invariant, and multiplies ρ by c⁴ — which is why
+//     EXPERIMENTS.md treats Table 1's ρ as non-binding (the paper does not
+//     state its normalisation) and calibrates to ψ.
+//   * Feature hashing (Weinberger et al.) maps d down to a budget with a
+//     signed hash; norms are approximately preserved (collisions perturb
+//     them), so ψ survives hashing approximately — the cheap way to run the
+//     URL/KDD-scale analogs at laptop d without changing the IS story.
+// All transforms return new matrices (CsrMatrix is immutable).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::data {
+
+/// Scales every row to unit L2 norm (rows with zero norm are kept as-is).
+[[nodiscard]] sparse::CsrMatrix l2_normalize_rows(const sparse::CsrMatrix& m);
+
+/// Multiplies every feature value by `c` (labels untouched). `c` must be
+/// finite and nonzero.
+[[nodiscard]] sparse::CsrMatrix scale_values(const sparse::CsrMatrix& m,
+                                             double c);
+
+/// Signed feature hashing into `buckets` columns: feature j lands in bucket
+/// h(j) with sign s(j) ∈ {±1}; colliding features add. Throws
+/// std::invalid_argument if buckets == 0.
+[[nodiscard]] sparse::CsrMatrix hash_features(const sparse::CsrMatrix& m,
+                                              std::size_t buckets,
+                                              std::uint64_t seed = 0x9e37);
+
+/// Keeps each row independently with probability `fraction` (deterministic
+/// in `seed`); returns the subsampled dataset. Throws std::invalid_argument
+/// unless 0 < fraction <= 1. At least one row is always kept.
+[[nodiscard]] sparse::CsrMatrix subsample_rows(const sparse::CsrMatrix& m,
+                                               double fraction,
+                                               std::uint64_t seed = 0x5eed);
+
+}  // namespace isasgd::data

@@ -1,0 +1,140 @@
+#include "distributed/allreduce.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "partition/partition.hpp"
+#include "sampling/alias_table.hpp"
+#include "solvers/importance_weights.hpp"
+#include "solvers/schedule.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace isasgd::distributed {
+
+solvers::Trace run_allreduce_sgd(const sparse::CsrMatrix& data,
+                                 const objectives::Objective& objective,
+                                 const solvers::SolverOptions& options,
+                                 const ClusterSpec& spec, bool use_importance,
+                                 const solvers::EvalFn& eval,
+                                 AllreduceReport* report) {
+  spec.validate();
+  const std::size_t n = data.rows();
+  const std::size_t k = std::min(spec.nodes, n);
+  const std::size_t b = std::max<std::size_t>(1, options.batch_size);
+  std::vector<double> w(data.dim(), 0.0);
+  solvers::TraceRecorder recorder(
+      use_importance ? "allreduce_is_sgd" : "allreduce_sgd", k,
+      options.step_size, eval);
+
+  // ---- Partition across nodes; IS nodes sample their local Eq. 12 law ----
+  util::Stopwatch setup;
+  const std::vector<double> importance =
+      solvers::detail::importance_weights(data, objective, options);
+  partition::PartitionOptions popt = options.partition;
+  if (!use_importance) popt.strategy = partition::Strategy::kShuffle;
+  popt.shuffle_seed = options.seed ^ 0xa11d;
+  const partition::PartitionPlan plan(importance, k, popt);
+
+  struct NodeState {
+    partition::Shard shard;
+    std::vector<double> weight;
+    std::unique_ptr<sampling::AliasTable> sampler;
+    util::Rng rng;
+  };
+  std::vector<NodeState> node(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    node[a].shard = plan.shard(a);
+    const std::size_t local_n = node[a].shard.rows.size();
+    node[a].weight.assign(local_n, 1.0);
+    if (use_importance) {
+      node[a].sampler = std::make_unique<sampling::AliasTable>(
+          node[a].shard.probabilities);
+      for (std::size_t s = 0; s < local_n; ++s) {
+        const double p = node[a].shard.probabilities[s];
+        node[a].weight[s] =
+            p > 0 ? 1.0 / (static_cast<double>(local_n) * p) : 1.0;
+      }
+    }
+    node[a].rng.reseed(util::derive_seed(options.seed, 0xa22d + a));
+  }
+  recorder.add_setup_seconds(setup.seconds());
+  recorder.record(0, 0.0, w);
+
+  // Aggregate gradient scratch: dense accumulator + touched-index list so a
+  // round costs O(touched) to reset, not O(d).
+  std::vector<double> accum(data.dim(), 0.0);
+  std::vector<std::uint32_t> touched;
+  const double allreduce_seconds = spec.ring_allreduce_seconds(data.dim());
+  const double per_round_bytes =
+      k > 1 ? 2.0 * (static_cast<double>(k) - 1.0) / static_cast<double>(k) *
+                  static_cast<double>(data.dim()) *
+                  static_cast<double>(spec.bytes_per_dense_coord)
+            : 0.0;
+  const std::size_t rounds_per_epoch = (n + k * b - 1) / (k * b);
+  const double samples_per_round = static_cast<double>(k * b);
+
+  double sim_time = 0, comm_time = 0;
+  std::size_t rounds = 0;
+  for (std::size_t epoch = 1; epoch <= options.epochs; ++epoch) {
+    const double lambda = solvers::epoch_step(options, epoch);
+    for (std::size_t r = 0; r < rounds_per_epoch; ++r, ++rounds) {
+      // Each node's compute; the synchronous barrier means the round takes
+      // the *slowest* node's time (stragglers are the sync penalty).
+      double slowest = 0;
+      for (std::size_t a = 0; a < k; ++a) {
+        NodeState& ns = node[a];
+        const std::size_t local_n = ns.shard.rows.size();
+        double node_compute = 0;
+        for (std::size_t s = 0; s < b; ++s) {
+          const std::size_t slot =
+              ns.sampler ? ns.sampler->sample(ns.rng)
+                         : static_cast<std::size_t>(
+                               util::uniform_index(ns.rng, local_n));
+          const std::size_t i = ns.shard.rows[slot];
+          const auto x = data.row(i);
+          const auto idx = x.indices();
+          const auto val = x.values();
+          double margin = 0;
+          for (std::size_t j = 0; j < idx.size(); ++j) {
+            margin += w[idx[j]] * val[j];
+          }
+          const double g =
+              objective.gradient_scale(margin, data.label(i)) * ns.weight[slot];
+          for (std::size_t j = 0; j < idx.size(); ++j) {
+            const std::size_t c = idx[j];
+            if (accum[c] == 0.0) touched.push_back(idx[j]);
+            accum[c] += g * val[j];
+          }
+          node_compute += spec.node_compute_seconds(a, idx.size());
+        }
+        slowest = std::max(slowest, node_compute);
+      }
+      // Ring all-reduce of the dense aggregate, then one model step.
+      sim_time += slowest + allreduce_seconds;
+      comm_time += allreduce_seconds;
+      // One step of w ← w − λ(mean gradient + ∇r): the gradient average is
+      // over the k·b samples; the regularizer enters once per round at full
+      // λ (its full-batch ERM contribution), on touched coordinates.
+      const double step = lambda / samples_per_round;
+      for (std::uint32_t c : touched) {
+        w[c] -= step * accum[c] + lambda * options.reg.subgradient(w[c]);
+        accum[c] = 0.0;
+      }
+      touched.clear();
+    }
+    recorder.record(epoch, sim_time, w);
+  }
+
+  if (report) {
+    report->rounds = rounds;
+    report->bytes_per_node_per_round = per_round_bytes;
+    report->simulated_seconds = sim_time;
+    report->comm_fraction = sim_time > 0 ? comm_time / sim_time : 0;
+  }
+  if (options.keep_final_model) recorder.set_final_model(w);
+  return std::move(recorder).finish(sim_time);
+}
+
+}  // namespace isasgd::distributed

@@ -1,0 +1,128 @@
+// Cluster cost model for the distributed (multi-node) simulations.
+//
+// The paper frames IS-ASGD for "cores/nodes": §2.3's importance imbalance is
+// stated for data segments dispatched to nodes, and the sparsity argument of
+// §1.2 is, on a cluster, a *communication* argument — an index-compressed
+// stochastic gradient is a few dozen bytes on the wire while any dense
+// d-length aggregate (SVRG's μ, or a synchronous all-reduce of averaged
+// gradients) pays Θ(d) bandwidth per exchange. We have no cluster, so we
+// simulate one (DESIGN.md §4): a ClusterSpec prices compute and messages in
+// simulated seconds, and the distributed solvers advance a discrete-event
+// clock with those prices. Traces produced this way carry *simulated*
+// seconds in their wall-clock field, directly comparable across algorithms
+// under the same spec.
+//
+// Defaults approximate a 10 GbE cluster of commodity nodes (50 µs one-way
+// latency, ~2 ns per nnz of gradient compute — a few hundred Mflop/s of
+// effective sparse throughput per core).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace isasgd::distributed {
+
+/// Prices for the simulated cluster. All rates must be positive.
+struct ClusterSpec {
+  /// Number of worker nodes (the paper's numT at node granularity).
+  std::size_t nodes = 4;
+  /// One-way message latency in seconds (per message, size-independent).
+  double latency_seconds = 50e-6;
+  /// Link bandwidth in bytes/second (per node NIC, full duplex).
+  double bandwidth_bytes_per_second = 1.25e9;  // 10 GbE
+  /// Gradient compute cost per nonzero (margin pass + update build).
+  double compute_seconds_per_nnz = 2e-9;
+  /// Server-side apply cost per nonzero of a sparse update.
+  double apply_seconds_per_nnz = 1e-9;
+  /// Wire size of one index-compressed nonzero (4-byte index + 8-byte value).
+  std::size_t bytes_per_nnz = 12;
+  /// Wire size of one dense coordinate (value only; indices implicit).
+  std::size_t bytes_per_dense_coord = 8;
+  /// Flow control: unacknowledged pushes a worker may have in flight before
+  /// it stalls. Sparse-gradient compute is nanoseconds while a network round
+  /// trip is tens of microseconds; without this bound a simulated worker
+  /// would queue its entire epoch against the initial model and the
+  /// emergent staleness would degenerate to n/2 (real parameter servers
+  /// bound their send windows for exactly this reason).
+  std::size_t max_outstanding_pushes = 4;
+  /// Per-node relative compute speeds (empty = all 1.0; otherwise one
+  /// positive entry per node; node a's gradient costs compute/speed[a]).
+  /// Models stragglers: a heterogeneous cluster where static equal shards
+  /// leave *both* the synchronous and the asynchronous solver bound by the
+  /// slowest node's epoch — the measurement motivating speed-weighted
+  /// sharding (see EXPERIMENTS.md).
+  std::vector<double> node_speed;
+
+  /// Throws std::invalid_argument on nonsensical parameters.
+  void validate() const {
+    if (nodes == 0) throw std::invalid_argument("ClusterSpec: zero nodes");
+    if (!(latency_seconds >= 0) || !(bandwidth_bytes_per_second > 0) ||
+        !(compute_seconds_per_nnz > 0) || !(apply_seconds_per_nnz >= 0)) {
+      throw std::invalid_argument("ClusterSpec: rates must be positive");
+    }
+    if (bytes_per_nnz == 0 || bytes_per_dense_coord == 0) {
+      throw std::invalid_argument("ClusterSpec: zero wire sizes");
+    }
+    if (max_outstanding_pushes == 0) {
+      throw std::invalid_argument(
+          "ClusterSpec: max_outstanding_pushes must be at least 1");
+    }
+    if (!node_speed.empty()) {
+      if (node_speed.size() != nodes) {
+        throw std::invalid_argument(
+            "ClusterSpec: node_speed must be empty or have one entry per "
+            "node");
+      }
+      for (double s : node_speed) {
+        if (!(s > 0)) {
+          throw std::invalid_argument(
+              "ClusterSpec: node speeds must be positive");
+        }
+      }
+    }
+  }
+
+  /// Relative speed of node a (1.0 when node_speed is unset).
+  [[nodiscard]] double speed(std::size_t a) const {
+    return node_speed.empty() ? 1.0 : node_speed[a];
+  }
+
+  /// Seconds for node a to compute one stochastic gradient of `nnz`
+  /// nonzeros, honouring its relative speed.
+  [[nodiscard]] double node_compute_seconds(std::size_t a,
+                                            std::size_t nnz) const {
+    return compute_seconds(nnz) / speed(a);
+  }
+
+  /// Seconds to push one message of `bytes` over one link.
+  [[nodiscard]] double message_seconds(std::size_t bytes) const {
+    return latency_seconds +
+           static_cast<double>(bytes) / bandwidth_bytes_per_second;
+  }
+
+  /// Seconds to push one index-compressed sparse update of `nnz` nonzeros.
+  [[nodiscard]] double sparse_push_seconds(std::size_t nnz) const {
+    return message_seconds(nnz * bytes_per_nnz);
+  }
+
+  /// Seconds to compute one stochastic gradient of `nnz` nonzeros.
+  [[nodiscard]] double compute_seconds(std::size_t nnz) const {
+    return static_cast<double>(nnz) * compute_seconds_per_nnz;
+  }
+
+  /// Seconds for a ring all-reduce of a dense vector of dimension `dim`
+  /// across `nodes` participants: 2(k−1) phases, each moving d/k coordinates
+  /// per node and paying one latency.
+  [[nodiscard]] double ring_allreduce_seconds(std::size_t dim) const {
+    if (nodes <= 1) return 0.0;
+    const double k = static_cast<double>(nodes);
+    const double phase_bytes =
+        static_cast<double>(dim) * static_cast<double>(bytes_per_dense_coord) / k;
+    return 2.0 * (k - 1.0) *
+           (latency_seconds + phase_bytes / bandwidth_bytes_per_second);
+  }
+};
+
+}  // namespace isasgd::distributed

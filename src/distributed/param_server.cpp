@@ -1,0 +1,203 @@
+#include "distributed/param_server.hpp"
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "partition/partition.hpp"
+#include "sampling/alias_table.hpp"
+#include "solvers/importance_weights.hpp"
+#include "solvers/schedule.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace isasgd::distributed {
+
+namespace {
+
+enum class EventKind { kComputeDone, kApply };
+
+/// One scheduled event. For kComputeDone the payload describes the gradient
+/// whose computation finishes now; for kApply the same payload lands in the
+/// server model.
+struct Event {
+  double time = 0;
+  std::uint64_t seq = 0;  // FIFO tie-break
+  EventKind kind = EventKind::kComputeDone;
+  std::size_t node = 0;
+  std::uint32_t row = 0;
+  double gradient_scale = 0;
+  double scaled_step = 0;
+  std::size_t computed_after_applies = 0;  // applied-counter at compute start
+};
+
+struct TimeOrder {
+  bool operator()(const Event& a, const Event& b) const {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+solvers::Trace run_param_server(const sparse::CsrMatrix& data,
+                                const objectives::Objective& objective,
+                                const solvers::SolverOptions& options,
+                                const ClusterSpec& spec, bool use_importance,
+                                const solvers::EvalFn& eval,
+                                ParamServerReport* report) {
+  spec.validate();
+  const std::size_t n = data.rows();
+  const std::size_t k = std::min(spec.nodes, n);
+  std::vector<double> w(data.dim(), 0.0);
+  solvers::TraceRecorder recorder(
+      use_importance ? "ps_is_asgd" : "ps_asgd", k, options.step_size, eval);
+
+  // ---- Partition across nodes (Algorithm 4 lines 2–11) ----
+  util::Stopwatch setup;
+  const std::vector<double> importance =
+      solvers::detail::importance_weights(data, objective, options);
+  partition::PartitionOptions popt = options.partition;
+  if (!use_importance) popt.strategy = partition::Strategy::kShuffle;
+  popt.shuffle_seed = options.seed ^ 0xd157;
+  const partition::PartitionPlan plan(importance, k, popt);
+
+  struct NodeState {
+    partition::Shard shard;
+    std::vector<double> weight;  // 1/(N_a·p_i) per local slot (unit if ASGD)
+    std::unique_ptr<sampling::AliasTable> sampler;  // null → uniform
+    util::Rng rng;
+    std::size_t quota = 0;        // computes remaining this epoch
+    std::size_t outstanding = 0;  // unacknowledged pushes in flight
+    bool stalled = false;         // blocked on the flow-control window
+  };
+  std::vector<NodeState> node(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    node[a].shard = plan.shard(a);
+    const std::size_t local_n = node[a].shard.rows.size();
+    node[a].weight.assign(local_n, 1.0);
+    if (use_importance) {
+      node[a].sampler = std::make_unique<sampling::AliasTable>(
+          node[a].shard.probabilities);
+      for (std::size_t s = 0; s < local_n; ++s) {
+        const double p = node[a].shard.probabilities[s];
+        node[a].weight[s] =
+            p > 0 ? 1.0 / (static_cast<double>(local_n) * p) : 1.0;
+      }
+    }
+    node[a].rng.reseed(util::derive_seed(options.seed, 0xc0de + a));
+  }
+  recorder.add_setup_seconds(setup.seconds());
+  recorder.record(0, 0.0, w);
+
+  std::priority_queue<Event, std::vector<Event>, TimeOrder> events;
+  std::uint64_t seq_no = 0;
+  std::size_t applied = 0, messages = 0, bytes_sent = 0;
+  double staleness_sum = 0;
+  double sim_time = 0;
+
+  // Starts node a's next gradient at simulated time `now`: reads the margin
+  // against the *current* server state (this is ŵ for every in-flight
+  // update) and schedules the compute-done event.
+  auto start_compute = [&](std::size_t a, double now, double lambda) {
+    NodeState& ns = node[a];
+    const std::size_t local_n = ns.shard.rows.size();
+    const std::size_t slot =
+        ns.sampler ? ns.sampler->sample(ns.rng)
+                   : static_cast<std::size_t>(
+                         util::uniform_index(ns.rng, local_n));
+    const std::size_t i = ns.shard.rows[slot];
+    const auto x = data.row(i);
+    const auto idx = x.indices();
+    const auto val = x.values();
+    double margin = 0;
+    for (std::size_t j = 0; j < idx.size(); ++j) margin += w[idx[j]] * val[j];
+    events.push(Event{
+        .time = now + spec.node_compute_seconds(a, idx.size()),
+        .seq = seq_no++,
+        .kind = EventKind::kComputeDone,
+        .node = a,
+        .row = static_cast<std::uint32_t>(i),
+        .gradient_scale = objective.gradient_scale(margin, data.label(i)),
+        .scaled_step = lambda * ns.weight[slot],
+        .computed_after_applies = applied,
+    });
+    --ns.quota;
+  };
+
+  util::AccumulatingTimer host_clock;  // real cost of running the simulation
+  host_clock.start();
+  for (std::size_t epoch = 1; epoch <= options.epochs; ++epoch) {
+    const double lambda = solvers::epoch_step(options, epoch);
+    for (std::size_t a = 0; a < k; ++a) {
+      node[a].quota = node[a].shard.rows.size();
+      if (node[a].quota > 0) start_compute(a, sim_time, lambda);
+    }
+    while (!events.empty()) {
+      Event ev = events.top();
+      events.pop();
+      sim_time = ev.time;
+      if (ev.kind == EventKind::kComputeDone) {
+        // Push goes on the wire; the node pipelines into its next gradient
+        // unless its flow-control window (max_outstanding_pushes) is full,
+        // in which case it stalls until an ack frees a slot.
+        const std::size_t nnz = data.row(ev.row).indices().size();
+        NodeState& ns = node[ev.node];
+        ev.kind = EventKind::kApply;
+        ev.time = sim_time + spec.sparse_push_seconds(nnz) +
+                  spec.apply_seconds_per_nnz * static_cast<double>(nnz);
+        ev.seq = seq_no++;
+        ++messages;
+        bytes_sent += nnz * spec.bytes_per_nnz;
+        events.push(ev);
+        ++ns.outstanding;
+        if (ns.quota > 0) {
+          if (ns.outstanding < spec.max_outstanding_pushes) {
+            start_compute(ev.node, sim_time, lambda);
+          } else {
+            ns.stalled = true;
+          }
+        }
+      } else {
+        const auto x = data.row(ev.row);
+        const auto idx = x.indices();
+        const auto val = x.values();
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+          const std::size_t c = idx[j];
+          w[c] -= ev.scaled_step *
+                  (ev.gradient_scale * val[j] + options.reg.subgradient(w[c]));
+        }
+        staleness_sum +=
+            static_cast<double>(applied - ev.computed_after_applies);
+        ++applied;
+        // Ack returns after one more latency hop; a stalled worker resumes
+        // then (the ack itself needs no event — the worker's next compute
+        // simply starts at ack arrival).
+        NodeState& ns = node[ev.node];
+        --ns.outstanding;
+        if (ns.stalled && ns.quota > 0) {
+          ns.stalled = false;
+          start_compute(ev.node, sim_time + spec.latency_seconds, lambda);
+        }
+      }
+    }
+    // Queue drained = epoch fence: every push of the epoch has landed.
+    host_clock.stop();
+    recorder.record(epoch, sim_time, w);
+    host_clock.start();
+  }
+  host_clock.stop();
+
+  if (report) {
+    report->mean_staleness_updates =
+        applied > 0 ? staleness_sum / static_cast<double>(applied) : 0;
+    report->messages = messages;
+    report->bytes_sent = bytes_sent;
+    report->simulated_seconds = sim_time;
+    report->phi_imbalance = plan.imbalance();
+    report->applied_strategy = plan.applied_strategy();
+  }
+  if (options.keep_final_model) recorder.set_final_model(w);
+  return std::move(recorder).finish(sim_time);
+}
+
+}  // namespace isasgd::distributed

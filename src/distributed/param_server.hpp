@@ -1,0 +1,56 @@
+// Asynchronous parameter-server simulation: IS-ASGD at node granularity.
+//
+// Each simulated node owns one shard of the dataset (the Algorithm-4
+// partition, so importance balancing applies across *nodes* exactly as §2.3
+// describes), computes stochastic gradients against the server's parameters
+// and pushes index-compressed sparse updates, send-and-forget. The server
+// applies pushes in arrival order. Staleness is not injected — it *emerges*
+// from the cost model: an update computed at time s lands at
+// s + compute + latency + size/bandwidth, and every update other nodes land
+// in between is the paper's τ.
+//
+// The simulation is a discrete-event loop on a single thread (simulated
+// time is exact and runs are bit-reproducible for a fixed seed), and the
+// returned Trace carries simulated seconds, so param-server IS-ASGD /
+// ASGD / all-reduce SGD are directly comparable under one ClusterSpec.
+#pragma once
+
+#include "distributed/cluster.hpp"
+#include "objectives/objective.hpp"
+#include "solvers/options.hpp"
+#include "solvers/trace.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::distributed {
+
+/// Diagnostics of one parameter-server run.
+struct ParamServerReport {
+  /// Mean number of foreign updates applied between an update's compute
+  /// start and its arrival — the emergent τ of §3.
+  double mean_staleness_updates = 0;
+  /// Total pushes (= total updates = epochs·n).
+  std::size_t messages = 0;
+  /// Total bytes pushed over all links.
+  std::size_t bytes_sent = 0;
+  /// Simulated seconds at the end of training.
+  double simulated_seconds = 0;
+  /// Φ spread across node shards ((max−min)/mean, Eq. 18/19).
+  double phi_imbalance = 0;
+  /// Partition strategy actually applied (resolves kAdaptive).
+  partition::Strategy applied_strategy = partition::Strategy::kNone;
+};
+
+/// Runs `options.epochs` passes of parameter-server SGD over the simulated
+/// cluster. `options.threads` is ignored — `spec.nodes` is the parallelism.
+/// With `use_importance` true, each node samples its shard by the local
+/// Eq. 12 distribution with 1/(N_a·p_i) reweighting (Algorithm 4 lines
+/// 10–15) and the partition honours `options.partition`; with it false,
+/// nodes sample uniformly (distributed ASGD baseline) over a shuffled split.
+/// The Trace's time axis is simulated seconds.
+[[nodiscard]] solvers::Trace run_param_server(
+    const sparse::CsrMatrix& data, const objectives::Objective& objective,
+    const solvers::SolverOptions& options, const ClusterSpec& spec,
+    bool use_importance, const solvers::EvalFn& eval,
+    ParamServerReport* report = nullptr);
+
+}  // namespace isasgd::distributed

@@ -1,0 +1,48 @@
+// Compact binary serialization for datasets and models.
+//
+// LibSVM text parsing dominates load time for the multi-gigabyte datasets
+// the paper targets; the binary cache loads at memcpy speed. Models are
+// saved so a trained classifier can be reused without retraining (the
+// libsvm_train example's --save-model/--load-model flags).
+//
+// Format (little-endian, as on every platform this library targets):
+//   dataset:  magic "ISASGDD1" | u64 dim | u64 rows | u64 nnz
+//             | row_ptr  (rows+1 × u64)
+//             | col_idx  (nnz × u32)
+//             | values   (nnz × f64)
+//             | labels   (rows × f64)
+//   model:    magic "ISASGDW1" | u64 dim | weights (dim × f64)
+//
+// All readers validate the magic, the header arithmetic and the CSR
+// invariants (via the CsrMatrix constructor), so a truncated or corrupted
+// file fails loudly instead of producing garbage.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::io {
+
+/// Serialises a dataset. Throws std::runtime_error on I/O failure.
+void write_dataset_binary(std::ostream& out, const sparse::CsrMatrix& data);
+void write_dataset_binary_file(const std::string& path,
+                               const sparse::CsrMatrix& data);
+
+/// Deserialises a dataset. Throws std::runtime_error on bad magic,
+/// truncation, or invariant violations.
+sparse::CsrMatrix read_dataset_binary(std::istream& in);
+sparse::CsrMatrix read_dataset_binary_file(const std::string& path);
+
+/// Serialises a model vector.
+void write_model_binary(std::ostream& out, std::span<const double> weights);
+void write_model_binary_file(const std::string& path,
+                             std::span<const double> weights);
+
+/// Deserialises a model vector.
+std::vector<double> read_model_binary(std::istream& in);
+std::vector<double> read_model_binary_file(const std::string& path);
+
+}  // namespace isasgd::io

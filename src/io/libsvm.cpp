@@ -1,0 +1,139 @@
+#include "io/libsvm.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "sparse/csr_builder.hpp"
+
+namespace isasgd::io {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("libsvm parse error at line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+/// Parses a double starting at `pos`; advances pos past it.
+double parse_double(const std::string& line, std::size_t& pos,
+                    std::size_t line_no, const char* what) {
+  const char* begin = line.data() + pos;
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) fail(line_no, std::string("expected ") + what);
+  pos += static_cast<std::size_t>(end - begin);
+  return v;
+}
+
+}  // namespace
+
+sparse::CsrMatrix read_libsvm(std::istream& in,
+                              const LibsvmReadOptions& options) {
+  sparse::CsrBuilder builder(options.dim_hint);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_negative_like = false;  // label in {-1} or {0}
+  std::vector<sparse::index_t> idx;
+  std::vector<sparse::value_t> val;
+  std::vector<sparse::value_t> raw_labels;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t pos = line.find_first_not_of(" \t");
+    if (pos == std::string::npos || line[pos] == '#') continue;
+
+    const double label = parse_double(line, pos, line_no, "label");
+    idx.clear();
+    val.clear();
+    while (pos < line.size()) {
+      pos = line.find_first_not_of(" \t", pos);
+      if (pos == std::string::npos || line[pos] == '#') break;
+      // <index>:<value>
+      std::size_t feat = 0;
+      const char* begin = line.data() + pos;
+      const char* end_limit = line.data() + line.size();
+      auto [p, ec] = std::from_chars(begin, end_limit, feat);
+      if (ec != std::errc{} || p == begin) fail(line_no, "expected feature index");
+      pos += static_cast<std::size_t>(p - begin);
+      if (pos >= line.size() || line[pos] != ':') fail(line_no, "expected ':'");
+      ++pos;
+      const double v = parse_double(line, pos, line_no, "feature value");
+      if (feat == 0) fail(line_no, "feature indices are 1-based");
+      idx.push_back(static_cast<sparse::index_t>(feat - 1));
+      val.push_back(v);
+    }
+    // Tolerate unsorted/duplicate indices by normalising through
+    // add_row_unsorted; sorted input takes the same path (cheap for small
+    // rows, correct for all).
+    builder.add_row_unsorted(std::vector<sparse::index_t>(idx),
+                             std::vector<sparse::value_t>(val), label);
+    raw_labels.push_back(label);
+    if (label <= 0) saw_negative_like = true;
+    if (options.max_rows && builder.rows() >= options.max_rows) break;
+  }
+
+  sparse::CsrMatrix data = builder.build();
+  if (!options.normalize_binary_labels || data.rows() == 0) return data;
+  (void)saw_negative_like;
+
+  // Binary label normalisation: when the file holds exactly two distinct
+  // label values that are not already {-1, +1} (e.g. {0,1} or {1,2}), map
+  // the smaller onto -1 and the larger onto +1.
+  std::set<double> distinct;
+  for (double y : raw_labels) {
+    distinct.insert(y);
+    if (distinct.size() > 2) break;
+  }
+  if (distinct.size() == 2) {
+    const double lo = *distinct.begin();
+    const double hi = *std::next(distinct.begin());
+    if (!(lo == -1.0 && hi == 1.0)) {
+      std::vector<sparse::value_t> mapped;
+      mapped.reserve(raw_labels.size());
+      for (double y : raw_labels) mapped.push_back(y == lo ? -1.0 : 1.0);
+      data = sparse::CsrMatrix(data.dim(), data.row_ptr(), data.col_idx(),
+                               data.values(), std::move(mapped));
+    }
+  }
+  return data;
+}
+
+sparse::CsrMatrix read_libsvm_file(const std::string& path,
+                                   const LibsvmReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_libsvm_file: cannot open '" + path + "'");
+  }
+  return read_libsvm(in, options);
+}
+
+void write_libsvm(std::ostream& out, const sparse::CsrMatrix& data) {
+  char buf[64];
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    std::snprintf(buf, sizeof buf, "%.17g", data.label(i));
+    out << buf;
+    const auto row = data.row(i);
+    for (std::size_t k = 0; k < row.nnz(); ++k) {
+      std::snprintf(buf, sizeof buf, "%.17g", row.value(k));
+      out << ' ' << (row.index(k) + 1) << ':' << buf;
+    }
+    out << '\n';
+  }
+}
+
+void write_libsvm_file(const std::string& path, const sparse::CsrMatrix& data) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_libsvm_file: cannot open '" + path + "'");
+  }
+  write_libsvm(out, data);
+}
+
+}  // namespace isasgd::io

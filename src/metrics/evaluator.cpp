@@ -1,0 +1,75 @@
+#include "metrics/evaluator.hpp"
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace isasgd::metrics {
+
+Evaluator::Evaluator(const sparse::CsrMatrix& data,
+                     const objectives::Objective& objective,
+                     objectives::Regularization reg, std::size_t threads)
+    : data_(data),
+      objective_(objective),
+      reg_(reg),
+      threads_(std::max<std::size_t>(1, threads)) {}
+
+solvers::EvalResult Evaluator::evaluate(std::span<const double> w) const {
+  const std::size_t n = data_.rows();
+  const std::size_t threads = std::min(threads_, std::max<std::size_t>(1, n));
+  std::vector<double> loss_acc(threads, 0.0);
+  std::vector<std::size_t> miss_acc(threads, 0);
+
+  auto score_range = [&](std::size_t tid, std::size_t begin, std::size_t end) {
+    double loss = 0;
+    std::size_t miss = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto x = data_.row(i);
+      const double y = data_.label(i);
+      double margin = 0;
+      const auto idx = x.indices();
+      const auto val = x.values();
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        margin += w[idx[k]] * val[k];
+      }
+      loss += objective_.loss(margin, y);
+      if (objective_.is_classification() && objective_.predict(margin) != y) {
+        ++miss;
+      }
+    }
+    loss_acc[tid] = loss;
+    miss_acc[tid] = miss;
+  };
+
+  if (threads == 1) {
+    score_range(0, 0, n);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t tid = 0; tid < threads; ++tid) {
+      pool.emplace_back(score_range, tid, n * tid / threads,
+                        n * (tid + 1) / threads);
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  double loss = 0;
+  std::size_t miss = 0;
+  for (std::size_t tid = 0; tid < threads; ++tid) {
+    loss += loss_acc[tid];
+    miss += miss_acc[tid];
+  }
+
+  solvers::EvalResult result;
+  result.objective =
+      (n ? loss / static_cast<double>(n) : 0.0) + reg_.value(w);
+  result.rmse = std::sqrt(std::max(result.objective, 0.0));
+  result.error_rate =
+      objective_.is_classification()
+          ? (n ? static_cast<double>(miss) / static_cast<double>(n) : 0.0)
+          : std::numeric_limits<double>::quiet_NaN();
+  return result;
+}
+
+}  // namespace isasgd::metrics

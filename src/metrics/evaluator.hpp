@@ -1,0 +1,40 @@
+// Model scoring: the paper's two metrics (§4 "Metrics").
+//
+//   RMSE       — "objective value as the error": √F(w) with
+//                F(w) = (1/n)·Σ φ_i(w) + η·r(w).
+//   error rate — misclassification fraction (classification objectives).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "objectives/objective.hpp"
+#include "solvers/trace.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::metrics {
+
+/// Scores snapshots of a model against a dataset + objective. Thread count
+/// parallelises the O(nnz) evaluation pass (the pass is outside the solvers'
+/// timed windows, so this only affects bench wall time, not results).
+class Evaluator {
+ public:
+  Evaluator(const sparse::CsrMatrix& data,
+            const objectives::Objective& objective,
+            objectives::Regularization reg, std::size_t threads = 1);
+
+  [[nodiscard]] solvers::EvalResult evaluate(std::span<const double> w) const;
+
+  /// Adapter for the solver API.
+  [[nodiscard]] solvers::EvalFn as_fn() const {
+    return [this](std::span<const double> w) { return evaluate(w); };
+  }
+
+ private:
+  const sparse::CsrMatrix& data_;
+  const objectives::Objective& objective_;
+  objectives::Regularization reg_;
+  std::size_t threads_;
+};
+
+}  // namespace isasgd::metrics

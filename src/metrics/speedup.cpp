@@ -1,0 +1,110 @@
+#include "metrics/speedup.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace isasgd::metrics {
+
+namespace {
+
+enum class Metric { kErrorRate, kRmse };
+
+double best_of(const solvers::Trace& t, Metric m) {
+  return m == Metric::kErrorRate ? t.best_error_rate() : t.best_rmse();
+}
+
+double first_of(const solvers::Trace& t, Metric m) {
+  if (t.points.empty()) return std::numeric_limits<double>::infinity();
+  // Skip the epoch-0 point (initial model) when it is degenerate.
+  for (const auto& p : t.points) {
+    const double v = m == Metric::kErrorRate ? p.error_rate : p.rmse;
+    if (std::isfinite(v)) return v;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double time_to(const solvers::Trace& t, Metric m, double level,
+               bool include_setup) {
+  return m == Metric::kErrorRate ? t.time_to_error(level, include_setup)
+                                 : t.time_to_rmse(level, include_setup);
+}
+
+SpeedupSummary compute(const solvers::Trace& baseline,
+                       const solvers::Trace& accelerated, Metric metric,
+                       std::size_t num_slices, bool include_setup) {
+  SpeedupSummary summary;
+  if (num_slices < 2) num_slices = 2;
+
+  // Grid from the worse of the two starting values down to the worse of the
+  // two best values — levels both traces actually cross.
+  const double hi =
+      std::min(first_of(baseline, metric), first_of(accelerated, metric));
+  const double lo =
+      std::max(best_of(baseline, metric), best_of(accelerated, metric));
+  if (!std::isfinite(hi) || !std::isfinite(lo) || lo > hi) return summary;
+
+  for (std::size_t s = 0; s < num_slices; ++s) {
+    const double frac =
+        static_cast<double>(s) / static_cast<double>(num_slices - 1);
+    const double level = hi - frac * (hi - lo);
+    const double tb = time_to(baseline, metric, level, include_setup);
+    const double ta = time_to(accelerated, metric, level, include_setup);
+    // Levels already met at t = 0 carry no information; skip them.
+    if (!std::isfinite(tb) || !std::isfinite(ta) || ta <= 0 || tb <= 0) {
+      continue;
+    }
+    summary.slices.push_back(SpeedupPoint{
+        .error_rate = level,
+        .baseline_seconds = tb,
+        .accelerated_seconds = ta,
+        .speedup = tb / ta,
+    });
+  }
+
+  if (!summary.slices.empty()) {
+    double total = 0;
+    summary.max_speedup = -std::numeric_limits<double>::infinity();
+    summary.min_speedup = std::numeric_limits<double>::infinity();
+    for (const auto& p : summary.slices) {
+      total += p.speedup;
+      summary.max_speedup = std::max(summary.max_speedup, p.speedup);
+      summary.min_speedup = std::min(summary.min_speedup, p.speedup);
+    }
+    summary.average_speedup = total / static_cast<double>(summary.slices.size());
+  }
+
+  // Optimum speedup at the strictest level both traces reach. When the
+  // accelerated algorithm is the better one (the paper's usual case) this is
+  // exactly the baseline's best — the red-circle/blue-dot pair of Figure 4.
+  const double opt =
+      std::max(best_of(baseline, metric), best_of(accelerated, metric));
+  const double tb = time_to(baseline, metric, opt, include_setup);
+  const double ta = time_to(accelerated, metric, opt, include_setup);
+  summary.optimum_error = opt;
+  if (std::isfinite(tb) && std::isfinite(ta) && ta > 0) {
+    summary.optimum_speedup = tb / ta;
+  } else {
+    summary.optimum_speedup = std::numeric_limits<double>::quiet_NaN();
+  }
+  return summary;
+}
+
+}  // namespace
+
+SpeedupSummary compute_speedup(const solvers::Trace& baseline,
+                               const solvers::Trace& accelerated,
+                               std::size_t num_slices, bool include_setup) {
+  return compute(baseline, accelerated, Metric::kErrorRate, num_slices,
+                 include_setup);
+}
+
+SpeedupSummary compute_rmse_speedup(const solvers::Trace& baseline,
+                                    const solvers::Trace& accelerated,
+                                    std::size_t num_slices,
+                                    bool include_setup) {
+  return compute(baseline, accelerated, Metric::kRmse, num_slices,
+                 include_setup);
+}
+
+}  // namespace isasgd::metrics

@@ -1,0 +1,54 @@
+// Figure-5 derivation: error-rate → absolute-speedup slices.
+//
+// For each error level e on a grid, the speedup of algorithm B over A is
+// t_A(e) / t_B(e), where t_X(e) is the (interpolated) first wall-clock time
+// X's trace reaches error rate ≤ e. The paper's summary numbers (§4.2:
+// average speedups 1.26–1.97×, optimum speedups 1.13–1.54×) are the mean of
+// the slice curve and the speedup at the baseline's best error.
+#pragma once
+
+#include <vector>
+
+#include "solvers/trace.hpp"
+
+namespace isasgd::metrics {
+
+/// One slice of the Figure-5 surface.
+struct SpeedupPoint {
+  double error_rate = 0;
+  double baseline_seconds = 0;     ///< t_A(e)
+  double accelerated_seconds = 0;  ///< t_B(e)
+  double speedup = 0;              ///< t_A(e)/t_B(e)
+};
+
+/// Summary of one (baseline, accelerated) trace pair.
+struct SpeedupSummary {
+  std::vector<SpeedupPoint> slices;
+  double average_speedup = 0;  ///< mean over slices ("average speedups")
+  double max_speedup = 0;
+  double min_speedup = 0;
+  /// Speedup at the optimum (Fig. 4's red-circle/blue-dot pair): time for
+  /// each algorithm to reach the strictest error level both of them attain.
+  /// When the accelerated algorithm reaches at least the baseline's best
+  /// (the paper's usual case) this level IS the baseline's best error.
+  double optimum_speedup = 0;
+  double optimum_error = 0;  ///< the level the optimum speedup is taken at
+};
+
+/// Computes the slice curve over `num_slices` error levels spanning the
+/// range both traces reach. `include_setup` charges Trace::setup_seconds
+/// (IS distribution + sequence generation) to each algorithm, per §4.2.
+/// Slices where either trace never reaches the level are dropped.
+SpeedupSummary compute_speedup(const solvers::Trace& baseline,
+                               const solvers::Trace& accelerated,
+                               std::size_t num_slices = 16,
+                               bool include_setup = true);
+
+/// Same derivation against the RMSE metric instead of error rate (used by
+/// the regression objectives where error rate is undefined).
+SpeedupSummary compute_rmse_speedup(const solvers::Trace& baseline,
+                                    const solvers::Trace& accelerated,
+                                    std::size_t num_slices = 16,
+                                    bool include_setup = true);
+
+}  // namespace isasgd::metrics

@@ -1,0 +1,40 @@
+#include "objectives/huber.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace isasgd::objectives {
+
+HuberLoss::HuberLoss(double delta) : delta_(delta) {
+  if (!(delta > 0)) {
+    throw std::invalid_argument("HuberLoss: delta must be positive");
+  }
+}
+
+double HuberLoss::loss(double margin, value_t y) const {
+  const double r = margin - y;
+  const double a = std::abs(r);
+  if (a <= delta_) return 0.5 * r * r;
+  return delta_ * (a - 0.5 * delta_);
+}
+
+double HuberLoss::gradient_scale(double margin, value_t y) const {
+  return std::clamp(margin - y, -delta_, delta_);
+}
+
+double HuberLoss::gradient_norm_bound(sparse::SparseVectorView x, value_t y,
+                                      double radius,
+                                      const Regularization& reg) const {
+  (void)y;
+  (void)radius;
+  double bound = delta_ * x.norm();
+  if (reg.kind == Regularization::Kind::kL2) {
+    bound += reg.eta * radius;
+  } else if (reg.kind == Regularization::Kind::kL1) {
+    bound += reg.eta;
+  }
+  return bound;
+}
+
+}  // namespace isasgd::objectives

@@ -1,0 +1,42 @@
+// Huber regression loss: least-squares near the fit, absolute-error in the
+// tails. Outlier rows stop dominating both the objective *and* the Eq.-12
+// importance distribution — with pure least squares a corrupted row with a
+// huge residual keeps the largest gradient bound and IS over-samples it;
+// Huber's clipped gradient caps that. Included so the regression side of the
+// library has a robust counterpart to least_squares (the Kaczmarz/IS
+// experiments of Strohmer–Vershynin and Needell et al. extend to it
+// directly).
+#pragma once
+
+#include "objectives/objective.hpp"
+
+namespace isasgd::objectives {
+
+/// φ(m, y), r = m − y:
+///   r²/2              |r| ≤ δ
+///   δ(|r| − δ/2)      |r| > δ
+/// Smoothness β = 1 (the quadratic zone's curvature; the tails are linear).
+class HuberLoss final : public Objective {
+ public:
+  /// `delta` is the quadratic-to-linear transition; must be positive.
+  explicit HuberLoss(double delta = 1.0);
+
+  [[nodiscard]] double loss(double margin, value_t y) const override;
+  [[nodiscard]] double gradient_scale(double margin, value_t y) const override;
+  [[nodiscard]] double smoothness() const override { return 1.0; }
+  [[nodiscard]] bool is_classification() const override { return false; }
+  [[nodiscard]] std::string name() const override { return "huber"; }
+
+  /// The clipped-gradient structure gives a tighter bound than the generic
+  /// smoothness-based one: |φ'| ≤ δ always.
+  [[nodiscard]] double gradient_norm_bound(
+      sparse::SparseVectorView x, value_t y, double radius,
+      const Regularization& reg) const override;
+
+  [[nodiscard]] double delta() const noexcept { return delta_; }
+
+ private:
+  double delta_;
+};
+
+}  // namespace isasgd::objectives

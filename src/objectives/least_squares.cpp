@@ -1,0 +1,3 @@
+#include "objectives/least_squares.hpp"
+
+namespace isasgd::objectives {}

@@ -1,0 +1,25 @@
+// Least-squares loss: the regression objective used by the property tests
+// (its exact minimiser is computable in closed form on tiny problems) and by
+// the Kaczmarz-style IS experiments the paper cites (Strohmer–Vershynin).
+#pragma once
+
+#include "objectives/objective.hpp"
+
+namespace isasgd::objectives {
+
+/// φ(m, y) = ½(m − y)². Smoothness β = 1.
+class LeastSquaresLoss final : public Objective {
+ public:
+  [[nodiscard]] double loss(double margin, value_t y) const override {
+    const double r = margin - y;
+    return 0.5 * r * r;
+  }
+  [[nodiscard]] double gradient_scale(double margin, value_t y) const override {
+    return margin - y;
+  }
+  [[nodiscard]] double smoothness() const override { return 1.0; }
+  [[nodiscard]] bool is_classification() const override { return false; }
+  [[nodiscard]] std::string name() const override { return "least_squares"; }
+};
+
+}  // namespace isasgd::objectives

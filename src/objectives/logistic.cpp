@@ -1,0 +1,26 @@
+#include "objectives/logistic.hpp"
+
+#include <cmath>
+
+namespace isasgd::objectives {
+
+double LogisticLoss::loss(double margin, value_t y) const {
+  const double z = y * margin;
+  // log1p(exp(−z)) computed stably for both signs of z:
+  //   z ≥ 0: log(1+e^−z)            (e^−z ≤ 1, no overflow)
+  //   z < 0: −z + log(1+e^z)
+  if (z >= 0) return std::log1p(std::exp(-z));
+  return -z + std::log1p(std::exp(z));
+}
+
+double LogisticLoss::gradient_scale(double margin, value_t y) const {
+  // dφ/dm = −y · σ(−y·m) = −y / (1 + exp(y·m)), computed without overflow.
+  const double z = y * margin;
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return -y * e / (1.0 + e);
+  }
+  return -y / (1.0 + std::exp(z));
+}
+
+}  // namespace isasgd::objectives

@@ -1,0 +1,20 @@
+// Cross-entropy (logistic) loss — the paper's evaluation objective
+// ("L1-regularized cross-entropy loss", §4).
+#pragma once
+
+#include "objectives/objective.hpp"
+
+namespace isasgd::objectives {
+
+/// φ(m, y) = log(1 + exp(−y·m)), y ∈ {−1, +1}.
+/// Smoothness β = 1/4 (sup of the logistic sigmoid's derivative).
+class LogisticLoss final : public Objective {
+ public:
+  [[nodiscard]] double loss(double margin, value_t y) const override;
+  [[nodiscard]] double gradient_scale(double margin, value_t y) const override;
+  [[nodiscard]] double smoothness() const override { return 0.25; }
+  [[nodiscard]] bool is_classification() const override { return true; }
+  [[nodiscard]] std::string name() const override { return "logistic"; }
+};
+
+}  // namespace isasgd::objectives

@@ -1,0 +1,28 @@
+#include "objectives/smooth_hinge.hpp"
+
+#include <stdexcept>
+
+namespace isasgd::objectives {
+
+SmoothHingeLoss::SmoothHingeLoss(double gamma) : gamma_(gamma) {
+  if (!(gamma > 0)) {
+    throw std::invalid_argument("SmoothHingeLoss: gamma must be positive");
+  }
+}
+
+double SmoothHingeLoss::loss(double margin, value_t y) const {
+  const double z = y * margin;
+  if (z >= 1.0) return 0.0;
+  if (z <= 1.0 - gamma_) return 1.0 - z - gamma_ / 2.0;
+  const double slack = 1.0 - z;
+  return slack * slack / (2.0 * gamma_);
+}
+
+double SmoothHingeLoss::gradient_scale(double margin, value_t y) const {
+  const double z = y * margin;
+  if (z >= 1.0) return 0.0;
+  if (z <= 1.0 - gamma_) return -y;
+  return -y * (1.0 - z) / gamma_;
+}
+
+}  // namespace isasgd::objectives

@@ -1,0 +1,38 @@
+// Quadratically smoothed (Huberized) hinge loss.
+//
+// The plain hinge max(0, 1 − y·m) is non-smooth, so it has no per-sample
+// Lipschitz-gradient constant and Eq. 12's importance distribution is
+// undefined for it. Smoothing the kink over a band of width γ restores
+// β = 1/γ smoothness while keeping the hinge's margin geometry — the
+// standard way to run IS/SVRG theory on SVM-style objectives (Zhang 2004's
+// smoothed hinge). γ → 0 recovers the hinge; γ = 2 recovers a scaled
+// squared hinge near the margin.
+#pragma once
+
+#include "objectives/objective.hpp"
+
+namespace isasgd::objectives {
+
+/// φ(m, y), z = y·m:
+///   0                    z ≥ 1
+///   (1 − z)²/(2γ)        1 − γ < z < 1
+///   1 − z − γ/2          z ≤ 1 − γ
+/// Smoothness β = 1/γ.
+class SmoothHingeLoss final : public Objective {
+ public:
+  /// `gamma` is the smoothing band width; must be positive.
+  explicit SmoothHingeLoss(double gamma = 1.0);
+
+  [[nodiscard]] double loss(double margin, value_t y) const override;
+  [[nodiscard]] double gradient_scale(double margin, value_t y) const override;
+  [[nodiscard]] double smoothness() const override { return 1.0 / gamma_; }
+  [[nodiscard]] bool is_classification() const override { return true; }
+  [[nodiscard]] std::string name() const override { return "smooth_hinge"; }
+
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+
+ private:
+  double gamma_;
+};
+
+}  // namespace isasgd::objectives

@@ -1,0 +1,29 @@
+#include "objectives/squared_hinge.hpp"
+
+#include <cmath>
+
+namespace isasgd::objectives {
+
+double SquaredHingeLoss::loss(double margin, value_t y) const {
+  const double slack = 1.0 - y * margin;
+  return slack > 0 ? slack * slack : 0.0;
+}
+
+double SquaredHingeLoss::gradient_scale(double margin, value_t y) const {
+  const double slack = 1.0 - y * margin;
+  return slack > 0 ? -2.0 * y * slack : 0.0;
+}
+
+double SquaredHingeLoss::gradient_norm_bound(sparse::SparseVectorView x,
+                                             value_t y, double radius,
+                                             const Regularization& reg) const {
+  if (reg.kind == Regularization::Kind::kL2 && reg.eta > 0) {
+    // Paper Eq. 16.
+    const double xn = x.norm();
+    const double sqrt_lambda = std::sqrt(reg.eta);
+    return 2.0 * (1.0 + xn / sqrt_lambda) * xn + sqrt_lambda;
+  }
+  return Objective::gradient_norm_bound(x, y, radius, reg);
+}
+
+}  // namespace isasgd::objectives

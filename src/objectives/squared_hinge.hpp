@@ -1,0 +1,26 @@
+// Squared hinge loss — the paper's worked IS example (Eq. 16):
+// L2-regularized SVM with f_i(w) = (⌊1 − y_i·wᵀx_i⌋₊)² + (λ/2)‖w‖².
+#pragma once
+
+#include "objectives/objective.hpp"
+
+namespace isasgd::objectives {
+
+/// φ(m, y) = max(0, 1 − y·m)², y ∈ {−1, +1}. Smoothness β = 2.
+class SquaredHingeLoss final : public Objective {
+ public:
+  [[nodiscard]] double loss(double margin, value_t y) const override;
+  [[nodiscard]] double gradient_scale(double margin, value_t y) const override;
+  [[nodiscard]] double smoothness() const override { return 2.0; }
+  [[nodiscard]] bool is_classification() const override { return true; }
+  [[nodiscard]] std::string name() const override { return "squared_hinge"; }
+
+  /// Paper Eq. 16: ‖∇f_i(w)‖ ≤ 2(1 + ‖x_i‖/√λ)·‖x_i‖ + √λ for the
+  /// L2-regularized problem (λ = reg.eta). Falls back to the generic bound
+  /// for other regularizers.
+  [[nodiscard]] double gradient_norm_bound(
+      sparse::SparseVectorView x, value_t y, double radius,
+      const Regularization& reg) const override;
+};
+
+}  // namespace isasgd::objectives

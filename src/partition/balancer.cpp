@@ -1,0 +1,242 @@
+#include "partition/balancer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace isasgd::partition {
+
+std::vector<std::uint32_t> head_tail_balance(std::span<const double> lipschitz) {
+  const std::size_t n = lipschitz.size();
+  std::vector<std::uint32_t> sorted(n);
+  std::iota(sorted.begin(), sorted.end(), 0u);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return lipschitz[a] < lipschitz[b];
+                   });
+  // Algorithm 3 lines 4–8: pair Ds[i] with Ds[n-1-i].
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    out.push_back(sorted[i]);
+    out.push_back(sorted[n - 1 - i]);
+  }
+  if (n % 2) out.push_back(sorted[n / 2]);
+  return out;
+}
+
+std::vector<std::uint32_t> random_shuffle(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint32_t> out(n);
+  std::iota(out.begin(), out.end(), 0u);
+  util::Rng rng(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = util::uniform_index(rng, i);
+    std::swap(out[i - 1], out[j]);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> identity_order(std::size_t n) {
+  std::vector<std::uint32_t> out(n);
+  std::iota(out.begin(), out.end(), 0u);
+  return out;
+}
+
+std::vector<std::size_t> detail::split_capacities(std::size_t n,
+                                                  std::size_t num_partitions) {
+  std::vector<std::size_t> capacity(num_partitions);
+  for (std::size_t a = 0; a < num_partitions; ++a) {
+    capacity[a] = n * (a + 1) / num_partitions - n * a / num_partitions;
+  }
+  return capacity;
+}
+
+std::vector<std::uint32_t> greedy_lpt_balance(std::span<const double> lipschitz,
+                                              std::size_t num_partitions) {
+  const std::size_t n = lipschitz.size();
+  if (num_partitions == 0) {
+    throw std::invalid_argument("greedy_lpt_balance: zero partitions");
+  }
+  std::vector<std::uint32_t> sorted(n);
+  std::iota(sorted.begin(), sorted.end(), 0u);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return lipschitz[a] > lipschitz[b];
+                   });
+
+  // Deal each sample (heaviest first) to the partition with smallest Φ,
+  // subject to the partition not being full: the contiguous split gives
+  // partition a exactly n·(a+1)/k − n·a/k samples, so capacities must match
+  // that pattern or the block split would not recover this assignment.
+  const std::vector<std::size_t> capacity =
+      detail::split_capacities(n, num_partitions);
+
+  using Entry = std::pair<double, std::size_t>;  // (Φ, partition)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t a = 0; a < num_partitions; ++a) heap.emplace(0.0, a);
+
+  std::vector<std::vector<std::uint32_t>> buckets(num_partitions);
+  for (std::uint32_t i : sorted) {
+    // Pop until we find a partition with remaining capacity.
+    std::vector<Entry> skipped;
+    Entry top = heap.top();
+    heap.pop();
+    while (buckets[top.second].size() >= capacity[top.second]) {
+      skipped.push_back(top);
+      top = heap.top();
+      heap.pop();
+    }
+    buckets[top.second].push_back(i);
+    heap.emplace(top.first + lipschitz[i], top.second);
+    for (const Entry& e : skipped) heap.push(e);
+  }
+
+  // Lay buckets out contiguously so a block split recovers the assignment.
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (const auto& bucket : buckets) {
+    out.insert(out.end(), bucket.begin(), bucket.end());
+  }
+  return out;
+}
+
+namespace {
+
+/// One bucket of a differencing tuple: its importance sum and its samples.
+/// Dummy (padding) slots hold no items and contribute zero weight, so every
+/// bucket always carries exactly one slot per consumed chunk.
+struct KkBucket {
+  double phi = 0;
+  std::size_t dummies = 0;  // padding slots absorbed by this bucket
+  std::vector<std::uint32_t> items;
+};
+
+/// A k-tuple in the differencing heap.
+struct KkTuple {
+  std::vector<KkBucket> buckets;  // kept sorted by phi descending
+
+  [[nodiscard]] double spread() const {
+    return buckets.front().phi - buckets.back().phi;
+  }
+};
+
+void sort_buckets_desc(KkTuple& t) {
+  std::stable_sort(t.buckets.begin(), t.buckets.end(),
+                   [](const KkBucket& a, const KkBucket& b) {
+                     return a.phi > b.phi;
+                   });
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> karmarkar_karp_balance(
+    std::span<const double> lipschitz, std::size_t num_partitions) {
+  const std::size_t n = lipschitz.size();
+  const std::size_t k = num_partitions;
+  if (k == 0) {
+    throw std::invalid_argument("karmarkar_karp_balance: zero partitions");
+  }
+  if (k == 1 || n == 0) return identity_order(n);
+
+  std::vector<std::uint32_t> sorted(n);
+  std::iota(sorted.begin(), sorted.end(), 0u);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return lipschitz[a] > lipschitz[b];
+                   });
+
+  // Seed tuples: each chunk of k consecutive items (heaviest first) becomes
+  // one tuple with one item per bucket; the final short chunk is padded with
+  // zero-weight dummy slots so all buckets stay cardinality-equal (the
+  // balanced-LDM construction of Michiels et al.).
+  const std::size_t chunks = (n + k - 1) / k;
+  std::vector<KkTuple> arena;
+  arena.reserve(2 * chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    KkTuple t;
+    t.buckets.resize(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t pos = c * k + j;
+      if (pos < n) {
+        t.buckets[j].phi = lipschitz[sorted[pos]];
+        t.buckets[j].items.push_back(sorted[pos]);
+      } else {
+        t.buckets[j].dummies = 1;
+      }
+    }
+    sort_buckets_desc(t);
+    arena.push_back(std::move(t));
+  }
+
+  // Differencing loop: merge the two largest-spread tuples, pairing the
+  // first tuple's buckets descending against the second's ascending — the
+  // heaviest bucket absorbs the lightest, cancelling spread.
+  using HeapEntry = std::pair<double, std::size_t>;  // (spread, arena index)
+  std::priority_queue<HeapEntry> heap;
+  std::vector<bool> alive(arena.size(), true);
+  for (std::size_t idx = 0; idx < arena.size(); ++idx) {
+    heap.emplace(arena[idx].spread(), idx);
+  }
+  auto pop_alive = [&]() {
+    while (true) {
+      const auto [spread, idx] = heap.top();
+      heap.pop();
+      if (alive[idx]) {
+        alive[idx] = false;
+        return idx;
+      }
+    }
+  };
+  for (std::size_t round = 1; round < chunks; ++round) {
+    const std::size_t a = pop_alive();
+    const std::size_t b = pop_alive();
+    KkTuple merged;
+    merged.buckets.resize(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      KkBucket& heavy = arena[a].buckets[j];
+      KkBucket& light = arena[b].buckets[k - 1 - j];
+      merged.buckets[j].phi = heavy.phi + light.phi;
+      merged.buckets[j].dummies = heavy.dummies + light.dummies;
+      merged.buckets[j].items = std::move(heavy.items);
+      merged.buckets[j].items.insert(merged.buckets[j].items.end(),
+                                     light.items.begin(), light.items.end());
+    }
+    sort_buckets_desc(merged);
+    alive.push_back(true);
+    heap.emplace(merged.spread(), arena.size());
+    arena.push_back(std::move(merged));
+  }
+  const std::size_t root = pop_alive();
+  KkTuple& result = arena[root];
+
+  // Bucket sizes are chunks − dummies ∈ {⌈n/k⌉, ⌊n/k⌋}; the contiguous split
+  // produces the same multiset of shard sizes, so matching size-descending
+  // buckets to capacity-descending shard slots recovers the assignment.
+  const std::vector<std::size_t> capacity = detail::split_capacities(n, k);
+  std::vector<std::size_t> slot_order(k);
+  std::iota(slot_order.begin(), slot_order.end(), 0u);
+  std::stable_sort(slot_order.begin(), slot_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return capacity[a] > capacity[b];
+                   });
+  std::stable_sort(result.buckets.begin(), result.buckets.end(),
+                   [](const KkBucket& a, const KkBucket& b) {
+                     return a.items.size() > b.items.size();
+                   });
+
+  std::vector<std::vector<std::uint32_t>> assigned(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    assigned[slot_order[r]] = std::move(result.buckets[r].items);
+  }
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (const auto& bucket : assigned) {
+    out.insert(out.end(), bucket.begin(), bucket.end());
+  }
+  return out;
+}
+
+}  // namespace isasgd::partition

@@ -1,0 +1,59 @@
+// Dataset rearrangement strategies run before the contiguous split across
+// worker threads (paper §2.4, Algorithm 3).
+//
+// All balancers return a permutation `order` of row indices; the partitioner
+// then assigns order[tid·n/numT .. (tid+1)·n/numT) to thread tid, exactly as
+// Algorithm 4 line 9 does.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace isasgd::partition {
+
+/// Algorithm 3: sort rows by L_i, then interleave head and tail
+/// (Ds[0], Ds[n−1], Ds[1], Ds[n−2], …) so that every contiguous block mixes
+/// heavy and light samples. Fast O(n log n) approximation to the NP-hard
+/// equal-importance partition problem.
+std::vector<std::uint32_t> head_tail_balance(std::span<const double> lipschitz);
+
+/// Uniform random permutation (Algorithm 4's alternative branch).
+std::vector<std::uint32_t> random_shuffle(std::size_t n, std::uint64_t seed);
+
+/// Identity order — the unbalanced straw man (what raw data segmentation
+/// does, §2.3's Figure-2 top row).
+std::vector<std::uint32_t> identity_order(std::size_t n);
+
+/// Extension (not in the paper): greedy longest-processing-time assignment.
+/// Sorts by descending L_i and deals each sample to the partition with the
+/// currently smallest Φ, then returns an order that interleaves partitions so
+/// the contiguous split reproduces the assignment. Produces strictly tighter
+/// Φ spread than head-tail on skewed distributions; the ablation bench
+/// quantifies the gap.
+std::vector<std::uint32_t> greedy_lpt_balance(std::span<const double> lipschitz,
+                                              std::size_t num_partitions);
+
+/// Extension (not in the paper): balanced largest-differencing (Karmarkar–
+/// Karp) assignment. Items are sorted by descending L_i and grouped into
+/// chunks of `num_partitions`; each chunk seeds a k-tuple of singleton
+/// buckets, and tuples are repeatedly merged largest-spread-first, pairing
+/// the heavier tuple's buckets descending against the lighter's ascending.
+/// Every bucket receives exactly one item per chunk, so bucket cardinalities
+/// stay equal — the contiguous split recovers the assignment exactly.
+/// Differencing dominates greedy LPT on adversarial weight distributions
+/// (the classic number-partitioning result); `ablation_balancing` measures
+/// the gap on the lognormal importance profiles the datasets produce.
+std::vector<std::uint32_t> karmarkar_karp_balance(
+    std::span<const double> lipschitz, std::size_t num_partitions);
+
+namespace detail {
+/// Per-partition sample counts that exactly match PartitionPlan's contiguous
+/// boundaries (shard a = [n·a/k, n·(a+1)/k)). Balancers that assign samples
+/// to explicit buckets must respect these capacities or the block split will
+/// not recover their assignment.
+std::vector<std::size_t> split_capacities(std::size_t n,
+                                          std::size_t num_partitions);
+}  // namespace detail
+
+}  // namespace isasgd::partition

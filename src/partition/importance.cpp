@@ -1,0 +1,78 @@
+#include "partition/importance.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace isasgd::partition {
+
+double importance_variance(std::span<const double> lipschitz) {
+  if (lipschitz.empty()) return 0.0;
+  double mean = 0;
+  for (double l : lipschitz) mean += l;
+  mean /= static_cast<double>(lipschitz.size());
+  double acc = 0;
+  for (double l : lipschitz) {
+    const double d = l - mean;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(lipschitz.size());
+}
+
+std::vector<double> partition_importance(
+    std::span<const double> lipschitz, std::span<const std::uint32_t> assignment,
+    std::size_t num_partitions) {
+  if (lipschitz.size() != assignment.size()) {
+    throw std::invalid_argument("partition_importance: size mismatch");
+  }
+  std::vector<double> phi(num_partitions, 0.0);
+  for (std::size_t i = 0; i < lipschitz.size(); ++i) {
+    if (assignment[i] >= num_partitions) {
+      throw std::out_of_range("partition_importance: assignment out of range");
+    }
+    phi[assignment[i]] += lipschitz[i];
+  }
+  return phi;
+}
+
+double importance_imbalance(std::span<const double> phi) {
+  if (phi.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(phi.begin(), phi.end());
+  double mean = 0;
+  for (double p : phi) mean += p;
+  mean /= static_cast<double>(phi.size());
+  return mean > 0 ? (*hi - *lo) / mean : 0.0;
+}
+
+double sampling_distortion(std::span<const double> lipschitz,
+                           std::span<const std::uint32_t> assignment,
+                           std::size_t num_partitions) {
+  if (lipschitz.empty()) return 0.0;
+  const std::vector<double> phi =
+      partition_importance(lipschitz, assignment, num_partitions);
+  double total = 0;
+  for (double l : lipschitz) total += l;
+  if (total <= 0) return 0.0;
+
+  // Local p_i uses the partition's share of samples: with numT partitions of
+  // N_a samples each, the IS-ASGD update weight is 1/(N_a·p_i^a); comparing
+  // per-sample *selection rates per global step* means each partition
+  // contributes one draw per numT global draws. The comparable global rate of
+  // sample i is (1/numT)·L_i/Φ_a vs. the ideal L_i/ΣL.
+  std::vector<std::size_t> count(num_partitions, 0);
+  for (std::uint32_t a : assignment) ++count[a];
+  double worst = 0;
+  for (std::size_t i = 0; i < lipschitz.size(); ++i) {
+    const std::uint32_t a = assignment[i];
+    if (phi[a] <= 0) continue;
+    const double local =
+        (lipschitz[i] / phi[a]) / static_cast<double>(num_partitions);
+    const double global = lipschitz[i] / total;
+    if (global > 0) {
+      worst = std::max(worst, std::abs(local - global) / global);
+    }
+  }
+  return worst;
+}
+
+}  // namespace isasgd::partition

@@ -1,0 +1,55 @@
+#include "sampling/alias_table.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace isasgd::sampling {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+  double total = 0;
+  for (double w : weights) {
+    if (!(w >= 0) || !std::isfinite(w)) {
+      throw std::invalid_argument("AliasTable: weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("AliasTable: all weights zero");
+
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  // Vose's stable construction: partition outcomes into under-full and
+  // over-full buckets relative to the uniform level 1/n, then pair them.
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    alias_[i] = static_cast<std::uint32_t>(i);
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (floating-point residue): saturate to probability 1.
+  for (std::uint32_t s : small) prob_[s] = 1.0;
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+}
+
+}  // namespace isasgd::sampling

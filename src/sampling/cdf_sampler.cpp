@@ -1,0 +1,35 @@
+#include "sampling/cdf_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace isasgd::sampling {
+
+CdfSampler::CdfSampler(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("CdfSampler: empty weights");
+  double total = 0;
+  for (double w : weights) {
+    if (!(w >= 0) || !std::isfinite(w)) {
+      throw std::invalid_argument("CdfSampler: weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("CdfSampler: all weights zero");
+  cdf_.resize(weights.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] / total;
+    cdf_[i] = acc;
+  }
+  cdf_.back() = 1.0;  // kill accumulated rounding at the top
+}
+
+std::size_t CdfSampler::index_of(double u) const noexcept {
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+}  // namespace isasgd::sampling

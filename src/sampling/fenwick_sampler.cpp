@@ -1,0 +1,83 @@
+#include "sampling/fenwick_sampler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace isasgd::sampling {
+
+FenwickSampler::FenwickSampler(std::span<const double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("FenwickSampler: empty weight vector");
+  }
+  const std::size_t n = weights.size();
+  weight_.assign(weights.begin(), weights.end());
+  tree_.assign(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights[i];
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument(
+          "FenwickSampler: weights must be finite and non-negative");
+    }
+    total_ += w;
+  }
+  if (total_ <= 0.0) {
+    throw std::invalid_argument("FenwickSampler: all weights are zero");
+  }
+  // O(n) bulk build: add each leaf into its immediate parent.
+  for (std::size_t i = 1; i <= n; ++i) {
+    tree_[i] += weight_[i - 1];
+    const std::size_t parent = i + (i & (0 - i));
+    if (parent <= n) tree_[parent] += tree_[i];
+  }
+  mask_ = 1;
+  while (mask_ * 2 <= n) mask_ *= 2;
+}
+
+void FenwickSampler::set_weight(std::size_t i, double w) {
+  if (i >= weight_.size()) {
+    throw std::out_of_range("FenwickSampler::set_weight: index out of range");
+  }
+  if (!(w >= 0.0) || !std::isfinite(w)) {
+    throw std::invalid_argument(
+        "FenwickSampler::set_weight: weight must be finite and non-negative");
+  }
+  const double delta = w - weight_[i];
+  if (delta == 0.0) return;
+  const double new_total = total_ + delta;
+  if (new_total <= 0.0) {
+    throw std::invalid_argument(
+        "FenwickSampler::set_weight: total weight must stay positive");
+  }
+  weight_[i] = w;
+  total_ = new_total;
+  for (std::size_t k = i + 1; k <= weight_.size(); k += k & (0 - k)) {
+    tree_[k] += delta;
+  }
+}
+
+double FenwickSampler::prefix_sum(std::size_t i) const noexcept {
+  double acc = 0;
+  for (std::size_t k = i; k > 0; k -= k & (0 - k)) acc += tree_[k];
+  return acc;
+}
+
+std::size_t FenwickSampler::locate(double target) const noexcept {
+  // Binary lifting down the implicit tree: after the loop, `pos` is the
+  // largest index whose prefix sum is <= target.
+  std::size_t pos = 0;
+  double rem = target;
+  for (std::size_t step = mask_; step > 0; step >>= 1) {
+    const std::size_t next = pos + step;
+    if (next <= weight_.size() && tree_[next] <= rem) {
+      pos = next;
+      rem -= tree_[next];
+    }
+  }
+  // pos == n can only happen from floating-point roundup (target >= total);
+  // clamp backwards onto the last outcome with positive weight.
+  std::size_t i = pos < weight_.size() ? pos : weight_.size() - 1;
+  while (i > 0 && weight_[i] <= 0.0) --i;
+  return i;
+}
+
+}  // namespace isasgd::sampling

@@ -1,0 +1,132 @@
+#include "sampling/sequence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace isasgd::sampling {
+
+SampleSequence SampleSequence::weighted(std::span<const double> weights,
+                                        std::size_t length,
+                                        std::uint64_t seed) {
+  AliasTable table(weights);
+  util::Rng rng(seed);
+  std::vector<std::uint32_t> out(length);
+  for (auto& v : out) v = static_cast<std::uint32_t>(table.sample(rng));
+  return SampleSequence(std::move(out));
+}
+
+SampleSequence SampleSequence::uniform(std::size_t n, std::size_t length,
+                                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint32_t> out(length);
+  for (auto& v : out) {
+    v = static_cast<std::uint32_t>(util::uniform_index(rng, n));
+  }
+  return SampleSequence(std::move(out));
+}
+
+SampleSequence SampleSequence::permutation(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint32_t> out(n);
+  std::iota(out.begin(), out.end(), 0u);
+  util::Rng rng(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = util::uniform_index(rng, i);
+    std::swap(out[i - 1], out[j]);
+  }
+  return SampleSequence(std::move(out));
+}
+
+double SampleSequence::empirical_frequency(std::uint32_t i) const noexcept {
+  if (indices_.empty()) return 0.0;
+  const auto count = std::count(indices_.begin(), indices_.end(), i);
+  return static_cast<double>(count) / static_cast<double>(indices_.size());
+}
+
+StratifiedSequence::StratifiedSequence(std::span<const double> weights,
+                                       std::size_t length, std::uint64_t seed,
+                                       std::size_t min_visits)
+    : rng_(seed) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("StratifiedSequence: empty weights");
+  double total = 0;
+  for (double w : weights) {
+    if (!(w >= 0) || !std::isfinite(w)) {
+      throw std::invalid_argument(
+          "StratifiedSequence: weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0) {
+    throw std::invalid_argument("StratifiedSequence: all weights zero");
+  }
+  if (length == 0) {
+    throw std::invalid_argument("StratifiedSequence: zero length");
+  }
+
+  // Systematic resampling: one uniform offset, `length` equally spaced
+  // strata over the cumulative distribution. count_i = number of strata
+  // points landing in i's probability interval — the minimum-variance
+  // unbiased integerisation of length·p_i.
+  counts_.assign(n, 0);
+  const double u = util::uniform_double(rng_);
+  double cumulative = 0;
+  std::size_t k = 0;  // next stratum index
+  for (std::size_t i = 0; i < n; ++i) {
+    cumulative += weights[i] / total;
+    while (k < length &&
+           (static_cast<double>(k) + u) / static_cast<double>(length) <
+               cumulative) {
+      ++counts_[i];
+      ++k;
+    }
+  }
+  // Floating-point slack: assign any unplaced strata to the last outcome.
+  for (; k < length; ++k) ++counts_[n - 1];
+
+  // Coverage floor.
+  for (auto& c : counts_) c = std::max(c, min_visits);
+
+  std::size_t total_visits = 0;
+  for (std::size_t c : counts_) total_visits += c;
+  indices_.reserve(total_visits);
+  for (std::size_t i = 0; i < n; ++i) {
+    indices_.insert(indices_.end(), counts_[i],
+                    static_cast<std::uint32_t>(i));
+  }
+  reshuffle();
+}
+
+void StratifiedSequence::reshuffle() {
+  for (std::size_t i = indices_.size(); i > 1; --i) {
+    const std::size_t j = util::uniform_index(rng_, i);
+    std::swap(indices_[i - 1], indices_[j]);
+  }
+}
+
+ReshuffledSequence::ReshuffledSequence(std::span<const double> weights,
+                                       std::size_t length, std::uint64_t seed)
+    : rng_(seed) {
+  AliasTable table(weights);
+  indices_.resize(length);
+  for (auto& v : indices_) v = static_cast<std::uint32_t>(table.sample(rng_));
+}
+
+ReshuffledSequence::ReshuffledSequence(std::size_t n, std::size_t length,
+                                       std::uint64_t seed)
+    : rng_(seed) {
+  indices_.resize(length);
+  for (auto& v : indices_) {
+    v = static_cast<std::uint32_t>(util::uniform_index(rng_, n));
+  }
+}
+
+void ReshuffledSequence::reshuffle() {
+  for (std::size_t i = indices_.size(); i > 1; --i) {
+    const std::size_t j = util::uniform_index(rng_, i);
+    std::swap(indices_[i - 1], indices_[j]);
+  }
+}
+
+}  // namespace isasgd::sampling

@@ -1,0 +1,119 @@
+// Pre-generated sample sequences (paper Algorithm 2, line 3).
+//
+// "IS can be implemented with no extra on-line computation by generating the
+// sample sequences beforehand and let the computation threads iterate over
+// the generated sequences, which leaves the computation kernel the same as
+// ASGD." (§1.3)
+//
+// SampleSequence materialises a sequence of row indices drawn from a weight
+// vector (or uniformly); ReshuffledSequence implements the §4.2 optimisation
+// of generating once and Fisher–Yates-reshuffling per epoch, which removes
+// even the offline regeneration cost at a small distributional approximation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sampling/alias_table.hpp"
+#include "util/rng.hpp"
+
+namespace isasgd::sampling {
+
+/// An immutable, pre-drawn sequence of sample indices.
+class SampleSequence {
+ public:
+  /// Draws `length` i.i.d. indices from the weighted distribution.
+  static SampleSequence weighted(std::span<const double> weights,
+                                 std::size_t length, std::uint64_t seed);
+
+  /// Draws `length` i.i.d. indices uniformly over [0, n).
+  static SampleSequence uniform(std::size_t n, std::size_t length,
+                                std::uint64_t seed);
+
+  /// A permutation pass 0..n-1 shuffled (classic without-replacement epoch).
+  static SampleSequence permutation(std::size_t n, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const noexcept { return indices_.size(); }
+  [[nodiscard]] std::uint32_t operator[](std::size_t t) const noexcept {
+    return indices_[t];
+  }
+  [[nodiscard]] std::span<const std::uint32_t> view() const noexcept {
+    return indices_;
+  }
+
+  /// Empirical frequency of index i in the sequence (for tests).
+  [[nodiscard]] double empirical_frequency(std::uint32_t i) const noexcept;
+
+ private:
+  explicit SampleSequence(std::vector<std::uint32_t> indices)
+      : indices_(std::move(indices)) {}
+  std::vector<std::uint32_t> indices_;
+};
+
+/// Stratified (systematic-resampling) sequence: visit counts are the best
+/// integer approximation of length·p_i — count_i ∈ {⌊length·p_i⌋,
+/// ⌈length·p_i⌉} — optionally floored at `min_visits` so *every* sample is
+/// covered each epoch. Fixes the coverage hole of the §4.2 reshuffle-once
+/// approximation (an i.i.d. multiset of length m never contains ~1/e of the
+/// shard; see EXPERIMENTS.md), at the cost of a slightly longer sequence
+/// when the floor binds. Reshuffle per epoch like ReshuffledSequence.
+class StratifiedSequence {
+ public:
+  /// Builds visit counts by systematic resampling over `weights` (one
+  /// uniform offset, length strata), applies the floor, lays the indices
+  /// out and shuffles. Throws on invalid weights (as AliasTable).
+  StratifiedSequence(std::span<const double> weights, std::size_t length,
+                     std::uint64_t seed, std::size_t min_visits = 1);
+
+  /// Fisher–Yates reshuffle in place; call between epochs.
+  void reshuffle();
+
+  [[nodiscard]] std::size_t size() const noexcept { return indices_.size(); }
+  [[nodiscard]] std::uint32_t operator[](std::size_t t) const noexcept {
+    return indices_[t];
+  }
+  [[nodiscard]] std::span<const std::uint32_t> view() const noexcept {
+    return indices_;
+  }
+
+  /// Visit count of sample i per epoch (for tests/diagnostics).
+  [[nodiscard]] std::size_t visit_count(std::size_t i) const noexcept {
+    return counts_[i];
+  }
+
+ private:
+  std::vector<std::uint32_t> indices_;
+  std::vector<std::size_t> counts_;
+  util::Rng rng_;
+};
+
+/// Epoch-reshuffled sequence (§4.2): one weighted draw up front, then each
+/// epoch permutes the same multiset in place. Eliminates the per-epoch
+/// regeneration cost; the multiset of visited samples stays fixed, which the
+/// paper reports "works well in practice".
+class ReshuffledSequence {
+ public:
+  ReshuffledSequence(std::span<const double> weights, std::size_t length,
+                     std::uint64_t seed);
+
+  /// Uniform variant (for ASGD with sequence-driven iteration in tests).
+  ReshuffledSequence(std::size_t n, std::size_t length, std::uint64_t seed);
+
+  /// Fisher–Yates reshuffle in place; call between epochs.
+  void reshuffle();
+
+  [[nodiscard]] std::size_t size() const noexcept { return indices_.size(); }
+  [[nodiscard]] std::uint32_t operator[](std::size_t t) const noexcept {
+    return indices_[t];
+  }
+  [[nodiscard]] std::span<const std::uint32_t> view() const noexcept {
+    return indices_;
+  }
+
+ private:
+  std::vector<std::uint32_t> indices_;
+  util::Rng rng_;
+};
+
+}  // namespace isasgd::sampling

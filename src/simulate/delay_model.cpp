@@ -1,0 +1,33 @@
+#include "simulate/delay_model.hpp"
+
+namespace isasgd::simulate {
+
+std::string delay_kind_name(DelayKind k) {
+  switch (k) {
+    case DelayKind::kNone: return "none";
+    case DelayKind::kFixed: return "fixed";
+    case DelayKind::kUniform: return "uniform";
+    case DelayKind::kGeometric: return "geometric";
+  }
+  return "?";
+}
+
+double DelayModel::mean() const {
+  switch (kind) {
+    case DelayKind::kNone:
+      return 0.0;
+    case DelayKind::kFixed:
+      return static_cast<double>(tau);
+    case DelayKind::kUniform:
+      return static_cast<double>(tau) / 2.0;
+    case DelayKind::kGeometric:
+      return static_cast<double>(tau);
+  }
+  return 0.0;
+}
+
+std::string DelayModel::name() const {
+  return delay_kind_name(kind) + "(" + std::to_string(tau) + ")";
+}
+
+}  // namespace isasgd::simulate

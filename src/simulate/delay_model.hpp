@@ -1,0 +1,75 @@
+// Staleness distributions for the delay-injection simulator.
+//
+// The paper's theory (§3) treats ASGD as SGD with perturbed inputs: the
+// gradient applied at step t was computed against a model τ_t steps old,
+// with the delay parameter τ "assumed linearly related to the concurrency".
+// On real hardware τ is whatever the machine produces — this repo's Hogwild
+// runs on calibrated analogs never push τ·Δ̄/n high enough to reproduce the
+// paper's Fig-3c ASGD degradation (see EXPERIMENTS.md). A DelayModel makes
+// τ an *input*: the simulator applies each gradient exactly `draw()` steps
+// after it was computed, so the Eq. 25/27 noise terms can be driven through
+// and past the theory's bound on a laptop.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace isasgd::simulate {
+
+/// How many steps a computed gradient waits before being applied.
+enum class DelayKind {
+  kNone,       ///< 0 — degenerates to serial SGD exactly
+  kFixed,      ///< constant τ — the perturbed-iterate worst case
+  kUniform,    ///< uniform on [0, τ] — spread-out staleness, mean τ/2
+  kGeometric,  ///< geometric with mean τ — heavy-tailed (straggler) staleness
+};
+
+[[nodiscard]] std::string delay_kind_name(DelayKind k);
+
+/// A staleness distribution with parameter τ.
+struct DelayModel {
+  DelayKind kind = DelayKind::kNone;
+  std::size_t tau = 0;
+
+  static DelayModel none() { return {DelayKind::kNone, 0}; }
+  static DelayModel fixed(std::size_t tau) { return {DelayKind::kFixed, tau}; }
+  static DelayModel uniform(std::size_t tau) {
+    return {DelayKind::kUniform, tau};
+  }
+  static DelayModel geometric(std::size_t mean) {
+    return {DelayKind::kGeometric, mean};
+  }
+
+  /// Expected delay in steps.
+  [[nodiscard]] double mean() const;
+
+  /// Draws one delay.
+  template <class Gen>
+  [[nodiscard]] std::size_t draw(Gen& gen) const {
+    switch (kind) {
+      case DelayKind::kNone:
+        return 0;
+      case DelayKind::kFixed:
+        return tau;
+      case DelayKind::kUniform:
+        return static_cast<std::size_t>(util::uniform_index(gen, tau + 1));
+      case DelayKind::kGeometric: {
+        if (tau == 0) return 0;
+        // Geometric on {0, 1, 2, …} with success probability 1/(1+τ) has
+        // mean τ; inverse-CDF sampling keeps it one RNG call.
+        const double u = util::uniform_double(gen);
+        const double p = 1.0 / (1.0 + static_cast<double>(tau));
+        const double k = std::log1p(-u) / std::log1p(-p);
+        return static_cast<std::size_t>(k);
+      }
+    }
+    return 0;
+  }
+
+  [[nodiscard]] std::string name() const;
+};
+
+}  // namespace isasgd::simulate

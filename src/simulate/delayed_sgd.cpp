@@ -1,0 +1,144 @@
+#include "simulate/delayed_sgd.hpp"
+
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "sampling/sequence.hpp"
+#include "solvers/async_runner.hpp"
+#include "solvers/importance_weights.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace isasgd::simulate {
+
+namespace {
+
+/// A computed-but-not-yet-applied stochastic gradient. The sparse vector
+/// itself is not copied — (row, gradient scale, step) reconstructs the
+/// index-compressed update exactly, mirroring how the real solvers keep
+/// gradients implicit.
+struct PendingUpdate {
+  std::size_t due = 0;          // global step at which it lands
+  std::uint64_t seq = 0;        // FIFO tie-break among equal due times
+  std::uint32_t row = 0;
+  double gradient_scale = 0;
+  double scaled_step = 0;       // λ·(IS weight), frozen at compute time
+  std::size_t computed_at = 0;
+};
+
+struct DueOrder {
+  bool operator()(const PendingUpdate& a, const PendingUpdate& b) const {
+    return a.due != b.due ? a.due > b.due : a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+solvers::Trace run_delayed_sgd(const sparse::CsrMatrix& data,
+                               const objectives::Objective& objective,
+                               const solvers::SolverOptions& options,
+                               const DelayModel& delay, bool use_importance,
+                               const solvers::EvalFn& eval,
+                               DelayReport* report) {
+  const std::size_t n = data.rows();
+  std::vector<double> w(data.dim(), 0.0);
+  solvers::TraceRecorder recorder(
+      use_importance ? "sim_is_asgd" : "sim_asgd", 1, options.step_size, eval);
+
+  // ---- Offline phase (IS only): Eq. 12 distribution + sequences ----
+  util::Stopwatch setup;
+  std::vector<double> weight;       // 1/(n·p_i), unit for the uniform path
+  std::vector<sampling::SampleSequence> sequences;
+  if (use_importance) {
+    const std::vector<double> importance =
+        solvers::detail::importance_weights(data, objective, options);
+    const double total =
+        std::accumulate(importance.begin(), importance.end(), 0.0);
+    weight.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = total > 0 ? importance[i] / total : 1.0 / double(n);
+      weight[i] = p > 0 ? 1.0 / (static_cast<double>(n) * p) : 1.0;
+    }
+    sequences.reserve(options.epochs);
+    for (std::size_t e = 0; e < options.epochs; ++e) {
+      sequences.push_back(sampling::SampleSequence::weighted(
+          importance, n, util::derive_seed(options.seed, e)));
+    }
+  }
+  recorder.add_setup_seconds(setup.seconds());
+
+  util::Rng sample_rng(options.seed);
+  util::Rng delay_rng(util::derive_seed(options.seed, 0xde1a));
+  std::priority_queue<PendingUpdate, std::vector<PendingUpdate>, DueOrder>
+      pending;
+  std::uint64_t seq_no = 0;
+  std::size_t global_step = 0;
+  double delay_sum = 0;
+  std::size_t applied_count = 0, max_in_flight = 0, flushed = 0;
+
+  auto apply = [&](const PendingUpdate& u) {
+    const auto x = data.row(u.row);
+    const auto idx = x.indices();
+    const auto val = x.values();
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      const std::size_t c = idx[j];
+      w[c] -= u.scaled_step *
+              (u.gradient_scale * val[j] + options.reg.subgradient(w[c]));
+    }
+    delay_sum += static_cast<double>(global_step - u.computed_at);
+    ++applied_count;
+  };
+
+  const double train_seconds = solvers::detail::run_epoch_fenced_serial(
+      w, recorder, options.epochs, [&](std::size_t epoch) {
+        const double lambda = solvers::epoch_step(options, epoch);
+        for (std::size_t t = 0; t < n; ++t, ++global_step) {
+          // Compute against the *current* model (this is ŵ of Eq. 21 for
+          // every update still in the queue), then hold for `draw()` steps.
+          const std::size_t i =
+              use_importance
+                  ? sequences[epoch - 1][t]
+                  : static_cast<std::size_t>(util::uniform_index(sample_rng, n));
+          const auto x = data.row(i);
+          const auto idx = x.indices();
+          const auto val = x.values();
+          double margin = 0;
+          for (std::size_t j = 0; j < idx.size(); ++j) {
+            margin += w[idx[j]] * val[j];
+          }
+          pending.push(PendingUpdate{
+              .due = global_step + delay.draw(delay_rng),
+              .seq = seq_no++,
+              .row = static_cast<std::uint32_t>(i),
+              .gradient_scale = objective.gradient_scale(margin, data.label(i)),
+              .scaled_step =
+                  lambda * (use_importance ? weight[i] : 1.0),
+              .computed_at = global_step,
+          });
+          max_in_flight = std::max(max_in_flight, pending.size());
+          while (!pending.empty() && pending.top().due <= global_step) {
+            apply(pending.top());
+            pending.pop();
+          }
+        }
+        // Epoch fence: the real async solvers quiesce all workers before the
+        // model is scored, so every in-flight update has landed. Mirror that.
+        while (!pending.empty()) {
+          apply(pending.top());
+          pending.pop();
+          ++flushed;
+        }
+      });
+
+  if (report) {
+    report->mean_applied_delay =
+        applied_count > 0 ? delay_sum / static_cast<double>(applied_count) : 0;
+    report->max_in_flight = max_in_flight;
+    report->flushed_at_fences = flushed;
+  }
+  if (options.keep_final_model) recorder.set_final_model(w);
+  return std::move(recorder).finish(train_seconds);
+}
+
+}  // namespace isasgd::simulate

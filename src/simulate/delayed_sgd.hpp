@@ -1,0 +1,50 @@
+// Delay-injection SGD: the perturbed-iterate model (§3.1) made executable.
+//
+// Hogwild's asynchrony error is the lag between when a gradient is computed
+// and when its update lands in the shared model (the paper's delay parameter
+// τ). A real lock-free run only produces whatever τ the hardware happens to
+// generate — this repo's 24-thread container stays far inside the Eq. 27
+// bound, so the paper's Fig-3c ASGD degradation never shows (EXPERIMENTS.md,
+// Fig. 3 notes). This simulator runs the *serialised* equivalent: a single
+// thread computes each stochastic gradient against the current model, then
+// holds it in a pending queue for DelayModel::draw() steps before applying —
+// exactly w_{t+1} = w_t − λ∇f_{i_s}(w_s) with t − s = the injected delay
+// (Eq. 21's ŵ). τ becomes a controlled experimental axis that can be swept
+// through and beyond the Eq. 27 bound on any machine, independent of core
+// count, and with IS weighting on or off (IS-ASGD vs ASGD at equal τ).
+#pragma once
+
+#include <cstddef>
+
+#include "objectives/objective.hpp"
+#include "simulate/delay_model.hpp"
+#include "solvers/options.hpp"
+#include "solvers/trace.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::simulate {
+
+/// Diagnostics of one delayed run.
+struct DelayReport {
+  /// Mean staleness (steps between compute and apply) over applied updates.
+  double mean_applied_delay = 0;
+  /// Largest pending-queue depth observed (≈ updates in flight).
+  std::size_t max_in_flight = 0;
+  /// Updates still pending at each epoch fence are flushed (the fenced
+  /// evaluation semantics of the real async solvers); this counts them.
+  std::size_t flushed_at_fences = 0;
+};
+
+/// Runs `epochs × n` delayed-SGD steps. With `use_importance` false this is
+/// ASGD's perturbed-iterate serialisation (uniform sampling, unit weights);
+/// with it true, IS-ASGD's (Eq. 12 distribution + 1/(n·p_i) reweighting,
+/// sequences pre-generated per Algorithm 2). DelayModel::none() reproduces
+/// `run_sgd` / IS-SGD semantics exactly (bitwise for the uniform path at
+/// batch_size 1, which the tests pin).
+[[nodiscard]] solvers::Trace run_delayed_sgd(
+    const sparse::CsrMatrix& data, const objectives::Objective& objective,
+    const solvers::SolverOptions& options, const DelayModel& delay,
+    bool use_importance, const solvers::EvalFn& eval,
+    DelayReport* report = nullptr);
+
+}  // namespace isasgd::simulate

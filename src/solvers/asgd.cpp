@@ -1,0 +1,77 @@
+#include "solvers/asgd.hpp"
+
+#include <atomic>
+
+#include "partition/balancer.hpp"
+#include "solvers/async_runner.hpp"
+#include "solvers/model.hpp"
+#include "util/rng.hpp"
+
+namespace isasgd::solvers {
+
+Trace run_asgd(const sparse::CsrMatrix& data,
+               const objectives::Objective& objective,
+               const SolverOptions& options, const EvalFn& eval) {
+  const std::size_t n = data.rows();
+  const std::size_t threads = std::max<std::size_t>(1, options.threads);
+  SharedModel model(data.dim());
+  TraceRecorder recorder(algorithm_name(Algorithm::kAsgd), threads,
+                         options.step_size, eval);
+
+  // Shuffled contiguous shards: worker tid owns rows
+  // order[n·tid/threads .. n·(tid+1)/threads).
+  const std::vector<std::uint32_t> order =
+      partition::random_shuffle(n, options.seed ^ 0xa5a5);
+  std::vector<std::size_t> boundary(threads + 1);
+  for (std::size_t a = 0; a <= threads; ++a) boundary[a] = n * a / threads;
+
+  // Per-worker RNG streams, padded to avoid false sharing.
+  std::vector<util::CachePadded<util::Rng>> rngs(threads);
+  for (std::size_t tid = 0; tid < threads; ++tid) {
+    rngs[tid].value.reseed(util::derive_seed(options.seed, tid));
+  }
+  const UpdatePolicy policy = options.update_policy;
+
+  const double train_seconds = detail::run_epoch_fenced(
+      model, recorder, options.epochs, threads,
+      [&](std::size_t tid, std::size_t epoch) {
+        const std::size_t begin = boundary[tid], end = boundary[tid + 1];
+        const std::size_t local_n = end - begin;
+        if (local_n == 0) return;
+        util::Rng& rng = rngs[tid].value;
+        // The schedule is a pure function of the epoch, so every worker
+        // derives the same λ locally — no shared decay state to race on.
+        const double lambda = epoch_step(options, epoch);
+        const std::size_t b = std::max<std::size_t>(1, options.batch_size);
+        const std::size_t updates = (local_n + b - 1) / b;
+        std::vector<std::pair<std::size_t, double>> batch(b);
+        for (std::size_t u = 0; u < updates; ++u) {
+          // Gather the mini-batch's gradient scales against the current
+          // (racy) model state, then apply; b = 1 is the paper's kernel.
+          for (std::size_t k = 0; k < b; ++k) {
+            const std::size_t i =
+                order[begin + util::uniform_index(rng, local_n)];
+            const double margin = model.sparse_dot(data.row(i));
+            batch[k] = {i, objective.gradient_scale(margin, data.label(i))};
+          }
+          const double batch_step = lambda / static_cast<double>(b);
+          for (std::size_t k = 0; k < b; ++k) {
+            const auto [i, g] = batch[k];
+            const auto x = data.row(i);
+            const auto idx = x.indices();
+            const auto val = x.values();
+            for (std::size_t j = 0; j < idx.size(); ++j) {
+              const std::size_t c = idx[j];
+              const double wc = model.load(c);
+              model.add(
+                  c, -batch_step * (g * val[j] + options.reg.subgradient(wc)),
+                  policy);
+            }
+          }
+        }
+      });
+  if (options.keep_final_model) recorder.set_final_model(model.snapshot());
+  return std::move(recorder).finish(train_seconds);
+}
+
+}  // namespace isasgd::solvers

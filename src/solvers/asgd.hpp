@@ -1,0 +1,22 @@
+// ASGD — Hogwild-style lock-free asynchronous SGD (Recht et al. 2011),
+// the algorithm the paper sets out to accelerate.
+//
+// The dataset is shuffled and split into numT contiguous shards; each worker
+// samples uniformly from its own shard and updates the shared model without
+// any synchronisation (per the configured UpdatePolicy). One epoch = n total
+// iterations across workers.
+#pragma once
+
+#include "objectives/objective.hpp"
+#include "solvers/options.hpp"
+#include "solvers/trace.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::solvers {
+
+/// Runs lock-free asynchronous SGD with `options.threads` workers.
+Trace run_asgd(const sparse::CsrMatrix& data,
+               const objectives::Objective& objective,
+               const SolverOptions& options, const EvalFn& eval);
+
+}  // namespace isasgd::solvers

@@ -1,0 +1,77 @@
+// Epoch-fenced worker-pool driver shared by the asynchronous solvers.
+//
+// Within an epoch the workers are fully lock-free (that is the algorithm
+// under study); at epoch boundaries all workers meet the main thread at a
+// barrier so the model can be scored against a quiesced snapshot, with the
+// training clock paused — evaluation cost never pollutes the wall-clock
+// traces the paper's Figures 4–5 are built from.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "solvers/model.hpp"
+#include "solvers/trace.hpp"
+#include "util/barrier.hpp"
+#include "util/timer.hpp"
+
+namespace isasgd::solvers::detail {
+
+/// Runs `threads` workers for `epochs` epochs. `worker_epoch(tid, epoch)` is
+/// called once per worker per epoch (epoch is 1-based) and must perform that
+/// worker's share of update iterations on the shared model. Records one
+/// trace point per epoch (plus the initial point at epoch 0) and returns the
+/// total training seconds.
+template <class WorkerEpochFn>
+double run_epoch_fenced(SharedModel& model, TraceRecorder& recorder,
+                        std::size_t epochs, std::size_t threads,
+                        WorkerEpochFn&& worker_epoch) {
+  util::BlockingBarrier barrier(threads + 1);
+
+  recorder.record(0, 0.0, model.snapshot());
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t tid = 0; tid < threads; ++tid) {
+    pool.emplace_back([&, tid] {
+      for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
+        worker_epoch(tid, epoch);
+        barrier.arrive_and_wait();  // epoch done; main may snapshot
+        barrier.arrive_and_wait();  // main done evaluating; next epoch
+      }
+    });
+  }
+
+  util::AccumulatingTimer clock;
+  clock.start();
+  for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
+    barrier.arrive_and_wait();  // workers finished this epoch
+    clock.stop();
+    recorder.record(epoch, clock.seconds(), model.snapshot());
+    clock.start();
+    barrier.arrive_and_wait();  // release workers
+  }
+  clock.stop();
+  for (auto& t : pool) t.join();
+  return clock.seconds();
+}
+
+/// Serial counterpart: `epoch_body(epoch)` performs one epoch's iterations
+/// on `w`; the driver manages clock pausing and recording symmetrically to
+/// the async version so serial and async traces are directly comparable.
+template <class EpochBodyFn>
+double run_epoch_fenced_serial(std::vector<double>& w, TraceRecorder& recorder,
+                               std::size_t epochs, EpochBodyFn&& epoch_body) {
+  recorder.record(0, 0.0, w);
+  util::AccumulatingTimer clock;
+  for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
+    clock.start();
+    epoch_body(epoch);
+    clock.stop();
+    recorder.record(epoch, clock.seconds(), w);
+  }
+  return clock.seconds();
+}
+
+}  // namespace isasgd::solvers::detail

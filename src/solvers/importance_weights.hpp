@@ -1,0 +1,31 @@
+// Importance vectors for the IS solvers: the per-sample weights that define
+// p_i (paper Eq. 12 or the Eq. 16 gradient-bound variant).
+#pragma once
+
+#include <vector>
+
+#include "objectives/objective.hpp"
+#include "solvers/options.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::solvers::detail {
+
+/// Computes the importance vector (unnormalised sampling weights) for
+/// `data` under the configured ImportanceKind.
+inline std::vector<double> importance_weights(
+    const sparse::CsrMatrix& data, const objectives::Objective& objective,
+    const SolverOptions& options) {
+  if (options.importance == ImportanceKind::kLipschitz) {
+    return objectives::per_sample_lipschitz(data, objective, options.reg);
+  }
+  // Eq. 16-style: supremum of the gradient norm over a unit model ball.
+  std::vector<double> weights(data.rows());
+  constexpr double kRadius = 1.0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    weights[i] = objective.gradient_norm_bound(data.row(i), data.label(i),
+                                               kRadius, options.reg);
+  }
+  return weights;
+}
+
+}  // namespace isasgd::solvers::detail

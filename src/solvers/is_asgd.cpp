@@ -1,0 +1,173 @@
+#include "solvers/is_asgd.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "sampling/sequence.hpp"
+#include "solvers/async_runner.hpp"
+#include "solvers/importance_weights.hpp"
+#include "solvers/model.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace isasgd::solvers {
+
+Trace run_is_asgd(const sparse::CsrMatrix& data,
+                  const objectives::Objective& objective,
+                  const SolverOptions& options, const EvalFn& eval,
+                  IsAsgdReport* report) {
+  const std::size_t threads = std::max<std::size_t>(1, options.threads);
+  SharedModel model(data.dim());
+  TraceRecorder recorder(algorithm_name(Algorithm::kIsAsgd), threads,
+                         options.step_size, eval);
+
+  // ---- Offline phase (Algorithm 4 lines 2–12), timed as setup ----
+  util::Stopwatch setup;
+  const std::vector<double> importance =
+      detail::importance_weights(data, objective, options);
+  partition::PartitionOptions popt = options.partition;
+  popt.shuffle_seed = options.seed ^ 0x1517;
+  const partition::PartitionPlan plan(importance, threads, popt);
+  if (report) {
+    report->applied_strategy = plan.applied_strategy();
+    report->rho = plan.rho();
+    report->phi_imbalance = plan.imbalance();
+  }
+
+  // Per-worker: step weight per local slot = 1/(N_tid·p_i) and the sample
+  // sequence over local slots. Under Eq. 19 balance, N_tid·p_i = n·p_i^global
+  // so the update step matches Algorithm 4 line 15 exactly.
+  struct WorkerState {
+    std::vector<double> weight;  // indexed by local slot
+    std::vector<sampling::SampleSequence> sequences;  // one per epoch
+    std::unique_ptr<sampling::ReshuffledSequence> reshuffled;
+    std::unique_ptr<sampling::StratifiedSequence> stratified;
+    /// Adaptive-importance extension: this epoch's sequence, regenerated
+    /// from the live gradient norms (thread-local — each worker refreshes
+    /// only its own shard, so there is nothing to race on).
+    std::optional<sampling::SampleSequence> adaptive_seq;
+    std::uint64_t seed = 0;
+  };
+  const auto mode = options.effective_sequence_mode();
+  std::vector<WorkerState> workers(threads);
+  for (std::size_t tid = 0; tid < threads; ++tid) {
+    const partition::Shard shard = plan.shard(tid);
+    const std::size_t local_n = shard.rows.size();
+    WorkerState& ws = workers[tid];
+    ws.seed = util::derive_seed(options.seed, 101 + tid);
+    ws.weight.resize(local_n);
+    for (std::size_t k = 0; k < local_n; ++k) {
+      const double p = shard.probabilities[k];
+      ws.weight[k] =
+          p > 0 ? 1.0 / (static_cast<double>(local_n) * p) : 1.0;
+    }
+    if (options.adaptive_importance) {
+      // Sequences are regenerated inside the timed epochs (that cost is the
+      // point of the extension); nothing to pre-generate.
+    } else if (mode == SolverOptions::SequenceMode::kStratified) {
+      ws.stratified = std::make_unique<sampling::StratifiedSequence>(
+          shard.probabilities, local_n, ws.seed);
+    } else if (mode == SolverOptions::SequenceMode::kReshuffle) {
+      ws.reshuffled = std::make_unique<sampling::ReshuffledSequence>(
+          shard.probabilities, local_n, ws.seed);
+    } else {
+      ws.sequences.reserve(options.epochs);
+      for (std::size_t e = 0; e < options.epochs; ++e) {
+        ws.sequences.push_back(sampling::SampleSequence::weighted(
+            shard.probabilities, local_n, util::derive_seed(ws.seed, e)));
+      }
+    }
+  }
+  recorder.add_setup_seconds(setup.seconds());
+
+  // Eq.-11 adaptive refresh (extension): recompute this worker's local
+  // importance |∇f_i(ŵ)| = |φ'(ŵ·x_i)|·‖x_i‖ against a racy model read and
+  // rebuild its sequence + step weights. O(local nnz + N_tid log N_tid) per
+  // refresh, charged inside the training window.
+  auto refresh_adaptive = [&](std::size_t tid, std::size_t epoch,
+                              const SharedModel& m) {
+    const partition::Shard shard = plan.shard(tid);
+    const std::size_t local_n = shard.rows.size();
+    WorkerState& ws = workers[tid];
+    std::vector<double> norms(local_n);
+    double total = 0;
+    for (std::size_t k = 0; k < local_n; ++k) {
+      const std::size_t i = shard.rows[k];
+      const auto x = data.row(i);
+      const double margin = m.sparse_dot(x);
+      norms[k] = std::abs(objective.gradient_scale(margin, data.label(i))) *
+                     x.norm() +
+                 1e-12;  // floor keeps dead samples reachable
+      total += norms[k];
+    }
+    for (std::size_t k = 0; k < local_n; ++k) {
+      const double p = norms[k] / total;
+      ws.weight[k] = 1.0 / (static_cast<double>(local_n) * p);
+    }
+    ws.adaptive_seq = sampling::SampleSequence::weighted(
+        norms, local_n, util::derive_seed(ws.seed, 7000 + epoch));
+  };
+
+  // ---- Training (Algorithm 4 lines 13–15): the ASGD kernel ----
+  const UpdatePolicy policy = options.update_policy;
+  const double train_seconds = detail::run_epoch_fenced(
+      model, recorder, options.epochs, threads,
+      [&](std::size_t tid, std::size_t epoch) {
+        const partition::Shard shard = plan.shard(tid);
+        WorkerState& ws = workers[tid];
+        std::span<const std::uint32_t> seq;
+        if (options.adaptive_importance) {
+          const std::size_t interval =
+              std::max<std::size_t>(1, options.adaptive_interval);
+          if ((epoch - 1) % interval == 0 || !ws.adaptive_seq) {
+            refresh_adaptive(tid, epoch, model);
+          }
+          seq = ws.adaptive_seq->view();
+        } else if (mode == SolverOptions::SequenceMode::kStratified) {
+          if (epoch > 1) ws.stratified->reshuffle();
+          seq = ws.stratified->view();
+        } else if (mode == SolverOptions::SequenceMode::kReshuffle) {
+          if (epoch > 1) ws.reshuffled->reshuffle();
+          seq = ws.reshuffled->view();
+        } else {
+          seq = ws.sequences[epoch - 1].view();
+        }
+        const double lambda = epoch_step(options, epoch);
+        const std::size_t b = std::max<std::size_t>(1, options.batch_size);
+        const std::size_t updates = (seq.size() + b - 1) / b;
+        std::vector<std::pair<std::size_t, double>> batch(b);  // (slot, g)
+        for (std::size_t u = 0; u < updates; ++u) {
+          const std::size_t base = u * b;
+          const std::size_t bsize = std::min(b, seq.size() - base);
+          for (std::size_t k = 0; k < bsize; ++k) {
+            const std::size_t slot = seq[base + k];
+            const std::size_t i = shard.rows[slot];
+            const double margin = model.sparse_dot(data.row(i));
+            batch[k] = {slot,
+                        objective.gradient_scale(margin, data.label(i))};
+          }
+          for (std::size_t k = 0; k < bsize; ++k) {
+            const auto [slot, g] = batch[k];
+            const std::size_t i = shard.rows[slot];
+            const auto x = data.row(i);
+            const double scaled_step =
+                lambda * ws.weight[slot] / static_cast<double>(bsize);
+            const auto idx = x.indices();
+            const auto val = x.values();
+            for (std::size_t j = 0; j < idx.size(); ++j) {
+              const std::size_t c = idx[j];
+              const double wc = model.load(c);
+              model.add(
+                  c, -scaled_step * (g * val[j] + options.reg.subgradient(wc)),
+                  policy);
+            }
+          }
+        }
+      });
+  if (options.keep_final_model) recorder.set_final_model(model.snapshot());
+  return std::move(recorder).finish(train_seconds);
+}
+
+}  // namespace isasgd::solvers

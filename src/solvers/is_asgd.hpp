@@ -1,0 +1,40 @@
+// IS-ASGD — Algorithm 4: the paper's contribution.
+//
+// Pipeline (all offline steps timed as setup):
+//   1. compute per-sample importances L_i (Eq. 12 weights),
+//   2. compute ρ (Eq. 20) and choose Importance_Balancing (Algorithm 3) or
+//      Random_Shuffling adaptively against ζ,
+//   3. contiguous-split the rearranged data into numT shards; each worker
+//      builds its local distribution P_tid = {L_i / Φ_tid},
+//   4. pre-generate each worker's sample sequence S_tid,
+//   5. Hogwild training: workers iterate their sequences, updating the
+//      shared model with step λ/(N_tid·p_i) — which under importance balance
+//      equals the paper's λ/(n·p_it) (line 15).
+//
+// The computation kernel is identical to ASGD's — that identity is the whole
+// point, and the ablation benches verify it empirically.
+#pragma once
+
+#include "objectives/objective.hpp"
+#include "solvers/options.hpp"
+#include "solvers/trace.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::solvers {
+
+/// Extra introspection from an IS-ASGD run (strategy actually applied, ρ,
+/// shard-importance spread) for the balancing ablation.
+struct IsAsgdReport {
+  partition::Strategy applied_strategy = partition::Strategy::kShuffle;
+  double rho = 0;
+  double phi_imbalance = 0;  ///< (max Φ − min Φ)/mean Φ across shards
+};
+
+/// Runs IS-ASGD. If `report` is non-null it is filled with partition
+/// diagnostics.
+Trace run_is_asgd(const sparse::CsrMatrix& data,
+                  const objectives::Objective& objective,
+                  const SolverOptions& options, const EvalFn& eval,
+                  IsAsgdReport* report = nullptr);
+
+}  // namespace isasgd::solvers

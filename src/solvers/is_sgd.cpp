@@ -1,0 +1,155 @@
+#include "solvers/is_sgd.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "sampling/sequence.hpp"
+#include "solvers/async_runner.hpp"
+#include "solvers/importance_weights.hpp"
+#include "util/timer.hpp"
+
+namespace isasgd::solvers {
+
+namespace {
+
+/// 1/(n·p_i) step weights from an (unnormalised) importance vector.
+std::vector<double> step_weights(std::span<const double> importance) {
+  const std::size_t n = importance.size();
+  double total = 0;
+  for (double l : importance) total += l;
+  std::vector<double> weight(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weight[i] = importance[i] > 0
+                    ? total / (static_cast<double>(n) * importance[i])
+                    : 1.0;
+  }
+  return weight;
+}
+
+/// Exact current gradient norms ‖∇φ_i(w)‖ = |φ'(w·x_i)|·‖x_i‖ — the Eq. 11
+/// optimum the adaptive-importance extension tracks. Floored at 1e-3 of the
+/// mean so the 1/(n·p_i) weights stay bounded on already-fit samples.
+std::vector<double> current_gradient_norms(const sparse::CsrMatrix& data,
+                                           const objectives::Objective& objective,
+                                           std::span<const double> w) {
+  const std::size_t n = data.rows();
+  std::vector<double> norms(n);
+  double mean = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = data.row(i);
+    double margin = 0;
+    const auto idx = x.indices();
+    const auto val = x.values();
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      margin += w[idx[k]] * val[k];
+    }
+    norms[i] = std::abs(objective.gradient_scale(margin, data.label(i))) *
+               x.norm();
+    mean += norms[i];
+  }
+  mean /= static_cast<double>(n);
+  const double floor = 1e-3 * (mean > 0 ? mean : 1.0);
+  for (double& v : norms) v = std::max(v, floor);
+  return norms;
+}
+
+}  // namespace
+
+Trace run_is_sgd(const sparse::CsrMatrix& data,
+                 const objectives::Objective& objective,
+                 const SolverOptions& options, const EvalFn& eval) {
+  const std::size_t n = data.rows();
+  const std::size_t b = std::max<std::size_t>(1, options.batch_size);
+  std::vector<double> w(data.dim(), 0.0);
+  TraceRecorder recorder(algorithm_name(Algorithm::kIsSgd), 1,
+                         options.step_size, eval);
+
+  // ---- Offline phase (Algorithm 2 lines 2–3), timed as setup ----
+  util::Stopwatch setup;
+  std::vector<double> importance =
+      detail::importance_weights(data, objective, options);
+  std::vector<double> weight = step_weights(importance);
+  // Pre-generate all epochs' sequences up front ("beforehand", §1.3) unless
+  // the reshuffle approximation or adaptive re-estimation is on.
+  const auto mode = options.effective_sequence_mode();
+  sampling::ReshuffledSequence reshuffled(importance, n, options.seed);
+  std::optional<sampling::StratifiedSequence> stratified;
+  if (mode == SolverOptions::SequenceMode::kStratified) {
+    stratified.emplace(importance, n, options.seed ^ 0x57a7);
+  }
+  std::vector<sampling::SampleSequence> sequences;
+  const bool pregenerate =
+      mode == SolverOptions::SequenceMode::kPregenerate &&
+      !options.adaptive_importance;
+  if (pregenerate) {
+    sequences.reserve(options.epochs);
+    for (std::size_t e = 0; e < options.epochs; ++e) {
+      sequences.push_back(sampling::SampleSequence::weighted(
+          importance, n, util::derive_seed(options.seed, e)));
+    }
+  }
+  recorder.add_setup_seconds(setup.seconds());
+
+  // ---- Training: kernel identical to SGD except index source + weight ----
+  std::vector<std::pair<std::size_t, double>> batch(b);
+  std::optional<sampling::SampleSequence> adaptive_sequence;
+  const double train_seconds = detail::run_epoch_fenced_serial(
+      w, recorder, options.epochs, [&](std::size_t epoch) {
+        const double step = epoch_step(options, epoch);
+        std::span<const std::uint32_t> seq;
+        if (options.adaptive_importance) {
+          // Eq. 11 extension: refresh P from the live gradient norms. This
+          // O(nnz + n log n) pass runs inside the timed window on purpose —
+          // it is the cost the paper's §2.2 dismisses as impractical.
+          if ((epoch - 1) % std::max<std::size_t>(1, options.adaptive_interval) ==
+              0) {
+            importance = current_gradient_norms(data, objective, w);
+            weight = step_weights(importance);
+          }
+          adaptive_sequence = sampling::SampleSequence::weighted(
+              importance, n, util::derive_seed(options.seed, 7000 + epoch));
+          seq = adaptive_sequence->view();
+        } else if (mode == SolverOptions::SequenceMode::kStratified) {
+          if (epoch > 1) stratified->reshuffle();
+          seq = stratified->view();
+        } else if (mode == SolverOptions::SequenceMode::kReshuffle) {
+          if (epoch > 1) reshuffled.reshuffle();
+          seq = reshuffled.view();
+        } else {
+          seq = sequences[epoch - 1].view();
+        }
+        const std::size_t updates = (seq.size() + b - 1) / b;
+        for (std::size_t u = 0; u < updates; ++u) {
+          const std::size_t base = u * b;
+          const std::size_t bsize = std::min(b, seq.size() - base);
+          for (std::size_t k = 0; k < bsize; ++k) {
+            const std::size_t i = seq[base + k];
+            const auto x = data.row(i);
+            double margin = 0;
+            const auto idx = x.indices();
+            const auto val = x.values();
+            for (std::size_t j = 0; j < idx.size(); ++j) {
+              margin += w[idx[j]] * val[j];
+            }
+            batch[k] = {i, objective.gradient_scale(margin, data.label(i))};
+          }
+          for (std::size_t k = 0; k < bsize; ++k) {
+            const auto [i, g] = batch[k];
+            const auto x = data.row(i);
+            const double scaled_step =
+                step * weight[i] / static_cast<double>(bsize);
+            const auto idx = x.indices();
+            const auto val = x.values();
+            for (std::size_t j = 0; j < idx.size(); ++j) {
+              const std::size_t c = idx[j];
+              w[c] -=
+                  scaled_step * (g * val[j] + options.reg.subgradient(w[c]));
+            }
+          }
+        }
+      });
+  if (options.keep_final_model) recorder.set_final_model(w);
+  return std::move(recorder).finish(train_seconds);
+}
+
+}  // namespace isasgd::solvers

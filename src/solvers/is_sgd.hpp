@@ -1,0 +1,22 @@
+// IS-SGD — Algorithm 2: serial SGD with importance sampling.
+//
+// Sampling distribution P = {p_i ∝ L_i} is constructed once (Eq. 12); sample
+// sequences are pre-generated so the training kernel is byte-for-byte the
+// SGD kernel; updates are re-weighted by 1/(n·p_i) for unbiasedness (Eq. 8).
+#pragma once
+
+#include "objectives/objective.hpp"
+#include "solvers/options.hpp"
+#include "solvers/trace.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::solvers {
+
+/// Runs serial importance-sampled SGD. Sequence generation and distribution
+/// construction are accounted to Trace::setup_seconds, exactly the cost the
+/// paper's §4.2 overhead discussion covers.
+Trace run_is_sgd(const sparse::CsrMatrix& data,
+                 const objectives::Objective& objective,
+                 const SolverOptions& options, const EvalFn& eval);
+
+}  // namespace isasgd::solvers

@@ -1,0 +1,76 @@
+#include "solvers/model.hpp"
+
+#include <stdexcept>
+
+namespace isasgd::solvers {
+
+std::vector<double> SharedModel::snapshot() const {
+  std::vector<double> out(w_.size());
+  for (std::size_t j = 0; j < w_.size(); ++j) {
+    out[j] = w_[j].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void SharedModel::assign(std::span<const double> values) {
+  if (values.size() != w_.size()) {
+    throw std::invalid_argument("SharedModel::assign: size mismatch");
+  }
+  for (std::size_t j = 0; j < w_.size(); ++j) {
+    w_[j].store(values[j], std::memory_order_relaxed);
+  }
+}
+
+void SharedModel::reset() noexcept {
+  for (auto& v : w_) v.store(0.0, std::memory_order_relaxed);
+}
+
+std::string update_policy_name(UpdatePolicy p) {
+  switch (p) {
+    case UpdatePolicy::kWild: return "wild";
+    case UpdatePolicy::kAtomic: return "atomic";
+    case UpdatePolicy::kStriped: return "striped";
+    case UpdatePolicy::kLocked: return "locked";
+  }
+  return "?";
+}
+
+UpdatePolicy update_policy_from_name(const std::string& name) {
+  if (name == "wild") return UpdatePolicy::kWild;
+  if (name == "atomic") return UpdatePolicy::kAtomic;
+  if (name == "striped") return UpdatePolicy::kStriped;
+  if (name == "locked") return UpdatePolicy::kLocked;
+  throw std::invalid_argument(
+      "update_policy_from_name: unknown policy '" + name +
+      "' (expected wild|atomic|striped|locked)");
+}
+
+std::string algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kSgd: return "SGD";
+    case Algorithm::kIsSgd: return "IS-SGD";
+    case Algorithm::kAsgd: return "ASGD";
+    case Algorithm::kIsAsgd: return "IS-ASGD";
+    case Algorithm::kSvrgSgd: return "SVRG-SGD";
+    case Algorithm::kSvrgAsgd: return "SVRG-ASGD";
+    case Algorithm::kSaga: return "SAGA";
+    case Algorithm::kSvrgLazy: return "SVRG-LAZY";
+    case Algorithm::kSag: return "SAG";
+  }
+  return "?";
+}
+
+Algorithm algorithm_from_name(const std::string& name) {
+  if (name == "SGD" || name == "sgd") return Algorithm::kSgd;
+  if (name == "IS-SGD" || name == "is_sgd") return Algorithm::kIsSgd;
+  if (name == "ASGD" || name == "asgd") return Algorithm::kAsgd;
+  if (name == "IS-ASGD" || name == "is_asgd") return Algorithm::kIsAsgd;
+  if (name == "SVRG-SGD" || name == "svrg_sgd") return Algorithm::kSvrgSgd;
+  if (name == "SVRG-ASGD" || name == "svrg_asgd") return Algorithm::kSvrgAsgd;
+  if (name == "SAGA" || name == "saga") return Algorithm::kSaga;
+  if (name == "SVRG-LAZY" || name == "svrg_lazy") return Algorithm::kSvrgLazy;
+  if (name == "SAG" || name == "sag") return Algorithm::kSag;
+  throw std::invalid_argument("algorithm_from_name: unknown '" + name + "'");
+}
+
+}  // namespace isasgd::solvers

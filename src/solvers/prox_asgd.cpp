@@ -1,0 +1,110 @@
+#include "solvers/prox_sgd.hpp"
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "objectives/prox.hpp"
+#include "partition/partition.hpp"
+#include "sampling/sequence.hpp"
+#include "solvers/async_runner.hpp"
+#include "solvers/importance_weights.hpp"
+#include "solvers/model.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace isasgd::solvers {
+
+Trace run_prox_asgd(const sparse::CsrMatrix& data,
+                    const objectives::Objective& objective,
+                    const SolverOptions& options, bool use_importance,
+                    const EvalFn& eval, ProxReport* report) {
+  const std::size_t threads = std::max<std::size_t>(1, options.threads);
+  SharedModel model(data.dim());
+  TraceRecorder recorder(use_importance ? "IS-PROX-ASGD" : "PROX-ASGD",
+                        threads, options.step_size, eval);
+
+  // ---- Offline phase: Algorithm-4 partition + per-shard sequences ----
+  util::Stopwatch setup;
+  const std::vector<double> importance =
+      detail::importance_weights(data, objective, options);
+  partition::PartitionOptions popt = options.partition;
+  if (!use_importance) popt.strategy = partition::Strategy::kShuffle;
+  popt.shuffle_seed = options.seed ^ 0x9a0c;
+  const partition::PartitionPlan plan(importance, threads, popt);
+
+  struct WorkerState {
+    std::vector<double> weight;  // 1/(N_tid·p_i), unit for uniform
+    std::vector<sampling::SampleSequence> sequences;
+    util::Rng rng;
+  };
+  std::vector<WorkerState> workers(threads);
+  for (std::size_t tid = 0; tid < threads; ++tid) {
+    const partition::Shard shard = plan.shard(tid);
+    const std::size_t local_n = shard.rows.size();
+    WorkerState& ws = workers[tid];
+    ws.weight.assign(local_n, 1.0);
+    ws.rng.reseed(util::derive_seed(options.seed, 0xa90c + tid));
+    if (use_importance) {
+      for (std::size_t k = 0; k < local_n; ++k) {
+        const double p = shard.probabilities[k];
+        ws.weight[k] =
+            p > 0 ? 1.0 / (static_cast<double>(local_n) * p) : 1.0;
+      }
+      ws.sequences.reserve(options.epochs);
+      for (std::size_t e = 0; e < options.epochs; ++e) {
+        ws.sequences.push_back(sampling::SampleSequence::weighted(
+            shard.probabilities, local_n,
+            util::derive_seed(options.seed, 300 + tid * 1000 + e)));
+      }
+    }
+  }
+  recorder.add_setup_seconds(setup.seconds());
+
+  const UpdatePolicy policy = options.update_policy;
+  const double train_seconds = detail::run_epoch_fenced(
+      model, recorder, options.epochs, threads,
+      [&](std::size_t tid, std::size_t epoch) {
+        const partition::Shard shard = plan.shard(tid);
+        const std::size_t local_n = shard.rows.size();
+        if (local_n == 0) return;
+        WorkerState& ws = workers[tid];
+        const double lambda = epoch_step(options, epoch);
+        for (std::size_t t = 0; t < local_n; ++t) {
+          const std::size_t slot =
+              use_importance
+                  ? ws.sequences[epoch - 1][t]
+                  : static_cast<std::size_t>(
+                        util::uniform_index(ws.rng, local_n));
+          const std::size_t i = shard.rows[slot];
+          const auto x = data.row(i);
+          const double margin = model.sparse_dot(x);
+          const double g =
+              objective.gradient_scale(margin, data.label(i)) *
+              ws.weight[slot];
+          const auto idx = x.indices();
+          const auto val = x.values();
+          for (std::size_t k = 0; k < idx.size(); ++k) {
+            const double gstep = lambda * g * val[k];
+            model.update(
+                idx[k],
+                [&](double v) {
+                  return objectives::prox(options.reg, v - gstep, lambda);
+                },
+                policy);
+          }
+        }
+      });
+
+  const std::vector<double> w = model.snapshot();
+  if (report) {
+    std::size_t zeros = 0;
+    for (double v : w) zeros += v == 0.0;
+    report->sparsity =
+        static_cast<double>(zeros) / static_cast<double>(data.dim());
+  }
+  if (options.keep_final_model) recorder.set_final_model(w);
+  return std::move(recorder).finish(train_seconds);
+}
+
+}  // namespace isasgd::solvers

@@ -1,0 +1,62 @@
+// Proximal SGD with optional importance sampling — the Zhao & Zhang (2015)
+// algorithm the paper cites as the source of its Eq. 8–14 analysis.
+//
+//   w ← prox_{λ·ηr}( w − (λ/(n·p_i))·∇φ_i(w) ),   i ~ P
+//
+// With uniform P this is plain prox-SGD; with the Eq. 12 distribution it is
+// the literal IS algorithm of the cited work. Differences from this repo's
+// subgradient solvers that matter in practice:
+//   * L1 is handled exactly: coordinates are *hard-zeroed* by the soft
+//     threshold instead of oscillating by ±λη around zero, so the returned
+//     model has genuine sparsity (a lasso path, not a fuzz ball);
+//   * the prox map is applied lazily per touched coordinate with a
+//     closed-form catch-up (L1's prox recursion is absorbing at 0, unlike
+//     its subgradient recursion — compare svrg_lazy.hpp's L1 discussion),
+//     so the inner loop stays index-compressed even though prox formally
+//     touches every coordinate every step.
+#pragma once
+
+#include "objectives/objective.hpp"
+#include "solvers/options.hpp"
+#include "solvers/trace.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::solvers {
+
+/// Diagnostics of a prox run.
+struct ProxReport {
+  /// Fraction of coordinates exactly zero in the final model.
+  double sparsity = 0;
+};
+
+/// Runs serial proximal SGD. `use_importance` selects uniform vs Eq. 12
+/// sampling (with pre-generated sequences, as Algorithm 2). The regularizer
+/// enters through its prox map — all three Regularization kinds supported.
+[[nodiscard]] Trace run_prox_sgd(const sparse::CsrMatrix& data,
+                                 const objectives::Objective& objective,
+                                 const SolverOptions& options,
+                                 bool use_importance, const EvalFn& eval,
+                                 ProxReport* report = nullptr);
+
+/// Lock-free asynchronous proximal SGD — the direction of the asynchronous
+/// proximal works the paper cites (Meng et al. 2017), combined with Eq. 12
+/// importance sampling when `use_importance` is set (IS-prox-ASGD: the
+/// paper's Algorithm 4 with the Zhao–Zhang prox step).
+///
+/// Two deviations from the serial solver, both standard for Hogwild prox:
+///   * the prox is applied per *touched* coordinate only — the serial lazy
+///     catch-up clock is inherently serial state, and racing it across
+///     threads would corrupt the closed forms (untouched coordinates
+///     therefore miss their shrinkage, the same approximation this repo's
+///     subgradient solvers already make for L1);
+///   * the read-prox-write on a coordinate is racy under kWild (lost
+///     updates allowed, Hogwild semantics) and exact under kStriped /
+///     kLocked; kAtomic has no meaning for a non-additive map and falls
+///     back to kWild.
+[[nodiscard]] Trace run_prox_asgd(const sparse::CsrMatrix& data,
+                                  const objectives::Objective& objective,
+                                  const SolverOptions& options,
+                                  bool use_importance, const EvalFn& eval,
+                                  ProxReport* report = nullptr);
+
+}  // namespace isasgd::solvers

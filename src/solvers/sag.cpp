@@ -1,0 +1,57 @@
+#include "solvers/sag.hpp"
+
+#include "solvers/async_runner.hpp"
+#include "util/rng.hpp"
+
+namespace isasgd::solvers {
+
+Trace run_sag(const sparse::CsrMatrix& data,
+              const objectives::Objective& objective,
+              const SolverOptions& options, const EvalFn& eval) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.dim();
+  std::vector<double> w(d, 0.0);
+  TraceRecorder recorder(algorithm_name(Algorithm::kSag), 1,
+                         options.step_size, eval);
+
+  // Gradient memory: scalar α_i per sample and the dense running average
+  // ḡ = (1/n)·Σ α_i·x_i (maintained incrementally, like SAGA's).
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> aggregate(d, 0.0);
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  util::Rng rng(options.seed);
+  const double train_seconds = detail::run_epoch_fenced_serial(
+      w, recorder, options.epochs, [&](std::size_t epoch) {
+        const double step = epoch_step(options, epoch);
+        for (std::size_t t = 0; t < n; ++t) {
+          const std::size_t i = util::uniform_index(rng, n);
+          const auto x = data.row(i);
+          const auto idx = x.indices();
+          const auto val = x.values();
+          double margin = 0;
+          for (std::size_t k = 0; k < idx.size(); ++k) {
+            margin += w[idx[k]] * val[k];
+          }
+          const double g = objective.gradient_scale(margin, data.label(i));
+          const double delta = (g - alpha[i]) * inv_n;
+
+          // Refresh the memory first: SAG steps along the *updated*
+          // average, ḡ_new = ḡ + (g − α_i)·x_i/n.
+          for (std::size_t k = 0; k < idx.size(); ++k) {
+            aggregate[idx[k]] += delta * val[k];
+          }
+          alpha[i] = g;
+
+          // w ← w − λ(ḡ_new + ∇r(w)): the dense full-length pass that puts
+          // SAG on the §1.2 side of the sparsity argument.
+          for (std::size_t j = 0; j < d; ++j) {
+            w[j] -= step * (aggregate[j] + options.reg.subgradient(w[j]));
+          }
+        }
+      });
+  if (options.keep_final_model) recorder.set_final_model(w);
+  return std::move(recorder).finish(train_seconds);
+}
+
+}  // namespace isasgd::solvers

@@ -1,0 +1,33 @@
+// SAG (Le Roux, Schmidt & Bach 2012) — stochastic average gradient, the
+// first of the incremental-gradient VR family the paper's §1.1 groups as
+// "SVRG-styled".
+//
+// SAG keeps the same O(n) scalar gradient table as SAGA but steps along the
+// *average* of the stored gradients instead of the unbiased
+// variance-corrected direction:
+//
+//   w ← w − λ·( ḡ + (g_i − α_i)·x_i / n ),   α_i ← g_i
+//
+// (SAGA's step drops the 1/n on the correction and is unbiased; SAG's is
+// biased but lower-variance.) Like SAGA and SVRG, the aggregate ḡ is dense,
+// so SAG sits on the same side of the paper's §1.2 argument: great
+// per-epoch convergence, Θ(d) per-iteration cost on sparse data. Having all
+// three members implemented lets the benches show the bottleneck is the
+// *family's* (any dense aggregate), not one algorithm's.
+#pragma once
+
+#include "objectives/objective.hpp"
+#include "solvers/options.hpp"
+#include "solvers/trace.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::solvers {
+
+/// Runs serial SAG. One epoch = n iterations; the gradient table starts at
+/// zero scales and the running average divides by n throughout (the
+/// standard "initialise with zeros" variant).
+Trace run_sag(const sparse::CsrMatrix& data,
+              const objectives::Objective& objective,
+              const SolverOptions& options, const EvalFn& eval);
+
+}  // namespace isasgd::solvers

@@ -1,0 +1,25 @@
+// SAGA (Defazio, Bach & Lacoste-Julien 2014) — the incremental-gradient VR
+// method the paper cites alongside SVRG (§1.1) as "SVRG-styled".
+//
+// For a GLM the stored per-sample gradient is one scalar α_i (the gradient
+// scale at the last visit), so the gradient table costs O(n) instead of
+// O(n·d). The aggregate ḡ = (1/n)·Σ α_i·x_i, however, is dense — every
+// update adds ḡ over the full model length, which puts SAGA on exactly the
+// same side of the paper's §1.2 sparsity argument as SVRG: per-epoch
+// convergence is excellent, per-iteration cost is O(d).
+#pragma once
+
+#include "objectives/objective.hpp"
+#include "solvers/options.hpp"
+#include "solvers/trace.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::solvers {
+
+/// Runs serial SAGA. One epoch = n iterations; the gradient table is
+/// initialised to zero scales (equivalent to a zero-gradient memory start).
+Trace run_saga(const sparse::CsrMatrix& data,
+               const objectives::Objective& objective,
+               const SolverOptions& options, const EvalFn& eval);
+
+}  // namespace isasgd::solvers

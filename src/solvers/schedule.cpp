@@ -1,0 +1,53 @@
+#include "solvers/schedule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "solvers/options.hpp"
+
+namespace isasgd::solvers {
+
+std::string schedule_name(ScheduleKind k) {
+  switch (k) {
+    case ScheduleKind::kConstant: return "constant";
+    case ScheduleKind::kInvEpoch: return "inv_epoch";
+    case ScheduleKind::kInvSqrtEpoch: return "inv_sqrt_epoch";
+  }
+  return "?";
+}
+
+ScheduleKind schedule_from_name(const std::string& name) {
+  if (name == "constant") return ScheduleKind::kConstant;
+  if (name == "inv_epoch") return ScheduleKind::kInvEpoch;
+  if (name == "inv_sqrt_epoch") return ScheduleKind::kInvSqrtEpoch;
+  throw std::invalid_argument("schedule_from_name: unknown schedule '" + name +
+                              "' (expected constant|inv_epoch|inv_sqrt_epoch)");
+}
+
+double epoch_step(const SolverOptions& options, std::size_t epoch) {
+  const double e = static_cast<double>(epoch > 0 ? epoch - 1 : 0);
+  double lambda = options.step_size;
+  switch (options.step_schedule) {
+    case ScheduleKind::kConstant:
+      break;
+    case ScheduleKind::kInvEpoch:
+      lambda /= 1.0 + e / options.schedule_offset;
+      break;
+    case ScheduleKind::kInvSqrtEpoch:
+      lambda /= std::sqrt(1.0 + e / options.schedule_offset);
+      break;
+  }
+  if (options.step_decay != 1.0) lambda *= std::pow(options.step_decay, e);
+  return lambda;
+}
+
+double theory_step_size(double epsilon, double mu, double sup_l,
+                        double sigma2) {
+  if (!(epsilon > 0) || !(mu > 0) || !(sup_l > 0) || !(sigma2 >= 0)) {
+    throw std::invalid_argument(
+        "theory_step_size: need epsilon, mu, sup_l > 0 and sigma2 >= 0");
+  }
+  return epsilon * mu / (2.0 * epsilon * mu * sup_l + 2.0 * sigma2);
+}
+
+}  // namespace isasgd::solvers

@@ -1,0 +1,56 @@
+#include "solvers/sgd.hpp"
+
+#include "solvers/async_runner.hpp"
+#include "util/rng.hpp"
+
+namespace isasgd::solvers {
+
+Trace run_sgd(const sparse::CsrMatrix& data,
+              const objectives::Objective& objective,
+              const SolverOptions& options, const EvalFn& eval) {
+  const std::size_t n = data.rows();
+  const std::size_t b = std::max<std::size_t>(1, options.batch_size);
+  std::vector<double> w(data.dim(), 0.0);
+  TraceRecorder recorder(algorithm_name(Algorithm::kSgd), 1, options.step_size,
+                         eval);
+
+  util::Rng rng(options.seed);
+  // Scratch for one mini-batch: (row id, gradient scale). All margins are
+  // computed against the same model state, then all updates applied — the
+  // standard mini-batch semantics (b = 1 degenerates to plain SGD).
+  std::vector<std::pair<std::size_t, double>> batch(b);
+  const std::size_t updates_per_epoch = (n + b - 1) / b;
+
+  const double train_seconds = detail::run_epoch_fenced_serial(
+      w, recorder, options.epochs, [&](std::size_t epoch) {
+        const double step = epoch_step(options, epoch);
+        for (std::size_t u = 0; u < updates_per_epoch; ++u) {
+          for (std::size_t k = 0; k < b; ++k) {
+            const std::size_t i = util::uniform_index(rng, n);
+            const auto x = data.row(i);
+            double margin = 0;
+            const auto idx = x.indices();
+            const auto val = x.values();
+            for (std::size_t j = 0; j < idx.size(); ++j) {
+              margin += w[idx[j]] * val[j];
+            }
+            batch[k] = {i, objective.gradient_scale(margin, data.label(i))};
+          }
+          const double batch_step = step / static_cast<double>(b);
+          for (std::size_t k = 0; k < b; ++k) {
+            const auto [i, g] = batch[k];
+            const auto x = data.row(i);
+            const auto idx = x.indices();
+            const auto val = x.values();
+            for (std::size_t j = 0; j < idx.size(); ++j) {
+              const std::size_t c = idx[j];
+              w[c] -= batch_step * (g * val[j] + options.reg.subgradient(w[c]));
+            }
+          }
+        }
+      });
+  if (options.keep_final_model) recorder.set_final_model(w);
+  return std::move(recorder).finish(train_seconds);
+}
+
+}  // namespace isasgd::solvers

@@ -1,0 +1,19 @@
+// Serial uniform SGD — the paper's baseline (Eq. 3).
+#pragma once
+
+#include "objectives/objective.hpp"
+#include "solvers/options.hpp"
+#include "solvers/trace.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::solvers {
+
+/// Runs serial SGD with uniform sampling: w ← w − λ·∇f_i(w), i ~ U[0, n).
+/// One epoch = n update iterations. The regularizer's subgradient is applied
+/// on the active row's support (the standard sparse-SGD discipline; see
+/// DESIGN.md §5).
+Trace run_sgd(const sparse::CsrMatrix& data,
+              const objectives::Objective& objective,
+              const SolverOptions& options, const EvalFn& eval);
+
+}  // namespace isasgd::solvers

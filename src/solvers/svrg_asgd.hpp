@@ -1,0 +1,28 @@
+// SVRG-ASGD — Algorithm 1: SVRG-styled asynchronous SGD (Reddi et al. 2015
+// as the paper implements it, "without the skip-μ approximation").
+//
+// Workers run the SVRG inner loop lock-free on the shared model; at each
+// sync point (epoch boundary here, per Algorithm 1 line 4) the snapshot s
+// and the full gradient μ are recomputed. Because μ is dense, every inner
+// iteration performs a full-length-d model pass: on sparse datasets this is
+// magnitudes more work than ASGD's index-compressed update *and* makes every
+// pair of concurrent updates conflict — the two §1.2 bottlenecks this
+// library's Figure-4a bench reproduces.
+#pragma once
+
+#include "objectives/objective.hpp"
+#include "solvers/options.hpp"
+#include "solvers/trace.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::solvers {
+
+/// Runs asynchronous SVRG with `options.threads` workers. The snapshot/μ
+/// recomputation is part of the timed training window (it is training cost,
+/// and the paper's wall-clock curves include it). `options.svrg_skip_mu`
+/// selects the public-repo approximation.
+Trace run_svrg_asgd(const sparse::CsrMatrix& data,
+                    const objectives::Objective& objective,
+                    const SolverOptions& options, const EvalFn& eval);
+
+}  // namespace isasgd::solvers

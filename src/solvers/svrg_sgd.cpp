@@ -1,0 +1,99 @@
+#include "solvers/svrg_sgd.hpp"
+
+#include "solvers/async_runner.hpp"
+#include "util/rng.hpp"
+
+namespace isasgd::solvers {
+
+namespace {
+
+/// μ_loss = (1/n)·Σ_i φ'(s·x_i)·x_i — the loss part of the full gradient at
+/// the snapshot (the regularizer's dense part cancels against −∇r(s) in the
+/// variance-reduced gradient, see the derivation in svrg_sgd.hpp's notes).
+void full_loss_gradient(const sparse::CsrMatrix& data,
+                        const objectives::Objective& objective,
+                        std::span<const double> s, std::vector<double>& mu) {
+  mu.assign(s.size(), 0.0);
+  const double inv_n = 1.0 / static_cast<double>(data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const auto x = data.row(i);
+    double margin = 0;
+    const auto idx = x.indices();
+    const auto val = x.values();
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      margin += s[idx[k]] * val[k];
+    }
+    const double g = objective.gradient_scale(margin, data.label(i)) * inv_n;
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      mu[idx[k]] += g * val[k];
+    }
+  }
+}
+
+}  // namespace
+
+Trace run_svrg_sgd(const sparse::CsrMatrix& data,
+                   const objectives::Objective& objective,
+                   const SolverOptions& options, const EvalFn& eval) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.dim();
+  std::vector<double> w(d, 0.0);
+  TraceRecorder recorder(algorithm_name(Algorithm::kSvrgSgd), 1,
+                         options.step_size, eval);
+
+  std::vector<double> s(d, 0.0);   // snapshot
+  std::vector<double> mu(d, 0.0);  // full loss gradient at s
+  util::Rng rng(options.seed);
+  const std::size_t interval = std::max<std::size_t>(1, options.svrg_snapshot_interval);
+
+  const double train_seconds = detail::run_epoch_fenced_serial(
+      w, recorder, options.epochs, [&](std::size_t epoch) {
+        const double step = epoch_step(options, epoch);
+        if ((epoch - 1) % interval == 0) {
+          s = w;
+          full_loss_gradient(data, objective, s, mu);
+        }
+        for (std::size_t t = 0; t < n; ++t) {
+          const std::size_t i = util::uniform_index(rng, n);
+          const auto x = data.row(i);
+          const double y = data.label(i);
+          const auto idx = x.indices();
+          const auto val = x.values();
+          double margin_w = 0, margin_s = 0;
+          for (std::size_t k = 0; k < idx.size(); ++k) {
+            margin_w += w[idx[k]] * val[k];
+            margin_s += s[idx[k]] * val[k];
+          }
+          const double correction = objective.gradient_scale(margin_w, y) -
+                                    objective.gradient_scale(margin_s, y);
+          // Sparse correction term (index-compressed, like ASGD's update).
+          for (std::size_t k = 0; k < idx.size(); ++k) {
+            w[idx[k]] -= step * correction * val[k];
+          }
+          if (!options.svrg_skip_mu) {
+            // Faithful Algorithm 1 line 7: add the dense μ (plus the dense
+            // regularizer at w) every iteration — the O(d) pass the paper's
+            // performance analysis targets.
+            for (std::size_t j = 0; j < d; ++j) {
+              w[j] -= step * (mu[j] + options.reg.subgradient(w[j]));
+            }
+          } else {
+            // Public-version approximation: regularizer on the support only.
+            for (std::size_t k = 0; k < idx.size(); ++k) {
+              const std::size_t j = idx[k];
+              w[j] -= step * options.reg.subgradient(w[j]);
+            }
+          }
+        }
+        if (options.svrg_skip_mu) {
+          // One aggregate μ correction at epoch end ("multiplying µ with n").
+          for (std::size_t j = 0; j < d; ++j) {
+            w[j] -= step * static_cast<double>(n) * mu[j];
+          }
+        }
+      });
+  if (options.keep_final_model) recorder.set_final_model(w);
+  return std::move(recorder).finish(train_seconds);
+}
+
+}  // namespace isasgd::solvers

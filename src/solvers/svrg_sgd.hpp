@@ -1,0 +1,24 @@
+// SVRG-SGD — serial stochastic variance-reduced gradient (Johnson & Zhang
+// 2013), the serial form of the paper's Algorithm 1.
+//
+// Per snapshot period: s ← w, μ ← (1/n)Σ∇φ_i(s); inner iterations use the
+// variance-reduced gradient v = (φ'(w·x) − φ'(s·x))·x + μ. The μ term is
+// dense, so every inner iteration pays an O(d) pass — the cost the paper's
+// §1.2 identifies as the absolute-convergence bottleneck on sparse data.
+#pragma once
+
+#include "objectives/objective.hpp"
+#include "solvers/options.hpp"
+#include "solvers/trace.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::solvers {
+
+/// Runs serial SVRG. `options.svrg_skip_mu` switches to the public-repo
+/// approximation (sparse inner loop + one aggregate μ correction per epoch)
+/// that the paper §1.2 shows diverges from the literature algorithm.
+Trace run_svrg_sgd(const sparse::CsrMatrix& data,
+                   const objectives::Objective& objective,
+                   const SolverOptions& options, const EvalFn& eval);
+
+}  // namespace isasgd::solvers

@@ -1,0 +1,87 @@
+#include "solvers/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace isasgd::solvers {
+
+double Trace::best_error_rate() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const TracePoint& p : points) best = std::min(best, p.error_rate);
+  return best;
+}
+
+double Trace::best_rmse() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const TracePoint& p : points) best = std::min(best, p.rmse);
+  return best;
+}
+
+namespace {
+
+/// Interpolated first-crossing time of a decreasing metric. `metric(p)`
+/// extracts the value; returns NaN if the target is never reached.
+template <class Metric>
+double first_crossing(const std::vector<TracePoint>& points, double target,
+                      double offset, Metric metric) {
+  double prev_time = 0;
+  double prev_value = std::numeric_limits<double>::infinity();
+  for (const TracePoint& p : points) {
+    const double v = metric(p);
+    if (v <= target) {
+      if (!std::isfinite(prev_value) || prev_value <= target) {
+        // Reached at (or before) the first recorded point.
+        return p.seconds + offset;
+      }
+      // Linear interpolation between the straddling points.
+      const double t = (prev_value - target) / (prev_value - v);
+      return prev_time + t * (p.seconds - prev_time) + offset;
+    }
+    prev_time = p.seconds;
+    prev_value = v;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace
+
+double Trace::time_to_error(double target, bool include_setup) const {
+  return first_crossing(points, target, include_setup ? setup_seconds : 0.0,
+                        [](const TracePoint& p) { return p.error_rate; });
+}
+
+double Trace::time_to_rmse(double target, bool include_setup) const {
+  return first_crossing(points, target, include_setup ? setup_seconds : 0.0,
+                        [](const TracePoint& p) { return p.rmse; });
+}
+
+TraceRecorder::TraceRecorder(std::string algorithm, std::size_t threads,
+                             double step_size, EvalFn eval)
+    : eval_(std::move(eval)) {
+  if (!eval_) throw std::invalid_argument("TraceRecorder: null evaluator");
+  trace_.algorithm = std::move(algorithm);
+  trace_.threads = threads;
+  trace_.step_size = step_size;
+}
+
+void TraceRecorder::record(std::size_t epoch, double seconds,
+                           std::span<const double> w) {
+  const EvalResult r = eval_(w);
+  best_error_ = std::min(best_error_, r.error_rate);
+  trace_.points.push_back(TracePoint{
+      .epoch = epoch,
+      .seconds = seconds,
+      .rmse = r.rmse,
+      .error_rate = best_error_,
+      .objective = r.objective,
+  });
+}
+
+Trace TraceRecorder::finish(double train_seconds) && {
+  trace_.setup_seconds = setup_seconds_;
+  trace_.train_seconds = train_seconds;
+  return std::move(trace_);
+}
+
+}  // namespace isasgd::solvers

@@ -1,0 +1,96 @@
+// Convergence traces: the raw material of every figure in the paper.
+//
+// A solver produces one Trace per run: a sequence of per-epoch points
+// carrying wall-clock time (evaluation cost excluded — the clock is paused
+// at the epoch fence) plus the metrics the paper plots: RMSE (√ of the
+// objective value, §4 "Metrics") and error rate kept monotone best-so-far
+// ("the error rate is updated once a better result is obtained").
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace isasgd::solvers {
+
+/// Metrics of one model snapshot.
+struct EvalResult {
+  double objective = 0;   ///< F(w) = mean loss + η·r(w)
+  double rmse = 0;        ///< √objective — the paper's RMSE metric
+  double error_rate = 0;  ///< misclassification fraction (NaN for regression)
+};
+
+/// Callback the solvers use to score a snapshot; metrics::Evaluator provides
+/// the standard implementation (kept as std::function so the solver layer
+/// does not depend on the metrics layer).
+using EvalFn = std::function<EvalResult(std::span<const double> w)>;
+
+/// One epoch-boundary measurement.
+struct TracePoint {
+  std::size_t epoch = 0;   ///< 1-based epoch index (0 = initial model)
+  double seconds = 0;      ///< cumulative training wall-clock (eval excluded)
+  double rmse = 0;
+  double error_rate = 0;   ///< monotone best-so-far
+  double objective = 0;
+};
+
+/// A full run's convergence record.
+struct Trace {
+  std::string algorithm;
+  std::size_t threads = 1;
+  double step_size = 0;
+  std::vector<TracePoint> points;
+  /// Offline preparation: importance distribution + sequence generation
+  /// (§4.2 accounts it against IS-ASGD's raw speedup).
+  double setup_seconds = 0;
+  /// Pure training wall-clock (Σ epoch windows, eval excluded).
+  double train_seconds = 0;
+  /// Final model vector; filled only when SolverOptions::keep_final_model.
+  std::vector<double> final_model;
+
+  /// Best (lowest) error rate across the run; +inf if no points.
+  [[nodiscard]] double best_error_rate() const;
+  /// Best (lowest) RMSE across the run; +inf if no points.
+  [[nodiscard]] double best_rmse() const;
+  /// First cumulative time at which error_rate ≤ target, linearly
+  /// interpolated between epoch points; NaN if never reached. `include_setup`
+  /// adds setup_seconds to every time (the paper's "taking the sampling time
+  /// into consideration").
+  [[nodiscard]] double time_to_error(double target, bool include_setup = true) const;
+  /// Same for RMSE.
+  [[nodiscard]] double time_to_rmse(double target, bool include_setup = true) const;
+};
+
+/// Accumulates TracePoints during a run, enforcing the monotone error-rate
+/// convention and pairing each point with the pause-aware clock the solver
+/// maintains.
+class TraceRecorder {
+ public:
+  TraceRecorder(std::string algorithm, std::size_t threads, double step_size,
+                EvalFn eval);
+
+  /// Scores `w` and appends a point at training time `seconds`.
+  void record(std::size_t epoch, double seconds, std::span<const double> w);
+
+  /// Adds to the offline-setup account.
+  void add_setup_seconds(double s) { setup_seconds_ += s; }
+
+  /// Stores the final model (see SolverOptions::keep_final_model).
+  void set_final_model(std::vector<double> w) {
+    trace_.final_model = std::move(w);
+  }
+
+  /// Finalises and returns the trace. `train_seconds` is the solver's total
+  /// training clock.
+  [[nodiscard]] Trace finish(double train_seconds) &&;
+
+ private:
+  Trace trace_;
+  EvalFn eval_;
+  double best_error_ = std::numeric_limits<double>::infinity();
+  double setup_seconds_ = 0;
+};
+
+}  // namespace isasgd::solvers

@@ -1,0 +1,52 @@
+#include "sparse/csr_builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace isasgd::sparse {
+
+void CsrBuilder::reserve(std::size_t rows, std::size_t nnz_per_row) {
+  row_ptr_.reserve(rows + 1);
+  labels_.reserve(rows);
+  col_idx_.reserve(rows * nnz_per_row);
+  values_.reserve(rows * nnz_per_row);
+}
+
+void CsrBuilder::add_row(std::span<const index_t> indices,
+                         std::span<const value_t> values, value_t label) {
+  if (indices.size() != values.size()) {
+    throw std::invalid_argument("CsrBuilder::add_row: size mismatch");
+  }
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    if (k > 0 && indices[k] <= indices[k - 1]) {
+      throw std::invalid_argument(
+          "CsrBuilder::add_row: indices must be strictly increasing");
+    }
+  }
+  col_idx_.insert(col_idx_.end(), indices.begin(), indices.end());
+  values_.insert(values_.end(), values.begin(), values.end());
+  row_ptr_.push_back(col_idx_.size());
+  labels_.push_back(label);
+  if (!indices.empty()) {
+    dim_ = std::max(dim_, static_cast<std::size_t>(indices.back()) + 1);
+  }
+}
+
+void CsrBuilder::add_row_unsorted(std::vector<index_t> indices,
+                                  std::vector<value_t> values, value_t label) {
+  SparseVector sv = SparseVector::from_unsorted(std::move(indices), std::move(values));
+  add_row(sv, label);
+}
+
+CsrMatrix CsrBuilder::build() {
+  CsrMatrix out(dim_, std::move(row_ptr_), std::move(col_idx_),
+                std::move(values_), std::move(labels_));
+  row_ptr_ = {0};
+  col_idx_.clear();
+  values_.clear();
+  labels_.clear();
+  dim_ = 0;
+  return out;
+}
+
+}  // namespace isasgd::sparse

@@ -1,0 +1,86 @@
+// Immutable CSR (compressed sparse row) dataset container.
+//
+// A training dataset is a CSR matrix of n rows (samples) over d columns
+// (features) plus a label vector. Rows are handed to the solvers as
+// SparseVectorView, so the inner loops never materialise dense vectors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sparse/sparse_vector.hpp"
+
+namespace isasgd::sparse {
+
+/// Immutable CSR matrix with per-row labels. Build with CsrBuilder or the
+/// explicit-array constructor (which validates all invariants).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Takes the classic CSR triplet plus labels.
+  ///   row_ptr: size n+1, non-decreasing, row_ptr[0]==0, row_ptr[n]==nnz
+  ///   col_idx: strictly increasing within each row, all < dim
+  ///   labels : size n (±1 for classification, arbitrary for regression)
+  /// Throws std::invalid_argument on any violation.
+  CsrMatrix(std::size_t dim, std::vector<std::size_t> row_ptr,
+            std::vector<index_t> col_idx, std::vector<value_t> values,
+            std::vector<value_t> labels);
+
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return labels_.size();
+  }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return col_idx_.size(); }
+
+  /// View of row i's features.
+  [[nodiscard]] SparseVectorView row(std::size_t i) const noexcept {
+    const std::size_t begin = row_ptr_[i], end = row_ptr_[i + 1];
+    return {{col_idx_.data() + begin, end - begin},
+            {values_.data() + begin, end - begin}};
+  }
+
+  /// Label of row i.
+  [[nodiscard]] value_t label(std::size_t i) const noexcept {
+    return labels_[i];
+  }
+
+  [[nodiscard]] const std::vector<value_t>& labels() const noexcept {
+    return labels_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<index_t>& col_idx() const noexcept {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<value_t>& values() const noexcept {
+    return values_;
+  }
+
+  /// Fraction of nonzero entries: nnz / (rows · dim). This is the "∇fi
+  /// sparsity" column of the paper's Table 1 (gradient sparsity equals data
+  /// sparsity for linear models).
+  [[nodiscard]] double density() const noexcept;
+
+  /// Average nnz per row.
+  [[nodiscard]] double mean_row_nnz() const noexcept;
+
+  /// Returns a new matrix containing the given rows (in the given order).
+  /// Used by the partitioners to materialise per-thread shards in tests.
+  [[nodiscard]] CsrMatrix select_rows(const std::vector<std::size_t>& order) const;
+
+  /// Returns a human-readable one-line summary, e.g.
+  /// "n=19996 d=1355191 nnz=9.1e6 density=3.4e-4".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<std::size_t> row_ptr_{0};
+  std::vector<index_t> col_idx_;
+  std::vector<value_t> values_;
+  std::vector<value_t> labels_;
+};
+
+}  // namespace isasgd::sparse

@@ -1,0 +1,36 @@
+#include "sparse/inverted_index.hpp"
+
+#include <algorithm>
+
+namespace isasgd::sparse {
+
+InvertedIndex::InvertedIndex(const CsrMatrix& data) {
+  const std::size_t d = data.dim();
+  feat_ptr_.assign(d + 1, 0);
+  // Counting pass.
+  for (index_t j : data.col_idx()) {
+    ++feat_ptr_[j + 1];
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    feat_ptr_[j + 1] += feat_ptr_[j];
+  }
+  // Fill pass; rows are visited in ascending order so each feature's row
+  // list comes out sorted without an extra sort.
+  rows_.resize(data.nnz());
+  std::vector<std::size_t> cursor(feat_ptr_.begin(), feat_ptr_.end() - 1);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    for (index_t j : data.row(i).indices()) {
+      rows_[cursor[j]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+}
+
+std::size_t InvertedIndex::max_feature_frequency() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t j = 0; j + 1 < feat_ptr_.size(); ++j) {
+    best = std::max(best, feat_ptr_[j + 1] - feat_ptr_[j]);
+  }
+  return best;
+}
+
+}  // namespace isasgd::sparse

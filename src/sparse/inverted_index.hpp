@@ -1,0 +1,47 @@
+// Feature → rows inverted index.
+//
+// The conflict-graph analysis (paper §3.1: two samples conflict iff they
+// share a feature) needs "which rows touch feature j" queries; building them
+// on the fly would be O(n·d). The inverted index is built once in O(nnz).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::sparse {
+
+/// CSC-like structure mapping each feature to the (sorted) list of row ids
+/// containing it.
+class InvertedIndex {
+ public:
+  /// Builds from a dataset in O(nnz).
+  explicit InvertedIndex(const CsrMatrix& data);
+
+  /// Rows that contain feature j (ascending row ids).
+  [[nodiscard]] std::span<const std::uint32_t> rows_with_feature(
+      std::size_t j) const noexcept {
+    return {rows_.data() + feat_ptr_[j], feat_ptr_[j + 1] - feat_ptr_[j]};
+  }
+
+  /// Number of rows containing feature j, i.e. the feature's frequency.
+  [[nodiscard]] std::size_t feature_frequency(std::size_t j) const noexcept {
+    return feat_ptr_[j + 1] - feat_ptr_[j];
+  }
+
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return feat_ptr_.size() - 1;
+  }
+
+  /// The highest feature frequency; features this popular are the conflict
+  /// hot spots of Hogwild updates.
+  [[nodiscard]] std::size_t max_feature_frequency() const noexcept;
+
+ private:
+  std::vector<std::size_t> feat_ptr_;
+  std::vector<std::uint32_t> rows_;
+};
+
+}  // namespace isasgd::sparse

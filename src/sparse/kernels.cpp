@@ -1,0 +1,66 @@
+#include "sparse/kernels.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace isasgd::sparse {
+
+value_t sparse_dot(std::span<const value_t> w, SparseVectorView x) noexcept {
+  value_t acc = 0;
+  const auto idx = x.indices();
+  const auto val = x.values();
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    acc += w[idx[k]] * val[k];
+  }
+  return acc;
+}
+
+void sparse_axpy(std::span<value_t> w, value_t alpha,
+                 SparseVectorView x) noexcept {
+  const auto idx = x.indices();
+  const auto val = x.values();
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    w[idx[k]] += alpha * val[k];
+  }
+}
+
+value_t dense_dot(std::span<const value_t> a,
+                  std::span<const value_t> b) noexcept {
+  assert(a.size() == b.size());
+  value_t acc = 0;
+  for (std::size_t j = 0; j < a.size(); ++j) acc += a[j] * b[j];
+  return acc;
+}
+
+void dense_axpy(std::span<value_t> a, value_t alpha,
+                std::span<const value_t> b) noexcept {
+  assert(a.size() == b.size());
+  for (std::size_t j = 0; j < a.size(); ++j) a[j] += alpha * b[j];
+}
+
+void dense_scale(std::span<value_t> a, value_t alpha) noexcept {
+  for (auto& v : a) v *= alpha;
+}
+
+value_t dense_norm(std::span<const value_t> a) noexcept {
+  return std::sqrt(dense_dot(a, a));
+}
+
+value_t dense_squared_distance(std::span<const value_t> a,
+                               std::span<const value_t> b) noexcept {
+  assert(a.size() == b.size());
+  value_t acc = 0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const value_t diff = a[j] - b[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+value_t dense_l1_norm(std::span<const value_t> a) noexcept {
+  value_t acc = 0;
+  for (value_t v : a) acc += std::abs(v);
+  return acc;
+}
+
+}  // namespace isasgd::sparse

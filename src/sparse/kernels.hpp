@@ -1,0 +1,43 @@
+// Dense/sparse BLAS-1 kernels used by the solver inner loops.
+//
+// Two families:
+//   * sparse_* : touch only the nnz coordinates of a row — the
+//     index-compressed updates ASGD and IS-ASGD live on.
+//   * dense_*  : full-length-d passes — what SVRG's μ term forces and what
+//     the paper identifies as the absolute-convergence bottleneck. The
+//     micro bench (bench/micro_kernels) measures the gap directly.
+#pragma once
+
+#include <span>
+
+#include "sparse/sparse_vector.hpp"
+
+namespace isasgd::sparse {
+
+/// Sparse dot: Σ_k w[idx_k] · val_k. O(nnz).
+value_t sparse_dot(std::span<const value_t> w, SparseVectorView x) noexcept;
+
+/// Sparse axpy: w[idx_k] += alpha · val_k for each stored entry. O(nnz).
+void sparse_axpy(std::span<value_t> w, value_t alpha, SparseVectorView x) noexcept;
+
+/// Dense dot product. O(d).
+value_t dense_dot(std::span<const value_t> a, std::span<const value_t> b) noexcept;
+
+/// Dense axpy: a += alpha · b. O(d).
+void dense_axpy(std::span<value_t> a, value_t alpha,
+                std::span<const value_t> b) noexcept;
+
+/// Dense scale: a *= alpha. O(d).
+void dense_scale(std::span<value_t> a, value_t alpha) noexcept;
+
+/// Euclidean norm of a dense vector.
+value_t dense_norm(std::span<const value_t> a) noexcept;
+
+/// Squared Euclidean distance ‖a − b‖².
+value_t dense_squared_distance(std::span<const value_t> a,
+                               std::span<const value_t> b) noexcept;
+
+/// L1 norm of a dense vector.
+value_t dense_l1_norm(std::span<const value_t> a) noexcept;
+
+}  // namespace isasgd::sparse

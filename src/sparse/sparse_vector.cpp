@@ -1,0 +1,101 @@
+#include "sparse/sparse_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace isasgd::sparse {
+
+value_t SparseVectorView::squared_norm() const noexcept {
+  value_t acc = 0;
+  for (value_t v : values_) acc += v * v;
+  return acc;
+}
+
+value_t SparseVectorView::norm() const noexcept {
+  return std::sqrt(squared_norm());
+}
+
+SparseVector::SparseVector(std::vector<index_t> indices,
+                           std::vector<value_t> values)
+    : indices_(std::move(indices)), values_(std::move(values)) {
+  if (indices_.size() != values_.size()) {
+    throw std::invalid_argument("SparseVector: index/value size mismatch");
+  }
+  for (std::size_t k = 1; k < indices_.size(); ++k) {
+    if (indices_[k] <= indices_[k - 1]) {
+      throw std::invalid_argument(
+          "SparseVector: indices must be strictly increasing");
+    }
+  }
+}
+
+SparseVector SparseVector::from_unsorted(std::vector<index_t> indices,
+                                         std::vector<value_t> values) {
+  if (indices.size() != values.size()) {
+    throw std::invalid_argument("from_unsorted: size mismatch");
+  }
+  std::vector<std::size_t> order(indices.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return indices[a] < indices[b];
+  });
+  std::vector<index_t> out_idx;
+  std::vector<value_t> out_val;
+  out_idx.reserve(indices.size());
+  out_val.reserve(values.size());
+  for (std::size_t k : order) {
+    if (!out_idx.empty() && out_idx.back() == indices[k]) {
+      out_val.back() += values[k];  // merge duplicates
+    } else {
+      out_idx.push_back(indices[k]);
+      out_val.push_back(values[k]);
+    }
+  }
+  return SparseVector(std::move(out_idx), std::move(out_val));
+}
+
+SparseVector SparseVector::from_dense(std::span<const value_t> dense,
+                                      value_t tol) {
+  std::vector<index_t> idx;
+  std::vector<value_t> val;
+  for (std::size_t j = 0; j < dense.size(); ++j) {
+    if (std::abs(dense[j]) > tol) {
+      idx.push_back(static_cast<index_t>(j));
+      val.push_back(dense[j]);
+    }
+  }
+  return SparseVector(std::move(idx), std::move(val));
+}
+
+std::vector<value_t> SparseVector::to_dense(std::size_t dim) const {
+  if (!indices_.empty() && indices_.back() >= dim) {
+    throw std::out_of_range("to_dense: dim too small for stored indices");
+  }
+  std::vector<value_t> dense(dim, 0.0);
+  for (std::size_t k = 0; k < indices_.size(); ++k) {
+    dense[indices_[k]] = values_[k];
+  }
+  return dense;
+}
+
+value_t dot(SparseVectorView a, SparseVectorView b) noexcept {
+  value_t acc = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.nnz() && j < b.nnz()) {
+    const index_t ia = a.index(i), ib = b.index(j);
+    if (ia == ib) {
+      acc += a.value(i) * b.value(j);
+      ++i;
+      ++j;
+    } else if (ia < ib) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return acc;
+}
+
+}  // namespace isasgd::sparse

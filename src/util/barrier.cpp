@@ -1,0 +1,3 @@
+#include "util/barrier.hpp"
+
+namespace isasgd::util {}

@@ -1,0 +1,80 @@
+// Synchronisation primitives for the asynchronous solver worker pools.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace isasgd::util {
+
+/// Cache line size used for padding shared counters. 64 bytes on x86;
+/// std::hardware_destructive_interference_size is avoided because GCC warns
+/// it is ABI-unstable across -mtune values.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// A value padded out to its own cache line to prevent false sharing between
+/// per-thread counters that sit contiguously in a vector.
+template <class T>
+struct alignas(kCacheLineSize) CachePadded {
+  T value{};
+};
+
+/// Reusable spinning barrier for tight epoch loops inside solvers. All
+/// `count` threads must call arrive_and_wait(); generation counting makes it
+/// safely reusable across epochs.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t count) noexcept
+      : threshold_(count), remaining_(count) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() noexcept {
+    const std::size_t gen = generation_.load(std::memory_order_acquire);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last thread to arrive: reset and release the others.
+      remaining_.store(threshold_, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
+    } else {
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        // Busy wait; the epochs between barriers are long enough that a
+        // blocking barrier's wake-up latency would dominate otherwise.
+      }
+    }
+  }
+
+ private:
+  const std::size_t threshold_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<std::size_t> generation_{0};
+};
+
+/// Blocking barrier for coarse phases (dataset build, evaluation fences)
+/// where threads may wait long enough that spinning would waste a core.
+class BlockingBarrier {
+ public:
+  explicit BlockingBarrier(std::size_t count) : threshold_(count), remaining_(count) {}
+
+  void arrive_and_wait() {
+    std::unique_lock lock(mu_);
+    const std::size_t gen = generation_;
+    if (--remaining_ == 0) {
+      remaining_ = threshold_;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const std::size_t threshold_;
+  std::size_t remaining_;
+  std::size_t generation_ = 0;
+};
+
+}  // namespace isasgd::util

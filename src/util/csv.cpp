@@ -1,0 +1,107 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace isasgd::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open '" + path + "' for writing");
+  }
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  if (header_written_) {
+    throw std::logic_error("CsvWriter: header written twice");
+  }
+  if (columns.empty()) {
+    throw std::invalid_argument("CsvWriter: empty header");
+  }
+  width_ = columns.size();
+  header_written_ = true;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(columns[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (!header_written_) {
+    throw std::logic_error("CsvWriter: row before header");
+  }
+  if (cells.size() != width_) {
+    throw std::invalid_argument("CsvWriter: row width " +
+                                std::to_string(cells.size()) +
+                                " != header width " + std::to_string(width_));
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(cell);
+  std::string quoted;
+  quoted.reserve(cell.size() + 2);
+  quoted.push_back('"');
+  for (char c : cell) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+std::vector<std::vector<std::string>> read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_csv: cannot open '" + path + "'");
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> current;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_started = false;
+  char c;
+  while (in.get(c)) {
+    row_started = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get(c);
+          cell.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      current.push_back(std::move(cell));
+      cell.clear();
+    } else if (c == '\n') {
+      current.push_back(std::move(cell));
+      cell.clear();
+      rows.push_back(std::move(current));
+      current.clear();
+      row_started = false;
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  if (row_started) {
+    current.push_back(std::move(cell));
+    rows.push_back(std::move(current));
+  }
+  return rows;
+}
+
+}  // namespace isasgd::util

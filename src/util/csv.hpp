@@ -1,0 +1,65 @@
+// Minimal CSV emitter used by the benchmark harness to dump convergence
+// traces and table rows (`--out <dir>` on every bench binary).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace isasgd::util {
+
+/// Writes rows of mixed string/number cells to a CSV file. Values containing
+/// commas, quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error if it cannot.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes the header row. Must be called before any data row (enforced).
+  void header(const std::vector<std::string>& columns);
+
+  /// Appends a data row; cell count must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats arithmetic values with shortest round-trip output.
+  template <class... Ts>
+  void row_values(const Ts&... vals) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(vals));
+    (cells.push_back(format_cell(vals)), ...);
+    row(cells);
+  }
+
+  /// Number of data rows written so far (header excluded).
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Formats one value the way row_values() would.
+  template <class T>
+  static std::string format_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream os;
+      os.precision(12);
+      os << v;
+      return os.str();
+    }
+  }
+
+ private:
+  static std::string escape(std::string_view cell);
+
+  std::ofstream out_;
+  std::size_t width_ = 0;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+/// Parses a CSV file produced by CsvWriter back into rows of strings.
+/// Supports RFC-4180 quoting; used by tests to round-trip traces.
+std::vector<std::vector<std::string>> read_csv(const std::string& path);
+
+}  // namespace isasgd::util

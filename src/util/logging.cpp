@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace isasgd::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  using namespace std::chrono;
+  const double ts =
+      duration<double>(steady_clock::now().time_since_epoch()).count();
+  // One fprintf call so concurrent lines do not interleave mid-line.
+  std::fprintf(stderr, "[%s %12.3f] %s\n", level_name(level), ts,
+               message.c_str());
+}
+
+}  // namespace isasgd::util

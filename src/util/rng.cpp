@@ -1,0 +1,30 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace isasgd::util {
+
+template <class Gen>
+double normal_double(Gen& g) noexcept {
+  // Box–Muller; clamp u1 away from zero so log() is finite.
+  double u1 = uniform_double(g);
+  if (u1 < 0x1.0p-60) u1 = 0x1.0p-60;
+  const double u2 = uniform_double(g);
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+template double normal_double<SplitMix64>(SplitMix64&) noexcept;
+template double normal_double<Xoshiro256StarStar>(Xoshiro256StarStar&) noexcept;
+
+std::uint64_t derive_seed(std::uint64_t base_seed,
+                          std::uint64_t worker_index) noexcept {
+  // Mix the worker index through SplitMix64 twice so adjacent indices map to
+  // distant states.
+  SplitMix64 sm(base_seed ^ (0xa0761d6478bd642fULL * (worker_index + 1)));
+  (void)sm();
+  return sm();
+}
+
+}  // namespace isasgd::util

@@ -1,0 +1,42 @@
+// Test-and-test-and-set spinlock for the locked update-policy ablation.
+//
+// The locked disciplines exist to *measure* what Hogwild's lock-freedom
+// buys: the critical sections here are a handful of nanoseconds (one
+// load-add-store on one coordinate), exactly the regime where a mutex's
+// syscall path would swamp the work and a spinlock is the fair locked
+// comparator. The loop spins on a relaxed read (no cache-line ping-pong
+// while held) and only then attempts the exchange.
+#pragma once
+
+#include <atomic>
+
+namespace isasgd::util {
+
+/// Minimal TTAS spinlock. Satisfies BasicLockable (lock/unlock), so it works
+/// with std::lock_guard.
+class Spinlock {
+ public:
+  void lock() noexcept {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  /// Single attempt; true if the lock was taken.
+  [[nodiscard]] bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace isasgd::util

@@ -1,0 +1,55 @@
+// Fixed-width ASCII table printer. Bench binaries use it to print the
+// paper-shaped rows (Table 1, figure series) to stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace isasgd::util {
+
+/// Collects rows then renders them with per-column alignment:
+///
+///   TablePrinter t({"dataset", "psi", "rho"});
+///   t.add_row({"news20", "0.972", "5e-4"});
+///   std::cout << t.render();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Appends one row; width must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: numeric cells formatted with `precision` significant digits.
+  template <class... Ts>
+  void add_row_values(const Ts&... vals);
+
+  /// Renders the full table including a header separator line.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Formats a double with %.4g (benches share one look).
+  static std::string num(double v);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+template <class... Ts>
+void TablePrinter::add_row_values(const Ts&... vals) {
+  std::vector<std::string> cells;
+  cells.reserve(sizeof...(vals));
+  auto push = [&cells](const auto& v) {
+    using V = std::decay_t<decltype(v)>;
+    if constexpr (std::is_convertible_v<V, std::string>) {
+      cells.push_back(std::string(v));
+    } else {
+      cells.push_back(num(static_cast<double>(v)));
+    }
+  };
+  (push(vals), ...);
+  add_row(std::move(cells));
+}
+
+}  // namespace isasgd::util

@@ -1,0 +1,5 @@
+#include "util/timer.hpp"
+
+// Header-only in practice; this TU pins the vtable-free classes into the
+// library so downstream link lines stay uniform.
+namespace isasgd::util {}

@@ -1,0 +1,62 @@
+// Wall-clock stopwatch used by the convergence tracers and the benchmark
+// harness. steady_clock based: immune to NTP adjustments.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace isasgd::util {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulating timer: sums the durations of several start()/stop() windows.
+/// Useful for separating "sampling time" from "update time" in the overhead
+/// ablation (§4.2 of the paper).
+class AccumulatingTimer {
+ public:
+  void start() noexcept {
+    running_ = true;
+    window_.reset();
+  }
+
+  void stop() noexcept {
+    if (running_) {
+      total_ += window_.seconds();
+      running_ = false;
+    }
+  }
+
+  /// Total accumulated seconds across all closed windows.
+  [[nodiscard]] double seconds() const noexcept { return total_; }
+
+  void reset() noexcept {
+    total_ = 0;
+    running_ = false;
+  }
+
+ private:
+  Stopwatch window_;
+  double total_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace isasgd::util

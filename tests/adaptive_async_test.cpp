@@ -1,0 +1,105 @@
+// Adaptive (Eq.-11) importance refresh inside asynchronous IS-ASGD.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "metrics/evaluator.hpp"
+#include "objectives/logistic.hpp"
+#include "solvers/asgd.hpp"
+#include "solvers/is_asgd.hpp"
+
+namespace isasgd::solvers {
+namespace {
+
+using metrics::Evaluator;
+
+struct Fixture {
+  sparse::CsrMatrix data;
+  objectives::LogisticLoss loss;
+  Evaluator evaluator;
+
+  Fixture()
+      : data([] {
+          data::SyntheticSpec spec;
+          spec.rows = 2000;
+          spec.dim = 400;
+          spec.mean_row_nnz = 10;
+          spec.target_psi = 0.8;
+          spec.difficulty_coupling = 2.0;
+          spec.label_noise = 0.03;
+          return data::generate(spec);
+        }()),
+        evaluator(data, loss, objectives::Regularization::none(), 4) {}
+
+  SolverOptions options(std::size_t epochs = 8) const {
+    SolverOptions opt;
+    opt.step_size = 0.5;
+    opt.epochs = epochs;
+    opt.threads = 4;
+    opt.seed = 41;
+    return opt;
+  }
+};
+
+TEST(AdaptiveIsAsgd, ConvergesWithPerEpochRefresh) {
+  Fixture f;
+  auto opt = f.options();
+  opt.adaptive_importance = true;
+  opt.adaptive_interval = 1;
+  const Trace t = run_is_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  ASSERT_EQ(t.points.size(), 9u);
+  EXPECT_LT(t.points.back().rmse, 0.65 * t.points.front().rmse);
+  EXPECT_LT(t.best_error_rate(), 0.15);
+}
+
+TEST(AdaptiveIsAsgd, QualityTracksStaticIs) {
+  // Adaptive importance must not be *worse* than static Eq. 12 by more
+  // than noise — the refresh replaces a fixed approximation with the
+  // live optimum.
+  Fixture f;
+  auto opt = f.options(10);
+  const Trace fixed = run_is_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  opt.adaptive_importance = true;
+  const Trace adaptive =
+      run_is_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_LT(adaptive.best_error_rate(), fixed.best_error_rate() * 1.25);
+}
+
+TEST(AdaptiveIsAsgd, RefreshCostIsInsideTheTrainingClock) {
+  // The point of the extension: the Eq. 11 tracking cost must show up in
+  // the timed window, not in setup (compare to the static solver, whose
+  // sequence generation is all setup).
+  Fixture f;
+  auto opt = f.options(6);
+  const Trace fixed = run_is_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  opt.adaptive_importance = true;
+  const Trace adaptive =
+      run_is_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_LT(adaptive.setup_seconds, fixed.setup_seconds);
+  EXPECT_GT(adaptive.train_seconds, 0.0);
+}
+
+TEST(AdaptiveIsAsgd, IntervalReusesSequences) {
+  // interval = 3 over 6 epochs: refresh at epochs 1 and 4 only; the run
+  // must still be well-formed and converge.
+  Fixture f;
+  auto opt = f.options(6);
+  opt.adaptive_importance = true;
+  opt.adaptive_interval = 3;
+  const Trace t = run_is_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_LT(t.points.back().rmse, 0.7 * t.points.front().rmse);
+}
+
+TEST(AdaptiveIsAsgd, SingleThreadMatchesMultiThreadShape) {
+  Fixture f;
+  for (std::size_t threads : {1u, 8u}) {
+    auto opt = f.options(6);
+    opt.threads = threads;
+    opt.adaptive_importance = true;
+    const Trace t = run_is_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+    EXPECT_LT(t.points.back().rmse, 0.7 * t.points.front().rmse)
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace isasgd::solvers

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "analysis/conflict_graph.hpp"
+#include "analysis/dataset_stats.hpp"
+#include "data/synthetic.hpp"
+#include "objectives/logistic.hpp"
+#include "sparse/csr_builder.hpp"
+#include "util/rng.hpp"
+
+namespace isasgd::analysis {
+namespace {
+
+// ---------- ψ (Eq. 15) ----------
+
+TEST(Psi, EqualsOneForUniformLipschitz) {
+  EXPECT_DOUBLE_EQ(psi(std::vector<double>{2, 2, 2, 2}), 1.0);
+}
+
+TEST(Psi, MatchesHandComputation) {
+  // L = {1, 3}: (1+3)²/(2·(1+9)) = 16/20 = 0.8.
+  EXPECT_DOUBLE_EQ(psi(std::vector<double>{1, 3}), 0.8);
+}
+
+TEST(Psi, NeverExceedsOne) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> lip(100);
+    for (auto& l : lip) l = util::uniform_double(rng) + 1e-6;
+    const double p = psi(lip);
+    EXPECT_LE(p, 1.0 + 1e-12);
+    EXPECT_GT(p, 0.0);
+  }
+}
+
+TEST(Psi, FallsWithSpread) {
+  EXPECT_GT(psi(std::vector<double>{1.0, 1.1, 0.9}),
+            psi(std::vector<double>{1.0, 10.0, 0.1}));
+}
+
+TEST(Psi, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(psi(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(psi(std::vector<double>{0.0, 0.0}), 1.0);
+}
+
+// ---------- Lipschitz summary ----------
+
+TEST(LipschitzSummary, ComputesAllFields) {
+  const auto s = summarize_lipschitz(std::vector<double>{1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.sup, 4.0);
+  EXPECT_DOUBLE_EQ(s.inf, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.sum, 10.0);
+  EXPECT_DOUBLE_EQ(s.sum_sq, 30.0);
+}
+
+TEST(LipschitzSummary, RejectsEmpty) {
+  EXPECT_THROW(summarize_lipschitz(std::vector<double>{}),
+               std::invalid_argument);
+}
+
+// ---------- Iteration bounds (Eqs. 26/28/29) ----------
+
+TEST(IterationBounds, IsBoundNeverWorseThanSgdForEqualL) {
+  const auto lip = summarize_lipschitz(std::vector<double>{2, 2, 2});
+  BoundInputs in;
+  EXPECT_NEAR(is_sgd_iteration_bound(lip, in), sgd_iteration_bound(lip, in),
+              1e-9);
+}
+
+TEST(IterationBounds, IsBoundImprovesWithSpread) {
+  // sup L dominates the SGD bound; the IS bound depends on the mean. A
+  // heavy-tailed L therefore favours IS in the first (condition-number) term.
+  const auto spread = summarize_lipschitz(std::vector<double>{0.9, 1.0, 10.0});
+  BoundInputs in;
+  in.sigma_sq = 0;  // isolate the L/μ term
+  EXPECT_LT(is_sgd_iteration_bound(spread, in),
+            sgd_iteration_bound(spread, in));
+}
+
+TEST(IterationBounds, ShrinkWithLooserEpsilon) {
+  const auto lip = summarize_lipschitz(std::vector<double>{1, 2, 3});
+  BoundInputs tight;
+  tight.epsilon = 1e-6;
+  BoundInputs loose;
+  loose.epsilon = 1e-2;
+  EXPECT_LT(sgd_iteration_bound(lip, loose), sgd_iteration_bound(lip, tight));
+  EXPECT_LT(is_sgd_iteration_bound(lip, loose),
+            is_sgd_iteration_bound(lip, tight));
+}
+
+TEST(IterationBounds, RejectNonPositiveEpsilon) {
+  const auto lip = summarize_lipschitz(std::vector<double>{1.0});
+  BoundInputs in;
+  in.epsilon = 0;
+  EXPECT_THROW(sgd_iteration_bound(lip, in), std::invalid_argument);
+}
+
+// ---------- Rate constants (Eqs. 13/14) ----------
+
+TEST(RateConstants, RatioIsSqrtPsi) {
+  const std::vector<double> lip = {1, 2, 3, 4, 5};
+  const auto rc = rate_constants(lip, 1.0, 1.0);
+  EXPECT_NEAR(rc.ratio, std::sqrt(psi(lip)), 1e-12);
+  EXPECT_LE(rc.importance, rc.uniform + 1e-12);  // Cauchy–Schwarz
+}
+
+TEST(RateConstants, EqualityAtUniformLipschitz) {
+  const std::vector<double> lip = {3, 3, 3};
+  const auto rc = rate_constants(lip, 2.0, 0.5);
+  EXPECT_NEAR(rc.ratio, 1.0, 1e-12);
+}
+
+TEST(RateConstants, RejectsBadInputs) {
+  EXPECT_THROW(rate_constants(std::vector<double>{}, 1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(rate_constants(std::vector<double>{1.0}, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+// ---------- τ bound (Eq. 27) and friends ----------
+
+TEST(TauBound, TakesStructuralMinimumWhenConflictsDominate) {
+  const auto lip = summarize_lipschitz(std::vector<double>{1, 1});
+  BoundInputs in;
+  in.epsilon = 1e-9;  // tight ε → σ²/(εμ²) optimisation term is huge
+  // n/Δ̄ = 100/50 = 2 becomes the binding constraint.
+  EXPECT_NEAR(tau_bound(100, 50.0, lip, in), 2.0, 1e-9);
+}
+
+TEST(TauBound, GrowsWithSparsity) {
+  const auto lip = summarize_lipschitz(std::vector<double>{1, 1});
+  BoundInputs in;
+  in.epsilon = 1e-9;  // structural term binds in both cases
+  EXPECT_GT(tau_bound(1000, 2.0, lip, in), tau_bound(1000, 200.0, lip, in));
+}
+
+TEST(TauBound, InfiniteStructuralTermForConflictFreeData) {
+  const auto lip = summarize_lipschitz(std::vector<double>{1, 1});
+  BoundInputs in;
+  const double bound = tau_bound(10, 0.0, lip, in);
+  EXPECT_TRUE(std::isfinite(bound));  // optimisation term still applies
+}
+
+TEST(IsGradientInflation, MeanOverInf) {
+  const auto lip = summarize_lipschitz(std::vector<double>{1, 2, 3});
+  EXPECT_DOUBLE_EQ(is_gradient_inflation(lip), 2.0);
+}
+
+TEST(Lemma2StepSize, MatchesFormula) {
+  const auto lip = summarize_lipschitz(std::vector<double>{1, 4});
+  BoundInputs in;
+  in.mu = 2.0;
+  in.epsilon = 0.1;
+  in.sigma_sq = 3.0;
+  const double expected = 0.1 * 2.0 / (2 * 0.1 * 2.0 * 4.0 + 2 * 3.0);
+  EXPECT_NEAR(lemma2_step_size(lip, in), expected, 1e-12);
+}
+
+// ---------- Conflict graph ----------
+
+sparse::CsrMatrix conflict_fixture() {
+  // row0: {0}, row1: {0,1}, row2: {1}, row3: {2}.
+  // Edges: (0,1), (1,2). Degrees: 1, 2, 1, 0 → Δ̄ = 1.
+  sparse::CsrBuilder b(3);
+  b.add_row(std::vector<sparse::index_t>{0}, std::vector<sparse::value_t>{1}, 1);
+  b.add_row(std::vector<sparse::index_t>{0, 1},
+            std::vector<sparse::value_t>{1, 1}, -1);
+  b.add_row(std::vector<sparse::index_t>{1}, std::vector<sparse::value_t>{1}, 1);
+  b.add_row(std::vector<sparse::index_t>{2}, std::vector<sparse::value_t>{1}, -1);
+  return b.build();
+}
+
+TEST(ConflictGraph, ExactDegreesOnHandExample) {
+  const auto data = conflict_fixture();
+  const sparse::InvertedIndex index(data);
+  const auto stats = conflict_stats_exact(data, index);
+  EXPECT_DOUBLE_EQ(stats.average_degree, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max_degree, 2.0);
+  EXPECT_EQ(stats.rows_examined, 4u);
+  EXPECT_DOUBLE_EQ(stats.normalized, 0.25);
+}
+
+TEST(ConflictGraph, FullyConflictingClique) {
+  // All rows share feature 0 → complete graph, Δ̄ = n−1.
+  sparse::CsrBuilder b(1);
+  for (int i = 0; i < 5; ++i) {
+    b.add_row(std::vector<sparse::index_t>{0},
+              std::vector<sparse::value_t>{1}, 1);
+  }
+  const auto data = b.build();
+  const sparse::InvertedIndex index(data);
+  EXPECT_DOUBLE_EQ(conflict_stats_exact(data, index).average_degree, 4.0);
+}
+
+TEST(ConflictGraph, DisjointRowsHaveZeroDegree) {
+  sparse::CsrBuilder b(4);
+  for (int i = 0; i < 4; ++i) {
+    b.add_row(std::vector<sparse::index_t>{static_cast<sparse::index_t>(i)},
+              std::vector<sparse::value_t>{1}, 1);
+  }
+  const auto data = b.build();
+  const sparse::InvertedIndex index(data);
+  EXPECT_DOUBLE_EQ(conflict_stats_exact(data, index).average_degree, 0.0);
+}
+
+TEST(ConflictGraph, SampledEstimatorTracksExact) {
+  data::SyntheticSpec spec;
+  spec.rows = 800;
+  spec.dim = 400;
+  spec.mean_row_nnz = 4;
+  spec.feature_skew = 1.5;
+  const auto data = data::generate(spec);
+  const sparse::InvertedIndex index(data);
+  const auto exact = conflict_stats_exact(data, index);
+  const auto sampled = conflict_stats_sampled(data, index, 400, 99);
+  EXPECT_NEAR(sampled.average_degree, exact.average_degree,
+              0.15 * exact.average_degree + 1.0);
+}
+
+TEST(ConflictGraph, DenserDataHasHigherDegree) {
+  data::SyntheticSpec sparse_spec;
+  sparse_spec.rows = 500;
+  sparse_spec.dim = 2000;
+  sparse_spec.mean_row_nnz = 3;
+  data::SyntheticSpec dense_spec = sparse_spec;
+  dense_spec.mean_row_nnz = 40;
+  const auto sparse_data = data::generate(sparse_spec);
+  const auto dense_data = data::generate(dense_spec);
+  const sparse::InvertedIndex si(sparse_data), di(dense_data);
+  EXPECT_LT(conflict_stats_exact(sparse_data, si).average_degree,
+            conflict_stats_exact(dense_data, di).average_degree);
+}
+
+TEST(ConflictGraph, EmptyInputsAreSafe) {
+  sparse::CsrBuilder b(2);
+  b.add_row(std::vector<sparse::index_t>{0}, std::vector<sparse::value_t>{1}, 1);
+  const auto data = b.build();
+  const sparse::InvertedIndex index(data);
+  const auto none = conflict_stats_sampled(data, index, 0, 1);
+  EXPECT_EQ(none.rows_examined, 0u);
+}
+
+// ---------- Dataset stats (Table 1) ----------
+
+TEST(DatasetStats, ComputesTableOneColumns) {
+  data::SyntheticSpec spec;
+  spec.rows = 2000;
+  spec.dim = 1000;
+  spec.mean_row_nnz = 10;
+  spec.target_psi = 0.93;
+  const auto data = data::generate(spec);
+  objectives::LogisticLoss loss;
+  const auto stats = compute_dataset_stats(
+      "unit", data, loss, objectives::Regularization::none());
+  EXPECT_EQ(stats.name, "unit");
+  EXPECT_EQ(stats.dimension, 1000u);
+  EXPECT_EQ(stats.instances, 2000u);
+  EXPECT_NEAR(stats.gradient_sparsity, 0.01, 0.003);
+  EXPECT_NEAR(stats.psi, 0.93, 0.03);
+  EXPECT_GT(stats.avg_conflict_degree, 0.0);
+  EXPECT_GT(stats.lipschitz_sup, stats.lipschitz_mean);
+}
+
+TEST(DatasetStats, ConflictComputationCanBeSkipped) {
+  data::SyntheticSpec spec;
+  spec.rows = 100;
+  const auto data = data::generate(spec);
+  objectives::LogisticLoss loss;
+  DatasetStatsOptions opt;
+  opt.compute_conflicts = false;
+  const auto stats = compute_dataset_stats(
+      "x", data, loss, objectives::Regularization::none(), opt);
+  EXPECT_DOUBLE_EQ(stats.avg_conflict_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace isasgd::analysis

@@ -1,0 +1,102 @@
+#include "io/binary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/synthetic.hpp"
+
+namespace isasgd::io {
+namespace {
+
+sparse::CsrMatrix sample_dataset() {
+  data::SyntheticSpec spec;
+  spec.rows = 300;
+  spec.dim = 500;
+  spec.mean_row_nnz = 7;
+  spec.seed = 99;
+  return data::generate(spec);
+}
+
+TEST(BinaryIo, DatasetRoundTripsExactly) {
+  const auto original = sample_dataset();
+  std::stringstream buf;
+  write_dataset_binary(buf, original);
+  const auto restored = read_dataset_binary(buf);
+  EXPECT_EQ(restored.dim(), original.dim());
+  EXPECT_EQ(restored.rows(), original.rows());
+  EXPECT_EQ(restored.row_ptr(), original.row_ptr());
+  EXPECT_EQ(restored.col_idx(), original.col_idx());
+  EXPECT_EQ(restored.values(), original.values());
+  EXPECT_EQ(restored.labels(), original.labels());
+}
+
+TEST(BinaryIo, EmptyDatasetRoundTrips) {
+  sparse::CsrMatrix empty;
+  std::stringstream buf;
+  write_dataset_binary(buf, empty);
+  const auto restored = read_dataset_binary(buf);
+  EXPECT_EQ(restored.rows(), 0u);
+  EXPECT_EQ(restored.nnz(), 0u);
+}
+
+TEST(BinaryIo, BadMagicIsRejected) {
+  std::stringstream buf;
+  buf << "NOTMAGIC-and-some-padding-bytes";
+  EXPECT_THROW(read_dataset_binary(buf), std::runtime_error);
+}
+
+TEST(BinaryIo, TruncatedDatasetIsRejected) {
+  const auto original = sample_dataset();
+  std::stringstream buf;
+  write_dataset_binary(buf, original);
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream half(bytes);
+  EXPECT_THROW(read_dataset_binary(half), std::runtime_error);
+}
+
+TEST(BinaryIo, CorruptedHeaderIsRejected) {
+  const auto original = sample_dataset();
+  std::stringstream buf;
+  write_dataset_binary(buf, original);
+  std::string bytes = buf.str();
+  bytes[9] = '\xff';  // clobber the dim field
+  bytes[10] = '\xff';
+  bytes[15] = '\x7f';
+  std::stringstream bad(bytes);
+  EXPECT_THROW(read_dataset_binary(bad), std::runtime_error);
+}
+
+TEST(BinaryIo, ModelRoundTripsExactly) {
+  std::vector<double> w = {0.0, -1.5, 3.25e-17, 1e300, -0.0};
+  std::stringstream buf;
+  write_model_binary(buf, w);
+  EXPECT_EQ(read_model_binary(buf), w);
+}
+
+TEST(BinaryIo, ModelBadMagicIsRejected) {
+  const auto original = sample_dataset();
+  std::stringstream buf;
+  write_dataset_binary(buf, original);  // dataset magic, not model magic
+  EXPECT_THROW(read_model_binary(buf), std::runtime_error);
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const auto original = sample_dataset();
+  const std::string path = "/tmp/isasgd_binary_io_test.bin";
+  write_dataset_binary_file(path, original);
+  const auto restored = read_dataset_binary_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(restored.values(), original.values());
+}
+
+TEST(BinaryIo, MissingFileThrows) {
+  EXPECT_THROW(read_dataset_binary_file("/no/such/file.bin"),
+               std::runtime_error);
+  EXPECT_THROW(read_model_binary_file("/no/such/model.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace isasgd::io

@@ -1,0 +1,172 @@
+#include "sparse/csr_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/csr_builder.hpp"
+
+namespace isasgd::sparse {
+namespace {
+
+CsrMatrix small_matrix() {
+  // 3×5:
+  //   row0: (0:1.0) (2:2.0)
+  //   row1: (1:−1.0)
+  //   row2: (0:3.0) (3:4.0) (4:5.0)
+  return CsrMatrix(5, {0, 2, 3, 6}, {0, 2, 1, 0, 3, 4},
+                   {1.0, 2.0, -1.0, 3.0, 4.0, 5.0}, {1.0, -1.0, 1.0});
+}
+
+TEST(CsrMatrix, BasicAccessors) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.dim(), 5u);
+  EXPECT_EQ(m.nnz(), 6u);
+  EXPECT_DOUBLE_EQ(m.label(1), -1.0);
+}
+
+TEST(CsrMatrix, RowViewsAreCorrect) {
+  const CsrMatrix m = small_matrix();
+  const auto r0 = m.row(0);
+  EXPECT_EQ(r0.nnz(), 2u);
+  EXPECT_EQ(r0.index(1), 2u);
+  EXPECT_DOUBLE_EQ(r0.value(1), 2.0);
+  const auto r2 = m.row(2);
+  EXPECT_EQ(r2.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(r2.value(0), 3.0);
+}
+
+TEST(CsrMatrix, EmptyRowsAreAllowed) {
+  CsrMatrix m(3, {0, 0, 1}, {2}, {1.0}, {1.0, -1.0});
+  EXPECT_EQ(m.row(0).nnz(), 0u);
+  EXPECT_EQ(m.row(1).nnz(), 1u);
+}
+
+TEST(CsrMatrix, DensityAndMeanNnz) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_DOUBLE_EQ(m.density(), 6.0 / 15.0);
+  EXPECT_DOUBLE_EQ(m.mean_row_nnz(), 2.0);
+}
+
+TEST(CsrMatrix, DefaultConstructedIsEmpty) {
+  CsrMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(m.density(), 0.0);
+}
+
+TEST(CsrMatrix, RejectsBadRowPtrStart) {
+  EXPECT_THROW(CsrMatrix(2, {1, 2}, {0}, {1.0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrix, RejectsRowPtrLabelMismatch) {
+  EXPECT_THROW(CsrMatrix(2, {0, 1}, {0}, {1.0}, {1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrix, RejectsRowPtrNnzMismatch) {
+  EXPECT_THROW(CsrMatrix(2, {0, 2}, {0}, {1.0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrix, RejectsDecreasingRowPtr) {
+  EXPECT_THROW(
+      CsrMatrix(3, {0, 2, 1, 3}, {0, 1, 2}, {1.0, 1.0, 1.0}, {1, -1, 1}),
+      std::invalid_argument);
+}
+
+TEST(CsrMatrix, RejectsColumnOutOfRange) {
+  EXPECT_THROW(CsrMatrix(2, {0, 1}, {5}, {1.0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrix, RejectsUnsortedColumnsWithinRow) {
+  EXPECT_THROW(
+      CsrMatrix(4, {0, 2}, {3, 1}, {1.0, 1.0}, {1.0}),
+      std::invalid_argument);
+}
+
+TEST(CsrMatrix, RejectsDuplicateColumnsWithinRow) {
+  EXPECT_THROW(
+      CsrMatrix(4, {0, 2}, {1, 1}, {1.0, 1.0}, {1.0}),
+      std::invalid_argument);
+}
+
+TEST(CsrMatrix, SelectRowsExtractsAndReorders) {
+  const CsrMatrix m = small_matrix();
+  const CsrMatrix sub = m.select_rows({2, 0});
+  EXPECT_EQ(sub.rows(), 2u);
+  EXPECT_EQ(sub.dim(), 5u);
+  EXPECT_EQ(sub.row(0).nnz(), 3u);       // old row 2
+  EXPECT_DOUBLE_EQ(sub.label(1), 1.0);   // old row 0
+  EXPECT_DOUBLE_EQ(sub.row(1).value(0), 1.0);
+}
+
+TEST(CsrMatrix, SelectRowsAllowsRepetition) {
+  const CsrMatrix m = small_matrix();
+  const CsrMatrix sub = m.select_rows({1, 1, 1});
+  EXPECT_EQ(sub.rows(), 3u);
+  EXPECT_EQ(sub.nnz(), 3u);
+}
+
+TEST(CsrMatrix, SelectRowsRejectsOutOfRange) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_THROW(m.select_rows({7}), std::out_of_range);
+}
+
+TEST(CsrMatrix, SummaryMentionsShape) {
+  const std::string s = small_matrix().summary();
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("d=5"), std::string::npos);
+}
+
+TEST(CsrBuilder, BuildsIncrementally) {
+  CsrBuilder b;
+  b.add_row(std::vector<index_t>{0, 2}, std::vector<value_t>{1.0, 2.0}, 1.0);
+  b.add_row(std::vector<index_t>{1}, std::vector<value_t>{-1.0}, -1.0);
+  const CsrMatrix m = b.build();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.dim(), 3u);  // inferred from max index
+  EXPECT_EQ(m.nnz(), 3u);
+}
+
+TEST(CsrBuilder, DimHintExpandsDimension) {
+  CsrBuilder b(100);
+  b.add_row(std::vector<index_t>{3}, std::vector<value_t>{1.0}, 1.0);
+  EXPECT_EQ(b.build().dim(), 100u);
+}
+
+TEST(CsrBuilder, IndexBeyondHintGrowsDimension) {
+  CsrBuilder b(2);
+  b.add_row(std::vector<index_t>{9}, std::vector<value_t>{1.0}, 1.0);
+  EXPECT_EQ(b.build().dim(), 10u);
+}
+
+TEST(CsrBuilder, RejectsUnsortedRow) {
+  CsrBuilder b;
+  EXPECT_THROW(
+      b.add_row(std::vector<index_t>{2, 1}, std::vector<value_t>{1.0, 1.0}, 1.0),
+      std::invalid_argument);
+}
+
+TEST(CsrBuilder, AddRowUnsortedNormalises) {
+  CsrBuilder b;
+  b.add_row_unsorted({5, 1, 5}, {1.0, 2.0, 3.0}, -1.0);
+  const CsrMatrix m = b.build();
+  EXPECT_EQ(m.row(0).nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.row(0).value(1), 4.0);  // merged duplicates
+}
+
+TEST(CsrBuilder, IsReusableAfterBuild) {
+  CsrBuilder b;
+  b.add_row(std::vector<index_t>{0}, std::vector<value_t>{1.0}, 1.0);
+  (void)b.build();
+  EXPECT_EQ(b.rows(), 0u);
+  b.add_row(std::vector<index_t>{1}, std::vector<value_t>{2.0}, -1.0);
+  const CsrMatrix m = b.build();
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.dim(), 2u);
+}
+
+}  // namespace
+}  // namespace isasgd::sparse

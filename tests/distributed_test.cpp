@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "distributed/allreduce.hpp"
+#include "distributed/cluster.hpp"
+#include "distributed/param_server.hpp"
+#include "metrics/evaluator.hpp"
+#include "objectives/logistic.hpp"
+
+namespace isasgd::distributed {
+namespace {
+
+using metrics::Evaluator;
+
+struct Fixture {
+  sparse::CsrMatrix data;
+  objectives::LogisticLoss loss;
+  Evaluator evaluator;
+
+  explicit Fixture(std::size_t rows = 1200, std::size_t dim = 400,
+                   double nnz = 10, double psi = 0.9)
+      : data([&] {
+          data::SyntheticSpec spec;
+          spec.rows = rows;
+          spec.dim = dim;
+          spec.mean_row_nnz = nnz;
+          spec.target_psi = psi;
+          spec.label_noise = 0.02;
+          return data::generate(spec);
+        }()),
+        evaluator(data, loss, objectives::Regularization::none(), 4) {}
+};
+
+solvers::SolverOptions base_options(std::size_t epochs = 5,
+                                    double lambda = 0.5) {
+  solvers::SolverOptions opt;
+  opt.step_size = lambda;
+  opt.epochs = epochs;
+  opt.seed = 99;
+  return opt;
+}
+
+// ---------- ClusterSpec cost model ----------
+
+TEST(ClusterSpec, ValidatesParameters) {
+  ClusterSpec bad;
+  bad.nodes = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ClusterSpec{};
+  bad.bandwidth_bytes_per_second = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ClusterSpec{};
+  bad.bytes_per_nnz = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(ClusterSpec{}.validate());
+}
+
+TEST(ClusterSpec, MessageCostIsLatencyPlusBytes) {
+  ClusterSpec spec;
+  spec.latency_seconds = 1e-4;
+  spec.bandwidth_bytes_per_second = 1e6;
+  EXPECT_NEAR(spec.message_seconds(1000), 1e-4 + 1e-3, 1e-12);
+  EXPECT_NEAR(spec.sparse_push_seconds(10),
+              1e-4 + 10.0 * spec.bytes_per_nnz / 1e6, 1e-12);
+}
+
+TEST(ClusterSpec, SparsePushIsOrdersCheaperThanDenseAllreduce) {
+  // The §1.2 argument at cluster scale: an index-compressed push of ~10 nnz
+  // vs a ring all-reduce of a d = 1e6 dense vector.
+  ClusterSpec spec;
+  spec.nodes = 8;
+  const double push = spec.sparse_push_seconds(10);
+  const double reduce = spec.ring_allreduce_seconds(1'000'000);
+  EXPECT_GT(reduce / push, 100.0);
+}
+
+TEST(ClusterSpec, RingAllreduceScalesWithDimension) {
+  ClusterSpec spec;
+  spec.nodes = 4;
+  spec.latency_seconds = 0;  // isolate the bandwidth term
+  const double small = spec.ring_allreduce_seconds(1000);
+  const double large = spec.ring_allreduce_seconds(100000);
+  EXPECT_NEAR(large / small, 100.0, 1e-6);
+  EXPECT_DOUBLE_EQ(ClusterSpec{.nodes = 1}.ring_allreduce_seconds(5000), 0.0);
+}
+
+TEST(ClusterSpec, ComputeCostLinearInNnz) {
+  ClusterSpec spec;
+  EXPECT_NEAR(spec.compute_seconds(50), 50 * spec.compute_seconds_per_nnz,
+              1e-18);
+}
+
+// ---------- Parameter server ----------
+
+TEST(ParamServer, ConvergesOnClassification) {
+  Fixture f;
+  ClusterSpec spec;
+  spec.nodes = 4;
+  const solvers::Trace t = run_param_server(
+      f.data, f.loss, base_options(8), spec, true, f.evaluator.as_fn());
+  ASSERT_EQ(t.points.size(), 9u);
+  EXPECT_LT(t.points.back().rmse, 0.62 * t.points.front().rmse);
+  EXPECT_LT(t.best_error_rate(), 0.15);
+  EXPECT_EQ(t.algorithm, "ps_is_asgd");
+}
+
+TEST(ParamServer, UniformVariantConvergesToo) {
+  Fixture f;
+  ClusterSpec spec;
+  spec.nodes = 4;
+  const solvers::Trace t = run_param_server(
+      f.data, f.loss, base_options(8), spec, false, f.evaluator.as_fn());
+  EXPECT_LT(t.points.back().rmse, 0.62 * t.points.front().rmse);
+  EXPECT_EQ(t.algorithm, "ps_asgd");
+}
+
+TEST(ParamServer, AppliesEveryUpdateEachEpoch) {
+  Fixture f(600, 200, 8);
+  ClusterSpec spec;
+  spec.nodes = 3;
+  ParamServerReport report;
+  (void)run_param_server(f.data, f.loss, base_options(4), spec, true,
+                         f.evaluator.as_fn(), &report);
+  EXPECT_EQ(report.messages, 4u * 600u);
+  EXPECT_GT(report.bytes_sent, 0u);
+  EXPECT_GT(report.simulated_seconds, 0.0);
+}
+
+TEST(ParamServer, StalenessGrowsWithNodeCount) {
+  // The emergent τ tracks the concurrency, the paper's "τ is linearly
+  // related to the concurrency" assumption — now measured, not assumed.
+  Fixture f(1000, 300, 10);
+  std::vector<double> staleness;
+  for (std::size_t nodes : {2u, 4u, 8u}) {
+    ClusterSpec spec;
+    spec.nodes = nodes;
+    ParamServerReport report;
+    (void)run_param_server(f.data, f.loss, base_options(2), spec, true,
+                           f.evaluator.as_fn(), &report);
+    staleness.push_back(report.mean_staleness_updates);
+  }
+  EXPECT_LT(staleness[0], staleness[1]);
+  EXPECT_LT(staleness[1], staleness[2]);
+}
+
+TEST(ParamServer, SlowNetworkStretchesSimTimeNotStaleness) {
+  // With flow control, staleness in *update counts* is pinned by the send
+  // window (≈ nodes × window) whatever the latency; the latency shows up in
+  // simulated seconds instead. Both facets pinned here.
+  Fixture f(800, 300, 10);
+  ClusterSpec fast;
+  fast.nodes = 4;
+  ClusterSpec slow = fast;
+  slow.latency_seconds = 100 * fast.latency_seconds;
+  ParamServerReport fast_report, slow_report;
+  (void)run_param_server(f.data, f.loss, base_options(2), fast, true,
+                         f.evaluator.as_fn(), &fast_report);
+  (void)run_param_server(f.data, f.loss, base_options(2), slow, true,
+                         f.evaluator.as_fn(), &slow_report);
+  EXPECT_GT(slow_report.simulated_seconds, 10 * fast_report.simulated_seconds);
+  const double window_bound =
+      static_cast<double>(fast.nodes * fast.max_outstanding_pushes);
+  EXPECT_LE(fast_report.mean_staleness_updates, window_bound);
+  EXPECT_LE(slow_report.mean_staleness_updates, window_bound);
+}
+
+TEST(ParamServer, WiderSendWindowRaisesStaleness) {
+  Fixture f(800, 300, 10);
+  ClusterSpec narrow;
+  narrow.nodes = 4;
+  narrow.max_outstanding_pushes = 1;
+  ClusterSpec wide = narrow;
+  wide.max_outstanding_pushes = 32;
+  ParamServerReport narrow_report, wide_report;
+  (void)run_param_server(f.data, f.loss, base_options(2), narrow, true,
+                         f.evaluator.as_fn(), &narrow_report);
+  (void)run_param_server(f.data, f.loss, base_options(2), wide, true,
+                         f.evaluator.as_fn(), &wide_report);
+  EXPECT_GT(wide_report.mean_staleness_updates,
+            2 * narrow_report.mean_staleness_updates);
+  // The wider pipeline hides latency: more throughput, less simulated time.
+  EXPECT_LT(wide_report.simulated_seconds, narrow_report.simulated_seconds);
+}
+
+TEST(ParamServer, MoreNodesFinishSoonerInSimTime) {
+  // Near-linear speedup regime: compute dominates at default prices.
+  Fixture f(2000, 500, 12);
+  double prev = 1e100;
+  for (std::size_t nodes : {1u, 4u, 16u}) {
+    ClusterSpec spec;
+    spec.nodes = nodes;
+    ParamServerReport report;
+    (void)run_param_server(f.data, f.loss, base_options(2), spec, true,
+                           f.evaluator.as_fn(), &report);
+    EXPECT_LT(report.simulated_seconds, prev) << nodes << " nodes";
+    prev = report.simulated_seconds;
+  }
+}
+
+TEST(ParamServer, ImportanceBalancingEqualizesNodePhis) {
+  // High-ρ data: the balanced partition's Φ spread must be far tighter than
+  // a raw shuffle's (the §2.3/2.4 story at node granularity).
+  data::SyntheticSpec spec;
+  spec.rows = 400;
+  spec.dim = 200;
+  spec.mean_row_nnz = 8;
+  spec.target_psi = 0.6;  // wide Lipschitz spread
+  const auto data = data::generate(spec);
+  objectives::LogisticLoss loss;
+  Evaluator evaluator(data, loss, objectives::Regularization::none(), 2);
+  ClusterSpec cluster;
+  cluster.nodes = 8;
+
+  auto opt = base_options(1);
+  opt.partition.strategy = partition::Strategy::kGreedyLpt;
+  ParamServerReport balanced;
+  (void)run_param_server(data, loss, opt, cluster, true, evaluator.as_fn(),
+                         &balanced);
+  opt.partition.strategy = partition::Strategy::kNone;
+  ParamServerReport raw;
+  (void)run_param_server(data, loss, opt, cluster, true, evaluator.as_fn(),
+                         &raw);
+  EXPECT_EQ(balanced.applied_strategy, partition::Strategy::kGreedyLpt);
+  EXPECT_LT(balanced.phi_imbalance, 0.5 * raw.phi_imbalance);
+  EXPECT_LT(balanced.phi_imbalance, 0.05);
+}
+
+TEST(ParamServer, DeterministicForFixedSeed) {
+  Fixture f(500, 150, 8);
+  ClusterSpec spec;
+  spec.nodes = 4;
+  auto opt = base_options(3);
+  opt.keep_final_model = true;
+  const solvers::Trace a =
+      run_param_server(f.data, f.loss, opt, spec, true, f.evaluator.as_fn());
+  const solvers::Trace b =
+      run_param_server(f.data, f.loss, opt, spec, true, f.evaluator.as_fn());
+  ASSERT_EQ(a.final_model.size(), b.final_model.size());
+  for (std::size_t j = 0; j < a.final_model.size(); ++j) {
+    ASSERT_EQ(a.final_model[j], b.final_model[j]);
+  }
+  EXPECT_DOUBLE_EQ(a.train_seconds, b.train_seconds);
+}
+
+// ---------- All-reduce ----------
+
+TEST(Allreduce, ConvergesOnClassification) {
+  Fixture f;
+  ClusterSpec spec;
+  spec.nodes = 4;
+  // A round averages k·b gradients into one λ step, so per-sample progress
+  // is b·k× slower than sequential SGD; keep the batch small and run longer.
+  auto opt = base_options(10, 1.0);
+  opt.batch_size = 2;
+  const solvers::Trace t =
+      run_allreduce_sgd(f.data, f.loss, opt, spec, false, f.evaluator.as_fn());
+  EXPECT_LT(t.points.back().rmse, 0.75 * t.points.front().rmse);
+  EXPECT_EQ(t.algorithm, "allreduce_sgd");
+}
+
+TEST(Allreduce, RoundCountMatchesQuota) {
+  Fixture f(600, 100, 8);
+  ClusterSpec spec;
+  spec.nodes = 4;
+  auto opt = base_options(3);
+  opt.batch_size = 5;  // 4 nodes × 5 = 20 samples/round → 30 rounds/epoch
+  AllreduceReport report;
+  (void)run_allreduce_sgd(f.data, f.loss, opt, spec, false,
+                          f.evaluator.as_fn(), &report);
+  EXPECT_EQ(report.rounds, 3u * 30u);
+  EXPECT_GT(report.comm_fraction, 0.0);
+  EXPECT_LT(report.comm_fraction, 1.0);
+}
+
+TEST(Allreduce, CommunicationShareGrowsWithDimension) {
+  // The dense collective's cost is Θ(d) while compute is Θ(nnz): as d rises
+  // at fixed nnz the simulated run becomes communication-bound.
+  ClusterSpec spec;
+  spec.nodes = 4;
+  std::vector<double> frac;
+  for (std::size_t dim : {200u, 20000u}) {
+    Fixture f(400, dim, 8);
+    AllreduceReport report;
+    (void)run_allreduce_sgd(f.data, f.loss, base_options(1), spec, false,
+                            f.evaluator.as_fn(), &report);
+    frac.push_back(report.comm_fraction);
+  }
+  EXPECT_GT(frac[1], frac[0]);
+}
+
+// ---------- heterogeneous node speeds (stragglers) ----------
+
+TEST(ClusterSpec, ValidatesNodeSpeeds) {
+  ClusterSpec spec;
+  spec.nodes = 3;
+  spec.node_speed = {1.0, 2.0};  // wrong arity
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.node_speed = {1.0, 0.0, 1.0};  // non-positive
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.node_speed = {1.0, 2.0, 0.5};
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_DOUBLE_EQ(spec.speed(2), 0.5);
+  EXPECT_DOUBLE_EQ(spec.node_compute_seconds(2, 10),
+                   2.0 * spec.compute_seconds(10));
+  spec.node_speed.clear();
+  EXPECT_DOUBLE_EQ(spec.speed(2), 1.0);
+}
+
+TEST(Straggler, NetworkBoundRegimeHidesComputeStragglers) {
+  // Under the default prices a gradient costs ~20 ns while a round trip is
+  // ~100 µs: every worker spends its life stalled on the flow-control
+  // window, so a 4x compute slowdown on one node is *invisible* — the
+  // network, not the CPU, sets the pace. Pin that insensitivity.
+  Fixture f(1200, 5000, 10);
+  ClusterSpec uniform;
+  uniform.nodes = 4;
+  ClusterSpec straggler = uniform;
+  straggler.node_speed = {1.0, 1.0, 1.0, 0.25};
+  ParamServerReport ps_uniform, ps_straggler;
+  (void)run_param_server(f.data, f.loss, base_options(2), uniform, true,
+                         f.evaluator.as_fn(), &ps_uniform);
+  (void)run_param_server(f.data, f.loss, base_options(2), straggler, true,
+                         f.evaluator.as_fn(), &ps_straggler);
+  EXPECT_NEAR(ps_straggler.simulated_seconds / ps_uniform.simulated_seconds,
+              1.0, 0.1);
+}
+
+/// Compute-bound prices: gradients cost microseconds, messages ~nothing.
+ClusterSpec compute_bound_cluster() {
+  ClusterSpec spec;
+  spec.nodes = 4;
+  spec.latency_seconds = 1e-7;
+  spec.compute_seconds_per_nnz = 1e-6;  // 10 nnz → 10 µs per gradient
+  return spec;
+}
+
+TEST(Straggler, ComputeBoundRegimeIsStragglerBoundInBothSolvers) {
+  // With equal static shards the epoch cannot end before the slow node
+  // finishes its quota — *neither* solver escapes a 4x compute straggler
+  // (asynchrony reorders work, it does not rebalance it). This measurement
+  // is what motivates speed-weighted sharding.
+  Fixture f(1200, 5000, 10);
+  const ClusterSpec uniform = compute_bound_cluster();
+  ClusterSpec straggler = uniform;
+  straggler.node_speed = {1.0, 1.0, 1.0, 0.25};
+
+  ParamServerReport ps_uniform, ps_straggler;
+  (void)run_param_server(f.data, f.loss, base_options(2), uniform, true,
+                         f.evaluator.as_fn(), &ps_uniform);
+  (void)run_param_server(f.data, f.loss, base_options(2), straggler, true,
+                         f.evaluator.as_fn(), &ps_straggler);
+  const double ps_ratio =
+      ps_straggler.simulated_seconds / ps_uniform.simulated_seconds;
+  EXPECT_GT(ps_ratio, 2.5);
+  EXPECT_LT(ps_ratio, 4.5);
+
+  auto opt = base_options(2);
+  opt.batch_size = 4;
+  AllreduceReport ar_uniform, ar_straggler;
+  (void)run_allreduce_sgd(f.data, f.loss, opt, uniform, false,
+                          f.evaluator.as_fn(), &ar_uniform);
+  (void)run_allreduce_sgd(f.data, f.loss, opt, straggler, false,
+                          f.evaluator.as_fn(), &ar_straggler);
+  EXPECT_GT(ar_straggler.simulated_seconds,
+            2.0 * ar_uniform.simulated_seconds);
+}
+
+TEST(Straggler, StragglerSerialisesTheEpochTail) {
+  // Counter-intuitive but correct: the straggler *lowers* mean staleness.
+  // Its own updates are staler (many fast updates land during each slow
+  // compute), but once the fast nodes exhaust their equal-share quotas the
+  // slow node runs the rest of the epoch alone — zero concurrency, zero
+  // staleness — and that serialised tail dominates the mean. Asynchrony's
+  // parallelism collapses exactly where the wall-clock is lost; both
+  // symptoms (lower staleness, longer epoch) share the static-sharding
+  // cause.
+  Fixture f(1000, 400, 10);
+  const ClusterSpec uniform = compute_bound_cluster();
+  ClusterSpec straggler = uniform;
+  straggler.node_speed = {1.0, 1.0, 1.0, 0.1};
+  ParamServerReport uniform_report, straggler_report;
+  (void)run_param_server(f.data, f.loss, base_options(1), uniform, true,
+                         f.evaluator.as_fn(), &uniform_report);
+  (void)run_param_server(f.data, f.loss, base_options(1), straggler, true,
+                         f.evaluator.as_fn(), &straggler_report);
+  EXPECT_LT(straggler_report.mean_staleness_updates,
+            uniform_report.mean_staleness_updates);
+  EXPECT_GT(straggler_report.simulated_seconds,
+            3.0 * uniform_report.simulated_seconds);
+}
+
+TEST(Allreduce, AsyncSparsePushBeatsDenseAllreduceOnSparseHighDim) {
+  // The headline distributed claim: same data, same epochs, simulated
+  // seconds — the sparse async server finishes far sooner when d ≫ nnz.
+  Fixture f(800, 20000, 8);
+  ClusterSpec spec;
+  spec.nodes = 4;
+  ParamServerReport ps;
+  AllreduceReport ar;
+  (void)run_param_server(f.data, f.loss, base_options(2), spec, true,
+                         f.evaluator.as_fn(), &ps);
+  (void)run_allreduce_sgd(f.data, f.loss, base_options(2), spec, false,
+                          f.evaluator.as_fn(), &ar);
+  EXPECT_LT(ps.simulated_seconds * 5, ar.simulated_seconds);
+}
+
+}  // namespace
+}  // namespace isasgd::distributed

@@ -1,0 +1,99 @@
+#include "metrics/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+#include "data/synthetic.hpp"
+#include "objectives/least_squares.hpp"
+#include "objectives/logistic.hpp"
+#include "sparse/csr_builder.hpp"
+
+namespace isasgd::metrics {
+namespace {
+
+sparse::CsrMatrix two_row_data() {
+  sparse::CsrBuilder b(2);
+  b.add_row(std::vector<sparse::index_t>{0}, std::vector<sparse::value_t>{1.0},
+            1.0);
+  b.add_row(std::vector<sparse::index_t>{1}, std::vector<sparse::value_t>{1.0},
+            -1.0);
+  return b.build();
+}
+
+TEST(Evaluator, ZeroModelScoresLogTwoAndChanceDependsOnSign) {
+  const auto data = two_row_data();
+  objectives::LogisticLoss loss;
+  Evaluator ev(data, loss, objectives::Regularization::none());
+  const auto r = ev.evaluate(std::vector<double>{0.0, 0.0});
+  EXPECT_NEAR(r.objective, std::log(2.0), 1e-12);
+  EXPECT_NEAR(r.rmse, std::sqrt(std::log(2.0)), 1e-12);
+  // margin 0 predicts +1: row0 correct, row1 wrong → 50 % error.
+  EXPECT_DOUBLE_EQ(r.error_rate, 0.5);
+}
+
+TEST(Evaluator, PerfectModelHasZeroError) {
+  const auto data = two_row_data();
+  objectives::LogisticLoss loss;
+  Evaluator ev(data, loss, objectives::Regularization::none());
+  const auto r = ev.evaluate(std::vector<double>{10.0, -10.0});
+  EXPECT_DOUBLE_EQ(r.error_rate, 0.0);
+  EXPECT_LT(r.objective, 1e-4);
+}
+
+TEST(Evaluator, RegularizerEntersObjective) {
+  const auto data = two_row_data();
+  objectives::LogisticLoss loss;
+  Evaluator plain(data, loss, objectives::Regularization::none());
+  Evaluator l1(data, loss, objectives::Regularization::l1(0.1));
+  const std::vector<double> w = {1.0, -1.0};
+  EXPECT_NEAR(l1.evaluate(w).objective - plain.evaluate(w).objective,
+              0.1 * 2.0, 1e-12);
+}
+
+TEST(Evaluator, RegressionErrorRateIsNan) {
+  const auto data = two_row_data();
+  objectives::LeastSquaresLoss loss;
+  Evaluator ev(data, loss, objectives::Regularization::none());
+  EXPECT_TRUE(std::isnan(ev.evaluate(std::vector<double>{0, 0}).error_rate));
+}
+
+TEST(Evaluator, ParallelMatchesSerial) {
+  data::SyntheticSpec spec;
+  spec.rows = 5000;
+  spec.dim = 400;
+  spec.mean_row_nnz = 12;
+  const auto data = data::generate(spec);
+  objectives::LogisticLoss loss;
+  Evaluator serial(data, loss, objectives::Regularization::l1(1e-4), 1);
+  Evaluator parallel(data, loss, objectives::Regularization::l1(1e-4), 8);
+  std::vector<double> w(data.dim());
+  util::Rng rng(5);
+  for (auto& v : w) v = util::normal_double(rng) * 0.1;
+  const auto a = serial.evaluate(w);
+  const auto b = parallel.evaluate(w);
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+  EXPECT_DOUBLE_EQ(a.error_rate, b.error_rate);
+}
+
+TEST(Evaluator, MoreThreadsThanRowsIsSafe) {
+  const auto data = two_row_data();
+  objectives::LogisticLoss loss;
+  Evaluator ev(data, loss, objectives::Regularization::none(), 16);
+  const auto r = ev.evaluate(std::vector<double>{0.0, 0.0});
+  EXPECT_NEAR(r.objective, std::log(2.0), 1e-12);
+}
+
+TEST(Evaluator, AsFnBindsEvaluator) {
+  const auto data = two_row_data();
+  objectives::LogisticLoss loss;
+  Evaluator ev(data, loss, objectives::Regularization::none());
+  const solvers::EvalFn fn = ev.as_fn();
+  EXPECT_NEAR(fn(std::vector<double>{0.0, 0.0}).objective, std::log(2.0),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace isasgd::metrics

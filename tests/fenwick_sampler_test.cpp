@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "sampling/alias_table.hpp"
+#include "sampling/fenwick_sampler.hpp"
+#include "util/rng.hpp"
+
+namespace isasgd::sampling {
+namespace {
+
+TEST(FenwickSampler, NormalizesProbabilities) {
+  std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  FenwickSampler s(weights);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_NEAR(s.total(), 10.0, 1e-12);
+  EXPECT_NEAR(s.probability(0), 0.1, 1e-12);
+  EXPECT_NEAR(s.probability(3), 0.4, 1e-12);
+}
+
+TEST(FenwickSampler, RejectsInvalidWeights) {
+  EXPECT_THROW(FenwickSampler(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(FenwickSampler(std::vector<double>{1.0, -0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(FenwickSampler(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(FenwickSampler(std::vector<double>{
+                   std::numeric_limits<double>::infinity()}),
+               std::invalid_argument);
+  EXPECT_THROW(FenwickSampler(std::vector<double>{std::nan("")}),
+               std::invalid_argument);
+}
+
+TEST(FenwickSampler, PrefixSumsMatchDirectAccumulation) {
+  std::vector<double> weights = {0.5, 0.0, 2.5, 1.0, 3.0, 0.0, 1.5};
+  FenwickSampler s(weights);
+  double acc = 0;
+  for (std::size_t i = 0; i <= weights.size(); ++i) {
+    EXPECT_NEAR(s.prefix_sum(i), acc, 1e-12) << "prefix " << i;
+    if (i < weights.size()) acc += weights[i];
+  }
+}
+
+TEST(FenwickSampler, LocateFindsTheBracketingOutcome) {
+  FenwickSampler s(std::vector<double>{1.0, 0.0, 1.0, 2.0});
+  EXPECT_EQ(s.locate(0.0), 0u);
+  EXPECT_EQ(s.locate(0.999), 0u);
+  EXPECT_EQ(s.locate(1.0), 2u);   // zero-weight outcome 1 is skipped
+  EXPECT_EQ(s.locate(1.999), 2u);
+  EXPECT_EQ(s.locate(2.0), 3u);
+  EXPECT_EQ(s.locate(3.999), 3u);
+  // Roundup past the total clamps onto the last positive-weight outcome.
+  EXPECT_EQ(s.locate(4.0), 3u);
+}
+
+TEST(FenwickSampler, LocateClampSkipsTrailingZeroWeights) {
+  FenwickSampler s(std::vector<double>{1.0, 2.0, 0.0, 0.0});
+  EXPECT_EQ(s.locate(3.0), 1u);
+  EXPECT_EQ(s.locate(5.0), 1u);
+}
+
+TEST(FenwickSampler, ZeroWeightOutcomeNeverSampled) {
+  FenwickSampler s(std::vector<double>{1.0, 0.0, 1.0});
+  util::Rng rng(2);
+  for (int i = 0; i < 20000; ++i) EXPECT_NE(s.sample(rng), 1u);
+}
+
+TEST(FenwickSampler, EmpiricalFrequenciesMatchWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  FenwickSampler s(weights);
+  util::Rng rng(3);
+  constexpr int kSamples = 400000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[s.sample(rng)];
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    const double expected = weights[k] / 10.0;
+    const double got = counts[k] / double(kSamples);
+    EXPECT_NEAR(got, expected, 4 * std::sqrt(expected / kSamples))
+        << "outcome " << k;
+  }
+}
+
+TEST(FenwickSampler, SetWeightUpdatesDistribution) {
+  FenwickSampler s(std::vector<double>{1.0, 1.0, 1.0, 1.0});
+  s.set_weight(2, 5.0);
+  EXPECT_NEAR(s.total(), 8.0, 1e-12);
+  EXPECT_NEAR(s.probability(2), 5.0 / 8.0, 1e-12);
+  EXPECT_NEAR(s.prefix_sum(4), 8.0, 1e-12);
+  EXPECT_NEAR(s.prefix_sum(3), 7.0, 1e-12);
+
+  util::Rng rng(4);
+  constexpr int kSamples = 200000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (s.sample(rng) == 2u) ++hits;
+  }
+  const double expected = 5.0 / 8.0;
+  EXPECT_NEAR(hits / double(kSamples), expected,
+              4 * std::sqrt(expected / kSamples));
+}
+
+TEST(FenwickSampler, SetWeightToZeroRemovesOutcome) {
+  FenwickSampler s(std::vector<double>{1.0, 1.0, 1.0});
+  s.set_weight(1, 0.0);
+  util::Rng rng(5);
+  for (int i = 0; i < 20000; ++i) EXPECT_NE(s.sample(rng), 1u);
+}
+
+TEST(FenwickSampler, SetWeightRejectsInvalid) {
+  FenwickSampler s(std::vector<double>{1.0, 1.0});
+  EXPECT_THROW(s.set_weight(5, 1.0), std::out_of_range);
+  EXPECT_THROW(s.set_weight(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(s.set_weight(0, std::nan("")), std::invalid_argument);
+  s.set_weight(0, 0.0);
+  EXPECT_THROW(s.set_weight(1, 0.0), std::invalid_argument);  // total → 0
+}
+
+TEST(FenwickSampler, ManyIncrementalUpdatesStayConsistent) {
+  const std::size_t n = 257;  // deliberately not a power of two
+  std::vector<double> weights(n, 1.0);
+  FenwickSampler s(weights);
+  util::Rng rng(6);
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t i = util::uniform_index(rng, n);
+    const double w = util::uniform_double(rng) * 10.0;
+    s.set_weight(i, w);
+    weights[i] = w;
+  }
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  EXPECT_NEAR(s.total(), total, 1e-9 * total);
+  double acc = 0;
+  for (std::size_t i = 0; i < n; i += 17) {
+    acc = 0;
+    for (std::size_t j = 0; j < i; ++j) acc += weights[j];
+    EXPECT_NEAR(s.prefix_sum(i), acc, 1e-9 * (1.0 + acc));
+  }
+}
+
+TEST(FenwickSampler, MatchesAliasTableDistribution) {
+  // Same weights, two samplers: the empirical distributions must agree with
+  // each other within Monte-Carlo error.
+  std::vector<double> weights(64);
+  util::Rng wrng(7);
+  for (auto& w : weights) w = std::pow(util::uniform_double(wrng), 3.0);
+  weights[10] = 0.0;
+  FenwickSampler fen(weights);
+  AliasTable alias(weights);
+  util::Rng r1(8), r2(8);
+  constexpr int kSamples = 300000;
+  std::vector<int> c1(weights.size()), c2(weights.size());
+  for (int i = 0; i < kSamples; ++i) {
+    ++c1[fen.sample(r1)];
+    ++c2[alias.sample(r2)];
+  }
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    const double p = alias.probability(k);
+    EXPECT_NEAR(c1[k] / double(kSamples), c2[k] / double(kSamples),
+                5 * std::sqrt((p + 1e-6) / kSamples))
+        << "outcome " << k;
+  }
+}
+
+TEST(FenwickSampler, SingleOutcomeAlwaysSampled) {
+  FenwickSampler s(std::vector<double>{3.0});
+  util::Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace isasgd::sampling

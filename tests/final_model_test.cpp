@@ -1,0 +1,89 @@
+// keep_final_model: every solver can hand back its trained weights so they
+// can be persisted (io/binary) and re-scored.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/synthetic.hpp"
+#include "io/binary.hpp"
+#include "metrics/evaluator.hpp"
+#include "objectives/logistic.hpp"
+#include "core/trainer.hpp"
+
+namespace isasgd {
+namespace {
+
+struct Fixture {
+  sparse::CsrMatrix data;
+  objectives::LogisticLoss loss;
+  core::Trainer trainer;
+
+  Fixture()
+      : data([] {
+          data::SyntheticSpec spec;
+          spec.rows = 600;
+          spec.dim = 120;
+          spec.mean_row_nnz = 8;
+          return data::generate(spec);
+        }()),
+        trainer(data, loss, objectives::Regularization::none(), 2) {}
+};
+
+class FinalModelSweep
+    : public ::testing::TestWithParam<solvers::Algorithm> {};
+
+TEST_P(FinalModelSweep, FinalModelIsReturnedAndScoresLikeTheTrace) {
+  Fixture f;
+  solvers::SolverOptions opt;
+  opt.epochs = 3;
+  opt.threads = 2;
+  opt.step_size = 0.3;
+  opt.keep_final_model = true;
+  const auto trace = f.trainer.train(GetParam(), opt);
+  ASSERT_EQ(trace.final_model.size(), f.data.dim());
+  // Re-scoring the returned weights must reproduce the last trace point
+  // exactly (the snapshot IS what the recorder scored).
+  const auto r = f.trainer.evaluate(trace.final_model);
+  EXPECT_NEAR(r.rmse, trace.points.back().rmse, 1e-12);
+}
+
+TEST_P(FinalModelSweep, ModelIsOmittedByDefault) {
+  Fixture f;
+  solvers::SolverOptions opt;
+  opt.epochs = 1;
+  opt.threads = 2;
+  const auto trace = f.trainer.train(GetParam(), opt);
+  EXPECT_TRUE(trace.final_model.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, FinalModelSweep,
+    ::testing::Values(solvers::Algorithm::kSgd, solvers::Algorithm::kIsSgd,
+                      solvers::Algorithm::kAsgd, solvers::Algorithm::kIsAsgd,
+                      solvers::Algorithm::kSvrgSgd,
+                      solvers::Algorithm::kSvrgAsgd,
+                      solvers::Algorithm::kSaga),
+    [](const auto& info) {
+      std::string name = solvers::algorithm_name(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(FinalModel, RoundTripsThroughBinaryPersistence) {
+  Fixture f;
+  solvers::SolverOptions opt;
+  opt.epochs = 3;
+  opt.keep_final_model = true;
+  const auto trace = f.trainer.train(solvers::Algorithm::kIsAsgd, opt);
+  std::stringstream buf;
+  io::write_model_binary(buf, trace.final_model);
+  const auto restored = io::read_model_binary(buf);
+  EXPECT_EQ(restored, trace.final_model);
+  const auto r = f.trainer.evaluate(restored);
+  EXPECT_NEAR(r.rmse, trace.points.back().rmse, 1e-12);
+}
+
+}  // namespace
+}  // namespace isasgd

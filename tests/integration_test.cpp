@@ -1,0 +1,183 @@
+// End-to-end tests through the public façade (core::Trainer +
+// core::run_experiment): the paths the examples and benches exercise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/experiment.hpp"
+#include "core/trainer.hpp"
+#include "data/paper_datasets.hpp"
+#include "metrics/speedup.hpp"
+#include "objectives/logistic.hpp"
+#include "util/csv.hpp"
+
+namespace isasgd::core {
+namespace {
+
+struct PaperFixture {
+  sparse::CsrMatrix data;
+  objectives::LogisticLoss loss;
+  Trainer trainer;
+
+  explicit PaperFixture(data::PaperDataset id, double scale = 0.03)
+      : data(data::generate_paper_dataset(id, scale)),
+        trainer(data, loss, objectives::Regularization::l1(1e-5), 4) {}
+};
+
+TEST(Trainer, TrainsEveryAlgorithmOnNews20Analog) {
+  PaperFixture f(data::PaperDataset::kNews20);
+  solvers::SolverOptions opt;
+  opt.epochs = 3;
+  opt.threads = 4;
+  opt.step_size = 0.5;
+  for (auto algorithm :
+       {solvers::Algorithm::kSgd, solvers::Algorithm::kIsSgd,
+        solvers::Algorithm::kAsgd, solvers::Algorithm::kIsAsgd,
+        solvers::Algorithm::kSvrgSgd, solvers::Algorithm::kSvrgAsgd}) {
+    const auto trace = f.trainer.train(algorithm, opt);
+    EXPECT_EQ(trace.points.size(), 4u)
+        << solvers::algorithm_name(algorithm);
+    EXPECT_LT(trace.points.back().rmse, trace.points.front().rmse)
+        << solvers::algorithm_name(algorithm);
+  }
+}
+
+TEST(Trainer, RegularizerIsAppliedConsistently) {
+  PaperFixture f(data::PaperDataset::kNews20);
+  // Trainer overrides options.reg with its own; passing a different reg in
+  // options must not change scoring.
+  solvers::SolverOptions opt;
+  opt.epochs = 2;
+  opt.reg = objectives::Regularization::l2(123.0);  // would explode if used
+  const auto trace = f.trainer.train(solvers::Algorithm::kSgd, opt);
+  EXPECT_LT(trace.points.back().rmse, 2.0);
+}
+
+TEST(Trainer, IsAsgdReportIspopulated) {
+  PaperFixture f(data::PaperDataset::kNews20);
+  solvers::SolverOptions opt;
+  opt.epochs = 2;
+  opt.threads = 4;
+  solvers::IsAsgdReport report;
+  (void)f.trainer.train_is_asgd(opt, &report);
+  EXPECT_GT(report.rho, 0.0);
+}
+
+TEST(Trainer, EvaluateScoresSnapshots) {
+  PaperFixture f(data::PaperDataset::kNews20);
+  std::vector<double> zeros(f.data.dim(), 0.0);
+  const auto r = f.trainer.evaluate(zeros);
+  EXPECT_NEAR(r.error_rate, 0.5, 0.25);  // zero model ≈ chance
+  EXPECT_GT(r.objective, 0.0);
+}
+
+TEST(Experiment, SweepProducesAllRuns) {
+  PaperFixture f(data::PaperDataset::kNews20);
+  ExperimentSpec spec;
+  spec.dataset_name = "news20_analog";
+  spec.algorithms = {solvers::Algorithm::kSgd, solvers::Algorithm::kAsgd,
+                     solvers::Algorithm::kIsAsgd};
+  spec.thread_counts = {2, 4};
+  spec.base_options.epochs = 2;
+  spec.base_options.step_size = 0.5;
+  spec.verbose = false;
+  const auto result = run_experiment(f.trainer, spec);
+  // SGD once, ASGD ×2, IS-ASGD ×2.
+  EXPECT_EQ(result.runs.size(), 5u);
+  EXPECT_NE(result.find(solvers::Algorithm::kSgd, 2), nullptr);
+  EXPECT_NE(result.find(solvers::Algorithm::kAsgd, 4), nullptr);
+  EXPECT_EQ(result.find(solvers::Algorithm::kAsgd, 16), nullptr);
+  EXPECT_EQ(result.find(solvers::Algorithm::kSvrgAsgd, 2), nullptr);
+}
+
+TEST(Experiment, SerialAlgorithmsMatchAnyThreadLookup) {
+  PaperFixture f(data::PaperDataset::kNews20);
+  ExperimentSpec spec;
+  spec.dataset_name = "x";
+  spec.algorithms = {solvers::Algorithm::kIsSgd};
+  spec.thread_counts = {4, 8};
+  spec.base_options.epochs = 1;
+  spec.verbose = false;
+  const auto result = run_experiment(f.trainer, spec);
+  EXPECT_EQ(result.runs.size(), 1u);
+  EXPECT_NE(result.find(solvers::Algorithm::kIsSgd, 8), nullptr);
+}
+
+TEST(Experiment, TraceCsvRoundTrips) {
+  PaperFixture f(data::PaperDataset::kNews20);
+  ExperimentSpec spec;
+  spec.dataset_name = "news20_analog";
+  spec.algorithms = {solvers::Algorithm::kSgd};
+  spec.thread_counts = {1};
+  spec.base_options.epochs = 2;
+  spec.verbose = false;
+  const auto result = run_experiment(f.trainer, spec);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "isasgd_integration.csv")
+          .string();
+  write_traces_csv(path, result);
+  const auto rows = util::read_csv(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(rows.size(), 4u);  // header + epochs 0..2
+  EXPECT_EQ(rows[0][0], "dataset");
+  EXPECT_EQ(rows[1][1], "SGD");
+}
+
+TEST(Experiment, SpeedupPipelineRunsEndToEnd) {
+  // The full Fig-4→Fig-5 path: sweep, pick traces, derive speedups.
+  PaperFixture f(data::PaperDataset::kNews20, 0.05);
+  ExperimentSpec spec;
+  spec.dataset_name = "news20_analog";
+  spec.algorithms = {solvers::Algorithm::kAsgd, solvers::Algorithm::kIsAsgd};
+  spec.thread_counts = {4};
+  spec.base_options.epochs = 4;
+  spec.base_options.step_size = 0.5;
+  spec.verbose = false;
+  const auto result = run_experiment(f.trainer, spec);
+  const auto* asgd = result.find(solvers::Algorithm::kAsgd, 4);
+  const auto* is = result.find(solvers::Algorithm::kIsAsgd, 4);
+  ASSERT_NE(asgd, nullptr);
+  ASSERT_NE(is, nullptr);
+  const auto summary = metrics::compute_speedup(asgd->trace, is->trace);
+  // A sane end-to-end result: some slices computed, speedups positive.
+  EXPECT_FALSE(summary.slices.empty());
+  for (const auto& p : summary.slices) EXPECT_GT(p.speedup, 0.0);
+}
+
+TEST(Experiment, UrlAnalogRunsAtTinyScale) {
+  PaperFixture f(data::PaperDataset::kUrl, 0.01);
+  ExperimentSpec spec;
+  spec.dataset_name = "url_analog";
+  spec.algorithms = {solvers::Algorithm::kAsgd, solvers::Algorithm::kIsAsgd};
+  spec.thread_counts = {2};
+  spec.base_options.epochs = 2;
+  spec.base_options.step_size = 0.05;
+  spec.verbose = false;
+  const auto result = run_experiment(f.trainer, spec);
+  EXPECT_EQ(result.runs.size(), 2u);
+  for (const auto& run : result.runs) {
+    EXPECT_TRUE(std::isfinite(run.trace.points.back().rmse));
+  }
+}
+
+TEST(Experiment, KddAnalogsRunAtTinyScale) {
+  for (auto id :
+       {data::PaperDataset::kKddAlgebra, data::PaperDataset::kKddBridge}) {
+    PaperFixture f(id, 0.005);
+    ExperimentSpec spec;
+    spec.dataset_name = data::paper_dataset_config(id).name;
+    spec.algorithms = {solvers::Algorithm::kIsAsgd};
+    spec.thread_counts = {2};
+    spec.base_options.epochs = 2;
+    spec.verbose = false;
+    const auto result = run_experiment(f.trainer, spec);
+    ASSERT_EQ(result.runs.size(), 1u);
+    EXPECT_LT(result.runs[0].trace.points.back().rmse,
+              result.runs[0].trace.points.front().rmse * 1.2);
+  }
+}
+
+}  // namespace
+}  // namespace isasgd::core

@@ -1,0 +1,93 @@
+#include "sparse/inverted_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/csr_builder.hpp"
+
+namespace isasgd::sparse {
+namespace {
+
+CsrMatrix sample_data() {
+  // row0: features {0, 1}
+  // row1: features {1, 2}
+  // row2: features {3}
+  // row3: features {0, 3}
+  CsrBuilder b(4);
+  b.add_row(std::vector<index_t>{0, 1}, std::vector<value_t>{1, 1}, 1.0);
+  b.add_row(std::vector<index_t>{1, 2}, std::vector<value_t>{1, 1}, -1.0);
+  b.add_row(std::vector<index_t>{3}, std::vector<value_t>{1}, 1.0);
+  b.add_row(std::vector<index_t>{0, 3}, std::vector<value_t>{1, 1}, -1.0);
+  return b.build();
+}
+
+TEST(InvertedIndex, MapsFeaturesToRows) {
+  const CsrMatrix data = sample_data();
+  const InvertedIndex index(data);
+  EXPECT_EQ(index.dim(), 4u);
+  const auto f0 = index.rows_with_feature(0);
+  ASSERT_EQ(f0.size(), 2u);
+  EXPECT_EQ(f0[0], 0u);
+  EXPECT_EQ(f0[1], 3u);
+  const auto f2 = index.rows_with_feature(2);
+  ASSERT_EQ(f2.size(), 1u);
+  EXPECT_EQ(f2[0], 1u);
+}
+
+TEST(InvertedIndex, RowListsAreSorted) {
+  const CsrMatrix data = sample_data();
+  const InvertedIndex index(data);
+  for (std::size_t j = 0; j < index.dim(); ++j) {
+    const auto rows = index.rows_with_feature(j);
+    for (std::size_t k = 1; k < rows.size(); ++k) {
+      EXPECT_LT(rows[k - 1], rows[k]);
+    }
+  }
+}
+
+TEST(InvertedIndex, FrequenciesSumToNnz) {
+  const CsrMatrix data = sample_data();
+  const InvertedIndex index(data);
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < index.dim(); ++j) {
+    total += index.feature_frequency(j);
+  }
+  EXPECT_EQ(total, data.nnz());
+}
+
+TEST(InvertedIndex, MaxFrequencyIsCorrect) {
+  const CsrMatrix data = sample_data();
+  const InvertedIndex index(data);
+  EXPECT_EQ(index.max_feature_frequency(), 2u);
+}
+
+TEST(InvertedIndex, UnusedFeatureHasZeroFrequency) {
+  CsrBuilder b(10);
+  b.add_row(std::vector<index_t>{0}, std::vector<value_t>{1}, 1.0);
+  const CsrMatrix data = b.build();
+  const InvertedIndex index(data);
+  EXPECT_EQ(index.feature_frequency(5), 0u);
+  EXPECT_TRUE(index.rows_with_feature(5).empty());
+}
+
+TEST(InvertedIndex, RoundTripsAgainstRows) {
+  const CsrMatrix data = sample_data();
+  const InvertedIndex index(data);
+  // Every (row, feature) pair in the CSR must appear in the index and vice
+  // versa (counted both ways).
+  std::size_t via_rows = data.nnz();
+  std::size_t via_index = 0;
+  for (std::size_t j = 0; j < index.dim(); ++j) {
+    for (std::uint32_t r : index.rows_with_feature(j)) {
+      bool found = false;
+      for (index_t jj : data.row(r).indices()) {
+        if (jj == j) found = true;
+      }
+      EXPECT_TRUE(found) << "row " << r << " feature " << j;
+      ++via_index;
+    }
+  }
+  EXPECT_EQ(via_rows, via_index);
+}
+
+}  // namespace
+}  // namespace isasgd::sparse

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "partition/balancer.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace isasgd::partition {
+namespace {
+
+std::vector<double> lognormal_weights(std::size_t n, double sigma,
+                                      std::uint64_t seed) {
+  std::vector<double> w(n);
+  util::Rng rng(seed);
+  for (auto& v : w) v = std::exp(sigma * util::normal_double(rng));
+  return w;
+}
+
+bool is_permutation_of_n(const std::vector<std::uint32_t>& order,
+                         std::size_t n) {
+  if (order.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (std::uint32_t i : order) {
+    if (i >= n || seen[i]) return false;
+    seen[i] = true;
+  }
+  return true;
+}
+
+double plan_spread(std::span<const double> weights, std::size_t parts,
+                   Strategy strategy) {
+  PartitionOptions opt;
+  opt.strategy = strategy;
+  return PartitionPlan(weights, parts, opt).imbalance();
+}
+
+TEST(KarmarkarKarp, ReturnsValidPermutation) {
+  const auto w = lognormal_weights(103, 1.5, 11);
+  for (std::size_t k : {1u, 2u, 3u, 7u, 16u}) {
+    EXPECT_TRUE(is_permutation_of_n(karmarkar_karp_balance(w, k), w.size()))
+        << "k=" << k;
+  }
+}
+
+TEST(KarmarkarKarp, RejectsZeroPartitions) {
+  const std::vector<double> w = {1.0, 2.0};
+  EXPECT_THROW(karmarkar_karp_balance(w, 0), std::invalid_argument);
+}
+
+TEST(KarmarkarKarp, PerfectSplitWhenOneExists) {
+  // {8,7,6,5,4,3,2,1} splits into two Φ=18 halves; differencing finds it.
+  const std::vector<double> w = {8, 7, 6, 5, 4, 3, 2, 1};
+  PartitionOptions opt;
+  opt.strategy = Strategy::kKarmarkarKarp;
+  PartitionPlan plan(w, 2, opt);
+  EXPECT_NEAR(plan.imbalance(), 0.0, 1e-12);
+  const auto phis = plan.phis();
+  EXPECT_NEAR(phis[0], 18.0, 1e-12);
+  EXPECT_NEAR(phis[1], 18.0, 1e-12);
+}
+
+TEST(KarmarkarKarp, SinglePartitionIsIdentity) {
+  const std::vector<double> w = {3.0, 1.0, 2.0};
+  const auto order = karmarkar_karp_balance(w, 1);
+  EXPECT_EQ(order, identity_order(3));
+}
+
+TEST(KarmarkarKarp, HandlesIndivisibleSizes) {
+  // n % k != 0: the contiguous split's shard sizes are n·(a+1)/k − n·a/k;
+  // the balancer's buckets must match that pattern exactly.
+  const auto w = lognormal_weights(10, 1.0, 12);
+  PartitionOptions opt;
+  opt.strategy = Strategy::kKarmarkarKarp;
+  PartitionPlan plan(w, 4, opt);
+  std::size_t total = 0;
+  for (std::size_t a = 0; a < 4; ++a) total += plan.shard(a).rows.size();
+  EXPECT_EQ(total, 10u);
+  // Shard sizes follow the boundary pattern (2,3,2,3 for n=10, k=4).
+  EXPECT_EQ(plan.shard(0).rows.size(), 2u);
+  EXPECT_EQ(plan.shard(1).rows.size(), 3u);
+  EXPECT_EQ(plan.shard(2).rows.size(), 2u);
+  EXPECT_EQ(plan.shard(3).rows.size(), 3u);
+}
+
+TEST(KarmarkarKarp, MorePartitionsThanDistinctChunksStillValid) {
+  const auto w = lognormal_weights(5, 1.0, 13);
+  EXPECT_TRUE(is_permutation_of_n(karmarkar_karp_balance(w, 4), 5));
+  EXPECT_TRUE(is_permutation_of_n(karmarkar_karp_balance(w, 5), 5));
+}
+
+TEST(KarmarkarKarp, BeatsIdentityOnSortedWeights) {
+  std::vector<double> w(60);
+  std::iota(w.begin(), w.end(), 1.0);  // ascending 1..60: worst case for none
+  for (std::size_t k : {2u, 3u, 5u}) {
+    EXPECT_LT(plan_spread(w, k, Strategy::kKarmarkarKarp),
+              plan_spread(w, k, Strategy::kNone))
+        << "k=" << k;
+  }
+}
+
+TEST(KarmarkarKarp, NoWorseThanHeadTailOnSkewedDistributions) {
+  // Differencing should dominate the head-tail heuristic on heavy-tailed
+  // importance; compare across several seeds and sizes.
+  for (std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+    for (std::size_t n : {64u, 97u}) {
+      const auto w = lognormal_weights(n, 2.0, seed);
+      for (std::size_t k : {2u, 4u, 8u}) {
+        const double kk = plan_spread(w, k, Strategy::kKarmarkarKarp);
+        const double ht = plan_spread(w, k, Strategy::kHeadTail);
+        EXPECT_LE(kk, ht + 1e-9)
+            << "seed=" << seed << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(KarmarkarKarp, IsDeterministic) {
+  // The balancer is pure: same weights → same permutation (no hidden RNG).
+  const auto w = lognormal_weights(120, 1.5, 31);
+  EXPECT_EQ(karmarkar_karp_balance(w, 6), karmarkar_karp_balance(w, 6));
+}
+
+TEST(KarmarkarKarp, LandsBetweenHeadTailAndIdentityOnLognormal) {
+  // The cardinality-constrained differencing heuristic (balanced LDM) is
+  // weaker than unconstrained KK: it dominates head-tail but — unlike plain
+  // differencing on free-cardinality number partitioning — does not dominate
+  // the capacity-respecting greedy LPT deal (ablation_balancing records the
+  // measured hierarchy). Pin the relationships that do hold.
+  for (std::uint64_t seed : {31u, 32u, 33u}) {
+    const auto w = lognormal_weights(120, 1.5, seed);
+    for (std::size_t k : {3u, 6u}) {
+      const double kk = plan_spread(w, k, Strategy::kKarmarkarKarp);
+      EXPECT_LE(kk, plan_spread(w, k, Strategy::kHeadTail) + 1e-9)
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(KarmarkarKarp, UniformWeightsGiveNearZeroSpread) {
+  std::vector<double> w(48, 2.5);
+  EXPECT_NEAR(plan_spread(w, 6, Strategy::kKarmarkarKarp), 0.0, 1e-12);
+}
+
+TEST(KarmarkarKarp, StrategyNameRoundTrips) {
+  EXPECT_EQ(strategy_name(Strategy::kKarmarkarKarp), "karmarkar_karp");
+  EXPECT_EQ(strategy_from_name("karmarkar_karp"), Strategy::kKarmarkarKarp);
+}
+
+TEST(SplitCapacities, MatchPlanBoundaries) {
+  for (std::size_t n : {1u, 7u, 10u, 23u, 100u}) {
+    for (std::size_t k = 1; k <= std::min<std::size_t>(n, 9); ++k) {
+      const auto caps = detail::split_capacities(n, k);
+      ASSERT_EQ(caps.size(), k);
+      std::size_t total = 0;
+      for (std::size_t a = 0; a < k; ++a) {
+        EXPECT_EQ(caps[a], n * (a + 1) / k - n * a / k);
+        total += caps[a];
+      }
+      EXPECT_EQ(total, n);
+    }
+  }
+}
+
+TEST(GreedyLpt, BucketsAlignWithPlanBoundariesWhenIndivisible) {
+  // Regression test for the capacity/boundary mismatch: with n=10, k=4 the
+  // contiguous split takes sizes {2,3,2,3}; the greedy balancer must deal to
+  // those capacities, not {3,3,2,2}, or the Φ it optimised is not the Φ the
+  // shards see. With one dominant weight the mismatch is visible: the heavy
+  // sample must land alone in the smallest-Φ shard.
+  std::vector<double> w(10, 1.0);
+  w[0] = 100.0;
+  PartitionOptions opt;
+  opt.strategy = Strategy::kGreedyLpt;
+  PartitionPlan plan(w, 4, opt);
+  const auto phis = plan.phis();
+  // The heavy sample's shard should hold Φ ≈ 100 + (size−1); every other
+  // shard only light samples. If capacities misalign, the heavy sample's
+  // bucket spills across two shards and some Φ lands between.
+  std::vector<double> sorted_phis = phis;
+  std::sort(sorted_phis.begin(), sorted_phis.end());
+  EXPECT_GE(sorted_phis.back(), 100.0);
+  for (std::size_t a = 0; a + 1 < sorted_phis.size(); ++a) {
+    EXPECT_LE(sorted_phis[a], 4.0) << "light shard " << a;
+  }
+}
+
+}  // namespace
+}  // namespace isasgd::partition

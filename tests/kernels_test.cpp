@@ -1,0 +1,79 @@
+#include "sparse/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/sparse_vector.hpp"
+
+namespace isasgd::sparse {
+namespace {
+
+TEST(SparseKernels, SparseDotMatchesDense) {
+  std::vector<value_t> w = {1, 2, 3, 4, 5};
+  SparseVector x({0, 3}, {10.0, -1.0});
+  EXPECT_DOUBLE_EQ(sparse_dot(w, x.view()), 1 * 10.0 + 4 * -1.0);
+}
+
+TEST(SparseKernels, SparseDotEmptyIsZero) {
+  std::vector<value_t> w = {1, 2};
+  SparseVector x;
+  EXPECT_DOUBLE_EQ(sparse_dot(w, x.view()), 0.0);
+}
+
+TEST(SparseKernels, SparseAxpyTouchesOnlySupport) {
+  std::vector<value_t> w = {1, 1, 1, 1};
+  SparseVector x({1, 3}, {2.0, -4.0});
+  sparse_axpy(w, 0.5, x.view());
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 2.0);
+  EXPECT_DOUBLE_EQ(w[2], 1.0);
+  EXPECT_DOUBLE_EQ(w[3], -1.0);
+}
+
+TEST(DenseKernels, DotAndNorm) {
+  std::vector<value_t> a = {3, 4};
+  std::vector<value_t> b = {1, 2};
+  EXPECT_DOUBLE_EQ(dense_dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(dense_norm(a), 5.0);
+}
+
+TEST(DenseKernels, AxpyAccumulates) {
+  std::vector<value_t> a = {1, 1};
+  std::vector<value_t> b = {2, -2};
+  dense_axpy(a, 3.0, b);
+  EXPECT_DOUBLE_EQ(a[0], 7.0);
+  EXPECT_DOUBLE_EQ(a[1], -5.0);
+}
+
+TEST(DenseKernels, Scale) {
+  std::vector<value_t> a = {2, -4};
+  dense_scale(a, -0.5);
+  EXPECT_DOUBLE_EQ(a[0], -1.0);
+  EXPECT_DOUBLE_EQ(a[1], 2.0);
+}
+
+TEST(DenseKernels, SquaredDistance) {
+  std::vector<value_t> a = {0, 3};
+  std::vector<value_t> b = {4, 0};
+  EXPECT_DOUBLE_EQ(dense_squared_distance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(dense_squared_distance(a, a), 0.0);
+}
+
+TEST(DenseKernels, L1Norm) {
+  std::vector<value_t> a = {1.5, -2.5, 0};
+  EXPECT_DOUBLE_EQ(dense_l1_norm(a), 4.0);
+}
+
+TEST(SparseKernels, AxpyThenDotIsConsistent) {
+  // w += α·x, then w·x should change by α·‖x‖².
+  std::vector<value_t> w(10, 0.5);
+  SparseVector x({2, 4, 8}, {1.0, -2.0, 3.0});
+  const double before = sparse_dot(w, x.view());
+  sparse_axpy(w, 0.25, x.view());
+  const double after = sparse_dot(w, x.view());
+  EXPECT_NEAR(after - before, 0.25 * x.squared_norm(), 1e-12);
+}
+
+}  // namespace
+}  // namespace isasgd::sparse

@@ -1,0 +1,136 @@
+#include "io/libsvm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace isasgd::io {
+namespace {
+
+sparse::CsrMatrix parse(const std::string& text,
+                        const LibsvmReadOptions& opts = {}) {
+  std::istringstream in(text);
+  return read_libsvm(in, opts);
+}
+
+TEST(Libsvm, ParsesBasicFile) {
+  const auto data = parse("+1 1:0.5 3:2.0\n-1 2:1.0\n");
+  EXPECT_EQ(data.rows(), 2u);
+  EXPECT_EQ(data.dim(), 3u);
+  EXPECT_DOUBLE_EQ(data.label(0), 1.0);
+  EXPECT_DOUBLE_EQ(data.label(1), -1.0);
+  EXPECT_EQ(data.row(0).index(0), 0u);  // 1-based → 0-based
+  EXPECT_DOUBLE_EQ(data.row(0).value(1), 2.0);
+}
+
+TEST(Libsvm, SkipsBlankLinesAndComments) {
+  const auto data = parse("\n# header comment\n+1 1:1\n\n-1 2:1  # trailing\n");
+  EXPECT_EQ(data.rows(), 2u);
+}
+
+TEST(Libsvm, HandlesCrlf) {
+  const auto data = parse("+1 1:1\r\n-1 2:1\r\n");
+  EXPECT_EQ(data.rows(), 2u);
+}
+
+TEST(Libsvm, ToleratesUnsortedIndices) {
+  const auto data = parse("+1 5:5 2:2\n-1 1:1\n");
+  EXPECT_EQ(data.row(0).index(0), 1u);
+  EXPECT_DOUBLE_EQ(data.row(0).value(0), 2.0);
+}
+
+TEST(Libsvm, RowWithoutFeaturesIsAllowed) {
+  const auto data = parse("+1\n-1 1:1\n");
+  EXPECT_EQ(data.rows(), 2u);
+  EXPECT_EQ(data.row(0).nnz(), 0u);
+}
+
+TEST(Libsvm, ZeroIndexFailsWithLineNumber) {
+  try {
+    parse("+1 1:1\n-1 0:2\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Libsvm, MissingColonFails) {
+  EXPECT_THROW(parse("+1 3 4\n"), std::runtime_error);
+}
+
+TEST(Libsvm, GarbageValueFails) {
+  EXPECT_THROW(parse("+1 1:abc\n"), std::runtime_error);
+}
+
+TEST(Libsvm, MapsZeroOneLabelsToPlusMinus) {
+  const auto data = parse("0 1:1\n1 2:1\n0 3:1\n");
+  EXPECT_DOUBLE_EQ(data.label(0), -1.0);
+  EXPECT_DOUBLE_EQ(data.label(1), 1.0);
+}
+
+TEST(Libsvm, MapsOneTwoLabelsToPlusMinus) {
+  const auto data = parse("1 1:1\n2 2:1\n");
+  EXPECT_DOUBLE_EQ(data.label(0), -1.0);
+  EXPECT_DOUBLE_EQ(data.label(1), 1.0);
+}
+
+TEST(Libsvm, LeavesPlusMinusLabelsAlone) {
+  const auto data = parse("-1 1:1\n+1 2:1\n");
+  EXPECT_DOUBLE_EQ(data.label(0), -1.0);
+  EXPECT_DOUBLE_EQ(data.label(1), 1.0);
+}
+
+TEST(Libsvm, NormalizationCanBeDisabled) {
+  LibsvmReadOptions opts;
+  opts.normalize_binary_labels = false;
+  const auto data = parse("0 1:1\n1 2:1\n", opts);
+  EXPECT_DOUBLE_EQ(data.label(0), 0.0);
+}
+
+TEST(Libsvm, MulticlassLabelsPassThrough) {
+  const auto data = parse("1 1:1\n2 2:1\n3 3:1\n");
+  EXPECT_DOUBLE_EQ(data.label(2), 3.0);
+}
+
+TEST(Libsvm, DimHintExpandsDimension) {
+  LibsvmReadOptions opts;
+  opts.dim_hint = 100;
+  EXPECT_EQ(parse("+1 1:1\n", opts).dim(), 100u);
+}
+
+TEST(Libsvm, MaxRowsTruncates) {
+  LibsvmReadOptions opts;
+  opts.max_rows = 2;
+  EXPECT_EQ(parse("+1 1:1\n-1 2:1\n+1 3:1\n", opts).rows(), 2u);
+}
+
+TEST(Libsvm, MissingFileThrows) {
+  EXPECT_THROW(read_libsvm_file("/no/such/file.svm"), std::runtime_error);
+}
+
+TEST(Libsvm, WriteReadRoundTrips) {
+  const auto original = parse("+1 1:0.25 7:-3.5\n-1 2:1e-7\n+1 5:42\n");
+  std::ostringstream out;
+  write_libsvm(out, original);
+  const auto reparsed = parse(out.str());
+  ASSERT_EQ(reparsed.rows(), original.rows());
+  EXPECT_EQ(reparsed.dim(), original.dim());
+  for (std::size_t i = 0; i < original.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(reparsed.label(i), original.label(i));
+    const auto a = original.row(i), b = reparsed.row(i);
+    ASSERT_EQ(a.nnz(), b.nnz());
+    for (std::size_t k = 0; k < a.nnz(); ++k) {
+      EXPECT_EQ(a.index(k), b.index(k));
+      EXPECT_DOUBLE_EQ(a.value(k), b.value(k));
+    }
+  }
+}
+
+TEST(Libsvm, ScientificNotationValues) {
+  const auto data = parse("+1 1:1.5e-3 2:2E+2\n");
+  EXPECT_DOUBLE_EQ(data.row(0).value(0), 1.5e-3);
+  EXPECT_DOUBLE_EQ(data.row(0).value(1), 200.0);
+}
+
+}  // namespace
+}  // namespace isasgd::io

@@ -1,0 +1,130 @@
+#include "solvers/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace isasgd::solvers {
+namespace {
+
+TEST(SharedModel, StartsAtZero) {
+  SharedModel m(10);
+  EXPECT_EQ(m.dim(), 10u);
+  for (std::size_t j = 0; j < 10; ++j) EXPECT_DOUBLE_EQ(m.load(j), 0.0);
+}
+
+TEST(SharedModel, StoreAndLoad) {
+  SharedModel m(3);
+  m.store(1, 2.5);
+  EXPECT_DOUBLE_EQ(m.load(1), 2.5);
+  EXPECT_DOUBLE_EQ(m.load(0), 0.0);
+}
+
+TEST(SharedModel, AddBothPolicies) {
+  SharedModel m(2);
+  m.add(0, 1.5, UpdatePolicy::kWild);
+  m.add(0, 1.5, UpdatePolicy::kWild);
+  EXPECT_DOUBLE_EQ(m.load(0), 3.0);
+  m.add(1, -2.0, UpdatePolicy::kAtomic);
+  m.add(1, -2.0, UpdatePolicy::kAtomic);
+  EXPECT_DOUBLE_EQ(m.load(1), -4.0);
+}
+
+TEST(SharedModel, SnapshotAndAssignRoundTrip) {
+  SharedModel m(4);
+  m.store(0, 1.0);
+  m.store(3, -7.0);
+  const auto snap = m.snapshot();
+  EXPECT_EQ(snap, (std::vector<double>{1.0, 0.0, 0.0, -7.0}));
+  SharedModel m2(4);
+  m2.assign(snap);
+  EXPECT_DOUBLE_EQ(m2.load(3), -7.0);
+}
+
+TEST(SharedModel, AssignRejectsWrongSize) {
+  SharedModel m(2);
+  EXPECT_THROW(m.assign(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(SharedModel, ResetZeroes) {
+  SharedModel m(3);
+  m.store(2, 9.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.load(2), 0.0);
+}
+
+TEST(SharedModel, SparseDotUsesStoredValues) {
+  SharedModel m(5);
+  m.store(1, 2.0);
+  m.store(4, 3.0);
+  sparse::SparseVector x({1, 4}, {10.0, 100.0});
+  EXPECT_DOUBLE_EQ(m.sparse_dot(x.view()), 2.0 * 10.0 + 3.0 * 100.0);
+}
+
+TEST(SharedModel, AtomicAddsAreExactUnderContention) {
+  // With kAtomic, no update may be lost: 8 threads × 10000 increments of the
+  // same coordinate must sum exactly.
+  SharedModel m(1);
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        m.add(0, 1.0, UpdatePolicy::kAtomic);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_DOUBLE_EQ(m.load(0), double(kThreads) * kIncrements);
+}
+
+TEST(SharedModel, WildAddsMayLoseButStayBounded) {
+  // With kWild, lost updates are allowed (that is Hogwild's bargain); the
+  // result must still land in (0, total] and be a plausible partial sum.
+  SharedModel m(1);
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        m.add(0, 1.0, UpdatePolicy::kWild);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double v = m.load(0);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LE(v, double(kThreads) * kIncrements);
+  // At least one thread's worth of updates must have landed.
+  EXPECT_GE(v, double(kIncrements));
+}
+
+TEST(SharedModel, DisjointWildWritesAreExact) {
+  // Threads touching disjoint coordinates race on nothing; even kWild must
+  // be exact — this is the sparse-data regime Hogwild's analysis assumes.
+  SharedModel m(8);
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < 8; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < 5000; ++i) m.add(t, 1.0, UpdatePolicy::kWild);
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (std::size_t j = 0; j < 8; ++j) EXPECT_DOUBLE_EQ(m.load(j), 5000.0);
+}
+
+TEST(AlgorithmNames, RoundTrip) {
+  for (Algorithm a :
+       {Algorithm::kSgd, Algorithm::kIsSgd, Algorithm::kAsgd,
+        Algorithm::kIsAsgd, Algorithm::kSvrgSgd, Algorithm::kSvrgAsgd}) {
+    EXPECT_EQ(algorithm_from_name(algorithm_name(a)), a);
+  }
+  EXPECT_EQ(algorithm_from_name("is_asgd"), Algorithm::kIsAsgd);
+  EXPECT_THROW(algorithm_from_name("adam"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace isasgd::solvers

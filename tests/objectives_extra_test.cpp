@@ -1,0 +1,170 @@
+// Tests for the extension objectives: smoothed hinge and Huber regression.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "objectives/huber.hpp"
+#include "objectives/objective.hpp"
+#include "objectives/smooth_hinge.hpp"
+
+namespace isasgd::objectives {
+namespace {
+
+/// Central-difference check of gradient_scale against loss.
+void expect_gradient_matches_loss(const Objective& obj, double margin,
+                                  double y, double tol = 1e-6) {
+  const double h = 1e-6;
+  const double numeric =
+      (obj.loss(margin + h, y) - obj.loss(margin - h, y)) / (2 * h);
+  EXPECT_NEAR(obj.gradient_scale(margin, y), numeric, tol)
+      << "margin=" << margin << " y=" << y;
+}
+
+// ---------- SmoothHingeLoss ----------
+
+TEST(SmoothHinge, ZeroLossBeyondMargin) {
+  SmoothHingeLoss loss(1.0);
+  EXPECT_DOUBLE_EQ(loss.loss(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(loss.loss(2.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(loss.loss(-1.0, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(loss.gradient_scale(2.0, 1.0), 0.0);
+}
+
+TEST(SmoothHinge, LinearZoneMatchesShiftedHinge) {
+  SmoothHingeLoss loss(1.0);
+  // z = y·m ≤ 1 − γ = 0: φ = 1 − z − γ/2.
+  EXPECT_NEAR(loss.loss(-2.0, 1.0), 1.0 + 2.0 - 0.5, 1e-12);
+  EXPECT_NEAR(loss.gradient_scale(-2.0, 1.0), -1.0, 1e-12);
+  EXPECT_NEAR(loss.gradient_scale(2.0, -1.0), 1.0, 1e-12);
+}
+
+TEST(SmoothHinge, QuadraticZoneValue) {
+  SmoothHingeLoss loss(1.0);
+  // z = 0.5 inside (0, 1): φ = (1 − z)²/(2γ) = 0.125.
+  EXPECT_NEAR(loss.loss(0.5, 1.0), 0.125, 1e-12);
+  EXPECT_NEAR(loss.gradient_scale(0.5, 1.0), -0.5, 1e-12);
+}
+
+TEST(SmoothHinge, ContinuousAtZoneBoundaries) {
+  for (double gamma : {0.25, 1.0, 2.0}) {
+    SmoothHingeLoss loss(gamma);
+    const double eps = 1e-9;
+    for (double y : {1.0, -1.0}) {
+      // z = 1 boundary.
+      const double m1 = y * 1.0;
+      EXPECT_NEAR(loss.loss(m1 - y * eps, y), loss.loss(m1 + y * eps, y), 1e-8);
+      // z = 1 − γ boundary.
+      const double m2 = y * (1.0 - gamma);
+      EXPECT_NEAR(loss.loss(m2 - y * eps, y), loss.loss(m2 + y * eps, y), 1e-8);
+    }
+  }
+}
+
+TEST(SmoothHinge, GradientMatchesNumericalDerivative) {
+  SmoothHingeLoss loss(0.5);
+  for (double m : {-3.0, -0.7, 0.2, 0.6, 0.9, 1.4}) {
+    expect_gradient_matches_loss(loss, m, 1.0);
+    expect_gradient_matches_loss(loss, m, -1.0);
+  }
+}
+
+TEST(SmoothHinge, SmoothnessIsInverseGamma) {
+  SmoothHingeLoss a(0.25), b(2.0);
+  EXPECT_DOUBLE_EQ(a.smoothness(), 4.0);
+  EXPECT_DOUBLE_EQ(b.smoothness(), 0.5);
+}
+
+TEST(SmoothHinge, GradientIsBetaLipschitz) {
+  // |φ'(m1) − φ'(m2)| ≤ β·|m1 − m2| sampled over the kink region.
+  SmoothHingeLoss loss(0.5);
+  const double beta = loss.smoothness();
+  for (double m = -1.0; m < 2.0; m += 0.01) {
+    const double g1 = loss.gradient_scale(m, 1.0);
+    const double g2 = loss.gradient_scale(m + 0.01, 1.0);
+    EXPECT_LE(std::abs(g1 - g2), beta * 0.01 + 1e-12) << "m=" << m;
+  }
+}
+
+TEST(SmoothHinge, RejectsNonPositiveGamma) {
+  EXPECT_THROW(SmoothHingeLoss(0.0), std::invalid_argument);
+  EXPECT_THROW(SmoothHingeLoss(-1.0), std::invalid_argument);
+}
+
+TEST(SmoothHinge, IsClassificationWithSignPrediction) {
+  SmoothHingeLoss loss;
+  EXPECT_TRUE(loss.is_classification());
+  EXPECT_DOUBLE_EQ(loss.predict(0.3), 1.0);
+  EXPECT_DOUBLE_EQ(loss.predict(-0.3), -1.0);
+}
+
+// ---------- HuberLoss ----------
+
+TEST(Huber, QuadraticZoneMatchesLeastSquares) {
+  HuberLoss loss(1.0);
+  EXPECT_NEAR(loss.loss(0.5, 0.0), 0.125, 1e-12);
+  EXPECT_NEAR(loss.gradient_scale(0.5, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(loss.loss(2.0, 2.5), 0.125, 1e-12);
+}
+
+TEST(Huber, LinearZoneClampsGradient) {
+  HuberLoss loss(1.0);
+  EXPECT_NEAR(loss.loss(3.0, 0.0), 1.0 * (3.0 - 0.5), 1e-12);
+  EXPECT_NEAR(loss.gradient_scale(3.0, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(loss.gradient_scale(-3.0, 0.0), -1.0, 1e-12);
+}
+
+TEST(Huber, ContinuousAtTransition) {
+  for (double delta : {0.5, 1.0, 3.0}) {
+    HuberLoss loss(delta);
+    const double eps = 1e-9;
+    EXPECT_NEAR(loss.loss(delta - eps, 0.0), loss.loss(delta + eps, 0.0), 1e-8);
+    EXPECT_NEAR(loss.loss(-delta - eps, 0.0), loss.loss(-delta + eps, 0.0),
+                1e-8);
+  }
+}
+
+TEST(Huber, GradientMatchesNumericalDerivative) {
+  HuberLoss loss(0.8);
+  for (double m : {-2.0, -0.7, 0.0, 0.5, 0.79, 0.81, 3.0}) {
+    expect_gradient_matches_loss(loss, m, 0.0);
+    expect_gradient_matches_loss(loss, m, 1.5);
+  }
+}
+
+TEST(Huber, RejectsNonPositiveDelta) {
+  EXPECT_THROW(HuberLoss(0.0), std::invalid_argument);
+  EXPECT_THROW(HuberLoss(-2.0), std::invalid_argument);
+}
+
+TEST(Huber, IsRegression) {
+  HuberLoss loss;
+  EXPECT_FALSE(loss.is_classification());
+}
+
+TEST(Huber, GradientNormBoundIsDeltaTimesNorm) {
+  HuberLoss loss(2.0);
+  const std::vector<std::uint32_t> idx = {0, 3};
+  const std::vector<double> val = {3.0, 4.0};  // ‖x‖ = 5
+  sparse::SparseVectorView x({idx.data(), idx.size()},
+                             {val.data(), val.size()});
+  const double bound =
+      loss.gradient_norm_bound(x, 0.0, 10.0, Regularization::none());
+  EXPECT_NEAR(bound, 2.0 * 5.0, 1e-12);
+  // And it is an actual bound on |φ'|·‖x‖ for any margin.
+  for (double m : {-100.0, -1.0, 0.0, 1.0, 100.0}) {
+    EXPECT_LE(std::abs(loss.gradient_scale(m, 0.0)) * 5.0, bound + 1e-12);
+  }
+}
+
+// ---------- factory ----------
+
+TEST(ObjectiveFactory, MakesExtensionObjectives) {
+  EXPECT_EQ(make_objective("smooth_hinge")->name(), "smooth_hinge");
+  EXPECT_EQ(make_objective("huber")->name(), "huber");
+  EXPECT_THROW(make_objective("hinge"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace isasgd::objectives

@@ -1,0 +1,220 @@
+#include "objectives/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "objectives/least_squares.hpp"
+#include "objectives/logistic.hpp"
+#include "objectives/squared_hinge.hpp"
+#include "sparse/csr_builder.hpp"
+
+namespace isasgd::objectives {
+namespace {
+
+// ---------- Logistic ----------
+
+TEST(Logistic, LossAtZeroMarginIsLogTwo) {
+  LogisticLoss loss;
+  EXPECT_NEAR(loss.loss(0.0, 1.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(loss.loss(0.0, -1.0), std::log(2.0), 1e-12);
+}
+
+TEST(Logistic, LossDecreasesWithCorrectMargin) {
+  LogisticLoss loss;
+  EXPECT_LT(loss.loss(2.0, 1.0), loss.loss(1.0, 1.0));
+  EXPECT_LT(loss.loss(-2.0, -1.0), loss.loss(-1.0, -1.0));
+}
+
+TEST(Logistic, IsNumericallyStableAtExtremeMargins) {
+  LogisticLoss loss;
+  EXPECT_NEAR(loss.loss(1000.0, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(loss.loss(-1000.0, 1.0), 1000.0, 1e-9);
+  EXPECT_TRUE(std::isfinite(loss.gradient_scale(1000.0, 1.0)));
+  EXPECT_TRUE(std::isfinite(loss.gradient_scale(-1000.0, 1.0)));
+}
+
+TEST(Logistic, GradientBoundedByOne) {
+  LogisticLoss loss;
+  for (double m : {-50.0, -1.0, 0.0, 1.0, 50.0}) {
+    EXPECT_LE(std::abs(loss.gradient_scale(m, 1.0)), 1.0);
+    EXPECT_LE(std::abs(loss.gradient_scale(m, -1.0)), 1.0);
+  }
+}
+
+// ---------- Squared hinge ----------
+
+TEST(SquaredHinge, ZeroLossBeyondMargin) {
+  SquaredHingeLoss loss;
+  EXPECT_DOUBLE_EQ(loss.loss(1.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(loss.gradient_scale(1.5, 1.0), 0.0);
+}
+
+TEST(SquaredHinge, QuadraticInsideMargin) {
+  SquaredHingeLoss loss;
+  EXPECT_DOUBLE_EQ(loss.loss(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(loss.loss(-1.0, 1.0), 4.0);
+}
+
+TEST(SquaredHinge, Eq16BoundForL2) {
+  SquaredHingeLoss loss;
+  sparse::SparseVector x({0, 1}, {3.0, 4.0});  // ‖x‖ = 5
+  const double lambda = 0.25;
+  const double expected =
+      2.0 * (1.0 + 5.0 / std::sqrt(lambda)) * 5.0 + std::sqrt(lambda);
+  EXPECT_NEAR(loss.gradient_norm_bound(x.view(), 1.0, 1.0,
+                                       Regularization::l2(lambda)),
+              expected, 1e-12);
+}
+
+TEST(SquaredHinge, FallsBackToGenericBoundWithoutL2) {
+  SquaredHingeLoss loss;
+  sparse::SparseVector x({0}, {2.0});
+  const double bound =
+      loss.gradient_norm_bound(x.view(), 1.0, 1.0, Regularization::none());
+  EXPECT_GT(bound, 0.0);
+  EXPECT_TRUE(std::isfinite(bound));
+}
+
+// ---------- Least squares ----------
+
+TEST(LeastSquares, LossAndGradient) {
+  LeastSquaresLoss loss;
+  EXPECT_DOUBLE_EQ(loss.loss(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(loss.gradient_scale(3.0, 1.0), 2.0);
+  EXPECT_FALSE(loss.is_classification());
+}
+
+// ---------- Finite-difference gradient checks (parameterised) ----------
+
+class GradientCheck : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GradientCheck, GradientScaleMatchesFiniteDifference) {
+  const auto objective = make_objective(GetParam());
+  constexpr double kH = 1e-6;
+  for (double y : {-1.0, 1.0}) {
+    for (double m : {-2.0, -0.5, 0.0, 0.3, 1.2, 3.0}) {
+      const double numeric =
+          (objective->loss(m + kH, y) - objective->loss(m - kH, y)) / (2 * kH);
+      EXPECT_NEAR(objective->gradient_scale(m, y), numeric, 1e-5)
+          << GetParam() << " at m=" << m << " y=" << y;
+    }
+  }
+}
+
+TEST_P(GradientCheck, SmoothnessBoundsSecondDifference) {
+  const auto objective = make_objective(GetParam());
+  constexpr double kH = 1e-4;
+  for (double y : {-1.0, 1.0}) {
+    for (double m = -3.0; m <= 3.0; m += 0.25) {
+      const double second =
+          (objective->gradient_scale(m + kH, y) -
+           objective->gradient_scale(m - kH, y)) /
+          (2 * kH);
+      EXPECT_LE(std::abs(second), objective->smoothness() + 1e-3)
+          << GetParam() << " at m=" << m;
+    }
+  }
+}
+
+TEST_P(GradientCheck, LossIsNonNegative) {
+  const auto objective = make_objective(GetParam());
+  for (double y : {-1.0, 1.0}) {
+    for (double m = -5.0; m <= 5.0; m += 0.5) {
+      EXPECT_GE(objective->loss(m, y), 0.0);
+    }
+  }
+}
+
+TEST_P(GradientCheck, LossIsConvexInMargin) {
+  const auto objective = make_objective(GetParam());
+  for (double y : {-1.0, 1.0}) {
+    for (double m = -3.0; m <= 3.0; m += 0.3) {
+      const double mid = objective->loss(m, y);
+      const double avg =
+          0.5 * (objective->loss(m - 0.2, y) + objective->loss(m + 0.2, y));
+      EXPECT_LE(mid, avg + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllObjectives, GradientCheck,
+                         ::testing::Values("logistic", "squared_hinge",
+                                           "least_squares"));
+
+// ---------- Regularization ----------
+
+TEST(Regularization, NoneIsZero) {
+  const Regularization reg = Regularization::none();
+  std::vector<double> w = {1.0, -2.0};
+  EXPECT_DOUBLE_EQ(reg.value(w), 0.0);
+  EXPECT_DOUBLE_EQ(reg.subgradient(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(reg.lipschitz_term(), 0.0);
+}
+
+TEST(Regularization, L1ValueAndSubgradient) {
+  const Regularization reg = Regularization::l1(0.1);
+  std::vector<double> w = {1.0, -2.0, 0.0};
+  EXPECT_NEAR(reg.value(w), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(reg.subgradient(2.0), 0.1);
+  EXPECT_DOUBLE_EQ(reg.subgradient(-2.0), -0.1);
+  EXPECT_DOUBLE_EQ(reg.subgradient(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(reg.lipschitz_term(), 0.0);
+}
+
+TEST(Regularization, L2ValueAndGradient) {
+  const Regularization reg = Regularization::l2(0.5);
+  std::vector<double> w = {2.0, -1.0};
+  EXPECT_NEAR(reg.value(w), 0.5 * 0.5 * 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(reg.subgradient(3.0), 1.5);
+  EXPECT_DOUBLE_EQ(reg.lipschitz_term(), 0.5);
+}
+
+// ---------- Per-sample Lipschitz ----------
+
+TEST(PerSampleLipschitz, MatchesBetaTimesSquaredNorm) {
+  sparse::CsrBuilder b(4);
+  b.add_row(std::vector<sparse::index_t>{0, 1},
+            std::vector<sparse::value_t>{3.0, 4.0}, 1.0);  // ‖x‖² = 25
+  b.add_row(std::vector<sparse::index_t>{2},
+            std::vector<sparse::value_t>{2.0}, -1.0);  // ‖x‖² = 4
+  const auto data = b.build();
+  LogisticLoss loss;
+  const auto lip =
+      per_sample_lipschitz(data, loss, Regularization::none());
+  ASSERT_EQ(lip.size(), 2u);
+  EXPECT_DOUBLE_EQ(lip[0], 0.25 * 25.0);
+  EXPECT_DOUBLE_EQ(lip[1], 0.25 * 4.0);
+}
+
+TEST(PerSampleLipschitz, L2AddsEta) {
+  sparse::CsrBuilder b(2);
+  b.add_row(std::vector<sparse::index_t>{0},
+            std::vector<sparse::value_t>{2.0}, 1.0);
+  const auto data = b.build();
+  SquaredHingeLoss loss;
+  const auto lip = per_sample_lipschitz(data, loss, Regularization::l2(0.3));
+  EXPECT_DOUBLE_EQ(lip[0], 2.0 * 4.0 + 0.3);
+}
+
+// ---------- Factory ----------
+
+TEST(MakeObjective, ConstructsAllKnownNames) {
+  EXPECT_EQ(make_objective("logistic")->name(), "logistic");
+  EXPECT_EQ(make_objective("squared_hinge")->name(), "squared_hinge");
+  EXPECT_EQ(make_objective("least_squares")->name(), "least_squares");
+}
+
+TEST(MakeObjective, RejectsUnknownName) {
+  EXPECT_THROW(make_objective("hinge^3"), std::invalid_argument);
+}
+
+TEST(RegularizationName, NamesAreStable) {
+  EXPECT_EQ(Regularization::none().name(), "none");
+  EXPECT_EQ(Regularization::l1(1).name(), "l1");
+  EXPECT_EQ(Regularization::l2(1).name(), "l2");
+}
+
+}  // namespace
+}  // namespace isasgd::objectives

@@ -1,0 +1,107 @@
+#include "data/paper_datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "objectives/logistic.hpp"
+#include "partition/importance.hpp"
+
+namespace isasgd::data {
+namespace {
+
+TEST(PaperDatasets, AllFourAreConfigured) {
+  const auto all = all_paper_datasets();
+  ASSERT_EQ(all.size(), 4u);
+  for (PaperDataset id : all) {
+    const auto cfg = paper_dataset_config(id);
+    EXPECT_FALSE(cfg.name.empty());
+    EXPECT_FALSE(cfg.paper_name.empty());
+    EXPECT_GT(cfg.paper_dimension, 0u);
+    EXPECT_GT(cfg.lambda, 0.0);
+    EXPECT_GT(cfg.paper_epochs, 0u);
+  }
+}
+
+TEST(PaperDatasets, CalibrationTargetsMatchTable1) {
+  const auto news = paper_dataset_config(PaperDataset::kNews20);
+  EXPECT_DOUBLE_EQ(news.spec.target_psi, 0.972);
+  EXPECT_NEAR(rho_for(news.spec), 5e-4, 1e-10);
+  const auto bridge = paper_dataset_config(PaperDataset::kKddBridge);
+  EXPECT_DOUBLE_EQ(bridge.spec.target_psi, 0.877);
+  EXPECT_NEAR(rho_for(bridge.spec), 2e-4, 1e-10);
+}
+
+TEST(PaperDatasets, SparsityOrderingMatchesTable1) {
+  // News20 analog must be the densest; the KDD analogs the sparsest.
+  auto density = [](PaperDataset id) {
+    const auto spec = paper_dataset_config(id).spec;
+    return spec.mean_row_nnz / static_cast<double>(spec.dim);
+  };
+  EXPECT_GT(density(PaperDataset::kNews20), density(PaperDataset::kUrl));
+  EXPECT_GT(density(PaperDataset::kUrl), density(PaperDataset::kKddAlgebra));
+  EXPECT_GE(density(PaperDataset::kKddAlgebra),
+            density(PaperDataset::kKddBridge));
+}
+
+TEST(PaperDatasets, News20AnalogIsDenseRegime) {
+  const auto spec = paper_dataset_config(PaperDataset::kNews20).spec;
+  EXPECT_NEAR(spec.mean_row_nnz / static_cast<double>(spec.dim), 1e-3, 2e-4);
+}
+
+TEST(PaperDatasets, ScaledGenerationMatchesPsiRho) {
+  const auto cfg = paper_dataset_config(PaperDataset::kNews20, 0.2);
+  const auto m = generate(cfg.spec);
+  objectives::LogisticLoss loss;
+  const auto lip = objectives::per_sample_lipschitz(
+      m, loss, objectives::Regularization::none());
+  EXPECT_NEAR(analysis::psi(lip), 0.972, 0.02);
+  EXPECT_NEAR(partition::importance_variance(lip), 5e-4, 2.5e-4);
+}
+
+TEST(PaperDatasets, ScaleShrinksRowsAndDim) {
+  const auto full = paper_dataset_config(PaperDataset::kUrl, 1.0);
+  const auto small = paper_dataset_config(PaperDataset::kUrl, 0.01);
+  EXPECT_LT(small.spec.rows, full.spec.rows / 50);
+  EXPECT_LT(small.spec.dim, full.spec.dim / 50);
+}
+
+TEST(PaperDatasets, ScaleFloorsAtMinimumSize) {
+  const auto tiny = paper_dataset_config(PaperDataset::kNews20, 1e-9);
+  EXPECT_GE(tiny.spec.rows, 64u);
+  EXPECT_GE(tiny.spec.dim, 256u);
+}
+
+TEST(PaperDatasets, BadScaleThrows) {
+  EXPECT_THROW(paper_dataset_config(PaperDataset::kNews20, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(paper_dataset_config(PaperDataset::kNews20, -1.0),
+               std::invalid_argument);
+}
+
+TEST(PaperDatasets, GenerateProducesDataset) {
+  const auto m = generate_paper_dataset(PaperDataset::kNews20, 0.05);
+  EXPECT_GT(m.rows(), 100u);
+  EXPECT_GT(m.nnz(), 1000u);
+}
+
+TEST(PaperDatasets, LookupByNames) {
+  EXPECT_EQ(paper_dataset_from_name("news20"), PaperDataset::kNews20);
+  EXPECT_EQ(paper_dataset_from_name("news20_analog"), PaperDataset::kNews20);
+  EXPECT_EQ(paper_dataset_from_name("JMLR_News20"), PaperDataset::kNews20);
+  EXPECT_EQ(paper_dataset_from_name("url"), PaperDataset::kUrl);
+  EXPECT_EQ(paper_dataset_from_name("algebra"), PaperDataset::kKddAlgebra);
+  EXPECT_EQ(paper_dataset_from_name("bridge"), PaperDataset::kKddBridge);
+  EXPECT_EQ(paper_dataset_from_name("kdda"), PaperDataset::kKddAlgebra);
+  EXPECT_EQ(paper_dataset_from_name("kddb"), PaperDataset::kKddBridge);
+  EXPECT_THROW(paper_dataset_from_name("mnist"), std::invalid_argument);
+}
+
+TEST(PaperDatasets, LambdaMatchesPaperFigures) {
+  EXPECT_DOUBLE_EQ(paper_dataset_config(PaperDataset::kNews20).lambda, 0.5);
+  EXPECT_DOUBLE_EQ(paper_dataset_config(PaperDataset::kUrl).lambda, 0.05);
+  EXPECT_DOUBLE_EQ(paper_dataset_config(PaperDataset::kKddAlgebra).lambda, 0.5);
+  EXPECT_DOUBLE_EQ(paper_dataset_config(PaperDataset::kKddBridge).lambda, 0.5);
+}
+
+}  // namespace
+}  // namespace isasgd::data

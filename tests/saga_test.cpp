@@ -1,0 +1,119 @@
+#include "solvers/saga.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "metrics/evaluator.hpp"
+#include "objectives/logistic.hpp"
+#include "solvers/asgd.hpp"
+#include "solvers/sgd.hpp"
+#include "solvers/svrg_sgd.hpp"
+
+namespace isasgd::solvers {
+namespace {
+
+struct Fixture {
+  sparse::CsrMatrix data;
+  objectives::LogisticLoss loss;
+  metrics::Evaluator evaluator;
+
+  explicit Fixture(std::size_t rows = 1200, std::size_t dim = 150)
+      : data([&] {
+          data::SyntheticSpec spec;
+          spec.rows = rows;
+          spec.dim = dim;
+          spec.mean_row_nnz = 10;
+          spec.target_psi = 0.93;
+          return data::generate(spec);
+        }()),
+        evaluator(data, loss, objectives::Regularization::none(), 4) {}
+
+  SolverOptions options(std::size_t epochs = 8, double lambda = 0.3) const {
+    SolverOptions opt;
+    opt.step_size = lambda;
+    opt.epochs = epochs;
+    opt.seed = 31;
+    return opt;
+  }
+};
+
+double final_rmse(const Trace& t) { return t.points.back().rmse; }
+double initial_rmse(const Trace& t) { return t.points.front().rmse; }
+
+TEST(Saga, ReducesObjectiveSubstantially) {
+  Fixture f;
+  const Trace t = run_saga(f.data, f.loss, f.options(), f.evaluator.as_fn());
+  EXPECT_EQ(t.algorithm, "SAGA");
+  EXPECT_LT(final_rmse(t), 0.7 * initial_rmse(t));
+}
+
+TEST(Saga, IsDeterministicPerSeed) {
+  Fixture f(400, 80);
+  const auto opt = f.options(3);
+  const Trace a = run_saga(f.data, f.loss, opt, f.evaluator.as_fn());
+  const Trace b = run_saga(f.data, f.loss, opt, f.evaluator.as_fn());
+  for (std::size_t e = 0; e < a.points.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.points[e].rmse, b.points[e].rmse);
+  }
+}
+
+TEST(Saga, TracksSvrgQualityPerEpoch) {
+  // Both are variance-reduced; at equal budgets their per-epoch quality
+  // should be in the same ballpark.
+  Fixture f;
+  const auto opt = f.options(6, 0.3);
+  const Trace saga = run_saga(f.data, f.loss, opt, f.evaluator.as_fn());
+  const Trace svrg = run_svrg_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_NEAR(final_rmse(saga), final_rmse(svrg),
+              0.15 * final_rmse(svrg) + 0.03);
+}
+
+TEST(Saga, NoWorseThanSgdPerEpoch) {
+  Fixture f;
+  const auto opt = f.options(8, 0.3);
+  const Trace saga = run_saga(f.data, f.loss, opt, f.evaluator.as_fn());
+  const Trace sgd = run_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_LE(final_rmse(saga), final_rmse(sgd) * 1.10 + 0.02);
+}
+
+TEST(Saga, PaysTheDenseAggregateCost) {
+  // The §1.2 bottleneck applies to SAGA exactly as to SVRG: per-epoch cost
+  // grows with d while the index-compressed ASGD stays flat.
+  Fixture narrow(800, 200);
+  Fixture wide(800, 8000);
+  auto opt = narrow.options(2, 0.3);
+  const double narrow_s =
+      run_saga(narrow.data, narrow.loss, opt, narrow.evaluator.as_fn())
+          .train_seconds;
+  const double wide_s =
+      run_saga(wide.data, wide.loss, opt, wide.evaluator.as_fn())
+          .train_seconds;
+  EXPECT_GT(wide_s, 5.0 * narrow_s);
+  const double asgd_narrow =
+      run_asgd(narrow.data, narrow.loss, opt, narrow.evaluator.as_fn())
+          .train_seconds;
+  const double asgd_wide =
+      run_asgd(wide.data, wide.loss, opt, wide.evaluator.as_fn())
+          .train_seconds;
+  EXPECT_LT(asgd_wide, 5.0 * asgd_narrow + 0.05);
+}
+
+TEST(Saga, L2RegularizationStaysStable) {
+  Fixture f;
+  auto opt = f.options(5, 0.2);
+  opt.reg = objectives::Regularization::l2(1e-3);
+  metrics::Evaluator ev(f.data, f.loss, opt.reg, 4);
+  const Trace t = run_saga(f.data, f.loss, opt, ev.as_fn());
+  EXPECT_TRUE(std::isfinite(final_rmse(t)));
+  EXPECT_LT(final_rmse(t), initial_rmse(t));
+}
+
+TEST(Saga, RegisteredInAlgorithmRegistry) {
+  EXPECT_EQ(algorithm_from_name("saga"), Algorithm::kSaga);
+  EXPECT_EQ(algorithm_name(Algorithm::kSaga), "SAGA");
+}
+
+}  // namespace
+}  // namespace isasgd::solvers

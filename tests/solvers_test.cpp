@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "metrics/evaluator.hpp"
+#include "objectives/least_squares.hpp"
+#include "objectives/logistic.hpp"
+#include "objectives/squared_hinge.hpp"
+#include "solvers/asgd.hpp"
+#include "solvers/is_asgd.hpp"
+#include "solvers/is_sgd.hpp"
+#include "solvers/sgd.hpp"
+#include "solvers/svrg_asgd.hpp"
+#include "solvers/svrg_sgd.hpp"
+
+namespace isasgd::solvers {
+namespace {
+
+using metrics::Evaluator;
+
+struct Fixture {
+  sparse::CsrMatrix data;
+  objectives::LogisticLoss loss;
+  Evaluator evaluator;
+
+  explicit Fixture(std::size_t rows = 2000, std::size_t dim = 300,
+                   double psi = 0.93)
+      : data([&] {
+          data::SyntheticSpec spec;
+          spec.rows = rows;
+          spec.dim = dim;
+          spec.mean_row_nnz = 10;
+          spec.target_psi = psi;
+          spec.label_noise = 0.02;
+          return data::generate(spec);
+        }()),
+        evaluator(data, loss, objectives::Regularization::none(), 4) {}
+
+  SolverOptions options(std::size_t epochs = 8, double lambda = 0.5) const {
+    SolverOptions opt;
+    opt.step_size = lambda;
+    opt.epochs = epochs;
+    opt.threads = 4;
+    opt.seed = 77;
+    return opt;
+  }
+};
+
+double initial_rmse(const Trace& t) { return t.points.front().rmse; }
+double final_rmse(const Trace& t) { return t.points.back().rmse; }
+
+// ---------- SGD ----------
+
+TEST(Sgd, ReducesObjectiveSubstantially) {
+  Fixture f;
+  const Trace t = run_sgd(f.data, f.loss, f.options(), f.evaluator.as_fn());
+  ASSERT_EQ(t.points.size(), 9u);  // epoch 0 + 8
+  EXPECT_LT(final_rmse(t), 0.6 * initial_rmse(t));
+  EXPECT_LT(t.best_error_rate(), 0.25);
+}
+
+TEST(Sgd, IsDeterministicPerSeed) {
+  Fixture f(500, 100);
+  const auto opt = f.options(3);
+  const Trace a = run_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  const Trace b = run_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t e = 0; e < a.points.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.points[e].rmse, b.points[e].rmse);
+  }
+}
+
+TEST(Sgd, EpochZeroRecordsInitialModel) {
+  Fixture f(300, 100);
+  const Trace t = run_sgd(f.data, f.loss, f.options(2), f.evaluator.as_fn());
+  EXPECT_EQ(t.points[0].epoch, 0u);
+  EXPECT_DOUBLE_EQ(t.points[0].seconds, 0.0);
+  EXPECT_NEAR(t.points[0].rmse, std::sqrt(std::log(2.0)), 1e-9);
+}
+
+TEST(Sgd, StepDecayChangesTrajectory) {
+  Fixture f(500, 100);
+  auto opt = f.options(5);
+  const Trace constant = run_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  opt.step_decay = 0.5;
+  const Trace decayed = run_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_NE(final_rmse(constant), final_rmse(decayed));
+}
+
+TEST(Sgd, L1RegularizationSparsifiesOrShrinksModel) {
+  Fixture f(800, 150);
+  auto opt = f.options(6, 0.2);
+  Evaluator plain_eval(f.data, f.loss, objectives::Regularization::none(), 2);
+  const Trace plain = run_sgd(f.data, f.loss, opt, plain_eval.as_fn());
+  opt.reg = objectives::Regularization::l1(5e-3);
+  Evaluator reg_eval(f.data, f.loss, opt.reg, 2);
+  const Trace reg = run_sgd(f.data, f.loss, opt, reg_eval.as_fn());
+  // Regularized run must behave differently and stay bounded.
+  EXPECT_TRUE(std::isfinite(final_rmse(reg)));
+  EXPECT_NE(final_rmse(plain), final_rmse(reg));
+}
+
+// ---------- IS-SGD ----------
+
+TEST(IsSgd, ReducesObjectiveSubstantially) {
+  Fixture f;
+  const Trace t = run_is_sgd(f.data, f.loss, f.options(), f.evaluator.as_fn());
+  EXPECT_LT(final_rmse(t), 0.6 * initial_rmse(t));
+  EXPECT_GT(t.setup_seconds, 0.0);
+}
+
+TEST(IsSgd, MatchesSgdQualityOnUniformImportance) {
+  // With ψ = 1 (all L_i equal) IS degenerates to uniform sampling with unit
+  // weights; quality must match plain SGD closely.
+  Fixture f(1500, 200, /*psi=*/1.0);
+  const auto opt = f.options(6);
+  const Trace sgd = run_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  const Trace is = run_is_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_NEAR(final_rmse(is), final_rmse(sgd), 0.05 * final_rmse(sgd) + 0.02);
+}
+
+TEST(IsSgd, ReshuffleModeAlsoConverges) {
+  Fixture f(1000, 150);
+  auto opt = f.options(6);
+  opt.reshuffle_sequences = true;
+  const Trace t = run_is_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_LT(final_rmse(t), 0.7 * initial_rmse(t));
+}
+
+TEST(IsSgd, GradientBoundImportanceAlsoConverges) {
+  Fixture f(1000, 150);
+  auto opt = f.options(6);
+  opt.importance = ImportanceKind::kGradientBound;
+  const Trace t = run_is_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_LT(final_rmse(t), 0.7 * initial_rmse(t));
+}
+
+// ---------- ASGD ----------
+
+TEST(Asgd, ConvergesWithFourThreads) {
+  Fixture f;
+  const Trace t = run_asgd(f.data, f.loss, f.options(), f.evaluator.as_fn());
+  EXPECT_EQ(t.threads, 4u);
+  EXPECT_LT(final_rmse(t), 0.6 * initial_rmse(t));
+}
+
+TEST(Asgd, SingleThreadMatchesSgdQuality) {
+  Fixture f(1500, 200);
+  auto opt = f.options(6);
+  opt.threads = 1;
+  const Trace asgd = run_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  const Trace sgd = run_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_NEAR(final_rmse(asgd), final_rmse(sgd),
+              0.1 * final_rmse(sgd) + 0.02);
+}
+
+TEST(Asgd, AtomicPolicyAlsoConverges) {
+  Fixture f(1000, 150);
+  auto opt = f.options(6);
+  opt.update_policy = UpdatePolicy::kAtomic;
+  const Trace t = run_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_LT(final_rmse(t), 0.7 * initial_rmse(t));
+}
+
+TEST(Asgd, ManyThreadsStillConverge) {
+  Fixture f(2000, 500);
+  auto opt = f.options(6);
+  opt.threads = 8;
+  const Trace t = run_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_LT(final_rmse(t), 0.7 * initial_rmse(t));
+}
+
+// ---------- IS-ASGD ----------
+
+TEST(IsAsgd, ConvergesWithFourThreads) {
+  Fixture f;
+  IsAsgdReport report;
+  const Trace t = run_is_asgd(f.data, f.loss, f.options(),
+                              f.evaluator.as_fn(), &report);
+  EXPECT_LT(final_rmse(t), 0.6 * initial_rmse(t));
+  EXPECT_GT(report.rho, 0.0);
+  EXPECT_GT(t.setup_seconds, 0.0);
+}
+
+TEST(IsAsgd, AdaptiveAppliesHeadTailOnSpreadData) {
+  Fixture f(2000, 300, /*psi=*/0.85);  // high spread → ρ above ζ
+  IsAsgdReport report;
+  (void)run_is_asgd(f.data, f.loss, f.options(2), f.evaluator.as_fn(),
+                    &report);
+  EXPECT_EQ(report.applied_strategy, partition::Strategy::kHeadTail);
+  // Algorithm 3 is an approximation ("does not guarantee to produce an
+  // equal-importance dataset segmentation", §2.4): on lognormal L the
+  // consecutive pair-sums drift, so we only require a bounded spread.
+  EXPECT_LT(report.phi_imbalance, 0.5);
+}
+
+TEST(IsAsgd, ForcedShuffleStrategyIsHonored) {
+  Fixture f(800, 150);
+  auto opt = f.options(2);
+  opt.partition.strategy = partition::Strategy::kShuffle;
+  IsAsgdReport report;
+  (void)run_is_asgd(f.data, f.loss, opt, f.evaluator.as_fn(), &report);
+  EXPECT_EQ(report.applied_strategy, partition::Strategy::kShuffle);
+}
+
+TEST(IsAsgd, SingleThreadMatchesIsSgdQuality) {
+  Fixture f(1500, 200);
+  auto opt = f.options(6);
+  opt.threads = 1;
+  const Trace is_asgd = run_is_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  const Trace is_sgd = run_is_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_NEAR(final_rmse(is_asgd), final_rmse(is_sgd),
+              0.1 * final_rmse(is_sgd) + 0.02);
+}
+
+TEST(IsAsgd, ReshuffleModeConverges) {
+  Fixture f(1000, 150);
+  auto opt = f.options(6);
+  opt.reshuffle_sequences = true;
+  const Trace t = run_is_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_LT(final_rmse(t), 0.7 * initial_rmse(t));
+}
+
+TEST(IsAsgd, NoWorseThanAsgdOnSkewedImportance) {
+  // The paper's core claim at small scale: same epochs, same step size, the
+  // IS variant should reach at-least-comparable RMSE on a ψ < 1 dataset.
+  Fixture f(3000, 400, /*psi=*/0.85);
+  const auto opt = f.options(8);
+  const Trace asgd = run_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  const Trace is = run_is_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_LE(final_rmse(is), final_rmse(asgd) * 1.10 + 0.01);
+}
+
+// ---------- SVRG-SGD ----------
+
+TEST(SvrgSgd, ConvergesFastPerEpoch) {
+  Fixture f(1000, 150);
+  auto opt = f.options(8, 0.5);
+  const Trace t = run_svrg_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_LT(final_rmse(t), 0.6 * initial_rmse(t));
+}
+
+TEST(SvrgSgd, BeatsSgdIteratively) {
+  // SVRG's iterative convergence should dominate plain SGD's at equal epoch
+  // counts (the paper's Fig. 3a).
+  Fixture f(1500, 150);
+  auto opt = f.options(5, 0.2);
+  const Trace svrg = run_svrg_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  const Trace sgd = run_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_LE(final_rmse(svrg), final_rmse(sgd) * 1.05);
+}
+
+TEST(SvrgSgd, SkipMuApproximationDiverges) {
+  // §1.2: the public-version approximation's convergence curve is "far from
+  // the literature version".
+  Fixture f(800, 120);
+  auto opt = f.options(4, 0.2);
+  const Trace faithful = run_svrg_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  opt.svrg_skip_mu = true;
+  const Trace skip = run_svrg_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_GT(std::abs(final_rmse(skip) - final_rmse(faithful)),
+            0.02 * final_rmse(faithful));
+}
+
+TEST(SvrgSgd, SnapshotIntervalIsRespected) {
+  Fixture f(600, 100);
+  auto opt = f.options(4, 0.2);
+  opt.svrg_snapshot_interval = 2;
+  const Trace t = run_svrg_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_TRUE(std::isfinite(final_rmse(t)));
+}
+
+// ---------- SVRG-ASGD ----------
+
+TEST(SvrgAsgd, ConvergesWithThreads) {
+  Fixture f(800, 120);
+  auto opt = f.options(6, 0.2);
+  const Trace t = run_svrg_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_LT(final_rmse(t), 0.7 * initial_rmse(t));
+}
+
+TEST(SvrgAsgd, IsSlowerPerEpochThanAsgdOnSparseData) {
+  // The §1.2 bottleneck: dense μ update each iteration makes SVRG-ASGD's
+  // per-epoch wall clock far higher than ASGD's on sparse data.
+  Fixture f(1000, 2000);  // sparse: nnz/row = 10 ≪ d = 2000
+  auto opt = f.options(2, 0.2);
+  const Trace asgd = run_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  const Trace svrg = run_svrg_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_GT(svrg.train_seconds, 3.0 * asgd.train_seconds);
+}
+
+TEST(SvrgAsgd, SkipMuIsCheapButDifferent) {
+  Fixture f(500, 800);
+  auto opt = f.options(2, 0.2);
+  const Trace faithful =
+      run_svrg_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  opt.svrg_skip_mu = true;
+  const Trace skip = run_svrg_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+  EXPECT_LT(skip.train_seconds, faithful.train_seconds);
+}
+
+// ---------- cross-cutting ----------
+
+TEST(AllSolvers, TraceShapeIsUniform) {
+  Fixture f(400, 100);
+  const auto opt = f.options(3);
+  const auto eval = f.evaluator.as_fn();
+  const Trace traces[] = {
+      run_sgd(f.data, f.loss, opt, eval),
+      run_is_sgd(f.data, f.loss, opt, eval),
+      run_asgd(f.data, f.loss, opt, eval),
+      run_is_asgd(f.data, f.loss, opt, eval),
+      run_svrg_sgd(f.data, f.loss, opt, eval),
+      run_svrg_asgd(f.data, f.loss, opt, eval),
+  };
+  for (const Trace& t : traces) {
+    ASSERT_EQ(t.points.size(), 4u) << t.algorithm;
+    EXPECT_EQ(t.points.front().epoch, 0u) << t.algorithm;
+    EXPECT_EQ(t.points.back().epoch, 3u) << t.algorithm;
+    for (std::size_t e = 1; e < t.points.size(); ++e) {
+      EXPECT_GE(t.points[e].seconds, t.points[e - 1].seconds) << t.algorithm;
+      // Monotone best-so-far error convention.
+      EXPECT_LE(t.points[e].error_rate, t.points[e - 1].error_rate + 1e-12)
+          << t.algorithm;
+    }
+    EXPECT_GT(t.train_seconds, 0.0) << t.algorithm;
+  }
+}
+
+TEST(AllSolvers, SquaredHingeObjectiveWorksEverywhere) {
+  data::SyntheticSpec spec;
+  spec.rows = 600;
+  spec.dim = 150;
+  spec.mean_row_nnz = 8;
+  spec.smoothness_beta = 2.0;  // hinge² smoothness
+  spec.mean_lipschitz = 0.5;
+  const auto data = data::generate(spec);
+  objectives::SquaredHingeLoss loss;
+  const auto reg = objectives::Regularization::l2(1e-3);
+  Evaluator ev(data, loss, reg, 2);
+  SolverOptions opt;
+  opt.epochs = 5;
+  opt.step_size = 0.1;
+  opt.threads = 2;
+  opt.reg = reg;
+  for (auto run : {run_sgd, run_is_sgd, run_asgd}) {
+    const Trace t = run(data, loss, opt, ev.as_fn());
+    EXPECT_LT(final_rmse(t), initial_rmse(t)) << t.algorithm;
+  }
+}
+
+}  // namespace
+}  // namespace isasgd::solvers

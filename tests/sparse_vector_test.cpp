@@ -1,0 +1,112 @@
+#include "sparse/sparse_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace isasgd::sparse {
+namespace {
+
+TEST(SparseVector, ConstructsFromSortedPairs) {
+  SparseVector v({1, 5, 9}, {1.0, -2.0, 3.0});
+  EXPECT_EQ(v.nnz(), 3u);
+  EXPECT_EQ(v.indices()[1], 5u);
+  EXPECT_DOUBLE_EQ(v.values()[2], 3.0);
+}
+
+TEST(SparseVector, RejectsSizeMismatch) {
+  EXPECT_THROW(SparseVector({1, 2}, {1.0}), std::invalid_argument);
+}
+
+TEST(SparseVector, RejectsUnsortedIndices) {
+  EXPECT_THROW(SparseVector({5, 1}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SparseVector, RejectsDuplicateIndices) {
+  EXPECT_THROW(SparseVector({3, 3}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SparseVector, EmptyVectorIsValid) {
+  SparseVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_DOUBLE_EQ(v.norm(), 0.0);
+}
+
+TEST(SparseVector, FromUnsortedSortsIndices) {
+  SparseVector v = SparseVector::from_unsorted({9, 1, 5}, {3.0, 1.0, 2.0});
+  EXPECT_EQ(v.indices(), (std::vector<index_t>{1, 5, 9}));
+  EXPECT_EQ(v.values(), (std::vector<value_t>{1.0, 2.0, 3.0}));
+}
+
+TEST(SparseVector, FromUnsortedMergesDuplicates) {
+  SparseVector v = SparseVector::from_unsorted({4, 4, 2}, {1.0, 2.5, 7.0});
+  EXPECT_EQ(v.indices(), (std::vector<index_t>{2, 4}));
+  EXPECT_DOUBLE_EQ(v.values()[1], 3.5);
+}
+
+TEST(SparseVector, FromDenseCompresses) {
+  std::vector<value_t> dense = {0.0, 1.5, 0.0, 0.0, -2.0};
+  SparseVector v = SparseVector::from_dense(dense);
+  EXPECT_EQ(v.indices(), (std::vector<index_t>{1, 4}));
+  EXPECT_DOUBLE_EQ(v.values()[0], 1.5);
+}
+
+TEST(SparseVector, FromDenseRespectsTolerance) {
+  std::vector<value_t> dense = {0.05, 1.0, -0.02};
+  SparseVector v = SparseVector::from_dense(dense, 0.1);
+  EXPECT_EQ(v.nnz(), 1u);
+  EXPECT_EQ(v.indices()[0], 1u);
+}
+
+TEST(SparseVector, ToDenseRoundTrips) {
+  SparseVector v({0, 3}, {2.0, -1.0});
+  const auto dense = v.to_dense(5);
+  EXPECT_EQ(dense, (std::vector<value_t>{2.0, 0.0, 0.0, -1.0, 0.0}));
+  SparseVector back = SparseVector::from_dense(dense);
+  EXPECT_EQ(back.indices(), v.indices());
+  EXPECT_EQ(back.values(), v.values());
+}
+
+TEST(SparseVector, ToDenseRejectsSmallDim) {
+  SparseVector v({0, 3}, {2.0, -1.0});
+  EXPECT_THROW(v.to_dense(3), std::out_of_range);
+}
+
+TEST(SparseVector, NormsMatchDenseComputation) {
+  SparseVector v({1, 2, 7}, {3.0, 4.0, 12.0});
+  EXPECT_DOUBLE_EQ(v.squared_norm(), 9 + 16 + 144);
+  EXPECT_DOUBLE_EQ(v.norm(), 13.0);
+}
+
+TEST(SparseDot, DisjointSupportsGiveZero) {
+  SparseVector a({0, 2}, {1.0, 1.0});
+  SparseVector b({1, 3}, {5.0, 5.0});
+  EXPECT_DOUBLE_EQ(dot(a.view(), b.view()), 0.0);
+}
+
+TEST(SparseDot, OverlappingSupportsAccumulate) {
+  SparseVector a({0, 2, 5}, {1.0, 2.0, 3.0});
+  SparseVector b({2, 5, 9}, {4.0, -1.0, 10.0});
+  EXPECT_DOUBLE_EQ(dot(a.view(), b.view()), 2.0 * 4.0 + 3.0 * -1.0);
+}
+
+TEST(SparseDot, EmptyOperandGivesZero) {
+  SparseVector a({1}, {2.0});
+  SparseVector empty;
+  EXPECT_DOUBLE_EQ(dot(a.view(), empty.view()), 0.0);
+}
+
+TEST(SparseDot, IsSymmetric) {
+  SparseVector a({0, 3, 4}, {1.0, -2.0, 0.5});
+  SparseVector b({0, 4, 8}, {3.0, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(dot(a.view(), b.view()), dot(b.view(), a.view()));
+}
+
+TEST(SparseVectorView, DefaultIsEmpty) {
+  SparseVectorView v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace isasgd::sparse

