@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
 
     const auto asgd = run_asgd(prepared.data, prepared.objective, opt, ev.as_fn());
     const auto is = run_is_asgd(prepared.data, prepared.objective, opt, ev.as_fn());
-    opt.reshuffle_sequences = true;
+    opt.sequence_mode = solvers::SolverOptions::SequenceMode::kReshuffle;
     const auto reshuffled =
         run_is_asgd(prepared.data, prepared.objective, opt, ev.as_fn());
 

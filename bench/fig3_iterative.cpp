@@ -38,19 +38,21 @@ int main(int argc, char** argv) {
 
     core::ExperimentSpec spec;
     spec.dataset_name = prepared.config.name;
-    spec.algorithms = {solvers::Algorithm::kSgd, solvers::Algorithm::kAsgd,
-                       solvers::Algorithm::kIsAsgd};
+    spec.solvers = {"SGD", "ASGD", "IS-ASGD"};
     const bool with_svrg =
         svrg_mode == "always" ||
         (svrg_mode == "auto" && id == data::PaperDataset::kNews20);
-    if (with_svrg) spec.algorithms.push_back(solvers::Algorithm::kSvrgAsgd);
+    if (with_svrg) spec.solvers.emplace_back("SVRG-ASGD");
     spec.thread_counts = thread_counts;
     spec.base_options.step_size = prepared.config.lambda;
     spec.base_options.epochs = cli.get_int("epochs") > 0
                                    ? static_cast<std::size_t>(cli.get_int("epochs"))
                                    : prepared.config.paper_epochs;
     spec.base_options.seed = static_cast<std::uint64_t>(cli.get_i64("seed"));
-    spec.base_options.reshuffle_sequences = cli.get_bool("reshuffle");
+    if (cli.get_bool("reshuffle")) {
+      spec.base_options.sequence_mode =
+          solvers::SolverOptions::SequenceMode::kReshuffle;
+    }
 
     const auto result = core::run_experiment(trainer, spec);
     bench::maybe_write_csv(cli, "fig3_" + prepared.config.name, result);
@@ -64,11 +66,11 @@ int main(int argc, char** argv) {
           {"epoch", "SGD_rmse", "ASGD_rmse", "IS-ASGD_rmse",
            with_svrg ? "SVRG-ASGD_rmse" : "-", "SGD_err", "ASGD_err",
            "IS-ASGD_err", with_svrg ? "SVRG-ASGD_err" : "-"});
-      const auto* sgd = result.find(solvers::Algorithm::kSgd, threads);
-      const auto* asgd = result.find(solvers::Algorithm::kAsgd, threads);
-      const auto* is = result.find(solvers::Algorithm::kIsAsgd, threads);
+      const auto* sgd = result.find("SGD", threads);
+      const auto* asgd = result.find("ASGD", threads);
+      const auto* is = result.find("IS-ASGD", threads);
       const auto* svrg =
-          with_svrg ? result.find(solvers::Algorithm::kSvrgAsgd, threads)
+          with_svrg ? result.find("SVRG-ASGD", threads)
                     : nullptr;
       const std::size_t epochs = sgd->trace.points.size();
       for (std::size_t e = 0; e < epochs; ++e) {

@@ -45,19 +45,21 @@ int main(int argc, char** argv) {
 
     core::ExperimentSpec spec;
     spec.dataset_name = prepared.config.name;
-    spec.algorithms = {solvers::Algorithm::kSgd, solvers::Algorithm::kAsgd,
-                       solvers::Algorithm::kIsAsgd};
+    spec.solvers = {"SGD", "ASGD", "IS-ASGD"};
     const bool with_svrg =
         svrg_mode == "always" ||
         (svrg_mode == "auto" && id == data::PaperDataset::kNews20);
-    if (with_svrg) spec.algorithms.push_back(solvers::Algorithm::kSvrgAsgd);
+    if (with_svrg) spec.solvers.emplace_back("SVRG-ASGD");
     spec.thread_counts = thread_counts;
     spec.base_options.step_size = prepared.config.lambda;
     spec.base_options.epochs = cli.get_int("epochs") > 0
                                    ? static_cast<std::size_t>(cli.get_int("epochs"))
                                    : prepared.config.paper_epochs;
     spec.base_options.seed = static_cast<std::uint64_t>(cli.get_i64("seed"));
-    spec.base_options.reshuffle_sequences = cli.get_bool("reshuffle");
+    if (cli.get_bool("reshuffle")) {
+      spec.base_options.sequence_mode =
+          solvers::SolverOptions::SequenceMode::kReshuffle;
+    }
 
     const auto result = core::run_experiment(trainer, spec);
     bench::maybe_write_csv(cli, "fig4_" + prepared.config.name, result);
@@ -68,12 +70,12 @@ int main(int argc, char** argv) {
                   prepared.config.lambda);
       util::TablePrinter table({"algorithm", "train_s", "setup_s",
                                 "final_rmse", "best_err", "s_per_epoch"});
-      for (auto algorithm : spec.algorithms) {
-        const auto* run = result.find(algorithm, threads);
+      for (const auto& solver : spec.solvers) {
+        const auto* run = result.find(solver, threads);
         if (!run) continue;
         const auto& t = run->trace;
         table.add_row_values(
-            solvers::algorithm_name(algorithm), t.train_seconds,
+            run->solver, t.train_seconds,
             t.setup_seconds, t.points.back().rmse, t.best_error_rate(),
             t.train_seconds / std::max<std::size_t>(1, t.points.size() - 1));
       }
@@ -82,8 +84,8 @@ int main(int argc, char** argv) {
       // The red-circle/blue-dot pair, taken at the strictest error level
       // both algorithms reach (equals ASGD's own best whenever IS-ASGD
       // matches or beats it, which is the paper's comparison).
-      const auto* asgd = result.find(solvers::Algorithm::kAsgd, threads);
-      const auto* is = result.find(solvers::Algorithm::kIsAsgd, threads);
+      const auto* asgd = result.find("ASGD", threads);
+      const auto* is = result.find("IS-ASGD", threads);
       const double optimum = std::max(asgd->trace.best_error_rate(),
                                       is->trace.best_error_rate());
       const double t_asgd = asgd->trace.time_to_error(optimum, false);
@@ -101,7 +103,7 @@ int main(int argc, char** argv) {
             optimum, t_asgd);
       }
       if (with_svrg) {
-        const auto* svrg = result.find(solvers::Algorithm::kSvrgAsgd, threads);
+        const auto* svrg = result.find("SVRG-ASGD", threads);
         std::printf(
             "SVRG-ASGD wall-clock %.3gs vs ASGD %.3gs (%.1fx slower despite "
             "its per-epoch advantage — the paper's section 1.2 bottleneck)\n",

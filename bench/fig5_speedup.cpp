@@ -45,15 +45,17 @@ int main(int argc, char** argv) {
 
     core::ExperimentSpec spec;
     spec.dataset_name = prepared.config.name;
-    spec.algorithms = {solvers::Algorithm::kSgd, solvers::Algorithm::kAsgd,
-                       solvers::Algorithm::kIsAsgd};
+    spec.solvers = {"SGD", "ASGD", "IS-ASGD"};
     spec.thread_counts = thread_counts;
     spec.base_options.step_size = prepared.config.lambda;
     spec.base_options.epochs = cli.get_int("epochs") > 0
                                    ? static_cast<std::size_t>(cli.get_int("epochs"))
                                    : prepared.config.paper_epochs;
     spec.base_options.seed = static_cast<std::uint64_t>(cli.get_i64("seed"));
-    spec.base_options.reshuffle_sequences = cli.get_bool("reshuffle");
+    if (cli.get_bool("reshuffle")) {
+      spec.base_options.sequence_mode =
+          solvers::SolverOptions::SequenceMode::kReshuffle;
+    }
     const auto result = core::run_experiment(trainer, spec);
     bench::maybe_write_csv(cli, "fig5_" + prepared.config.name, result);
 
@@ -62,9 +64,9 @@ int main(int argc, char** argv) {
     util::TablePrinter summary({"threads", "vsASGD_avg", "vsASGD_max",
                                 "vsASGD_opt", "vsSGD_avg", "vsSGD_max"});
     for (std::size_t threads : thread_counts) {
-      const auto* sgd = result.find(solvers::Algorithm::kSgd, threads);
-      const auto* asgd = result.find(solvers::Algorithm::kAsgd, threads);
-      const auto* is = result.find(solvers::Algorithm::kIsAsgd, threads);
+      const auto* sgd = result.find("SGD", threads);
+      const auto* asgd = result.find("ASGD", threads);
+      const auto* is = result.find("IS-ASGD", threads);
       const auto vs_asgd =
           metrics::compute_speedup(asgd->trace, is->trace, slices, include_setup);
       const auto vs_sgd =

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
                       "Train any registered solver on a LibSVM file");
   cli.add_flag("file", "", "path to the LibSVM dataset (required)");
   cli.add_flag("algorithm", "is_asgd",
-               "sgd|is_sgd|asgd|is_asgd|svrg_sgd|svrg_asgd");
+               "registry name of the solver (see --list-solvers)");
+  cli.add_flag("list-solvers", "0", "print the registered solvers and exit");
   cli.add_flag("objective", "logistic",
                "logistic|squared_hinge|least_squares");
   cli.add_flag("reg", "l1", "none|l1|l2");
@@ -31,6 +32,14 @@ int main(int argc, char** argv) {
   cli.add_flag("eval-model", "",
                "skip training; load this model file and just score it");
   if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.get_int("list-solvers") != 0) {
+    for (const std::string& name :
+         solvers::SolverRegistry::instance().list()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
 
   const std::string path = cli.get("file");
   if (path.empty()) {
@@ -74,8 +83,13 @@ int main(int argc, char** argv) {
   opt.seed = static_cast<std::uint64_t>(cli.get_i64("seed"));
   opt.keep_final_model = !cli.get("save-model").empty();
 
-  const auto algorithm = solvers::algorithm_from_name(cli.get("algorithm"));
-  const auto trace = trainer.train(algorithm, opt);
+  solvers::Trace trace;
+  try {
+    trace = trainer.train(cli.get("algorithm"), opt);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   std::printf("\n%-6s %-10s %-10s %-10s\n", "epoch", "seconds", "rmse",
               "error");
@@ -84,7 +98,7 @@ int main(int argc, char** argv) {
                 p.error_rate);
   }
   std::printf("\n%s: train %.3fs (+%.3fs setup), best error %.4f\n",
-              solvers::algorithm_name(algorithm).c_str(), trace.train_seconds,
+              trace.algorithm.c_str(), trace.train_seconds,
               trace.setup_seconds, trace.best_error_rate());
   if (const std::string out = cli.get("save-model"); !out.empty()) {
     io::write_model_binary_file(out, trace.final_model);

@@ -36,9 +36,7 @@ int main(int argc, char** argv) {
 
   core::ExperimentSpec spec;
   spec.dataset_name = config.name;
-  spec.algorithms = {solvers::Algorithm::kSgd, solvers::Algorithm::kAsgd,
-                     solvers::Algorithm::kIsAsgd,
-                     solvers::Algorithm::kSvrgAsgd};
+  spec.solvers = {"SGD", "ASGD", "IS-ASGD", "SVRG-ASGD"};
   spec.thread_counts = {static_cast<std::size_t>(cli.get_int("threads"))};
   spec.base_options.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
   spec.base_options.step_size = config.lambda;
@@ -47,7 +45,7 @@ int main(int argc, char** argv) {
   util::TablePrinter table(
       {"algorithm", "wall_clock_s", "final_rmse", "best_error"});
   for (const auto& run : result.runs) {
-    table.add_row_values(solvers::algorithm_name(run.algorithm),
+    table.add_row_values(run.solver,
                          run.trace.train_seconds + run.trace.setup_seconds,
                          run.trace.points.back().rmse,
                          run.trace.best_error_rate());
@@ -55,8 +53,8 @@ int main(int argc, char** argv) {
   std::printf("\n%s", table.render().c_str());
 
   const std::size_t threads = spec.thread_counts[0];
-  const auto* asgd = result.find(solvers::Algorithm::kAsgd, threads);
-  const auto* is = result.find(solvers::Algorithm::kIsAsgd, threads);
+  const auto* asgd = result.find("ASGD", threads);
+  const auto* is = result.find("IS-ASGD", threads);
   const auto speedup = metrics::compute_speedup(asgd->trace, is->trace);
   if (!speedup.slices.empty()) {
     std::printf(

@@ -2,15 +2,53 @@
 //
 //   1. generate (or load) a sparse classification dataset,
 //   2. pick an objective + regularizer,
-//   3. train with IS-ASGD through the core::Trainer facade,
-//   4. read the convergence trace.
+//   3. build a core::Trainer with TrainerBuilder,
+//   4. train by solver name ("is_asgd") with a TrainingObserver watching
+//      per-epoch progress and collecting the partition diagnostics,
+//   5. read the convergence trace.
 //
 //   build/examples/quickstart
+#include <any>
+#include <cmath>
 #include <cstdio>
 
 #include "core/trainer.hpp"
 #include "data/synthetic.hpp"
 #include "objectives/logistic.hpp"
+
+namespace {
+
+/// Observes the run: prints one line per epoch and captures the IS-ASGD
+/// partition diagnostics published through the observer pipeline.
+class ProgressObserver final : public isasgd::solvers::TrainingObserver {
+ public:
+  void on_train_begin(const std::string& solver_name,
+                      const isasgd::solvers::SolverOptions& options) override {
+    std::printf("training %s: %zu epochs, %zu threads\n", solver_name.c_str(),
+                options.epochs, options.threads);
+    std::printf("%-6s %-10s %-10s %-10s\n", "epoch", "seconds", "rmse",
+                "error");
+  }
+
+  bool on_epoch(const isasgd::solvers::TracePoint& p) override {
+    std::printf("%-6zu %-10.3f %-10.4f %-10.4f\n", p.epoch, p.seconds, p.rmse,
+                p.error_rate);
+    return true;  // return false here to stop the run early
+  }
+
+  void on_diagnostics(const std::any& diagnostics) override {
+    if (const auto* r =
+            std::any_cast<isasgd::solvers::IsAsgdReport>(&diagnostics)) {
+      report = *r;
+      have_report = true;
+    }
+  }
+
+  isasgd::solvers::IsAsgdReport report;
+  bool have_report = false;
+};
+
+}  // namespace
 
 int main() {
   using namespace isasgd;
@@ -30,31 +68,55 @@ int main() {
   // 2. L1-regularized logistic regression — the objective the IS-ASGD paper
   //    evaluates.
   objectives::LogisticLoss loss;
-  const auto reg = objectives::Regularization::l1(1e-6);
 
-  // 3. Train. The Trainer wires the dataset + objective to any of the six
-  //    solvers; IS-ASGD is the paper's contribution.
-  core::Trainer trainer(data, loss, reg);
+  // 3. Build the Trainer. The builder wires the dataset + objective +
+  //    regularizer; any solver in the SolverRegistry is then one string away.
+  const core::Trainer trainer =
+      core::TrainerBuilder().data(data).objective(loss).l1(1e-6).build();
+
+  std::printf("registered solvers:");
+  for (const std::string& name : solvers::SolverRegistry::instance().list()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+
+  // 4. Train IS-ASGD — the paper's contribution — by name, with an observer
+  //    streaming progress and collecting the partition diagnostics.
   solvers::SolverOptions options;
   options.epochs = 10;
   options.threads = 8;
   options.step_size = 0.5;
-  solvers::IsAsgdReport report;
-  const solvers::Trace trace = trainer.train_is_asgd(options, &report);
+  ProgressObserver observer;
+  const solvers::Trace trace = trainer.train("is_asgd", options, &observer);
 
-  // 4. Inspect the run.
-  std::printf(
-      "partitioning: rho=%.2e -> %s strategy, shard importance spread %.3f\n",
-      report.rho,
-      partition::strategy_name(report.applied_strategy).c_str(),
-      report.phi_imbalance);
+  // 5. Inspect the run.
+  if (observer.have_report) {
+    std::printf(
+        "partitioning: rho=%.2e -> %s strategy, shard importance spread "
+        "%.3f\n",
+        observer.report.rho,
+        partition::strategy_name(observer.report.applied_strategy).c_str(),
+        observer.report.phi_imbalance);
+  }
   std::printf("setup %.3fs, training %.3fs across %zu threads\n",
               trace.setup_seconds, trace.train_seconds, trace.threads);
-  std::printf("%-6s %-10s %-10s %-10s\n", "epoch", "seconds", "rmse", "error");
-  for (const auto& p : trace.points) {
-    std::printf("%-6zu %-10.3f %-10.4f %-10.4f\n", p.epoch, p.seconds, p.rmse,
-                p.error_rate);
-  }
   std::printf("best error rate: %.4f\n", trace.best_error_rate());
-  return 0;
+
+  // Appendix: the registry path is the legacy enum path. A single-threaded
+  // run is deterministic for a fixed seed, so training through the
+  // deprecated Algorithm enum must reproduce the registry trace exactly.
+  solvers::SolverOptions check = options;
+  check.threads = 1;
+  check.epochs = 3;
+  const solvers::Trace by_name = trainer.train("is_asgd", check);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const solvers::Trace by_enum =
+      trainer.train(solvers::Algorithm::kIsAsgd, check);
+#pragma GCC diagnostic pop
+  const double delta = std::abs(by_name.points.back().objective -
+                                by_enum.points.back().objective);
+  std::printf("legacy-path check: |objective(name) - objective(enum)| = %.3g %s\n",
+              delta, delta == 0.0 ? "(identical)" : "(MISMATCH)");
+  return delta == 0.0 ? 0 : 1;
 }

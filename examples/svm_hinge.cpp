@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     opt.threads = 8;
     opt.step_size = 0.1;
     opt.importance = importance;
-    const auto trace = trainer.train(solvers::Algorithm::kIsAsgd, opt);
+    const auto trace = trainer.train("IS-ASGD", opt);
     table.add_row_values(
         "IS-ASGD",
         importance == solvers::ImportanceKind::kLipschitz
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   opt.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
   opt.threads = 8;
   opt.step_size = 0.1;
-  const auto asgd = trainer.train(solvers::Algorithm::kAsgd, opt);
+  const auto asgd = trainer.train("ASGD", opt);
   table.add_row_values("ASGD", "uniform", asgd.points.back().rmse,
                        asgd.best_error_rate(), asgd.train_seconds);
   std::printf("\n%s", table.render().c_str());

@@ -39,8 +39,8 @@ int main(int argc, char** argv) {
     opt.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
     opt.threads = static_cast<std::size_t>(threads);
     opt.step_size = config.lambda;  // 0.05 for URL in the paper
-    const auto asgd = trainer.train(solvers::Algorithm::kAsgd, opt);
-    const auto is = trainer.train(solvers::Algorithm::kIsAsgd, opt);
+    const auto asgd = trainer.train("ASGD", opt);
+    const auto is = trainer.train("IS-ASGD", opt);
     table.add_row_values(static_cast<double>(threads),
                          asgd.best_error_rate(), is.best_error_rate(),
                          asgd.points.back().rmse, is.points.back().rmse,

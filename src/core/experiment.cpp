@@ -1,22 +1,21 @@
 #include "core/experiment.hpp"
 
+#include "solvers/solver.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 
 namespace isasgd::core {
 
-bool is_serial(solvers::Algorithm algorithm) {
-  return algorithm == solvers::Algorithm::kSgd ||
-         algorithm == solvers::Algorithm::kIsSgd ||
-         algorithm == solvers::Algorithm::kSvrgSgd ||
-         algorithm == solvers::Algorithm::kSaga;
+bool is_serial(std::string_view solver) {
+  return solvers::SolverRegistry::instance().get(solver).capabilities().serial();
 }
 
-const ExperimentRun* ExperimentResult::find(solvers::Algorithm algorithm,
+const ExperimentRun* ExperimentResult::find(std::string_view solver,
                                             std::size_t threads) const {
+  const std::string key = solvers::SolverRegistry::normalize(solver);
   for (const ExperimentRun& run : runs) {
-    if (run.algorithm != algorithm) continue;
-    if (is_serial(algorithm) || run.threads == threads) return &run;
+    if (solvers::SolverRegistry::normalize(run.solver) != key) continue;
+    if (is_serial(run.solver) || run.threads == threads) return &run;
   }
   return nullptr;
 }
@@ -25,22 +24,24 @@ ExperimentResult run_experiment(const Trainer& trainer,
                                 const ExperimentSpec& spec) {
   ExperimentResult result;
   result.dataset_name = spec.dataset_name;
-  for (solvers::Algorithm algorithm : spec.algorithms) {
-    const bool serial = is_serial(algorithm);
+  for (const std::string& name : spec.solvers) {
+    const solvers::Solver& solver =
+        solvers::SolverRegistry::instance().get(name);
+    const bool serial = solver.capabilities().serial();
     std::vector<std::size_t> counts =
         serial ? std::vector<std::size_t>{1} : spec.thread_counts;
     for (std::size_t threads : counts) {
       solvers::SolverOptions options = spec.base_options;
       options.threads = threads;
       if (spec.verbose) {
-        util::log_info() << spec.dataset_name << ": running "
-                         << solvers::algorithm_name(algorithm) << " threads="
-                         << threads << " epochs=" << options.epochs;
+        util::log_info() << spec.dataset_name << ": running " << solver.name()
+                         << " threads=" << threads
+                         << " epochs=" << options.epochs;
       }
       ExperimentRun run;
-      run.algorithm = algorithm;
+      run.solver = std::string(solver.name());
       run.threads = threads;
-      run.trace = trainer.train(algorithm, options);
+      run.trace = trainer.train(solver.name(), options);
       if (spec.verbose) {
         util::log_info() << "  done in " << run.trace.train_seconds
                          << "s train (+" << run.trace.setup_seconds
@@ -56,13 +57,12 @@ ExperimentResult run_experiment(const Trainer& trainer,
 void write_traces_csv(const std::string& path,
                       const ExperimentResult& result) {
   util::CsvWriter csv(path);
-  csv.header({"dataset", "algorithm", "threads", "epoch", "seconds", "rmse",
+  csv.header({"dataset", "solver", "threads", "epoch", "seconds", "rmse",
               "error_rate", "objective", "setup_seconds"});
   for (const ExperimentRun& run : result.runs) {
     for (const solvers::TracePoint& p : run.trace.points) {
-      csv.row_values(result.dataset_name,
-                     solvers::algorithm_name(run.algorithm), run.threads,
-                     p.epoch, p.seconds, p.rmse, p.error_rate, p.objective,
+      csv.row_values(result.dataset_name, run.solver, run.threads, p.epoch,
+                     p.seconds, p.rmse, p.error_rate, p.objective,
                      run.trace.setup_seconds);
     }
   }

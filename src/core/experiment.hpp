@@ -1,9 +1,14 @@
-// Experiment runner: the algorithm × thread-count sweeps behind Figures 3–5,
+// Experiment runner: the solver × thread-count sweeps behind Figures 3–5,
 // plus trace CSV export so every bench can dump its raw series.
+//
+// Specs address solvers by SolverRegistry name ("SGD", "is_asgd", ...), so
+// a sweep can include any registered solver — including ones added outside
+// this library. Whether a solver ignores the thread count comes from its
+// registered capabilities, not from a hard-wired list.
 #pragma once
 
-#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/trainer.hpp"
@@ -12,11 +17,13 @@
 
 namespace isasgd::core {
 
-/// One sweep: run each algorithm at each thread count (serial algorithms run
+/// One sweep: run each solver at each thread count (serial solvers run
 /// once, at threads = 1).
 struct ExperimentSpec {
   std::string dataset_name;
-  std::vector<solvers::Algorithm> algorithms;
+  /// Registry names, e.g. {"SGD", "ASGD", "IS-ASGD"}. Any spelling the
+  /// registry accepts works ("is_asgd" == "IS-ASGD").
+  std::vector<std::string> solvers;
   std::vector<std::size_t> thread_counts;
   solvers::SolverOptions base_options;
   /// Print one-line progress per run to stderr.
@@ -25,7 +32,7 @@ struct ExperimentSpec {
 
 /// A completed run within a sweep.
 struct ExperimentRun {
-  solvers::Algorithm algorithm;
+  std::string solver;  ///< canonical registry name, e.g. "IS-ASGD"
   std::size_t threads = 1;
   solvers::Trace trace;
 };
@@ -34,21 +41,25 @@ struct ExperimentResult {
   std::string dataset_name;
   std::vector<ExperimentRun> runs;
 
-  /// Finds the run for (algorithm, threads); serial algorithms match any
-  /// requested thread count. Returns nullptr when absent.
-  [[nodiscard]] const ExperimentRun* find(solvers::Algorithm algorithm,
+  /// Finds the run for (solver, threads); serial solvers match any
+  /// requested thread count. Accepts any registry spelling of the name.
+  /// Returns nullptr when absent.
+  [[nodiscard]] const ExperimentRun* find(std::string_view solver,
                                           std::size_t threads) const;
 };
 
-/// Executes the sweep against a prepared Trainer.
+/// Executes the sweep against a prepared Trainer. Throws
+/// std::invalid_argument (listing the registered names) if a spec entry
+/// names no registered solver.
 ExperimentResult run_experiment(const Trainer& trainer,
                                 const ExperimentSpec& spec);
 
 /// Writes every trace point of the sweep as long-form CSV:
-/// dataset,algorithm,threads,epoch,seconds,rmse,error_rate,objective,setup_s.
+/// dataset,solver,threads,epoch,seconds,rmse,error_rate,objective,setup_s.
 void write_traces_csv(const std::string& path, const ExperimentResult& result);
 
-/// True if `algorithm` ignores the thread count (serial solver).
-[[nodiscard]] bool is_serial(solvers::Algorithm algorithm);
+/// True if the registered solver `solver` ignores the thread count. Sugar
+/// over SolverRegistry capabilities; throws for unknown names.
+[[nodiscard]] bool is_serial(std::string_view solver);
 
 }  // namespace isasgd::core

@@ -1,16 +1,9 @@
 #include "core/trainer.hpp"
 
+#include <any>
 #include <stdexcept>
 #include <thread>
-
-#include "solvers/asgd.hpp"
-#include "solvers/is_sgd.hpp"
-#include "solvers/sag.hpp"
-#include "solvers/saga.hpp"
-#include "solvers/sgd.hpp"
-#include "solvers/svrg_asgd.hpp"
-#include "solvers/svrg_lazy.hpp"
-#include "solvers/svrg_sgd.hpp"
+#include <utility>
 
 namespace isasgd::core {
 
@@ -24,38 +17,60 @@ Trainer::Trainer(const sparse::CsrMatrix& data,
                  eval_threads ? eval_threads
                               : std::max(1u, std::thread::hardware_concurrency() / 2)) {}
 
+solvers::Trace Trainer::train(std::string_view solver,
+                              solvers::SolverOptions options,
+                              solvers::TrainingObserver* observer) const {
+  const solvers::Solver& s = solvers::SolverRegistry::instance().get(solver);
+  options.reg = reg_;
+  return s.train(solvers::SolverContext{
+      .data = data_,
+      .objective = objective_,
+      .options = std::move(options),
+      .eval = evaluator_.as_fn(),
+      .observer = observer,
+  });
+}
+
 solvers::Trace Trainer::train(solvers::Algorithm algorithm,
                               solvers::SolverOptions options) const {
-  options.reg = reg_;
-  const solvers::EvalFn eval = evaluator_.as_fn();
-  switch (algorithm) {
-    case solvers::Algorithm::kSgd:
-      return solvers::run_sgd(data_, objective_, options, eval);
-    case solvers::Algorithm::kIsSgd:
-      return solvers::run_is_sgd(data_, objective_, options, eval);
-    case solvers::Algorithm::kAsgd:
-      return solvers::run_asgd(data_, objective_, options, eval);
-    case solvers::Algorithm::kIsAsgd:
-      return solvers::run_is_asgd(data_, objective_, options, eval);
-    case solvers::Algorithm::kSvrgSgd:
-      return solvers::run_svrg_sgd(data_, objective_, options, eval);
-    case solvers::Algorithm::kSvrgAsgd:
-      return solvers::run_svrg_asgd(data_, objective_, options, eval);
-    case solvers::Algorithm::kSaga:
-      return solvers::run_saga(data_, objective_, options, eval);
-    case solvers::Algorithm::kSvrgLazy:
-      return solvers::run_svrg_sgd_lazy(data_, objective_, options, eval);
-    case solvers::Algorithm::kSag:
-      return solvers::run_sag(data_, objective_, options, eval);
-  }
-  throw std::invalid_argument("Trainer::train: unknown algorithm");
+  return train(solvers::algorithm_name(algorithm), std::move(options));
 }
+
+namespace {
+
+/// Adapts the legacy IsAsgdReport* out-param onto the observer pipeline.
+class ReportCapture final : public solvers::TrainingObserver {
+ public:
+  explicit ReportCapture(solvers::IsAsgdReport* out) : out_(out) {}
+
+  void on_diagnostics(const std::any& diagnostics) override {
+    if (!out_) return;
+    if (const auto* r = std::any_cast<solvers::IsAsgdReport>(&diagnostics)) {
+      *out_ = *r;
+    }
+  }
+
+ private:
+  solvers::IsAsgdReport* out_;
+};
+
+}  // namespace
 
 solvers::Trace Trainer::train_is_asgd(solvers::SolverOptions options,
                                       solvers::IsAsgdReport* report) const {
-  options.reg = reg_;
-  return solvers::run_is_asgd(data_, objective_, options, evaluator_.as_fn(),
-                              report);
+  ReportCapture capture(report);
+  return train("IS-ASGD", std::move(options), &capture);
+}
+
+Trainer TrainerBuilder::build() const {
+  if (!data_) {
+    throw std::logic_error("TrainerBuilder::build: data(...) was not set");
+  }
+  if (!objective_) {
+    throw std::logic_error(
+        "TrainerBuilder::build: objective(...) was not set");
+  }
+  return Trainer(*data_, *objective_, reg_, eval_threads_);
 }
 
 }  // namespace isasgd::core

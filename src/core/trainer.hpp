@@ -1,29 +1,64 @@
-// The library's primary public API: isasgd::Trainer.
+// The library's primary public API: TrainerBuilder → Trainer → SolverRegistry.
 //
 //   using namespace isasgd;
 //   auto data = data::generate_paper_dataset(data::PaperDataset::kNews20);
 //   objectives::LogisticLoss loss;
-//   core::Trainer trainer(data, loss,
-//                         objectives::Regularization::l1(1e-5));
+//
+//   core::Trainer trainer = core::TrainerBuilder()
+//                               .data(data)
+//                               .objective(loss)
+//                               .l1(1e-5)
+//                               .eval_threads(8)
+//                               .build();
+//
 //   solvers::SolverOptions opt;
 //   opt.threads = 8;
-//   solvers::Trace trace = trainer.train(solvers::Algorithm::kIsAsgd, opt);
+//   solvers::Trace trace = trainer.train("is_asgd", opt);
 //
-// The Trainer wires a dataset + objective + regularizer to the solver suite
-// and the standard evaluator; it owns nothing heavier than references, so it
-// is cheap to construct per experiment.
+// Solvers are addressed by registry name — any solver registered in
+// solvers::SolverRegistry (the 9 paper algorithms, the prox family, and
+// anything an application registers itself) is reachable without touching
+// this class. An unknown name throws std::invalid_argument listing every
+// registered solver.
+//
+// Progress, early stopping, and per-solver diagnostics flow through the
+// observer pipeline (solvers/observer.hpp):
+//
+//   struct StopAtTarget : solvers::TrainingObserver {
+//     bool on_epoch(const solvers::TracePoint& p) override {
+//       return p.error_rate > 0.05;  // false ⇒ stop after this epoch
+//     }
+//     void on_diagnostics(const std::any& d) override {
+//       if (auto* r = std::any_cast<solvers::IsAsgdReport>(&d)) { ... }
+//     }
+//   };
+//   StopAtTarget obs;
+//   auto trace = trainer.train("is_asgd", opt, &obs);
+//
+// The Trainer wires a dataset + objective + regularizer to the registered
+// solvers and the standard evaluator; it owns nothing heavier than
+// references, so it is cheap to construct per experiment. The old
+// enum-based train(Algorithm, ...) and train_is_asgd(..., IsAsgdReport*)
+// entry points survive one release as deprecated shims over the registry
+// path. See docs/API.md for the full walkthrough, including the
+// "how to add a solver" recipe.
 #pragma once
+
+#include <string_view>
 
 #include "metrics/evaluator.hpp"
 #include "objectives/objective.hpp"
 #include "solvers/is_asgd.hpp"
+#include "solvers/observer.hpp"
 #include "solvers/options.hpp"
+#include "solvers/solver.hpp"
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
 namespace isasgd::core {
 
 /// Facade binding a dataset and objective to the registered solvers.
+/// Construct directly or — preferably — through TrainerBuilder.
 class Trainer {
  public:
   /// `data` and `objective` must outlive the Trainer. `eval_threads`
@@ -32,12 +67,27 @@ class Trainer {
           const objectives::Objective& objective,
           objectives::Regularization reg, std::size_t eval_threads = 0);
 
-  /// Runs `algorithm` under `options` (the options' reg field is overridden
-  /// by the Trainer's regularizer so all runs score consistently).
+  /// Resolves `solver` through SolverRegistry (case/punctuation-insensitive:
+  /// "IS-ASGD" == "is_asgd") and runs it under `options` (the options' reg
+  /// field is overridden by the Trainer's regularizer so all runs score
+  /// consistently). `observer` (optional) receives per-epoch trace points,
+  /// may request early stop, and collects per-solver diagnostics. Throws
+  /// std::invalid_argument listing the registered names when `solver` is
+  /// unknown.
+  [[nodiscard]] solvers::Trace train(
+      std::string_view solver, solvers::SolverOptions options,
+      solvers::TrainingObserver* observer = nullptr) const;
+
+  /// Deprecated enum shim over train(name, ...). One release of grace.
+  [[deprecated("address solvers by registry name: train(\"is_asgd\", ...)")]]
   [[nodiscard]] solvers::Trace train(solvers::Algorithm algorithm,
                                      solvers::SolverOptions options) const;
 
-  /// IS-ASGD with partition diagnostics (for the balancing ablation).
+  /// Deprecated: IS-ASGD with partition diagnostics. The diagnostics now
+  /// arrive through TrainingObserver::on_diagnostics as an IsAsgdReport.
+  [[deprecated(
+      "use train(\"is_asgd\", options, observer); the observer receives "
+      "IsAsgdReport via on_diagnostics")]]
   [[nodiscard]] solvers::Trace train_is_asgd(
       solvers::SolverOptions options, solvers::IsAsgdReport* report) const;
 
@@ -60,6 +110,62 @@ class Trainer {
   const objectives::Objective& objective_;
   objectives::Regularization reg_;
   metrics::Evaluator evaluator_;
+};
+
+/// Fluent construction of a Trainer:
+///
+///   auto trainer = TrainerBuilder().data(X).objective(loss).l1(1e-5).build();
+///
+/// data() and objective() are mandatory; build() throws std::logic_error
+/// when either is missing. The regularizer defaults to none; the last of
+/// l1()/l2()/regularization() wins.
+class TrainerBuilder {
+ public:
+  /// The training matrix (not owned; must outlive the built Trainer).
+  TrainerBuilder& data(const sparse::CsrMatrix& data) {
+    data_ = &data;
+    return *this;
+  }
+
+  /// The loss (not owned; must outlive the built Trainer).
+  TrainerBuilder& objective(const objectives::Objective& objective) {
+    objective_ = &objective;
+    return *this;
+  }
+
+  /// Any Regularization value (kind + strength).
+  TrainerBuilder& regularization(objectives::Regularization reg) {
+    reg_ = reg;
+    return *this;
+  }
+
+  /// Shorthand for regularization(Regularization::l1(eta)).
+  TrainerBuilder& l1(double eta) {
+    reg_ = objectives::Regularization::l1(eta);
+    return *this;
+  }
+
+  /// Shorthand for regularization(Regularization::l2(eta)).
+  TrainerBuilder& l2(double eta) {
+    reg_ = objectives::Regularization::l2(eta);
+    return *this;
+  }
+
+  /// Threads for snapshot scoring (0 = half the hardware threads).
+  TrainerBuilder& eval_threads(std::size_t threads) {
+    eval_threads_ = threads;
+    return *this;
+  }
+
+  /// Builds the Trainer. Throws std::logic_error unless both data() and
+  /// objective() were provided.
+  [[nodiscard]] Trainer build() const;
+
+ private:
+  const sparse::CsrMatrix* data_ = nullptr;
+  const objectives::Objective* objective_ = nullptr;
+  objectives::Regularization reg_ = objectives::Regularization::none();
+  std::size_t eval_threads_ = 0;
 };
 
 }  // namespace isasgd::core

@@ -5,18 +5,20 @@
 #include "partition/balancer.hpp"
 #include "solvers/async_runner.hpp"
 #include "solvers/model.hpp"
+#include "solvers/solver.hpp"
 #include "util/rng.hpp"
 
 namespace isasgd::solvers {
 
 Trace run_asgd(const sparse::CsrMatrix& data,
                const objectives::Objective& objective,
-               const SolverOptions& options, const EvalFn& eval) {
+               const SolverOptions& options, const EvalFn& eval,
+               TrainingObserver* observer) {
   const std::size_t n = data.rows();
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   SharedModel model(data.dim());
   TraceRecorder recorder(algorithm_name(Algorithm::kAsgd), threads,
-                         options.step_size, eval);
+                         options.step_size, eval, observer);
 
   // Shuffled contiguous shards: worker tid owns rows
   // order[n·tid/threads .. n·(tid+1)/threads).
@@ -73,5 +75,25 @@ Trace run_asgd(const sparse::CsrMatrix& data,
   if (options.keep_final_model) recorder.set_final_model(model.snapshot());
   return std::move(recorder).finish(train_seconds);
 }
+
+namespace {
+
+class AsgdSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "ASGD"; }
+  SolverCapabilities capabilities() const noexcept override {
+    return {.parallel = true};
+  }
+
+ protected:
+  Trace run_impl(const SolverContext& ctx) const override {
+    return run_asgd(ctx.data, ctx.objective, ctx.options, ctx.eval,
+                    ctx.observer);
+  }
+};
+
+ISASGD_REGISTER_SOLVER(AsgdSolver);
+
+}  // namespace
 
 }  // namespace isasgd::solvers

@@ -17,6 +17,7 @@ namespace isasgd::solvers {
 /// Runs lock-free asynchronous SGD with `options.threads` workers.
 Trace run_asgd(const sparse::CsrMatrix& data,
                const objectives::Objective& objective,
-               const SolverOptions& options, const EvalFn& eval);
+               const SolverOptions& options, const EvalFn& eval,
+               TrainingObserver* observer = nullptr);
 
 }  // namespace isasgd::solvers

@@ -7,6 +7,7 @@
 // traces the paper's Figures 4–5 are built from.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <thread>
 #include <vector>
@@ -22,7 +23,8 @@ namespace isasgd::solvers::detail {
 /// called once per worker per epoch (epoch is 1-based) and must perform that
 /// worker's share of update iterations on the shared model. Records one
 /// trace point per epoch (plus the initial point at epoch 0) and returns the
-/// total training seconds.
+/// total training seconds. If the recorder's observer requests a stop, the
+/// workers drain at the next epoch fence and the run ends early.
 template <class WorkerEpochFn>
 double run_epoch_fenced(SharedModel& model, TraceRecorder& recorder,
                         std::size_t epochs, std::size_t threads,
@@ -30,6 +32,11 @@ double run_epoch_fenced(SharedModel& model, TraceRecorder& recorder,
   util::BlockingBarrier barrier(threads + 1);
 
   recorder.record(0, 0.0, model.snapshot());
+  if (recorder.stop_requested()) return 0.0;
+
+  // Raised by the main thread between the snapshot and release fences; the
+  // release barrier sequences the store before any worker's load.
+  std::atomic<bool> stop{false};
 
   std::vector<std::thread> pool;
   pool.reserve(threads);
@@ -39,6 +46,7 @@ double run_epoch_fenced(SharedModel& model, TraceRecorder& recorder,
         worker_epoch(tid, epoch);
         barrier.arrive_and_wait();  // epoch done; main may snapshot
         barrier.arrive_and_wait();  // main done evaluating; next epoch
+        if (stop.load(std::memory_order_relaxed)) break;
       }
     });
   }
@@ -49,8 +57,12 @@ double run_epoch_fenced(SharedModel& model, TraceRecorder& recorder,
     barrier.arrive_and_wait();  // workers finished this epoch
     clock.stop();
     recorder.record(epoch, clock.seconds(), model.snapshot());
+    if (recorder.stop_requested() && epoch < epochs) {
+      stop.store(true, std::memory_order_relaxed);
+    }
     clock.start();
     barrier.arrive_and_wait();  // release workers
+    if (stop.load(std::memory_order_relaxed)) break;
   }
   clock.stop();
   for (auto& t : pool) t.join();
@@ -65,7 +77,8 @@ double run_epoch_fenced_serial(std::vector<double>& w, TraceRecorder& recorder,
                                std::size_t epochs, EpochBodyFn&& epoch_body) {
   recorder.record(0, 0.0, w);
   util::AccumulatingTimer clock;
-  for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
+  for (std::size_t epoch = 1; epoch <= epochs && !recorder.stop_requested();
+       ++epoch) {
     clock.start();
     epoch_body(epoch);
     clock.stop();

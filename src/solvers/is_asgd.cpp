@@ -9,6 +9,7 @@
 #include "solvers/async_runner.hpp"
 #include "solvers/importance_weights.hpp"
 #include "solvers/model.hpp"
+#include "solvers/solver.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -17,11 +18,11 @@ namespace isasgd::solvers {
 Trace run_is_asgd(const sparse::CsrMatrix& data,
                   const objectives::Objective& objective,
                   const SolverOptions& options, const EvalFn& eval,
-                  IsAsgdReport* report) {
+                  IsAsgdReport* report, TrainingObserver* observer) {
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   SharedModel model(data.dim());
   TraceRecorder recorder(algorithm_name(Algorithm::kIsAsgd), threads,
-                         options.step_size, eval);
+                         options.step_size, eval, observer);
 
   // ---- Offline phase (Algorithm 4 lines 2–12), timed as setup ----
   util::Stopwatch setup;
@@ -30,10 +31,13 @@ Trace run_is_asgd(const sparse::CsrMatrix& data,
   partition::PartitionOptions popt = options.partition;
   popt.shuffle_seed = options.seed ^ 0x1517;
   const partition::PartitionPlan plan(importance, threads, popt);
-  if (report) {
-    report->applied_strategy = plan.applied_strategy();
-    report->rho = plan.rho();
-    report->phi_imbalance = plan.imbalance();
+  {
+    IsAsgdReport diagnostics;
+    diagnostics.applied_strategy = plan.applied_strategy();
+    diagnostics.rho = plan.rho();
+    diagnostics.phi_imbalance = plan.imbalance();
+    if (report) *report = diagnostics;
+    if (observer) observer->on_diagnostics(diagnostics);
   }
 
   // Per-worker: step weight per local slot = 1/(N_tid·p_i) and the sample
@@ -50,7 +54,9 @@ Trace run_is_asgd(const sparse::CsrMatrix& data,
     std::optional<sampling::SampleSequence> adaptive_seq;
     std::uint64_t seed = 0;
   };
-  const auto mode = options.effective_sequence_mode();
+  // The deprecated reshuffle_sequences flag is folded into sequence_mode by
+  // Solver::validate before the run reaches this point.
+  const auto mode = options.sequence_mode;
   std::vector<WorkerState> workers(threads);
   for (std::size_t tid = 0; tid < threads; ++tid) {
     const partition::Shard shard = plan.shard(tid);
@@ -169,5 +175,25 @@ Trace run_is_asgd(const sparse::CsrMatrix& data,
   if (options.keep_final_model) recorder.set_final_model(model.snapshot());
   return std::move(recorder).finish(train_seconds);
 }
+
+namespace {
+
+class IsAsgdSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "IS-ASGD"; }
+  SolverCapabilities capabilities() const noexcept override {
+    return {.parallel = true, .importance_sampling = true};
+  }
+
+ protected:
+  Trace run_impl(const SolverContext& ctx) const override {
+    return run_is_asgd(ctx.data, ctx.objective, ctx.options, ctx.eval,
+                       /*report=*/nullptr, ctx.observer);
+  }
+};
+
+ISASGD_REGISTER_SOLVER(IsAsgdSolver);
+
+}  // namespace
 
 }  // namespace isasgd::solvers

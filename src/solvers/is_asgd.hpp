@@ -31,10 +31,12 @@ struct IsAsgdReport {
 };
 
 /// Runs IS-ASGD. If `report` is non-null it is filled with partition
-/// diagnostics.
+/// diagnostics; the same diagnostics are published to `observer` as an
+/// IsAsgdReport through on_diagnostics.
 Trace run_is_asgd(const sparse::CsrMatrix& data,
                   const objectives::Objective& objective,
                   const SolverOptions& options, const EvalFn& eval,
-                  IsAsgdReport* report = nullptr);
+                  IsAsgdReport* report = nullptr,
+                  TrainingObserver* observer = nullptr);
 
 }  // namespace isasgd::solvers

@@ -6,6 +6,7 @@
 #include "sampling/sequence.hpp"
 #include "solvers/async_runner.hpp"
 #include "solvers/importance_weights.hpp"
+#include "solvers/solver.hpp"
 #include "util/timer.hpp"
 
 namespace isasgd::solvers {
@@ -57,12 +58,13 @@ std::vector<double> current_gradient_norms(const sparse::CsrMatrix& data,
 
 Trace run_is_sgd(const sparse::CsrMatrix& data,
                  const objectives::Objective& objective,
-                 const SolverOptions& options, const EvalFn& eval) {
+                 const SolverOptions& options, const EvalFn& eval,
+                 TrainingObserver* observer) {
   const std::size_t n = data.rows();
   const std::size_t b = std::max<std::size_t>(1, options.batch_size);
   std::vector<double> w(data.dim(), 0.0);
   TraceRecorder recorder(algorithm_name(Algorithm::kIsSgd), 1,
-                         options.step_size, eval);
+                         options.step_size, eval, observer);
 
   // ---- Offline phase (Algorithm 2 lines 2–3), timed as setup ----
   util::Stopwatch setup;
@@ -70,8 +72,10 @@ Trace run_is_sgd(const sparse::CsrMatrix& data,
       detail::importance_weights(data, objective, options);
   std::vector<double> weight = step_weights(importance);
   // Pre-generate all epochs' sequences up front ("beforehand", §1.3) unless
-  // the reshuffle approximation or adaptive re-estimation is on.
-  const auto mode = options.effective_sequence_mode();
+  // the reshuffle approximation or adaptive re-estimation is on. The
+  // deprecated reshuffle_sequences flag is folded into sequence_mode by
+  // Solver::validate before the run reaches this point.
+  const auto mode = options.sequence_mode;
   sampling::ReshuffledSequence reshuffled(importance, n, options.seed);
   std::optional<sampling::StratifiedSequence> stratified;
   if (mode == SolverOptions::SequenceMode::kStratified) {
@@ -151,5 +155,25 @@ Trace run_is_sgd(const sparse::CsrMatrix& data,
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(train_seconds);
 }
+
+namespace {
+
+class IsSgdSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "IS-SGD"; }
+  SolverCapabilities capabilities() const noexcept override {
+    return {.importance_sampling = true};
+  }
+
+ protected:
+  Trace run_impl(const SolverContext& ctx) const override {
+    return run_is_sgd(ctx.data, ctx.objective, ctx.options, ctx.eval,
+                      ctx.observer);
+  }
+};
+
+ISASGD_REGISTER_SOLVER(IsSgdSolver);
+
+}  // namespace
 
 }  // namespace isasgd::solvers

@@ -17,6 +17,7 @@ namespace isasgd::solvers {
 /// paper's §4.2 overhead discussion covers.
 Trace run_is_sgd(const sparse::CsrMatrix& data,
                  const objectives::Objective& objective,
-                 const SolverOptions& options, const EvalFn& eval);
+                 const SolverOptions& options, const EvalFn& eval,
+                 TrainingObserver* observer = nullptr);
 
 }  // namespace isasgd::solvers

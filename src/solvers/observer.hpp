@@ -1,0 +1,108 @@
+// TrainingObserver: the solver suite's callback pipeline.
+//
+// Every solver reports its run through one funnel — the TraceRecorder — and
+// the recorder forwards each epoch-boundary point to an optional observer.
+// That single seam gives callers three things the old API bolted on ad hoc:
+//
+//   * live progress      — on_epoch fires at every epoch fence, with the
+//                          scored TracePoint (eval cost excluded from the
+//                          clock, as always);
+//   * early stopping     — return false from on_epoch and the solver winds
+//                          down at the next fence (workers drain, the trace
+//                          is finalised normally with the points so far);
+//   * typed diagnostics  — solvers publish their extra introspection
+//                          (IsAsgdReport, ProxReport, ...) through
+//                          on_diagnostics instead of growing one special
+//                          `train_xyz(..., Report*)` overload per solver.
+//
+// Observers are plain virtual classes: subclass, override what you need.
+// on_epoch/on_diagnostics are called from the solver's *main* thread at
+// epoch fences (never from inside the lock-free kernel), so observers need
+// no synchronisation of their own.
+#pragma once
+
+#include <any>
+#include <vector>
+
+#include "solvers/trace.hpp"
+
+namespace isasgd::solvers {
+
+struct SolverOptions;
+
+/// Per-run callback interface. The default implementation observes nothing
+/// and never requests a stop, so subclasses override only what they need.
+class TrainingObserver {
+ public:
+  virtual ~TrainingObserver() = default;
+
+  /// Called once before training starts (after option validation).
+  /// `solver_name` is the canonical registry name, e.g. "IS-ASGD".
+  virtual void on_train_begin(const std::string& solver_name,
+                              const SolverOptions& options) {
+    (void)solver_name;
+    (void)options;
+  }
+
+  /// Called at every epoch fence with the freshly scored point (epoch 0 is
+  /// the initial model). Return false to request early stop: the solver
+  /// finishes the current fence, drains its workers, and returns the trace
+  /// recorded so far.
+  virtual bool on_epoch(const TracePoint& point) {
+    (void)point;
+    return true;
+  }
+
+  /// Typed per-solver diagnostics. Each solver documents what it publishes
+  /// (IS-ASGD: IsAsgdReport after partitioning; prox solvers: ProxReport at
+  /// the end of the run). `std::any_cast` against the documented type.
+  virtual void on_diagnostics(const std::any& diagnostics) {
+    (void)diagnostics;
+  }
+
+  /// Called once with the finalised trace (also after an early stop). NOT
+  /// called when the run throws — the exception propagates to the caller,
+  /// so observers must not rely on this for cleanup of resources acquired
+  /// in on_train_begin (use RAII in the observer itself).
+  virtual void on_train_end(const Trace& trace) { (void)trace; }
+};
+
+/// Fans one observer slot out to several observers. Stop requests combine
+/// with OR: any observer returning false from on_epoch stops the run.
+class ObserverChain final : public TrainingObserver {
+ public:
+  ObserverChain() = default;
+  explicit ObserverChain(std::vector<TrainingObserver*> observers)
+      : observers_(std::move(observers)) {}
+
+  /// Appends `observer` (not owned; may not be null). Returns *this so
+  /// chains compose fluently.
+  ObserverChain& add(TrainingObserver& observer) {
+    observers_.push_back(&observer);
+    return *this;
+  }
+
+  void on_train_begin(const std::string& solver_name,
+                      const SolverOptions& options) override {
+    for (TrainingObserver* o : observers_) o->on_train_begin(solver_name, options);
+  }
+
+  bool on_epoch(const TracePoint& point) override {
+    bool keep_going = true;
+    for (TrainingObserver* o : observers_) keep_going &= o->on_epoch(point);
+    return keep_going;
+  }
+
+  void on_diagnostics(const std::any& diagnostics) override {
+    for (TrainingObserver* o : observers_) o->on_diagnostics(diagnostics);
+  }
+
+  void on_train_end(const Trace& trace) override {
+    for (TrainingObserver* o : observers_) o->on_train_end(trace);
+  }
+
+ private:
+  std::vector<TrainingObserver*> observers_;
+};
+
+}  // namespace isasgd::solvers

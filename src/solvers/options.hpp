@@ -11,6 +11,11 @@
 namespace isasgd::solvers {
 
 /// The algorithms the paper evaluates (§4, "Algorithms").
+///
+/// DEPRECATED: the enum survives one release as a shim for existing callers.
+/// New code addresses solvers by registry name ("is_asgd", "SVRG-SGD", ...)
+/// through SolverRegistry / core::Trainer::train(name, ...), which also
+/// reaches solvers the enum never listed (e.g. the prox family).
 enum class Algorithm {
   kSgd,       ///< serial uniform SGD (baseline)
   kIsSgd,     ///< Algorithm 2: serial importance-sampled SGD
@@ -105,13 +110,14 @@ struct SolverOptions {
     kStratified,
   };
   SequenceMode sequence_mode = SequenceMode::kPregenerate;
-  /// Back-compat alias for kReshuffle (overrides sequence_mode when true).
+  /// DEPRECATED back-compat alias for kReshuffle. Solver::validate is the
+  /// single resolution point: it folds this flag into sequence_mode (warning
+  /// once) before any registry-dispatched run. The run_* free functions do
+  /// NOT consult it — direct callers must set sequence_mode instead.
+  /// ([[deprecated]] would be ideal, but on a default-initialised member it
+  /// fires on every SolverOptions construction under GCC, so the shim's
+  /// diagnostic lives in Solver::validate instead.)
   bool reshuffle_sequences = false;
-
-  /// Resolved sequence mode honouring the legacy flag.
-  [[nodiscard]] SequenceMode effective_sequence_mode() const {
-    return reshuffle_sequences ? SequenceMode::kReshuffle : sequence_mode;
-  }
 
   // ---- SVRG-specific ----
   /// Snapshot/full-gradient refresh interval in epochs (1 = every epoch,

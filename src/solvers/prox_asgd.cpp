@@ -10,6 +10,7 @@
 #include "solvers/async_runner.hpp"
 #include "solvers/importance_weights.hpp"
 #include "solvers/model.hpp"
+#include "solvers/solver.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -18,11 +19,12 @@ namespace isasgd::solvers {
 Trace run_prox_asgd(const sparse::CsrMatrix& data,
                     const objectives::Objective& objective,
                     const SolverOptions& options, bool use_importance,
-                    const EvalFn& eval, ProxReport* report) {
+                    const EvalFn& eval, ProxReport* report,
+                    TrainingObserver* observer) {
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   SharedModel model(data.dim());
   TraceRecorder recorder(use_importance ? "IS-PROX-ASGD" : "PROX-ASGD",
-                        threads, options.step_size, eval);
+                        threads, options.step_size, eval, observer);
 
   // ---- Offline phase: Algorithm-4 partition + per-shard sequences ----
   util::Stopwatch setup;
@@ -97,14 +99,49 @@ Trace run_prox_asgd(const sparse::CsrMatrix& data,
       });
 
   const std::vector<double> w = model.snapshot();
-  if (report) {
+  {
+    ProxReport diagnostics;
     std::size_t zeros = 0;
     for (double v : w) zeros += v == 0.0;
-    report->sparsity =
+    diagnostics.sparsity =
         static_cast<double>(zeros) / static_cast<double>(data.dim());
+    if (report) *report = diagnostics;
+    if (observer) observer->on_diagnostics(diagnostics);
   }
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(train_seconds);
 }
+
+namespace {
+
+class ProxAsgdSolver final : public Solver {
+ public:
+  ProxAsgdSolver(std::string_view name, bool use_importance)
+      : name_(name), use_importance_(use_importance) {}
+
+  std::string_view name() const noexcept override { return name_; }
+  SolverCapabilities capabilities() const noexcept override {
+    return {.parallel = true,
+            .importance_sampling = use_importance_,
+            .proximal = true};
+  }
+
+ protected:
+  Trace run_impl(const SolverContext& ctx) const override {
+    return run_prox_asgd(ctx.data, ctx.objective, ctx.options, use_importance_,
+                         ctx.eval, /*report=*/nullptr, ctx.observer);
+  }
+
+ private:
+  std::string_view name_;
+  bool use_importance_;
+};
+
+const SolverRegistration prox_asgd_registration{
+    std::make_unique<ProxAsgdSolver>("PROX-ASGD", false)};
+const SolverRegistration is_prox_asgd_registration{
+    std::make_unique<ProxAsgdSolver>("IS-PROX-ASGD", true)};
+
+}  // namespace
 
 }  // namespace isasgd::solvers

@@ -8,6 +8,7 @@
 #include "sampling/sequence.hpp"
 #include "solvers/async_runner.hpp"
 #include "solvers/importance_weights.hpp"
+#include "solvers/solver.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -16,12 +17,13 @@ namespace isasgd::solvers {
 Trace run_prox_sgd(const sparse::CsrMatrix& data,
                    const objectives::Objective& objective,
                    const SolverOptions& options, bool use_importance,
-                   const EvalFn& eval, ProxReport* report) {
+                   const EvalFn& eval, ProxReport* report,
+                   TrainingObserver* observer) {
   const std::size_t n = data.rows();
   const std::size_t d = data.dim();
   std::vector<double> w(d, 0.0);
   TraceRecorder recorder(use_importance ? "IS-PROX-SGD" : "PROX-SGD", 1,
-                         options.step_size, eval);
+                         options.step_size, eval, observer);
 
   // ---- Offline phase (IS only): Eq. 12 distribution + sequences ----
   util::Stopwatch setup;
@@ -111,13 +113,49 @@ Trace run_prox_sgd(const sparse::CsrMatrix& data,
         }
       });
 
-  if (report) {
+  {
+    ProxReport diagnostics;
     std::size_t zeros = 0;
     for (double v : w) zeros += v == 0.0;
-    report->sparsity = static_cast<double>(zeros) / static_cast<double>(d);
+    diagnostics.sparsity = static_cast<double>(zeros) / static_cast<double>(d);
+    if (report) *report = diagnostics;
+    if (observer) observer->on_diagnostics(diagnostics);
   }
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(train_seconds);
 }
+
+namespace {
+
+/// Registers the uniform and importance-sampled flavours under their own
+/// names — living proof the registry takes solvers the Algorithm enum never
+/// knew about.
+class ProxSgdSolver final : public Solver {
+ public:
+  ProxSgdSolver(std::string_view name, bool use_importance)
+      : name_(name), use_importance_(use_importance) {}
+
+  std::string_view name() const noexcept override { return name_; }
+  SolverCapabilities capabilities() const noexcept override {
+    return {.importance_sampling = use_importance_, .proximal = true};
+  }
+
+ protected:
+  Trace run_impl(const SolverContext& ctx) const override {
+    return run_prox_sgd(ctx.data, ctx.objective, ctx.options, use_importance_,
+                        ctx.eval, /*report=*/nullptr, ctx.observer);
+  }
+
+ private:
+  std::string_view name_;
+  bool use_importance_;
+};
+
+const SolverRegistration prox_sgd_registration{
+    std::make_unique<ProxSgdSolver>("PROX-SGD", false)};
+const SolverRegistration is_prox_sgd_registration{
+    std::make_unique<ProxSgdSolver>("IS-PROX-SGD", true)};
+
+}  // namespace
 
 }  // namespace isasgd::solvers

@@ -36,7 +36,8 @@ struct ProxReport {
                                  const objectives::Objective& objective,
                                  const SolverOptions& options,
                                  bool use_importance, const EvalFn& eval,
-                                 ProxReport* report = nullptr);
+                                 ProxReport* report = nullptr,
+                                 TrainingObserver* observer = nullptr);
 
 /// Lock-free asynchronous proximal SGD — the direction of the asynchronous
 /// proximal works the paper cites (Meng et al. 2017), combined with Eq. 12
@@ -57,6 +58,7 @@ struct ProxReport {
                                   const objectives::Objective& objective,
                                   const SolverOptions& options,
                                   bool use_importance, const EvalFn& eval,
-                                  ProxReport* report = nullptr);
+                                  ProxReport* report = nullptr,
+                                  TrainingObserver* observer = nullptr);
 
 }  // namespace isasgd::solvers

@@ -1,18 +1,20 @@
 #include "solvers/sag.hpp"
 
 #include "solvers/async_runner.hpp"
+#include "solvers/solver.hpp"
 #include "util/rng.hpp"
 
 namespace isasgd::solvers {
 
 Trace run_sag(const sparse::CsrMatrix& data,
               const objectives::Objective& objective,
-              const SolverOptions& options, const EvalFn& eval) {
+              const SolverOptions& options, const EvalFn& eval,
+              TrainingObserver* observer) {
   const std::size_t n = data.rows();
   const std::size_t d = data.dim();
   std::vector<double> w(d, 0.0);
   TraceRecorder recorder(algorithm_name(Algorithm::kSag), 1,
-                         options.step_size, eval);
+                         options.step_size, eval, observer);
 
   // Gradient memory: scalar α_i per sample and the dense running average
   // ḡ = (1/n)·Σ α_i·x_i (maintained incrementally, like SAGA's).
@@ -53,5 +55,25 @@ Trace run_sag(const sparse::CsrMatrix& data,
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(train_seconds);
 }
+
+namespace {
+
+class SagSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "SAG"; }
+  SolverCapabilities capabilities() const noexcept override {
+    return {.variance_reduced = true};
+  }
+
+ protected:
+  Trace run_impl(const SolverContext& ctx) const override {
+    return run_sag(ctx.data, ctx.objective, ctx.options, ctx.eval,
+                   ctx.observer);
+  }
+};
+
+ISASGD_REGISTER_SOLVER(SagSolver);
+
+}  // namespace
 
 }  // namespace isasgd::solvers

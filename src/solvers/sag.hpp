@@ -28,6 +28,7 @@ namespace isasgd::solvers {
 /// standard "initialise with zeros" variant).
 Trace run_sag(const sparse::CsrMatrix& data,
               const objectives::Objective& objective,
-              const SolverOptions& options, const EvalFn& eval);
+              const SolverOptions& options, const EvalFn& eval,
+              TrainingObserver* observer = nullptr);
 
 }  // namespace isasgd::solvers

@@ -1,18 +1,20 @@
 #include "solvers/saga.hpp"
 
 #include "solvers/async_runner.hpp"
+#include "solvers/solver.hpp"
 #include "util/rng.hpp"
 
 namespace isasgd::solvers {
 
 Trace run_saga(const sparse::CsrMatrix& data,
                const objectives::Objective& objective,
-               const SolverOptions& options, const EvalFn& eval) {
+               const SolverOptions& options, const EvalFn& eval,
+               TrainingObserver* observer) {
   const std::size_t n = data.rows();
   const std::size_t d = data.dim();
   std::vector<double> w(d, 0.0);
   TraceRecorder recorder(algorithm_name(Algorithm::kSaga), 1,
-                         options.step_size, eval);
+                         options.step_size, eval, observer);
 
   // Gradient memory: scalar α_i per sample (GLM structure) and the dense
   // running aggregate ḡ = (1/n)·Σ α_i·x_i.
@@ -56,5 +58,25 @@ Trace run_saga(const sparse::CsrMatrix& data,
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(train_seconds);
 }
+
+namespace {
+
+class SagaSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "SAGA"; }
+  SolverCapabilities capabilities() const noexcept override {
+    return {.variance_reduced = true};
+  }
+
+ protected:
+  Trace run_impl(const SolverContext& ctx) const override {
+    return run_saga(ctx.data, ctx.objective, ctx.options, ctx.eval,
+                    ctx.observer);
+  }
+};
+
+ISASGD_REGISTER_SOLVER(SagaSolver);
+
+}  // namespace
 
 }  // namespace isasgd::solvers

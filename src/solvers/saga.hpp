@@ -20,6 +20,7 @@ namespace isasgd::solvers {
 /// initialised to zero scales (equivalent to a zero-gradient memory start).
 Trace run_saga(const sparse::CsrMatrix& data,
                const objectives::Objective& objective,
-               const SolverOptions& options, const EvalFn& eval);
+               const SolverOptions& options, const EvalFn& eval,
+               TrainingObserver* observer = nullptr);
 
 }  // namespace isasgd::solvers

@@ -1,18 +1,20 @@
 #include "solvers/sgd.hpp"
 
 #include "solvers/async_runner.hpp"
+#include "solvers/solver.hpp"
 #include "util/rng.hpp"
 
 namespace isasgd::solvers {
 
 Trace run_sgd(const sparse::CsrMatrix& data,
               const objectives::Objective& objective,
-              const SolverOptions& options, const EvalFn& eval) {
+              const SolverOptions& options, const EvalFn& eval,
+              TrainingObserver* observer) {
   const std::size_t n = data.rows();
   const std::size_t b = std::max<std::size_t>(1, options.batch_size);
   std::vector<double> w(data.dim(), 0.0);
   TraceRecorder recorder(algorithm_name(Algorithm::kSgd), 1, options.step_size,
-                         eval);
+                         eval, observer);
 
   util::Rng rng(options.seed);
   // Scratch for one mini-batch: (row id, gradient scale). All margins are
@@ -52,5 +54,23 @@ Trace run_sgd(const sparse::CsrMatrix& data,
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(train_seconds);
 }
+
+namespace {
+
+class SgdSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "SGD"; }
+  SolverCapabilities capabilities() const noexcept override { return {}; }
+
+ protected:
+  Trace run_impl(const SolverContext& ctx) const override {
+    return run_sgd(ctx.data, ctx.objective, ctx.options, ctx.eval,
+                   ctx.observer);
+  }
+};
+
+ISASGD_REGISTER_SOLVER(SgdSolver);
+
+}  // namespace
 
 }  // namespace isasgd::solvers

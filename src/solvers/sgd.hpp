@@ -14,6 +14,7 @@ namespace isasgd::solvers {
 /// DESIGN.md §5).
 Trace run_sgd(const sparse::CsrMatrix& data,
               const objectives::Objective& objective,
-              const SolverOptions& options, const EvalFn& eval);
+              const SolverOptions& options, const EvalFn& eval,
+              TrainingObserver* observer = nullptr);
 
 }  // namespace isasgd::solvers

@@ -1,0 +1,101 @@
+#include "solvers/solver.hpp"
+
+#include <cctype>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace isasgd::solvers {
+
+void Solver::validate(SolverOptions& options) const {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  // The single resolution point for the deprecated flag.
+  if (options.reshuffle_sequences) {
+    static std::once_flag warned;
+    std::call_once(warned, [] {
+      util::log_warn()
+          << "SolverOptions::reshuffle_sequences is deprecated; set "
+             "sequence_mode = SequenceMode::kReshuffle instead";
+    });
+    options.sequence_mode = SolverOptions::SequenceMode::kReshuffle;
+    options.reshuffle_sequences = false;
+  }
+#pragma GCC diagnostic pop
+  if (options.threads == 0) options.threads = 1;
+  if (options.step_size <= 0) {
+    throw std::invalid_argument(std::string(name()) +
+                                ": step_size must be positive");
+  }
+}
+
+Trace Solver::train(SolverContext ctx) const {
+  validate(ctx.options);
+  const std::string solver_name(name());
+  if (ctx.observer) ctx.observer->on_train_begin(solver_name, ctx.options);
+  Trace trace = run_impl(ctx);
+  if (ctx.observer) ctx.observer->on_train_end(trace);
+  return trace;
+}
+
+SolverRegistry& SolverRegistry::instance() {
+  static SolverRegistry registry;
+  return registry;
+}
+
+std::string SolverRegistry::normalize(std::string_view name) {
+  std::string key;
+  key.reserve(name.size());
+  for (char c : name) {
+    key.push_back(c == '-' ? '_'
+                           : static_cast<char>(std::tolower(
+                                 static_cast<unsigned char>(c))));
+  }
+  return key;
+}
+
+void SolverRegistry::register_solver(std::unique_ptr<Solver> solver) {
+  if (!solver) {
+    throw std::logic_error("SolverRegistry::register_solver: null solver");
+  }
+  const std::string key = normalize(solver->name());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : entries_) {
+    if (e.key == key) {
+      throw std::logic_error("SolverRegistry: duplicate solver name '" +
+                             std::string(solver->name()) + "'");
+    }
+  }
+  entries_.push_back(Entry{key, std::move(solver)});
+}
+
+const Solver* SolverRegistry::find(std::string_view name) const noexcept {
+  const std::string key = normalize(name);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : entries_) {
+    if (e.key == key) return e.solver.get();
+  }
+  return nullptr;
+}
+
+const Solver& SolverRegistry::get(std::string_view name) const {
+  if (const Solver* s = find(name)) return *s;
+  std::string message = "unknown solver '" + std::string(name) +
+                        "'; registered solvers:";
+  for (const std::string& registered : list()) {
+    message += ' ';
+    message += registered;
+  }
+  throw std::invalid_argument(message);
+}
+
+std::vector<std::string> SolverRegistry::list() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& e : entries_) names.emplace_back(e.solver->name());
+  return names;
+}
+
+}  // namespace isasgd::solvers

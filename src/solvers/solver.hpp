@@ -1,0 +1,154 @@
+// The pluggable solver API: Solver + SolverRegistry.
+//
+// Each algorithm in the suite is a Solver subclass registered by name in the
+// process-wide SolverRegistry from a static initialiser in its own
+// translation unit. Adding a solver therefore touches zero core files:
+//
+//   // my_solver.cpp
+//   namespace {
+//   class MySolver final : public isasgd::solvers::Solver {
+//    public:
+//     std::string_view name() const noexcept override { return "MY-SOLVER"; }
+//     SolverCapabilities capabilities() const noexcept override {
+//       return {.parallel = true};
+//     }
+//    protected:
+//     Trace run_impl(const SolverContext& ctx) const override { ... }
+//   };
+//   ISASGD_REGISTER_SOLVER(MySolver);
+//   }  // namespace
+//
+// Lookup is name-based and case/punctuation-insensitive ("IS-ASGD" and
+// "is_asgd" resolve identically). core::Trainer::train(name, ...) and the
+// experiment sweeps dispatch exclusively through the registry; the legacy
+// solvers::Algorithm enum survives only as a deprecated shim.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "objectives/objective.hpp"
+#include "solvers/observer.hpp"
+#include "solvers/options.hpp"
+#include "solvers/trace.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::solvers {
+
+/// Static facts about a solver, used by sweeps/CLIs to plan runs (e.g. a
+/// serial solver is run once regardless of the requested thread counts).
+/// Subsumes the old core::is_serial(Algorithm) switch.
+struct SolverCapabilities {
+  /// Honours SolverOptions::threads with concurrent workers.
+  bool parallel = false;
+  /// Samples from an importance distribution (Eq. 12 / Eq. 16).
+  bool importance_sampling = false;
+  /// Variance-reduced family (SVRG/SAG/SAGA-style dense aggregates).
+  bool variance_reduced = false;
+  /// Handles the regularizer through its prox map (exact sparsity for L1).
+  bool proximal = false;
+
+  /// Ignores the thread count — one run covers every requested count.
+  [[nodiscard]] bool serial() const noexcept { return !parallel; }
+};
+
+/// Everything a solver needs for one run. `data` and `objective` must
+/// outlive the call; `observer` may be null.
+struct SolverContext {
+  const sparse::CsrMatrix& data;
+  const objectives::Objective& objective;
+  SolverOptions options;
+  EvalFn eval;
+  TrainingObserver* observer = nullptr;
+};
+
+/// Abstract solver. Subclasses implement run_impl; callers use train(),
+/// which validates options and brackets the run with the observer's
+/// begin/end callbacks so every solver reports identically.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Canonical display name, e.g. "IS-ASGD" (also the Trace::algorithm tag).
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  [[nodiscard]] virtual SolverCapabilities capabilities() const noexcept = 0;
+
+  /// Normalises `options` in place and rejects configurations this solver
+  /// cannot run (throws std::invalid_argument). The base implementation is
+  /// the single resolution point for deprecated back-compat flags: it folds
+  /// `reshuffle_sequences` into `sequence_mode` (warning once per process).
+  /// Overrides must call it.
+  virtual void validate(SolverOptions& options) const;
+
+  /// Validates ctx.options, then runs with observer begin/end bracketing.
+  [[nodiscard]] Trace train(SolverContext ctx) const;
+
+ protected:
+  /// The algorithm itself. `ctx.options` arrives validated.
+  [[nodiscard]] virtual Trace run_impl(const SolverContext& ctx) const = 0;
+};
+
+/// Process-wide name → Solver table. Registration normally happens via
+/// ISASGD_REGISTER_SOLVER at static-init time; register_solver stays public
+/// so tests and downstream applications can plug in solvers at runtime
+/// (lookups and registration are mutex-guarded, and solvers are never
+/// removed, so a returned Solver* stays valid for the process lifetime).
+class SolverRegistry {
+ public:
+  /// The singleton instance.
+  static SolverRegistry& instance();
+
+  /// Lookup key normalisation: lower-case, '-' → '_' (so "IS-ASGD",
+  /// "is-asgd" and "is_asgd" all address the same solver).
+  [[nodiscard]] static std::string normalize(std::string_view name);
+
+  /// Registers `solver` under its canonical name. Throws std::logic_error
+  /// on a duplicate name or a null solver.
+  void register_solver(std::unique_ptr<Solver> solver);
+
+  /// Returns the solver registered under `name` (any normalisation-
+  /// equivalent spelling), or nullptr when absent.
+  [[nodiscard]] const Solver* find(std::string_view name) const noexcept;
+
+  /// Like find, but throws std::invalid_argument listing every registered
+  /// name when `name` is unknown.
+  [[nodiscard]] const Solver& get(std::string_view name) const;
+
+  /// Canonical names in registration order — the menu for CLIs and benches.
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  SolverRegistry(const SolverRegistry&) = delete;
+  SolverRegistry& operator=(const SolverRegistry&) = delete;
+
+ private:
+  SolverRegistry() = default;
+
+  struct Entry {
+    std::string key;  // normalized
+    std::unique_ptr<Solver> solver;
+  };
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;  // registration order; ~a dozen entries
+};
+
+/// RAII registrar backing ISASGD_REGISTER_SOLVER.
+struct SolverRegistration {
+  explicit SolverRegistration(std::unique_ptr<Solver> solver) {
+    SolverRegistry::instance().register_solver(std::move(solver));
+  }
+};
+
+/// Registers `SolverType` (default-constructed) at static-init time. Place
+/// at namespace scope in the solver's own .cpp. The library is linked as an
+/// object library so these initialisers are never dropped.
+#define ISASGD_REGISTER_SOLVER(SolverType)                       \
+  const ::isasgd::solvers::SolverRegistration                    \
+      solver_registration_for_##SolverType {                     \
+    std::make_unique<SolverType>()                               \
+  }
+
+}  // namespace isasgd::solvers

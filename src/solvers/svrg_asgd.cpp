@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "solvers/model.hpp"
+#include "solvers/solver.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -56,13 +57,14 @@ void full_loss_gradient_parallel(const sparse::CsrMatrix& data,
 
 Trace run_svrg_asgd(const sparse::CsrMatrix& data,
                     const objectives::Objective& objective,
-                    const SolverOptions& options, const EvalFn& eval) {
+                    const SolverOptions& options, const EvalFn& eval,
+                    TrainingObserver* observer) {
   const std::size_t n = data.rows();
   const std::size_t d = data.dim();
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   SharedModel model(d);
   TraceRecorder recorder(algorithm_name(Algorithm::kSvrgAsgd), threads,
-                         options.step_size, eval);
+                         options.step_size, eval, observer);
   recorder.record(0, 0.0, model.snapshot());
 
   std::vector<double> s(d, 0.0);
@@ -72,7 +74,8 @@ Trace run_svrg_asgd(const sparse::CsrMatrix& data,
   const UpdatePolicy policy = options.update_policy;
 
   util::AccumulatingTimer clock;
-  for (std::size_t epoch = 1; epoch <= options.epochs; ++epoch) {
+  for (std::size_t epoch = 1;
+       epoch <= options.epochs && !recorder.stop_requested(); ++epoch) {
     const double step = epoch_step(options, epoch);
     clock.start();
     if ((epoch - 1) % interval == 0) {
@@ -137,5 +140,25 @@ Trace run_svrg_asgd(const sparse::CsrMatrix& data,
   if (options.keep_final_model) recorder.set_final_model(model.snapshot());
   return std::move(recorder).finish(clock.seconds());
 }
+
+namespace {
+
+class SvrgAsgdSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "SVRG-ASGD"; }
+  SolverCapabilities capabilities() const noexcept override {
+    return {.parallel = true, .variance_reduced = true};
+  }
+
+ protected:
+  Trace run_impl(const SolverContext& ctx) const override {
+    return run_svrg_asgd(ctx.data, ctx.objective, ctx.options, ctx.eval,
+                         ctx.observer);
+  }
+};
+
+ISASGD_REGISTER_SOLVER(SvrgAsgdSolver);
+
+}  // namespace
 
 }  // namespace isasgd::solvers

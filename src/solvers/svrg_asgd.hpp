@@ -23,6 +23,7 @@ namespace isasgd::solvers {
 /// selects the public-repo approximation.
 Trace run_svrg_asgd(const sparse::CsrMatrix& data,
                     const objectives::Objective& objective,
-                    const SolverOptions& options, const EvalFn& eval);
+                    const SolverOptions& options, const EvalFn& eval,
+                    TrainingObserver* observer = nullptr);
 
 }  // namespace isasgd::solvers

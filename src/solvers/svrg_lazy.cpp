@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "solvers/async_runner.hpp"
+#include "solvers/solver.hpp"
 #include "util/rng.hpp"
 
 namespace isasgd::solvers {
@@ -37,7 +38,8 @@ void full_loss_gradient(const sparse::CsrMatrix& data,
 
 Trace run_svrg_sgd_lazy(const sparse::CsrMatrix& data,
                         const objectives::Objective& objective,
-                        const SolverOptions& options, const EvalFn& eval) {
+                        const SolverOptions& options, const EvalFn& eval,
+                        TrainingObserver* observer) {
   if (options.reg.kind == objectives::Regularization::Kind::kL1) {
     throw std::invalid_argument(
         "run_svrg_sgd_lazy: L1's subgradient path has no per-coordinate "
@@ -48,7 +50,7 @@ Trace run_svrg_sgd_lazy(const sparse::CsrMatrix& data,
   const std::size_t n = data.rows();
   const std::size_t d = data.dim();
   std::vector<double> w(d, 0.0);
-  TraceRecorder recorder("SVRG-LAZY", 1, options.step_size, eval);
+  TraceRecorder recorder("SVRG-LAZY", 1, options.step_size, eval, observer);
 
   std::vector<double> s(d, 0.0);   // snapshot
   std::vector<double> mu(d, 0.0);  // full loss gradient at s
@@ -120,5 +122,36 @@ Trace run_svrg_sgd_lazy(const sparse::CsrMatrix& data,
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(train_seconds);
 }
+
+namespace {
+
+class SvrgLazySolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "SVRG-LAZY"; }
+  SolverCapabilities capabilities() const noexcept override {
+    return {.variance_reduced = true};
+  }
+
+  void validate(SolverOptions& options) const override {
+    Solver::validate(options);
+    // Fail before any setup work: L1 has no per-coordinate closed form for
+    // the lazy catch-up (see the header's discussion).
+    if (options.reg.kind == objectives::Regularization::Kind::kL1) {
+      throw std::invalid_argument(
+          "SVRG-LAZY: L1 regularization is not supported (no exact lazy "
+          "catch-up); use SVRG-SGD or an L2/none regularizer");
+    }
+  }
+
+ protected:
+  Trace run_impl(const SolverContext& ctx) const override {
+    return run_svrg_sgd_lazy(ctx.data, ctx.objective, ctx.options, ctx.eval,
+                             ctx.observer);
+  }
+};
+
+ISASGD_REGISTER_SOLVER(SvrgLazySolver);
+
+}  // namespace
 
 }  // namespace isasgd::solvers

@@ -41,6 +41,7 @@ namespace isasgd::solvers {
 /// `options.svrg_skip_mu` is ignored — laziness *is* the faithful schedule.
 Trace run_svrg_sgd_lazy(const sparse::CsrMatrix& data,
                         const objectives::Objective& objective,
-                        const SolverOptions& options, const EvalFn& eval);
+                        const SolverOptions& options, const EvalFn& eval,
+                        TrainingObserver* observer = nullptr);
 
 }  // namespace isasgd::solvers

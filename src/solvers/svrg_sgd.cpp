@@ -1,6 +1,7 @@
 #include "solvers/svrg_sgd.hpp"
 
 #include "solvers/async_runner.hpp"
+#include "solvers/solver.hpp"
 #include "util/rng.hpp"
 
 namespace isasgd::solvers {
@@ -34,12 +35,13 @@ void full_loss_gradient(const sparse::CsrMatrix& data,
 
 Trace run_svrg_sgd(const sparse::CsrMatrix& data,
                    const objectives::Objective& objective,
-                   const SolverOptions& options, const EvalFn& eval) {
+                   const SolverOptions& options, const EvalFn& eval,
+                   TrainingObserver* observer) {
   const std::size_t n = data.rows();
   const std::size_t d = data.dim();
   std::vector<double> w(d, 0.0);
   TraceRecorder recorder(algorithm_name(Algorithm::kSvrgSgd), 1,
-                         options.step_size, eval);
+                         options.step_size, eval, observer);
 
   std::vector<double> s(d, 0.0);   // snapshot
   std::vector<double> mu(d, 0.0);  // full loss gradient at s
@@ -95,5 +97,25 @@ Trace run_svrg_sgd(const sparse::CsrMatrix& data,
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(train_seconds);
 }
+
+namespace {
+
+class SvrgSgdSolver final : public Solver {
+ public:
+  std::string_view name() const noexcept override { return "SVRG-SGD"; }
+  SolverCapabilities capabilities() const noexcept override {
+    return {.variance_reduced = true};
+  }
+
+ protected:
+  Trace run_impl(const SolverContext& ctx) const override {
+    return run_svrg_sgd(ctx.data, ctx.objective, ctx.options, ctx.eval,
+                        ctx.observer);
+  }
+};
+
+ISASGD_REGISTER_SOLVER(SvrgSgdSolver);
+
+}  // namespace
 
 }  // namespace isasgd::solvers

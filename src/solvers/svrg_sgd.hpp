@@ -19,6 +19,7 @@ namespace isasgd::solvers {
 /// that the paper §1.2 shows diverges from the literature algorithm.
 Trace run_svrg_sgd(const sparse::CsrMatrix& data,
                    const objectives::Objective& objective,
-                   const SolverOptions& options, const EvalFn& eval);
+                   const SolverOptions& options, const EvalFn& eval,
+                   TrainingObserver* observer = nullptr);
 
 }  // namespace isasgd::solvers

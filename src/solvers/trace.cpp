@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "solvers/observer.hpp"
+
 namespace isasgd::solvers {
 
 double Trace::best_error_rate() const {
@@ -57,8 +59,9 @@ double Trace::time_to_rmse(double target, bool include_setup) const {
 }
 
 TraceRecorder::TraceRecorder(std::string algorithm, std::size_t threads,
-                             double step_size, EvalFn eval)
-    : eval_(std::move(eval)) {
+                             double step_size, EvalFn eval,
+                             TrainingObserver* observer)
+    : eval_(std::move(eval)), observer_(observer) {
   if (!eval_) throw std::invalid_argument("TraceRecorder: null evaluator");
   trace_.algorithm = std::move(algorithm);
   trace_.threads = threads;
@@ -76,6 +79,7 @@ void TraceRecorder::record(std::size_t epoch, double seconds,
       .error_rate = best_error_,
       .objective = r.objective,
   });
+  if (observer_ && !observer_->on_epoch(trace_.points.back())) stop_ = true;
 }
 
 Trace TraceRecorder::finish(double train_seconds) && {

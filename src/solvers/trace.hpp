@@ -15,6 +15,8 @@
 
 namespace isasgd::solvers {
 
+class TrainingObserver;  // observer.hpp
+
 /// Metrics of one model snapshot.
 struct EvalResult {
   double objective = 0;   ///< F(w) = mean loss + η·r(w)
@@ -65,14 +67,20 @@ struct Trace {
 
 /// Accumulates TracePoints during a run, enforcing the monotone error-rate
 /// convention and pairing each point with the pause-aware clock the solver
-/// maintains.
+/// maintains. Each recorded point is forwarded to the attached
+/// TrainingObserver (if any); an observer returning false latches
+/// stop_requested(), which the epoch drivers poll to wind the run down.
 class TraceRecorder {
  public:
   TraceRecorder(std::string algorithm, std::size_t threads, double step_size,
-                EvalFn eval);
+                EvalFn eval, TrainingObserver* observer = nullptr);
 
-  /// Scores `w` and appends a point at training time `seconds`.
+  /// Scores `w` and appends a point at training time `seconds`, notifying
+  /// the observer.
   void record(std::size_t epoch, double seconds, std::span<const double> w);
+
+  /// True once the observer has asked for an early stop (sticky).
+  [[nodiscard]] bool stop_requested() const noexcept { return stop_; }
 
   /// Adds to the offline-setup account.
   void add_setup_seconds(double s) { setup_seconds_ += s; }
@@ -89,6 +97,8 @@ class TraceRecorder {
  private:
   Trace trace_;
   EvalFn eval_;
+  TrainingObserver* observer_ = nullptr;
+  bool stop_ = false;
   double best_error_ = std::numeric_limits<double>::infinity();
   double setup_seconds_ = 0;
 };

@@ -11,6 +11,7 @@
 #include "solvers/is_asgd.hpp"
 #include "solvers/is_sgd.hpp"
 #include "solvers/sgd.hpp"
+#include "solvers/solver.hpp"
 
 namespace isasgd::solvers {
 namespace {
@@ -133,14 +134,24 @@ TEST(SequenceModes, StratifiedConvergesForBothIsSolvers) {
   EXPECT_LT(final_rmse(async), 0.75 * initial_rmse(async));
 }
 
-TEST(SequenceModes, LegacyReshuffleFlagOverridesMode) {
+TEST(SequenceModes, LegacyReshuffleFlagFoldedByValidate) {
+  // Solver::validate is the single resolution point for the deprecated
+  // flag: it folds it into sequence_mode and clears it.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const Solver& solver = SolverRegistry::instance().get("IS-SGD");
   SolverOptions opt;
   opt.sequence_mode = SolverOptions::SequenceMode::kStratified;
   opt.reshuffle_sequences = true;
-  EXPECT_EQ(opt.effective_sequence_mode(),
-            SolverOptions::SequenceMode::kReshuffle);
-  opt.reshuffle_sequences = false;
-  EXPECT_EQ(opt.effective_sequence_mode(),
+  solver.validate(opt);
+  EXPECT_EQ(opt.sequence_mode, SolverOptions::SequenceMode::kReshuffle);
+  EXPECT_FALSE(opt.reshuffle_sequences);
+#pragma GCC diagnostic pop
+
+  SolverOptions untouched;
+  untouched.sequence_mode = SolverOptions::SequenceMode::kStratified;
+  solver.validate(untouched);
+  EXPECT_EQ(untouched.sequence_mode,
             SolverOptions::SequenceMode::kStratified);
 }
 

@@ -2,6 +2,7 @@
 // core::run_experiment): the paths the examples and benches exercise.
 #include <gtest/gtest.h>
 
+#include <any>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -32,15 +33,11 @@ TEST(Trainer, TrainsEveryAlgorithmOnNews20Analog) {
   opt.epochs = 3;
   opt.threads = 4;
   opt.step_size = 0.5;
-  for (auto algorithm :
-       {solvers::Algorithm::kSgd, solvers::Algorithm::kIsSgd,
-        solvers::Algorithm::kAsgd, solvers::Algorithm::kIsAsgd,
-        solvers::Algorithm::kSvrgSgd, solvers::Algorithm::kSvrgAsgd}) {
-    const auto trace = f.trainer.train(algorithm, opt);
-    EXPECT_EQ(trace.points.size(), 4u)
-        << solvers::algorithm_name(algorithm);
-    EXPECT_LT(trace.points.back().rmse, trace.points.front().rmse)
-        << solvers::algorithm_name(algorithm);
+  for (const char* solver :
+       {"SGD", "IS-SGD", "ASGD", "IS-ASGD", "SVRG-SGD", "SVRG-ASGD"}) {
+    const auto trace = f.trainer.train(solver, opt);
+    EXPECT_EQ(trace.points.size(), 4u) << solver;
+    EXPECT_LT(trace.points.back().rmse, trace.points.front().rmse) << solver;
   }
 }
 
@@ -51,18 +48,25 @@ TEST(Trainer, RegularizerIsAppliedConsistently) {
   solvers::SolverOptions opt;
   opt.epochs = 2;
   opt.reg = objectives::Regularization::l2(123.0);  // would explode if used
-  const auto trace = f.trainer.train(solvers::Algorithm::kSgd, opt);
+  const auto trace = f.trainer.train("SGD", opt);
   EXPECT_LT(trace.points.back().rmse, 2.0);
 }
 
-TEST(Trainer, IsAsgdReportIspopulated) {
+TEST(Trainer, IsAsgdDiagnosticsArriveViaObserver) {
   PaperFixture f(data::PaperDataset::kNews20);
   solvers::SolverOptions opt;
   opt.epochs = 2;
   opt.threads = 4;
-  solvers::IsAsgdReport report;
-  (void)f.trainer.train_is_asgd(opt, &report);
-  EXPECT_GT(report.rho, 0.0);
+  struct Capture : solvers::TrainingObserver {
+    solvers::IsAsgdReport report;
+    void on_diagnostics(const std::any& d) override {
+      if (const auto* r = std::any_cast<solvers::IsAsgdReport>(&d)) {
+        report = *r;
+      }
+    }
+  } capture;
+  (void)f.trainer.train("IS-ASGD", opt, &capture);
+  EXPECT_GT(capture.report.rho, 0.0);
 }
 
 TEST(Trainer, EvaluateScoresSnapshots) {
@@ -77,8 +81,7 @@ TEST(Experiment, SweepProducesAllRuns) {
   PaperFixture f(data::PaperDataset::kNews20);
   ExperimentSpec spec;
   spec.dataset_name = "news20_analog";
-  spec.algorithms = {solvers::Algorithm::kSgd, solvers::Algorithm::kAsgd,
-                     solvers::Algorithm::kIsAsgd};
+  spec.solvers = {"SGD", "ASGD", "IS-ASGD"};
   spec.thread_counts = {2, 4};
   spec.base_options.epochs = 2;
   spec.base_options.step_size = 0.5;
@@ -86,30 +89,30 @@ TEST(Experiment, SweepProducesAllRuns) {
   const auto result = run_experiment(f.trainer, spec);
   // SGD once, ASGD ×2, IS-ASGD ×2.
   EXPECT_EQ(result.runs.size(), 5u);
-  EXPECT_NE(result.find(solvers::Algorithm::kSgd, 2), nullptr);
-  EXPECT_NE(result.find(solvers::Algorithm::kAsgd, 4), nullptr);
-  EXPECT_EQ(result.find(solvers::Algorithm::kAsgd, 16), nullptr);
-  EXPECT_EQ(result.find(solvers::Algorithm::kSvrgAsgd, 2), nullptr);
+  EXPECT_NE(result.find("SGD", 2), nullptr);
+  EXPECT_NE(result.find("ASGD", 4), nullptr);
+  EXPECT_EQ(result.find("ASGD", 16), nullptr);
+  EXPECT_EQ(result.find("SVRG-ASGD", 2), nullptr);
 }
 
 TEST(Experiment, SerialAlgorithmsMatchAnyThreadLookup) {
   PaperFixture f(data::PaperDataset::kNews20);
   ExperimentSpec spec;
   spec.dataset_name = "x";
-  spec.algorithms = {solvers::Algorithm::kIsSgd};
+  spec.solvers = {"IS-SGD"};
   spec.thread_counts = {4, 8};
   spec.base_options.epochs = 1;
   spec.verbose = false;
   const auto result = run_experiment(f.trainer, spec);
   EXPECT_EQ(result.runs.size(), 1u);
-  EXPECT_NE(result.find(solvers::Algorithm::kIsSgd, 8), nullptr);
+  EXPECT_NE(result.find("is_sgd", 8), nullptr);
 }
 
 TEST(Experiment, TraceCsvRoundTrips) {
   PaperFixture f(data::PaperDataset::kNews20);
   ExperimentSpec spec;
   spec.dataset_name = "news20_analog";
-  spec.algorithms = {solvers::Algorithm::kSgd};
+  spec.solvers = {"SGD"};
   spec.thread_counts = {1};
   spec.base_options.epochs = 2;
   spec.verbose = false;
@@ -130,14 +133,14 @@ TEST(Experiment, SpeedupPipelineRunsEndToEnd) {
   PaperFixture f(data::PaperDataset::kNews20, 0.05);
   ExperimentSpec spec;
   spec.dataset_name = "news20_analog";
-  spec.algorithms = {solvers::Algorithm::kAsgd, solvers::Algorithm::kIsAsgd};
+  spec.solvers = {"ASGD", "IS-ASGD"};
   spec.thread_counts = {4};
   spec.base_options.epochs = 4;
   spec.base_options.step_size = 0.5;
   spec.verbose = false;
   const auto result = run_experiment(f.trainer, spec);
-  const auto* asgd = result.find(solvers::Algorithm::kAsgd, 4);
-  const auto* is = result.find(solvers::Algorithm::kIsAsgd, 4);
+  const auto* asgd = result.find("ASGD", 4);
+  const auto* is = result.find("IS-ASGD", 4);
   ASSERT_NE(asgd, nullptr);
   ASSERT_NE(is, nullptr);
   const auto summary = metrics::compute_speedup(asgd->trace, is->trace);
@@ -150,7 +153,7 @@ TEST(Experiment, UrlAnalogRunsAtTinyScale) {
   PaperFixture f(data::PaperDataset::kUrl, 0.01);
   ExperimentSpec spec;
   spec.dataset_name = "url_analog";
-  spec.algorithms = {solvers::Algorithm::kAsgd, solvers::Algorithm::kIsAsgd};
+  spec.solvers = {"ASGD", "IS-ASGD"};
   spec.thread_counts = {2};
   spec.base_options.epochs = 2;
   spec.base_options.step_size = 0.05;
@@ -168,7 +171,7 @@ TEST(Experiment, KddAnalogsRunAtTinyScale) {
     PaperFixture f(id, 0.005);
     ExperimentSpec spec;
     spec.dataset_name = data::paper_dataset_config(id).name;
-    spec.algorithms = {solvers::Algorithm::kIsAsgd};
+    spec.solvers = {"IS-ASGD"};
     spec.thread_counts = {2};
     spec.base_options.epochs = 2;
     spec.verbose = false;

@@ -15,6 +15,7 @@
 #include "solvers/is_asgd.hpp"
 #include "solvers/is_sgd.hpp"
 #include "solvers/sgd.hpp"
+#include "solvers/solver.hpp"
 #include "util/rng.hpp"
 
 namespace isasgd {
@@ -167,19 +168,8 @@ INSTANTIATE_TEST_SUITE_P(
 // ---------- Solver convergence across the configuration grid ----------
 
 struct SolverCase {
-  const char* name;
-  solvers::Trace (*run)(const sparse::CsrMatrix&,
-                        const objectives::Objective&,
-                        const solvers::SolverOptions&,
-                        const solvers::EvalFn&);
+  const char* name;  // registry name
 };
-
-solvers::Trace run_is_asgd_plain(const sparse::CsrMatrix& d,
-                                 const objectives::Objective& o,
-                                 const solvers::SolverOptions& s,
-                                 const solvers::EvalFn& e) {
-  return solvers::run_is_asgd(d, o, s, e, nullptr);
-}
 
 class SolverGrid
     : public ::testing::TestWithParam<
@@ -205,7 +195,12 @@ TEST_P(SolverGrid, ObjectiveDecreasesAcrossGrid) {
   opt.step_size = objective->name() == "logistic" ? 0.5 : 0.1;
   opt.threads = threads;
   opt.seed = 5;
-  const auto trace = solver.run(data, *objective, opt, ev.as_fn());
+  const auto trace = solvers::SolverRegistry::instance().get(solver.name).train(
+      solvers::SolverContext{.data = data,
+                             .objective = *objective,
+                             .options = opt,
+                             .eval = ev.as_fn(),
+                             .observer = nullptr});
   EXPECT_LT(trace.points.back().objective, trace.points.front().objective)
       << solver.name << "/" << objective_name << "/t" << threads;
   EXPECT_TRUE(std::isfinite(trace.points.back().objective));
@@ -214,10 +209,8 @@ TEST_P(SolverGrid, ObjectiveDecreasesAcrossGrid) {
 INSTANTIATE_TEST_SUITE_P(
     Grid, SolverGrid,
     ::testing::Combine(
-        ::testing::Values(SolverCase{"sgd", solvers::run_sgd},
-                          SolverCase{"is_sgd", solvers::run_is_sgd},
-                          SolverCase{"asgd", solvers::run_asgd},
-                          SolverCase{"is_asgd", run_is_asgd_plain}),
+        ::testing::Values(SolverCase{"sgd"}, SolverCase{"is_sgd"},
+                          SolverCase{"asgd"}, SolverCase{"is_asgd"}),
         ::testing::Values("logistic", "squared_hinge"),
         ::testing::Values<std::size_t>(1, 2, 8)),
     [](const auto& info) {

@@ -1,0 +1,121 @@
+// SolverRegistry: every seed solver self-registers, names round-trip
+// through lookup, capability flags agree with the legacy serial/async
+// split, and runtime registration stays open for downstream solvers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/experiment.hpp"
+#include "solvers/solver.hpp"
+
+namespace isasgd::solvers {
+namespace {
+
+/// The nine solvers the legacy Algorithm enum listed.
+constexpr const char* kEnumSolvers[] = {
+    "SGD",      "IS-SGD",    "ASGD", "IS-ASGD", "SVRG-SGD",
+    "SVRG-ASGD", "SAGA",     "SVRG-LAZY", "SAG",
+};
+
+/// The prox family, registered from its own TU — never in the enum.
+constexpr const char* kProxSolvers[] = {
+    "PROX-SGD", "IS-PROX-SGD", "PROX-ASGD", "IS-PROX-ASGD",
+};
+
+TEST(SolverRegistry, EverySeedSolverIsRegistered) {
+  const auto names = SolverRegistry::instance().list();
+  for (const char* expected : kEnumSolvers) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  for (const char* expected : kProxSolvers) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(SolverRegistry, ListedNamesRoundTripThroughLookup) {
+  const auto& registry = SolverRegistry::instance();
+  for (const std::string& name : registry.list()) {
+    const Solver* solver = registry.find(name);
+    ASSERT_NE(solver, nullptr) << name;
+    EXPECT_EQ(solver->name(), name);
+    // get() on the same spelling resolves to the same instance.
+    EXPECT_EQ(&registry.get(name), solver);
+  }
+}
+
+TEST(SolverRegistry, NormalizationUnifiesSpellings) {
+  const auto& registry = SolverRegistry::instance();
+  const Solver* canonical = registry.find("IS-ASGD");
+  ASSERT_NE(canonical, nullptr);
+  for (const char* spelling : {"is_asgd", "is-asgd", "IS_ASGD", "Is-AsGd"}) {
+    EXPECT_EQ(registry.find(spelling), canonical) << spelling;
+  }
+  EXPECT_EQ(SolverRegistry::normalize("IS-ASGD"), "is_asgd");
+}
+
+TEST(SolverRegistry, UnknownNameFindReturnsNullGetThrowsWithMenu) {
+  const auto& registry = SolverRegistry::instance();
+  EXPECT_EQ(registry.find("adam"), nullptr);
+  try {
+    (void)registry.get("adam");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("adam"), std::string::npos);
+    for (const char* name : kEnumSolvers) {
+      EXPECT_NE(message.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(SolverRegistry, CapabilitiesMatchLegacySerialSplit) {
+  // The old core::is_serial(Algorithm) hard-wired SGD/IS-SGD/SVRG-SGD/SAGA
+  // as serial; capabilities must agree, and additionally classify the
+  // serial solvers the old list forgot (SAG, SVRG-LAZY).
+  for (const char* name :
+       {"SGD", "IS-SGD", "SVRG-SGD", "SAGA", "SAG", "SVRG-LAZY"}) {
+    EXPECT_TRUE(SolverRegistry::instance().get(name).capabilities().serial())
+        << name;
+    EXPECT_TRUE(core::is_serial(name)) << name;
+  }
+  for (const char* name : {"ASGD", "IS-ASGD", "SVRG-ASGD"}) {
+    EXPECT_TRUE(SolverRegistry::instance().get(name).capabilities().parallel)
+        << name;
+    EXPECT_FALSE(core::is_serial(name)) << name;
+  }
+}
+
+TEST(SolverRegistry, CapabilityFlagsReflectAlgorithmFamilies) {
+  const auto& registry = SolverRegistry::instance();
+  EXPECT_TRUE(registry.get("IS-ASGD").capabilities().importance_sampling);
+  EXPECT_FALSE(registry.get("ASGD").capabilities().importance_sampling);
+  EXPECT_TRUE(registry.get("SVRG-SGD").capabilities().variance_reduced);
+  EXPECT_TRUE(registry.get("SAGA").capabilities().variance_reduced);
+  EXPECT_FALSE(registry.get("SGD").capabilities().variance_reduced);
+  EXPECT_TRUE(registry.get("PROX-SGD").capabilities().proximal);
+  EXPECT_TRUE(registry.get("IS-PROX-ASGD").capabilities().importance_sampling);
+  EXPECT_FALSE(registry.get("IS-ASGD").capabilities().proximal);
+}
+
+TEST(SolverRegistry, RejectsDuplicateAndNullRegistration) {
+  class Impostor final : public Solver {
+   public:
+    std::string_view name() const noexcept override { return "sgd"; }
+    SolverCapabilities capabilities() const noexcept override { return {}; }
+
+   protected:
+    Trace run_impl(const SolverContext&) const override { return {}; }
+  };
+  // "sgd" normalizes onto the registered "SGD".
+  EXPECT_THROW(SolverRegistry::instance().register_solver(
+                   std::make_unique<Impostor>()),
+               std::logic_error);
+  EXPECT_THROW(SolverRegistry::instance().register_solver(nullptr),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace isasgd::solvers

@@ -11,6 +11,7 @@
 #include "solvers/is_asgd.hpp"
 #include "solvers/is_sgd.hpp"
 #include "solvers/sgd.hpp"
+#include "solvers/solver.hpp"
 #include "solvers/svrg_asgd.hpp"
 #include "solvers/svrg_sgd.hpp"
 
@@ -123,7 +124,7 @@ TEST(IsSgd, MatchesSgdQualityOnUniformImportance) {
 TEST(IsSgd, ReshuffleModeAlsoConverges) {
   Fixture f(1000, 150);
   auto opt = f.options(6);
-  opt.reshuffle_sequences = true;
+  opt.sequence_mode = SolverOptions::SequenceMode::kReshuffle;
   const Trace t = run_is_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
   EXPECT_LT(final_rmse(t), 0.7 * initial_rmse(t));
 }
@@ -217,7 +218,7 @@ TEST(IsAsgd, SingleThreadMatchesIsSgdQuality) {
 TEST(IsAsgd, ReshuffleModeConverges) {
   Fixture f(1000, 150);
   auto opt = f.options(6);
-  opt.reshuffle_sequences = true;
+  opt.sequence_mode = SolverOptions::SequenceMode::kReshuffle;
   const Trace t = run_is_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
   EXPECT_LT(final_rmse(t), 0.7 * initial_rmse(t));
 }
@@ -344,8 +345,13 @@ TEST(AllSolvers, SquaredHingeObjectiveWorksEverywhere) {
   opt.step_size = 0.1;
   opt.threads = 2;
   opt.reg = reg;
-  for (auto run : {run_sgd, run_is_sgd, run_asgd}) {
-    const Trace t = run(data, loss, opt, ev.as_fn());
+  for (const char* name : {"SGD", "IS-SGD", "ASGD"}) {
+    const Trace t = SolverRegistry::instance().get(name).train(
+        SolverContext{.data = data,
+                      .objective = loss,
+                      .options = opt,
+                      .eval = ev.as_fn(),
+                      .observer = nullptr});
     EXPECT_LT(final_rmse(t), initial_rmse(t)) << t.algorithm;
   }
 }

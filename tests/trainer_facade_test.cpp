@@ -1,5 +1,7 @@
-// The Trainer facade: every Algorithm enum value dispatches, produces a
-// well-formed trace, and respects the Trainer's regularizer override.
+// The Trainer facade: every registered solver dispatches by name, produces a
+// well-formed trace, and respects the Trainer's regularizer override; the
+// TrainerBuilder wires the same Trainer fluently; the deprecated enum API
+// remains a faithful shim over the registry path.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -26,32 +28,56 @@ struct Fixture {
         }()) {}
 };
 
-constexpr solvers::Algorithm kAll[] = {
-    solvers::Algorithm::kSgd,      solvers::Algorithm::kIsSgd,
-    solvers::Algorithm::kAsgd,     solvers::Algorithm::kIsAsgd,
-    solvers::Algorithm::kSvrgSgd,  solvers::Algorithm::kSvrgAsgd,
-    solvers::Algorithm::kSaga,     solvers::Algorithm::kSvrgLazy,
-    solvers::Algorithm::kSag,
+constexpr const char* kAll[] = {
+    "SGD",      "IS-SGD",    "ASGD", "IS-ASGD", "SVRG-SGD",
+    "SVRG-ASGD", "SAGA",     "SVRG-LAZY", "SAG",
 };
 
-TEST(TrainerFacade, EveryAlgorithmDispatchesAndConverges) {
+TEST(TrainerFacade, EverySolverDispatchesByNameAndConverges) {
   Fixture f;
-  // L2 (not L1): kSvrgLazy rejects L1 by contract.
+  // L2 (not L1): SVRG-LAZY rejects L1 by contract.
   Trainer trainer(f.data, f.loss, objectives::Regularization::l2(1e-5), 2);
-  for (const auto algorithm : kAll) {
+  for (const char* solver : kAll) {
     solvers::SolverOptions opt;
     opt.epochs = 4;
     opt.threads = 2;
     opt.step_size = 0.2;
     opt.seed = 3;
-    const solvers::Trace t = trainer.train(algorithm, opt);
-    ASSERT_EQ(t.points.size(), 5u) << solvers::algorithm_name(algorithm);
-    EXPECT_EQ(t.algorithm, solvers::algorithm_name(algorithm));
-    EXPECT_LT(t.points.back().rmse, t.points.front().rmse)
-        << solvers::algorithm_name(algorithm);
+    const solvers::Trace t = trainer.train(solver, opt);
+    ASSERT_EQ(t.points.size(), 5u) << solver;
+    EXPECT_EQ(t.algorithm, solver);
+    EXPECT_LT(t.points.back().rmse, t.points.front().rmse) << solver;
     for (const auto& p : t.points) {
-      EXPECT_TRUE(std::isfinite(p.rmse)) << solvers::algorithm_name(algorithm);
+      EXPECT_TRUE(std::isfinite(p.rmse)) << solver;
     }
+  }
+}
+
+TEST(TrainerFacade, NameLookupIsSpellingInsensitive) {
+  Fixture f;
+  Trainer trainer(f.data, f.loss, objectives::Regularization::none(), 2);
+  solvers::SolverOptions opt;
+  opt.epochs = 1;
+  opt.step_size = 0.2;
+  for (const char* spelling : {"is_asgd", "IS-ASGD", "Is-Asgd", "IS_ASGD"}) {
+    const solvers::Trace t = trainer.train(spelling, opt);
+    EXPECT_EQ(t.algorithm, "IS-ASGD") << spelling;
+  }
+}
+
+TEST(TrainerFacade, UnknownSolverThrowsListingRegisteredNames) {
+  Fixture f;
+  Trainer trainer(f.data, f.loss, objectives::Regularization::none(), 2);
+  solvers::SolverOptions opt;
+  try {
+    (void)trainer.train("adam", opt);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("adam"), std::string::npos);
+    // The error must enumerate the menu, not just reject.
+    EXPECT_NE(message.find("IS-ASGD"), std::string::npos);
+    EXPECT_NE(message.find("SGD"), std::string::npos);
   }
 }
 
@@ -64,16 +90,41 @@ TEST(TrainerFacade, RegularizerOverridesOptions) {
   opt.epochs = 2;
   opt.step_size = 0.2;
   opt.reg = objectives::Regularization::l2(100.0);  // absurd; must be ignored
-  const solvers::Trace t = trainer.train(solvers::Algorithm::kSgd, opt);
+  const solvers::Trace t = trainer.train("SGD", opt);
   // With the huge L2 actually applied, the objective would dwarf log(2).
   EXPECT_LT(t.points.back().objective, 1.0);
 }
 
-TEST(TrainerFacade, NamesRoundTripForAllAlgorithms) {
-  for (const auto algorithm : kAll) {
-    EXPECT_EQ(solvers::algorithm_from_name(solvers::algorithm_name(algorithm)),
-              algorithm);
-  }
+TEST(TrainerFacade, BuilderProducesEquivalentTrainer) {
+  Fixture f;
+  const auto reg = objectives::Regularization::l2(1e-4);
+  const Trainer direct(f.data, f.loss, reg, 2);
+  const Trainer built = TrainerBuilder()
+                            .data(f.data)
+                            .objective(f.loss)
+                            .regularization(reg)
+                            .eval_threads(2)
+                            .build();
+  solvers::SolverOptions opt;
+  opt.epochs = 3;
+  opt.step_size = 0.2;
+  opt.seed = 11;
+  const auto a = direct.train("SGD", opt);
+  const auto b = built.train("SGD", opt);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  // Serial solver + same seed ⇒ bit-identical objective path.
+  EXPECT_EQ(a.points.back().objective, b.points.back().objective);
+}
+
+TEST(TrainerFacade, BuilderShorthandsAndValidation) {
+  Fixture f;
+  const Trainer l1 = TrainerBuilder().data(f.data).objective(f.loss).l1(0.5).build();
+  EXPECT_EQ(l1.regularization().kind, objectives::Regularization::Kind::kL1);
+  const Trainer l2 = TrainerBuilder().data(f.data).objective(f.loss).l2(0.5).build();
+  EXPECT_EQ(l2.regularization().kind, objectives::Regularization::Kind::kL2);
+  EXPECT_THROW((void)TrainerBuilder().objective(f.loss).build(),
+               std::logic_error);
+  EXPECT_THROW((void)TrainerBuilder().data(f.data).build(), std::logic_error);
 }
 
 TEST(TrainerFacade, AccessorsExposeWiring) {
@@ -86,6 +137,49 @@ TEST(TrainerFacade, AccessorsExposeWiring) {
   const auto eval = trainer.evaluate(std::vector<double>(f.data.dim(), 0.0));
   EXPECT_NEAR(eval.objective, std::log(2.0), 1e-9);
 }
+
+// ---- Deprecated shims: one release of grace, so they stay covered. ----
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(TrainerFacadeLegacy, EnumShimMatchesRegistryPath) {
+  Fixture f;
+  Trainer trainer(f.data, f.loss, objectives::Regularization::l2(1e-5), 2);
+  solvers::SolverOptions opt;
+  opt.epochs = 3;
+  opt.threads = 1;  // single worker ⇒ deterministic for a fixed seed
+  opt.step_size = 0.2;
+  opt.seed = 5;
+  for (const auto algorithm :
+       {solvers::Algorithm::kSgd, solvers::Algorithm::kIsAsgd}) {
+    const auto by_enum = trainer.train(algorithm, opt);
+    const auto by_name = trainer.train(solvers::algorithm_name(algorithm), opt);
+    ASSERT_EQ(by_enum.points.size(), by_name.points.size());
+    EXPECT_EQ(by_enum.algorithm, by_name.algorithm);
+    EXPECT_EQ(by_enum.points.back().objective,
+              by_name.points.back().objective);
+  }
+}
+
+TEST(TrainerFacadeLegacy, TrainIsAsgdStillFillsReport) {
+  Fixture f;
+  Trainer trainer(f.data, f.loss, objectives::Regularization::none(), 2);
+  solvers::SolverOptions opt;
+  opt.epochs = 1;
+  opt.threads = 2;
+  solvers::IsAsgdReport report;
+  (void)trainer.train_is_asgd(opt, &report);
+  EXPECT_GT(report.rho, 0.0);
+}
+
+TEST(TrainerFacadeLegacy, NamesRoundTripForAllAlgorithms) {
+  for (const char* solver : kAll) {
+    EXPECT_EQ(solvers::algorithm_name(solvers::algorithm_from_name(solver)),
+              solver);
+  }
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace isasgd::core
