@@ -1,13 +1,36 @@
-// Micro benchmarks (google-benchmark) for the kernels whose cost structure
-// the paper's argument rests on:
+// Micro benchmarks for the kernels whose cost structure the paper's argument
+// rests on, plus the fused/unrolled kernels introduced with the shared
+// execution engine:
 //   * index-compressed (sparse) update vs dense full-length update — Fig. 1,
+//   * scalar reference loops vs the vectorized kernels in sparse/kernels.cpp
+//     (unrolled dense_dot, sparse_dot_pair, sparse_dot_residual_axpy,
+//     scale_then_sparse_axpy) — the contract is "fused never loses",
 //   * alias vs CDF vs uniform sampling — "IS adds no per-iteration cost",
 //   * SharedModel wild vs atomic add under a single writer.
-#include <benchmark/benchmark.h>
-
+//
+// Self-contained timing harness (no google-benchmark): every entry reports
+// ns/op and Mitems/s, and the whole table is written as machine-readable
+// JSON (BENCH_kernels.json by default) for the perf-trajectory files.
+//
+// Usage:
+//   micro_kernels [--out FILE] [--check] [--min-time SECONDS]
+//     --check : exit non-zero if any fused/unrolled kernel falls below
+//               REGRESSION_FLOOR × its scalar baseline's throughput — the
+//               CI smoke gate (the floor is deliberately loose so scheduler
+//               noise on shared runners cannot flake the job; locally the
+//               fused kernels should simply win).
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
 #include <vector>
 
+#include "objectives/objective.hpp"
 #include "sampling/alias_table.hpp"
 #include "sampling/cdf_sampler.hpp"
 #include "sampling/fenwick_sampler.hpp"
@@ -19,6 +42,67 @@
 namespace {
 
 using namespace isasgd;
+
+constexpr double kRegressionFloor = 0.75;
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+struct BenchResult {
+  std::string name;
+  std::string baseline;  // empty for baselines themselves
+  double ns_per_op = 0;
+  double items_per_sec = 0;
+  double speedup = 0;  // vs baseline's ns_per_op; 0 when no baseline
+};
+
+double g_min_time_s = 0.05;
+std::vector<BenchResult> g_results;
+double g_sink = 0;  // defeats dead-code elimination across benches
+
+/// Times `body(iters)` (which must perform `iters` repetitions) until the
+/// measurement window exceeds g_min_time_s, and records ns per repetition.
+/// `items_per_op` scales the throughput column (e.g. d for a dense pass).
+void bench(const std::string& name, const std::string& baseline,
+           double items_per_op, const std::function<void(std::size_t)>& body) {
+  using clock = std::chrono::steady_clock;
+  std::size_t iters = 1;
+  double seconds = 0;
+  for (;;) {
+    const auto t0 = clock::now();
+    body(iters);
+    seconds = std::chrono::duration<double>(clock::now() - t0).count();
+    if (seconds >= g_min_time_s) break;
+    const double target = g_min_time_s * 1.4;
+    const std::size_t next =
+        seconds > 0 ? static_cast<std::size_t>(
+                          static_cast<double>(iters) * target / seconds) + 1
+                    : iters * 16;
+    iters = std::max(next, iters * 2);
+  }
+  BenchResult r;
+  r.name = name;
+  r.baseline = baseline;
+  r.ns_per_op = seconds * 1e9 / static_cast<double>(iters);
+  r.items_per_sec =
+      items_per_op * static_cast<double>(iters) / seconds;
+  if (!baseline.empty()) {
+    for (const BenchResult& b : g_results) {
+      if (b.name == baseline) {
+        r.speedup = b.ns_per_op / r.ns_per_op;
+        break;
+      }
+    }
+  }
+  g_results.push_back(r);
+  std::printf("%-34s %12.2f ns/op %12.1f Mitems/s", r.name.c_str(),
+              r.ns_per_op, r.items_per_sec / 1e6);
+  if (r.speedup > 0) std::printf("   %5.2fx vs %s", r.speedup,
+                                 r.baseline.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
 
 sparse::SparseVector make_row(std::size_t dim, std::size_t nnz,
                               std::uint64_t seed) {
@@ -35,139 +119,311 @@ sparse::SparseVector make_row(std::size_t dim, std::size_t nnz,
   return sparse::SparseVector(std::move(idx), std::move(val));
 }
 
-/// The ASGD inner-loop update: sparse dot + sparse axpy. Cost ~ nnz,
-/// independent of d — the "index-compressed" row of Figure 1.
-void BM_SparseUpdate(benchmark::State& state) {
-  const auto dim = static_cast<std::size_t>(state.range(0));
+// ---------------------------------------------------------------------------
+// Scalar reference loops — frozen copies of the pre-vectorization solver
+// inner loops (including the out-of-line Regularization::subgradient call
+// per touched coordinate the old code paid), the baselines the
+// fused/unrolled kernels must beat.
+// ---------------------------------------------------------------------------
+
+double scalar_dense_dot(std::span<const double> a, std::span<const double> b) {
+  double acc = 0;
+  for (std::size_t j = 0; j < a.size(); ++j) acc += a[j] * b[j];
+  return acc;
+}
+
+double scalar_sparse_dot(std::span<const double> w,
+                         sparse::SparseVectorView x) {
+  const auto idx = x.indices();
+  const auto val = x.values();
+  double acc = 0;
+  for (std::size_t k = 0; k < idx.size(); ++k) acc += w[idx[k]] * val[k];
+  return acc;
+}
+
+void scalar_sgd_step(std::span<double> w, sparse::SparseVectorView x,
+                     double step, double g,
+                     const objectives::Regularization& reg) {
+  const auto idx = x.indices();
+  const auto val = x.values();
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    const std::size_t c = idx[k];
+    w[c] -= step * (g * val[k] + reg.subgradient(w[c]));
+  }
+}
+
+void scalar_svrg_step(std::span<double> w, std::span<const double> mu,
+                      double step, const objectives::Regularization& reg,
+                      double corr_step, sparse::SparseVectorView x) {
+  const auto idx = x.indices();
+  const auto val = x.values();
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    w[idx[k]] -= corr_step * val[k];
+  }
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    w[j] -= step * (mu[j] + reg.subgradient(w[j]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bench groups
+// ---------------------------------------------------------------------------
+
+void bench_dense_kernels() {
+  const std::size_t d = std::size_t{1} << 16;
+  std::vector<double> a(d), b(d);
+  util::Rng rng(1);
+  for (auto& v : a) v = util::normal_double(rng);
+  for (auto& v : b) v = util::normal_double(rng);
+
+  bench("dense_dot_scalar", "", static_cast<double>(d), [&](std::size_t it) {
+    double acc = 0;
+    for (std::size_t i = 0; i < it; ++i) acc += scalar_dense_dot(a, b);
+    g_sink += acc;
+  });
+  bench("dense_dot_unrolled", "dense_dot_scalar", static_cast<double>(d),
+        [&](std::size_t it) {
+          double acc = 0;
+          for (std::size_t i = 0; i < it; ++i) acc += sparse::dense_dot(a, b);
+          g_sink += acc;
+        });
+  bench("dense_axpy", "", static_cast<double>(d), [&](std::size_t it) {
+    for (std::size_t i = 0; i < it; ++i) {
+      sparse::dense_axpy(a, i % 2 ? 1e-9 : -1e-9, b);
+    }
+    g_sink += a[0];
+  });
+}
+
+void bench_sparse_vs_dense_update() {
+  // The ASGD inner-loop update (sparse dot + sparse step, cost ~ nnz) vs
+  // the SVRG dense μ pass (cost ~ d) — the "index-compressed" gap of Fig. 1.
+  const std::size_t d = std::size_t{1} << 18;
   const std::size_t nnz = 10;
-  const auto row = make_row(dim, nnz, 42);
-  std::vector<double> w(dim, 0.1);
-  for (auto _ : state) {
-    const double margin = sparse::sparse_dot(w, row.view());
-    sparse::sparse_axpy(w, -0.5 * margin, row.view());
-    benchmark::DoNotOptimize(w.data());
-  }
-  state.SetItemsProcessed(state.iterations() * nnz);
-}
-BENCHMARK(BM_SparseUpdate)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
+  const auto row = make_row(d, nnz, 42);
+  std::vector<double> w(d, 0.1), mu(d, 0.01);
 
-/// The SVRG inner-loop dense term: one full-length axpy per iteration. Cost
-/// ~ d — the dense μ row of Figure 1.
-void BM_DenseUpdate(benchmark::State& state) {
-  const auto dim = static_cast<std::size_t>(state.range(0));
-  std::vector<double> w(dim, 0.1);
-  std::vector<double> mu(dim, 0.01);
-  for (auto _ : state) {
-    sparse::dense_axpy(w, -0.5, mu);
-    benchmark::DoNotOptimize(w.data());
-  }
-  state.SetItemsProcessed(state.iterations() * dim);
+  bench("sparse_update_nnz10", "", static_cast<double>(nnz),
+        [&](std::size_t it) {
+          for (std::size_t i = 0; i < it; ++i) {
+            const double margin = sparse::sparse_dot(w, row.view());
+            sparse::sparse_dot_residual_axpy(w, row.view(), 1e-9, margin, 0.0,
+                                             0.0);
+          }
+          g_sink += w[row.view().index(0)];
+        });
+  bench("dense_update_d", "", static_cast<double>(d), [&](std::size_t it) {
+    for (std::size_t i = 0; i < it; ++i) {
+      sparse::dense_axpy(w, i % 2 ? 1e-9 : -1e-9, mu);
+    }
+    g_sink += w[0];
+  });
 }
-BENCHMARK(BM_DenseUpdate)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
 
-void BM_UniformSample(benchmark::State& state) {
-  util::Rng rng(7);
-  const std::size_t n = 1 << 20;
-  std::uint64_t sink = 0;
-  for (auto _ : state) {
-    sink += util::uniform_index(rng, n);
-  }
-  benchmark::DoNotOptimize(sink);
+void bench_fused_sgd_step() {
+  const std::size_t d = std::size_t{1} << 18;
+  const std::size_t nnz = 64;
+  const auto row = make_row(d, nnz, 7);
+  std::vector<double> w(d, 0.1);
+  const auto reg = objectives::Regularization::l2(1e-4);
+
+  bench("sgd_step_scalar", "", static_cast<double>(nnz),
+        [&](std::size_t it) {
+          for (std::size_t i = 0; i < it; ++i) {
+            const double margin = scalar_sparse_dot(w, row.view());
+            scalar_sgd_step(w, row.view(), 1e-9, margin, reg);
+          }
+          g_sink += w[row.view().index(0)];
+        });
+  bench("sgd_step_fused", "sgd_step_scalar", static_cast<double>(nnz),
+        [&](std::size_t it) {
+          for (std::size_t i = 0; i < it; ++i) {
+            const double margin = sparse::sparse_dot(w, row.view());
+            sparse::sparse_dot_residual_axpy(w, row.view(), 1e-9, margin,
+                                             reg.eta_l1(), reg.eta_l2());
+          }
+          g_sink += w[row.view().index(0)];
+        });
 }
-BENCHMARK(BM_UniformSample);
 
-void BM_AliasSample(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(8);
+void bench_fused_svrg_step() {
+  const std::size_t d = std::size_t{1} << 16;
+  const std::size_t nnz = 32;
+  const auto row = make_row(d, nnz, 11);
+  std::vector<double> w(d, 0.1), s(d, 0.05), mu(d, 0.01);
+
+  bench("svrg_margin_two_dots", "", static_cast<double>(2 * nnz),
+        [&](std::size_t it) {
+          double acc = 0;
+          for (std::size_t i = 0; i < it; ++i) {
+            acc += sparse::sparse_dot(w, row.view());
+            acc += sparse::sparse_dot(s, row.view());
+          }
+          g_sink += acc;
+        });
+  bench("svrg_margin_dot_pair", "svrg_margin_two_dots",
+        static_cast<double>(2 * nnz), [&](std::size_t it) {
+          double acc = 0;
+          for (std::size_t i = 0; i < it; ++i) {
+            double mw = 0, ms = 0;
+            sparse::sparse_dot_pair(w, s, row.view(), mw, ms);
+            acc += mw + ms;
+          }
+          g_sink += acc;
+        });
+
+  const auto reg = objectives::Regularization::l2(1e-4);
+  bench("svrg_step_two_pass", "", static_cast<double>(d),
+        [&](std::size_t it) {
+          for (std::size_t i = 0; i < it; ++i) {
+            scalar_svrg_step(w, mu, i % 2 ? 1e-9 : -1e-9, reg, 1e-9,
+                             row.view());
+          }
+          g_sink += w[0];
+        });
+  bench("svrg_step_fused", "svrg_step_two_pass", static_cast<double>(d),
+        [&](std::size_t it) {
+          for (std::size_t i = 0; i < it; ++i) {
+            sparse::scale_then_sparse_axpy(w, mu, i % 2 ? 1e-9 : -1e-9,
+                                           reg.eta_l1(), reg.eta_l2(), 1e-9,
+                                           row.view());
+          }
+          g_sink += w[0];
+        });
+}
+
+void bench_samplers() {
+  const std::size_t n = std::size_t{1} << 20;
+  util::Rng wrng(8);
   std::vector<double> weights(n);
-  for (auto& w : weights) w = util::uniform_double(rng) + 0.01;
-  sampling::AliasTable table(weights);
-  std::uint64_t sink = 0;
-  for (auto _ : state) {
-    sink += table.sample(rng);
-  }
-  benchmark::DoNotOptimize(sink);
-}
-BENCHMARK(BM_AliasSample)->Arg(1 << 10)->Arg(1 << 20);
+  for (auto& v : weights) v = util::uniform_double(wrng) + 0.01;
 
-void BM_CdfSample(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(9);
-  std::vector<double> weights(n);
-  for (auto& w : weights) w = util::uniform_double(rng) + 0.01;
-  sampling::CdfSampler sampler(weights);
-  std::uint64_t sink = 0;
-  for (auto _ : state) {
-    sink += sampler.sample(rng);
+  {
+    util::Rng rng(7);
+    bench("sample_uniform", "", 1.0, [&](std::size_t it) {
+      std::uint64_t sink = 0;
+      for (std::size_t i = 0; i < it; ++i) sink += util::uniform_index(rng, n);
+      g_sink += static_cast<double>(sink & 0xff);
+    });
   }
-  benchmark::DoNotOptimize(sink);
-}
-BENCHMARK(BM_CdfSample)->Arg(1 << 10)->Arg(1 << 20);
-
-void BM_FenwickSample(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(10);
-  std::vector<double> weights(n);
-  for (auto& w : weights) w = util::uniform_double(rng) + 0.01;
-  sampling::FenwickSampler sampler(weights);
-  std::uint64_t sink = 0;
-  for (auto _ : state) {
-    sink += sampler.sample(rng);
-  }
-  benchmark::DoNotOptimize(sink);
-}
-BENCHMARK(BM_FenwickSample)->Arg(1 << 10)->Arg(1 << 20);
-
-void BM_FenwickUpdate(benchmark::State& state) {
-  // The adaptive-importance refresh path: one weight change per iteration.
-  // Compare against BM_AliasRebuild — the O(n) cost an alias table pays for
-  // the same refresh.
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(11);
-  std::vector<double> weights(n);
-  for (auto& w : weights) w = util::uniform_double(rng) + 0.01;
-  sampling::FenwickSampler sampler(weights);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    sampler.set_weight(i, 0.01 + util::uniform_double(rng));
-    i = (i + 7919) % n;  // stride over the table
-  }
-  benchmark::DoNotOptimize(sampler.total());
-}
-BENCHMARK(BM_FenwickUpdate)->Arg(1 << 10)->Arg(1 << 20);
-
-void BM_AliasRebuild(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(12);
-  std::vector<double> weights(n);
-  for (auto& w : weights) w = util::uniform_double(rng) + 0.01;
-  for (auto _ : state) {
-    weights[0] += 0.001;  // any change forces a full rebuild
+  {
     sampling::AliasTable table(weights);
-    benchmark::DoNotOptimize(table.size());
+    util::Rng rng(8);
+    bench("sample_alias", "", 1.0, [&](std::size_t it) {
+      std::uint64_t sink = 0;
+      for (std::size_t i = 0; i < it; ++i) sink += table.sample(rng);
+      g_sink += static_cast<double>(sink & 0xff);
+    });
   }
-  state.SetItemsProcessed(state.iterations() * n);
+  {
+    sampling::CdfSampler sampler(weights);
+    util::Rng rng(9);
+    bench("sample_cdf", "", 1.0, [&](std::size_t it) {
+      std::uint64_t sink = 0;
+      for (std::size_t i = 0; i < it; ++i) sink += sampler.sample(rng);
+      g_sink += static_cast<double>(sink & 0xff);
+    });
+  }
+  {
+    sampling::FenwickSampler sampler(weights);
+    util::Rng rng(10);
+    bench("sample_fenwick", "", 1.0, [&](std::size_t it) {
+      std::uint64_t sink = 0;
+      for (std::size_t i = 0; i < it; ++i) sink += sampler.sample(rng);
+      g_sink += static_cast<double>(sink & 0xff);
+    });
+  }
 }
-BENCHMARK(BM_AliasRebuild)->Arg(1 << 10)->Arg(1 << 20);
 
-void BM_SharedModelWildAdd(benchmark::State& state) {
-  solvers::SharedModel model(1 << 16);
-  util::Rng rng(10);
-  for (auto _ : state) {
-    model.add(util::uniform_index(rng, model.dim()), 0.25,
-              solvers::UpdatePolicy::kWild);
+void bench_shared_model() {
+  solvers::SharedModel model(std::size_t{1} << 16);
+  {
+    util::Rng rng(10);
+    bench("shared_model_wild_add", "", 1.0, [&](std::size_t it) {
+      for (std::size_t i = 0; i < it; ++i) {
+        model.add(util::uniform_index(rng, model.dim()), 0.25,
+                  solvers::UpdatePolicy::kWild);
+      }
+    });
+  }
+  {
+    util::Rng rng(11);
+    bench("shared_model_atomic_add", "", 1.0, [&](std::size_t it) {
+      for (std::size_t i = 0; i < it; ++i) {
+        model.add(util::uniform_index(rng, model.dim()), 0.25,
+                  solvers::UpdatePolicy::kAtomic);
+      }
+    });
   }
 }
-BENCHMARK(BM_SharedModelWildAdd);
 
-void BM_SharedModelAtomicAdd(benchmark::State& state) {
-  solvers::SharedModel model(1 << 16);
-  util::Rng rng(11);
-  for (auto _ : state) {
-    model.add(util::uniform_index(rng, model.dim()), 0.25,
-              solvers::UpdatePolicy::kAtomic);
+// ---------------------------------------------------------------------------
+// Output + regression gate
+// ---------------------------------------------------------------------------
+
+void write_json(const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < g_results.size(); ++i) {
+    const BenchResult& r = g_results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"baseline\": \""
+        << r.baseline << "\", \"ns_per_op\": " << r.ns_per_op
+        << ", \"items_per_sec\": " << r.items_per_sec
+        << ", \"speedup\": " << r.speedup << "}"
+        << (i + 1 < g_results.size() ? "," : "") << "\n";
   }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
 }
-BENCHMARK(BM_SharedModelAtomicAdd);
+
+int check_regressions() {
+  int failures = 0;
+  for (const BenchResult& r : g_results) {
+    if (r.baseline.empty()) continue;
+    if (r.speedup < kRegressionFloor) {
+      std::cerr << "REGRESSION: " << r.name << " is " << r.speedup
+                << "x its baseline " << r.baseline << " (floor "
+                << kRegressionFloor << ")\n";
+      ++failures;
+    }
+  }
+  return failures;
+}
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_kernels.json";
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--min-time") == 0 && i + 1 < argc) {
+      g_min_time_s = std::stod(argv[++i]);
+    } else {
+      std::cerr << "usage: micro_kernels [--out FILE] [--check] "
+                   "[--min-time SECONDS]\n";
+      return 2;
+    }
+  }
+
+  bench_dense_kernels();
+  bench_sparse_vs_dense_update();
+  bench_fused_sgd_step();
+  bench_fused_svrg_step();
+  bench_samplers();
+  bench_shared_model();
+
+  write_json(out_path);
+  if (g_sink == 12345.6789) std::cout << " ";  // keep the sink observable
+
+  if (check) {
+    const int failures = check_regressions();
+    if (failures) return 1;
+    std::cout << "all fused/unrolled kernels within " << kRegressionFloor
+              << "x of their scalar baselines or better\n";
+  }
+  return 0;
+}

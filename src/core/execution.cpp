@@ -1,0 +1,16 @@
+#include "core/execution.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace isasgd::core {
+
+ExecutionContext::ExecutionContext(std::size_t eval_threads,
+                                   util::ThreadPool::Options pool_options)
+    : pool_(0, pool_options),
+      eval_threads_(eval_threads
+                        ? eval_threads
+                        : std::max<std::size_t>(
+                              1, std::thread::hardware_concurrency() / 2)) {}
+
+}  // namespace isasgd::core

@@ -1,0 +1,47 @@
+// The shared execution substrate a Trainer (and everything it drives) runs
+// on: one persistent util::ThreadPool plus the evaluation thread count.
+//
+// Ownership model:
+//   * core::TrainerBuilder creates an ExecutionContext at build() time (or
+//     accepts one via execution(...)) and hands the Trainer a shared_ptr.
+//   * Every Trainer::train call passes the context's pool into the solver's
+//     SolverContext, and the Trainer's metrics::Evaluator scores snapshots
+//     on the same pool — so across all train calls, all evaluations, and
+//     every run of a core::ExperimentSpec grid, worker threads are spawned
+//     exactly once.
+//   * Several Trainers may share one context (pass the same shared_ptr to
+//     several builders): useful for sweep drivers that touch many datasets.
+//
+// The context must outlive any Trainer holding it — shared_ptr makes that
+// automatic.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "util/thread_pool.hpp"
+
+namespace isasgd::core {
+
+class ExecutionContext {
+ public:
+  /// `eval_threads` parallelises snapshot scoring (0 = half the hardware
+  /// threads, at least 1). `pool_options` tunes the worker pool (CPU
+  /// pinning, oversubscription clamp).
+  explicit ExecutionContext(
+      std::size_t eval_threads = 0,
+      util::ThreadPool::Options pool_options = util::ThreadPool::Options());
+
+  [[nodiscard]] util::ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] std::size_t eval_threads() const noexcept {
+    return eval_threads_;
+  }
+
+ private:
+  util::ThreadPool pool_;
+  std::size_t eval_threads_;
+};
+
+using ExecutionContextPtr = std::shared_ptr<ExecutionContext>;
+
+}  // namespace isasgd::core

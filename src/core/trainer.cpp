@@ -2,20 +2,22 @@
 
 #include <any>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 namespace isasgd::core {
 
 Trainer::Trainer(const sparse::CsrMatrix& data,
                  const objectives::Objective& objective,
-                 objectives::Regularization reg, std::size_t eval_threads)
+                 objectives::Regularization reg, std::size_t eval_threads,
+                 ExecutionContextPtr execution)
     : data_(data),
       objective_(objective),
       reg_(reg),
+      execution_(execution ? std::move(execution)
+                           : std::make_shared<ExecutionContext>(eval_threads)),
       evaluator_(data, objective, reg,
-                 eval_threads ? eval_threads
-                              : std::max(1u, std::thread::hardware_concurrency() / 2)) {}
+                 eval_threads ? eval_threads : execution_->eval_threads(),
+                 &execution_->pool()) {}
 
 solvers::Trace Trainer::train(std::string_view solver,
                               solvers::SolverOptions options,
@@ -28,6 +30,7 @@ solvers::Trace Trainer::train(std::string_view solver,
       .options = std::move(options),
       .eval = evaluator_.as_fn(),
       .observer = observer,
+      .pool = &execution_->pool(),
   });
 }
 
@@ -70,7 +73,7 @@ Trainer TrainerBuilder::build() const {
     throw std::logic_error(
         "TrainerBuilder::build: objective(...) was not set");
   }
-  return Trainer(*data_, *objective_, reg_, eval_threads_);
+  return Trainer(*data_, *objective_, reg_, eval_threads_, execution_);
 }
 
 }  // namespace isasgd::core

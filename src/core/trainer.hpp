@@ -46,6 +46,7 @@
 
 #include <string_view>
 
+#include "core/execution.hpp"
 #include "metrics/evaluator.hpp"
 #include "objectives/objective.hpp"
 #include "solvers/is_asgd.hpp"
@@ -62,10 +63,15 @@ namespace isasgd::core {
 class Trainer {
  public:
   /// `data` and `objective` must outlive the Trainer. `eval_threads`
-  /// parallelises snapshot scoring (outside the timed training windows).
+  /// parallelises snapshot scoring (outside the timed training windows;
+  /// 0 defers to the execution context's default). `execution` is the
+  /// persistent worker-pool context every train call and evaluation runs
+  /// on; when null the Trainer creates its own. Pass one shared context to
+  /// several Trainers to share a single pool across datasets.
   Trainer(const sparse::CsrMatrix& data,
           const objectives::Objective& objective,
-          objectives::Regularization reg, std::size_t eval_threads = 0);
+          objectives::Regularization reg, std::size_t eval_threads = 0,
+          ExecutionContextPtr execution = nullptr);
 
   /// Resolves `solver` through SolverRegistry (case/punctuation-insensitive:
   /// "IS-ASGD" == "is_asgd") and runs it under `options` (the options' reg
@@ -105,10 +111,16 @@ class Trainer {
     return reg_;
   }
 
+  /// The execution context (pool + eval threads) this Trainer runs on.
+  [[nodiscard]] const ExecutionContextPtr& execution() const noexcept {
+    return execution_;
+  }
+
  private:
   const sparse::CsrMatrix& data_;
   const objectives::Objective& objective_;
   objectives::Regularization reg_;
+  ExecutionContextPtr execution_;  // never null after construction
   metrics::Evaluator evaluator_;
 };
 
@@ -157,6 +169,14 @@ class TrainerBuilder {
     return *this;
   }
 
+  /// Shares an existing execution context (worker pool) with the built
+  /// Trainer instead of creating a fresh one — the way to run many
+  /// Trainers/sweeps on one set of worker threads.
+  TrainerBuilder& execution(ExecutionContextPtr execution) {
+    execution_ = std::move(execution);
+    return *this;
+  }
+
   /// Builds the Trainer. Throws std::logic_error unless both data() and
   /// objective() were provided.
   [[nodiscard]] Trainer build() const;
@@ -166,6 +186,7 @@ class TrainerBuilder {
   const objectives::Objective* objective_ = nullptr;
   objectives::Regularization reg_ = objectives::Regularization::none();
   std::size_t eval_threads_ = 0;
+  ExecutionContextPtr execution_;
 };
 
 }  // namespace isasgd::core

@@ -2,18 +2,30 @@
 
 #include <cmath>
 #include <limits>
-#include <thread>
 #include <vector>
+
+#include "sparse/kernels.hpp"
+#include "util/thread_pool.hpp"
 
 namespace isasgd::metrics {
 
 Evaluator::Evaluator(const sparse::CsrMatrix& data,
                      const objectives::Objective& objective,
-                     objectives::Regularization reg, std::size_t threads)
+                     objectives::Regularization reg, std::size_t threads,
+                     util::ThreadPool* pool)
     : data_(data),
       objective_(objective),
       reg_(reg),
-      threads_(std::max<std::size_t>(1, threads)) {}
+      threads_(std::max<std::size_t>(1, threads)),
+      pool_(pool) {
+  // Eager, not lazy: creating the private pool here (worker spawn itself
+  // stays deferred inside ThreadPool) keeps evaluate() free of member
+  // mutation, so concurrent evaluate() calls on one Evaluator stay safe —
+  // they serialise on the pool's dispatch mutex.
+  if (!pool_ && threads_ > 1) {
+    owned_pool_ = std::make_shared<util::ThreadPool>();
+  }
+}
 
 solvers::EvalResult Evaluator::evaluate(std::span<const double> w) const {
   const std::size_t n = data_.rows();
@@ -21,18 +33,15 @@ solvers::EvalResult Evaluator::evaluate(std::span<const double> w) const {
   std::vector<double> loss_acc(threads, 0.0);
   std::vector<std::size_t> miss_acc(threads, 0);
 
-  auto score_range = [&](std::size_t tid, std::size_t begin, std::size_t end) {
+  auto score_range = [&](std::size_t tid) {
+    const std::size_t begin = n * tid / threads;
+    const std::size_t end = n * (tid + 1) / threads;
     double loss = 0;
     std::size_t miss = 0;
     for (std::size_t i = begin; i < end; ++i) {
       const auto x = data_.row(i);
       const double y = data_.label(i);
-      double margin = 0;
-      const auto idx = x.indices();
-      const auto val = x.values();
-      for (std::size_t k = 0; k < idx.size(); ++k) {
-        margin += w[idx[k]] * val[k];
-      }
+      const double margin = sparse::sparse_dot(w, x);
       loss += objective_.loss(margin, y);
       if (objective_.is_classification() && objective_.predict(margin) != y) {
         ++miss;
@@ -43,15 +52,10 @@ solvers::EvalResult Evaluator::evaluate(std::span<const double> w) const {
   };
 
   if (threads == 1) {
-    score_range(0, 0, n);
+    score_range(0);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t tid = 0; tid < threads; ++tid) {
-      pool.emplace_back(score_range, tid, n * tid / threads,
-                        n * (tid + 1) / threads);
-    }
-    for (auto& t : pool) t.join();
+    util::ThreadPool* pool = pool_ ? pool_ : owned_pool_.get();
+    pool->run(threads, score_range);
   }
 
   double loss = 0;

@@ -6,22 +6,35 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 
 #include "objectives/objective.hpp"
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
+namespace isasgd::util {
+class ThreadPool;
+}
+
 namespace isasgd::metrics {
 
 /// Scores snapshots of a model against a dataset + objective. Thread count
 /// parallelises the O(nnz) evaluation pass (the pass is outside the solvers'
 /// timed windows, so this only affects bench wall time, not results).
+///
+/// Workers come from `pool` when one is provided (the Trainer passes its
+/// ExecutionContext's pool, so scoring shares the solvers' persistent
+/// workers); a pool-less Evaluator with threads > 1 creates a private pool
+/// at construction — either way no evaluate() call ever spawns threads on
+/// the hot path, and evaluate() itself mutates no Evaluator state, so
+/// concurrent calls are safe (they serialise on the pool).
 class Evaluator {
  public:
   Evaluator(const sparse::CsrMatrix& data,
             const objectives::Objective& objective,
-            objectives::Regularization reg, std::size_t threads = 1);
+            objectives::Regularization reg, std::size_t threads = 1,
+            util::ThreadPool* pool = nullptr);
 
   [[nodiscard]] solvers::EvalResult evaluate(std::span<const double> w) const;
 
@@ -35,6 +48,10 @@ class Evaluator {
   const objectives::Objective& objective_;
   objectives::Regularization reg_;
   std::size_t threads_;
+  util::ThreadPool* pool_;  ///< shared pool (not owned), or null
+  /// Private pool for the pool-less parallel case (created at construction;
+  /// shared_ptr keeps the Evaluator copyable).
+  std::shared_ptr<util::ThreadPool> owned_pool_;
 };
 
 }  // namespace isasgd::metrics

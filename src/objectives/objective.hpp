@@ -43,6 +43,16 @@ struct Regularization {
   /// Sub-gradient of η·r at coordinate value wj (0 at the L1 kink).
   [[nodiscard]] double subgradient(value_t wj) const;
 
+  /// Subgradient split into the (eta_l1, eta_l2) coefficient pair the fused
+  /// sparse kernels take: subgradient(w) ≡ eta_l1()·sign(w) + eta_l2()·w
+  /// for every Kind (see sparse/kernels.hpp).
+  [[nodiscard]] double eta_l1() const noexcept {
+    return kind == Kind::kL1 ? eta : 0.0;
+  }
+  [[nodiscard]] double eta_l2() const noexcept {
+    return kind == Kind::kL2 ? eta : 0.0;
+  }
+
   /// Additive contribution of the regularizer to every per-sample Lipschitz
   /// constant: η for L2 (strongly convex part), 0 for L1/none (L1 is
   /// nonsmooth; its subgradient is bounded, not Lipschitz, and the paper's

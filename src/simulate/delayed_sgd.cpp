@@ -7,6 +7,7 @@
 #include "sampling/sequence.hpp"
 #include "solvers/async_runner.hpp"
 #include "solvers/importance_weights.hpp"
+#include "sparse/kernels.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -77,15 +78,11 @@ solvers::Trace run_delayed_sgd(const sparse::CsrMatrix& data,
   double delay_sum = 0;
   std::size_t applied_count = 0, max_in_flight = 0, flushed = 0;
 
+  const double eta_l1 = options.reg.eta_l1();
+  const double eta_l2 = options.reg.eta_l2();
   auto apply = [&](const PendingUpdate& u) {
-    const auto x = data.row(u.row);
-    const auto idx = x.indices();
-    const auto val = x.values();
-    for (std::size_t j = 0; j < idx.size(); ++j) {
-      const std::size_t c = idx[j];
-      w[c] -= u.scaled_step *
-              (u.gradient_scale * val[j] + options.reg.subgradient(w[c]));
-    }
+    sparse::sparse_dot_residual_axpy(w, data.row(u.row), u.scaled_step,
+                                     u.gradient_scale, eta_l1, eta_l2);
     delay_sum += static_cast<double>(global_step - u.computed_at);
     ++applied_count;
   };
@@ -100,13 +97,7 @@ solvers::Trace run_delayed_sgd(const sparse::CsrMatrix& data,
               use_importance
                   ? sequences[epoch - 1][t]
                   : static_cast<std::size_t>(util::uniform_index(sample_rng, n));
-          const auto x = data.row(i);
-          const auto idx = x.indices();
-          const auto val = x.values();
-          double margin = 0;
-          for (std::size_t j = 0; j < idx.size(); ++j) {
-            margin += w[idx[j]] * val[j];
-          }
+          const double margin = sparse::sparse_dot(w, data.row(i));
           pending.push(PendingUpdate{
               .due = global_step + delay.draw(delay_rng),
               .seq = seq_no++,

@@ -13,7 +13,7 @@ namespace isasgd::solvers {
 Trace run_asgd(const sparse::CsrMatrix& data,
                const objectives::Objective& objective,
                const SolverOptions& options, const EvalFn& eval,
-               TrainingObserver* observer) {
+               TrainingObserver* observer, util::ThreadPool* pool) {
   const std::size_t n = data.rows();
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   SharedModel model(data.dim());
@@ -35,7 +35,7 @@ Trace run_asgd(const sparse::CsrMatrix& data,
   const UpdatePolicy policy = options.update_policy;
 
   const double train_seconds = detail::run_epoch_fenced(
-      model, recorder, options.epochs, threads,
+      detail::pool_or_default(pool), model, recorder, options.epochs, threads,
       [&](std::size_t tid, std::size_t epoch) {
         const std::size_t begin = boundary[tid], end = boundary[tid + 1];
         const std::size_t local_n = end - begin;
@@ -88,7 +88,7 @@ class AsgdSolver final : public Solver {
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
     return run_asgd(ctx.data, ctx.objective, ctx.options, ctx.eval,
-                    ctx.observer);
+                    ctx.observer, ctx.pool);
   }
 };
 

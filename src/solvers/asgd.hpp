@@ -12,12 +12,18 @@
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
+namespace isasgd::util {
+class ThreadPool;
+}
+
 namespace isasgd::solvers {
 
-/// Runs lock-free asynchronous SGD with `options.threads` workers.
+/// Runs lock-free asynchronous SGD with `options.threads` workers drawn
+/// from `pool` (the process-wide default pool when null).
 Trace run_asgd(const sparse::CsrMatrix& data,
                const objectives::Objective& objective,
                const SolverOptions& options, const EvalFn& eval,
-               TrainingObserver* observer = nullptr);
+               TrainingObserver* observer = nullptr,
+               util::ThreadPool* pool = nullptr);
 
 }  // namespace isasgd::solvers

@@ -1,71 +1,62 @@
-// Epoch-fenced worker-pool driver shared by the asynchronous solvers.
+// Epoch-fenced execution drivers shared by the asynchronous solvers.
 //
 // Within an epoch the workers are fully lock-free (that is the algorithm
-// under study); at epoch boundaries all workers meet the main thread at a
-// barrier so the model can be scored against a quiesced snapshot, with the
-// training clock paused — evaluation cost never pollutes the wall-clock
-// traces the paper's Figures 4–5 are built from.
+// under study); at epoch boundaries the pool quiesces so the model can be
+// scored against a stable snapshot, with the training clock paused —
+// evaluation cost never pollutes the wall-clock traces the paper's Figures
+// 4–5 are built from.
+//
+// Workers come from a persistent util::ThreadPool (normally the one owned
+// by the caller's core::ExecutionContext) instead of being spawned per
+// call: ThreadPool::run(team, fn) is the fence primitive — its return means
+// every worker arrived, and the next dispatch is the release. Thread
+// creation happens at most once per pool lifetime, outside the steady-state
+// timed windows.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <thread>
 #include <vector>
 
 #include "solvers/model.hpp"
 #include "solvers/trace.hpp"
-#include "util/barrier.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace isasgd::solvers::detail {
 
-/// Runs `threads` workers for `epochs` epochs. `worker_epoch(tid, epoch)` is
-/// called once per worker per epoch (epoch is 1-based) and must perform that
-/// worker's share of update iterations on the shared model. Records one
-/// trace point per epoch (plus the initial point at epoch 0) and returns the
-/// total training seconds. If the recorder's observer requests a stop, the
-/// workers drain at the next epoch fence and the run ends early.
-template <class WorkerEpochFn>
-double run_epoch_fenced(SharedModel& model, TraceRecorder& recorder,
-                        std::size_t epochs, std::size_t threads,
-                        WorkerEpochFn&& worker_epoch) {
-  util::BlockingBarrier barrier(threads + 1);
+/// Resolves the pool a solver run should use: the context-provided one, or
+/// the process-wide fallback for direct run_* callers that hold none.
+inline util::ThreadPool& pool_or_default(util::ThreadPool* pool) {
+  return pool ? *pool : util::default_thread_pool();
+}
 
+/// Runs `threads` logical workers for `epochs` epochs on `pool`.
+/// `worker_epoch(tid, epoch)` is called once per worker per epoch (epoch is
+/// 1-based) and must perform that worker's share of update iterations on
+/// the shared model. Records one trace point per epoch (plus the initial
+/// point at epoch 0) and returns the total training seconds. If the
+/// recorder's observer requests a stop, the remaining epochs are simply not
+/// dispatched — the pool has already drained at the fence.
+template <class WorkerEpochFn>
+double run_epoch_fenced(util::ThreadPool& pool, SharedModel& model,
+                        TraceRecorder& recorder, std::size_t epochs,
+                        std::size_t threads, WorkerEpochFn&& worker_epoch) {
   recorder.record(0, 0.0, model.snapshot());
   if (recorder.stop_requested()) return 0.0;
 
-  // Raised by the main thread between the snapshot and release fences; the
-  // release barrier sequences the store before any worker's load.
-  std::atomic<bool> stop{false};
-
-  std::vector<std::thread> pool;
+  // Warm the pool before the clock starts: on a cold context the one-time
+  // worker spawn must not land inside epoch 1's timed window.
   pool.reserve(threads);
-  for (std::size_t tid = 0; tid < threads; ++tid) {
-    pool.emplace_back([&, tid] {
-      for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
-        worker_epoch(tid, epoch);
-        barrier.arrive_and_wait();  // epoch done; main may snapshot
-        barrier.arrive_and_wait();  // main done evaluating; next epoch
-        if (stop.load(std::memory_order_relaxed)) break;
-      }
-    });
-  }
 
   util::AccumulatingTimer clock;
-  clock.start();
   for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
-    barrier.arrive_and_wait();  // workers finished this epoch
-    clock.stop();
-    recorder.record(epoch, clock.seconds(), model.snapshot());
-    if (recorder.stop_requested() && epoch < epochs) {
-      stop.store(true, std::memory_order_relaxed);
-    }
     clock.start();
-    barrier.arrive_and_wait();  // release workers
-    if (stop.load(std::memory_order_relaxed)) break;
+    pool.run(threads,
+             [&](std::size_t tid) { worker_epoch(tid, epoch); });
+    clock.stop();  // fence: all workers arrived, clock paused for scoring
+    recorder.record(epoch, clock.seconds(), model.snapshot());
+    if (recorder.stop_requested()) break;
   }
-  clock.stop();
-  for (auto& t : pool) t.join();
   return clock.seconds();
 }
 

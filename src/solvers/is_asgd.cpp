@@ -18,7 +18,8 @@ namespace isasgd::solvers {
 Trace run_is_asgd(const sparse::CsrMatrix& data,
                   const objectives::Objective& objective,
                   const SolverOptions& options, const EvalFn& eval,
-                  IsAsgdReport* report, TrainingObserver* observer) {
+                  IsAsgdReport* report, TrainingObserver* observer,
+                  util::ThreadPool* pool) {
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   SharedModel model(data.dim());
   TraceRecorder recorder(algorithm_name(Algorithm::kIsAsgd), threads,
@@ -119,7 +120,7 @@ Trace run_is_asgd(const sparse::CsrMatrix& data,
   // ---- Training (Algorithm 4 lines 13–15): the ASGD kernel ----
   const UpdatePolicy policy = options.update_policy;
   const double train_seconds = detail::run_epoch_fenced(
-      model, recorder, options.epochs, threads,
+      detail::pool_or_default(pool), model, recorder, options.epochs, threads,
       [&](std::size_t tid, std::size_t epoch) {
         const partition::Shard shard = plan.shard(tid);
         WorkerState& ws = workers[tid];
@@ -188,7 +189,7 @@ class IsAsgdSolver final : public Solver {
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
     return run_is_asgd(ctx.data, ctx.objective, ctx.options, ctx.eval,
-                       /*report=*/nullptr, ctx.observer);
+                       /*report=*/nullptr, ctx.observer, ctx.pool);
   }
 };
 

@@ -20,6 +20,10 @@
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
+namespace isasgd::util {
+class ThreadPool;
+}
+
 namespace isasgd::solvers {
 
 /// Extra introspection from an IS-ASGD run (strategy actually applied, ρ,
@@ -32,11 +36,13 @@ struct IsAsgdReport {
 
 /// Runs IS-ASGD. If `report` is non-null it is filled with partition
 /// diagnostics; the same diagnostics are published to `observer` as an
-/// IsAsgdReport through on_diagnostics.
+/// IsAsgdReport through on_diagnostics. Workers come from `pool` (the
+/// process-wide default pool when null).
 Trace run_is_asgd(const sparse::CsrMatrix& data,
                   const objectives::Objective& objective,
                   const SolverOptions& options, const EvalFn& eval,
                   IsAsgdReport* report = nullptr,
-                  TrainingObserver* observer = nullptr);
+                  TrainingObserver* observer = nullptr,
+                  util::ThreadPool* pool = nullptr);
 
 }  // namespace isasgd::solvers

@@ -7,6 +7,7 @@
 #include "solvers/async_runner.hpp"
 #include "solvers/importance_weights.hpp"
 #include "solvers/solver.hpp"
+#include "sparse/kernels.hpp"
 #include "util/timer.hpp"
 
 namespace isasgd::solvers {
@@ -38,12 +39,7 @@ std::vector<double> current_gradient_norms(const sparse::CsrMatrix& data,
   double mean = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const auto x = data.row(i);
-    double margin = 0;
-    const auto idx = x.indices();
-    const auto val = x.values();
-    for (std::size_t k = 0; k < idx.size(); ++k) {
-      margin += w[idx[k]] * val[k];
-    }
+    const double margin = sparse::sparse_dot(w, x);
     norms[i] = std::abs(objective.gradient_scale(margin, data.label(i))) *
                x.norm();
     mean += norms[i];
@@ -95,6 +91,8 @@ Trace run_is_sgd(const sparse::CsrMatrix& data,
   recorder.add_setup_seconds(setup.seconds());
 
   // ---- Training: kernel identical to SGD except index source + weight ----
+  const double eta_l1 = options.reg.eta_l1();
+  const double eta_l2 = options.reg.eta_l2();
   std::vector<std::pair<std::size_t, double>> batch(b);
   std::optional<sampling::SampleSequence> adaptive_sequence;
   const double train_seconds = detail::run_epoch_fenced_serial(
@@ -128,27 +126,15 @@ Trace run_is_sgd(const sparse::CsrMatrix& data,
           const std::size_t bsize = std::min(b, seq.size() - base);
           for (std::size_t k = 0; k < bsize; ++k) {
             const std::size_t i = seq[base + k];
-            const auto x = data.row(i);
-            double margin = 0;
-            const auto idx = x.indices();
-            const auto val = x.values();
-            for (std::size_t j = 0; j < idx.size(); ++j) {
-              margin += w[idx[j]] * val[j];
-            }
+            const double margin = sparse::sparse_dot(w, data.row(i));
             batch[k] = {i, objective.gradient_scale(margin, data.label(i))};
           }
           for (std::size_t k = 0; k < bsize; ++k) {
             const auto [i, g] = batch[k];
-            const auto x = data.row(i);
             const double scaled_step =
                 step * weight[i] / static_cast<double>(bsize);
-            const auto idx = x.indices();
-            const auto val = x.values();
-            for (std::size_t j = 0; j < idx.size(); ++j) {
-              const std::size_t c = idx[j];
-              w[c] -=
-                  scaled_step * (g * val[j] + options.reg.subgradient(w[c]));
-            }
+            sparse::sparse_dot_residual_axpy(w, data.row(i), scaled_step, g,
+                                             eta_l1, eta_l2);
           }
         }
       });

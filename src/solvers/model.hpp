@@ -34,6 +34,18 @@
 
 namespace isasgd::solvers {
 
+// The stripe table must give every Spinlock its own cache line: adjacent
+// unpadded stripes would ping-pong one line between cores and the
+// kStriped/kLocked ablations would measure line contention, not lock
+// policy. Locked in at compile time so a CachePadded regression cannot
+// silently skew bench/ablation_lock_policy.
+static_assert(sizeof(util::CachePadded<util::Spinlock>) ==
+                  util::kCacheLineSize,
+              "Spinlock stripes must each fill exactly one cache line");
+static_assert(alignof(util::CachePadded<util::Spinlock>) ==
+                  util::kCacheLineSize,
+              "Spinlock stripes must be cache-line aligned");
+
 /// Fixed-size shared parameter vector with relaxed-atomic element access.
 class SharedModel {
  public:

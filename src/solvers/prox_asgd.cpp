@@ -20,7 +20,7 @@ Trace run_prox_asgd(const sparse::CsrMatrix& data,
                     const objectives::Objective& objective,
                     const SolverOptions& options, bool use_importance,
                     const EvalFn& eval, ProxReport* report,
-                    TrainingObserver* observer) {
+                    TrainingObserver* observer, util::ThreadPool* pool) {
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   SharedModel model(data.dim());
   TraceRecorder recorder(use_importance ? "IS-PROX-ASGD" : "PROX-ASGD",
@@ -65,7 +65,7 @@ Trace run_prox_asgd(const sparse::CsrMatrix& data,
 
   const UpdatePolicy policy = options.update_policy;
   const double train_seconds = detail::run_epoch_fenced(
-      model, recorder, options.epochs, threads,
+      detail::pool_or_default(pool), model, recorder, options.epochs, threads,
       [&](std::size_t tid, std::size_t epoch) {
         const partition::Shard shard = plan.shard(tid);
         const std::size_t local_n = shard.rows.size();
@@ -129,7 +129,7 @@ class ProxAsgdSolver final : public Solver {
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
     return run_prox_asgd(ctx.data, ctx.objective, ctx.options, use_importance_,
-                         ctx.eval, /*report=*/nullptr, ctx.observer);
+                         ctx.eval, /*report=*/nullptr, ctx.observer, ctx.pool);
   }
 
  private:

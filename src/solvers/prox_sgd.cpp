@@ -9,6 +9,7 @@
 #include "solvers/async_runner.hpp"
 #include "solvers/importance_weights.hpp"
 #include "solvers/solver.hpp"
+#include "sparse/kernels.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -92,10 +93,7 @@ Trace run_prox_sgd(const sparse::CsrMatrix& data,
             const std::size_t j = idx[k];
             catch_up(j, t - 1 - last[j]);
           }
-          double margin = 0;
-          for (std::size_t k = 0; k < idx.size(); ++k) {
-            margin += w[idx[k]] * val[k];
-          }
+          const double margin = sparse::sparse_dot(w, x);
           const double g =
               objective.gradient_scale(margin, data.label(i)) * weight[i];
           // Zhao–Zhang step: gradient at the IS-weighted step, then the

@@ -21,6 +21,10 @@
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
+namespace isasgd::util {
+class ThreadPool;
+}
+
 namespace isasgd::solvers {
 
 /// Diagnostics of a prox run.
@@ -59,6 +63,7 @@ struct ProxReport {
                                   const SolverOptions& options,
                                   bool use_importance, const EvalFn& eval,
                                   ProxReport* report = nullptr,
-                                  TrainingObserver* observer = nullptr);
+                                  TrainingObserver* observer = nullptr,
+                                  util::ThreadPool* pool = nullptr);
 
 }  // namespace isasgd::solvers

@@ -2,6 +2,7 @@
 
 #include "solvers/async_runner.hpp"
 #include "solvers/solver.hpp"
+#include "sparse/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace isasgd::solvers {
@@ -23,33 +24,28 @@ Trace run_sag(const sparse::CsrMatrix& data,
   const double inv_n = 1.0 / static_cast<double>(n);
 
   util::Rng rng(options.seed);
+  const double eta_l1 = options.reg.eta_l1();
+  const double eta_l2 = options.reg.eta_l2();
   const double train_seconds = detail::run_epoch_fenced_serial(
       w, recorder, options.epochs, [&](std::size_t epoch) {
         const double step = epoch_step(options, epoch);
         for (std::size_t t = 0; t < n; ++t) {
           const std::size_t i = util::uniform_index(rng, n);
           const auto x = data.row(i);
-          const auto idx = x.indices();
-          const auto val = x.values();
-          double margin = 0;
-          for (std::size_t k = 0; k < idx.size(); ++k) {
-            margin += w[idx[k]] * val[k];
-          }
+          const double margin = sparse::sparse_dot(w, x);
           const double g = objective.gradient_scale(margin, data.label(i));
           const double delta = (g - alpha[i]) * inv_n;
 
           // Refresh the memory first: SAG steps along the *updated*
           // average, ḡ_new = ḡ + (g − α_i)·x_i/n.
-          for (std::size_t k = 0; k < idx.size(); ++k) {
-            aggregate[idx[k]] += delta * val[k];
-          }
+          sparse::sparse_axpy(aggregate, delta, x);
           alpha[i] = g;
 
           // w ← w − λ(ḡ_new + ∇r(w)): the dense full-length pass that puts
-          // SAG on the §1.2 side of the sparsity argument.
-          for (std::size_t j = 0; j < d; ++j) {
-            w[j] -= step * (aggregate[j] + options.reg.subgradient(w[j]));
-          }
+          // SAG on the §1.2 side of the sparsity argument (empty support:
+          // the kernel's pure dense variance-reduction form).
+          sparse::scale_then_sparse_axpy(w, aggregate, step, eta_l1, eta_l2,
+                                         0.0, {});
         }
       });
   if (options.keep_final_model) recorder.set_final_model(w);

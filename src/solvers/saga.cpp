@@ -2,6 +2,7 @@
 
 #include "solvers/async_runner.hpp"
 #include "solvers/solver.hpp"
+#include "sparse/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace isasgd::solvers {
@@ -23,6 +24,8 @@ Trace run_saga(const sparse::CsrMatrix& data,
   const double inv_n = 1.0 / static_cast<double>(n);
 
   util::Rng rng(options.seed);
+  const double eta_l1 = options.reg.eta_l1();
+  const double eta_l2 = options.reg.eta_l2();
   const double train_seconds = detail::run_epoch_fenced_serial(
       w, recorder, options.epochs, [&](std::size_t epoch) {
         const double step = epoch_step(options, epoch);
@@ -31,24 +34,20 @@ Trace run_saga(const sparse::CsrMatrix& data,
           const auto x = data.row(i);
           const auto idx = x.indices();
           const auto val = x.values();
-          double margin = 0;
-          for (std::size_t k = 0; k < idx.size(); ++k) {
-            margin += w[idx[k]] * val[k];
-          }
+          const double margin = sparse::sparse_dot(w, x);
           const double g = objective.gradient_scale(margin, data.label(i));
           const double delta = g - alpha[i];
 
           // SAGA update: w ← w − λ[(g − α_i)·x_i + ḡ + ∇r(w)].
           // The (g − α_i)·x_i part is index-compressed; ḡ and the
-          // regularizer are the dense full-length pass (the §1.2 cost).
-          for (std::size_t k = 0; k < idx.size(); ++k) {
-            w[idx[k]] -= step * delta * val[k];
-          }
-          for (std::size_t j = 0; j < d; ++j) {
-            w[j] -= step * (aggregate[j] + options.reg.subgradient(w[j]));
-          }
+          // regularizer are the dense full-length pass (the §1.2 cost) —
+          // both fused into one model traversal.
+          sparse::scale_then_sparse_axpy(w, aggregate, step, eta_l1, eta_l2,
+                                         step * delta, x);
 
-          // Memory refresh: ḡ += (g − α_i)·x_i / n; α_i ← g.
+          // Memory refresh: ḡ += (g − α_i)·x_i / n; α_i ← g. (Kept scalar:
+          // the (delta·x)·1/n product order is part of the reference
+          // arithmetic.)
           for (std::size_t k = 0; k < idx.size(); ++k) {
             aggregate[idx[k]] += delta * val[k] * inv_n;
           }

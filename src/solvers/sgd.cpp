@@ -2,6 +2,7 @@
 
 #include "solvers/async_runner.hpp"
 #include "solvers/solver.hpp"
+#include "sparse/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace isasgd::solvers {
@@ -23,31 +24,22 @@ Trace run_sgd(const sparse::CsrMatrix& data,
   std::vector<std::pair<std::size_t, double>> batch(b);
   const std::size_t updates_per_epoch = (n + b - 1) / b;
 
+  const double eta_l1 = options.reg.eta_l1();
+  const double eta_l2 = options.reg.eta_l2();
   const double train_seconds = detail::run_epoch_fenced_serial(
       w, recorder, options.epochs, [&](std::size_t epoch) {
         const double step = epoch_step(options, epoch);
         for (std::size_t u = 0; u < updates_per_epoch; ++u) {
           for (std::size_t k = 0; k < b; ++k) {
             const std::size_t i = util::uniform_index(rng, n);
-            const auto x = data.row(i);
-            double margin = 0;
-            const auto idx = x.indices();
-            const auto val = x.values();
-            for (std::size_t j = 0; j < idx.size(); ++j) {
-              margin += w[idx[j]] * val[j];
-            }
+            const double margin = sparse::sparse_dot(w, data.row(i));
             batch[k] = {i, objective.gradient_scale(margin, data.label(i))};
           }
           const double batch_step = step / static_cast<double>(b);
           for (std::size_t k = 0; k < b; ++k) {
             const auto [i, g] = batch[k];
-            const auto x = data.row(i);
-            const auto idx = x.indices();
-            const auto val = x.values();
-            for (std::size_t j = 0; j < idx.size(); ++j) {
-              const std::size_t c = idx[j];
-              w[c] -= batch_step * (g * val[j] + options.reg.subgradient(w[c]));
-            }
+            sparse::sparse_dot_residual_axpy(w, data.row(i), batch_step, g,
+                                             eta_l1, eta_l2);
           }
         }
       });

@@ -36,6 +36,10 @@
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
+namespace isasgd::util {
+class ThreadPool;
+}
+
 namespace isasgd::solvers {
 
 /// Static facts about a solver, used by sweeps/CLIs to plan runs (e.g. a
@@ -56,13 +60,18 @@ struct SolverCapabilities {
 };
 
 /// Everything a solver needs for one run. `data` and `objective` must
-/// outlive the call; `observer` may be null.
+/// outlive the call; `observer` may be null. `pool` is the persistent
+/// worker pool parallel solvers draw their teams from — normally the one
+/// owned by the caller's core::ExecutionContext, shared across train calls
+/// so worker threads are spawned once, not per run. Null falls back to the
+/// process-wide default pool (serial solvers never touch it).
 struct SolverContext {
   const sparse::CsrMatrix& data;
   const objectives::Objective& objective;
   SolverOptions options;
   EvalFn eval;
   TrainingObserver* observer = nullptr;
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Abstract solver. Subclasses implement run_impl; callers use train(),

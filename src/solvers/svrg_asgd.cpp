@@ -1,10 +1,10 @@
 #include "solvers/svrg_asgd.hpp"
 
-#include <thread>
-
 #include "solvers/model.hpp"
 #include "solvers/solver.hpp"
+#include "sparse/kernels.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace isasgd::solvers {
@@ -12,9 +12,11 @@ namespace isasgd::solvers {
 namespace {
 
 /// Parallel μ_loss = (1/n)·Σ_i φ'(s·x_i)·x_i. Rows are chunked across
-/// `threads`; each worker accumulates into its own buffer, then the buffers
-/// are reduced (dense, O(threads·d) — amortised once per snapshot period).
-void full_loss_gradient_parallel(const sparse::CsrMatrix& data,
+/// `threads` pool workers; each worker accumulates into its own buffer,
+/// then the buffers are reduced (dense, O(threads·d) — amortised once per
+/// snapshot period).
+void full_loss_gradient_parallel(util::ThreadPool& pool,
+                                 const sparse::CsrMatrix& data,
                                  const objectives::Objective& objective,
                                  std::span<const double> s,
                                  std::vector<double>& mu,
@@ -23,29 +25,17 @@ void full_loss_gradient_parallel(const sparse::CsrMatrix& data,
   const std::size_t d = s.size();
   std::vector<std::vector<double>> partial(threads,
                                            std::vector<double>(d, 0.0));
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t tid = 0; tid < threads; ++tid) {
-    pool.emplace_back([&, tid] {
-      std::vector<double>& acc = partial[tid];
-      const std::size_t begin = n * tid / threads;
-      const std::size_t end = n * (tid + 1) / threads;
-      for (std::size_t i = begin; i < end; ++i) {
-        const auto x = data.row(i);
-        double margin = 0;
-        const auto idx = x.indices();
-        const auto val = x.values();
-        for (std::size_t k = 0; k < idx.size(); ++k) {
-          margin += s[idx[k]] * val[k];
-        }
-        const double g = objective.gradient_scale(margin, data.label(i));
-        for (std::size_t k = 0; k < idx.size(); ++k) {
-          acc[idx[k]] += g * val[k];
-        }
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
+  pool.run(threads, [&](std::size_t tid) {
+    std::vector<double>& acc = partial[tid];
+    const std::size_t begin = n * tid / threads;
+    const std::size_t end = n * (tid + 1) / threads;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto x = data.row(i);
+      const double margin = sparse::sparse_dot(s, x);
+      const double g = objective.gradient_scale(margin, data.label(i));
+      sparse::sparse_axpy(acc, g, x);
+    }
+  });
   mu.assign(d, 0.0);
   const double inv_n = 1.0 / static_cast<double>(n);
   for (const auto& acc : partial) {
@@ -58,7 +48,9 @@ void full_loss_gradient_parallel(const sparse::CsrMatrix& data,
 Trace run_svrg_asgd(const sparse::CsrMatrix& data,
                     const objectives::Objective& objective,
                     const SolverOptions& options, const EvalFn& eval,
-                    TrainingObserver* observer) {
+                    TrainingObserver* observer, util::ThreadPool* pool_ptr) {
+  util::ThreadPool& pool =
+      pool_ptr ? *pool_ptr : util::default_thread_pool();
   const std::size_t n = data.rows();
   const std::size_t d = data.dim();
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
@@ -73,6 +65,10 @@ Trace run_svrg_asgd(const sparse::CsrMatrix& data,
       std::max<std::size_t>(1, options.svrg_snapshot_interval);
   const UpdatePolicy policy = options.update_policy;
 
+  // Warm the pool before the clock starts (one-time worker spawn must not
+  // pollute epoch 1's timed window).
+  pool.reserve(threads);
+
   util::AccumulatingTimer clock;
   for (std::size_t epoch = 1;
        epoch <= options.epochs && !recorder.stop_requested(); ++epoch) {
@@ -81,53 +77,45 @@ Trace run_svrg_asgd(const sparse::CsrMatrix& data,
     if ((epoch - 1) % interval == 0) {
       // Algorithm 1 lines 4–6: sync point — snapshot + full gradient.
       s = model.snapshot();
-      full_loss_gradient_parallel(data, objective, s, mu, threads);
+      full_loss_gradient_parallel(pool, data, objective, s, mu, threads);
     }
 
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t tid = 0; tid < threads; ++tid) {
-      pool.emplace_back([&, tid] {
-        util::Rng rng(
-            util::derive_seed(options.seed, epoch * 1000 + tid));
-        const std::size_t iters =
-            n * (tid + 1) / threads - n * tid / threads;
-        for (std::size_t t = 0; t < iters; ++t) {
-          const std::size_t i = util::uniform_index(rng, n);
-          const auto x = data.row(i);
-          const double y = data.label(i);
-          const auto idx = x.indices();
-          const auto val = x.values();
-          double margin_w = 0, margin_s = 0;
-          for (std::size_t k = 0; k < idx.size(); ++k) {
-            margin_w += model.load(idx[k]) * val[k];
-            margin_s += s[idx[k]] * val[k];
+    pool.run(threads, [&](std::size_t tid) {
+      util::Rng rng(util::derive_seed(options.seed, epoch * 1000 + tid));
+      const std::size_t iters = n * (tid + 1) / threads - n * tid / threads;
+      for (std::size_t t = 0; t < iters; ++t) {
+        const std::size_t i = util::uniform_index(rng, n);
+        const auto x = data.row(i);
+        const double y = data.label(i);
+        const auto idx = x.indices();
+        const auto val = x.values();
+        double margin_w = 0, margin_s = 0;
+        for (std::size_t k = 0; k < idx.size(); ++k) {
+          margin_w += model.load(idx[k]) * val[k];
+          margin_s += s[idx[k]] * val[k];
+        }
+        const double correction = objective.gradient_scale(margin_w, y) -
+                                  objective.gradient_scale(margin_s, y);
+        for (std::size_t k = 0; k < idx.size(); ++k) {
+          model.add(idx[k], -step * correction * val[k], policy);
+        }
+        if (!options.svrg_skip_mu) {
+          // Algorithm 1 line 7's dense term: full-length pass every
+          // iteration, performed lock-free like the rest of the update.
+          for (std::size_t j = 0; j < d; ++j) {
+            const double wj = model.load(j);
+            model.add(j, -step * (mu[j] + options.reg.subgradient(wj)),
+                      policy);
           }
-          const double correction =
-              objective.gradient_scale(margin_w, y) -
-              objective.gradient_scale(margin_s, y);
+        } else {
           for (std::size_t k = 0; k < idx.size(); ++k) {
-            model.add(idx[k], -step * correction * val[k], policy);
-          }
-          if (!options.svrg_skip_mu) {
-            // Algorithm 1 line 7's dense term: full-length pass every
-            // iteration, performed lock-free like the rest of the update.
-            for (std::size_t j = 0; j < d; ++j) {
-              const double wj = model.load(j);
-              model.add(j, -step * (mu[j] + options.reg.subgradient(wj)),
-                        policy);
-            }
-          } else {
-            for (std::size_t k = 0; k < idx.size(); ++k) {
-              const std::size_t j = idx[k];
-              model.add(j, -step * options.reg.subgradient(model.load(j)),
-                        policy);
-            }
+            const std::size_t j = idx[k];
+            model.add(j, -step * options.reg.subgradient(model.load(j)),
+                      policy);
           }
         }
-      });
-    }
-    for (auto& t : pool) t.join();
+      }
+    });
 
     if (options.svrg_skip_mu) {
       for (std::size_t j = 0; j < d; ++j) {
@@ -153,7 +141,7 @@ class SvrgAsgdSolver final : public Solver {
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
     return run_svrg_asgd(ctx.data, ctx.objective, ctx.options, ctx.eval,
-                         ctx.observer);
+                         ctx.observer, ctx.pool);
   }
 };
 

@@ -15,15 +15,21 @@
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
+namespace isasgd::util {
+class ThreadPool;
+}
+
 namespace isasgd::solvers {
 
-/// Runs asynchronous SVRG with `options.threads` workers. The snapshot/μ
-/// recomputation is part of the timed training window (it is training cost,
-/// and the paper's wall-clock curves include it). `options.svrg_skip_mu`
-/// selects the public-repo approximation.
+/// Runs asynchronous SVRG with `options.threads` workers drawn from `pool`
+/// (the process-wide default pool when null). The snapshot/μ recomputation
+/// is part of the timed training window (it is training cost, and the
+/// paper's wall-clock curves include it). `options.svrg_skip_mu` selects
+/// the public-repo approximation.
 Trace run_svrg_asgd(const sparse::CsrMatrix& data,
                     const objectives::Objective& objective,
                     const SolverOptions& options, const EvalFn& eval,
-                    TrainingObserver* observer = nullptr);
+                    TrainingObserver* observer = nullptr,
+                    util::ThreadPool* pool = nullptr);
 
 }  // namespace isasgd::solvers

@@ -5,6 +5,7 @@
 
 #include "solvers/async_runner.hpp"
 #include "solvers/solver.hpp"
+#include "sparse/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace isasgd::solvers {
@@ -21,16 +22,9 @@ void full_loss_gradient(const sparse::CsrMatrix& data,
   const double inv_n = 1.0 / static_cast<double>(data.rows());
   for (std::size_t i = 0; i < data.rows(); ++i) {
     const auto x = data.row(i);
-    double margin = 0;
-    const auto idx = x.indices();
-    const auto val = x.values();
-    for (std::size_t k = 0; k < idx.size(); ++k) {
-      margin += s[idx[k]] * val[k];
-    }
+    const double margin = sparse::sparse_dot(s, x);
     const double g = objective.gradient_scale(margin, data.label(i)) * inv_n;
-    for (std::size_t k = 0; k < idx.size(); ++k) {
-      mu[idx[k]] += g * val[k];
-    }
+    sparse::sparse_axpy(mu, g, x);
   }
 }
 
@@ -97,10 +91,7 @@ Trace run_svrg_sgd_lazy(const sparse::CsrMatrix& data,
             last[j] = t - 1;
           }
           double margin_w = 0, margin_s = 0;
-          for (std::size_t k = 0; k < idx.size(); ++k) {
-            margin_w += w[idx[k]] * val[k];
-            margin_s += s[idx[k]] * val[k];
-          }
+          sparse::sparse_dot_pair(w, s, x, margin_w, margin_s);
           const double correction = objective.gradient_scale(margin_w, y) -
                                     objective.gradient_scale(margin_s, y);
           // Sparse correction, then this iteration's own dense step for the

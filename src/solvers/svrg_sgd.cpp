@@ -2,6 +2,7 @@
 
 #include "solvers/async_runner.hpp"
 #include "solvers/solver.hpp"
+#include "sparse/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace isasgd::solvers {
@@ -18,16 +19,9 @@ void full_loss_gradient(const sparse::CsrMatrix& data,
   const double inv_n = 1.0 / static_cast<double>(data.rows());
   for (std::size_t i = 0; i < data.rows(); ++i) {
     const auto x = data.row(i);
-    double margin = 0;
-    const auto idx = x.indices();
-    const auto val = x.values();
-    for (std::size_t k = 0; k < idx.size(); ++k) {
-      margin += s[idx[k]] * val[k];
-    }
+    const double margin = sparse::sparse_dot(s, x);
     const double g = objective.gradient_scale(margin, data.label(i)) * inv_n;
-    for (std::size_t k = 0; k < idx.size(); ++k) {
-      mu[idx[k]] += g * val[k];
-    }
+    sparse::sparse_axpy(mu, g, x);
   }
 }
 
@@ -47,6 +41,8 @@ Trace run_svrg_sgd(const sparse::CsrMatrix& data,
   std::vector<double> mu(d, 0.0);  // full loss gradient at s
   util::Rng rng(options.seed);
   const std::size_t interval = std::max<std::size_t>(1, options.svrg_snapshot_interval);
+  const double eta_l1 = options.reg.eta_l1();
+  const double eta_l2 = options.reg.eta_l2();
 
   const double train_seconds = detail::run_epoch_fenced_serial(
       w, recorder, options.epochs, [&](std::size_t epoch) {
@@ -59,39 +55,27 @@ Trace run_svrg_sgd(const sparse::CsrMatrix& data,
           const std::size_t i = util::uniform_index(rng, n);
           const auto x = data.row(i);
           const double y = data.label(i);
-          const auto idx = x.indices();
-          const auto val = x.values();
           double margin_w = 0, margin_s = 0;
-          for (std::size_t k = 0; k < idx.size(); ++k) {
-            margin_w += w[idx[k]] * val[k];
-            margin_s += s[idx[k]] * val[k];
-          }
+          sparse::sparse_dot_pair(w, s, x, margin_w, margin_s);
           const double correction = objective.gradient_scale(margin_w, y) -
                                     objective.gradient_scale(margin_s, y);
-          // Sparse correction term (index-compressed, like ASGD's update).
-          for (std::size_t k = 0; k < idx.size(); ++k) {
-            w[idx[k]] -= step * correction * val[k];
-          }
           if (!options.svrg_skip_mu) {
-            // Faithful Algorithm 1 line 7: add the dense μ (plus the dense
-            // regularizer at w) every iteration — the O(d) pass the paper's
-            // performance analysis targets.
-            for (std::size_t j = 0; j < d; ++j) {
-              w[j] -= step * (mu[j] + options.reg.subgradient(w[j]));
-            }
+            // Faithful Algorithm 1 line 7: sparse correction + dense μ
+            // (plus the dense regularizer at w) — the O(d) pass the paper's
+            // performance analysis targets, fused into one model traversal.
+            sparse::scale_then_sparse_axpy(w, mu, step, eta_l1, eta_l2,
+                                           step * correction, x);
           } else {
-            // Public-version approximation: regularizer on the support only.
-            for (std::size_t k = 0; k < idx.size(); ++k) {
-              const std::size_t j = idx[k];
-              w[j] -= step * options.reg.subgradient(w[j]);
-            }
+            // Public-version approximation: sparse correction, regularizer
+            // on the support only.
+            sparse::sparse_axpy(w, -(step * correction), x);
+            sparse::sparse_dot_residual_axpy(w, x, step, 0.0, eta_l1,
+                                             eta_l2);
           }
         }
         if (options.svrg_skip_mu) {
           // One aggregate μ correction at epoch end ("multiplying µ with n").
-          for (std::size_t j = 0; j < d; ++j) {
-            w[j] -= step * static_cast<double>(n) * mu[j];
-          }
+          sparse::dense_axpy(w, -(step * static_cast<double>(n)), mu);
         }
       });
   if (options.keep_final_model) recorder.set_final_model(w);

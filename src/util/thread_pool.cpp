@@ -1,0 +1,151 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace isasgd::util {
+
+namespace {
+
+/// Set while a pool worker executes a task on this thread; run() consults it
+/// to serialise nested dispatch instead of deadlocking on the job slot.
+thread_local bool t_on_worker = false;
+
+std::size_t default_max_workers() {
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::max<std::size_t>(32, 8 * hw);
+}
+
+#if defined(__linux__)
+void pin_to_cpu(std::size_t wid) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(wid % hw), &set);
+  // Best-effort: a failed pin (cgroup restrictions, shrunk affinity mask)
+  // must not take the pool down.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+}
+#endif
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers, Options options)
+    : max_workers_(options.max_workers ? options.max_workers
+                                       : default_max_workers()),
+      pin_cpus_(options.pin_cpus) {
+  if (workers > 0) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ensure_workers_locked(std::min(workers, max_workers_));
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker; }
+
+std::size_t ThreadPool::capacity() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+void ThreadPool::ensure_workers_locked(std::size_t want) {
+  while (workers_.size() < std::min(want, max_workers_)) {
+    const std::size_t wid = workers_.size();
+    // A fresh worker must ignore every job dispatched before it existed:
+    // its fn pointer may already be dangling. Hand it the current job id as
+    // its "already seen" watermark.
+    workers_.emplace_back(&ThreadPool::worker_main, this, wid, job_id_);
+    spawned_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::worker_main(std::size_t wid, std::uint64_t last_seen) {
+#if defined(__linux__)
+  if (pin_cpus_) pin_to_cpu(wid);
+#endif
+  t_on_worker = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (job_id_ != last_seen && wid < job_.serving);
+    });
+    if (shutdown_) return;
+    last_seen = job_id_;
+    // Job fields are immutable while remaining > 0; read them unlocked.
+    const std::function<void(std::size_t)>* fn = job_.fn;
+    const std::size_t team = job_.team;
+    const std::size_t serving = job_.serving;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      // Strided share of the team: exact tid coverage even when the team
+      // exceeds the OS-thread clamp.
+      for (std::size_t tid = wid; tid < team; tid += serving) (*fn)(tid);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !job_.error) job_.error = error;
+    if (--job_.remaining == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::reserve(std::size_t team) {
+  if (team <= 1) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_workers_locked(std::min(team, max_workers_));
+}
+
+void ThreadPool::run(std::size_t team,
+                     const std::function<void(std::size_t)>& fn) {
+  team = std::max<std::size_t>(1, team);
+  dispatched_.fetch_add(1, std::memory_order_relaxed);
+  if (team == 1 || t_on_worker) {
+    // Serial teams and nested dispatch run inline: same tid coverage, no
+    // handoff latency, no deadlock on the single job slot.
+    for (std::size_t tid = 0; tid < team; ++tid) fn(tid);
+    return;
+  }
+  // One job at a time: a concurrent driving thread waits here until the
+  // in-flight job fully drains.
+  const std::lock_guard<std::mutex> dispatch_lock(dispatch_mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::size_t serving = std::min(team, max_workers_);
+  ensure_workers_locked(serving);
+  job_.fn = &fn;
+  job_.team = team;
+  job_.serving = serving;
+  job_.remaining = serving;
+  job_.error = nullptr;
+  ++job_id_;
+  // Wake under the lock: a worker that checked the predicate between our
+  // store and an unlocked notify could otherwise miss the wake.
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return job_.remaining == 0; });
+  job_.fn = nullptr;
+  if (job_.error) {
+    std::exception_ptr error = job_.error;
+    job_.error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+ThreadPool& default_thread_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace isasgd::util

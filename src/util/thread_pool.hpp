@@ -1,0 +1,146 @@
+// Persistent worker pool: the shared execution substrate for every
+// thread-parallel site in the library (epoch-fenced solvers, SVRG's full
+// gradient, the evaluator's scoring pass, experiment sweeps).
+//
+// Before this existed every Trainer::train call — and every epoch of some
+// solvers — spawned and joined a fresh std::thread team, paying thread
+// creation, stack faulting, and scheduler warm-up inside the timed windows
+// the paper's wall-clock figures are built from. The pool spawns each worker
+// exactly once and reuses it for the lifetime of the ExecutionContext that
+// owns it; an epoch dispatch is a condvar wake, not a clone().
+//
+// Execution model (the "epoch fence" API): run(team, fn) executes fn(tid)
+// exactly once for every tid in [0, team) and returns only when all of them
+// have finished — run()'s return IS the epoch fence (all workers arrived),
+// and the next run() call is the release. Between two run() calls the pool
+// is quiescent, so the caller may snapshot shared state (e.g. score the
+// model) without racing any worker. Early stop is therefore trivial: stop
+// calling run().
+//
+// Oversubscription clamp: the pool never creates more than max_workers OS
+// threads. A run(team, fn) with team > max_workers still executes every tid
+// exactly once — worker w runs the strided set {w, w+P, w+2P, ...} where P
+// is the serving worker count — so algorithmic sharding by tid stays exact
+// while the OS sees a bounded thread count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace isasgd::util {
+
+/// Tuning knobs for a ThreadPool (namespace-scope so it can serve as a
+/// default argument — a nested struct's member initializers cannot).
+struct ThreadPoolOptions {
+  /// Hard cap on OS threads the pool will ever create. 0 picks the
+  /// default clamp: max(32, 8 × hardware_concurrency) — generous enough
+  /// that the paper's thread sweeps never stride, tight enough that a
+  /// misconfigured sweep cannot fork-bomb the host.
+  std::size_t max_workers = 0;
+  /// Pin worker k to CPU k mod hardware_concurrency (Linux only; ignored
+  /// elsewhere). Off by default: pinning helps dedicated bench boxes and
+  /// hurts shared ones.
+  bool pin_cpus = false;
+};
+
+class ThreadPool {
+ public:
+  using Options = ThreadPoolOptions;
+
+  /// `workers` pre-spawns that many workers up front (clamped to
+  /// max_workers); 0 defers all spawning until the first run() that needs
+  /// them. Workers are never destroyed before the pool itself.
+  explicit ThreadPool(std::size_t workers = 0, Options options = Options());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Executes fn(tid) exactly once for each tid in [0, team) and blocks
+  /// until every one has returned. team is clamped up to 1. Concurrency is
+  /// min(team, max_workers()); see the class comment for the strided
+  /// execution of oversubscribed teams. team == 1 executes inline on the
+  /// calling thread (no dispatch overhead for serial configurations), as
+  /// does a reentrant run() from inside a pool task (documented deadlock
+  /// avoidance — nested parallelism serialises). If any fn invocation
+  /// throws, the first exception is rethrown here after all workers finish.
+  ///
+  /// Thread-safe: concurrent run() calls from different driving threads
+  /// (e.g. two Trainers sharing one ExecutionContext, each driven from its
+  /// own application thread) serialise on an internal dispatch mutex — the
+  /// pool executes one job at a time.
+  void run(std::size_t team, const std::function<void(std::size_t)>& fn);
+
+  /// Pre-spawns the workers a run(team, …) would use (no-op for team ≤ 1
+  /// or when they already exist). Epoch drivers call this before starting
+  /// their training clocks so thread creation never lands inside a timed
+  /// window.
+  void reserve(std::size_t team);
+
+  /// Workers currently alive (== threads_spawned(): workers are never
+  /// respawned or retired while the pool lives).
+  [[nodiscard]] std::size_t capacity() const;
+
+  /// The oversubscription clamp this pool enforces.
+  [[nodiscard]] std::size_t max_workers() const noexcept {
+    return max_workers_;
+  }
+
+  /// Lifetime count of OS threads created. Instrumentation for the
+  /// reuse-not-respawn contract: after a warm-up run at team T this stays
+  /// constant across any number of further run() calls with team ≤ T.
+  [[nodiscard]] std::uint64_t threads_spawned() const noexcept {
+    return spawned_.load(std::memory_order_relaxed);
+  }
+
+  /// Lifetime count of run() calls (inline ones included).
+  [[nodiscard]] std::uint64_t jobs_dispatched() const noexcept {
+    return dispatched_.load(std::memory_order_relaxed);
+  }
+
+  /// True when called from inside a pool task on this thread.
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t team = 0;
+    std::size_t serving = 0;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  };
+
+  void worker_main(std::size_t wid, std::uint64_t last_seen);
+  void ensure_workers_locked(std::size_t want);
+
+  const std::size_t max_workers_;
+  const bool pin_cpus_;
+
+  /// Serialises whole jobs: held for the full dispatch+wait of one run()
+  /// so concurrent driving threads cannot interleave on the job_ slot.
+  std::mutex dispatch_mu_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  std::uint64_t job_id_ = 0;  // bumped per dispatched job
+  Job job_;
+  bool shutdown_ = false;
+
+  std::atomic<std::uint64_t> spawned_{0};
+  std::atomic<std::uint64_t> dispatched_{0};
+};
+
+/// Process-wide fallback pool for callers that hold no ExecutionContext
+/// (direct run_* invocations from benches and legacy call sites). Lazily
+/// constructed with default options; lives for the process.
+ThreadPool& default_thread_pool();
+
+}  // namespace isasgd::util

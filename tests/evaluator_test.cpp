@@ -10,6 +10,7 @@
 #include "objectives/least_squares.hpp"
 #include "objectives/logistic.hpp"
 #include "sparse/csr_builder.hpp"
+#include "util/thread_pool.hpp"
 
 namespace isasgd::metrics {
 namespace {
@@ -76,6 +77,43 @@ TEST(Evaluator, ParallelMatchesSerial) {
   const auto b = parallel.evaluate(w);
   EXPECT_NEAR(a.objective, b.objective, 1e-9);
   EXPECT_DOUBLE_EQ(a.error_rate, b.error_rate);
+}
+
+TEST(Evaluator, PooledMatchesSerialAndPrivatePool) {
+  // The ISSUE-2 parity contract: scoring on a shared ExecutionContext pool,
+  // on a lazily-created private pool, and serially must all agree (the
+  // chunked reduction is identical for a fixed thread count, so pooled vs
+  // per-call-thread results are bit-equal; serial differs only by summation
+  // order).
+  data::SyntheticSpec spec;
+  spec.rows = 3000;
+  spec.dim = 300;
+  spec.mean_row_nnz = 10;
+  const auto data = data::generate(spec);
+  objectives::LogisticLoss loss;
+  const auto reg = objectives::Regularization::l2(1e-4);
+  util::ThreadPool shared_pool;
+
+  Evaluator serial(data, loss, reg, 1);
+  Evaluator pooled(data, loss, reg, 4, &shared_pool);
+  Evaluator private_pool(data, loss, reg, 4);  // lazily creates its own
+
+  std::vector<double> w(data.dim());
+  util::Rng rng(9);
+  for (auto& v : w) v = util::normal_double(rng) * 0.1;
+
+  const auto s = serial.evaluate(w);
+  const auto a = pooled.evaluate(w);
+  const auto b = private_pool.evaluate(w);
+  EXPECT_EQ(a.objective, b.objective);  // same chunking → bit-equal
+  EXPECT_EQ(a.error_rate, b.error_rate);
+  EXPECT_NEAR(s.objective, a.objective, 1e-12);
+  EXPECT_DOUBLE_EQ(s.error_rate, a.error_rate);
+
+  // Repeated evaluations reuse the pool workers — no per-call spawning.
+  const auto spawned = shared_pool.threads_spawned();
+  for (int i = 0; i < 5; ++i) (void)pooled.evaluate(w);
+  EXPECT_EQ(shared_pool.threads_spawned(), spawned);
 }
 
 TEST(Evaluator, MoreThreadsThanRowsIsSafe) {

@@ -2,12 +2,39 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
+#include "objectives/objective.hpp"
 #include "sparse/sparse_vector.hpp"
+#include "util/rng.hpp"
 
 namespace isasgd::sparse {
 namespace {
+
+std::vector<value_t> random_vector(std::size_t d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<value_t> v(d);
+  for (auto& x : v) x = util::normal_double(rng);
+  return v;
+}
+
+SparseVector random_row(std::size_t d, std::size_t nnz, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<index_t> idx;
+  while (idx.size() < nnz) {
+    const auto j = static_cast<index_t>(util::uniform_index(rng, d));
+    bool dup = false;
+    for (index_t existing : idx) dup |= existing == j;
+    if (!dup) idx.push_back(j);
+  }
+  std::sort(idx.begin(), idx.end());
+  std::vector<value_t> val(nnz);
+  for (auto& v : val) v = util::normal_double(rng);
+  return SparseVector(std::move(idx), std::move(val));
+}
 
 TEST(SparseKernels, SparseDotMatchesDense) {
   std::vector<value_t> w = {1, 2, 3, 4, 5};
@@ -73,6 +100,112 @@ TEST(SparseKernels, AxpyThenDotIsConsistent) {
   sparse_axpy(w, 0.25, x.view());
   const double after = sparse_dot(w, x.view());
   EXPECT_NEAR(after - before, 0.25 * x.squared_norm(), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Fused kernels: each must reproduce its unfused scalar decomposition
+// bit for bit — that contract is what lets the solvers adopt them without
+// perturbing the paper traces.
+// ---------------------------------------------------------------------------
+
+TEST(FusedKernels, DotPairMatchesTwoDotsBitwise) {
+  const std::size_t d = 257;
+  const auto w = random_vector(d, 1);
+  const auto s = random_vector(d, 2);
+  const auto x = random_row(d, 19, 3);
+  value_t dot_w = 0, dot_s = 0;
+  sparse_dot_pair(w, s, x.view(), dot_w, dot_s);
+  EXPECT_EQ(dot_w, sparse_dot(w, x.view()));
+  EXPECT_EQ(dot_s, sparse_dot(s, x.view()));
+}
+
+TEST(FusedKernels, ResidualAxpyMatchesSubgradientLoopBitwise) {
+  const std::size_t d = 101;
+  const auto x = random_row(d, 17, 5);
+  const double step = 0.37, g = -1.25;
+  for (const auto reg :
+       {objectives::Regularization::none(), objectives::Regularization::l1(0.3),
+        objectives::Regularization::l2(0.2)}) {
+    auto w_fused = random_vector(d, 7);
+    auto w_ref = w_fused;
+    sparse_dot_residual_axpy(w_fused, x.view(), step, g, reg.eta_l1(),
+                             reg.eta_l2());
+    // The frozen pre-fusion loop.
+    const auto idx = x.view().indices();
+    const auto val = x.view().values();
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      const std::size_t c = idx[k];
+      w_ref[c] -= step * (g * val[k] + reg.subgradient(w_ref[c]));
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      EXPECT_EQ(w_fused[j], w_ref[j]) << reg.name() << " coordinate " << j;
+    }
+  }
+}
+
+TEST(FusedKernels, ScaleThenSparseAxpyMatchesTwoPassBitwise) {
+  const std::size_t d = 149;
+  const auto x = random_row(d, 23, 9);
+  const auto mu = random_vector(d, 10);
+  const double step = 0.11, corr_step = -0.53;
+  for (const auto reg :
+       {objectives::Regularization::none(), objectives::Regularization::l1(0.3),
+        objectives::Regularization::l2(0.2)}) {
+    auto w_fused = random_vector(d, 12);
+    auto w_ref = w_fused;
+    scale_then_sparse_axpy(w_fused, mu, step, reg.eta_l1(), reg.eta_l2(),
+                           corr_step, x.view());
+    // The frozen pre-fusion two-pass sequence: sparse correction, then the
+    // dense variance-reduction pass.
+    const auto idx = x.view().indices();
+    const auto val = x.view().values();
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      w_ref[idx[k]] -= corr_step * val[k];
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      w_ref[j] -= step * (mu[j] + reg.subgradient(w_ref[j]));
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      EXPECT_EQ(w_fused[j], w_ref[j]) << reg.name() << " coordinate " << j;
+    }
+  }
+}
+
+TEST(FusedKernels, ScaleThenSparseAxpyEmptySupportIsDenseStep) {
+  const std::size_t d = 33;
+  const auto mu = random_vector(d, 14);
+  auto w_fused = random_vector(d, 15);
+  auto w_ref = w_fused;
+  scale_then_sparse_axpy(w_fused, mu, 0.25, 0.0, 0.1, 99.0, {});
+  for (std::size_t j = 0; j < d; ++j) {
+    w_ref[j] -= 0.25 * (mu[j] + 0.1 * w_ref[j]);
+  }
+  for (std::size_t j = 0; j < d; ++j) EXPECT_EQ(w_fused[j], w_ref[j]);
+}
+
+TEST(FusedKernels, SupportAtVectorEdges) {
+  // First and last coordinate in the support exercises the run-segmentation
+  // boundaries of the fused dense pass.
+  const std::size_t d = 16;
+  SparseVector x({0, 15}, {2.0, -3.0});
+  const std::vector<value_t> mu(d, 1.0);
+  std::vector<value_t> w(d, 10.0);
+  scale_then_sparse_axpy(w, mu, 0.5, 0.0, 0.0, 1.0, x.view());
+  // supp: w0 = 10-2 = 8 then dense −0.5; w15 = 10+3 = 13 then dense −0.5.
+  EXPECT_DOUBLE_EQ(w[0], 7.5);
+  EXPECT_DOUBLE_EQ(w[15], 12.5);
+  for (std::size_t j = 1; j < 15; ++j) EXPECT_DOUBLE_EQ(w[j], 9.5);
+}
+
+TEST(DenseKernels, UnrolledDotMatchesSequentialWithinTolerance) {
+  // The 4-accumulator reduction reassociates the sum — equality is only
+  // approximate by design (documented in docs/PERF.md).
+  const std::size_t d = 1003;  // non-multiple of 4: remainder path covered
+  const auto a = random_vector(d, 20);
+  const auto b = random_vector(d, 21);
+  double seq = 0;
+  for (std::size_t j = 0; j < d; ++j) seq += a[j] * b[j];
+  EXPECT_NEAR(dense_dot(a, b), seq, 1e-9 * d);
 }
 
 }  // namespace

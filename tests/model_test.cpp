@@ -116,6 +116,23 @@ TEST(SharedModel, DisjointWildWritesAreExact) {
   for (std::size_t j = 0; j < 8; ++j) EXPECT_DOUBLE_EQ(m.load(j), 5000.0);
 }
 
+TEST(SharedModel, SpinlockStripesAreCacheLinePadded) {
+  // The kStriped/kLocked ablations measure lock *policy*; adjacent stripes
+  // sharing a cache line would add false-sharing noise to that measurement.
+  // Runtime counterpart of model.hpp's static_asserts: stripe stride and
+  // base alignment both honour the cache line.
+  using Stripe = util::CachePadded<util::Spinlock>;
+  EXPECT_EQ(sizeof(Stripe), util::kCacheLineSize);
+  EXPECT_EQ(alignof(Stripe), util::kCacheLineSize);
+  std::vector<Stripe> stripes(4);
+  const auto base = reinterpret_cast<std::uintptr_t>(stripes.data());
+  EXPECT_EQ(base % util::kCacheLineSize, 0u);
+  for (std::size_t i = 1; i < stripes.size(); ++i) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(&stripes[i]);
+    EXPECT_EQ(addr - base, i * util::kCacheLineSize);
+  }
+}
+
 TEST(AlgorithmNames, RoundTrip) {
   for (Algorithm a :
        {Algorithm::kSgd, Algorithm::kIsSgd, Algorithm::kAsgd,

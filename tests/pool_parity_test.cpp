@@ -1,0 +1,226 @@
+// Registry-path parity: pooled runs must reproduce the pre-refactor solver
+// traces bit for bit under fixed seeds.
+//
+// Two independent guarantees are pinned here:
+//   1. the persistent-pool epoch driver changes WHERE worker code runs, not
+//      WHAT it computes — verified against in-test replicas of the
+//      pre-refactor inner loops (frozen copies of the exact arithmetic the
+//      seed solvers executed, subgradient call and all);
+//   2. pool reuse across consecutive train() calls — and sharing one
+//      ExecutionContext across Trainers — perturbs nothing and never
+//      respawns threads (instrumentation counters).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/execution.hpp"
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "objectives/logistic.hpp"
+#include "partition/balancer.hpp"
+#include "solvers/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace isasgd {
+namespace {
+
+sparse::CsrMatrix small_data() {
+  data::SyntheticSpec spec;
+  spec.rows = 300;
+  spec.dim = 60;
+  spec.mean_row_nnz = 8;
+  return data::generate(spec);
+}
+
+solvers::SolverOptions base_options() {
+  solvers::SolverOptions opt;
+  opt.epochs = 3;
+  opt.step_size = 0.2;
+  opt.seed = 11;
+  opt.keep_final_model = true;
+  return opt;
+}
+
+const objectives::Regularization kReg = objectives::Regularization::l2(1e-3);
+
+/// Frozen pre-refactor serial SGD inner loop (seed sgd.cpp, batch = 1):
+/// margin accumulation and `g·x + reg.subgradient(w)` update, verbatim.
+std::vector<double> reference_sgd_model(const sparse::CsrMatrix& data,
+                                        const objectives::Objective& objective,
+                                        const solvers::SolverOptions& opt) {
+  const std::size_t n = data.rows();
+  std::vector<double> w(data.dim(), 0.0);
+  util::Rng rng(opt.seed);
+  for (std::size_t epoch = 1; epoch <= opt.epochs; ++epoch) {
+    const double step = solvers::epoch_step(opt, epoch);
+    for (std::size_t u = 0; u < n; ++u) {
+      const std::size_t i = util::uniform_index(rng, n);
+      const auto x = data.row(i);
+      double margin = 0;
+      const auto idx = x.indices();
+      const auto val = x.values();
+      for (std::size_t j = 0; j < idx.size(); ++j) {
+        margin += w[idx[j]] * val[j];
+      }
+      const double g = objective.gradient_scale(margin, data.label(i));
+      const double batch_step = step / 1.0;
+      for (std::size_t j = 0; j < idx.size(); ++j) {
+        const std::size_t c = idx[j];
+        w[c] -= batch_step * (g * val[j] + kReg.subgradient(w[c]));
+      }
+    }
+  }
+  return w;
+}
+
+/// Frozen pre-refactor ASGD inner loop at threads = 1 (seed asgd.cpp): one
+/// shard covering all rows, the worker's relaxed load/add/store sequence
+/// replayed on a plain vector (sequentially they are the same arithmetic).
+std::vector<double> reference_asgd1_model(
+    const sparse::CsrMatrix& data, const objectives::Objective& objective,
+    const solvers::SolverOptions& opt) {
+  const std::size_t n = data.rows();
+  std::vector<double> w(data.dim(), 0.0);
+  const std::vector<std::uint32_t> order =
+      partition::random_shuffle(n, opt.seed ^ 0xa5a5);
+  util::Rng rng(util::derive_seed(opt.seed, 0));
+  for (std::size_t epoch = 1; epoch <= opt.epochs; ++epoch) {
+    const double lambda = solvers::epoch_step(opt, epoch);
+    for (std::size_t u = 0; u < n; ++u) {
+      const std::size_t i = order[util::uniform_index(rng, n)];
+      const auto x = data.row(i);
+      double margin = 0;
+      const auto idx = x.indices();
+      const auto val = x.values();
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        margin += w[idx[k]] * val[k];
+      }
+      const double g = objective.gradient_scale(margin, data.label(i));
+      const double batch_step = lambda / 1.0;
+      for (std::size_t j = 0; j < idx.size(); ++j) {
+        const std::size_t c = idx[j];
+        const double wc = w[c];
+        w[c] = wc + -batch_step * (g * val[j] + kReg.subgradient(wc));
+      }
+    }
+  }
+  return w;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    // EXPECT_EQ on doubles is exact comparison — bit-for-bit parity.
+    EXPECT_EQ(a[j], b[j]) << "coordinate " << j;
+  }
+}
+
+TEST(PoolParity, SgdRegistryPathMatchesPreRefactorReference) {
+  const auto data = small_data();
+  objectives::LogisticLoss loss;
+  const auto trainer = core::TrainerBuilder()
+                           .data(data)
+                           .objective(loss)
+                           .regularization(kReg)
+                           .eval_threads(1)
+                           .build();
+  const auto trace = trainer.train("sgd", base_options());
+  expect_bitwise_equal(trace.final_model,
+                       reference_sgd_model(data, loss, base_options()));
+}
+
+TEST(PoolParity, AsgdSingleThreadMatchesPreRefactorReference) {
+  const auto data = small_data();
+  objectives::LogisticLoss loss;
+  const auto trainer = core::TrainerBuilder()
+                           .data(data)
+                           .objective(loss)
+                           .regularization(kReg)
+                           .eval_threads(1)
+                           .build();
+  auto opt = base_options();
+  opt.threads = 1;
+  const auto trace = trainer.train("asgd", opt);
+  expect_bitwise_equal(trace.final_model,
+                       reference_asgd1_model(data, loss, base_options()));
+}
+
+TEST(PoolParity, PoolReuseAcrossTrainCallsPerturbsNothing) {
+  const auto data = small_data();
+  objectives::LogisticLoss loss;
+  const auto trainer = core::TrainerBuilder()
+                           .data(data)
+                           .objective(loss)
+                           .regularization(kReg)
+                           .eval_threads(1)
+                           .build();
+  auto opt = base_options();
+  opt.threads = 1;
+  // Same Trainer (same pool), many solvers back to back: a warm pool must
+  // give the identical trace a cold one did.
+  for (const char* solver : {"sgd", "asgd", "is_asgd", "is_sgd", "svrg_sgd",
+                             "sag", "saga"}) {
+    const auto first = trainer.train(solver, opt);
+    const auto second = trainer.train(solver, opt);
+    ASSERT_EQ(first.points.size(), second.points.size()) << solver;
+    for (std::size_t e = 0; e < first.points.size(); ++e) {
+      EXPECT_EQ(first.points[e].rmse, second.points[e].rmse) << solver;
+      EXPECT_EQ(first.points[e].objective, second.points[e].objective)
+          << solver;
+    }
+    expect_bitwise_equal(first.final_model, second.final_model);
+  }
+}
+
+TEST(PoolParity, NoThreadRespawnAcrossConsecutiveTrainCalls) {
+  const auto data = small_data();
+  objectives::LogisticLoss loss;
+  auto execution = std::make_shared<core::ExecutionContext>(1);
+  const auto trainer = core::TrainerBuilder()
+                           .data(data)
+                           .objective(loss)
+                           .regularization(kReg)
+                           .eval_threads(1)
+                           .execution(execution)
+                           .build();
+  auto opt = base_options();
+  opt.threads = 4;
+  (void)trainer.train("asgd", opt);
+  const auto spawned_after_warmup = execution->pool().threads_spawned();
+  const auto dispatched_after_warmup = execution->pool().jobs_dispatched();
+  EXPECT_EQ(spawned_after_warmup, 4u);
+  (void)trainer.train("asgd", opt);
+  (void)trainer.train("is_asgd", opt);
+  (void)trainer.train("svrg_asgd", opt);
+  // Work kept flowing through the pool…
+  EXPECT_GT(execution->pool().jobs_dispatched(), dispatched_after_warmup);
+  // …but not one new OS thread was created after warm-up.
+  EXPECT_EQ(execution->pool().threads_spawned(), spawned_after_warmup);
+}
+
+TEST(PoolParity, SharedExecutionContextAcrossTrainers) {
+  const auto data = small_data();
+  objectives::LogisticLoss loss;
+  auto execution = std::make_shared<core::ExecutionContext>(1);
+  auto opt = base_options();
+  opt.threads = 2;
+  const auto t1 = core::TrainerBuilder()
+                      .data(data)
+                      .objective(loss)
+                      .regularization(kReg)
+                      .execution(execution)
+                      .build();
+  (void)t1.train("asgd", opt);
+  const auto spawned = execution->pool().threads_spawned();
+  const auto t2 = core::TrainerBuilder()
+                      .data(data)
+                      .objective(loss)
+                      .execution(execution)
+                      .build();
+  (void)t2.train("asgd", opt);
+  EXPECT_EQ(execution->pool().threads_spawned(), spawned);
+}
+
+}  // namespace
+}  // namespace isasgd

@@ -1,0 +1,218 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "objectives/logistic.hpp"
+#include "solvers/async_runner.hpp"
+#include "solvers/model.hpp"
+#include "solvers/observer.hpp"
+#include "solvers/trace.hpp"
+
+namespace isasgd::util {
+namespace {
+
+solvers::EvalFn null_eval() {
+  return [](std::span<const double>) { return solvers::EvalResult{}; };
+}
+
+TEST(ThreadPool, RunsEveryTidExactlyOnce) {
+  ThreadPool pool;
+  std::vector<std::atomic<int>> hits(13);
+  pool.run(13, [&](std::size_t tid) { hits[tid].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, TeamOfOneRunsInlineWithoutSpawning) {
+  ThreadPool pool;
+  bool ran = false;
+  pool.run(1, [&](std::size_t tid) {
+    EXPECT_EQ(tid, 0u);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(pool.threads_spawned(), 0u);
+  EXPECT_EQ(pool.jobs_dispatched(), 1u);
+}
+
+TEST(ThreadPool, ReusesWorkersAcrossJobs) {
+  ThreadPool pool;
+  const std::size_t team = 4;
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.run(team, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), static_cast<int>(team));
+  }
+  // The reuse contract: workers are spawned once, never per job.
+  EXPECT_EQ(pool.threads_spawned(), team);
+  EXPECT_EQ(pool.capacity(), team);
+  EXPECT_EQ(pool.jobs_dispatched(), 20u);
+}
+
+TEST(ThreadPool, OversubscriptionClampBoundsOsThreads) {
+  ThreadPool pool(0, {.max_workers = 2});
+  EXPECT_EQ(pool.max_workers(), 2u);
+  std::vector<std::atomic<int>> hits(16);
+  std::mutex mu;
+  std::set<std::thread::id> os_threads;
+  pool.run(16, [&](std::size_t tid) {
+    hits[tid].fetch_add(1);
+    const std::lock_guard<std::mutex> lock(mu);
+    os_threads.insert(std::this_thread::get_id());
+  });
+  // Every logical tid executed exactly once...
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // ...on a clamped number of OS threads.
+  EXPECT_LE(os_threads.size(), 2u);
+  EXPECT_LE(pool.threads_spawned(), 2u);
+}
+
+TEST(ThreadPool, GrowsOnDemandUpToLargerTeams) {
+  ThreadPool pool;
+  pool.run(2, [](std::size_t) {});
+  EXPECT_EQ(pool.threads_spawned(), 2u);
+  pool.run(5, [](std::size_t) {});
+  EXPECT_EQ(pool.threads_spawned(), 5u);
+  // Shrinking the team spawns nothing new.
+  pool.run(3, [](std::size_t) {});
+  EXPECT_EQ(pool.threads_spawned(), 5u);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool;
+  EXPECT_THROW(
+      pool.run(3,
+               [&](std::size_t tid) {
+                 if (tid == 1) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  // The pool survives a throwing job and stays usable.
+  std::atomic<int> count{0};
+  pool.run(3, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, NestedRunExecutesInline) {
+  ThreadPool pool;
+  std::atomic<int> inner_total{0};
+  pool.run(2, [&](std::size_t) {
+    EXPECT_TRUE(ThreadPool::on_worker_thread());
+    // A nested dispatch from a worker serialises instead of deadlocking.
+    pool.run(4, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 8);
+}
+
+TEST(ThreadPool, ConcurrentDriversSerialiseSafely) {
+  // Two application threads sharing one pool (the documented
+  // shared-ExecutionContext pattern): jobs must serialise on the dispatch
+  // lock, never corrupt each other's team bookkeeping.
+  ThreadPool pool;
+  std::atomic<int> total{0};
+  auto driver = [&] {
+    for (int i = 0; i < 50; ++i) {
+      pool.run(3, [&](std::size_t) { total.fetch_add(1); });
+    }
+  };
+  std::thread a(driver);
+  std::thread b(driver);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2 * 50 * 3);
+}
+
+TEST(ThreadPool, ReservePreSpawnsWithoutDispatching) {
+  ThreadPool pool;
+  pool.reserve(4);
+  EXPECT_EQ(pool.threads_spawned(), 4u);
+  EXPECT_EQ(pool.jobs_dispatched(), 0u);
+  pool.reserve(1);  // no-op
+  pool.reserve(4);  // already satisfied
+  EXPECT_EQ(pool.threads_spawned(), 4u);
+}
+
+TEST(ThreadPool, DefaultPoolIsSingleton) {
+  ThreadPool& a = default_thread_pool();
+  ThreadPool& b = default_thread_pool();
+  EXPECT_EQ(&a, &b);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-fence driver on the pool
+// ---------------------------------------------------------------------------
+
+/// Observer that counts epochs and optionally stops after `stop_after`.
+class FenceProbe : public solvers::TrainingObserver {
+ public:
+  explicit FenceProbe(std::vector<std::atomic<std::size_t>>* progress,
+                      std::size_t stop_after = 0)
+      : progress_(progress), stop_after_(stop_after) {}
+
+  bool on_epoch(const solvers::TracePoint& p) override {
+    if (progress_ && p.epoch > 0) {
+      // Fence contract: when epoch e is recorded, EVERY worker has finished
+      // exactly e epochs — no worker is mid-epoch or ahead.
+      for (auto& done : *progress_) EXPECT_EQ(done.load(), p.epoch);
+    }
+    ++epochs_seen_;
+    return stop_after_ == 0 || p.epoch < stop_after_;
+  }
+
+  std::size_t epochs_seen() const { return epochs_seen_; }
+
+ private:
+  std::vector<std::atomic<std::size_t>>* progress_;
+  std::size_t stop_after_;
+  std::size_t epochs_seen_ = 0;
+};
+
+TEST(EpochFence, OrderingAllWorkersQuiescentAtEveryFence) {
+  ThreadPool pool;
+  const std::size_t threads = 3, epochs = 6;
+  solvers::SharedModel model(4);
+  std::vector<std::atomic<std::size_t>> progress(threads);
+  FenceProbe probe(&progress);
+  solvers::TraceRecorder recorder("fence-test", threads, 0.1, null_eval(),
+                                  &probe);
+  const double seconds = solvers::detail::run_epoch_fenced(
+      pool, model, recorder, epochs, threads,
+      [&](std::size_t tid, std::size_t epoch) {
+        EXPECT_EQ(progress[tid].load(), epoch - 1);  // release ordering
+        progress[tid].fetch_add(1);
+      });
+  EXPECT_GE(seconds, 0.0);
+  const auto trace = std::move(recorder).finish(seconds);
+  EXPECT_EQ(trace.points.size(), epochs + 1);  // epoch 0 + each fence
+  for (auto& done : progress) EXPECT_EQ(done.load(), epochs);
+}
+
+TEST(EpochFence, EarlyStopDrainsMidRunAndPoolStaysUsable) {
+  ThreadPool pool;
+  const std::size_t threads = 2, epochs = 10, stop_after = 3;
+  solvers::SharedModel model(4);
+  std::vector<std::atomic<std::size_t>> progress(threads);
+  FenceProbe probe(&progress, stop_after);
+  solvers::TraceRecorder recorder("stop-test", threads, 0.1, null_eval(),
+                                  &probe);
+  (void)solvers::detail::run_epoch_fenced(
+      pool, model, recorder, epochs, threads,
+      [&](std::size_t tid, std::size_t) { progress[tid].fetch_add(1); });
+  // Drained exactly at the stop fence: no worker ran a single extra epoch.
+  for (auto& done : progress) EXPECT_EQ(done.load(), stop_after);
+  const auto trace = std::move(recorder).finish(0.0);
+  EXPECT_EQ(trace.points.size(), stop_after + 1);
+  // The pool is immediately reusable for the next run.
+  std::atomic<int> count{0};
+  pool.run(threads, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), static_cast<int>(threads));
+}
+
+}  // namespace
+}  // namespace isasgd::util
