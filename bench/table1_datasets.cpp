@@ -1,11 +1,34 @@
 // Table 1 — "Evaluation Datasets": dimension, instances, ∇f_i sparsity, ψ, ρ
 // for the four dataset analogs, printed next to the paper's reported values.
 //
-//   build/bench/table1_datasets [--scale 1.0]
+// --streaming-probe additionally writes each analog to a binary file, opens
+// it as a StreamingSource under --stream-budget-mb, and times one full
+// shard-major pass — the per-dataset answer to "what does out-of-core cost
+// here?" (bench/streaming has the solver-level comparison).
+//
+//   build/bench/table1_datasets [--scale 1.0] [--streaming-probe]
 #include <cstdio>
+#include <filesystem>
 
 #include "analysis/dataset_stats.hpp"
 #include "bench_common.hpp"
+#include "data/streaming_source.hpp"
+#include "io/binary.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+/// One timed shard-major pass; returns Mrows/s and fills the cache stats.
+double streaming_pass_mrows(const isasgd::data::StreamingSource& source) {
+  isasgd::util::Stopwatch timer;
+  for (std::size_t s = 0; s < source.shard_count(); ++s) {
+    if (s + 1 < source.shard_count()) source.prefetch(s + 1);
+    (void)source.shard(s);
+  }
+  return static_cast<double>(source.rows()) / timer.seconds() / 1e6;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace isasgd;
@@ -13,12 +36,22 @@ int main(int argc, char** argv) {
                       "Reproduces Table 1: dataset statistics (paper values "
                       "vs this repo's calibrated analogs)");
   bench::add_common_flags(cli);
+  cli.add_flag("streaming-probe", "false",
+               "also time a shard-major streaming pass over each analog");
+  cli.add_flag("stream-budget-mb", "8",
+               "shard-cache budget for the streaming probe (MiB)");
+  cli.add_flag("stream-shard-rows", "4096",
+               "rows per shard for the streaming probe");
   if (!cli.parse(argc, argv)) return 0;
   const double scale = cli.get_double("scale");
+  const bool probe = cli.get_bool("streaming-probe");
 
   util::TablePrinter table({"Name", "Dim", "Instances", "Spa.", "psi", "rho",
                             "conflict_deg", "paper_dim", "paper_inst",
                             "paper_spa", "paper_psi", "paper_rho"});
+  util::TablePrinter stream_table(
+      {"Name", "shards", "stream_Mrows_s", "loads", "evictions",
+       "prefetch_hits"});
   objectives::LogisticLoss loss;
   for (data::PaperDataset id : bench::datasets_from(cli)) {
     const auto prepared = bench::prepare(id, scale, cli.get_double("l1"));
@@ -35,6 +68,26 @@ int main(int argc, char** argv) {
         static_cast<double>(prepared.config.paper_instances),
         prepared.config.paper_sparsity, prepared.config.paper_psi,
         prepared.config.paper_rho);
+    if (probe) {
+      const auto path = std::filesystem::temp_directory_path() /
+                        ("isasgd_t1_" + prepared.config.name + ".bin");
+      io::write_dataset_binary_file(path.string(), prepared.data);
+      util::ThreadPool pool;
+      data::StreamingOptions sopt;
+      sopt.shard_rows =
+          static_cast<std::size_t>(cli.get_i64("stream-shard-rows"));
+      sopt.memory_budget_bytes =
+          static_cast<std::size_t>(cli.get_i64("stream-budget-mb")) << 20;
+      const data::StreamingSource source(path.string(), sopt, &pool);
+      const double mrows = streaming_pass_mrows(source);
+      const auto cache = source.cache_stats();
+      stream_table.add_row_values(
+          prepared.config.name, static_cast<double>(source.shard_count()),
+          mrows, static_cast<double>(cache.loads),
+          static_cast<double>(cache.evictions),
+          static_cast<double>(cache.prefetch_hits));
+      std::filesystem::remove(path);
+    }
   }
   std::printf("\nTable 1 — dataset statistics (measured analog vs paper)\n%s\n",
               table.render().c_str());
@@ -42,5 +95,9 @@ int main(int argc, char** argv) {
       "Note: analogs preserve psi and rho exactly and the sparsity *regime*\n"
       "(dense 1e-3 vs sparse <=1e-5); dims/instances are scaled ~50-100x down\n"
       "for laptop runtimes (see DESIGN.md section 4).\n");
+  if (probe) {
+    std::printf("\nStreaming probe — one shard-major pass per analog\n%s\n",
+                stream_table.render().c_str());
+  }
   return 0;
 }

@@ -13,4 +13,16 @@ ExecutionContext::ExecutionContext(std::size_t eval_threads,
                         : std::max<std::size_t>(
                               1, std::thread::hardware_concurrency() / 2)) {}
 
+std::shared_ptr<data::StreamingSource> ExecutionContext::open_streaming(
+    std::string path, data::StreamingOptions options) {
+  // The deleter captures a self-reference (when one exists): the source's
+  // prefetch lane points into this context's pool, so the source must be
+  // able to keep the context alive rather than trust the caller's scoping.
+  std::shared_ptr<ExecutionContext> self = weak_from_this().lock();
+  auto* source =
+      new data::StreamingSource(std::move(path), options, &pool_);
+  return std::shared_ptr<data::StreamingSource>(
+      source, [self](data::StreamingSource* p) { delete p; });
+}
+
 }  // namespace isasgd::core

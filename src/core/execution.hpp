@@ -18,12 +18,15 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 
+#include "data/streaming_source.hpp"
 #include "util/thread_pool.hpp"
 
 namespace isasgd::core {
 
-class ExecutionContext {
+class ExecutionContext
+    : public std::enable_shared_from_this<ExecutionContext> {
  public:
   /// `eval_threads` parallelises snapshot scoring (0 = half the hardware
   /// threads, at least 1). `pool_options` tunes the worker pool (CPU
@@ -36,6 +39,21 @@ class ExecutionContext {
   [[nodiscard]] std::size_t eval_threads() const noexcept {
     return eval_threads_;
   }
+
+  /// Opens a dataset file as a StreamingSource whose background prefetch
+  /// rides this context's pool — the one-liner for out-of-core training:
+  ///
+  ///   auto ctx = std::make_shared<core::ExecutionContext>();
+  ///   auto source = ctx->open_streaming("kdd.libsvm", {.shard_rows = 8192});
+  ///   auto trainer = core::TrainerBuilder().source(*source)
+  ///                      .objective(loss).execution(ctx).build();
+  ///
+  /// When the context is itself shared_ptr-owned (as above), the returned
+  /// source keeps it alive, so the prefetch pool can never dangle even if
+  /// the caller drops `ctx` first. A stack-allocated context cannot be
+  /// retained that way and must simply outlive the source.
+  [[nodiscard]] std::shared_ptr<data::StreamingSource> open_streaming(
+      std::string path, data::StreamingOptions options = {});
 
  private:
   util::ThreadPool pool_;

@@ -10,12 +10,26 @@ Trainer::Trainer(const sparse::CsrMatrix& data,
                  const objectives::Objective& objective,
                  objectives::Regularization reg, std::size_t eval_threads,
                  ExecutionContextPtr execution)
-    : data_(data),
+    : owned_source_(std::make_shared<const data::InMemorySource>(data)),
+      source_(owned_source_.get()),
       objective_(objective),
       reg_(reg),
       execution_(execution ? std::move(execution)
                            : std::make_shared<ExecutionContext>(eval_threads)),
-      evaluator_(data, objective, reg,
+      evaluator_(*source_, objective, reg,
+                 eval_threads ? eval_threads : execution_->eval_threads(),
+                 &execution_->pool()) {}
+
+Trainer::Trainer(const data::DataSource& source,
+                 const objectives::Objective& objective,
+                 objectives::Regularization reg, std::size_t eval_threads,
+                 ExecutionContextPtr execution)
+    : source_(&source),
+      objective_(objective),
+      reg_(reg),
+      execution_(execution ? std::move(execution)
+                           : std::make_shared<ExecutionContext>(eval_threads)),
+      evaluator_(source, objective, reg,
                  eval_threads ? eval_threads : execution_->eval_threads(),
                  &execution_->pool()) {}
 
@@ -25,7 +39,7 @@ solvers::Trace Trainer::train(std::string_view solver,
   const solvers::Solver& s = solvers::SolverRegistry::instance().get(solver);
   options.reg = reg_;
   return s.train(solvers::SolverContext{
-      .data = data_,
+      .source = *source_,
       .objective = objective_,
       .options = std::move(options),
       .eval = evaluator_.as_fn(),
@@ -66,12 +80,21 @@ solvers::Trace Trainer::train_is_asgd(solvers::SolverOptions options,
 }
 
 Trainer TrainerBuilder::build() const {
-  if (!data_) {
-    throw std::logic_error("TrainerBuilder::build: data(...) was not set");
+  if (!data_ && !source_) {
+    throw std::logic_error(
+        "TrainerBuilder::build: neither data(...) nor source(...) was set");
+  }
+  if (data_ && source_) {
+    throw std::logic_error(
+        "TrainerBuilder::build: data(...) and source(...) are mutually "
+        "exclusive");
   }
   if (!objective_) {
     throw std::logic_error(
         "TrainerBuilder::build: objective(...) was not set");
+  }
+  if (source_) {
+    return Trainer(*source_, *objective_, reg_, eval_threads_, execution_);
   }
   return Trainer(*data_, *objective_, reg_, eval_threads_, execution_);
 }

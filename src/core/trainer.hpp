@@ -44,9 +44,11 @@
 // "how to add a solver" recipe.
 #pragma once
 
+#include <memory>
 #include <string_view>
 
 #include "core/execution.hpp"
+#include "data/data_source.hpp"
 #include "metrics/evaluator.hpp"
 #include "objectives/objective.hpp"
 #include "solvers/is_asgd.hpp"
@@ -69,6 +71,16 @@ class Trainer {
   /// on; when null the Trainer creates its own. Pass one shared context to
   /// several Trainers to share a single pool across datasets.
   Trainer(const sparse::CsrMatrix& data,
+          const objectives::Objective& objective,
+          objectives::Regularization reg, std::size_t eval_threads = 0,
+          ExecutionContextPtr execution = nullptr);
+
+  /// Source form: trains (and evaluates) against a data::DataSource —
+  /// the out-of-core entry point. Streaming-capable solvers iterate the
+  /// source shard-by-shard; the rest fall back to source.materialize()
+  /// (with a one-time warning from the streaming backend). `source` must
+  /// outlive the Trainer.
+  Trainer(const data::DataSource& source,
           const objectives::Objective& objective,
           objectives::Regularization reg, std::size_t eval_threads = 0,
           ExecutionContextPtr execution = nullptr);
@@ -102,7 +114,17 @@ class Trainer {
     return evaluator_.evaluate(w);
   }
 
-  [[nodiscard]] const sparse::CsrMatrix& data() const noexcept { return data_; }
+  /// The dataset as a full matrix. On a streaming source this materialises
+  /// the whole file — prefer source() for shape queries.
+  [[nodiscard]] const sparse::CsrMatrix& data() const {
+    return source_->materialize();
+  }
+
+  /// The dataset abstraction this Trainer trains from.
+  [[nodiscard]] const data::DataSource& source() const noexcept {
+    return *source_;
+  }
+
   [[nodiscard]] const objectives::Objective& objective() const noexcept {
     return objective_;
   }
@@ -117,7 +139,10 @@ class Trainer {
   }
 
  private:
-  const sparse::CsrMatrix& data_;
+  /// Backs the CsrMatrix constructor: the matrix wrapped as a single-shard
+  /// source so both constructors converge on one representation.
+  std::shared_ptr<const data::InMemorySource> owned_source_;
+  const data::DataSource* source_;  // never null after construction
   const objectives::Objective& objective_;
   objectives::Regularization reg_;
   ExecutionContextPtr execution_;  // never null after construction
@@ -134,8 +159,18 @@ class Trainer {
 class TrainerBuilder {
  public:
   /// The training matrix (not owned; must outlive the built Trainer).
+  /// Mutually exclusive with source().
   TrainerBuilder& data(const sparse::CsrMatrix& data) {
     data_ = &data;
+    return *this;
+  }
+
+  /// A data::DataSource to train from (not owned; must outlive the built
+  /// Trainer) — the out-of-core path: pass a StreamingSource to train on a
+  /// dataset larger than memory, or a chunked InMemorySource to exercise
+  /// the shard-major path on resident data. Mutually exclusive with data().
+  TrainerBuilder& source(const data::DataSource& source) {
+    source_ = &source;
     return *this;
   }
 
@@ -177,12 +212,13 @@ class TrainerBuilder {
     return *this;
   }
 
-  /// Builds the Trainer. Throws std::logic_error unless both data() and
-  /// objective() were provided.
+  /// Builds the Trainer. Throws std::logic_error unless objective() and
+  /// exactly one of data()/source() were provided.
   [[nodiscard]] Trainer build() const;
 
  private:
   const sparse::CsrMatrix* data_ = nullptr;
+  const data::DataSource* source_ = nullptr;
   const objectives::Objective* objective_ = nullptr;
   objectives::Regularization reg_ = objectives::Regularization::none();
   std::size_t eval_threads_ = 0;

@@ -1,0 +1,122 @@
+// DataSource: the dataset abstraction behind out-of-core training.
+//
+// The seed library trained every solver against one in-memory CsrMatrix,
+// which caps workloads at whatever fits in RAM. A DataSource instead exposes
+// a dataset as an ordered list of *shards* — contiguous row ranges, each
+// materialised as its own CsrMatrix over the full feature dimensionality —
+// so a training loop can walk shard-by-shard and never needs more than a
+// bounded window of the data resident at once.
+//
+// Two backends:
+//   * InMemorySource  — wraps an existing CsrMatrix. Single-shard by default
+//     (zero-copy; solvers see exactly the seed behaviour), or chunked into
+//     `shard_rows`-row shards to share the shard-major code path with the
+//     streaming backend — chunked-but-resident is the reference the
+//     streaming parity tests compare against.
+//   * StreamingSource — streaming_source.hpp: reads libsvm/binary files
+//     shard-by-shard under a memory budget with an LRU cache + prefetch.
+//
+// Global row ids: shard s covers rows [shard_begin(s), shard_begin(s) +
+// shard_rows(s)); a shard matrix's row r is global row shard_begin(s) + r.
+// Shard matrices keep the full dim(), so one model vector indexes
+// identically against any shard or the full matrix.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::data {
+
+/// One materialised shard. `matrix` may alias the full dataset (in-memory
+/// single shard) or own just this row range (chunked/streaming); holders
+/// keep it alive via the shared_ptr regardless of cache eviction.
+struct Shard {
+  std::size_t index = 0;      ///< shard ordinal
+  std::size_t row_begin = 0;  ///< global row id of matrix->row(0)
+  std::shared_ptr<const sparse::CsrMatrix> matrix;
+};
+
+using ShardPtr = std::shared_ptr<const Shard>;
+
+/// Abstract dataset: global shape plus blocking shard access. Thread-safe:
+/// shard()/prefetch() may be called concurrently (the streaming backend
+/// locks internally; the in-memory one is immutable after construction).
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  [[nodiscard]] virtual std::size_t rows() const = 0;
+  [[nodiscard]] virtual std::size_t dim() const = 0;
+  [[nodiscard]] virtual std::size_t nnz() const = 0;
+
+  [[nodiscard]] virtual std::size_t shard_count() const = 0;
+  /// Rows in shard s.
+  [[nodiscard]] virtual std::size_t shard_rows(std::size_t s) const = 0;
+  /// Global row id of shard s's first row.
+  [[nodiscard]] virtual std::size_t shard_begin(std::size_t s) const = 0;
+
+  /// Fetches shard s, blocking on I/O when it is not resident. Throws
+  /// std::out_of_range on an invalid ordinal and propagates backend read
+  /// errors.
+  [[nodiscard]] virtual ShardPtr shard(std::size_t s) const = 0;
+
+  /// Hint that shard s will be needed soon; backends may load it in the
+  /// background. Default: no-op. Never throws for in-range ordinals
+  /// (failures resurface on the blocking shard() call).
+  virtual void prefetch(std::size_t s) const { (void)s; }
+
+  /// True when the whole dataset is resident in memory — shard() never does
+  /// I/O and materialize() is free or cheap.
+  [[nodiscard]] virtual bool resident() const = 0;
+
+  /// The dataset as one full CsrMatrix. In-memory sources return their
+  /// wrapped matrix; a streaming source materialises (and caches) the whole
+  /// file on first call — a documented escape hatch for solvers without
+  /// streaming support, which defeats the memory budget.
+  [[nodiscard]] virtual const sparse::CsrMatrix& materialize() const = 0;
+
+  /// shard_rows(s) for every shard — the shape ShardedSequence schedules
+  /// over.
+  [[nodiscard]] std::vector<std::size_t> shard_sizes() const;
+};
+
+/// Fully-resident DataSource over a borrowed CsrMatrix (which must outlive
+/// the source). `shard_rows` = 0 exposes the matrix as a single zero-copy
+/// shard; > 0 splits it into ⌈rows/shard_rows⌉ chunked shards (each copied
+/// once at construction) so resident data can exercise the exact shard-major
+/// path the streaming backend uses.
+class InMemorySource final : public DataSource {
+ public:
+  explicit InMemorySource(const sparse::CsrMatrix& matrix,
+                          std::size_t shard_rows = 0);
+
+  [[nodiscard]] std::size_t rows() const override { return matrix_->rows(); }
+  [[nodiscard]] std::size_t dim() const override { return matrix_->dim(); }
+  [[nodiscard]] std::size_t nnz() const override { return matrix_->nnz(); }
+  [[nodiscard]] std::size_t shard_count() const override {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_rows(std::size_t s) const override;
+  [[nodiscard]] std::size_t shard_begin(std::size_t s) const override;
+  [[nodiscard]] ShardPtr shard(std::size_t s) const override;
+  [[nodiscard]] bool resident() const override { return true; }
+  [[nodiscard]] const sparse::CsrMatrix& materialize() const override {
+    return *matrix_;
+  }
+
+ private:
+  const sparse::CsrMatrix* matrix_;
+  std::vector<ShardPtr> shards_;
+};
+
+/// Copies rows [row_begin, row_begin + rows) of `data` into a standalone
+/// CsrMatrix that keeps the full dim(). Shared by the chunked in-memory
+/// source and tests.
+[[nodiscard]] sparse::CsrMatrix slice_rows(const sparse::CsrMatrix& data,
+                                           std::size_t row_begin,
+                                           std::size_t rows);
+
+}  // namespace isasgd::data

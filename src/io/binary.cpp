@@ -94,7 +94,9 @@ sparse::CsrMatrix read_dataset_binary(std::istream& in) {
   if (dim > kMaxDim) {
     throw std::runtime_error("read_dataset_binary: implausible dimension");
   }
-  if (nnz > rows * std::max<std::uint64_t>(1, dim)) {
+  // Division, not multiplication: rows·dim can overflow u64 on a corrupt
+  // header, which would defeat this very check.
+  if (nnz / std::max<std::uint64_t>(1, dim) > rows) {
     throw std::runtime_error("read_dataset_binary: nnz exceeds rows*dim");
   }
   const auto ptr64 = read_vector<std::uint64_t>(in, rows + 1);

@@ -1,10 +1,12 @@
 #include "io/libsvm.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -15,9 +17,17 @@ namespace isasgd::io {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+/// All parse failures funnel through here so every message carries the
+/// 1-based line number and a snippet of the offending line — "libsvm parse
+/// error" with no location is useless against a multi-gigabyte file.
+[[noreturn]] void fail(std::size_t line_no, const std::string& what,
+                       const std::string& line) {
+  constexpr std::size_t kSnippet = 60;
+  std::string context = line.substr(0, kSnippet);
+  if (line.size() > kSnippet) context += "...";
   throw std::runtime_error("libsvm parse error at line " +
-                           std::to_string(line_no) + ": " + what);
+                           std::to_string(line_no) + ": " + what + " near '" +
+                           context + "'");
 }
 
 /// Parses a double starting at `pos`; advances pos past it.
@@ -26,9 +36,51 @@ double parse_double(const std::string& line, std::size_t& pos,
   const char* begin = line.data() + pos;
   char* end = nullptr;
   const double v = std::strtod(begin, &end);
-  if (end == begin) fail(line_no, std::string("expected ") + what);
+  if (end == begin) fail(line_no, std::string("expected ") + what, line);
   pos += static_cast<std::size_t>(end - begin);
   return v;
+}
+
+/// Parses one LibSVM line into (label, idx, val). Returns false for blank
+/// and comment lines. Shared by read_libsvm (materialising read) and
+/// index_libsvm (shape-only scan) so both validate identically.
+bool parse_line(const std::string& line, std::size_t line_no, double& label,
+                std::vector<sparse::index_t>& idx,
+                std::vector<sparse::value_t>& val) {
+  std::size_t pos = line.find_first_not_of(" \t");
+  if (pos == std::string::npos || line[pos] == '#') return false;
+
+  label = parse_double(line, pos, line_no, "label");
+  idx.clear();
+  val.clear();
+  while (pos < line.size()) {
+    pos = line.find_first_not_of(" \t", pos);
+    if (pos == std::string::npos || line[pos] == '#') break;
+    // <index>:<value>
+    std::size_t feat = 0;
+    const char* begin = line.data() + pos;
+    const char* end_limit = line.data() + line.size();
+    auto [p, ec] = std::from_chars(begin, end_limit, feat);
+    if (ec == std::errc::result_out_of_range) {
+      fail(line_no, "feature index out of range", line);
+    }
+    if (ec != std::errc{} || p == begin) {
+      fail(line_no, "expected feature index", line);
+    }
+    pos += static_cast<std::size_t>(p - begin);
+    if (pos >= line.size() || line[pos] != ':') fail(line_no, "expected ':'", line);
+    ++pos;
+    const double v = parse_double(line, pos, line_no, "feature value");
+    if (feat == 0) fail(line_no, "feature indices are 1-based", line);
+    if (feat - 1 > std::numeric_limits<sparse::index_t>::max()) {
+      // Without this check the narrowing cast below would silently wrap a
+      // 64-bit index into a wrong 32-bit column.
+      fail(line_no, "feature index out of range", line);
+    }
+    idx.push_back(static_cast<sparse::index_t>(feat - 1));
+    val.push_back(v);
+  }
+  return true;
 }
 
 }  // namespace
@@ -37,8 +89,7 @@ sparse::CsrMatrix read_libsvm(std::istream& in,
                               const LibsvmReadOptions& options) {
   sparse::CsrBuilder builder(options.dim_hint);
   std::string line;
-  std::size_t line_no = 0;
-  bool saw_negative_like = false;  // label in {-1} or {0}
+  std::size_t line_no = options.line_number_offset;
   std::vector<sparse::index_t> idx;
   std::vector<sparse::value_t> val;
   std::vector<sparse::value_t> raw_labels;
@@ -46,42 +97,24 @@ sparse::CsrMatrix read_libsvm(std::istream& in,
   while (std::getline(in, line)) {
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    std::size_t pos = line.find_first_not_of(" \t");
-    if (pos == std::string::npos || line[pos] == '#') continue;
-
-    const double label = parse_double(line, pos, line_no, "label");
-    idx.clear();
-    val.clear();
-    while (pos < line.size()) {
-      pos = line.find_first_not_of(" \t", pos);
-      if (pos == std::string::npos || line[pos] == '#') break;
-      // <index>:<value>
-      std::size_t feat = 0;
-      const char* begin = line.data() + pos;
-      const char* end_limit = line.data() + line.size();
-      auto [p, ec] = std::from_chars(begin, end_limit, feat);
-      if (ec != std::errc{} || p == begin) fail(line_no, "expected feature index");
-      pos += static_cast<std::size_t>(p - begin);
-      if (pos >= line.size() || line[pos] != ':') fail(line_no, "expected ':'");
-      ++pos;
-      const double v = parse_double(line, pos, line_no, "feature value");
-      if (feat == 0) fail(line_no, "feature indices are 1-based");
-      idx.push_back(static_cast<sparse::index_t>(feat - 1));
-      val.push_back(v);
-    }
+    double label = 0;
+    if (!parse_line(line, line_no, label, idx, val)) continue;
     // Tolerate unsorted/duplicate indices by normalising through
     // add_row_unsorted; sorted input takes the same path (cheap for small
-    // rows, correct for all).
-    builder.add_row_unsorted(std::vector<sparse::index_t>(idx),
-                             std::vector<sparse::value_t>(val), label);
+    // rows, correct for all). Builder-side rejections (e.g. CSR invariant
+    // violations) get the line number stapled on here.
+    try {
+      builder.add_row_unsorted(std::vector<sparse::index_t>(idx),
+                               std::vector<sparse::value_t>(val), label);
+    } catch (const std::exception& e) {
+      fail(line_no, e.what(), line);
+    }
     raw_labels.push_back(label);
-    if (label <= 0) saw_negative_like = true;
     if (options.max_rows && builder.rows() >= options.max_rows) break;
   }
 
   sparse::CsrMatrix data = builder.build();
   if (!options.normalize_binary_labels || data.rows() == 0) return data;
-  (void)saw_negative_like;
 
   // Binary label normalisation: when the file holds exactly two distinct
   // label values that are not already {-1, +1} (e.g. {0,1} or {1,2}), map
@@ -103,6 +136,56 @@ sparse::CsrMatrix read_libsvm(std::istream& in,
     }
   }
   return data;
+}
+
+LibsvmIndex index_libsvm(std::istream& in, std::size_t rows_per_shard,
+                         std::size_t dim_hint) {
+  if (rows_per_shard == 0) {
+    throw std::invalid_argument("index_libsvm: rows_per_shard must be > 0");
+  }
+  LibsvmIndex index;
+  index.dim = dim_hint;
+  std::string line;
+  std::size_t line_no = 0;
+  std::vector<sparse::index_t> idx;
+  std::vector<sparse::value_t> val;
+  std::set<double> distinct;
+
+  const std::streamoff start = in.tellg();
+  std::uint64_t line_offset = start < 0 ? 0 : static_cast<std::uint64_t>(start);
+  for (;;) {
+    if (!std::getline(in, line)) break;
+    ++line_no;
+    // getline consumed the row plus its terminator; the next line starts at
+    // the current stream position (tellg is unusable mid-loop once EOF has
+    // been hit, so track offsets by line length instead).
+    const std::uint64_t next_offset =
+        line_offset + static_cast<std::uint64_t>(line.size()) +
+        (in.eof() ? 0 : 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    double label = 0;
+    if (parse_line(line, line_no, label, idx, val)) {
+      if (index.rows % rows_per_shard == 0) {
+        index.shard_offset.push_back(line_offset);
+        index.shard_first_line.push_back(line_no);
+        index.shard_rows.push_back(0);
+      }
+      ++index.shard_rows.back();
+      ++index.rows;
+      // Count *merged* nonzeros: read_libsvm folds duplicate indices into
+      // one entry, and the index must report the shape the reader produces.
+      std::sort(idx.begin(), idx.end());
+      index.nnz += static_cast<std::size_t>(
+          std::distance(idx.begin(), std::unique(idx.begin(), idx.end())));
+      for (sparse::index_t c : idx) {
+        index.dim = std::max(index.dim, static_cast<std::size_t>(c) + 1);
+      }
+      if (distinct.size() <= 2) distinct.insert(label);
+    }
+    line_offset = next_offset;
+  }
+  index.distinct_labels.assign(distinct.begin(), distinct.end());
+  return index;
 }
 
 sparse::CsrMatrix read_libsvm_file(const std::string& path,

@@ -10,8 +10,10 @@
 // the offending line number.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "sparse/csr_matrix.hpp"
 
@@ -25,6 +27,10 @@ struct LibsvmReadOptions {
   /// Stop after this many rows (0 = read everything). Lets benches subsample
   /// the giant KDD files if a user supplies real copies.
   std::size_t max_rows = 0;
+  /// Added to reported line numbers. A reader positioned mid-file by a
+  /// LibsvmIndex passes shard_first_line[s] - 1 so parse errors still name
+  /// the true line in the file.
+  std::size_t line_number_offset = 0;
 };
 
 /// Parses a LibSVM stream into a CsrMatrix. Throws std::runtime_error with
@@ -42,5 +48,28 @@ void write_libsvm(std::ostream& out, const sparse::CsrMatrix& data);
 
 /// Convenience overload writing to `path`.
 void write_libsvm_file(const std::string& path, const sparse::CsrMatrix& data);
+
+/// Shard index of a LibSVM stream: one validating scan that records where
+/// each `rows_per_shard`-row shard starts (byte offset + 1-based line
+/// number, so a later partial read can still report exact line numbers) and
+/// the global shape, without materialising any data. data::StreamingSource
+/// seeks by this index to load shards on demand.
+struct LibsvmIndex {
+  std::size_t rows = 0;
+  std::size_t dim = 0;  ///< max(dim_hint, 1 + max feature index)
+  std::size_t nnz = 0;
+  std::vector<std::uint64_t> shard_offset;  ///< byte offset of shard start
+  std::vector<std::size_t> shard_first_line;  ///< 1-based line number
+  std::vector<std::size_t> shard_rows;        ///< data rows in the shard
+  /// Distinct label values, capped at 3 ("more than two" is all the binary
+  /// normalisation logic needs to know), sorted ascending.
+  std::vector<double> distinct_labels;
+};
+
+/// Builds the shard index by scanning `in` once. Parse errors throw
+/// std::runtime_error with the offending 1-based line number, exactly as
+/// read_libsvm. `dim_hint` floors the recorded dim.
+LibsvmIndex index_libsvm(std::istream& in, std::size_t rows_per_shard,
+                         std::size_t dim_hint = 0);
 
 }  // namespace isasgd::io

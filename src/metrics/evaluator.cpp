@@ -13,11 +13,13 @@ Evaluator::Evaluator(const sparse::CsrMatrix& data,
                      const objectives::Objective& objective,
                      objectives::Regularization reg, std::size_t threads,
                      util::ThreadPool* pool)
-    : data_(data),
+    : source_(nullptr),
       objective_(objective),
       reg_(reg),
       threads_(std::max<std::size_t>(1, threads)),
-      pool_(pool) {
+      pool_(pool),
+      owned_source_(std::make_shared<const data::InMemorySource>(data)) {
+  source_ = owned_source_.get();
   // Eager, not lazy: creating the private pool here (worker spawn itself
   // stays deferred inside ThreadPool) keeps evaluate() free of member
   // mutation, so concurrent evaluate() calls on one Evaluator stay safe —
@@ -27,42 +29,66 @@ Evaluator::Evaluator(const sparse::CsrMatrix& data,
   }
 }
 
-solvers::EvalResult Evaluator::evaluate(std::span<const double> w) const {
-  const std::size_t n = data_.rows();
-  const std::size_t threads = std::min(threads_, std::max<std::size_t>(1, n));
-  std::vector<double> loss_acc(threads, 0.0);
-  std::vector<std::size_t> miss_acc(threads, 0);
-
-  auto score_range = [&](std::size_t tid) {
-    const std::size_t begin = n * tid / threads;
-    const std::size_t end = n * (tid + 1) / threads;
-    double loss = 0;
-    std::size_t miss = 0;
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto x = data_.row(i);
-      const double y = data_.label(i);
-      const double margin = sparse::sparse_dot(w, x);
-      loss += objective_.loss(margin, y);
-      if (objective_.is_classification() && objective_.predict(margin) != y) {
-        ++miss;
-      }
-    }
-    loss_acc[tid] = loss;
-    miss_acc[tid] = miss;
-  };
-
-  if (threads == 1) {
-    score_range(0);
-  } else {
-    util::ThreadPool* pool = pool_ ? pool_ : owned_pool_.get();
-    pool->run(threads, score_range);
+Evaluator::Evaluator(const data::DataSource& source,
+                     const objectives::Objective& objective,
+                     objectives::Regularization reg, std::size_t threads,
+                     util::ThreadPool* pool)
+    : source_(&source),
+      objective_(objective),
+      reg_(reg),
+      threads_(std::max<std::size_t>(1, threads)),
+      pool_(pool) {
+  if (!pool_ && threads_ > 1) {
+    owned_pool_ = std::make_shared<util::ThreadPool>();
   }
+}
 
+solvers::EvalResult Evaluator::evaluate(std::span<const double> w) const {
+  const std::size_t n = source_->rows();
+  const std::size_t shard_count = source_->shard_count();
   double loss = 0;
   std::size_t miss = 0;
-  for (std::size_t tid = 0; tid < threads; ++tid) {
-    loss += loss_acc[tid];
-    miss += miss_acc[tid];
+
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (s + 1 < shard_count) source_->prefetch(s + 1);
+    const data::ShardPtr shard = source_->shard(s);
+    const sparse::CsrMatrix& rows = *shard->matrix;
+    const std::size_t shard_n = rows.rows();
+    const std::size_t threads =
+        std::min(threads_, std::max<std::size_t>(1, shard_n));
+    std::vector<double> loss_acc(threads, 0.0);
+    std::vector<std::size_t> miss_acc(threads, 0);
+
+    auto score_range = [&](std::size_t tid) {
+      const std::size_t begin = shard_n * tid / threads;
+      const std::size_t end = shard_n * (tid + 1) / threads;
+      double local_loss = 0;
+      std::size_t local_miss = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto x = rows.row(i);
+        const double y = rows.label(i);
+        const double margin = sparse::sparse_dot(w, x);
+        local_loss += objective_.loss(margin, y);
+        if (objective_.is_classification() &&
+            objective_.predict(margin) != y) {
+          ++local_miss;
+        }
+      }
+      loss_acc[tid] = local_loss;
+      miss_acc[tid] = local_miss;
+    };
+
+    if (threads == 1) {
+      score_range(0);
+    } else {
+      util::ThreadPool* pool = pool_ ? pool_ : owned_pool_.get();
+      pool->run(threads, score_range);
+    }
+
+    for (std::size_t tid = 0; tid < threads; ++tid) {
+      loss += loss_acc[tid];
+      miss += miss_acc[tid];
+    }
   }
 
   solvers::EvalResult result;

@@ -9,6 +9,7 @@
 #include <memory>
 #include <span>
 
+#include "data/data_source.hpp"
 #include "objectives/objective.hpp"
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
@@ -23,6 +24,19 @@ namespace isasgd::metrics {
 /// parallelises the O(nnz) evaluation pass (the pass is outside the solvers'
 /// timed windows, so this only affects bench wall time, not results).
 ///
+/// Works against any data::DataSource: a single-shard in-memory source takes
+/// the classic one-matrix path; a sharded source (chunked in-memory or
+/// streaming) is scored shard-by-shard with the next shard prefetching in
+/// the background, so evaluation obeys the same memory budget as training.
+///
+/// Out-of-core cost note: on a streaming source whose budget is smaller
+/// than the file, every evaluate() call re-reads the whole file — so the
+/// default one-score-per-epoch trace doubles a training epoch's I/O and
+/// competes with the training loop for cache slots. The scoring pass stays
+/// outside the solvers' timed windows (traces are unaffected), but
+/// wall-clock-sensitive out-of-core runs should score sparingly (e.g. an
+/// observer that skips epochs).
+///
 /// Workers come from `pool` when one is provided (the Trainer passes its
 /// ExecutionContext's pool, so scoring shares the solvers' persistent
 /// workers); a pool-less Evaluator with threads > 1 creates a private pool
@@ -31,7 +45,16 @@ namespace isasgd::metrics {
 /// concurrent calls are safe (they serialise on the pool).
 class Evaluator {
  public:
+  /// Classic in-memory form: wraps `data` in an internal single-shard
+  /// source. `data` must outlive the Evaluator (as before).
   Evaluator(const sparse::CsrMatrix& data,
+            const objectives::Objective& objective,
+            objectives::Regularization reg, std::size_t threads = 1,
+            util::ThreadPool* pool = nullptr);
+
+  /// Source form: scores shard-by-shard. `source` must outlive the
+  /// Evaluator.
+  Evaluator(const data::DataSource& source,
             const objectives::Objective& objective,
             objectives::Regularization reg, std::size_t threads = 1,
             util::ThreadPool* pool = nullptr);
@@ -44,11 +67,14 @@ class Evaluator {
   }
 
  private:
-  const sparse::CsrMatrix& data_;
+  const data::DataSource* source_;  ///< never null
   const objectives::Objective& objective_;
   objectives::Regularization reg_;
   std::size_t threads_;
   util::ThreadPool* pool_;  ///< shared pool (not owned), or null
+  /// Backs the CsrMatrix constructor (shared_ptr keeps the Evaluator
+  /// copyable, as for owned_pool_).
+  std::shared_ptr<const data::InMemorySource> owned_source_;
   /// Private pool for the pool-less parallel case (created at construction;
   /// shared_ptr keeps the Evaluator copyable).
   std::shared_ptr<util::ThreadPool> owned_pool_;

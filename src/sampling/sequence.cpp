@@ -105,6 +105,40 @@ void StratifiedSequence::reshuffle() {
   }
 }
 
+ShardedSequence::ShardedSequence(std::vector<std::size_t> shard_sizes,
+                                 std::uint64_t seed)
+    : shard_sizes_(std::move(shard_sizes)), seed_(seed) {
+  for (std::size_t rows : shard_sizes_) total_rows_ += rows;
+  shard_order_.resize(shard_sizes_.size());
+  begin_epoch(1);
+}
+
+void ShardedSequence::begin_epoch(std::size_t epoch) {
+  epoch_ = epoch;
+  std::iota(shard_order_.begin(), shard_order_.end(), 0u);
+  // Seeded from (seed, epoch) only — never from how the previous epoch was
+  // consumed — so schedules are identical across backends and replays.
+  util::Rng rng(util::derive_seed(seed_, epoch));
+  for (std::size_t i = shard_order_.size(); i > 1; --i) {
+    const std::size_t j = util::uniform_index(rng, i);
+    std::swap(shard_order_[i - 1], shard_order_[j]);
+  }
+}
+
+std::span<const std::uint32_t> ShardedSequence::rows(std::size_t s) {
+  const std::size_t rows = shard_sizes_.at(s);
+  row_scratch_.resize(rows);
+  std::iota(row_scratch_.begin(), row_scratch_.end(), 0u);
+  // Pure function of (seed, epoch, shard): interleave the shard ordinal into
+  // the seed derivation so two shards of one epoch draw distinct streams.
+  util::Rng rng(util::derive_seed(util::derive_seed(seed_, epoch_), s + 1));
+  for (std::size_t i = rows; i > 1; --i) {
+    const std::size_t j = util::uniform_index(rng, i);
+    std::swap(row_scratch_[i - 1], row_scratch_[j]);
+  }
+  return row_scratch_;
+}
+
 ReshuffledSequence::ReshuffledSequence(std::span<const double> weights,
                                        std::size_t length, std::uint64_t seed)
     : rng_(seed) {

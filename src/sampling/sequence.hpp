@@ -88,6 +88,55 @@ class StratifiedSequence {
   util::Rng rng_;
 };
 
+/// Shard-major epoch schedule for out-of-core training (the sequence behind
+/// data::DataSource epochs): each epoch visits every shard exactly once in a
+/// freshly shuffled order, and every row within a shard exactly once in a
+/// freshly shuffled order — a blocked without-replacement pass whose I/O
+/// pattern is "touch each shard once per epoch", which is what makes the
+/// streaming backend's LRU-cache + prefetch effective. Mini-batches are
+/// contiguous slices of rows(s): a batch never spans two shards, so a batch
+/// of size b touches exactly one resident shard.
+///
+/// Determinism contract: both the shard order and each shard's row order are
+/// pure functions of (seed, epoch, shard ordinal) — independent of cache
+/// state, prefetch completion order, or which backend serves the shards. A
+/// streaming run and a chunked in-memory run with the same shard geometry
+/// therefore perform bit-identical arithmetic (tests/determinism_test.cpp).
+class ShardedSequence {
+ public:
+  /// `shard_sizes[s]` = rows in shard s (data::DataSource::shard_sizes()).
+  ShardedSequence(std::vector<std::size_t> shard_sizes, std::uint64_t seed);
+
+  /// Recomputes the shard visit order for `epoch` (1-based). Call before
+  /// iterating an epoch.
+  void begin_epoch(std::size_t epoch);
+
+  /// Shard visit order for the current epoch.
+  [[nodiscard]] std::span<const std::uint32_t> shard_order() const noexcept {
+    return shard_order_;
+  }
+
+  /// Row visit order (shard-local indices) for shard s in the current
+  /// epoch. The returned span aliases an internal scratch buffer that the
+  /// next rows() call overwrites — consume it before fetching another
+  /// shard's order (drivers process one shard at a time, so this costs one
+  /// buffer, not one per shard).
+  [[nodiscard]] std::span<const std::uint32_t> rows(std::size_t s);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shard_sizes_.size();
+  }
+  [[nodiscard]] std::size_t total_rows() const noexcept { return total_rows_; }
+
+ private:
+  std::vector<std::size_t> shard_sizes_;
+  std::uint64_t seed_;
+  std::size_t epoch_ = 0;
+  std::size_t total_rows_ = 0;
+  std::vector<std::uint32_t> shard_order_;
+  std::vector<std::uint32_t> row_scratch_;
+};
+
 /// Epoch-reshuffled sequence (§4.2): one weighted draw up front, then each
 /// epoch permutes the same multiset in place. Eliminates the per-epoch
 /// regeneration cost; the multiset of visited samples stays fixed, which the

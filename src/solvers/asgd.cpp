@@ -1,14 +1,42 @@
 #include "solvers/asgd.hpp"
 
 #include <atomic>
+#include <span>
+#include <utility>
 
 #include "partition/balancer.hpp"
+#include "sampling/sequence.hpp"
 #include "solvers/async_runner.hpp"
 #include "solvers/model.hpp"
 #include "solvers/solver.hpp"
+#include "solvers/streaming_runner.hpp"
 #include "util/rng.hpp"
 
 namespace isasgd::solvers {
+
+namespace {
+
+/// Applies one gathered mini-batch to the shared model — the Hogwild
+/// coordinate update. Shared by the in-memory and streaming drivers so the
+/// update rule can only ever change in one place.
+inline void apply_batch(SharedModel& model, const sparse::CsrMatrix& rows,
+                        std::span<const std::pair<std::size_t, double>> batch,
+                        double batch_step,
+                        const objectives::Regularization& reg,
+                        UpdatePolicy policy) {
+  for (const auto& [i, g] : batch) {
+    const auto x = rows.row(i);
+    const auto idx = x.indices();
+    const auto val = x.values();
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      const std::size_t c = idx[j];
+      const double wc = model.load(c);
+      model.add(c, -batch_step * (g * val[j] + reg.subgradient(wc)), policy);
+    }
+  }
+}
+
+}  // namespace
 
 Trace run_asgd(const sparse::CsrMatrix& data,
                const objectives::Objective& objective,
@@ -56,20 +84,56 @@ Trace run_asgd(const sparse::CsrMatrix& data,
             const double margin = model.sparse_dot(data.row(i));
             batch[k] = {i, objective.gradient_scale(margin, data.label(i))};
           }
-          const double batch_step = lambda / static_cast<double>(b);
-          for (std::size_t k = 0; k < b; ++k) {
-            const auto [i, g] = batch[k];
-            const auto x = data.row(i);
-            const auto idx = x.indices();
-            const auto val = x.values();
-            for (std::size_t j = 0; j < idx.size(); ++j) {
-              const std::size_t c = idx[j];
-              const double wc = model.load(c);
-              model.add(
-                  c, -batch_step * (g * val[j] + options.reg.subgradient(wc)),
-                  policy);
-            }
+          apply_batch(model, data, batch, lambda / static_cast<double>(b),
+                      options.reg, policy);
+        }
+      });
+  if (options.keep_final_model) recorder.set_final_model(model.snapshot());
+  return std::move(recorder).finish(train_seconds);
+}
+
+Trace run_asgd_streaming(const data::DataSource& source,
+                         const objectives::Objective& objective,
+                         const SolverOptions& options, const EvalFn& eval,
+                         TrainingObserver* observer, util::ThreadPool* pool) {
+  const std::size_t threads = std::max<std::size_t>(1, options.threads);
+  SharedModel model(source.dim());
+  TraceRecorder recorder(algorithm_name(Algorithm::kAsgd), threads,
+                         options.step_size, eval, observer);
+  sampling::ShardedSequence schedule(source.shard_sizes(), options.seed);
+  const UpdatePolicy policy = options.update_policy;
+  const std::size_t b = std::max<std::size_t>(1, options.batch_size);
+  // Per-worker gather scratch, allocated once for the whole run: the shard
+  // loop is inside the timed window, so per-shard allocations would tax the
+  // very throughput bench/streaming measures.
+  std::vector<std::vector<std::pair<std::size_t, double>>> batches(threads);
+  for (auto& scratch : batches) scratch.resize(b);
+
+  const double train_seconds = detail::run_epoch_fenced_sharded(
+      detail::pool_or_default(pool), source, schedule, model, recorder,
+      options.epochs, threads,
+      [&](std::size_t tid, const data::Shard& shard,
+          std::span<const std::uint32_t> row_order, std::size_t epoch) {
+        // Worker tid owns the contiguous slice [begin, end) of this shard's
+        // row order — a without-replacement split, the shard-local analog of
+        // run_asgd's per-worker dataset shards.
+        const std::size_t local_n = row_order.size();
+        const std::size_t begin = local_n * tid / threads;
+        const std::size_t end = local_n * (tid + 1) / threads;
+        if (begin == end) return;
+        const sparse::CsrMatrix& rows = *shard.matrix;
+        const double lambda = epoch_step(options, epoch);
+        std::vector<std::pair<std::size_t, double>>& batch = batches[tid];
+        for (std::size_t at = begin; at < end; at += b) {
+          const std::size_t count = std::min(b, end - at);
+          for (std::size_t k = 0; k < count; ++k) {
+            const std::size_t i = row_order[at + k];
+            const double margin = model.sparse_dot(rows.row(i));
+            batch[k] = {i, objective.gradient_scale(margin, rows.label(i))};
           }
+          apply_batch(model, rows, {batch.data(), count},
+                      lambda / static_cast<double>(count), options.reg,
+                      policy);
         }
       });
   if (options.keep_final_model) recorder.set_final_model(model.snapshot());
@@ -82,12 +146,16 @@ class AsgdSolver final : public Solver {
  public:
   std::string_view name() const noexcept override { return "ASGD"; }
   SolverCapabilities capabilities() const noexcept override {
-    return {.parallel = true};
+    return {.parallel = true, .streaming = true};
   }
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
-    return run_asgd(ctx.data, ctx.objective, ctx.options, ctx.eval,
+    if (ctx.sharded()) {
+      return run_asgd_streaming(ctx.source, ctx.objective, ctx.options,
+                                ctx.eval, ctx.observer, ctx.pool);
+    }
+    return run_asgd(ctx.data(), ctx.objective, ctx.options, ctx.eval,
                     ctx.observer, ctx.pool);
   }
 };

@@ -7,6 +7,7 @@
 // iterations across workers.
 #pragma once
 
+#include "data/data_source.hpp"
 #include "objectives/objective.hpp"
 #include "solvers/options.hpp"
 #include "solvers/trace.hpp"
@@ -25,5 +26,17 @@ Trace run_asgd(const sparse::CsrMatrix& data,
                const SolverOptions& options, const EvalFn& eval,
                TrainingObserver* observer = nullptr,
                util::ThreadPool* pool = nullptr);
+
+/// Out-of-core ASGD: shards are visited sequentially in the ShardedSequence
+/// order; within each shard the workers split the shard's row order into
+/// contiguous slices and update the shared model lock-free — Hogwild
+/// confined to the resident working set, with the next shard prefetching in
+/// the background. One epoch = one full pass over the source. The "ASGD"
+/// registry entry dispatches here whenever the source is sharded.
+Trace run_asgd_streaming(const data::DataSource& source,
+                         const objectives::Objective& objective,
+                         const SolverOptions& options, const EvalFn& eval,
+                         TrainingObserver* observer = nullptr,
+                         util::ThreadPool* pool = nullptr);
 
 }  // namespace isasgd::solvers

@@ -188,7 +188,7 @@ class IsAsgdSolver final : public Solver {
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
-    return run_is_asgd(ctx.data, ctx.objective, ctx.options, ctx.eval,
+    return run_is_asgd(ctx.data(), ctx.objective, ctx.options, ctx.eval,
                        /*report=*/nullptr, ctx.observer, ctx.pool);
   }
 };

@@ -153,7 +153,7 @@ class IsSgdSolver final : public Solver {
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
-    return run_is_sgd(ctx.data, ctx.objective, ctx.options, ctx.eval,
+    return run_is_sgd(ctx.data(), ctx.objective, ctx.options, ctx.eval,
                       ctx.observer);
   }
 };

@@ -128,7 +128,7 @@ class ProxAsgdSolver final : public Solver {
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
-    return run_prox_asgd(ctx.data, ctx.objective, ctx.options, use_importance_,
+    return run_prox_asgd(ctx.data(), ctx.objective, ctx.options, use_importance_,
                          ctx.eval, /*report=*/nullptr, ctx.observer, ctx.pool);
   }
 

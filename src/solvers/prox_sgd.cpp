@@ -140,7 +140,7 @@ class ProxSgdSolver final : public Solver {
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
-    return run_prox_sgd(ctx.data, ctx.objective, ctx.options, use_importance_,
+    return run_prox_sgd(ctx.data(), ctx.objective, ctx.options, use_importance_,
                         ctx.eval, /*report=*/nullptr, ctx.observer);
   }
 

@@ -63,7 +63,7 @@ class SagSolver final : public Solver {
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
-    return run_sag(ctx.data, ctx.objective, ctx.options, ctx.eval,
+    return run_sag(ctx.data(), ctx.objective, ctx.options, ctx.eval,
                    ctx.observer);
   }
 };

@@ -69,7 +69,7 @@ class SagaSolver final : public Solver {
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
-    return run_saga(ctx.data, ctx.objective, ctx.options, ctx.eval,
+    return run_saga(ctx.data(), ctx.objective, ctx.options, ctx.eval,
                     ctx.observer);
   }
 };

@@ -1,11 +1,34 @@
 #include "solvers/sgd.hpp"
 
+#include <span>
+#include <utility>
+
+#include "sampling/sequence.hpp"
 #include "solvers/async_runner.hpp"
 #include "solvers/solver.hpp"
+#include "solvers/streaming_runner.hpp"
 #include "sparse/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace isasgd::solvers {
+
+namespace {
+
+/// Applies one gathered mini-batch to `w` — the serial SGD update. Shared
+/// by the in-memory and streaming drivers so the update rule can only ever
+/// change in one place. The step is divided by the *actual* batch size, so
+/// a streaming tail batch shorter than b keeps per-sample scaling.
+inline void apply_batch(std::vector<double>& w, const sparse::CsrMatrix& rows,
+                        std::span<const std::pair<std::size_t, double>> batch,
+                        double step, double eta_l1, double eta_l2) {
+  const double batch_step = step / static_cast<double>(batch.size());
+  for (const auto& [i, g] : batch) {
+    sparse::sparse_dot_residual_axpy(w, rows.row(i), batch_step, g, eta_l1,
+                                     eta_l2);
+  }
+}
+
+}  // namespace
 
 Trace run_sgd(const sparse::CsrMatrix& data,
               const objectives::Objective& objective,
@@ -35,12 +58,42 @@ Trace run_sgd(const sparse::CsrMatrix& data,
             const double margin = sparse::sparse_dot(w, data.row(i));
             batch[k] = {i, objective.gradient_scale(margin, data.label(i))};
           }
-          const double batch_step = step / static_cast<double>(b);
-          for (std::size_t k = 0; k < b; ++k) {
-            const auto [i, g] = batch[k];
-            sparse::sparse_dot_residual_axpy(w, data.row(i), batch_step, g,
-                                             eta_l1, eta_l2);
+          apply_batch(w, data, batch, step, eta_l1, eta_l2);
+        }
+      });
+  if (options.keep_final_model) recorder.set_final_model(w);
+  return std::move(recorder).finish(train_seconds);
+}
+
+Trace run_sgd_streaming(const data::DataSource& source,
+                        const objectives::Objective& objective,
+                        const SolverOptions& options, const EvalFn& eval,
+                        TrainingObserver* observer) {
+  const std::size_t b = std::max<std::size_t>(1, options.batch_size);
+  std::vector<double> w(source.dim(), 0.0);
+  TraceRecorder recorder(algorithm_name(Algorithm::kSgd), 1, options.step_size,
+                         eval, observer);
+  sampling::ShardedSequence schedule(source.shard_sizes(), options.seed);
+
+  const double eta_l1 = options.reg.eta_l1();
+  const double eta_l2 = options.reg.eta_l2();
+  std::vector<std::pair<std::size_t, double>> batch(b);
+  const double train_seconds = detail::run_epoch_fenced_serial_sharded(
+      source, schedule, w, recorder, options.epochs,
+      [&](const data::Shard& shard, std::span<const std::uint32_t> row_order,
+          std::size_t epoch) {
+        const sparse::CsrMatrix& rows = *shard.matrix;
+        const double step = epoch_step(options, epoch);
+        for (std::size_t at = 0; at < row_order.size(); at += b) {
+          const std::size_t count = std::min(b, row_order.size() - at);
+          // Same mini-batch semantics as the in-memory kernel: all margins
+          // against one model state, then all updates.
+          for (std::size_t k = 0; k < count; ++k) {
+            const std::size_t i = row_order[at + k];
+            const double margin = sparse::sparse_dot(w, rows.row(i));
+            batch[k] = {i, objective.gradient_scale(margin, rows.label(i))};
           }
+          apply_batch(w, rows, {batch.data(), count}, step, eta_l1, eta_l2);
         }
       });
   if (options.keep_final_model) recorder.set_final_model(w);
@@ -52,11 +105,17 @@ namespace {
 class SgdSolver final : public Solver {
  public:
   std::string_view name() const noexcept override { return "SGD"; }
-  SolverCapabilities capabilities() const noexcept override { return {}; }
+  SolverCapabilities capabilities() const noexcept override {
+    return {.streaming = true};
+  }
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
-    return run_sgd(ctx.data, ctx.objective, ctx.options, ctx.eval,
+    if (ctx.sharded()) {
+      return run_sgd_streaming(ctx.source, ctx.objective, ctx.options,
+                               ctx.eval, ctx.observer);
+    }
+    return run_sgd(ctx.data(), ctx.objective, ctx.options, ctx.eval,
                    ctx.observer);
   }
 };

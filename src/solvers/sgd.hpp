@@ -1,6 +1,7 @@
 // Serial uniform SGD — the paper's baseline (Eq. 3).
 #pragma once
 
+#include "data/data_source.hpp"
 #include "objectives/objective.hpp"
 #include "solvers/options.hpp"
 #include "solvers/trace.hpp"
@@ -16,5 +17,17 @@ Trace run_sgd(const sparse::CsrMatrix& data,
               const objectives::Objective& objective,
               const SolverOptions& options, const EvalFn& eval,
               TrainingObserver* observer = nullptr);
+
+/// Out-of-core serial SGD: one epoch = one without-replacement shard-major
+/// pass over `source` in the ShardedSequence order (random-reshuffle SGD
+/// blocked by shard, so a bounded shard window is resident at any time).
+/// Mini-batches are contiguous slices of a shard's row order and never span
+/// shards. The "SGD" registry entry dispatches here whenever the source is
+/// sharded; results are a pure function of (options.seed, epoch, shard
+/// geometry) — independent of the backend serving the shards.
+Trace run_sgd_streaming(const data::DataSource& source,
+                        const objectives::Objective& objective,
+                        const SolverOptions& options, const EvalFn& eval,
+                        TrainingObserver* observer = nullptr);
 
 }  // namespace isasgd::solvers

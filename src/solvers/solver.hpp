@@ -30,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "data/data_source.hpp"
 #include "objectives/objective.hpp"
 #include "solvers/observer.hpp"
 #include "solvers/options.hpp"
@@ -54,24 +55,47 @@ struct SolverCapabilities {
   bool variance_reduced = false;
   /// Handles the regularizer through its prox map (exact sparsity for L1).
   bool proximal = false;
+  /// Trains shard-by-shard from a data::DataSource without materialising
+  /// the full matrix — out-of-core capable. Solvers without this flag still
+  /// run on any source, through ctx.data()'s materialising fallback.
+  bool streaming = false;
 
   /// Ignores the thread count — one run covers every requested count.
   [[nodiscard]] bool serial() const noexcept { return !parallel; }
 };
 
-/// Everything a solver needs for one run. `data` and `objective` must
+/// Everything a solver needs for one run. `source` and `objective` must
 /// outlive the call; `observer` may be null. `pool` is the persistent
 /// worker pool parallel solvers draw their teams from — normally the one
 /// owned by the caller's core::ExecutionContext, shared across train calls
 /// so worker threads are spawned once, not per run. Null falls back to the
 /// process-wide default pool (serial solvers never touch it).
 struct SolverContext {
-  const sparse::CsrMatrix& data;
+  const data::DataSource& source;
   const objectives::Objective& objective;
   SolverOptions options;
   EvalFn eval;
   TrainingObserver* observer = nullptr;
   util::ThreadPool* pool = nullptr;
+
+  /// The dataset as one full matrix — the classic in-memory view every
+  /// non-streaming solver consumes. Free for in-memory sources; on a
+  /// streaming source this materialises (and caches) the whole file, which
+  /// works but defeats the memory budget — streaming-capable solvers
+  /// iterate source.shard(...) instead and never call this.
+  [[nodiscard]] const sparse::CsrMatrix& data() const {
+    return source.materialize();
+  }
+
+  /// True when this run should take the shard-major path: the source is
+  /// split into more than one shard (out-of-core, or the chunked in-memory
+  /// reference geometry for streaming parity runs). A single-shard source —
+  /// even a streaming one, whose lone shard is the whole dataset anyway —
+  /// takes the classic path, so both backends produce identical arithmetic
+  /// at every shard geometry, including the degenerate one.
+  [[nodiscard]] bool sharded() const noexcept {
+    return source.shard_count() > 1;
+  }
 };
 
 /// Abstract solver. Subclasses implement run_impl; callers use train(),

@@ -1,0 +1,97 @@
+// Shard-major epoch drivers: the out-of-core counterparts of
+// async_runner.hpp's epoch-fenced loops.
+//
+// One epoch = one pass over every shard of a data::DataSource, shards and
+// within-shard rows both visited in the ShardedSequence order (a pure
+// function of seed/epoch/shard, so results never depend on cache or
+// prefetch state). While shard k is being processed, shard k+1 of the
+// epoch's order is prefetched on the pool's background lane — on a
+// streaming source the next read overlaps this shard's compute; on an
+// in-memory source prefetch is a no-op.
+//
+// Shard I/O deliberately lands *inside* the timed window: streaming traces
+// measure true out-of-core throughput, which is exactly what
+// bench/streaming compares against the in-memory path. Evaluation stays
+// outside the clock, as everywhere else.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/data_source.hpp"
+#include "sampling/sequence.hpp"
+#include "solvers/model.hpp"
+#include "solvers/trace.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace isasgd::solvers::detail {
+
+/// Serial shard-major epochs. `shard_body(shard, row_order, epoch)` performs
+/// the updates for one shard: `shard.matrix->row(r)` for each shard-local r
+/// in `row_order` (global row id = shard.row_begin + r). Returns total
+/// training seconds; records one trace point per epoch like
+/// run_epoch_fenced_serial.
+template <class ShardBodyFn>
+double run_epoch_fenced_serial_sharded(const data::DataSource& source,
+                                       sampling::ShardedSequence& schedule,
+                                       std::vector<double>& w,
+                                       TraceRecorder& recorder,
+                                       std::size_t epochs,
+                                       ShardBodyFn&& shard_body) {
+  recorder.record(0, 0.0, w);
+  util::AccumulatingTimer clock;
+  for (std::size_t epoch = 1; epoch <= epochs && !recorder.stop_requested();
+       ++epoch) {
+    schedule.begin_epoch(epoch);
+    const auto order = schedule.shard_order();
+    clock.start();
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      if (k + 1 < order.size()) source.prefetch(order[k + 1]);
+      const data::ShardPtr shard = source.shard(order[k]);
+      shard_body(*shard, schedule.rows(order[k]), epoch);
+    }
+    clock.stop();
+    recorder.record(epoch, clock.seconds(), w);
+  }
+  return clock.seconds();
+}
+
+/// Parallel counterpart: per shard, `threads` workers run
+/// `worker_shard(tid, shard, row_order, epoch)` concurrently on the shared
+/// model (lock-free within the shard, exactly Hogwild inside a bounded
+/// working set); the pool fence between shards is what lets the next shard
+/// rotate in while the model stays consistent enough to evict the previous
+/// one. Workers split `row_order` by contiguous slices of tid.
+template <class WorkerShardFn>
+double run_epoch_fenced_sharded(util::ThreadPool& pool,
+                                const data::DataSource& source,
+                                sampling::ShardedSequence& schedule,
+                                SharedModel& model, TraceRecorder& recorder,
+                                std::size_t epochs, std::size_t threads,
+                                WorkerShardFn&& worker_shard) {
+  recorder.record(0, 0.0, model.snapshot());
+  if (recorder.stop_requested()) return 0.0;
+  pool.reserve(threads);
+
+  util::AccumulatingTimer clock;
+  for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
+    schedule.begin_epoch(epoch);
+    const auto order = schedule.shard_order();
+    clock.start();
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      if (k + 1 < order.size()) source.prefetch(order[k + 1]);
+      const data::ShardPtr shard = source.shard(order[k]);
+      const auto row_order = schedule.rows(order[k]);
+      pool.run(threads, [&](std::size_t tid) {
+        worker_shard(tid, *shard, row_order, epoch);
+      });
+    }
+    clock.stop();  // fence: all workers arrived, clock paused for scoring
+    recorder.record(epoch, clock.seconds(), model.snapshot());
+    if (recorder.stop_requested()) break;
+  }
+  return clock.seconds();
+}
+
+}  // namespace isasgd::solvers::detail

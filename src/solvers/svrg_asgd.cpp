@@ -140,7 +140,7 @@ class SvrgAsgdSolver final : public Solver {
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
-    return run_svrg_asgd(ctx.data, ctx.objective, ctx.options, ctx.eval,
+    return run_svrg_asgd(ctx.data(), ctx.objective, ctx.options, ctx.eval,
                          ctx.observer, ctx.pool);
   }
 };

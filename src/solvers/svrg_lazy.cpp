@@ -136,7 +136,7 @@ class SvrgLazySolver final : public Solver {
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
-    return run_svrg_sgd_lazy(ctx.data, ctx.objective, ctx.options, ctx.eval,
+    return run_svrg_sgd_lazy(ctx.data(), ctx.objective, ctx.options, ctx.eval,
                              ctx.observer);
   }
 };

@@ -93,7 +93,7 @@ class SvrgSgdSolver final : public Solver {
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
-    return run_svrg_sgd(ctx.data, ctx.objective, ctx.options, ctx.eval,
+    return run_svrg_sgd(ctx.data(), ctx.objective, ctx.options, ctx.eval,
                         ctx.observer);
   }
 };

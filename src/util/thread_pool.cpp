@@ -37,7 +37,9 @@ void pin_to_cpu(std::size_t wid) {
 ThreadPool::ThreadPool(std::size_t workers, Options options)
     : max_workers_(options.max_workers ? options.max_workers
                                        : default_max_workers()),
-      pin_cpus_(options.pin_cpus) {
+      pin_cpus_(options.pin_cpus),
+      background_workers_(
+          std::max<std::size_t>(1, options.background_workers)) {
   if (workers > 0) {
     const std::lock_guard<std::mutex> lock(mu_);
     ensure_workers_locked(std::min(workers, max_workers_));
@@ -51,6 +53,14 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  {
+    // Background workers drain the remaining queue before exiting (see
+    // background_main), so every submitted task runs exactly once.
+    const std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_shutdown_ = true;
+  }
+  bg_work_cv_.notify_all();
+  for (std::thread& t : bg_workers_) t.join();
 }
 
 bool ThreadPool::on_worker_thread() noexcept { return t_on_worker; }
@@ -141,6 +151,51 @@ void ThreadPool::run(std::size_t team,
     lock.unlock();
     std::rethrow_exception(error);
   }
+}
+
+void ThreadPool::background_main() {
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  for (;;) {
+    bg_work_cv_.wait(lock, [&] { return bg_shutdown_ || !bg_queue_.empty(); });
+    if (bg_queue_.empty()) return;  // shutdown with a drained queue
+    std::packaged_task<void()> task = std::move(bg_queue_.front());
+    bg_queue_.pop_front();
+    ++bg_active_;
+    lock.unlock();
+    task();  // packaged_task captures any exception in its shared state
+    lock.lock();
+    --bg_active_;
+    if (bg_queue_.empty() && bg_active_ == 0) bg_idle_cv_.notify_all();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(bg_mu_);
+    if (bg_shutdown_) {
+      // Destructor already ran: execute inline rather than drop the task.
+      packaged();
+      return future;
+    }
+    bg_queue_.push_back(std::move(packaged));
+    // Demand = queued + executing: without bg_active_ the second configured
+    // worker would never spawn once worker 1 had popped the only queued
+    // task, and two prefetches that should overlap would serialise.
+    while (bg_workers_.size() < background_workers_ &&
+           bg_workers_.size() < bg_queue_.size() + bg_active_) {
+      bg_workers_.emplace_back(&ThreadPool::background_main, this);
+      background_spawned_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  bg_work_cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::drain_background() {
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  bg_idle_cv_.wait(lock, [&] { return bg_queue_.empty() && bg_active_ == 0; });
 }
 
 ThreadPool& default_thread_pool() {

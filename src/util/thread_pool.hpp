@@ -28,8 +28,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -48,6 +50,11 @@ struct ThreadPoolOptions {
   /// elsewhere). Off by default: pinning helps dedicated bench boxes and
   /// hurts shared ones.
   bool pin_cpus = false;
+  /// OS threads serving the background submit() lane (shard prefetch and
+  /// other fire-and-forget I/O). Spawned lazily on the first submit(), never
+  /// counted against max_workers: background tasks must not steal a fenced
+  /// worker slot mid-epoch, and vice versa.
+  std::size_t background_workers = 1;
 };
 
 class ThreadPool {
@@ -108,6 +115,27 @@ class ThreadPool {
   /// True when called from inside a pool task on this thread.
   [[nodiscard]] static bool on_worker_thread() noexcept;
 
+  /// Background lane, disjoint from the fenced run() workers: enqueues
+  /// `task` for asynchronous execution and returns immediately. Tasks run
+  /// FIFO on Options::background_workers dedicated threads (spawned on
+  /// first use). An exception thrown by the task is captured in the
+  /// returned future; callers using submit() as a pure hint (prefetch) may
+  /// drop the future — the shared state keeps the exception, nothing
+  /// terminates. The destructor runs every task already enqueued before
+  /// returning, so a submitted task can rely on being executed exactly
+  /// once even during shutdown races.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Blocks until the background queue is empty and no background task is
+  /// executing. Test/bench hook; not needed for correctness.
+  void drain_background();
+
+  /// Lifetime count of background threads created (disjoint from
+  /// threads_spawned(), which counts only fenced run() workers).
+  [[nodiscard]] std::uint64_t background_threads() const noexcept {
+    return background_spawned_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Job {
     const std::function<void(std::size_t)>* fn = nullptr;
@@ -119,9 +147,11 @@ class ThreadPool {
 
   void worker_main(std::size_t wid, std::uint64_t last_seen);
   void ensure_workers_locked(std::size_t want);
+  void background_main();
 
   const std::size_t max_workers_;
   const bool pin_cpus_;
+  const std::size_t background_workers_;
 
   /// Serialises whole jobs: held for the full dispatch+wait of one run()
   /// so concurrent driving threads cannot interleave on the job_ slot.
@@ -136,6 +166,16 @@ class ThreadPool {
 
   std::atomic<std::uint64_t> spawned_{0};
   std::atomic<std::uint64_t> dispatched_{0};
+
+  // ---- background submit() lane (own lock domain; never holds mu_) ----
+  std::mutex bg_mu_;
+  std::condition_variable bg_work_cv_;
+  std::condition_variable bg_idle_cv_;
+  std::deque<std::packaged_task<void()>> bg_queue_;
+  std::vector<std::thread> bg_workers_;
+  std::size_t bg_active_ = 0;  // tasks currently executing
+  bool bg_shutdown_ = false;
+  std::atomic<std::uint64_t> background_spawned_{0};
 };
 
 /// Process-wide fallback pool for callers that hold no ExecutionContext

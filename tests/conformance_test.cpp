@@ -1,0 +1,162 @@
+// Solver conformance suite: every solver registered in SolverRegistry —
+// including ones this file has never heard of — must drive a small
+// strongly-convex least-squares problem to its closed-form optimum, end to
+// end through the TrainerBuilder → Trainer → registry path. A newly
+// registered solver is picked up and exercised automatically; a solver that
+// cannot optimise the easiest problem in the suite's repertoire fails here
+// long before it pollutes any experiment.
+//
+//   F(w) = (1/n) Σ ½(x_iᵀw − y_i)² + ½η‖w‖²,
+//   w*  solves (XᵀX/n + ηI) w = Xᵀy/n  (unique: F is η-strongly convex).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "objectives/least_squares.hpp"
+#include "solvers/solver.hpp"
+#include "sparse/csr_builder.hpp"
+#include "util/rng.hpp"
+
+namespace isasgd {
+namespace {
+
+constexpr std::size_t kRows = 96;
+constexpr std::size_t kDim = 8;
+constexpr double kEta = 0.1;  // strong convexity; also keeps ‖w*‖ modest
+
+/// Dense rows scaled to ‖x‖² ≈ 1 keep every per-sample Lipschitz constant
+/// near 1, so one step size suits all solvers (incl. the IS family, whose
+/// importance weights degenerate gracefully to near-uniform here).
+sparse::CsrMatrix conformance_problem() {
+  util::Rng rng(20260728);
+  sparse::CsrBuilder builder(kDim);
+  std::vector<double> teacher(kDim);
+  for (auto& t : teacher) t = 2.0 * util::uniform_double(rng) - 1.0;
+  std::vector<sparse::index_t> idx(kDim);
+  std::vector<sparse::value_t> val(kDim);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(kDim));
+  for (std::size_t i = 0; i < kRows; ++i) {
+    double margin = 0;
+    for (std::size_t j = 0; j < kDim; ++j) {
+      idx[j] = static_cast<sparse::index_t>(j);
+      val[j] = scale * (2.0 * util::uniform_double(rng) - 1.0) * 1.7;
+      margin += val[j] * teacher[j];
+    }
+    const double y = margin + 0.01 * (2.0 * util::uniform_double(rng) - 1.0);
+    builder.add_row({idx.data(), idx.size()}, {val.data(), val.size()}, y);
+  }
+  return builder.build();
+}
+
+/// Solves the d×d normal equations by Gaussian elimination with partial
+/// pivoting — d = 8, so this is the ground truth, not an approximation.
+std::vector<double> closed_form_optimum(const sparse::CsrMatrix& data) {
+  const std::size_t d = data.dim();
+  const double n = static_cast<double>(data.rows());
+  std::vector<std::vector<double>> a(d, std::vector<double>(d + 1, 0.0));
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const auto x = data.row(i);
+    for (std::size_t p = 0; p < x.nnz(); ++p) {
+      for (std::size_t q = 0; q < x.nnz(); ++q) {
+        a[x.index(p)][x.index(q)] += x.value(p) * x.value(q) / n;
+      }
+      a[x.index(p)][d] += x.value(p) * data.label(i) / n;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) a[j][j] += kEta;
+
+  for (std::size_t col = 0; col < d; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < d; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    for (std::size_t r = 0; r < d; ++r) {
+      if (r == col || a[r][col] == 0.0) continue;
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c <= d; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+  std::vector<double> w(d);
+  for (std::size_t j = 0; j < d; ++j) w[j] = a[j][d] / a[j][j];
+  return w;
+}
+
+double objective_at(const core::Trainer& trainer, std::span<const double> w) {
+  return trainer.evaluate(w).objective;
+}
+
+/// Epochs/step tolerance tiers by capability: serial variance-reduced
+/// solvers converge linearly (tight gate); plain stochastic solvers carry a
+/// decayed-step noise floor; the async ones add bounded race noise on top.
+struct Budget {
+  double gap_tol;
+};
+
+Budget budget_for(const solvers::SolverCapabilities& caps) {
+  if (caps.variance_reduced && !caps.parallel) return {1e-8};
+  if (!caps.parallel) return {2e-3};
+  return {5e-3};
+}
+
+class Conformance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Conformance, ReachesClosedFormOptimum) {
+  const std::string name = GetParam();
+  const auto& registry = solvers::SolverRegistry::instance();
+  const solvers::Solver* solver = registry.find(name);
+  ASSERT_NE(solver, nullptr);
+
+  static const sparse::CsrMatrix data = conformance_problem();
+  static const std::vector<double> w_star = closed_form_optimum(data);
+  objectives::LeastSquaresLoss loss;
+  const core::Trainer trainer = core::TrainerBuilder()
+                                    .data(data)
+                                    .objective(loss)
+                                    .l2(kEta)
+                                    .eval_threads(1)
+                                    .build();
+  const double f_star = objective_at(trainer, w_star);
+
+  solvers::SolverOptions opt;
+  opt.epochs = 120;
+  opt.step_size = 0.5;
+  opt.step_decay = 0.93;  // anneals the noise floor without stalling early
+  opt.threads = 2;
+  opt.update_policy = solvers::UpdatePolicy::kAtomic;
+  opt.seed = 4242;
+  opt.keep_final_model = true;
+
+  const solvers::Trace trace = trainer.train(name, opt);
+  ASSERT_FALSE(trace.final_model.empty()) << name;
+  const double f_final = objective_at(trainer, trace.final_model);
+  const double gap = f_final - f_star;
+  const Budget budget = budget_for(solver->capabilities());
+
+  // The optimum really is the optimum: no solver may beat it by more than
+  // fp noise (a negative gap beyond noise means the closed form is wrong).
+  EXPECT_GT(gap, -1e-10) << name;
+  EXPECT_LT(gap, budget.gap_tol)
+      << name << ": F(final)=" << f_final << " F(w*)=" << f_star;
+}
+
+/// The suite enumerates the registry at test-registration time, so solvers
+/// registered from any linked TU — including future ones — are covered
+/// without editing this file.
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredSolvers, Conformance,
+    ::testing::ValuesIn(solvers::SolverRegistry::instance().list()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return solvers::SolverRegistry::normalize(info.param);
+    });
+
+TEST(ConformanceSuite, CoversEveryRegisteredSolver) {
+  // Guard against an empty registry silently skipping the whole suite.
+  EXPECT_GE(solvers::SolverRegistry::instance().list().size(), 13u);
+}
+
+}  // namespace
+}  // namespace isasgd

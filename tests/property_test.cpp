@@ -195,8 +195,9 @@ TEST_P(SolverGrid, ObjectiveDecreasesAcrossGrid) {
   opt.step_size = objective->name() == "logistic" ? 0.5 : 0.1;
   opt.threads = threads;
   opt.seed = 5;
+  const data::InMemorySource source(data);
   const auto trace = solvers::SolverRegistry::instance().get(solver.name).train(
-      solvers::SolverContext{.data = data,
+      solvers::SolverContext{.source = source,
                              .objective = *objective,
                              .options = opt,
                              .eval = ev.as_fn(),

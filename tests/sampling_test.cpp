@@ -293,5 +293,55 @@ TEST(ReshuffledSequence, WeightedInitialDrawMatchesDistribution) {
   EXPECT_NEAR(hits / double(seq.size()), 0.5, 0.01);
 }
 
+
+TEST(ShardedSequence, EachEpochVisitsEveryShardAndRowExactlyOnce) {
+  ShardedSequence seq({5, 3, 7, 1}, 42);
+  EXPECT_EQ(seq.shard_count(), 4u);
+  EXPECT_EQ(seq.total_rows(), 16u);
+  for (std::size_t epoch = 1; epoch <= 3; ++epoch) {
+    seq.begin_epoch(epoch);
+    const auto order = seq.shard_order();
+    std::set<std::uint32_t> shards(order.begin(), order.end());
+    EXPECT_EQ(shards.size(), 4u);  // a permutation of the shard ordinals
+    const std::size_t expected_rows[] = {5, 3, 7, 1};
+    for (std::uint32_t s : order) {
+      const auto rows = seq.rows(s);
+      std::set<std::uint32_t> seen(rows.begin(), rows.end());
+      EXPECT_EQ(seen.size(), rows.size());  // without replacement
+      EXPECT_EQ(rows.size(), expected_rows[s]);
+    }
+  }
+}
+
+TEST(ShardedSequence, ScheduleIsAPureFunctionOfSeedEpochShard) {
+  ShardedSequence a({64, 64, 64, 17}, 7);
+  ShardedSequence b({64, 64, 64, 17}, 7);
+  for (std::size_t epoch : {1ul, 2ul, 9ul, 2ul}) {  // incl. out-of-order replay
+    a.begin_epoch(epoch);
+    b.begin_epoch(epoch);
+    ASSERT_TRUE(std::equal(a.shard_order().begin(), a.shard_order().end(),
+                           b.shard_order().begin()));
+    // Row orders match regardless of the order shards are queried in.
+    for (std::size_t s : {3ul, 0ul, 2ul, 1ul}) {
+      const std::vector<std::uint32_t> from_a(a.rows(s).begin(),
+                                              a.rows(s).end());
+      const std::vector<std::uint32_t> from_b(b.rows(s).begin(),
+                                              b.rows(s).end());
+      ASSERT_EQ(from_a, from_b) << "epoch " << epoch << " shard " << s;
+    }
+  }
+}
+
+TEST(ShardedSequence, EpochsAndShardsDrawDistinctStreams) {
+  ShardedSequence seq({50, 50}, 3);
+  seq.begin_epoch(1);
+  const std::vector<std::uint32_t> e1s0(seq.rows(0).begin(), seq.rows(0).end());
+  const std::vector<std::uint32_t> e1s1(seq.rows(1).begin(), seq.rows(1).end());
+  seq.begin_epoch(2);
+  const std::vector<std::uint32_t> e2s0(seq.rows(0).begin(), seq.rows(0).end());
+  EXPECT_NE(e1s0, e1s1);  // same epoch, different shards
+  EXPECT_NE(e1s0, e2s0);  // same shard, different epochs
+}
+
 }  // namespace
 }  // namespace isasgd::sampling

@@ -345,9 +345,10 @@ TEST(AllSolvers, SquaredHingeObjectiveWorksEverywhere) {
   opt.step_size = 0.1;
   opt.threads = 2;
   opt.reg = reg;
+  const data::InMemorySource source(data);
   for (const char* name : {"SGD", "IS-SGD", "ASGD"}) {
     const Trace t = SolverRegistry::instance().get(name).train(
-        SolverContext{.data = data,
+        SolverContext{.source = source,
                       .objective = loss,
                       .options = opt,
                       .eval = ev.as_fn(),

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -212,6 +214,92 @@ TEST(EpochFence, EarlyStopDrainsMidRunAndPoolStaysUsable) {
   std::atomic<int> count{0};
   pool.run(threads, [&](std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), static_cast<int>(threads));
+}
+
+
+TEST(ThreadPoolBackground, SubmitRunsTasksOffTheCallingThread) {
+  ThreadPool pool;
+  std::atomic<int> ran{0};
+  std::atomic<bool> on_caller{false};
+  const auto caller = std::this_thread::get_id();
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&, caller] {
+      if (std::this_thread::get_id() == caller) on_caller = true;
+      ran.fetch_add(1);
+    });
+  }
+  pool.drain_background();
+  EXPECT_EQ(ran.load(), 32);
+  EXPECT_FALSE(on_caller.load());
+  EXPECT_GE(pool.background_threads(), 1u);
+}
+
+TEST(ThreadPoolBackground, LaneIsDisjointFromFencedWorkers) {
+  ThreadPool pool;
+  pool.run(4, [](std::size_t) {});
+  const auto fenced = pool.threads_spawned();
+  std::atomic<int> ran{0};
+  pool.submit([&] { ran.fetch_add(1); });
+  pool.drain_background();
+  // Background work spawned no fenced workers and vice versa.
+  EXPECT_EQ(pool.threads_spawned(), fenced);
+  EXPECT_GE(pool.background_threads(), 1u);
+  // The fenced lane still works while background tasks are queued.
+  std::atomic<int> count{0};
+  pool.submit([&] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); });
+  pool.run(4, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+  pool.drain_background();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolBackground, ExceptionLandsInTheFutureNotTheProcess) {
+  ThreadPool pool;
+  auto future = pool.submit([] { throw std::runtime_error("background"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // A dropped future (prefetch-style fire-and-forget) must not terminate.
+  pool.submit([] { throw std::runtime_error("dropped"); });
+  pool.drain_background();
+  // Still serviceable afterwards.
+  std::atomic<int> ran{0};
+  pool.submit([&] { ran.fetch_add(1); });
+  pool.drain_background();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolBackground, SecondWorkerSpawnsWhileFirstIsBusy) {
+  ThreadPoolOptions options;
+  options.background_workers = 2;
+  ThreadPool pool(0, options);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<bool> second_ran{false};
+  pool.submit([gate] { gate.wait(); });  // occupies worker 1
+  pool.submit([&] { second_ran = true; });
+  // Demand counts the executing task, so worker 2 spawns and runs the
+  // second task while the first is still blocked.
+  for (int spin = 0; spin < 2000 && !second_ran; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(second_ran.load());
+  release.set_value();
+  pool.drain_background();
+  EXPECT_EQ(pool.background_threads(), 2u);
+}
+
+TEST(ThreadPoolBackground, DestructorRunsEveryEnqueuedTask) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool;
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+    // No drain: destruction must execute the queued tasks, not drop them.
+  }
+  EXPECT_EQ(ran.load(), 16);
 }
 
 }  // namespace
