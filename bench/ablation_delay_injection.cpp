@@ -3,10 +3,11 @@
 // Physical Hogwild on this container never pushes τ·Δ̄/n past the Eq. 27
 // bound (see ablation_concurrency and the EXPERIMENTS.md Fig-3 note), so the
 // paper's ASGD-degrades/IS-ASGD-robust separation cannot be produced by real
-// threads here. This bench uses the simulate::run_delayed_sgd perturbed-
-// iterate engine instead: τ is injected exactly and swept from serial (0)
-// through and beyond the theory bound, for both uniform (ASGD) and Eq. 12
-// importance (IS-ASGD) sampling.
+// threads here. This bench drives the perturbed-iterate engine through the
+// registry solvers sim.delayed_sgd / sim.delayed_is_sgd instead
+// (SolverOptions::delay_law/delay_tau): τ is injected exactly and swept from
+// serial (0) through and beyond the theory bound, for both uniform (ASGD)
+// and Eq. 12 importance (IS-ASGD) sampling.
 //
 // Two panels, because the loss decides whether staleness can hurt at all:
 //   a. cross-entropy (the paper's objective) — gradients decay as margins
@@ -24,8 +25,8 @@
 
 #include "analysis/conflict_graph.hpp"
 #include "bench_common.hpp"
+#include "core/trainer.hpp"
 #include "data/synthetic.hpp"
-#include "metrics/evaluator.hpp"
 #include "objectives/least_squares.hpp"
 #include "simulate/delayed_sgd.hpp"
 #include "sparse/inverted_index.hpp"
@@ -39,7 +40,8 @@ double finite_or_huge(double v) { return std::isfinite(v) ? v : 1e30; }
 void run_panel(const sparse::CsrMatrix& data,
                const objectives::Objective& loss, double lambda,
                std::size_t epochs, const std::vector<int>& taus) {
-  metrics::Evaluator ev(data, loss, objectives::Regularization::none(), 4);
+  const core::Trainer trainer =
+      core::TrainerBuilder().data(data).objective(loss).eval_threads(4).build();
   const sparse::InvertedIndex index(data);
   const auto conflict = analysis::conflict_stats_sampled(data, index, 300, 5);
   std::printf(
@@ -60,22 +62,22 @@ void run_panel(const sparse::CsrMatrix& data,
         {"tau", "mean_delay", "uniform_rmse", "IS_rmse", "IS/uniform"});
     for (int tau_int : taus) {
       const auto tau = static_cast<std::size_t>(tau_int);
-      const simulate::DelayModel model =
-          tau == 0 ? simulate::DelayModel::none()
-          : law[0] == 'f' ? simulate::DelayModel::fixed(tau)
-                          : simulate::DelayModel::geometric(tau);
-      simulate::DelayReport uni_rep;
+      auto run_opt = opt;
+      run_opt.delay_tau = tau;
+      run_opt.delay_law =
+          tau == 0 ? solvers::SolverOptions::DelayLaw::kNone
+          : law[0] == 'f' ? solvers::SolverOptions::DelayLaw::kFixed
+                          : solvers::SolverOptions::DelayLaw::kGeometric;
+      solvers::DiagnosticsCapture<simulate::DelayReport> uni_rep;
       const double uni = finite_or_huge(
-          simulate::run_delayed_sgd(data, loss, opt, model, false, ev.as_fn(),
-                                    &uni_rep)
+          trainer.train("sim.delayed_sgd", run_opt, &uni_rep)
               .points.back()
               .rmse);
       const double is = finite_or_huge(
-          simulate::run_delayed_sgd(data, loss, opt, model, true, ev.as_fn())
-              .points.back()
-              .rmse);
+          trainer.train("sim.delayed_is_sgd", run_opt).points.back().rmse);
       table.add_row_values(static_cast<double>(tau),
-                           uni_rep.mean_applied_delay, uni, is, is / uni);
+                           uni_rep.value().mean_applied_delay, uni, is,
+                           is / uni);
     }
     std::printf("%s", table.render().c_str());
   }

@@ -1,6 +1,8 @@
-// Distributed ablation: the paper's sparsity argument at cluster scale.
+// Distributed ablation: the paper's sparsity argument at cluster scale,
+// driven entirely through the unified TrainerBuilder → SolverRegistry path
+// (the dist.* solvers; reports via the observer pipeline).
 //
-// Three panels over the simulated cluster (src/distributed/):
+// Three panels over the simulated cluster (src/distributed/ + src/sim/):
 //   1. dimension sweep — async sparse-push parameter server vs synchronous
 //      dense ring-allreduce SGD: same epochs, simulated seconds. The dense
 //      collective pays Θ(d) per round (SVRG-μ economics on the wire), so the
@@ -12,31 +14,136 @@
 //      partition strategy (§2.3/2.4 at node granularity), including the
 //      greedy-LPT and Karmarkar–Karp extensions.
 //
-//   build/bench/ablation_distributed
+//   build/bench/ablation_distributed [--check] [--out FILE]
+//     --out FILE : write the panel numbers as JSON (release CI uploads
+//                  BENCH_distributed.json alongside BENCH_kernels.json)
+//     --check    : exit non-zero unless the crossover sanity holds under
+//                  the fixed default ClusterSpec — the ar/ps simulated-time
+//                  ratio must grow with d, and the sparse async server must
+//                  win clearly at the top dimension.
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "core/trainer.hpp"
 #include "data/synthetic.hpp"
 #include "distributed/allreduce.hpp"
 #include "distributed/param_server.hpp"
-#include "metrics/evaluator.hpp"
+#include "objectives/logistic.hpp"
+
+namespace {
+
+using namespace isasgd;
+
+struct DimPoint {
+  std::size_t dim = 0;
+  double ps_seconds = 0;
+  double ar_seconds = 0;
+  double ar_over_ps = 0;
+  double ar_comm_fraction = 0;
+};
+
+struct NodePoint {
+  std::size_t nodes = 0;
+  double seconds = 0;
+  double staleness = 0;
+};
+
+struct BalancePoint {
+  std::string strategy;
+  double phi_imbalance = 0;
+};
+
+void write_json(const std::string& path, const std::vector<DimPoint>& dims,
+                const std::vector<NodePoint>& nodes,
+                const std::vector<BalancePoint>& balance) {
+  std::ofstream out(path);
+  out << "{\n  \"dimension_sweep\": [\n";
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    const DimPoint& p = dims[i];
+    out << "    {\"dim\": " << p.dim << ", \"ps_sim_seconds\": " << p.ps_seconds
+        << ", \"ar_sim_seconds\": " << p.ar_seconds
+        << ", \"ar_over_ps\": " << p.ar_over_ps
+        << ", \"ar_comm_fraction\": " << p.ar_comm_fraction << "}"
+        << (i + 1 < dims.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"node_sweep\": [\n";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodePoint& p = nodes[i];
+    out << "    {\"nodes\": " << p.nodes << ", \"sim_seconds\": " << p.seconds
+        << ", \"mean_staleness\": " << p.staleness << "}"
+        << (i + 1 < nodes.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"balancing\": [\n";
+  for (std::size_t i = 0; i < balance.size(); ++i) {
+    const BalancePoint& p = balance[i];
+    out << "    {\"strategy\": \"" << p.strategy
+        << "\", \"phi_imbalance\": " << p.phi_imbalance << "}"
+        << (i + 1 < balance.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// The crossover sanity gate behind --check: under the fixed default
+/// ClusterSpec the dense collective's disadvantage must widen with d, and
+/// the sparse async server must win clearly at the top dimension. Any
+/// violation means the cost model (or a solver riding it) regressed.
+int check_crossover(const std::vector<DimPoint>& dims) {
+  if (dims.empty()) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: empty dimension sweep — nothing was gated\n");
+    return 1;
+  }
+  int failures = 0;
+  for (std::size_t i = 1; i < dims.size(); ++i) {
+    if (dims[i].ar_over_ps <= dims[i - 1].ar_over_ps) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: ar/ps ratio did not grow from d=%zu "
+                   "(%.3g) to d=%zu (%.3g)\n",
+                   dims[i - 1].dim, dims[i - 1].ar_over_ps, dims[i].dim,
+                   dims[i].ar_over_ps);
+      ++failures;
+    }
+  }
+  if (dims.back().ar_over_ps < 5.0) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: at d=%zu the async sparse server should win "
+                 "by >= 5x in simulated time (got %.3g)\n",
+                 dims.back().dim, dims.back().ar_over_ps);
+    ++failures;
+  }
+  return failures;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace isasgd;
   util::CliParser cli("ablation_distributed",
                       "Simulated cluster: sparse async push vs dense "
-                      "all-reduce, node scaling, node-level balancing");
+                      "all-reduce, node scaling, node-level balancing — all "
+                      "through the dist.* registry solvers");
   cli.add_flag("rows", "4000", "dataset rows");
   cli.add_flag("epochs", "3", "epoch budget");
   cli.add_flag("dims", "1000,10000,100000,1000000", "dimension sweep");
   cli.add_flag("nodes", "2,4,8,16", "node-count sweep");
+  cli.add_flag("out", "", "also write the panel numbers as JSON to this file");
+  cli.add_flag("check", "false",
+               "fail unless the ps-vs-allreduce crossover sanity holds");
   if (!cli.parse(argc, argv)) return 0;
+  const bool check = cli.get_bool("check");
 
   objectives::LogisticLoss loss;
   solvers::SolverOptions opt;
   opt.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
   opt.step_size = 0.5;
   opt.seed = 7;
+
+  std::vector<DimPoint> dim_points;
+  std::vector<NodePoint> node_points;
+  std::vector<BalancePoint> balance_points;
 
   // ---- Panel 1: dimension sweep, async-sparse vs sync-dense ----
   std::printf("=== async sparse push vs dense ring all-reduce (4 nodes) ===\n");
@@ -50,22 +157,30 @@ int main(int argc, char** argv) {
     spec.label_noise = 0.02;
     spec.seed = 31;
     const auto data = data::generate(spec);
-    metrics::Evaluator ev(data, loss, objectives::Regularization::none(), 8);
     distributed::ClusterSpec cluster;
     cluster.nodes = 4;
-    distributed::ParamServerReport ps_rep;
-    distributed::AllreduceReport ar_rep;
-    const auto ps = distributed::run_param_server(data, loss, opt, cluster,
-                                                  true, ev.as_fn(), &ps_rep);
+    const core::Trainer trainer = core::TrainerBuilder()
+                                      .data(data)
+                                      .objective(loss)
+                                      .cluster(cluster)
+                                      .eval_threads(8)
+                                      .build();
+    solvers::DiagnosticsCapture<distributed::ParamServerReport> ps_rep;
+    const auto ps = trainer.train("dist.ps.is_asgd", opt, &ps_rep);
     auto ar_opt = opt;
     ar_opt.batch_size = 2;
-    const auto ar = distributed::run_allreduce_sgd(
-        data, loss, ar_opt, cluster, false, ev.as_fn(), &ar_rep);
-    dim_table.add_row_values(
-        static_cast<double>(dim), ps_rep.simulated_seconds,
-        ar_rep.simulated_seconds,
-        ar_rep.simulated_seconds / std::max(ps_rep.simulated_seconds, 1e-12),
-        ar_rep.comm_fraction, ps.points.back().rmse, ar.points.back().rmse);
+    solvers::DiagnosticsCapture<distributed::AllreduceReport> ar_rep;
+    const auto ar = trainer.train("dist.allreduce.sgd", ar_opt, &ar_rep);
+    DimPoint p;
+    p.dim = static_cast<std::size_t>(dim);
+    p.ps_seconds = ps_rep.value().simulated_seconds;
+    p.ar_seconds = ar_rep.value().simulated_seconds;
+    p.ar_over_ps = p.ar_seconds / std::max(p.ps_seconds, 1e-12);
+    p.ar_comm_fraction = ar_rep.value().comm_fraction;
+    dim_points.push_back(p);
+    dim_table.add_row_values(static_cast<double>(dim), p.ps_seconds,
+                             p.ar_seconds, p.ar_over_ps, p.ar_comm_fraction,
+                             ps.points.back().rmse, ar.points.back().rmse);
   }
   std::printf("%s\n", dim_table.render().c_str());
 
@@ -79,25 +194,34 @@ int main(int argc, char** argv) {
     spec.label_noise = 0.02;
     spec.seed = 32;
     const auto data = data::generate(spec);
-    metrics::Evaluator ev(data, loss, objectives::Regularization::none(), 8);
     util::TablePrinter node_table(
         {"nodes", "sim_s", "speedup", "staleness", "rmse"});
     double base_seconds = 0;
     for (int nodes : cli.get_int_list("nodes")) {
       distributed::ClusterSpec cluster;
       cluster.nodes = static_cast<std::size_t>(nodes);
-      distributed::ParamServerReport rep;
-      const auto t = distributed::run_param_server(data, loss, opt, cluster,
-                                                   true, ev.as_fn(), &rep);
+      const core::Trainer trainer = core::TrainerBuilder()
+                                        .data(data)
+                                        .objective(loss)
+                                        .cluster(cluster)
+                                        .eval_threads(8)
+                                        .build();
+      solvers::DiagnosticsCapture<distributed::ParamServerReport> rep;
+      const auto t = trainer.train("dist.ps.is_asgd", opt, &rep);
       if (base_seconds == 0) {
         base_seconds =
-            rep.simulated_seconds * static_cast<double>(nodes);
+            rep.value().simulated_seconds * static_cast<double>(nodes);
       }
+      NodePoint p;
+      p.nodes = static_cast<std::size_t>(nodes);
+      p.seconds = rep.value().simulated_seconds;
+      p.staleness = rep.value().mean_staleness_updates;
+      node_points.push_back(p);
       node_table.add_row_values(
-          static_cast<double>(nodes), rep.simulated_seconds,
+          static_cast<double>(nodes), p.seconds,
           base_seconds / static_cast<double>(nodes) /
-              std::max(rep.simulated_seconds, 1e-12),
-          rep.mean_staleness_updates, t.points.back().rmse);
+              std::max(p.seconds, 1e-12),
+          p.staleness, t.points.back().rmse);
     }
     std::printf("%s\n", node_table.render().c_str());
   }
@@ -112,7 +236,6 @@ int main(int argc, char** argv) {
     spec.target_psi = 0.6;  // wide Lipschitz spread: balancing matters
     spec.seed = 33;
     const auto data = data::generate(spec);
-    metrics::Evaluator ev(data, loss, objectives::Regularization::none(), 8);
     util::TablePrinter bal_table({"strategy", "phi_imbalance", "rmse"});
     for (const auto strategy :
          {partition::Strategy::kNone, partition::Strategy::kShuffle,
@@ -120,13 +243,21 @@ int main(int argc, char** argv) {
           partition::Strategy::kKarmarkarKarp}) {
       distributed::ClusterSpec cluster;
       cluster.nodes = 8;
+      const core::Trainer trainer = core::TrainerBuilder()
+                                        .data(data)
+                                        .objective(loss)
+                                        .cluster(cluster)
+                                        .eval_threads(8)
+                                        .build();
       auto popt = opt;
       popt.partition.strategy = strategy;
-      distributed::ParamServerReport rep;
-      const auto t = distributed::run_param_server(data, loss, popt, cluster,
-                                                   true, ev.as_fn(), &rep);
+      solvers::DiagnosticsCapture<distributed::ParamServerReport> rep;
+      const auto t = trainer.train("dist.ps.is_asgd", popt, &rep);
+      balance_points.push_back(BalancePoint{partition::strategy_name(strategy),
+                                            rep.value().phi_imbalance});
       bal_table.add_row_values(partition::strategy_name(strategy),
-                               rep.phi_imbalance, t.points.back().rmse);
+                               rep.value().phi_imbalance,
+                               t.points.back().rmse);
     }
     std::printf("%s\n", bal_table.render().c_str());
   }
@@ -140,5 +271,17 @@ int main(int argc, char** argv) {
       "only balances pair sums for numT = 2 (the paper's Fig. 2 case); with "
       "more shards the contiguous split hands every globally-heavy sample to "
       "the first shard. See EXPERIMENTS.md §2.3–2.4 notes.\n");
+
+  if (!cli.get("out").empty()) {
+    write_json(cli.get("out"), dim_points, node_points, balance_points);
+  }
+  if (check) {
+    const int failures = check_crossover(dim_points);
+    if (failures) return 1;
+    std::printf(
+        "crossover sanity holds: ar/ps grows monotonically in d and the "
+        "sparse async server wins >= 5x at d=%zu\n",
+        dim_points.back().dim);
+  }
   return 0;
 }

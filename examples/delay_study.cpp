@@ -1,18 +1,22 @@
 // Delay study: watching asynchrony hurt — and importance sampling resist.
 //
-// The perturbed-iterate simulator (simulate::run_delayed_sgd) makes the
-// staleness τ of asynchronous SGD a controlled input instead of a hardware
-// accident. This example walks a least-squares problem with heavy support
-// overlap through rising τ, printing the final objective for uniform
-// sampling (ASGD's serialisation) and Eq. 12 importance sampling (IS-ASGD's)
-// side by side, plus the staleness diagnostics the simulator reports.
+// The perturbed-iterate simulator (registry solvers sim.delayed_sgd /
+// sim.delayed_is_sgd) makes the staleness τ of asynchronous SGD a
+// controlled input instead of a hardware accident: set
+// SolverOptions::delay_law / delay_tau and train through the ordinary
+// TrainerBuilder facade. This example walks a least-squares problem with
+// heavy support overlap through rising τ, printing the final objective for
+// uniform sampling (ASGD's serialisation) and Eq. 12 importance sampling
+// (IS-ASGD's) side by side, plus the staleness diagnostics the simulator
+// publishes through the observer pipeline.
 //
 //   build/examples/delay_study
 #include <cmath>
 #include <cstdio>
+#include <string>
 
+#include "core/trainer.hpp"
 #include "data/synthetic.hpp"
-#include "metrics/evaluator.hpp"
 #include "objectives/least_squares.hpp"
 #include "simulate/delayed_sgd.hpp"
 
@@ -33,8 +37,11 @@ int main() {
   spec.seed = 7;
   const sparse::CsrMatrix data = data::generate(spec);
   objectives::LeastSquaresLoss loss;
-  metrics::Evaluator evaluator(data, loss, objectives::Regularization::none(),
-                               4);
+  const core::Trainer trainer = core::TrainerBuilder()
+                                    .data(data)
+                                    .objective(loss)
+                                    .eval_threads(4)
+                                    .build();
 
   solvers::SolverOptions options;
   options.epochs = 6;
@@ -45,22 +52,20 @@ int main() {
   std::printf("%-8s %-12s %-14s %-14s %-12s\n", "tau", "mean-delay",
               "uniform-rmse", "IS-rmse", "in-flight");
   for (std::size_t tau : {0u, 8u, 32u, 128u, 512u}) {
-    const simulate::DelayModel delay =
-        tau == 0 ? simulate::DelayModel::none() : simulate::DelayModel::fixed(tau);
-    simulate::DelayReport uniform_report;
-    const solvers::Trace uniform = simulate::run_delayed_sgd(
-        data, loss, options, delay, /*use_importance=*/false,
-        evaluator.as_fn(), &uniform_report);
-    const solvers::Trace is = simulate::run_delayed_sgd(
-        data, loss, options, delay, /*use_importance=*/true,
-        evaluator.as_fn());
+    options.delay_law = tau == 0 ? solvers::SolverOptions::DelayLaw::kNone
+                                 : solvers::SolverOptions::DelayLaw::kFixed;
+    options.delay_tau = tau;
+    solvers::DiagnosticsCapture<simulate::DelayReport> uniform_report;
+    const solvers::Trace uniform =
+        trainer.train("sim.delayed_sgd", options, &uniform_report);
+    const solvers::Trace is = trainer.train("sim.delayed_is_sgd", options);
     const double u = uniform.points.back().rmse;
     const double i = is.points.back().rmse;
     std::printf("%-8zu %-12.1f %-14s %-14s %-12zu\n", tau,
-                uniform_report.mean_applied_delay,
+                uniform_report.value().mean_applied_delay,
                 std::isfinite(u) ? std::to_string(u).c_str() : "diverged",
                 std::isfinite(i) ? std::to_string(i).c_str() : "diverged",
-                uniform_report.max_in_flight);
+                uniform_report.value().max_in_flight);
   }
   std::printf(
       "\nReading: both columns match serial SGD at tau=0, drift as tau "

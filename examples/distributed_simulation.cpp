@@ -1,26 +1,33 @@
-// Distributed simulation: IS-ASGD on a (simulated) cluster.
+// Distributed simulation: IS-ASGD on a (simulated) cluster, through the
+// unified solver architecture.
 //
 // The paper's story for "cores/nodes" at node scale: shard the dataset
 // across parameter-server workers with importance balancing (§2.3–2.4),
 // sample each shard by the local Eq. 12 law, and push index-compressed
-// sparse updates asynchronously. The ClusterSpec prices compute, latency
-// and bandwidth, so the printed times are simulated cluster seconds —
-// comparable across algorithms without owning a cluster.
+// sparse updates asynchronously. The ClusterSpec — configured once on the
+// TrainerBuilder — prices compute, latency and bandwidth, so the printed
+// times are simulated cluster seconds, comparable across algorithms
+// without owning a cluster.
 //
-// The example contrasts three runs on the same high-dimensional sparse
-// dataset:
-//   1. parameter-server IS-ASGD (balanced shards, sparse async pushes),
-//   2. parameter-server ASGD (uniform sampling — the async baseline),
-//   3. synchronous all-reduce SGD (dense collectives — the wire-side
-//      equivalent of SVRG's dense μ, paper §1.2).
+// The example contrasts three registry solvers on the same
+// high-dimensional sparse dataset:
+//   1. dist.ps.is_asgd    parameter-server IS-ASGD (balanced shards,
+//                         sparse async pushes),
+//   2. dist.ps.asgd       parameter-server ASGD (uniform sampling — the
+//                         async baseline),
+//   3. dist.allreduce.sgd synchronous all-reduce SGD (dense collectives —
+//                         the wire-side equivalent of SVRG's dense μ,
+//                         paper §1.2).
+// Typed reports arrive through the TrainingObserver pipeline
+// (DiagnosticsCapture), exactly like the serial solvers' diagnostics.
 //
 //   build/examples/distributed_simulation
 #include <cstdio>
 
+#include "core/trainer.hpp"
 #include "data/synthetic.hpp"
 #include "distributed/allreduce.hpp"
 #include "distributed/param_server.hpp"
-#include "metrics/evaluator.hpp"
 #include "objectives/logistic.hpp"
 
 int main() {
@@ -35,8 +42,6 @@ int main() {
   spec.seed = 21;
   const sparse::CsrMatrix data = data::generate(spec);
   objectives::LogisticLoss loss;
-  metrics::Evaluator evaluator(data, loss, objectives::Regularization::none(),
-                               8);
   std::printf("dataset: %s\n", data.summary().c_str());
 
   distributed::ClusterSpec cluster;  // 10 GbE, 50 us latency, 4 nodes
@@ -47,50 +52,61 @@ int main() {
       cluster.bandwidth_bytes_per_second / 1e9,
       cluster.max_outstanding_pushes);
 
+  // One builder wires dataset + objective + cluster; every dist.* solver is
+  // then a registry name away.
+  const core::Trainer trainer = core::TrainerBuilder()
+                                    .data(data)
+                                    .objective(loss)
+                                    .cluster(cluster)
+                                    .eval_threads(8)
+                                    .build();
+
   solvers::SolverOptions options;
   options.epochs = 4;
   options.step_size = 0.5;
   options.seed = 3;
   options.partition.strategy = partition::Strategy::kGreedyLpt;
 
-  distributed::ParamServerReport is_report;
-  const solvers::Trace is = distributed::run_param_server(
-      data, loss, options, cluster, /*use_importance=*/true,
-      evaluator.as_fn(), &is_report);
+  solvers::DiagnosticsCapture<distributed::ParamServerReport> is_report;
+  const solvers::Trace is = trainer.train("dist.ps.is_asgd", options, &is_report);
 
-  distributed::ParamServerReport asgd_report;
-  const solvers::Trace asgd = distributed::run_param_server(
-      data, loss, options, cluster, /*use_importance=*/false,
-      evaluator.as_fn(), &asgd_report);
+  solvers::DiagnosticsCapture<distributed::ParamServerReport> asgd_report;
+  const solvers::Trace asgd =
+      trainer.train("dist.ps.asgd", options, &asgd_report);
 
   auto ar_options = options;
   ar_options.batch_size = 2;
-  distributed::AllreduceReport ar_report;
-  const solvers::Trace ar = distributed::run_allreduce_sgd(
-      data, loss, ar_options, cluster, /*use_importance=*/false,
-      evaluator.as_fn(), &ar_report);
+  solvers::DiagnosticsCapture<distributed::AllreduceReport> ar_report;
+  const solvers::Trace ar =
+      trainer.train("dist.allreduce.sgd", ar_options, &ar_report);
 
   std::printf("%-18s %-14s %-12s %-12s %s\n", "algorithm", "sim-seconds",
               "final-rmse", "best-err", "notes");
-  std::printf("%-18s %-14.4f %-12.4f %-12.4f staleness %.1f, shard Phi spread %.4f\n",
-              is.algorithm.c_str(), is_report.simulated_seconds,
-              is.points.back().rmse, is.best_error_rate(),
-              is_report.mean_staleness_updates, is_report.phi_imbalance);
+  std::printf(
+      "%-18s %-14.4f %-12.4f %-12.4f staleness %.1f, shard Phi spread %.4f\n",
+      is.algorithm.c_str(), is_report.value().simulated_seconds,
+      is.points.back().rmse, is.best_error_rate(),
+      is_report.value().mean_staleness_updates,
+      is_report.value().phi_imbalance);
   std::printf("%-18s %-14.4f %-12.4f %-12.4f staleness %.1f\n",
-              asgd.algorithm.c_str(), asgd_report.simulated_seconds,
+              asgd.algorithm.c_str(), asgd_report.value().simulated_seconds,
               asgd.points.back().rmse, asgd.best_error_rate(),
-              asgd_report.mean_staleness_updates);
-  std::printf("%-18s %-14.4f %-12.4f %-12.4f %.0f%% of time in the dense collective\n",
-              ar.algorithm.c_str(), ar_report.simulated_seconds,
-              ar.points.back().rmse, ar.best_error_rate(),
-              100 * ar_report.comm_fraction);
+              asgd_report.value().mean_staleness_updates);
+  std::printf(
+      "%-18s %-14.4f %-12.4f %-12.4f %.0f%% of time in the dense collective\n",
+      ar.algorithm.c_str(), ar_report.value().simulated_seconds,
+      ar.points.back().rmse, ar.best_error_rate(),
+      100 * ar_report.value().comm_fraction);
 
   std::printf(
       "\nReading: the two async runs finish orders of magnitude sooner in "
       "simulated time because each update ships ~%zu bytes while every "
       "all-reduce round ships %.1f MB per node (d = %zu dense coordinates) — "
       "the paper's index-compression argument, priced on the wire.\n",
-      10 * cluster.bytes_per_nnz, ar_report.bytes_per_node_per_round / 1e6,
-      data.dim());
-  return 0;
+      10 * cluster.bytes_per_nnz,
+      ar_report.value().bytes_per_node_per_round / 1e6, data.dim());
+  return is_report.has_value() && asgd_report.has_value() &&
+                 ar_report.has_value()
+             ? 0
+             : 1;
 }

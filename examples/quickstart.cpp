@@ -15,6 +15,7 @@
 #include "core/trainer.hpp"
 #include "data/synthetic.hpp"
 #include "objectives/logistic.hpp"
+#include "solvers/is_asgd.hpp"
 
 namespace {
 
@@ -102,21 +103,20 @@ int main() {
               trace.setup_seconds, trace.train_seconds, trace.threads);
   std::printf("best error rate: %.4f\n", trace.best_error_rate());
 
-  // Appendix: the registry path is the legacy enum path. A single-threaded
-  // run is deterministic for a fixed seed, so training through the
-  // deprecated Algorithm enum must reproduce the registry trace exactly.
+  // Appendix: registry lookup is spelling-insensitive, and a single-threaded
+  // run is deterministic for a fixed seed — so any spelling of the same
+  // solver must reproduce the same trace exactly. (The deprecated Algorithm
+  // enum shim this check used to exercise is gone; names are the only path.)
   solvers::SolverOptions check = options;
   check.threads = 1;
   check.epochs = 3;
   const solvers::Trace by_name = trainer.train("is_asgd", check);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const solvers::Trace by_enum =
-      trainer.train(solvers::Algorithm::kIsAsgd, check);
-#pragma GCC diagnostic pop
+  const solvers::Trace by_spelling = trainer.train("IS-ASGD", check);
   const double delta = std::abs(by_name.points.back().objective -
-                                by_enum.points.back().objective);
-  std::printf("legacy-path check: |objective(name) - objective(enum)| = %.3g %s\n",
-              delta, delta == 0.0 ? "(identical)" : "(MISMATCH)");
+                                by_spelling.points.back().objective);
+  std::printf(
+      "spelling-insensitivity check: |objective(is_asgd) - objective(IS-ASGD)|"
+      " = %.3g %s\n",
+      delta, delta == 0.0 ? "(identical)" : "(MISMATCH)");
   return delta == 0.0 ? 0 : 1;
 }

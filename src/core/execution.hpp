@@ -18,9 +18,11 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "data/streaming_source.hpp"
+#include "distributed/cluster.hpp"
 #include "util/thread_pool.hpp"
 
 namespace isasgd::core {
@@ -55,9 +57,27 @@ class ExecutionContext
   [[nodiscard]] std::shared_ptr<data::StreamingSource> open_streaming(
       std::string path, data::StreamingOptions options = {});
 
+  /// Configures the simulated-cluster cost model shared by every Trainer
+  /// on this context — the way to price a whole sweep's dist.* runs under
+  /// one cluster. Validates through ClusterSpec::validate
+  /// (std::invalid_argument naming the bad field). A Trainer built with
+  /// its own TrainerBuilder::cluster(...) spec overrides this one; Trainers
+  /// built without it fall back here, then to the default ClusterSpec.
+  void set_cluster(distributed::ClusterSpec spec) {
+    spec.validate();
+    cluster_ = std::move(spec);
+  }
+
+  /// The configured cluster spec, or null when none was set (the dist.*
+  /// solvers then fall back to the default ClusterSpec).
+  [[nodiscard]] const distributed::ClusterSpec* cluster() const noexcept {
+    return cluster_ ? &*cluster_ : nullptr;
+  }
+
  private:
   util::ThreadPool pool_;
   std::size_t eval_threads_;
+  std::optional<distributed::ClusterSpec> cluster_;
 };
 
 using ExecutionContextPtr = std::shared_ptr<ExecutionContext>;

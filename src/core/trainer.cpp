@@ -1,6 +1,5 @@
 #include "core/trainer.hpp"
 
-#include <any>
 #include <stdexcept>
 #include <utility>
 
@@ -9,29 +8,37 @@ namespace isasgd::core {
 Trainer::Trainer(const sparse::CsrMatrix& data,
                  const objectives::Objective& objective,
                  objectives::Regularization reg, std::size_t eval_threads,
-                 ExecutionContextPtr execution)
+                 ExecutionContextPtr execution,
+                 std::optional<distributed::ClusterSpec> cluster)
     : owned_source_(std::make_shared<const data::InMemorySource>(data)),
       source_(owned_source_.get()),
       objective_(objective),
       reg_(reg),
       execution_(execution ? std::move(execution)
                            : std::make_shared<ExecutionContext>(eval_threads)),
+      cluster_(std::move(cluster)),
       evaluator_(*source_, objective, reg,
                  eval_threads ? eval_threads : execution_->eval_threads(),
-                 &execution_->pool()) {}
+                 &execution_->pool()) {
+  if (cluster_) cluster_->validate();
+}
 
 Trainer::Trainer(const data::DataSource& source,
                  const objectives::Objective& objective,
                  objectives::Regularization reg, std::size_t eval_threads,
-                 ExecutionContextPtr execution)
+                 ExecutionContextPtr execution,
+                 std::optional<distributed::ClusterSpec> cluster)
     : source_(&source),
       objective_(objective),
       reg_(reg),
       execution_(execution ? std::move(execution)
                            : std::make_shared<ExecutionContext>(eval_threads)),
+      cluster_(std::move(cluster)),
       evaluator_(source, objective, reg,
                  eval_threads ? eval_threads : execution_->eval_threads(),
-                 &execution_->pool()) {}
+                 &execution_->pool()) {
+  if (cluster_) cluster_->validate();
+}
 
 solvers::Trace Trainer::train(std::string_view solver,
                               solvers::SolverOptions options,
@@ -45,38 +52,8 @@ solvers::Trace Trainer::train(std::string_view solver,
       .eval = evaluator_.as_fn(),
       .observer = observer,
       .pool = &execution_->pool(),
+      .cluster = cluster_ ? &*cluster_ : execution_->cluster(),
   });
-}
-
-solvers::Trace Trainer::train(solvers::Algorithm algorithm,
-                              solvers::SolverOptions options) const {
-  return train(solvers::algorithm_name(algorithm), std::move(options));
-}
-
-namespace {
-
-/// Adapts the legacy IsAsgdReport* out-param onto the observer pipeline.
-class ReportCapture final : public solvers::TrainingObserver {
- public:
-  explicit ReportCapture(solvers::IsAsgdReport* out) : out_(out) {}
-
-  void on_diagnostics(const std::any& diagnostics) override {
-    if (!out_) return;
-    if (const auto* r = std::any_cast<solvers::IsAsgdReport>(&diagnostics)) {
-      *out_ = *r;
-    }
-  }
-
- private:
-  solvers::IsAsgdReport* out_;
-};
-
-}  // namespace
-
-solvers::Trace Trainer::train_is_asgd(solvers::SolverOptions options,
-                                      solvers::IsAsgdReport* report) const {
-  ReportCapture capture(report);
-  return train("IS-ASGD", std::move(options), &capture);
 }
 
 Trainer TrainerBuilder::build() const {
@@ -94,9 +71,11 @@ Trainer TrainerBuilder::build() const {
         "TrainerBuilder::build: objective(...) was not set");
   }
   if (source_) {
-    return Trainer(*source_, *objective_, reg_, eval_threads_, execution_);
+    return Trainer(*source_, *objective_, reg_, eval_threads_, execution_,
+                   cluster_);
   }
-  return Trainer(*data_, *objective_, reg_, eval_threads_, execution_);
+  return Trainer(*data_, *objective_, reg_, eval_threads_, execution_,
+                 cluster_);
 }
 
 }  // namespace isasgd::core

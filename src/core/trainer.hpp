@@ -37,11 +37,21 @@
 //
 // The Trainer wires a dataset + objective + regularizer to the registered
 // solvers and the standard evaluator; it owns nothing heavier than
-// references, so it is cheap to construct per experiment. The old
-// enum-based train(Algorithm, ...) and train_is_asgd(..., IsAsgdReport*)
-// entry points survive one release as deprecated shims over the registry
-// path. See docs/API.md for the full walkthrough, including the
-// "how to add a solver" recipe.
+// references, so it is cheap to construct per experiment. (The deprecated
+// enum-based train(Algorithm, ...) / train_is_asgd(..., IsAsgdReport*)
+// shims were removed after their one release of grace; diagnostics arrive
+// through TrainingObserver::on_diagnostics.) The simulated distributed
+// solvers (dist.ps.is_asgd, dist.ps.asgd, dist.allreduce.sgd,
+// sim.delayed_sgd, ...) train through the same facade: configure the
+// cluster cost model once on the builder and every dist.* run prices
+// against it —
+//
+//   auto trainer = core::TrainerBuilder().data(X).objective(loss)
+//                      .cluster({.nodes = 8}).build();
+//   auto trace = trainer.train("dist.ps.is_asgd", opt);   // simulated secs
+//
+// See docs/API.md for the full walkthrough, including the "how to add a
+// solver" recipe.
 #pragma once
 
 #include <memory>
@@ -51,7 +61,6 @@
 #include "data/data_source.hpp"
 #include "metrics/evaluator.hpp"
 #include "objectives/objective.hpp"
-#include "solvers/is_asgd.hpp"
 #include "solvers/observer.hpp"
 #include "solvers/options.hpp"
 #include "solvers/solver.hpp"
@@ -69,11 +78,16 @@ class Trainer {
   /// 0 defers to the execution context's default). `execution` is the
   /// persistent worker-pool context every train call and evaluation runs
   /// on; when null the Trainer creates its own. Pass one shared context to
-  /// several Trainers to share a single pool across datasets.
+  /// several Trainers to share a single pool across datasets. `cluster`
+  /// (optional) is this Trainer's simulated-cluster cost model for the
+  /// dist.* solvers; it overrides any spec on the execution context and is
+  /// private to this Trainer — building one Trainer never changes what
+  /// another prices against.
   Trainer(const sparse::CsrMatrix& data,
           const objectives::Objective& objective,
           objectives::Regularization reg, std::size_t eval_threads = 0,
-          ExecutionContextPtr execution = nullptr);
+          ExecutionContextPtr execution = nullptr,
+          std::optional<distributed::ClusterSpec> cluster = std::nullopt);
 
   /// Source form: trains (and evaluates) against a data::DataSource —
   /// the out-of-core entry point. Streaming-capable solvers iterate the
@@ -83,7 +97,8 @@ class Trainer {
   Trainer(const data::DataSource& source,
           const objectives::Objective& objective,
           objectives::Regularization reg, std::size_t eval_threads = 0,
-          ExecutionContextPtr execution = nullptr);
+          ExecutionContextPtr execution = nullptr,
+          std::optional<distributed::ClusterSpec> cluster = std::nullopt);
 
   /// Resolves `solver` through SolverRegistry (case/punctuation-insensitive:
   /// "IS-ASGD" == "is_asgd") and runs it under `options` (the options' reg
@@ -95,19 +110,6 @@ class Trainer {
   [[nodiscard]] solvers::Trace train(
       std::string_view solver, solvers::SolverOptions options,
       solvers::TrainingObserver* observer = nullptr) const;
-
-  /// Deprecated enum shim over train(name, ...). One release of grace.
-  [[deprecated("address solvers by registry name: train(\"is_asgd\", ...)")]]
-  [[nodiscard]] solvers::Trace train(solvers::Algorithm algorithm,
-                                     solvers::SolverOptions options) const;
-
-  /// Deprecated: IS-ASGD with partition diagnostics. The diagnostics now
-  /// arrive through TrainingObserver::on_diagnostics as an IsAsgdReport.
-  [[deprecated(
-      "use train(\"is_asgd\", options, observer); the observer receives "
-      "IsAsgdReport via on_diagnostics")]]
-  [[nodiscard]] solvers::Trace train_is_asgd(
-      solvers::SolverOptions options, solvers::IsAsgdReport* report) const;
 
   /// Scores an arbitrary model snapshot.
   [[nodiscard]] solvers::EvalResult evaluate(std::span<const double> w) const {
@@ -146,6 +148,9 @@ class Trainer {
   const objectives::Objective& objective_;
   objectives::Regularization reg_;
   ExecutionContextPtr execution_;  // never null after construction
+  /// This Trainer's cluster cost model; falls back to the execution
+  /// context's spec, then to the default ClusterSpec, when unset.
+  std::optional<distributed::ClusterSpec> cluster_;
   metrics::Evaluator evaluator_;
 };
 
@@ -158,6 +163,19 @@ class Trainer {
 /// l1()/l2()/regularization() wins.
 class TrainerBuilder {
  public:
+  /// Simulated-cluster cost model for the dist.* solvers, private to the
+  /// built Trainer (a shared ExecutionContext is never mutated — sibling
+  /// Trainers keep pricing against their own specs). Validated here, once,
+  /// through ClusterSpec::validate — std::invalid_argument naming the
+  /// offending field on a nonsensical spec. Without this call the dist.*
+  /// solvers fall back to the execution context's spec
+  /// (ExecutionContext::set_cluster), then to the default ClusterSpec.
+  TrainerBuilder& cluster(distributed::ClusterSpec spec) {
+    spec.validate();
+    cluster_ = std::move(spec);
+    return *this;
+  }
+
   /// The training matrix (not owned; must outlive the built Trainer).
   /// Mutually exclusive with source().
   TrainerBuilder& data(const sparse::CsrMatrix& data) {
@@ -223,6 +241,7 @@ class TrainerBuilder {
   objectives::Regularization reg_ = objectives::Regularization::none();
   std::size_t eval_threads_ = 0;
   ExecutionContextPtr execution_;
+  std::optional<distributed::ClusterSpec> cluster_;
 };
 
 }  // namespace isasgd::core

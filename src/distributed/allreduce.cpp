@@ -6,6 +6,7 @@
 
 #include "partition/partition.hpp"
 #include "sampling/alias_table.hpp"
+#include "sim/event_loop.hpp"
 #include "solvers/importance_weights.hpp"
 #include "solvers/schedule.hpp"
 #include "util/rng.hpp"
@@ -18,7 +19,8 @@ solvers::Trace run_allreduce_sgd(const sparse::CsrMatrix& data,
                                  const solvers::SolverOptions& options,
                                  const ClusterSpec& spec, bool use_importance,
                                  const solvers::EvalFn& eval,
-                                 AllreduceReport* report) {
+                                 AllreduceReport* report,
+                                 solvers::TrainingObserver* observer) {
   spec.validate();
   const std::size_t n = data.rows();
   const std::size_t k = std::min(spec.nodes, n);
@@ -26,7 +28,8 @@ solvers::Trace run_allreduce_sgd(const sparse::CsrMatrix& data,
   std::vector<double> w(data.dim(), 0.0);
   solvers::TraceRecorder recorder(
       use_importance ? "allreduce_is_sgd" : "allreduce_sgd", k,
-      options.step_size, eval);
+      options.step_size, eval, observer);
+  recorder.mark_simulated_time();
 
   // ---- Partition across nodes; IS nodes sample their local Eq. 12 law ----
   util::Stopwatch setup;
@@ -77,16 +80,18 @@ solvers::Trace run_allreduce_sgd(const sparse::CsrMatrix& data,
 
   double sim_time = 0, comm_time = 0;
   std::size_t rounds = 0;
-  for (std::size_t epoch = 1; epoch <= options.epochs; ++epoch) {
+  sim::NodeClocks clocks(k);  // round-relative per-node compute clocks
+  for (std::size_t epoch = 1;
+       epoch <= options.epochs && !recorder.stop_requested(); ++epoch) {
     const double lambda = solvers::epoch_step(options, epoch);
     for (std::size_t r = 0; r < rounds_per_epoch; ++r, ++rounds) {
-      // Each node's compute; the synchronous barrier means the round takes
-      // the *slowest* node's time (stragglers are the sync penalty).
-      double slowest = 0;
+      // Each node advances its own clock; the synchronous barrier means the
+      // round takes the *slowest* node's time (stragglers are the sync
+      // penalty).
+      clocks.reset();
       for (std::size_t a = 0; a < k; ++a) {
         NodeState& ns = node[a];
         const std::size_t local_n = ns.shard.rows.size();
-        double node_compute = 0;
         for (std::size_t s = 0; s < b; ++s) {
           const std::size_t slot =
               ns.sampler ? ns.sampler->sample(ns.rng)
@@ -107,11 +112,11 @@ solvers::Trace run_allreduce_sgd(const sparse::CsrMatrix& data,
             if (accum[c] == 0.0) touched.push_back(idx[j]);
             accum[c] += g * val[j];
           }
-          node_compute += spec.node_compute_seconds(a, idx.size());
+          clocks.advance(a, spec.node_compute_seconds(a, idx.size()));
         }
-        slowest = std::max(slowest, node_compute);
       }
       // Ring all-reduce of the dense aggregate, then one model step.
+      const double slowest = clocks.barrier();
       sim_time += slowest + allreduce_seconds;
       comm_time += allreduce_seconds;
       // One step of w ← w − λ(mean gradient + ∇r): the gradient average is
@@ -127,11 +132,14 @@ solvers::Trace run_allreduce_sgd(const sparse::CsrMatrix& data,
     recorder.record(epoch, sim_time, w);
   }
 
-  if (report) {
-    report->rounds = rounds;
-    report->bytes_per_node_per_round = per_round_bytes;
-    report->simulated_seconds = sim_time;
-    report->comm_fraction = sim_time > 0 ? comm_time / sim_time : 0;
+  if (report || observer) {
+    AllreduceReport local;
+    local.rounds = rounds;
+    local.bytes_per_node_per_round = per_round_bytes;
+    local.simulated_seconds = sim_time;
+    local.comm_fraction = sim_time > 0 ? comm_time / sim_time : 0;
+    if (report) *report = local;
+    if (observer) observer->on_diagnostics(local);
   }
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(sim_time);

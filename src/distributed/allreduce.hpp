@@ -16,6 +16,7 @@
 
 #include "distributed/cluster.hpp"
 #include "objectives/objective.hpp"
+#include "solvers/observer.hpp"
 #include "solvers/options.hpp"
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
@@ -39,11 +40,15 @@ struct AllreduceReport {
 /// with `use_importance`), gradients are averaged across all k·b samples via
 /// a simulated ring all-reduce, and the shared model takes one step.
 /// `options.threads` is ignored — `spec.nodes` is the parallelism. The
-/// Trace's time axis is simulated seconds.
+/// Trace's time axis is simulated seconds. `observer` (optional) receives
+/// per-epoch points, may stop the run at an epoch fence, and gets the
+/// AllreduceReport via on_diagnostics. Registered in the SolverRegistry as
+/// "dist.allreduce.sgd" (uniform sampling).
 [[nodiscard]] solvers::Trace run_allreduce_sgd(
     const sparse::CsrMatrix& data, const objectives::Objective& objective,
     const solvers::SolverOptions& options, const ClusterSpec& spec,
     bool use_importance, const solvers::EvalFn& eval,
-    AllreduceReport* report = nullptr);
+    AllreduceReport* report = nullptr,
+    solvers::TrainingObserver* observer = nullptr);
 
 }  // namespace isasgd::distributed

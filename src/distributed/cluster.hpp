@@ -55,31 +55,43 @@ struct ClusterSpec {
   /// sharding (see EXPERIMENTS.md).
   std::vector<double> node_speed;
 
-  /// Throws std::invalid_argument on nonsensical parameters.
+  /// The single validation point for every entry into the simulated
+  /// cluster: TrainerBuilder::cluster / ExecutionContext::set_cluster call
+  /// it at configuration time and the run_* engines call it defensively —
+  /// all through this one implementation. Throws std::invalid_argument
+  /// *naming the offending field* on a nonsensical spec. The !(x > 0) form
+  /// (rather than x <= 0) deliberately rejects NaN too.
   void validate() const {
-    if (nodes == 0) throw std::invalid_argument("ClusterSpec: zero nodes");
-    if (!(latency_seconds >= 0) || !(bandwidth_bytes_per_second > 0) ||
-        !(compute_seconds_per_nnz > 0) || !(apply_seconds_per_nnz >= 0)) {
-      throw std::invalid_argument("ClusterSpec: rates must be positive");
+    auto reject = [](const char* field, const char* requirement) {
+      throw std::invalid_argument(std::string("ClusterSpec::") + field +
+                                  ": " + requirement);
+    };
+    if (nodes == 0) reject("nodes", "must be at least 1");
+    if (!(latency_seconds >= 0)) {
+      reject("latency_seconds", "must be non-negative");
     }
-    if (bytes_per_nnz == 0 || bytes_per_dense_coord == 0) {
-      throw std::invalid_argument("ClusterSpec: zero wire sizes");
+    if (!(bandwidth_bytes_per_second > 0)) {
+      reject("bandwidth_bytes_per_second", "must be positive");
+    }
+    if (!(compute_seconds_per_nnz > 0)) {
+      reject("compute_seconds_per_nnz", "must be positive");
+    }
+    if (!(apply_seconds_per_nnz >= 0)) {
+      reject("apply_seconds_per_nnz", "must be non-negative");
+    }
+    if (bytes_per_nnz == 0) reject("bytes_per_nnz", "must be positive");
+    if (bytes_per_dense_coord == 0) {
+      reject("bytes_per_dense_coord", "must be positive");
     }
     if (max_outstanding_pushes == 0) {
-      throw std::invalid_argument(
-          "ClusterSpec: max_outstanding_pushes must be at least 1");
+      reject("max_outstanding_pushes", "must be at least 1");
     }
     if (!node_speed.empty()) {
       if (node_speed.size() != nodes) {
-        throw std::invalid_argument(
-            "ClusterSpec: node_speed must be empty or have one entry per "
-            "node");
+        reject("node_speed", "must be empty or have one entry per node");
       }
       for (double s : node_speed) {
-        if (!(s > 0)) {
-          throw std::invalid_argument(
-              "ClusterSpec: node speeds must be positive");
-        }
+        if (!(s > 0)) reject("node_speed", "entries must be positive");
       }
     }
   }

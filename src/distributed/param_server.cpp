@@ -1,11 +1,12 @@
 #include "distributed/param_server.hpp"
 
 #include <memory>
-#include <queue>
+#include <span>
 #include <vector>
 
 #include "partition/partition.hpp"
 #include "sampling/alias_table.hpp"
+#include "sim/event_loop.hpp"
 #include "solvers/importance_weights.hpp"
 #include "solvers/schedule.hpp"
 #include "util/rng.hpp"
@@ -17,25 +18,41 @@ namespace {
 
 enum class EventKind { kComputeDone, kApply };
 
-/// One scheduled event. For kComputeDone the payload describes the gradient
+/// One scheduled event's payload. For kComputeDone it describes the gradient
 /// whose computation finishes now; for kApply the same payload lands in the
-/// server model.
-struct Event {
-  double time = 0;
-  std::uint64_t seq = 0;  // FIFO tie-break
+/// server model. `shard` is null on the classic in-memory path (row is a
+/// global id into the full matrix) and pins the owning shard on the
+/// shard-major path (row is shard-local).
+struct PsEvent {
   EventKind kind = EventKind::kComputeDone;
   std::size_t node = 0;
   std::uint32_t row = 0;
+  data::ShardPtr shard;
   double gradient_scale = 0;
   double scaled_step = 0;
   std::size_t computed_after_applies = 0;  // applied-counter at compute start
 };
 
-struct TimeOrder {
-  bool operator()(const Event& a, const Event& b) const {
-    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-  }
+/// Counters shared by both paths; the epilogue folds them into the report.
+struct PsCounters {
+  std::size_t applied = 0;
+  std::size_t messages = 0;
+  std::size_t bytes_sent = 0;
+  double staleness_sum = 0;
 };
+
+void fill_report(ParamServerReport* report, const PsCounters& c,
+                 double simulated_seconds,
+                 const partition::PartitionPlan& plan) {
+  if (!report) return;
+  report->mean_staleness_updates =
+      c.applied > 0 ? c.staleness_sum / static_cast<double>(c.applied) : 0;
+  report->messages = c.messages;
+  report->bytes_sent = c.bytes_sent;
+  report->simulated_seconds = simulated_seconds;
+  report->phi_imbalance = plan.imbalance();
+  report->applied_strategy = plan.applied_strategy();
+}
 
 }  // namespace
 
@@ -44,13 +61,15 @@ solvers::Trace run_param_server(const sparse::CsrMatrix& data,
                                 const solvers::SolverOptions& options,
                                 const ClusterSpec& spec, bool use_importance,
                                 const solvers::EvalFn& eval,
-                                ParamServerReport* report) {
+                                ParamServerReport* report,
+                                solvers::TrainingObserver* observer) {
   spec.validate();
   const std::size_t n = data.rows();
   const std::size_t k = std::min(spec.nodes, n);
   std::vector<double> w(data.dim(), 0.0);
-  solvers::TraceRecorder recorder(
-      use_importance ? "ps_is_asgd" : "ps_asgd", k, options.step_size, eval);
+  solvers::TraceRecorder recorder(use_importance ? "ps_is_asgd" : "ps_asgd", k,
+                                  options.step_size, eval, observer);
+  recorder.mark_simulated_time();
 
   // ---- Partition across nodes (Algorithm 4 lines 2–11) ----
   util::Stopwatch setup;
@@ -89,11 +108,8 @@ solvers::Trace run_param_server(const sparse::CsrMatrix& data,
   recorder.add_setup_seconds(setup.seconds());
   recorder.record(0, 0.0, w);
 
-  std::priority_queue<Event, std::vector<Event>, TimeOrder> events;
-  std::uint64_t seq_no = 0;
-  std::size_t applied = 0, messages = 0, bytes_sent = 0;
-  double staleness_sum = 0;
-  double sim_time = 0;
+  sim::EventLoop<PsEvent> loop;
+  PsCounters counters;
 
   // Starts node a's next gradient at simulated time `now`: reads the margin
   // against the *current* server state (this is ŵ for every in-flight
@@ -111,31 +127,27 @@ solvers::Trace run_param_server(const sparse::CsrMatrix& data,
     const auto val = x.values();
     double margin = 0;
     for (std::size_t j = 0; j < idx.size(); ++j) margin += w[idx[j]] * val[j];
-    events.push(Event{
-        .time = now + spec.node_compute_seconds(a, idx.size()),
-        .seq = seq_no++,
-        .kind = EventKind::kComputeDone,
-        .node = a,
-        .row = static_cast<std::uint32_t>(i),
-        .gradient_scale = objective.gradient_scale(margin, data.label(i)),
-        .scaled_step = lambda * ns.weight[slot],
-        .computed_after_applies = applied,
-    });
+    loop.schedule(now + spec.node_compute_seconds(a, idx.size()),
+                  PsEvent{
+                      .kind = EventKind::kComputeDone,
+                      .node = a,
+                      .row = static_cast<std::uint32_t>(i),
+                      .gradient_scale =
+                          objective.gradient_scale(margin, data.label(i)),
+                      .scaled_step = lambda * ns.weight[slot],
+                      .computed_after_applies = counters.applied,
+                  });
     --ns.quota;
   };
 
-  util::AccumulatingTimer host_clock;  // real cost of running the simulation
-  host_clock.start();
-  for (std::size_t epoch = 1; epoch <= options.epochs; ++epoch) {
+  for (std::size_t epoch = 1;
+       epoch <= options.epochs && !recorder.stop_requested(); ++epoch) {
     const double lambda = solvers::epoch_step(options, epoch);
     for (std::size_t a = 0; a < k; ++a) {
       node[a].quota = node[a].shard.rows.size();
-      if (node[a].quota > 0) start_compute(a, sim_time, lambda);
+      if (node[a].quota > 0) start_compute(a, loop.now(), lambda);
     }
-    while (!events.empty()) {
-      Event ev = events.top();
-      events.pop();
-      sim_time = ev.time;
+    loop.drain([&](PsEvent ev) {
       if (ev.kind == EventKind::kComputeDone) {
         // Push goes on the wire; the node pipelines into its next gradient
         // unless its flow-control window (max_outstanding_pushes) is full,
@@ -143,16 +155,19 @@ solvers::Trace run_param_server(const sparse::CsrMatrix& data,
         const std::size_t nnz = data.row(ev.row).indices().size();
         NodeState& ns = node[ev.node];
         ev.kind = EventKind::kApply;
-        ev.time = sim_time + spec.sparse_push_seconds(nnz) +
-                  spec.apply_seconds_per_nnz * static_cast<double>(nnz);
-        ev.seq = seq_no++;
-        ++messages;
-        bytes_sent += nnz * spec.bytes_per_nnz;
-        events.push(ev);
+        ++counters.messages;
+        counters.bytes_sent += nnz * spec.bytes_per_nnz;
+        const std::size_t a = ev.node;
+        // Left-associated sum, matching the pre-EventLoop arithmetic bit
+        // for bit (the frozen traces the tests pin depend on it).
+        loop.schedule(loop.now() + spec.sparse_push_seconds(nnz) +
+                          spec.apply_seconds_per_nnz *
+                              static_cast<double>(nnz),
+                      std::move(ev));
         ++ns.outstanding;
         if (ns.quota > 0) {
           if (ns.outstanding < spec.max_outstanding_pushes) {
-            start_compute(ev.node, sim_time, lambda);
+            start_compute(a, loop.now(), lambda);
           } else {
             ns.stalled = true;
           }
@@ -166,9 +181,9 @@ solvers::Trace run_param_server(const sparse::CsrMatrix& data,
           w[c] -= ev.scaled_step *
                   (ev.gradient_scale * val[j] + options.reg.subgradient(w[c]));
         }
-        staleness_sum +=
-            static_cast<double>(applied - ev.computed_after_applies);
-        ++applied;
+        counters.staleness_sum += static_cast<double>(
+            counters.applied - ev.computed_after_applies);
+        ++counters.applied;
         // Ack returns after one more latency hop; a stalled worker resumes
         // then (the ack itself needs no event — the worker's next compute
         // simply starts at ack arrival).
@@ -176,28 +191,201 @@ solvers::Trace run_param_server(const sparse::CsrMatrix& data,
         --ns.outstanding;
         if (ns.stalled && ns.quota > 0) {
           ns.stalled = false;
-          start_compute(ev.node, sim_time + spec.latency_seconds, lambda);
+          start_compute(ev.node, loop.now() + spec.latency_seconds, lambda);
         }
       }
-    }
+    });
     // Queue drained = epoch fence: every push of the epoch has landed.
-    host_clock.stop();
-    recorder.record(epoch, sim_time, w);
-    host_clock.start();
+    recorder.record(epoch, loop.now(), w);
   }
-  host_clock.stop();
 
-  if (report) {
-    report->mean_staleness_updates =
-        applied > 0 ? staleness_sum / static_cast<double>(applied) : 0;
-    report->messages = messages;
-    report->bytes_sent = bytes_sent;
-    report->simulated_seconds = sim_time;
-    report->phi_imbalance = plan.imbalance();
-    report->applied_strategy = plan.applied_strategy();
+  if (report || observer) {
+    ParamServerReport local;
+    fill_report(&local, counters, loop.now(), plan);
+    if (report) *report = local;
+    if (observer) observer->on_diagnostics(local);
   }
   if (options.keep_final_model) recorder.set_final_model(w);
-  return std::move(recorder).finish(sim_time);
+  return std::move(recorder).finish(loop.now());
+}
+
+solvers::Trace run_param_server_sharded(
+    const data::DataSource& source, const objectives::Objective& objective,
+    const solvers::SolverOptions& options, const ClusterSpec& spec,
+    bool use_importance, const solvers::EvalFn& eval,
+    ParamServerReport* report, solvers::TrainingObserver* observer) {
+  spec.validate();
+  const std::size_t shards = source.shard_count();
+  const std::size_t k = std::min(spec.nodes, shards);
+  std::vector<double> w(source.dim(), 0.0);
+  solvers::TraceRecorder recorder(use_importance ? "ps_is_asgd" : "ps_asgd", k,
+                                  options.step_size, eval, observer);
+  recorder.mark_simulated_time();
+
+  // ---- Setup: one sequential pass for per-shard importance, then deal
+  // whole shards to nodes with the Algorithm-4 balancing machinery applied
+  // at shard granularity (shard Φ totals play the role of L_i). ----
+  util::Stopwatch setup;
+  std::vector<std::vector<double>> shard_importance(shards);
+  std::vector<double> shard_phi(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (s + 1 < shards) source.prefetch(s + 1);
+    const data::ShardPtr shard = source.shard(s);
+    shard_importance[s] =
+        solvers::detail::importance_weights(*shard->matrix, objective, options);
+    double total = 0;
+    for (double v : shard_importance[s]) total += v;
+    shard_phi[s] = total;
+  }
+  partition::PartitionOptions popt = options.partition;
+  if (!use_importance) popt.strategy = partition::Strategy::kShuffle;
+  popt.shuffle_seed = options.seed ^ 0xd157;
+  const partition::PartitionPlan plan(shard_phi, k, popt);
+
+  struct NodeState {
+    std::span<const std::uint32_t> shards;  // assigned shard ordinals
+    std::size_t pos = 0;                    // current position in `shards`
+    data::ShardPtr shard;                   // resident current shard
+    std::vector<double> weight;  // 1/(N_s·p_i) per local row (unit if ASGD)
+    std::unique_ptr<sampling::AliasTable> sampler;  // null → uniform
+    util::Rng rng;
+    std::size_t quota = 0;        // computes remaining in the current shard
+    std::size_t outstanding = 0;  // unacknowledged pushes in flight
+    bool stalled = false;         // blocked on the flow-control window
+  };
+  std::vector<NodeState> node(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    node[a].shards = plan.shard(a).rows;
+    node[a].rng.reseed(util::derive_seed(options.seed, 0xc0de + a));
+  }
+  recorder.add_setup_seconds(setup.seconds());
+  recorder.record(0, 0.0, w);
+
+  sim::EventLoop<PsEvent> loop;
+  PsCounters counters;
+
+  // Makes node a's shard at `pos` resident and rebuilds its local sampler +
+  // IS step weights (the shard-local Eq. 12 law). Prefetches the node's
+  // next shard so the walk pipelines against I/O.
+  auto enter_shard = [&](std::size_t a) {
+    NodeState& ns = node[a];
+    const std::size_t ordinal = ns.shards[ns.pos];
+    ns.shard = source.shard(ordinal);
+    if (ns.pos + 1 < ns.shards.size()) source.prefetch(ns.shards[ns.pos + 1]);
+    const std::vector<double>& imp = shard_importance[ordinal];
+    const std::size_t local_n = imp.size();
+    ns.weight.assign(local_n, 1.0);
+    ns.sampler.reset();
+    if (use_importance && local_n > 0) {
+      const double total = shard_phi[ordinal];
+      std::vector<double> prob(local_n);
+      for (std::size_t i = 0; i < local_n; ++i) {
+        prob[i] = total > 0 ? imp[i] / total
+                            : 1.0 / static_cast<double>(local_n);
+      }
+      ns.sampler = std::make_unique<sampling::AliasTable>(prob);
+      for (std::size_t i = 0; i < local_n; ++i) {
+        ns.weight[i] = prob[i] > 0
+                           ? 1.0 / (static_cast<double>(local_n) * prob[i])
+                           : 1.0;
+      }
+    }
+    ns.quota = local_n;
+  };
+
+  // Starts node a's next gradient, advancing to its next shard when the
+  // current one's quota is exhausted. Returns without scheduling when the
+  // node has finished its epoch.
+  auto start_compute = [&](std::size_t a, double now, double lambda) {
+    NodeState& ns = node[a];
+    while (ns.quota == 0) {
+      if (ns.pos + 1 >= ns.shards.size()) return;  // epoch done for a
+      ++ns.pos;
+      enter_shard(a);
+    }
+    const std::size_t local_n = ns.weight.size();
+    const std::size_t slot =
+        ns.sampler ? ns.sampler->sample(ns.rng)
+                   : static_cast<std::size_t>(
+                         util::uniform_index(ns.rng, local_n));
+    const sparse::CsrMatrix& rows = *ns.shard->matrix;
+    const auto x = rows.row(slot);
+    const auto idx = x.indices();
+    const auto val = x.values();
+    double margin = 0;
+    for (std::size_t j = 0; j < idx.size(); ++j) margin += w[idx[j]] * val[j];
+    loop.schedule(now + spec.node_compute_seconds(a, idx.size()),
+                  PsEvent{
+                      .kind = EventKind::kComputeDone,
+                      .node = a,
+                      .row = static_cast<std::uint32_t>(slot),
+                      .shard = ns.shard,
+                      .gradient_scale =
+                          objective.gradient_scale(margin, rows.label(slot)),
+                      .scaled_step = lambda * ns.weight[slot],
+                      .computed_after_applies = counters.applied,
+                  });
+    --ns.quota;
+  };
+
+  for (std::size_t epoch = 1;
+       epoch <= options.epochs && !recorder.stop_requested(); ++epoch) {
+    const double lambda = solvers::epoch_step(options, epoch);
+    for (std::size_t a = 0; a < k; ++a) {
+      node[a].pos = 0;
+      enter_shard(a);
+      start_compute(a, loop.now(), lambda);
+    }
+    loop.drain([&](PsEvent ev) {
+      if (ev.kind == EventKind::kComputeDone) {
+        const std::size_t nnz =
+            ev.shard->matrix->row(ev.row).indices().size();
+        NodeState& ns = node[ev.node];
+        const std::size_t a = ev.node;
+        ev.kind = EventKind::kApply;
+        ++counters.messages;
+        counters.bytes_sent += nnz * spec.bytes_per_nnz;
+        loop.schedule_after(
+            spec.sparse_push_seconds(nnz) +
+                spec.apply_seconds_per_nnz * static_cast<double>(nnz),
+            std::move(ev));
+        ++ns.outstanding;
+        if (ns.outstanding < spec.max_outstanding_pushes) {
+          start_compute(a, loop.now(), lambda);
+        } else {
+          ns.stalled = true;
+        }
+      } else {
+        const auto x = ev.shard->matrix->row(ev.row);
+        const auto idx = x.indices();
+        const auto val = x.values();
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+          const std::size_t c = idx[j];
+          w[c] -= ev.scaled_step *
+                  (ev.gradient_scale * val[j] + options.reg.subgradient(w[c]));
+        }
+        counters.staleness_sum += static_cast<double>(
+            counters.applied - ev.computed_after_applies);
+        ++counters.applied;
+        NodeState& ns = node[ev.node];
+        --ns.outstanding;
+        if (ns.stalled) {
+          ns.stalled = false;
+          start_compute(ev.node, loop.now() + spec.latency_seconds, lambda);
+        }
+      }
+    });
+    recorder.record(epoch, loop.now(), w);
+  }
+
+  if (report || observer) {
+    ParamServerReport local;
+    fill_report(&local, counters, loop.now(), plan);
+    if (report) *report = local;
+    if (observer) observer->on_diagnostics(local);
+  }
+  if (options.keep_final_model) recorder.set_final_model(w);
+  return std::move(recorder).finish(loop.now());
 }
 
 }  // namespace isasgd::distributed

@@ -9,21 +9,31 @@
 // s + compute + latency + size/bandwidth, and every update other nodes land
 // in between is the paper's τ.
 //
-// The simulation is a discrete-event loop on a single thread (simulated
+// The simulation is a sim::EventLoop drain on a single thread (simulated
 // time is exact and runs are bit-reproducible for a fixed seed), and the
 // returned Trace carries simulated seconds, so param-server IS-ASGD /
 // ASGD / all-reduce SGD are directly comparable under one ClusterSpec.
+//
+// Registry names (solvers/SolverRegistry): "dist.ps.is_asgd" wraps the
+// importance-sampled run, "dist.ps.asgd" the uniform baseline; both read
+// their ClusterSpec from SolverContext::cluster (TrainerBuilder::cluster)
+// and publish a ParamServerReport through TrainingObserver::on_diagnostics.
+// The free functions below remain the engine-level entry points the unit
+// tests pin down.
 #pragma once
 
+#include "data/data_source.hpp"
 #include "distributed/cluster.hpp"
 #include "objectives/objective.hpp"
+#include "solvers/observer.hpp"
 #include "solvers/options.hpp"
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
 namespace isasgd::distributed {
 
-/// Diagnostics of one parameter-server run.
+/// Diagnostics of one parameter-server run. Published to
+/// TrainingObserver::on_diagnostics by the registry wrappers.
 struct ParamServerReport {
   /// Mean number of foreign updates applied between an update's compute
   /// start and its arrival — the emergent τ of §3.
@@ -46,11 +56,30 @@ struct ParamServerReport {
 /// Eq. 12 distribution with 1/(N_a·p_i) reweighting (Algorithm 4 lines
 /// 10–15) and the partition honours `options.partition`; with it false,
 /// nodes sample uniformly (distributed ASGD baseline) over a shuffled split.
-/// The Trace's time axis is simulated seconds.
+/// The Trace's time axis is simulated seconds. `observer` (optional)
+/// receives per-epoch points, may stop the run at an epoch fence, and gets
+/// the ParamServerReport via on_diagnostics.
 [[nodiscard]] solvers::Trace run_param_server(
     const sparse::CsrMatrix& data, const objectives::Objective& objective,
     const solvers::SolverOptions& options, const ClusterSpec& spec,
     bool use_importance, const solvers::EvalFn& eval,
-    ParamServerReport* report = nullptr);
+    ParamServerReport* report = nullptr,
+    solvers::TrainingObserver* observer = nullptr);
+
+/// Shard-major variant: node shards are whole data::DataSource partitions
+/// instead of individual rows, so a streaming source can feed the simulated
+/// cluster shard-by-shard without materialising one full matrix. Shards are
+/// dealt to nodes by the Algorithm-4 balancing machinery applied at shard
+/// granularity (shard Φ totals as the importance values); each node then
+/// walks its shards in assigned order, sampling within the resident shard
+/// by the local Eq. 12 law (or uniformly when `use_importance` is false).
+/// In-flight updates pin their shard via ShardPtr, so cache eviction can
+/// never invalidate a pending push.
+[[nodiscard]] solvers::Trace run_param_server_sharded(
+    const data::DataSource& source, const objectives::Objective& objective,
+    const solvers::SolverOptions& options, const ClusterSpec& spec,
+    bool use_importance, const solvers::EvalFn& eval,
+    ParamServerReport* report = nullptr,
+    solvers::TrainingObserver* observer = nullptr);
 
 }  // namespace isasgd::distributed

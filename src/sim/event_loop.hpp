@@ -1,0 +1,166 @@
+// The shared discrete-event engine behind every simulated solver.
+//
+// Three subsystems used to carry private copies of the same machinery: the
+// parameter-server simulation (distributed/param_server) kept a
+// priority_queue of compute/apply events over simulated seconds, the
+// delay-injection simulator (simulate/delayed_sgd) kept a priority_queue of
+// pending updates over simulated *steps*, and the all-reduce simulation
+// (distributed/allreduce) tracked per-node compute clocks joined by a
+// synchronous barrier. This header is the one implementation all of them
+// now share:
+//
+//   * EventQueue<Time, Payload> — a typed min-queue on (time, seq) where seq
+//     is the insertion order, so events scheduled for the same instant fire
+//     FIFO. Time is any totally-ordered type: simulated seconds (double) for
+//     the cluster engines, global step counts (std::size_t) for the
+//     delay-injection engine.
+//   * EventLoop<Payload>        — the seconds-clock engine: schedule events
+//     absolutely or relative to now(), then drain(); the handler fires with
+//     now() advanced to each event's timestamp and may schedule more events.
+//   * NodeClocks                — per-node simulated clocks for synchronous
+//     rounds: nodes advance independently, barrier() jumps every clock to
+//     the laggard's time (the straggler penalty of a synchronous step).
+//
+// Everything here is single-threaded and deterministic by construction: for
+// a fixed schedule of pushes, the pop order is a pure function of the
+// (time, seq) pairs — which is what makes every simulated solver
+// bit-reproducible under a fixed seed.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace isasgd::sim {
+
+/// Typed discrete-event queue: pops in ascending (time, insertion) order.
+/// `Time` must be totally ordered by operator< (double seconds, size_t
+/// steps, ...). Ties on time resolve FIFO via the insertion sequence number,
+/// so the pop order is deterministic whatever the underlying heap does.
+template <class Time, class Payload>
+class EventQueue {
+ public:
+  struct Event {
+    Time time{};
+    std::uint64_t seq = 0;  ///< insertion order; FIFO tie-break
+    Payload payload;
+  };
+
+  /// Schedules `payload` at `time`. Stable: two pushes at the same time pop
+  /// in push order.
+  void push(Time time, Payload payload) {
+    heap_.push_back(Event{time, next_seq_++, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// The earliest event (undefined when empty()).
+  [[nodiscard]] const Event& top() const { return heap_.front(); }
+
+  /// Removes and returns the earliest event (undefined when empty()). The
+  /// event is *moved* out — payloads carrying shared_ptrs (the shard-pinned
+  /// cluster events) pay no refcount churn on the hot simulation loop,
+  /// which is why this is a raw heap vector and not std::priority_queue
+  /// (whose const top() forces a copy).
+  Event pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event event = std::move(heap_.back());
+    heap_.pop_back();
+    return event;
+  }
+
+ private:
+  /// Max-heap comparator whose "largest" element is the earliest (time,
+  /// seq) — the same total order the std::priority_queue version used, so
+  /// pop order (and therefore every simulated trace) is unchanged.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time < b.time) return false;
+      if (b.time < a.time) return true;
+      return a.seq > b.seq;
+    }
+  };
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Single-threaded discrete-event loop over simulated seconds. The clock
+/// only moves when an event fires — now() jumps to each event's timestamp —
+/// and it persists across drain() calls, so an epoch-fenced simulation can
+/// drain once per epoch while the simulated clock keeps running.
+template <class Payload>
+class EventLoop {
+ public:
+  /// Schedules `payload` at absolute simulated time `at`.
+  void schedule(double at, Payload payload) {
+    queue_.push(at, std::move(payload));
+  }
+
+  /// Schedules `payload` at now() + delay.
+  void schedule_after(double delay, Payload payload) {
+    queue_.push(now_ + delay, std::move(payload));
+  }
+
+  /// Current simulated time: the timestamp of the latest fired event.
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  [[nodiscard]] bool pending() const noexcept { return !queue_.empty(); }
+  [[nodiscard]] std::size_t pending_count() const noexcept {
+    return queue_.size();
+  }
+
+  /// Fires events in (time, insertion) order until the queue is empty,
+  /// advancing now() to each event's timestamp before invoking
+  /// `handler(payload)`. Handlers may schedule further events (they join
+  /// this drain). Returns now() — the time of the last fired event, or the
+  /// previous now() when nothing was pending.
+  template <class Handler>
+  double drain(Handler&& handler) {
+    while (!queue_.empty()) {
+      auto event = queue_.pop();
+      now_ = event.time;
+      handler(std::move(event.payload));
+    }
+    return now_;
+  }
+
+ private:
+  EventQueue<double, Payload> queue_;
+  double now_ = 0;
+};
+
+/// Per-node simulated clocks for synchronous (barrier-joined) simulations.
+/// Within a round every node advances its own clock by its own compute
+/// costs; barrier() models the synchronisation point: all clocks jump to
+/// the laggard's time, which is returned — so a single slow node prices the
+/// whole round (the straggler penalty the all-reduce ablation measures).
+class NodeClocks {
+ public:
+  explicit NodeClocks(std::size_t nodes) : time_(nodes, 0.0) {}
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return time_.size(); }
+  [[nodiscard]] double at(std::size_t node) const { return time_[node]; }
+
+  void advance(std::size_t node, double seconds) { time_[node] += seconds; }
+
+  /// Rewinds every clock to zero (round-relative accounting).
+  void reset() { std::fill(time_.begin(), time_.end(), 0.0); }
+
+  /// The synchronisation barrier: every clock jumps to the maximum and that
+  /// time is returned. With no nodes, returns 0.
+  double barrier() {
+    double latest = 0.0;
+    for (double t : time_) latest = std::max(latest, t);
+    std::fill(time_.begin(), time_.end(), latest);
+    return latest;
+  }
+
+ private:
+  std::vector<double> time_;
+};
+
+}  // namespace isasgd::sim

@@ -1,11 +1,11 @@
 #include "simulate/delayed_sgd.hpp"
 
 #include <numeric>
-#include <queue>
 #include <vector>
 
 #include "sampling/sequence.hpp"
-#include "solvers/async_runner.hpp"
+#include "sim/event_loop.hpp"
+#include "solvers/schedule.hpp"
 #include "solvers/importance_weights.hpp"
 #include "sparse/kernels.hpp"
 #include "util/rng.hpp"
@@ -18,20 +18,13 @@ namespace {
 /// A computed-but-not-yet-applied stochastic gradient. The sparse vector
 /// itself is not copied — (row, gradient scale, step) reconstructs the
 /// index-compressed update exactly, mirroring how the real solvers keep
-/// gradients implicit.
+/// gradients implicit. Queued in a sim::EventQueue keyed by the global step
+/// at which the update lands (FIFO among equal due steps).
 struct PendingUpdate {
-  std::size_t due = 0;          // global step at which it lands
-  std::uint64_t seq = 0;        // FIFO tie-break among equal due times
   std::uint32_t row = 0;
   double gradient_scale = 0;
   double scaled_step = 0;       // λ·(IS weight), frozen at compute time
   std::size_t computed_at = 0;
-};
-
-struct DueOrder {
-  bool operator()(const PendingUpdate& a, const PendingUpdate& b) const {
-    return a.due != b.due ? a.due > b.due : a.seq > b.seq;
-  }
 };
 
 }  // namespace
@@ -41,11 +34,13 @@ solvers::Trace run_delayed_sgd(const sparse::CsrMatrix& data,
                                const solvers::SolverOptions& options,
                                const DelayModel& delay, bool use_importance,
                                const solvers::EvalFn& eval,
-                               DelayReport* report) {
+                               DelayReport* report,
+                               solvers::TrainingObserver* observer) {
   const std::size_t n = data.rows();
   std::vector<double> w(data.dim(), 0.0);
-  solvers::TraceRecorder recorder(
-      use_importance ? "sim_is_asgd" : "sim_asgd", 1, options.step_size, eval);
+  solvers::TraceRecorder recorder(use_importance ? "sim_is_asgd" : "sim_asgd",
+                                  1, options.step_size, eval, observer);
+  recorder.mark_simulated_time();
 
   // ---- Offline phase (IS only): Eq. 12 distribution + sequences ----
   util::Stopwatch setup;
@@ -71,9 +66,8 @@ solvers::Trace run_delayed_sgd(const sparse::CsrMatrix& data,
 
   util::Rng sample_rng(options.seed);
   util::Rng delay_rng(util::derive_seed(options.seed, 0xde1a));
-  std::priority_queue<PendingUpdate, std::vector<PendingUpdate>, DueOrder>
-      pending;
-  std::uint64_t seq_no = 0;
+  // Event time = the global step at which the update lands.
+  sim::EventQueue<std::size_t, PendingUpdate> pending;
   std::size_t global_step = 0;
   double delay_sum = 0;
   std::size_t applied_count = 0, max_in_flight = 0, flushed = 0;
@@ -87,46 +81,55 @@ solvers::Trace run_delayed_sgd(const sparse::CsrMatrix& data,
     ++applied_count;
   };
 
-  const double train_seconds = solvers::detail::run_epoch_fenced_serial(
-      w, recorder, options.epochs, [&](std::size_t epoch) {
-        const double lambda = solvers::epoch_step(options, epoch);
-        for (std::size_t t = 0; t < n; ++t, ++global_step) {
-          // Compute against the *current* model (this is ŵ of Eq. 21 for
-          // every update still in the queue), then hold for `draw()` steps.
-          const std::size_t i =
-              use_importance
-                  ? sequences[epoch - 1][t]
-                  : static_cast<std::size_t>(util::uniform_index(sample_rng, n));
-          const double margin = sparse::sparse_dot(w, data.row(i));
-          pending.push(PendingUpdate{
-              .due = global_step + delay.draw(delay_rng),
-              .seq = seq_no++,
-              .row = static_cast<std::uint32_t>(i),
-              .gradient_scale = objective.gradient_scale(margin, data.label(i)),
-              .scaled_step =
-                  lambda * (use_importance ? weight[i] : 1.0),
-              .computed_at = global_step,
-          });
-          max_in_flight = std::max(max_in_flight, pending.size());
-          while (!pending.empty() && pending.top().due <= global_step) {
-            apply(pending.top());
-            pending.pop();
-          }
-        }
-        // Epoch fence: the real async solvers quiesce all workers before the
-        // model is scored, so every in-flight update has landed. Mirror that.
-        while (!pending.empty()) {
-          apply(pending.top());
-          pending.pop();
-          ++flushed;
-        }
-      });
+  // The time axis is the simulated *step* clock (one compute per step), so
+  // traces — including their seconds — are bit-reproducible for a fixed
+  // seed, exactly like the cluster engines'. The host cost of running the
+  // simulation is deliberately not recorded: it says nothing about the
+  // algorithm under study.
+  recorder.record(0, 0.0, w);
+  for (std::size_t epoch = 1;
+       epoch <= options.epochs && !recorder.stop_requested(); ++epoch) {
+    const double lambda = solvers::epoch_step(options, epoch);
+    for (std::size_t t = 0; t < n; ++t, ++global_step) {
+      // Compute against the *current* model (this is ŵ of Eq. 21 for
+      // every update still in the queue), then hold for `draw()` steps.
+      const std::size_t i =
+          use_importance
+              ? sequences[epoch - 1][t]
+              : static_cast<std::size_t>(util::uniform_index(sample_rng, n));
+      const double margin = sparse::sparse_dot(w, data.row(i));
+      pending.push(global_step + delay.draw(delay_rng),
+                   PendingUpdate{
+                       .row = static_cast<std::uint32_t>(i),
+                       .gradient_scale =
+                           objective.gradient_scale(margin, data.label(i)),
+                       .scaled_step =
+                           lambda * (use_importance ? weight[i] : 1.0),
+                       .computed_at = global_step,
+                   });
+      max_in_flight = std::max(max_in_flight, pending.size());
+      while (!pending.empty() && pending.top().time <= global_step) {
+        apply(pending.pop().payload);
+      }
+    }
+    // Epoch fence: the real async solvers quiesce all workers before the
+    // model is scored, so every in-flight update has landed. Mirror that.
+    while (!pending.empty()) {
+      apply(pending.pop().payload);
+      ++flushed;
+    }
+    recorder.record(epoch, static_cast<double>(global_step), w);
+  }
+  const double train_seconds = static_cast<double>(global_step);
 
-  if (report) {
-    report->mean_applied_delay =
+  if (report || observer) {
+    DelayReport local;
+    local.mean_applied_delay =
         applied_count > 0 ? delay_sum / static_cast<double>(applied_count) : 0;
-    report->max_in_flight = max_in_flight;
-    report->flushed_at_fences = flushed;
+    local.max_in_flight = max_in_flight;
+    local.flushed_at_fences = flushed;
+    if (report) *report = local;
+    if (observer) observer->on_diagnostics(local);
   }
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(train_seconds);

@@ -18,6 +18,7 @@
 
 #include "objectives/objective.hpp"
 #include "simulate/delay_model.hpp"
+#include "solvers/observer.hpp"
 #include "solvers/options.hpp"
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
@@ -35,16 +36,23 @@ struct DelayReport {
   std::size_t flushed_at_fences = 0;
 };
 
-/// Runs `epochs × n` delayed-SGD steps. With `use_importance` false this is
+/// Runs `epochs × n` delayed-SGD steps. The Trace's time axis is the
+/// simulated step clock (seconds = global steps), so traces are
+/// bit-reproducible for a fixed seed like the cluster engines'. With `use_importance` false this is
 /// ASGD's perturbed-iterate serialisation (uniform sampling, unit weights);
 /// with it true, IS-ASGD's (Eq. 12 distribution + 1/(n·p_i) reweighting,
 /// sequences pre-generated per Algorithm 2). DelayModel::none() reproduces
 /// `run_sgd` / IS-SGD semantics exactly (bitwise for the uniform path at
-/// batch_size 1, which the tests pin).
+/// batch_size 1, which the tests pin). `observer` (optional) receives
+/// per-epoch points, may stop the run at an epoch fence, and gets the
+/// DelayReport via on_diagnostics. Registered in the SolverRegistry as
+/// "sim.delayed_sgd" (uniform) and "sim.delayed_is_sgd" (importance), with
+/// the delay law taken from SolverOptions::delay_law / delay_tau.
 [[nodiscard]] solvers::Trace run_delayed_sgd(
     const sparse::CsrMatrix& data, const objectives::Objective& objective,
     const solvers::SolverOptions& options, const DelayModel& delay,
     bool use_importance, const solvers::EvalFn& eval,
-    DelayReport* report = nullptr);
+    DelayReport* report = nullptr,
+    solvers::TrainingObserver* observer = nullptr);
 
 }  // namespace isasgd::simulate

@@ -1,0 +1,80 @@
+// Registry wrappers folding the delay-injection simulator into the unified
+// solver architecture:
+//
+//   sim.delayed_sgd     uniform sampling — ASGD's perturbed-iterate
+//                       serialisation with τ as a controlled input
+//   sim.delayed_is_sgd  Eq. 12 importance sampling — IS-ASGD's
+//                       serialisation at the same injected τ
+//
+// The delay law comes from SolverOptions::delay_law / delay_tau (the
+// registry-friendly mirror of simulate::DelayModel); the default kNone
+// reproduces serial SGD bit-for-bit, so the conformance suite exercises the
+// wrapper end to end while ablation_delay_injection sweeps τ through and
+// beyond the Eq. 27 bound. The DelayReport lands on
+// TrainingObserver::on_diagnostics.
+#include <stdexcept>
+
+#include "simulate/delay_model.hpp"
+#include "simulate/delayed_sgd.hpp"
+#include "solvers/solver.hpp"
+
+namespace isasgd::simulate {
+
+namespace {
+
+/// SolverOptions::DelayLaw → simulate::DelayModel.
+DelayModel delay_from_options(const solvers::SolverOptions& options) {
+  using Law = solvers::SolverOptions::DelayLaw;
+  switch (options.delay_law) {
+    case Law::kNone:
+      return DelayModel::none();
+    case Law::kFixed:
+      return DelayModel::fixed(options.delay_tau);
+    case Law::kUniform:
+      return DelayModel::uniform(options.delay_tau);
+    case Law::kGeometric:
+      return DelayModel::geometric(options.delay_tau);
+  }
+  throw std::invalid_argument("delay_from_options: unknown DelayLaw");
+}
+
+class DelayedSgdSolver : public solvers::Solver {
+ public:
+  explicit DelayedSgdSolver(bool use_importance)
+      : use_importance_(use_importance) {}
+
+  solvers::SolverCapabilities capabilities() const noexcept override {
+    return {.importance_sampling = use_importance_, .simulated_time = true};
+  }
+
+ protected:
+  solvers::Trace run_impl(const solvers::SolverContext& ctx) const override {
+    return run_delayed_sgd(ctx.data(), ctx.objective, ctx.options,
+                           delay_from_options(ctx.options), use_importance_,
+                           ctx.eval, /*report=*/nullptr, ctx.observer);
+  }
+
+ private:
+  bool use_importance_;
+};
+
+class SimDelayedSgdSolver final : public DelayedSgdSolver {
+ public:
+  SimDelayedSgdSolver() : DelayedSgdSolver(/*use_importance=*/false) {}
+  std::string_view name() const noexcept override { return "sim.delayed_sgd"; }
+};
+
+class SimDelayedIsSgdSolver final : public DelayedSgdSolver {
+ public:
+  SimDelayedIsSgdSolver() : DelayedSgdSolver(/*use_importance=*/true) {}
+  std::string_view name() const noexcept override {
+    return "sim.delayed_is_sgd";
+  }
+};
+
+ISASGD_REGISTER_SOLVER(SimDelayedSgdSolver);
+ISASGD_REGISTER_SOLVER(SimDelayedIsSgdSolver);
+
+}  // namespace
+
+}  // namespace isasgd::simulate

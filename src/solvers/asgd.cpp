@@ -45,7 +45,7 @@ Trace run_asgd(const sparse::CsrMatrix& data,
   const std::size_t n = data.rows();
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   SharedModel model(data.dim());
-  TraceRecorder recorder(algorithm_name(Algorithm::kAsgd), threads,
+  TraceRecorder recorder("ASGD", threads,
                          options.step_size, eval, observer);
 
   // Shuffled contiguous shards: worker tid owns rows
@@ -98,7 +98,7 @@ Trace run_asgd_streaming(const data::DataSource& source,
                          TrainingObserver* observer, util::ThreadPool* pool) {
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   SharedModel model(source.dim());
-  TraceRecorder recorder(algorithm_name(Algorithm::kAsgd), threads,
+  TraceRecorder recorder("ASGD", threads,
                          options.step_size, eval, observer);
   sampling::ShardedSequence schedule(source.shard_sizes(), options.seed);
   const UpdatePolicy policy = options.update_policy;

@@ -22,7 +22,7 @@ Trace run_is_asgd(const sparse::CsrMatrix& data,
                   util::ThreadPool* pool) {
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   SharedModel model(data.dim());
-  TraceRecorder recorder(algorithm_name(Algorithm::kIsAsgd), threads,
+  TraceRecorder recorder("IS-ASGD", threads,
                          options.step_size, eval, observer);
 
   // ---- Offline phase (Algorithm 4 lines 2–12), timed as setup ----

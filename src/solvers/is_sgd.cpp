@@ -59,7 +59,7 @@ Trace run_is_sgd(const sparse::CsrMatrix& data,
   const std::size_t n = data.rows();
   const std::size_t b = std::max<std::size_t>(1, options.batch_size);
   std::vector<double> w(data.dim(), 0.0);
-  TraceRecorder recorder(algorithm_name(Algorithm::kIsSgd), 1,
+  TraceRecorder recorder("IS-SGD", 1,
                          options.step_size, eval, observer);
 
   // ---- Offline phase (Algorithm 2 lines 2–3), timed as setup ----

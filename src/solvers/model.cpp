@@ -45,32 +45,4 @@ UpdatePolicy update_policy_from_name(const std::string& name) {
       "' (expected wild|atomic|striped|locked)");
 }
 
-std::string algorithm_name(Algorithm a) {
-  switch (a) {
-    case Algorithm::kSgd: return "SGD";
-    case Algorithm::kIsSgd: return "IS-SGD";
-    case Algorithm::kAsgd: return "ASGD";
-    case Algorithm::kIsAsgd: return "IS-ASGD";
-    case Algorithm::kSvrgSgd: return "SVRG-SGD";
-    case Algorithm::kSvrgAsgd: return "SVRG-ASGD";
-    case Algorithm::kSaga: return "SAGA";
-    case Algorithm::kSvrgLazy: return "SVRG-LAZY";
-    case Algorithm::kSag: return "SAG";
-  }
-  return "?";
-}
-
-Algorithm algorithm_from_name(const std::string& name) {
-  if (name == "SGD" || name == "sgd") return Algorithm::kSgd;
-  if (name == "IS-SGD" || name == "is_sgd") return Algorithm::kIsSgd;
-  if (name == "ASGD" || name == "asgd") return Algorithm::kAsgd;
-  if (name == "IS-ASGD" || name == "is_asgd") return Algorithm::kIsAsgd;
-  if (name == "SVRG-SGD" || name == "svrg_sgd") return Algorithm::kSvrgSgd;
-  if (name == "SVRG-ASGD" || name == "svrg_asgd") return Algorithm::kSvrgAsgd;
-  if (name == "SAGA" || name == "saga") return Algorithm::kSaga;
-  if (name == "SVRG-LAZY" || name == "svrg_lazy") return Algorithm::kSvrgLazy;
-  if (name == "SAG" || name == "sag") return Algorithm::kSag;
-  throw std::invalid_argument("algorithm_from_name: unknown '" + name + "'");
-}
-
 }  // namespace isasgd::solvers

@@ -67,6 +67,31 @@ class TrainingObserver {
   virtual void on_train_end(const Trace& trace) { (void)trace; }
 };
 
+/// Captures the last diagnostics object of type R published during a run —
+/// the one-liner for callers that only want a solver's typed report:
+///
+///   solvers::DiagnosticsCapture<distributed::ParamServerReport> report;
+///   auto trace = trainer.train("dist.ps.is_asgd", opt, &report);
+///   if (report.has_value()) use(report.value());
+template <class R>
+class DiagnosticsCapture final : public TrainingObserver {
+ public:
+  void on_diagnostics(const std::any& diagnostics) override {
+    if (const R* r = std::any_cast<R>(&diagnostics)) {
+      value_ = *r;
+      have_ = true;
+    }
+  }
+
+  [[nodiscard]] bool has_value() const noexcept { return have_; }
+  /// The captured report; default-constructed R when none arrived.
+  [[nodiscard]] const R& value() const noexcept { return value_; }
+
+ private:
+  R value_{};
+  bool have_ = false;
+};
+
 /// Fans one observer slot out to several observers. Stop requests combine
 /// with OR: any observer returning false from on_epoch stops the run.
 class ObserverChain final : public TrainingObserver {

@@ -10,26 +10,10 @@
 
 namespace isasgd::solvers {
 
-/// The algorithms the paper evaluates (§4, "Algorithms").
-///
-/// DEPRECATED: the enum survives one release as a shim for existing callers.
-/// New code addresses solvers by registry name ("is_asgd", "SVRG-SGD", ...)
-/// through SolverRegistry / core::Trainer::train(name, ...), which also
-/// reaches solvers the enum never listed (e.g. the prox family).
-enum class Algorithm {
-  kSgd,       ///< serial uniform SGD (baseline)
-  kIsSgd,     ///< Algorithm 2: serial importance-sampled SGD
-  kAsgd,      ///< Hogwild-style lock-free asynchronous SGD
-  kIsAsgd,    ///< Algorithm 4: the paper's contribution
-  kSvrgSgd,   ///< serial SVRG
-  kSvrgAsgd,  ///< Algorithm 1: SVRG-styled ASGD (faithful dense-μ version)
-  kSaga,      ///< SAGA (Defazio et al.), the other "SVRG-styled" VR method
-  kSvrgLazy,  ///< extension: SVRG with lazily-aggregated dense terms
-  kSag,       ///< SAG (Le Roux et al.), completing the incremental-VR family
-};
-
-[[nodiscard]] std::string algorithm_name(Algorithm a);
-[[nodiscard]] Algorithm algorithm_from_name(const std::string& name);
+// The deprecated solvers::Algorithm enum (and algorithm_name /
+// algorithm_from_name) was removed after its one release of grace — address
+// solvers by SolverRegistry name ("is_asgd", "SVRG-SGD", "dist.ps.is_asgd",
+// ...) through core::Trainer::train(name, ...).
 
 /// How concurrent workers write the shared model (see model.hpp).
 enum class UpdatePolicy {
@@ -118,6 +102,24 @@ struct SolverOptions {
   /// fires on every SolverOptions construction under GCC, so the shim's
   /// diagnostic lives in Solver::validate instead.)
   bool reshuffle_sequences = false;
+
+  // ---- simulated-time solvers (sim.* / dist.*) ----
+  /// Staleness law injected by the sim.delayed_* solvers: every computed
+  /// gradient is held for a drawn number of steps before it lands (mirrors
+  /// simulate::DelayModel — the registry wrappers translate). kNone
+  /// reproduces serial SGD exactly; the other laws make the paper's τ a
+  /// controlled input. Ignored by every non-simulated solver, and by the
+  /// dist.* cluster solvers (their staleness *emerges* from the ClusterSpec
+  /// cost model instead of being injected).
+  enum class DelayLaw {
+    kNone,       ///< τ = 0 — degenerates to serial SGD exactly
+    kFixed,      ///< constant τ — the perturbed-iterate worst case
+    kUniform,    ///< uniform on [0, τ] — spread-out staleness, mean τ/2
+    kGeometric,  ///< geometric with mean τ — heavy-tailed straggler law
+  };
+  DelayLaw delay_law = DelayLaw::kNone;
+  /// τ parameter of delay_law, in steps.
+  std::size_t delay_tau = 0;
 
   // ---- SVRG-specific ----
   /// Snapshot/full-gradient refresh interval in epochs (1 = every epoch,

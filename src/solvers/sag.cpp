@@ -14,7 +14,7 @@ Trace run_sag(const sparse::CsrMatrix& data,
   const std::size_t n = data.rows();
   const std::size_t d = data.dim();
   std::vector<double> w(d, 0.0);
-  TraceRecorder recorder(algorithm_name(Algorithm::kSag), 1,
+  TraceRecorder recorder("SAG", 1,
                          options.step_size, eval, observer);
 
   // Gradient memory: scalar α_i per sample and the dense running average

@@ -37,7 +37,7 @@ Trace run_sgd(const sparse::CsrMatrix& data,
   const std::size_t n = data.rows();
   const std::size_t b = std::max<std::size_t>(1, options.batch_size);
   std::vector<double> w(data.dim(), 0.0);
-  TraceRecorder recorder(algorithm_name(Algorithm::kSgd), 1, options.step_size,
+  TraceRecorder recorder("SGD", 1, options.step_size,
                          eval, observer);
 
   util::Rng rng(options.seed);
@@ -71,7 +71,7 @@ Trace run_sgd_streaming(const data::DataSource& source,
                         TrainingObserver* observer) {
   const std::size_t b = std::max<std::size_t>(1, options.batch_size);
   std::vector<double> w(source.dim(), 0.0);
-  TraceRecorder recorder(algorithm_name(Algorithm::kSgd), 1, options.step_size,
+  TraceRecorder recorder("SGD", 1, options.step_size,
                          eval, observer);
   sampling::ShardedSequence schedule(source.shard_sizes(), options.seed);
 

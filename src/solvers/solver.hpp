@@ -21,7 +21,10 @@
 // Lookup is name-based and case/punctuation-insensitive ("IS-ASGD" and
 // "is_asgd" resolve identically). core::Trainer::train(name, ...) and the
 // experiment sweeps dispatch exclusively through the registry; the legacy
-// solvers::Algorithm enum survives only as a deprecated shim.
+// solvers::Algorithm enum shim was removed after its one release of grace.
+// Dotted names namespace solver families ("dist.ps.is_asgd",
+// "sim.delayed_sgd" — the simulated-time solvers from src/distributed/ and
+// src/simulate/).
 #pragma once
 
 #include <memory>
@@ -39,6 +42,10 @@
 
 namespace isasgd::util {
 class ThreadPool;
+}
+
+namespace isasgd::distributed {
+struct ClusterSpec;
 }
 
 namespace isasgd::solvers {
@@ -59,6 +66,13 @@ struct SolverCapabilities {
   /// the full matrix — out-of-core capable. Solvers without this flag still
   /// run on any source, through ctx.data()'s materialising fallback.
   bool streaming = false;
+  /// Advances a simulated clock (discrete-event cluster or delay-injection
+  /// engine, src/sim/): the produced Trace's time axis is simulated seconds
+  /// (Trace::simulated_time is set), parallelism comes from the
+  /// SolverContext's ClusterSpec rather than SolverOptions::threads, and
+  /// runs are bit-reproducible for a fixed seed. Evaluators/sweeps must not
+  /// compare these times against host wall-clock traces.
+  bool simulated_time = false;
 
   /// Ignores the thread count — one run covers every requested count.
   [[nodiscard]] bool serial() const noexcept { return !parallel; }
@@ -77,6 +91,11 @@ struct SolverContext {
   EvalFn eval;
   TrainingObserver* observer = nullptr;
   util::ThreadPool* pool = nullptr;
+  /// Simulated-cluster cost model for the dist.* solvers, normally the one
+  /// configured through core::TrainerBuilder::cluster(...) and carried by
+  /// the ExecutionContext. Null ⇒ the default ClusterSpec (a 4-node 10 GbE
+  /// cluster); non-simulated solvers ignore it entirely.
+  const distributed::ClusterSpec* cluster = nullptr;
 
   /// The dataset as one full matrix — the classic in-memory view every
   /// non-streaming solver consumes. Free for in-memory sources; on a

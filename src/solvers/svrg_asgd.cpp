@@ -55,7 +55,7 @@ Trace run_svrg_asgd(const sparse::CsrMatrix& data,
   const std::size_t d = data.dim();
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   SharedModel model(d);
-  TraceRecorder recorder(algorithm_name(Algorithm::kSvrgAsgd), threads,
+  TraceRecorder recorder("SVRG-ASGD", threads,
                          options.step_size, eval, observer);
   recorder.record(0, 0.0, model.snapshot());
 

@@ -34,7 +34,7 @@ Trace run_svrg_sgd(const sparse::CsrMatrix& data,
   const std::size_t n = data.rows();
   const std::size_t d = data.dim();
   std::vector<double> w(d, 0.0);
-  TraceRecorder recorder(algorithm_name(Algorithm::kSvrgSgd), 1,
+  TraceRecorder recorder("SVRG-SGD", 1,
                          options.step_size, eval, observer);
 
   std::vector<double> s(d, 0.0);   // snapshot

@@ -49,6 +49,11 @@ struct Trace {
   double setup_seconds = 0;
   /// Pure training wall-clock (Σ epoch windows, eval excluded).
   double train_seconds = 0;
+  /// True when the time axis is *simulated* seconds (discrete-event cluster
+  /// / delay-injection solvers — SolverCapabilities::simulated_time): points
+  /// are only comparable to other traces produced under the same
+  /// ClusterSpec, never to host wall-clock traces.
+  bool simulated_time = false;
   /// Final model vector; filled only when SolverOptions::keep_final_model.
   std::vector<double> final_model;
 
@@ -84,6 +89,10 @@ class TraceRecorder {
 
   /// Adds to the offline-setup account.
   void add_setup_seconds(double s) { setup_seconds_ += s; }
+
+  /// Flags the trace's time axis as simulated seconds (see
+  /// Trace::simulated_time). Called once by the discrete-event solvers.
+  void mark_simulated_time() { trace_.simulated_time = true; }
 
   /// Stores the final model (see SolverOptions::keep_final_model).
   void set_final_model(std::vector<double> w) {

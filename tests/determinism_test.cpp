@@ -22,6 +22,7 @@
 #include "data/data_source.hpp"
 #include "data/streaming_source.hpp"
 #include "data/synthetic.hpp"
+#include "distributed/cluster.hpp"
 #include "io/binary.hpp"
 #include "objectives/least_squares.hpp"
 #include "objectives/logistic.hpp"
@@ -86,6 +87,60 @@ TEST(SerialDeterminism, SameSeedGivesBitIdenticalFinalModels) {
     }
   }
   EXPECT_GE(serial_solvers, 7u);  // SGD, IS-SGD, 3×SVRG/SAG/SAGA, prox pair
+}
+
+TEST(SimulatedDeterminism, DistAndSimSolversAreBitPureAcrossReruns) {
+  // Every simulated_time solver is a discrete-event engine on a single
+  // thread: two runs with the same seed must agree bit-for-bit — final
+  // model, per-epoch objectives, *and* the simulated time axis. The
+  // registry is enumerated at runtime so newly registered simulated solvers
+  // are covered automatically.
+  const auto data = classification_dataset();
+  objectives::LogisticLoss loss;
+  distributed::ClusterSpec cluster;
+  cluster.nodes = 3;
+  const core::Trainer trainer = core::TrainerBuilder()
+                                    .data(data)
+                                    .objective(loss)
+                                    .l2(1e-3)
+                                    .eval_threads(1)
+                                    .cluster(cluster)
+                                    .build();
+  solvers::SolverOptions opt;
+  opt.epochs = 3;
+  opt.step_size = 0.3;
+  opt.seed = 20260728;
+  opt.keep_final_model = true;
+  // A stochastic delay law so the sim.delayed_* delay RNG stream is
+  // genuinely exercised (kNone would leave it untouched).
+  opt.delay_law = solvers::SolverOptions::DelayLaw::kUniform;
+  opt.delay_tau = 16;
+
+  const auto& registry = solvers::SolverRegistry::instance();
+  std::size_t simulated_solvers = 0;
+  for (const std::string& name : registry.list()) {
+    if (!registry.get(name).capabilities().simulated_time) continue;
+    ++simulated_solvers;
+    const auto first = trainer.train(name, opt);
+    const auto second = trainer.train(name, opt);
+    EXPECT_TRUE(first.simulated_time) << name;
+    ASSERT_EQ(first.final_model.size(), data.dim()) << name;
+    ASSERT_EQ(first.points.size(), second.points.size()) << name;
+    for (std::size_t j = 0; j < first.final_model.size(); ++j) {
+      ASSERT_EQ(first.final_model[j], second.final_model[j])
+          << name << " coordinate " << j;
+    }
+    for (std::size_t e = 0; e < first.points.size(); ++e) {
+      ASSERT_EQ(first.points[e].objective, second.points[e].objective)
+          << name << " epoch " << e;
+      // The simulated clock is part of the contract, unlike host seconds.
+      ASSERT_EQ(first.points[e].seconds, second.points[e].seconds)
+          << name << " epoch " << e;
+    }
+    ASSERT_EQ(first.train_seconds, second.train_seconds) << name;
+  }
+  // dist.ps.{is_asgd,asgd}, dist.allreduce.sgd, sim.delayed_{sgd,is_sgd}.
+  EXPECT_GE(simulated_solvers, 5u);
 }
 
 TEST(StreamingDeterminism, StreamingSgdIsBitPureAcrossRuns) {

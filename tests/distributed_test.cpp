@@ -1,9 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <any>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
 #include <vector>
 
+#include "core/trainer.hpp"
+#include "data/data_source.hpp"
+#include "data/streaming_source.hpp"
 #include "data/synthetic.hpp"
+#include "io/binary.hpp"
 #include "distributed/allreduce.hpp"
 #include "distributed/cluster.hpp"
 #include "distributed/param_server.hpp"
@@ -56,6 +66,71 @@ TEST(ClusterSpec, ValidatesParameters) {
   bad.bytes_per_nnz = 0;
   EXPECT_THROW(bad.validate(), std::invalid_argument);
   EXPECT_NO_THROW(ClusterSpec{}.validate());
+}
+
+TEST(ClusterSpec, ValidationNamesTheOffendingField) {
+  // One validation implementation, and its message points at the field —
+  // the operator should never have to bisect a spec by hand.
+  auto message_for = [](auto&& mutate) {
+    ClusterSpec spec;
+    mutate(spec);
+    try {
+      spec.validate();
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string("(no throw)");
+  };
+  EXPECT_NE(message_for([](ClusterSpec& s) { s.nodes = 0; }).find("nodes"),
+            std::string::npos);
+  EXPECT_NE(message_for([](ClusterSpec& s) { s.latency_seconds = -1; })
+                .find("latency_seconds"),
+            std::string::npos);
+  EXPECT_NE(message_for([](ClusterSpec& s) {
+              s.bandwidth_bytes_per_second = 0;
+            }).find("bandwidth_bytes_per_second"),
+            std::string::npos);
+  EXPECT_NE(message_for([](ClusterSpec& s) { s.compute_seconds_per_nnz = 0; })
+                .find("compute_seconds_per_nnz"),
+            std::string::npos);
+  EXPECT_NE(message_for([](ClusterSpec& s) { s.apply_seconds_per_nnz = -1; })
+                .find("apply_seconds_per_nnz"),
+            std::string::npos);
+  EXPECT_NE(message_for([](ClusterSpec& s) { s.bytes_per_nnz = 0; })
+                .find("bytes_per_nnz"),
+            std::string::npos);
+  EXPECT_NE(message_for([](ClusterSpec& s) { s.bytes_per_dense_coord = 0; })
+                .find("bytes_per_dense_coord"),
+            std::string::npos);
+  EXPECT_NE(message_for([](ClusterSpec& s) { s.max_outstanding_pushes = 0; })
+                .find("max_outstanding_pushes"),
+            std::string::npos);
+  EXPECT_NE(message_for([](ClusterSpec& s) { s.node_speed = {1.0}; })
+                .find("node_speed"),
+            std::string::npos);
+  // NaN rates are as nonsensical as non-positive ones.
+  EXPECT_NE(message_for([](ClusterSpec& s) {
+              s.compute_seconds_per_nnz = std::nan("");
+            }).find("compute_seconds_per_nnz"),
+            std::string::npos);
+}
+
+TEST(ClusterSpec, BuilderValidatesAtConfigurationTime) {
+  // TrainerBuilder::cluster is the single configuration checkpoint: a bad
+  // spec is rejected at build(), long before any solver runs.
+  Fixture f(100, 40, 5);
+  ClusterSpec bad;
+  bad.nodes = 0;
+  try {
+    (void)core::TrainerBuilder()
+        .data(f.data)
+        .objective(f.loss)
+        .cluster(bad)
+        .build();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("nodes"), std::string::npos);
+  }
 }
 
 TEST(ClusterSpec, MessageCostIsLatencyPlusBytes) {
@@ -390,6 +465,269 @@ TEST(Straggler, StragglerSerialisesTheEpochTail) {
             uniform_report.mean_staleness_updates);
   EXPECT_GT(straggler_report.simulated_seconds,
             3.0 * uniform_report.simulated_seconds);
+}
+
+// ---------- Registry integration: the dist.* solvers ----------
+
+TEST(DistRegistry, TrainerPathReproducesEngineBitForBit) {
+  // The acceptance bar for the fold-in: dispatching through TrainerBuilder
+  // → SolverRegistry ("dist.ps.is_asgd", cluster spec on the builder) must
+  // reproduce the engine-level free function exactly — same final model,
+  // same simulated clock, bit for bit.
+  Fixture f(500, 150, 8);
+  ClusterSpec spec;
+  spec.nodes = 4;
+  auto opt = base_options(3);
+  opt.keep_final_model = true;
+
+  metrics::Evaluator engine_eval(f.data, f.loss,
+                                 objectives::Regularization::none(), 1);
+  const core::Trainer trainer = core::TrainerBuilder()
+                                    .data(f.data)
+                                    .objective(f.loss)
+                                    .cluster(spec)
+                                    .eval_threads(1)
+                                    .build();
+  const struct {
+    const char* registry_name;
+    bool use_importance;
+  } cases[] = {{"dist.ps.is_asgd", true}, {"dist.ps.asgd", false}};
+  for (const auto& c : cases) {
+    const solvers::Trace direct = run_param_server(
+        f.data, f.loss, opt, spec, c.use_importance, engine_eval.as_fn());
+    const solvers::Trace via_registry = trainer.train(c.registry_name, opt);
+    EXPECT_TRUE(via_registry.simulated_time);
+    EXPECT_EQ(via_registry.algorithm, direct.algorithm) << c.registry_name;
+    ASSERT_EQ(via_registry.final_model.size(), direct.final_model.size());
+    for (std::size_t j = 0; j < direct.final_model.size(); ++j) {
+      ASSERT_EQ(via_registry.final_model[j], direct.final_model[j])
+          << c.registry_name << " coordinate " << j;
+    }
+    ASSERT_EQ(via_registry.points.size(), direct.points.size());
+    for (std::size_t e = 0; e < direct.points.size(); ++e) {
+      ASSERT_EQ(via_registry.points[e].seconds, direct.points[e].seconds)
+          << c.registry_name << " epoch " << e;
+      ASSERT_EQ(via_registry.points[e].objective, direct.points[e].objective)
+          << c.registry_name << " epoch " << e;
+    }
+  }
+  // Same contract for the synchronous baseline.
+  auto ar_opt = opt;
+  ar_opt.batch_size = 2;
+  const solvers::Trace direct = run_allreduce_sgd(f.data, f.loss, ar_opt, spec,
+                                                  false, engine_eval.as_fn());
+  const solvers::Trace via_registry =
+      trainer.train("dist.allreduce.sgd", ar_opt);
+  ASSERT_EQ(via_registry.final_model.size(), direct.final_model.size());
+  for (std::size_t j = 0; j < direct.final_model.size(); ++j) {
+    ASSERT_EQ(via_registry.final_model[j], direct.final_model[j]);
+  }
+  ASSERT_EQ(via_registry.train_seconds, direct.train_seconds);
+}
+
+TEST(DistRegistry, ObserverReceivesParamServerReportAndCanStopEarly) {
+  Fixture f(400, 120, 8);
+  ClusterSpec spec;
+  spec.nodes = 3;
+  const core::Trainer trainer = core::TrainerBuilder()
+                                    .data(f.data)
+                                    .objective(f.loss)
+                                    .cluster(spec)
+                                    .eval_threads(1)
+                                    .build();
+  struct Capture : solvers::TrainingObserver {
+    ParamServerReport report;
+    bool have_report = false;
+    std::size_t epochs_seen = 0;
+    void on_diagnostics(const std::any& d) override {
+      if (const auto* r = std::any_cast<ParamServerReport>(&d)) {
+        report = *r;
+        have_report = true;
+      }
+    }
+    bool on_epoch(const solvers::TracePoint& p) override {
+      ++epochs_seen;
+      return p.epoch < 2;  // stop after epoch 2's fence
+    }
+  } capture;
+  const auto trace = trainer.train("dist.ps.is_asgd", base_options(6), &capture);
+  EXPECT_TRUE(capture.have_report);
+  EXPECT_GT(capture.report.messages, 0u);
+  EXPECT_GT(capture.report.simulated_seconds, 0.0);
+  // Early stop honoured at the epoch fence: epochs 0 (initial), 1, 2.
+  EXPECT_EQ(trace.points.size(), 3u);
+}
+
+TEST(DistRegistry, ContextClusterIsSharedFallbackAndBuilderOverridesIt) {
+  // ExecutionContext::set_cluster prices every Trainer sharing the context
+  // (the sweep pattern); TrainerBuilder::cluster stays private to its own
+  // Trainer and wins over the context — building one Trainer never changes
+  // what a sibling prices against.
+  Fixture f(400, 120, 8);
+  auto context = std::make_shared<core::ExecutionContext>(1);
+  ClusterSpec shared;
+  shared.nodes = 2;
+  context->set_cluster(shared);
+
+  const core::Trainer from_context = core::TrainerBuilder()
+                                         .data(f.data)
+                                         .objective(f.loss)
+                                         .execution(context)
+                                         .build();
+  ClusterSpec own = shared;
+  own.nodes = 5;
+  const core::Trainer overriding = core::TrainerBuilder()
+                                       .data(f.data)
+                                       .objective(f.loss)
+                                       .execution(context)
+                                       .cluster(own)
+                                       .build();
+  // Trace::threads records the node count the run actually priced against.
+  EXPECT_EQ(from_context.train("dist.ps.asgd", base_options(1)).threads, 2u);
+  EXPECT_EQ(overriding.train("dist.ps.asgd", base_options(1)).threads, 5u);
+  // The override never leaked into the shared context or its sibling.
+  ASSERT_NE(context->cluster(), nullptr);
+  EXPECT_EQ(context->cluster()->nodes, 2u);
+  EXPECT_EQ(from_context.train("dist.ps.asgd", base_options(1)).threads, 2u);
+  // set_cluster validates like the builder does, naming the field.
+  ClusterSpec bad;
+  bad.latency_seconds = -1;
+  try {
+    context->set_cluster(bad);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("latency_seconds"),
+              std::string::npos);
+  }
+}
+
+TEST(DistRegistry, DefaultClusterSpecAppliesWhenNoneConfigured) {
+  // Without TrainerBuilder::cluster the dist.* solvers run under the
+  // documented default (4-node 10 GbE) instead of failing.
+  Fixture f(300, 80, 6);
+  const core::Trainer trainer = core::TrainerBuilder()
+                                    .data(f.data)
+                                    .objective(f.loss)
+                                    .eval_threads(1)
+                                    .build();
+  const auto trace = trainer.train("dist.ps.asgd", base_options(2));
+  EXPECT_EQ(trace.points.size(), 3u);
+  EXPECT_EQ(trace.threads, ClusterSpec{}.nodes);
+  EXPECT_LT(trace.points.back().rmse, trace.points.front().rmse);
+}
+
+// ---------- Shard-major path: DataSource partitions as node shards ----------
+
+TEST(ParamServerSharded, ChunkedSourceConvergesAndRerunsBitPure) {
+  Fixture f(900, 300, 10);
+  const data::InMemorySource chunked(f.data, /*shard_rows=*/128);  // 8 shards
+  ASSERT_GT(chunked.shard_count(), 1u);
+  ClusterSpec spec;
+  spec.nodes = 3;
+  auto opt = base_options(6);
+  opt.keep_final_model = true;
+  const core::Trainer trainer = core::TrainerBuilder()
+                                    .source(chunked)
+                                    .objective(f.loss)
+                                    .cluster(spec)
+                                    .eval_threads(1)
+                                    .build();
+  const auto first = trainer.train("dist.ps.is_asgd", opt);
+  EXPECT_LT(first.points.back().rmse, 0.7 * first.points.front().rmse);
+  EXPECT_EQ(first.threads, 3u);
+  const auto second = trainer.train("dist.ps.is_asgd", opt);
+  ASSERT_EQ(first.final_model.size(), second.final_model.size());
+  for (std::size_t j = 0; j < first.final_model.size(); ++j) {
+    ASSERT_EQ(first.final_model[j], second.final_model[j]);
+  }
+  ASSERT_EQ(first.train_seconds, second.train_seconds);
+}
+
+TEST(ParamServerSharded, StreamingSourceMatchesChunkedBitForBit) {
+  // The tentpole claim end-to-end: an out-of-core StreamingSource (budget
+  // far below the dataset, so shards really are evicted and re-read) feeds
+  // the simulated cluster shard-by-shard and reproduces the chunked
+  // in-memory reference with the same shard geometry bit for bit — the
+  // sampling schedule and arithmetic are pure functions of the seed and
+  // geometry, never of what the cache did.
+  Fixture f(640, 200, 8);
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("isasgd_dist_stream_" + std::to_string(::getpid()) + ".bin"))
+          .string();
+  io::write_dataset_binary_file(path, f.data);
+
+  constexpr std::size_t kShardRows = 80;  // 8 shards
+  data::StreamingOptions sopt;
+  sopt.shard_rows = kShardRows;
+  // ~2 shards of budget: far below the dataset plus the per-node pinned
+  // shards, so eviction pressure is real.
+  sopt.memory_budget_bytes =
+      2 * kShardRows * 8 * (sizeof(sparse::index_t) + sizeof(double));
+  const data::StreamingSource streaming(path, sopt);
+  const data::InMemorySource chunked(f.data, kShardRows);
+  ASSERT_EQ(streaming.shard_count(), chunked.shard_count());
+
+  ClusterSpec cluster;
+  cluster.nodes = 3;
+  auto opt = base_options(4);
+  opt.keep_final_model = true;
+  auto train = [&](const data::DataSource& source) {
+    const core::Trainer trainer = core::TrainerBuilder()
+                                      .source(source)
+                                      .objective(f.loss)
+                                      .cluster(cluster)
+                                      .eval_threads(1)
+                                      .build();
+    return trainer.train("dist.ps.is_asgd", opt);
+  };
+  const auto from_stream = train(streaming);
+  const auto from_chunked = train(chunked);
+
+  ASSERT_EQ(from_stream.final_model.size(), from_chunked.final_model.size());
+  for (std::size_t j = 0; j < from_stream.final_model.size(); ++j) {
+    ASSERT_EQ(from_stream.final_model[j], from_chunked.final_model[j])
+        << "coordinate " << j;
+  }
+  ASSERT_EQ(from_stream.points.size(), from_chunked.points.size());
+  for (std::size_t e = 0; e < from_stream.points.size(); ++e) {
+    ASSERT_EQ(from_stream.points[e].seconds, from_chunked.points[e].seconds);
+    ASSERT_EQ(from_stream.points[e].objective,
+              from_chunked.points[e].objective);
+  }
+  EXPECT_LT(from_stream.points.back().rmse, from_stream.points.front().rmse);
+  std::remove(path.c_str());
+}
+
+TEST(ParamServerSharded, ShardBalancingTightensNodePhiSpread) {
+  // The Algorithm-4 story at shard granularity: dealing shards to nodes by
+  // importance totals (greedy LPT over shard Φ) must beat an arbitrary
+  // shard order on skewed data.
+  data::SyntheticSpec spec;
+  spec.rows = 1024;
+  spec.dim = 400;
+  spec.mean_row_nnz = 8;
+  spec.target_psi = 0.6;  // wide Lipschitz spread
+  const auto data = data::generate(spec);
+  objectives::LogisticLoss loss;
+  const data::InMemorySource chunked(data, /*shard_rows=*/64);  // 16 shards
+  metrics::Evaluator ev(chunked, loss, objectives::Regularization::none(), 1);
+  ClusterSpec cluster;
+  cluster.nodes = 4;
+
+  auto run_with = [&](partition::Strategy strategy) {
+    auto opt = base_options(1);
+    opt.partition.strategy = strategy;
+    ParamServerReport report;
+    (void)run_param_server_sharded(chunked, loss, opt, cluster, true,
+                                   ev.as_fn(), &report);
+    return report;
+  };
+  const ParamServerReport balanced = run_with(partition::Strategy::kGreedyLpt);
+  const ParamServerReport raw = run_with(partition::Strategy::kNone);
+  EXPECT_EQ(balanced.applied_strategy, partition::Strategy::kGreedyLpt);
+  EXPECT_LE(balanced.phi_imbalance, raw.phi_imbalance);
+  EXPECT_LT(balanced.phi_imbalance, 0.1);
 }
 
 TEST(Allreduce, AsyncSparsePushBeatsDenseAllreduceOnSparseHighDim) {

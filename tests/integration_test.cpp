@@ -12,6 +12,7 @@
 #include "data/paper_datasets.hpp"
 #include "metrics/speedup.hpp"
 #include "objectives/logistic.hpp"
+#include "solvers/is_asgd.hpp"
 #include "util/csv.hpp"
 
 namespace isasgd::core {
@@ -57,16 +58,10 @@ TEST(Trainer, IsAsgdDiagnosticsArriveViaObserver) {
   solvers::SolverOptions opt;
   opt.epochs = 2;
   opt.threads = 4;
-  struct Capture : solvers::TrainingObserver {
-    solvers::IsAsgdReport report;
-    void on_diagnostics(const std::any& d) override {
-      if (const auto* r = std::any_cast<solvers::IsAsgdReport>(&d)) {
-        report = *r;
-      }
-    }
-  } capture;
+  solvers::DiagnosticsCapture<solvers::IsAsgdReport> capture;
   (void)f.trainer.train("IS-ASGD", opt, &capture);
-  EXPECT_GT(capture.report.rho, 0.0);
+  ASSERT_TRUE(capture.has_value());
+  EXPECT_GT(capture.value().rho, 0.0);
 }
 
 TEST(Trainer, EvaluateScoresSnapshots) {

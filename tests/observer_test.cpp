@@ -8,6 +8,7 @@
 #include "core/trainer.hpp"
 #include "data/synthetic.hpp"
 #include "objectives/logistic.hpp"
+#include "solvers/is_asgd.hpp"
 
 namespace isasgd::core {
 namespace {

@@ -23,6 +23,14 @@ constexpr const char* kProxSolvers[] = {
     "PROX-SGD", "IS-PROX-SGD", "PROX-ASGD", "IS-PROX-ASGD",
 };
 
+/// The simulated-time family: the distributed cluster engines and the
+/// delay-injection serialisations, registered from src/distributed/ and
+/// src/simulate/ — subsystems outside src/solvers/ entirely.
+constexpr const char* kSimulatedSolvers[] = {
+    "dist.ps.is_asgd", "dist.ps.asgd",       "dist.allreduce.sgd",
+    "sim.delayed_sgd", "sim.delayed_is_sgd",
+};
+
 TEST(SolverRegistry, EverySeedSolverIsRegistered) {
   const auto names = SolverRegistry::instance().list();
   for (const char* expected : kEnumSolvers) {
@@ -30,6 +38,10 @@ TEST(SolverRegistry, EverySeedSolverIsRegistered) {
         << expected;
   }
   for (const char* expected : kProxSolvers) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  for (const char* expected : kSimulatedSolvers) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -98,6 +110,29 @@ TEST(SolverRegistry, CapabilityFlagsReflectAlgorithmFamilies) {
   EXPECT_TRUE(registry.get("PROX-SGD").capabilities().proximal);
   EXPECT_TRUE(registry.get("IS-PROX-ASGD").capabilities().importance_sampling);
   EXPECT_FALSE(registry.get("IS-ASGD").capabilities().proximal);
+}
+
+TEST(SolverRegistry, SimulatedFamilyFlagsAndSpellings) {
+  const auto& registry = SolverRegistry::instance();
+  for (const char* name : kSimulatedSolvers) {
+    const SolverCapabilities caps = registry.get(name).capabilities();
+    EXPECT_TRUE(caps.simulated_time) << name;
+    // spec.nodes (not options.threads) is the parallelism: one run covers
+    // every requested thread count in a sweep.
+    EXPECT_TRUE(caps.serial()) << name;
+  }
+  // No host-clock solver claims a simulated time axis.
+  for (const char* name : kEnumSolvers) {
+    EXPECT_FALSE(registry.get(name).capabilities().simulated_time) << name;
+  }
+  EXPECT_TRUE(registry.get("dist.ps.is_asgd").capabilities().importance_sampling);
+  EXPECT_FALSE(registry.get("dist.ps.asgd").capabilities().importance_sampling);
+  // The parameter-server pair trains shard-by-shard from a DataSource.
+  EXPECT_TRUE(registry.get("dist.ps.is_asgd").capabilities().streaming);
+  EXPECT_TRUE(registry.get("dist.ps.asgd").capabilities().streaming);
+  // Dotted names normalize like every other: case-insensitive, '-' → '_'.
+  EXPECT_EQ(registry.find("DIST.PS.IS-ASGD"), &registry.get("dist.ps.is_asgd"));
+  EXPECT_EQ(SolverRegistry::normalize("DIST.PS.IS-ASGD"), "dist.ps.is_asgd");
 }
 
 TEST(SolverRegistry, RejectsDuplicateAndNullRegistration) {

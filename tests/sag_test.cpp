@@ -6,6 +6,7 @@
 #include "data/synthetic.hpp"
 #include "metrics/evaluator.hpp"
 #include "objectives/logistic.hpp"
+#include "solvers/solver.hpp"
 #include "solvers/sag.hpp"
 #include "solvers/saga.hpp"
 #include "solvers/sgd.hpp"
@@ -83,8 +84,9 @@ TEST(Sag, DeterministicForFixedSeed) {
 }
 
 TEST(Sag, RegisteredWithFacade) {
-  EXPECT_EQ(algorithm_from_name("sag"), Algorithm::kSag);
-  EXPECT_EQ(algorithm_name(Algorithm::kSag), "SAG");
+  const Solver* s = SolverRegistry::instance().find("sag");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->name(), "SAG");
 }
 
 TEST(Sag, DensePassCostGrowsWithDimension) {

@@ -1,3 +1,4 @@
+#include "solvers/solver.hpp"
 #include "solvers/saga.hpp"
 
 #include <gtest/gtest.h>
@@ -110,9 +111,10 @@ TEST(Saga, L2RegularizationStaysStable) {
   EXPECT_LT(final_rmse(t), initial_rmse(t));
 }
 
-TEST(Saga, RegisteredInAlgorithmRegistry) {
-  EXPECT_EQ(algorithm_from_name("saga"), Algorithm::kSaga);
-  EXPECT_EQ(algorithm_name(Algorithm::kSaga), "SAGA");
+TEST(Saga, RegisteredInSolverRegistry) {
+  const Solver* s = SolverRegistry::instance().find("saga");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->name(), "SAGA");
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "data/synthetic.hpp"
 #include "metrics/evaluator.hpp"
 #include "objectives/logistic.hpp"
+#include "solvers/solver.hpp"
 #include "solvers/svrg_lazy.hpp"
 #include "solvers/svrg_sgd.hpp"
 
@@ -135,8 +136,9 @@ TEST(SvrgLazy, InnerLoopCostIsSparse) {
 }
 
 TEST(SvrgLazy, AvailableThroughTrainerFacade) {
-  EXPECT_EQ(algorithm_from_name("svrg_lazy"), Algorithm::kSvrgLazy);
-  EXPECT_EQ(algorithm_name(Algorithm::kSvrgLazy), "SVRG-LAZY");
+  const Solver* s = SolverRegistry::instance().find("svrg_lazy");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->name(), "SVRG-LAZY");
 }
 
 }  // namespace

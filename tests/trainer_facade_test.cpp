@@ -1,14 +1,17 @@
 // The Trainer facade: every registered solver dispatches by name, produces a
 // well-formed trace, and respects the Trainer's regularizer override; the
-// TrainerBuilder wires the same Trainer fluently; the deprecated enum API
-// remains a faithful shim over the registry path.
+// TrainerBuilder wires the same Trainer fluently; the removed enum API's
+// guarantees (spelling round-trips, IS-ASGD diagnostics) survive through
+// the registry + observer path.
 #include <gtest/gtest.h>
 
+#include <any>
 #include <cmath>
 
 #include "core/trainer.hpp"
 #include "data/synthetic.hpp"
 #include "objectives/logistic.hpp"
+#include "solvers/is_asgd.hpp"
 
 namespace isasgd::core {
 namespace {
@@ -138,48 +141,39 @@ TEST(TrainerFacade, AccessorsExposeWiring) {
   EXPECT_NEAR(eval.objective, std::log(2.0), 1e-9);
 }
 
-// ---- Deprecated shims: one release of grace, so they stay covered. ----
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// ---- Post-shim-removal guarantees: the registry path carries everything
+// the deprecated enum/report entry points used to provide. ----
 
-TEST(TrainerFacadeLegacy, EnumShimMatchesRegistryPath) {
+TEST(TrainerFacade, EnumShimIsGone) {
+  // The Algorithm enum's spellings keep working — as registry names.
   Fixture f;
   Trainer trainer(f.data, f.loss, objectives::Regularization::l2(1e-5), 2);
   solvers::SolverOptions opt;
-  opt.epochs = 3;
+  opt.epochs = 2;
   opt.threads = 1;  // single worker ⇒ deterministic for a fixed seed
   opt.step_size = 0.2;
   opt.seed = 5;
-  for (const auto algorithm :
-       {solvers::Algorithm::kSgd, solvers::Algorithm::kIsAsgd}) {
-    const auto by_enum = trainer.train(algorithm, opt);
-    const auto by_name = trainer.train(solvers::algorithm_name(algorithm), opt);
-    ASSERT_EQ(by_enum.points.size(), by_name.points.size());
-    EXPECT_EQ(by_enum.algorithm, by_name.algorithm);
-    EXPECT_EQ(by_enum.points.back().objective,
-              by_name.points.back().objective);
+  for (const char* solver : kAll) {
+    const auto by_canonical = trainer.train(solver, opt);
+    const auto by_normalized =
+        trainer.train(solvers::SolverRegistry::normalize(solver), opt);
+    ASSERT_EQ(by_canonical.points.size(), by_normalized.points.size());
+    EXPECT_EQ(by_canonical.algorithm, by_normalized.algorithm);
   }
 }
 
-TEST(TrainerFacadeLegacy, TrainIsAsgdStillFillsReport) {
+TEST(TrainerFacade, IsAsgdReportArrivesViaObserver) {
+  // The replacement for the removed train_is_asgd(..., IsAsgdReport*) shim.
   Fixture f;
   Trainer trainer(f.data, f.loss, objectives::Regularization::none(), 2);
   solvers::SolverOptions opt;
   opt.epochs = 1;
   opt.threads = 2;
-  solvers::IsAsgdReport report;
-  (void)trainer.train_is_asgd(opt, &report);
-  EXPECT_GT(report.rho, 0.0);
+  solvers::DiagnosticsCapture<solvers::IsAsgdReport> capture;
+  (void)trainer.train("IS-ASGD", opt, &capture);
+  ASSERT_TRUE(capture.has_value());
+  EXPECT_GT(capture.value().rho, 0.0);
 }
-
-TEST(TrainerFacadeLegacy, NamesRoundTripForAllAlgorithms) {
-  for (const char* solver : kAll) {
-    EXPECT_EQ(solvers::algorithm_name(solvers::algorithm_from_name(solver)),
-              solver);
-  }
-}
-
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace isasgd::core
