@@ -163,4 +163,104 @@ void ReshuffledSequence::reshuffle() {
   }
 }
 
+BlockSequence::BlockSequence(Mode mode, std::span<const double> weights,
+                             std::size_t epoch_length, std::uint64_t seed,
+                             std::size_t block_size, std::size_t min_visits)
+    : mode_(mode), block_size_(std::max<std::size_t>(1, block_size)) {
+  switch (mode_) {
+    case Mode::kIid:
+      table_.emplace(weights);  // once — never again unless rebuild()
+      epoch_length_ = epoch_length;
+      buffer_.resize(std::min(block_size_, epoch_length_));
+      block_data_ = buffer_.data();
+      break;
+    case Mode::kReshuffle:
+      reshuffled_ = std::make_unique<ReshuffledSequence>(weights, epoch_length,
+                                                         seed);
+      epoch_length_ = reshuffled_->size();
+      break;
+    case Mode::kStratified:
+      stratified_ = std::make_unique<StratifiedSequence>(weights, epoch_length,
+                                                         seed, min_visits);
+      epoch_length_ = stratified_->size();
+      break;
+  }
+  // Until begin_epoch, the stream is exhausted (refill throws on a draw
+  // attempt).
+  produced_ = epoch_length_;
+  cursor_ = block_end_ = 0;
+}
+
+void BlockSequence::begin_epoch(std::size_t epoch, std::uint64_t epoch_seed) {
+  switch (mode_) {
+    case Mode::kIid:
+      draw_rng_.reseed(epoch_seed);
+      break;
+    case Mode::kReshuffle:
+      if (epoch > 1) reshuffled_->reshuffle();
+      block_data_ = reshuffled_->view().data();
+      break;
+    case Mode::kStratified:
+      if (epoch > 1) stratified_->reshuffle();
+      block_data_ = stratified_->view().data();
+      break;
+  }
+  produced_ = 0;
+  cursor_ = block_end_ = 0;
+}
+
+void BlockSequence::rebuild(std::span<const double> weights) {
+  if (mode_ != Mode::kIid) {
+    throw std::logic_error(
+        "BlockSequence::rebuild: only the i.i.d. mode re-weights in place "
+        "(the shuffled modes' multiset is fixed at construction)");
+  }
+  table_.emplace(weights);
+}
+
+void BlockSequence::refill() {
+  // next() past epoch_length(), or before the first begin_epoch, lands
+  // here with nothing left to produce — a caller bug. Loud in every build:
+  // the alternative is silently re-serving stale indices into a solver.
+  // Costs one branch per *refill*, never per draw.
+  if (produced_ >= epoch_length_) {
+    throw std::logic_error(
+        "BlockSequence: next() past epoch_length() or before begin_epoch()");
+  }
+  const std::size_t remaining = epoch_length_ - produced_;
+  const std::size_t count = std::min(block_size_, remaining);
+  switch (mode_) {
+    case Mode::kIid:
+      // One alias draw per index — identical stream to the pre-materialized
+      // SampleSequence::weighted under the same (weights, epoch seed).
+      for (std::size_t k = 0; k < count; ++k) {
+        buffer_[k] = static_cast<std::uint32_t>(table_->sample(draw_rng_));
+      }
+      block_data_ = buffer_.data();
+      cursor_ = 0;
+      block_end_ = count;
+      break;
+    case Mode::kReshuffle:
+    case Mode::kStratified:
+      // Zero copy: the window slides over the reference class's multiset.
+      cursor_ = produced_;
+      block_end_ = produced_ + count;
+      break;
+  }
+  produced_ += count;
+}
+
+std::span<const std::uint32_t> BlockSequence::next_block() {
+  // Serve whatever the cursor has not consumed yet, refilling when drained —
+  // mixing next() and next_block() never skips or repeats an index.
+  if (cursor_ == block_end_) {
+    if (produced_ == epoch_length_) return {};
+    refill();
+  }
+  const std::span<const std::uint32_t> out(block_data_ + cursor_,
+                                           block_end_ - cursor_);
+  cursor_ = block_end_;
+  return out;
+}
+
 }  // namespace isasgd::sampling

@@ -1,4 +1,4 @@
-// Pre-generated sample sequences (paper Algorithm 2, line 3).
+// Sample sequences (paper Algorithm 2, line 3).
 //
 // "IS can be implemented with no extra on-line computation by generating the
 // sample sequences beforehand and let the computation threads iterate over
@@ -9,9 +9,17 @@
 // vector (or uniformly); ReshuffledSequence implements the §4.2 optimisation
 // of generating once and Fisher–Yates-reshuffling per epoch, which removes
 // even the offline regeneration cost at a small distributional approximation.
+// The solvers consume neither directly any more: BlockSequence (below)
+// streams the same index sequences — bit for bit — in fixed-size blocks
+// from one persistent alias table, so per-worker sequence memory is
+// independent of the epoch count and the table is built once per weight
+// change instead of once per epoch. The materialised classes remain as the
+// frozen reference the streaming contract is tested against.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -163,6 +171,102 @@ class ReshuffledSequence {
  private:
   std::vector<std::uint32_t> indices_;
   util::Rng rng_;
+};
+
+/// Block-refill sample stream: the solvers' hot-path view of the sequence
+/// layer. Where the pre-materialized scheme builds `epochs × length`
+/// indices (and one AliasTable per epoch) before training starts, a
+/// BlockSequence holds ONE persistent alias table — rebuilt only when the
+/// weights change (adaptive refresh), never per epoch — and produces each
+/// epoch's indices on demand in fixed-size blocks, so per-worker sequence
+/// memory is O(block + n) regardless of epoch count.
+///
+/// Bit-compatibility contract (tests/block_sequence_test.cpp): the streamed
+/// index sequence is bit-identical to the frozen pre-materialized reference
+/// for every mode and every block size —
+///   kIid        ≡ SampleSequence::weighted(weights, length, epoch_seed)
+///                 for the epoch_seed passed to begin_epoch,
+///   kReshuffle  ≡ ReshuffledSequence(weights, length, seed) reshuffled
+///                 once per epoch after the first,
+///   kStratified ≡ StratifiedSequence(weights, length, seed) likewise.
+/// The shuffled modes keep their O(length) multiset (already independent of
+/// epoch count) and are served through the same block API; the i.i.d. mode
+/// is the one that drops from `epochs × length` to a single block.
+class BlockSequence {
+ public:
+  static constexpr std::size_t kDefaultBlockSize = 1024;
+
+  /// Mirrors SolverOptions::SequenceMode.
+  enum class Mode { kIid, kReshuffle, kStratified };
+
+  /// Builds the persistent sampler. `seed` feeds the shuffled modes'
+  /// generation + reshuffle stream (exactly like the reference classes);
+  /// the i.i.d. mode ignores it — each epoch's draw stream is seeded by
+  /// begin_epoch. Weight validation as AliasTable (throws on empty /
+  /// negative / all-zero weights).
+  BlockSequence(Mode mode, std::span<const double> weights,
+                std::size_t epoch_length, std::uint64_t seed,
+                std::size_t block_size = kDefaultBlockSize,
+                std::size_t min_visits = 1);
+
+  /// Starts epoch `epoch` (1-based). kIid: reseeds the draw stream with
+  /// `epoch_seed` — pass util::derive_seed(base, epoch - 1) to reproduce
+  /// the pre-materialized per-epoch layout bit for bit, or the same seed
+  /// twice to replay an epoch (the adaptive solvers replay the last
+  /// refresh's stream between refreshes). Shuffled modes: reshuffles in
+  /// place when epoch > 1 and ignore `epoch_seed`.
+  void begin_epoch(std::size_t epoch, std::uint64_t epoch_seed = 0);
+
+  /// Rebuilds the i.i.d. distribution in place from new weights (the
+  /// adaptive-importance refresh) — one O(n) alias-table build per weight
+  /// change instead of one per epoch. kIid only; throws std::logic_error
+  /// for the shuffled modes (their multiset is fixed by construction).
+  void rebuild(std::span<const double> weights);
+
+  /// Indices this epoch will produce (kStratified can exceed the requested
+  /// length when the ≥min_visits coverage floor binds).
+  [[nodiscard]] std::size_t epoch_length() const noexcept {
+    return epoch_length_;
+  }
+
+  /// Draws the next index of the current epoch. Drawing past
+  /// epoch_length(), or before the first begin_epoch, throws
+  /// std::logic_error from the refill (checked per refill, not per draw).
+  /// Inline cursor + block refill: one branch per draw, one alias draw per
+  /// index amortised.
+  [[nodiscard]] std::uint32_t next() {
+    if (cursor_ == block_end_) refill();
+    return block_data_[cursor_++];
+  }
+
+  /// Refills and returns the next block (≤ block size) of the current
+  /// epoch; empty once epoch_length() indices have been produced. View is
+  /// valid until the next next_block()/next()/begin_epoch call.
+  [[nodiscard]] std::span<const std::uint32_t> next_block();
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+ private:
+  void refill();
+
+  Mode mode_;
+  std::size_t block_size_;
+  std::size_t epoch_length_ = 0;
+  std::size_t produced_ = 0;  ///< indices handed out this epoch
+  // Current block window: for kIid `buffer_` is one block refilled from the
+  // alias table; for the shuffled modes it is the whole multiset and the
+  // window walks it without copying.
+  const std::uint32_t* block_data_ = nullptr;
+  std::size_t cursor_ = 0;
+  std::size_t block_end_ = 0;
+  std::vector<std::uint32_t> buffer_;
+  // kIid state: persistent table + per-epoch draw stream.
+  std::optional<AliasTable> table_;
+  util::Rng draw_rng_;
+  // Shuffled-mode state: the reference class IS the implementation, so the
+  // bit-compat contract cannot drift.
+  std::unique_ptr<ReshuffledSequence> reshuffled_;
+  std::unique_ptr<StratifiedSequence> stratified_;
 };
 
 }  // namespace isasgd::sampling

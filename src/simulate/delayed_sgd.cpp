@@ -1,5 +1,6 @@
 #include "simulate/delayed_sgd.hpp"
 
+#include <memory>
 #include <numeric>
 #include <vector>
 
@@ -42,10 +43,10 @@ solvers::Trace run_delayed_sgd(const sparse::CsrMatrix& data,
                                   1, options.step_size, eval, observer);
   recorder.mark_simulated_time();
 
-  // ---- Offline phase (IS only): Eq. 12 distribution + sequences ----
+  // ---- Offline phase (IS only): Eq. 12 distribution + block stream ----
   util::Stopwatch setup;
   std::vector<double> weight;       // 1/(n·p_i), unit for the uniform path
-  std::vector<sampling::SampleSequence> sequences;
+  std::unique_ptr<sampling::BlockSequence> sequence;
   if (use_importance) {
     const std::vector<double> importance =
         solvers::detail::importance_weights(data, objective, options);
@@ -56,11 +57,10 @@ solvers::Trace run_delayed_sgd(const sparse::CsrMatrix& data,
       const double p = total > 0 ? importance[i] / total : 1.0 / double(n);
       weight[i] = p > 0 ? 1.0 / (static_cast<double>(n) * p) : 1.0;
     }
-    sequences.reserve(options.epochs);
-    for (std::size_t e = 0; e < options.epochs; ++e) {
-      sequences.push_back(sampling::SampleSequence::weighted(
-          importance, n, util::derive_seed(options.seed, e)));
-    }
+    // One persistent alias table; per-epoch draws stream from it with the
+    // retired pre-materialized layout's epoch seeds.
+    sequence = std::make_unique<sampling::BlockSequence>(
+        sampling::BlockSequence::Mode::kIid, importance, n, options.seed);
   }
   recorder.add_setup_seconds(setup.seconds());
 
@@ -90,12 +90,15 @@ solvers::Trace run_delayed_sgd(const sparse::CsrMatrix& data,
   for (std::size_t epoch = 1;
        epoch <= options.epochs && !recorder.stop_requested(); ++epoch) {
     const double lambda = solvers::epoch_step(options, epoch);
+    if (use_importance) {
+      sequence->begin_epoch(epoch, util::derive_seed(options.seed, epoch - 1));
+    }
     for (std::size_t t = 0; t < n; ++t, ++global_step) {
       // Compute against the *current* model (this is ŵ of Eq. 21 for
       // every update still in the queue), then hold for `draw()` steps.
       const std::size_t i =
           use_importance
-              ? sequences[epoch - 1][t]
+              ? sequence->next()
               : static_cast<std::size_t>(util::uniform_index(sample_rng, n));
       const double margin = sparse::sparse_dot(w, data.row(i));
       pending.push(global_step + delay.draw(delay_rng),

@@ -10,29 +10,24 @@
 #include "solvers/model.hpp"
 #include "solvers/solver.hpp"
 #include "solvers/streaming_runner.hpp"
+#include "sparse/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace isasgd::solvers {
 
 namespace {
 
-/// Applies one gathered mini-batch to the shared model — the Hogwild
-/// coordinate update. Shared by the in-memory and streaming drivers so the
-/// update rule can only ever change in one place.
+/// Applies one gathered mini-batch to the shared model — each row through
+/// detail::apply_update, the single home of the Hogwild coordinate update
+/// (wild fast lane included). Shared by the in-memory and streaming
+/// drivers so the update rule can only ever change in one place.
 inline void apply_batch(SharedModel& model, const sparse::CsrMatrix& rows,
                         std::span<const std::pair<std::size_t, double>> batch,
                         double batch_step,
                         const objectives::Regularization& reg,
                         UpdatePolicy policy) {
   for (const auto& [i, g] : batch) {
-    const auto x = rows.row(i);
-    const auto idx = x.indices();
-    const auto val = x.values();
-    for (std::size_t j = 0; j < idx.size(); ++j) {
-      const std::size_t c = idx[j];
-      const double wc = model.load(c);
-      model.add(c, -batch_step * (g * val[j] + reg.subgradient(wc)), policy);
-    }
+    detail::apply_update(model, rows.row(i), batch_step, g, reg, policy);
   }
 }
 
@@ -61,6 +56,12 @@ Trace run_asgd(const sparse::CsrMatrix& data,
     rngs[tid].value.reseed(util::derive_seed(options.seed, tid));
   }
   const UpdatePolicy policy = options.update_policy;
+  const bool wild = policy == UpdatePolicy::kWild;
+  // Per-worker gather scratch, allocated once for the run — the epoch body
+  // must stay allocation-free.
+  const std::size_t b = std::max<std::size_t>(1, options.batch_size);
+  std::vector<std::vector<std::pair<std::size_t, double>>> batches(threads);
+  for (auto& scratch : batches) scratch.resize(b);
 
   const double train_seconds = detail::run_epoch_fenced(
       detail::pool_or_default(pool), model, recorder, options.epochs, threads,
@@ -72,16 +73,15 @@ Trace run_asgd(const sparse::CsrMatrix& data,
         // The schedule is a pure function of the epoch, so every worker
         // derives the same λ locally — no shared decay state to race on.
         const double lambda = epoch_step(options, epoch);
-        const std::size_t b = std::max<std::size_t>(1, options.batch_size);
         const std::size_t updates = (local_n + b - 1) / b;
-        std::vector<std::pair<std::size_t, double>> batch(b);
+        std::vector<std::pair<std::size_t, double>>& batch = batches[tid];
         for (std::size_t u = 0; u < updates; ++u) {
           // Gather the mini-batch's gradient scales against the current
           // (racy) model state, then apply; b = 1 is the paper's kernel.
           for (std::size_t k = 0; k < b; ++k) {
             const std::size_t i =
                 order[begin + util::uniform_index(rng, local_n)];
-            const double margin = model.sparse_dot(data.row(i));
+            const double margin = detail::gather_margin(model, data.row(i), wild);
             batch[k] = {i, objective.gradient_scale(margin, data.label(i))};
           }
           apply_batch(model, data, batch, lambda / static_cast<double>(b),
@@ -102,6 +102,7 @@ Trace run_asgd_streaming(const data::DataSource& source,
                          options.step_size, eval, observer);
   sampling::ShardedSequence schedule(source.shard_sizes(), options.seed);
   const UpdatePolicy policy = options.update_policy;
+  const bool wild = policy == UpdatePolicy::kWild;
   const std::size_t b = std::max<std::size_t>(1, options.batch_size);
   // Per-worker gather scratch, allocated once for the whole run: the shard
   // loop is inside the timed window, so per-shard allocations would tax the
@@ -128,7 +129,7 @@ Trace run_asgd_streaming(const data::DataSource& source,
           const std::size_t count = std::min(b, end - at);
           for (std::size_t k = 0; k < count; ++k) {
             const std::size_t i = row_order[at + k];
-            const double margin = model.sparse_dot(rows.row(i));
+            const double margin = detail::gather_margin(model, rows.row(i), wild);
             batch[k] = {i, objective.gradient_scale(margin, rows.label(i))};
           }
           apply_batch(model, rows, {batch.data(), count},

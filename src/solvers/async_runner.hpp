@@ -17,8 +17,10 @@
 #include <cstddef>
 #include <vector>
 
+#include "sampling/sequence.hpp"
 #include "solvers/model.hpp"
 #include "solvers/trace.hpp"
+#include "sparse/kernels.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -28,6 +30,57 @@ namespace isasgd::solvers::detail {
 /// the process-wide fallback for direct run_* callers that hold none.
 inline util::ThreadPool& pool_or_default(util::ThreadPool* pool) {
   return pool ? *pool : util::default_thread_pool();
+}
+
+/// Margin dot for the gather half of an async step — the ONE place the
+/// wild-vs-atomic read dispatch lives: under the kWild fast lane the read
+/// goes through the SIMD sparse_dot on the raw wild_view; every other
+/// discipline keeps relaxed per-element atomic loads. See model.hpp's
+/// wild_view contract.
+inline double gather_margin(const SharedModel& model,
+                            sparse::SparseVectorView x, bool wild) noexcept {
+  return wild ? sparse::sparse_dot(model.wild_view(), x)
+              : model.sparse_dot(x);
+}
+
+/// The write half of an async stochastic step — the ONE place the
+/// regularized Hogwild coordinate update lives: under kWild the fused
+/// ISASGD_RESTRICT kernel runs on the raw wild_view (bit-identical
+/// per-coordinate arithmetic, see sparse/kernels.hpp); every other
+/// discipline takes the per-element load → subgradient → add() path.
+inline void apply_update(SharedModel& model, sparse::SparseVectorView x,
+                         double step, double g,
+                         const objectives::Regularization& reg,
+                         UpdatePolicy policy) noexcept {
+  if (policy == UpdatePolicy::kWild) {
+    sparse::sparse_dot_residual_axpy(model.wild_view(), x, step, g,
+                                     reg.eta_l1(), reg.eta_l2());
+    return;
+  }
+  const auto idx = x.indices();
+  const auto val = x.values();
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    const std::size_t c = idx[j];
+    const double wc = model.load(c);
+    model.add(c, -step * (g * val[j] + reg.subgradient(wc)), policy);
+  }
+}
+
+/// The ONE translation from the option-level sequence mode to the sampling
+/// layer's block mode. Adaptive importance always takes the i.i.d. stream —
+/// its per-refresh rebuild() needs it; the shuffled modes' multiset is
+/// fixed at construction.
+inline sampling::BlockSequence::Mode block_mode(const SolverOptions& options) {
+  if (options.adaptive_importance) return sampling::BlockSequence::Mode::kIid;
+  switch (options.sequence_mode) {
+    case SolverOptions::SequenceMode::kStratified:
+      return sampling::BlockSequence::Mode::kStratified;
+    case SolverOptions::SequenceMode::kReshuffle:
+      return sampling::BlockSequence::Mode::kReshuffle;
+    case SolverOptions::SequenceMode::kPregenerate:
+      break;
+  }
+  return sampling::BlockSequence::Mode::kIid;
 }
 
 /// Runs `threads` logical workers for `epochs` epochs on `pool`.
@@ -41,7 +94,10 @@ template <class WorkerEpochFn>
 double run_epoch_fenced(util::ThreadPool& pool, SharedModel& model,
                         TraceRecorder& recorder, std::size_t epochs,
                         std::size_t threads, WorkerEpochFn&& worker_epoch) {
-  recorder.record(0, 0.0, model.snapshot());
+  // Every record() below happens at a fence (pool quiescent), so the raw
+  // wild_view is an exact snapshot and the scoring pass is allocation-free
+  // — no per-epoch snapshot vector, no copy.
+  recorder.record(0, 0.0, model.wild_view());
   if (recorder.stop_requested()) return 0.0;
 
   // Warm the pool before the clock starts: on a cold context the one-time
@@ -54,7 +110,7 @@ double run_epoch_fenced(util::ThreadPool& pool, SharedModel& model,
     pool.run(threads,
              [&](std::size_t tid) { worker_epoch(tid, epoch); });
     clock.stop();  // fence: all workers arrived, clock paused for scoring
-    recorder.record(epoch, clock.seconds(), model.snapshot());
+    recorder.record(epoch, clock.seconds(), model.wild_view());
     if (recorder.stop_requested()) break;
   }
   return clock.seconds();

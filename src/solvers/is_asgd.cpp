@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
-#include <optional>
 
 #include "sampling/sequence.hpp"
 #include "solvers/async_runner.hpp"
@@ -41,29 +40,35 @@ Trace run_is_asgd(const sparse::CsrMatrix& data,
     if (observer) observer->on_diagnostics(diagnostics);
   }
 
-  // Per-worker: step weight per local slot = 1/(N_tid·p_i) and the sample
-  // sequence over local slots. Under Eq. 19 balance, N_tid·p_i = n·p_i^global
-  // so the update step matches Algorithm 4 line 15 exactly.
+  // Per-worker: step weight per local slot = 1/(N_tid·p_i) and a streamed
+  // block sequence over local slots — ONE persistent alias table per worker
+  // (not one per epoch) and O(block) draw memory regardless of epoch count.
+  // Under Eq. 19 balance, N_tid·p_i = n·p_i^global so the update step
+  // matches Algorithm 4 line 15 exactly.
   struct WorkerState {
     std::vector<double> weight;  // indexed by local slot
-    std::vector<sampling::SampleSequence> sequences;  // one per epoch
-    std::unique_ptr<sampling::ReshuffledSequence> reshuffled;
-    std::unique_ptr<sampling::StratifiedSequence> stratified;
-    /// Adaptive-importance extension: this epoch's sequence, regenerated
-    /// from the live gradient norms (thread-local — each worker refreshes
-    /// only its own shard, so there is nothing to race on).
-    std::optional<sampling::SampleSequence> adaptive_seq;
+    std::unique_ptr<sampling::BlockSequence> seq;
+    std::vector<std::pair<std::size_t, double>> batch;  // (slot, g) scratch
+    /// Adaptive-importance extension (Eq. 11) state, all thread-local —
+    /// each worker refreshes only its own shard, nothing to race on:
+    std::vector<double> row_norm;  // ‖x_i‖ per local slot, cached at setup
+    std::vector<double> last_g;    // |φ'| recorded at the last visit
+    std::vector<double> norms;     // refresh scratch: importance estimate
+    std::uint64_t stream_seed = 0; // seed of the current i.i.d. epoch stream
     std::uint64_t seed = 0;
+    bool refreshed_once = false;
   };
   // The deprecated reshuffle_sequences flag is folded into sequence_mode by
   // Solver::validate before the run reaches this point.
   const auto mode = options.sequence_mode;
+  const std::size_t b = std::max<std::size_t>(1, options.batch_size);
   std::vector<WorkerState> workers(threads);
   for (std::size_t tid = 0; tid < threads; ++tid) {
     const partition::Shard shard = plan.shard(tid);
     const std::size_t local_n = shard.rows.size();
     WorkerState& ws = workers[tid];
     ws.seed = util::derive_seed(options.seed, 101 + tid);
+    ws.batch.resize(b);
     ws.weight.resize(local_n);
     for (std::size_t k = 0; k < local_n; ++k) {
       const double p = shard.probabilities[k];
@@ -71,105 +76,135 @@ Trace run_is_asgd(const sparse::CsrMatrix& data,
           p > 0 ? 1.0 / (static_cast<double>(local_n) * p) : 1.0;
     }
     if (options.adaptive_importance) {
-      // Sequences are regenerated inside the timed epochs (that cost is the
-      // point of the extension); nothing to pre-generate.
-    } else if (mode == SolverOptions::SequenceMode::kStratified) {
-      ws.stratified = std::make_unique<sampling::StratifiedSequence>(
-          shard.probabilities, local_n, ws.seed);
-    } else if (mode == SolverOptions::SequenceMode::kReshuffle) {
-      ws.reshuffled = std::make_unique<sampling::ReshuffledSequence>(
-          shard.probabilities, local_n, ws.seed);
-    } else {
-      ws.sequences.reserve(options.epochs);
-      for (std::size_t e = 0; e < options.epochs; ++e) {
-        ws.sequences.push_back(sampling::SampleSequence::weighted(
-            shard.probabilities, local_n, util::derive_seed(ws.seed, e)));
+      // The distribution is re-estimated inside the timed epochs (that cost
+      // is the point of the extension); only the row norms — constants of
+      // the dataset — are cached here so each refresh is O(N_tid), not
+      // O(local nnz).
+      ws.row_norm.resize(local_n);
+      for (std::size_t k = 0; k < local_n; ++k) {
+        ws.row_norm[k] = data.row(shard.rows[k]).norm();
       }
+      ws.last_g.assign(local_n, 0.0);
+      ws.norms.resize(local_n);
+    } else if (local_n > 0) {
+      ws.seq = std::make_unique<sampling::BlockSequence>(
+          detail::block_mode(options), shard.probabilities, local_n, ws.seed);
     }
   }
   recorder.add_setup_seconds(setup.seconds());
 
-  // Eq.-11 adaptive refresh (extension): recompute this worker's local
-  // importance |∇f_i(ŵ)| = |φ'(ŵ·x_i)|·‖x_i‖ against a racy model read and
-  // rebuild its sequence + step weights. O(local nnz + N_tid log N_tid) per
-  // refresh, charged inside the training window.
-  auto refresh_adaptive = [&](std::size_t tid, std::size_t epoch,
-                              const SharedModel& m) {
+  const UpdatePolicy policy = options.update_policy;
+  // Wild-policy fast lane: under kWild (and in serial runs) the margin dot
+  // and the fused update run on the raw wild_view through the
+  // ISASGD_RESTRICT kernels (detail::gather_margin / detail::apply_update)
+  // — bit-identical arithmetic to the atomic-load path
+  // (tests/wild_view_test.cpp), minus the per-element atomic calls.
+  const bool wild = policy == UpdatePolicy::kWild;
+  const bool adaptive = options.adaptive_importance;
+
+  // Eq.-11 adaptive refresh (extension): re-estimate this worker's local
+  // importance |∇f_i(ŵ)| = |φ'(ŵ·x_i)|·‖x_i‖ and rebuild its alias table +
+  // step weights. The first refresh computes every margin against a racy
+  // model read (the exact O(local nnz) sweep); later refreshes reuse the
+  // |φ'| values already produced by the preceding epochs' gradient passes
+  // (recorded per slot at gather time), so the steady-state refresh is
+  // O(N_tid) — the second full sweep the pre-streaming code paid is gone.
+  // Unvisited slots keep their previous estimate. Charged inside the
+  // training window, like every adaptive cost.
+  auto refresh_adaptive = [&](std::size_t tid, std::size_t epoch) {
     const partition::Shard shard = plan.shard(tid);
     const std::size_t local_n = shard.rows.size();
     WorkerState& ws = workers[tid];
-    std::vector<double> norms(local_n);
+    if (!ws.refreshed_once) {
+      for (std::size_t k = 0; k < local_n; ++k) {
+        const auto x = data.row(shard.rows[k]);
+        const double margin = detail::gather_margin(model, x, wild);
+        ws.last_g[k] =
+            std::abs(objective.gradient_scale(margin, data.label(shard.rows[k])));
+      }
+      ws.refreshed_once = true;
+    }
     double total = 0;
     for (std::size_t k = 0; k < local_n; ++k) {
-      const std::size_t i = shard.rows[k];
-      const auto x = data.row(i);
-      const double margin = m.sparse_dot(x);
-      norms[k] = std::abs(objective.gradient_scale(margin, data.label(i))) *
-                     x.norm() +
-                 1e-12;  // floor keeps dead samples reachable
-      total += norms[k];
+      ws.norms[k] = ws.last_g[k] * ws.row_norm[k] +
+                    1e-12;  // floor keeps dead samples reachable
+      total += ws.norms[k];
     }
     for (std::size_t k = 0; k < local_n; ++k) {
-      const double p = norms[k] / total;
+      const double p = ws.norms[k] / total;
       ws.weight[k] = 1.0 / (static_cast<double>(local_n) * p);
     }
-    ws.adaptive_seq = sampling::SampleSequence::weighted(
-        norms, local_n, util::derive_seed(ws.seed, 7000 + epoch));
+    if (ws.seq) {
+      ws.seq->rebuild(ws.norms);  // one table build per weight change
+    } else {
+      ws.seq = std::make_unique<sampling::BlockSequence>(
+          sampling::BlockSequence::Mode::kIid, ws.norms, local_n, ws.seed);
+    }
+    ws.stream_seed = util::derive_seed(ws.seed, 7000 + epoch);
   };
 
   // ---- Training (Algorithm 4 lines 13–15): the ASGD kernel ----
-  const UpdatePolicy policy = options.update_policy;
   const double train_seconds = detail::run_epoch_fenced(
       detail::pool_or_default(pool), model, recorder, options.epochs, threads,
       [&](std::size_t tid, std::size_t epoch) {
         const partition::Shard shard = plan.shard(tid);
         WorkerState& ws = workers[tid];
-        std::span<const std::uint32_t> seq;
-        if (options.adaptive_importance) {
+        if (shard.rows.empty()) return;
+        if (adaptive) {
           const std::size_t interval =
               std::max<std::size_t>(1, options.adaptive_interval);
-          if ((epoch - 1) % interval == 0 || !ws.adaptive_seq) {
-            refresh_adaptive(tid, epoch, model);
+          if ((epoch - 1) % interval == 0 || !ws.seq) {
+            refresh_adaptive(tid, epoch);
           }
-          seq = ws.adaptive_seq->view();
-        } else if (mode == SolverOptions::SequenceMode::kStratified) {
-          if (epoch > 1) ws.stratified->reshuffle();
-          seq = ws.stratified->view();
-        } else if (mode == SolverOptions::SequenceMode::kReshuffle) {
-          if (epoch > 1) ws.reshuffled->reshuffle();
-          seq = ws.reshuffled->view();
+          // Between refreshes the same stream seed replays the same i.i.d.
+          // sequence — exactly the pre-streaming replay semantics.
+          ws.seq->begin_epoch(epoch, ws.stream_seed);
+        } else if (mode == SolverOptions::SequenceMode::kPregenerate) {
+          ws.seq->begin_epoch(epoch, util::derive_seed(ws.seed, epoch - 1));
         } else {
-          seq = ws.sequences[epoch - 1].view();
+          ws.seq->begin_epoch(epoch);
         }
         const double lambda = epoch_step(options, epoch);
-        const std::size_t b = std::max<std::size_t>(1, options.batch_size);
-        const std::size_t updates = (seq.size() + b - 1) / b;
-        std::vector<std::pair<std::size_t, double>> batch(b);  // (slot, g)
+        const std::size_t len = ws.seq->epoch_length();
+        const std::size_t updates = (len + b - 1) / b;
+        sampling::BlockSequence& seq = *ws.seq;
+        if (b == 1) {
+          // The paper's kernel (one sample per update): no batch buffer, no
+          // second row decode, no ÷bsize (÷1 is the identity) — same
+          // per-coordinate arithmetic as the general loop below.
+          for (std::size_t t = 0; t < len; ++t) {
+            const std::size_t slot = seq.next();
+            const std::size_t i = shard.rows[slot];
+            const auto x = data.row(i);
+            const double margin = detail::gather_margin(model, x, wild);
+            const double g = objective.gradient_scale(margin, data.label(i));
+            if (adaptive) ws.last_g[slot] = std::abs(g);
+            const double scaled_step = lambda * ws.weight[slot];
+            detail::apply_update(model, x, scaled_step, g, options.reg,
+                                 policy);
+          }
+          return;
+        }
         for (std::size_t u = 0; u < updates; ++u) {
           const std::size_t base = u * b;
-          const std::size_t bsize = std::min(b, seq.size() - base);
+          const std::size_t bsize = std::min(b, len - base);
           for (std::size_t k = 0; k < bsize; ++k) {
-            const std::size_t slot = seq[base + k];
+            const std::size_t slot = seq.next();
             const std::size_t i = shard.rows[slot];
-            const double margin = model.sparse_dot(data.row(i));
-            batch[k] = {slot,
-                        objective.gradient_scale(margin, data.label(i))};
+            const auto x = data.row(i);
+            const double margin = detail::gather_margin(model, x, wild);
+            const double g = objective.gradient_scale(margin, data.label(i));
+            if (adaptive) ws.last_g[slot] = std::abs(g);
+            ws.batch[k] = {slot, g};
           }
           for (std::size_t k = 0; k < bsize; ++k) {
-            const auto [slot, g] = batch[k];
+            const auto [slot, g] = ws.batch[k];
             const std::size_t i = shard.rows[slot];
             const auto x = data.row(i);
             const double scaled_step =
                 lambda * ws.weight[slot] / static_cast<double>(bsize);
-            const auto idx = x.indices();
-            const auto val = x.values();
-            for (std::size_t j = 0; j < idx.size(); ++j) {
-              const std::size_t c = idx[j];
-              const double wc = model.load(c);
-              model.add(
-                  c, -scaled_step * (g * val[j] + options.reg.subgradient(wc)),
-                  policy);
-            }
+            detail::apply_update(model, x, scaled_step, g, options.reg,
+                                 policy);
           }
         }
       });

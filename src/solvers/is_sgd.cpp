@@ -1,7 +1,7 @@
 #include "solvers/is_sgd.hpp"
 
 #include <cmath>
-#include <optional>
+#include <memory>
 
 #include "sampling/sequence.hpp"
 #include "solvers/async_runner.hpp"
@@ -28,26 +28,14 @@ std::vector<double> step_weights(std::span<const double> importance) {
   return weight;
 }
 
-/// Exact current gradient norms ‖∇φ_i(w)‖ = |φ'(w·x_i)|·‖x_i‖ — the Eq. 11
-/// optimum the adaptive-importance extension tracks. Floored at 1e-3 of the
-/// mean so the 1/(n·p_i) weights stay bounded on already-fit samples.
-std::vector<double> current_gradient_norms(const sparse::CsrMatrix& data,
-                                           const objectives::Objective& objective,
-                                           std::span<const double> w) {
-  const std::size_t n = data.rows();
-  std::vector<double> norms(n);
+/// Applies the Eq.-11 floor (1e-3 of the mean, so 1/(n·p_i) stays bounded
+/// on already-fit samples) to a norms vector in place.
+void floor_norms(std::vector<double>& norms) {
   double mean = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto x = data.row(i);
-    const double margin = sparse::sparse_dot(w, x);
-    norms[i] = std::abs(objective.gradient_scale(margin, data.label(i))) *
-               x.norm();
-    mean += norms[i];
-  }
-  mean /= static_cast<double>(n);
+  for (double v : norms) mean += v;
+  mean /= static_cast<double>(norms.size());
   const double floor = 1e-3 * (mean > 0 ? mean : 1.0);
   for (double& v : norms) v = std::max(v, floor);
-  return norms;
 }
 
 }  // namespace
@@ -67,67 +55,94 @@ Trace run_is_sgd(const sparse::CsrMatrix& data,
   std::vector<double> importance =
       detail::importance_weights(data, objective, options);
   std::vector<double> weight = step_weights(importance);
-  // Pre-generate all epochs' sequences up front ("beforehand", §1.3) unless
-  // the reshuffle approximation or adaptive re-estimation is on. The
-  // deprecated reshuffle_sequences flag is folded into sequence_mode by
+  // The sequence layer is streamed: one persistent BlockSequence replaces
+  // the pre-materialized `epochs × n` index store — the alias table is
+  // built once here (once per refresh in adaptive mode), and each epoch's
+  // draws are produced block-by-block inside the epoch, bit-identical to
+  // the old per-epoch SampleSequence layout (tests/block_sequence_test).
+  // The deprecated reshuffle_sequences flag is folded into sequence_mode by
   // Solver::validate before the run reaches this point.
-  const auto mode = options.sequence_mode;
-  sampling::ReshuffledSequence reshuffled(importance, n, options.seed);
-  std::optional<sampling::StratifiedSequence> stratified;
-  if (mode == SolverOptions::SequenceMode::kStratified) {
-    stratified.emplace(importance, n, options.seed ^ 0x57a7);
+  using Mode = sampling::BlockSequence::Mode;
+  const Mode m = detail::block_mode(options);
+  const std::uint64_t seq_seed =
+      m == Mode::kStratified ? options.seed ^ 0x57a7 : options.seed;
+  // Adaptive runs refresh unconditionally at epoch 1, so building a table
+  // from the static importance here would be setup work thrown away before
+  // the first draw — the stream is created at that first refresh instead
+  // (like is_asgd's per-worker streams).
+  std::unique_ptr<sampling::BlockSequence> seq;
+  if (!options.adaptive_importance) {
+    seq = std::make_unique<sampling::BlockSequence>(m, importance, n,
+                                                    seq_seed);
   }
-  std::vector<sampling::SampleSequence> sequences;
-  const bool pregenerate =
-      mode == SolverOptions::SequenceMode::kPregenerate &&
-      !options.adaptive_importance;
-  if (pregenerate) {
-    sequences.reserve(options.epochs);
-    for (std::size_t e = 0; e < options.epochs; ++e) {
-      sequences.push_back(sampling::SampleSequence::weighted(
-          importance, n, util::derive_seed(options.seed, e)));
-    }
+  // Adaptive-importance (Eq. 11) amortisation state: the row norms are
+  // dataset constants cached once; each gradient pass records the |φ'| it
+  // already computed per visited sample, so the steady-state refresh is
+  // O(n) instead of a second full O(nnz) margin sweep.
+  std::vector<double> row_norm, last_g;
+  bool refreshed_once = false;
+  if (options.adaptive_importance) {
+    row_norm.resize(n);
+    for (std::size_t i = 0; i < n; ++i) row_norm[i] = data.row(i).norm();
+    last_g.assign(n, 0.0);
   }
   recorder.add_setup_seconds(setup.seconds());
 
   // ---- Training: kernel identical to SGD except index source + weight ----
   const double eta_l1 = options.reg.eta_l1();
   const double eta_l2 = options.reg.eta_l2();
+  const bool adaptive = options.adaptive_importance;
   std::vector<std::pair<std::size_t, double>> batch(b);
-  std::optional<sampling::SampleSequence> adaptive_sequence;
   const double train_seconds = detail::run_epoch_fenced_serial(
       w, recorder, options.epochs, [&](std::size_t epoch) {
         const double step = epoch_step(options, epoch);
-        std::span<const std::uint32_t> seq;
-        if (options.adaptive_importance) {
-          // Eq. 11 extension: refresh P from the live gradient norms. This
-          // O(nnz + n log n) pass runs inside the timed window on purpose —
-          // it is the cost the paper's §2.2 dismisses as impractical.
-          if ((epoch - 1) % std::max<std::size_t>(1, options.adaptive_interval) ==
+        if (adaptive) {
+          // Eq. 11 extension: refresh P from the live gradient norms,
+          // inside the timed window on purpose — it is the cost the paper's
+          // §2.2 dismisses as impractical (now amortised against the
+          // preceding epoch's own margin computations).
+          if ((epoch - 1) %
+                  std::max<std::size_t>(1, options.adaptive_interval) ==
               0) {
-            importance = current_gradient_norms(data, objective, w);
+            if (!refreshed_once) {
+              // Exact first estimate: margins of the initial model.
+              for (std::size_t i = 0; i < n; ++i) {
+                const double margin = sparse::sparse_dot(w, data.row(i));
+                last_g[i] = std::abs(
+                    objective.gradient_scale(margin, data.label(i)));
+              }
+              refreshed_once = true;
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+              importance[i] = last_g[i] * row_norm[i];
+            }
+            floor_norms(importance);
             weight = step_weights(importance);
+            if (seq) {
+              seq->rebuild(importance);  // one build per weight change
+            } else {
+              seq = std::make_unique<sampling::BlockSequence>(
+                  Mode::kIid, importance, n, options.seed);
+            }
           }
-          adaptive_sequence = sampling::SampleSequence::weighted(
-              importance, n, util::derive_seed(options.seed, 7000 + epoch));
-          seq = adaptive_sequence->view();
-        } else if (mode == SolverOptions::SequenceMode::kStratified) {
-          if (epoch > 1) stratified->reshuffle();
-          seq = stratified->view();
-        } else if (mode == SolverOptions::SequenceMode::kReshuffle) {
-          if (epoch > 1) reshuffled.reshuffle();
-          seq = reshuffled.view();
+          seq->begin_epoch(epoch,
+                           util::derive_seed(options.seed, 7000 + epoch));
+        } else if (m == Mode::kIid) {
+          seq->begin_epoch(epoch, util::derive_seed(options.seed, epoch - 1));
         } else {
-          seq = sequences[epoch - 1].view();
+          seq->begin_epoch(epoch);
         }
-        const std::size_t updates = (seq.size() + b - 1) / b;
+        const std::size_t len = seq->epoch_length();
+        const std::size_t updates = (len + b - 1) / b;
         for (std::size_t u = 0; u < updates; ++u) {
           const std::size_t base = u * b;
-          const std::size_t bsize = std::min(b, seq.size() - base);
+          const std::size_t bsize = std::min(b, len - base);
           for (std::size_t k = 0; k < bsize; ++k) {
-            const std::size_t i = seq[base + k];
+            const std::size_t i = seq->next();
             const double margin = sparse::sparse_dot(w, data.row(i));
-            batch[k] = {i, objective.gradient_scale(margin, data.label(i))};
+            const double g = objective.gradient_scale(margin, data.label(i));
+            if (adaptive) last_g[i] = std::abs(g);
+            batch[k] = {i, g};
           }
           for (std::size_t k = 0; k < bsize; ++k) {
             const auto [i, g] = batch[k];

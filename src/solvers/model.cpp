@@ -6,23 +6,24 @@ namespace isasgd::solvers {
 
 std::vector<double> SharedModel::snapshot() const {
   std::vector<double> out(w_.size());
-  for (std::size_t j = 0; j < w_.size(); ++j) {
-    out[j] = w_[j].load(std::memory_order_relaxed);
-  }
+  for (std::size_t j = 0; j < w_.size(); ++j) out[j] = load(j);
   return out;
+}
+
+void SharedModel::snapshot_into(std::vector<double>& out) const {
+  out.resize(w_.size());
+  for (std::size_t j = 0; j < w_.size(); ++j) out[j] = load(j);
 }
 
 void SharedModel::assign(std::span<const double> values) {
   if (values.size() != w_.size()) {
     throw std::invalid_argument("SharedModel::assign: size mismatch");
   }
-  for (std::size_t j = 0; j < w_.size(); ++j) {
-    w_[j].store(values[j], std::memory_order_relaxed);
-  }
+  for (std::size_t j = 0; j < w_.size(); ++j) store(j, values[j]);
 }
 
 void SharedModel::reset() noexcept {
-  for (auto& v : w_) v.store(0.0, std::memory_order_relaxed);
+  for (std::size_t j = 0; j < w_.size(); ++j) store(j, 0.0);
 }
 
 std::string update_policy_name(UpdatePolicy p) {

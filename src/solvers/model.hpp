@@ -1,9 +1,10 @@
 // The shared parameter vector for lock-free asynchronous solvers.
 //
 // Hogwild (Recht et al. 2011) updates the model from many threads with no
-// locks, accepting lost component updates. In C++ a plain `double` written
-// concurrently is a data race (UB), so SharedModel stores
-// std::atomic<double> and offers two disciplines:
+// locks, accepting lost component updates. SharedModel stores plain
+// `double`s and mediates concurrent access through C++20
+// std::atomic_ref<double> (lock-free on every supported target, enforced
+// below), offering four disciplines:
 //
 //   kWild    — relaxed load, add in a register, relaxed store. On x86 this
 //              compiles to the same movsd pair as unsynchronised code and has
@@ -15,6 +16,13 @@
 //              maps to stripe j mod S): the locked fine-grained comparator.
 //   kLocked  — a single spinlock (stripe 0) for every coordinate: the fully
 //              serialised straw man the Hogwild paper argues against.
+//
+// Plain storage + atomic_ref (instead of std::vector<std::atomic<double>>)
+// is what makes wild_view() possible: the buffer really is a contiguous
+// double array, so the hottest loops in the library — the margin dot and
+// the fused update of the async solvers — can run on the ISASGD_RESTRICT
+// SIMD kernels of sparse/kernels.hpp instead of per-element atomic calls.
+// See wild_view() for the exact validity contract.
 //
 // The Fig-3 concurrency-sensitivity results reproduce under kWild and
 // kAtomic; kWild is the paper-faithful default. The locked disciplines feed
@@ -46,48 +54,76 @@ static_assert(alignof(util::CachePadded<util::Spinlock>) ==
                   util::kCacheLineSize,
               "Spinlock stripes must be cache-line aligned");
 
+// wild_view()'s raw double* access and the atomic_ref disciplines can only
+// coexist on a target where atomic_ref<double> is address-free machine
+// loads/stores of the same 8 bytes. Locked in at compile time.
+static_assert(std::atomic_ref<double>::is_always_lock_free,
+              "SharedModel requires lock-free atomic_ref<double>");
+static_assert(std::atomic_ref<double>::required_alignment <= alignof(double),
+              "atomic_ref<double> must accept naturally-aligned doubles");
+
 /// Fixed-size shared parameter vector with relaxed-atomic element access.
 class SharedModel {
  public:
   /// `lock_stripes` sizes the spinlock table used by the locked policies
   /// (kLocked always uses stripe 0); it never affects kWild/kAtomic.
   explicit SharedModel(std::size_t dim, std::size_t lock_stripes = 1024)
-      : w_(dim), locks_(lock_stripes == 0 ? 1 : lock_stripes) {
-    for (auto& v : w_) v.store(0.0, std::memory_order_relaxed);
-  }
+      : w_(dim, 0.0), locks_(lock_stripes == 0 ? 1 : lock_stripes) {}
 
   [[nodiscard]] std::size_t dim() const noexcept { return w_.size(); }
 
   /// Relaxed read of coordinate j.
   [[nodiscard]] double load(std::size_t j) const noexcept {
-    return w_[j].load(std::memory_order_relaxed);
+    return ref(j).load(std::memory_order_relaxed);
   }
 
   /// Relaxed write of coordinate j.
   void store(std::size_t j, double v) noexcept {
-    w_[j].store(v, std::memory_order_relaxed);
+    ref(j).store(v, std::memory_order_relaxed);
+  }
+
+  /// The model as a raw dense vector — the async hot-path fast lane.
+  ///
+  /// Validity contract (tests/wild_view_test.cpp pins the serial half):
+  ///   * Quiesced phases (setup, epoch fences, serial solvers): plain reads
+  ///     and writes through the span are exact and race-free — this is how
+  ///     the epoch drivers score snapshots without copying, and how serial
+  ///     runs reach the SIMD kernels.
+  ///   * Concurrent phases under UpdatePolicy::kWild ONLY: plain accesses
+  ///     race against other workers exactly as Hogwild intends — the same
+  ///     lost-update semantics as the relaxed atomic_ref pair, but
+  ///     vectorizable. Each coordinate's value is always some previously
+  ///     stored double (x86/ARM64 naturally-aligned 8-byte accesses do not
+  ///     tear); this is the paper-faithful wild discipline, not a bug.
+  ///   * Never mix raw access with kAtomic/kStriped/kLocked phases: those
+  ///     disciplines' guarantees (no lost updates / mutual exclusion) only
+  ///     hold when every writer goes through add()/update().
+  [[nodiscard]] std::span<double> wild_view() noexcept { return w_; }
+  [[nodiscard]] std::span<const double> wild_view() const noexcept {
+    return w_;
   }
 
   /// w[j] += delta under the requested discipline.
   void add(std::size_t j, double delta, UpdatePolicy policy) noexcept {
+    const std::atomic_ref<double> r = ref(j);
     switch (policy) {
       case UpdatePolicy::kAtomic:
-        w_[j].fetch_add(delta, std::memory_order_relaxed);
+        r.fetch_add(delta, std::memory_order_relaxed);
         return;
       case UpdatePolicy::kWild:
-        w_[j].store(w_[j].load(std::memory_order_relaxed) + delta,
-                    std::memory_order_relaxed);
+        r.store(r.load(std::memory_order_relaxed) + delta,
+                std::memory_order_relaxed);
         return;
       case UpdatePolicy::kStriped: {
         std::lock_guard guard(locks_[j % locks_.size()].value);
-        w_[j].store(w_[j].load(std::memory_order_relaxed) + delta,
-                    std::memory_order_relaxed);
+        r.store(r.load(std::memory_order_relaxed) + delta,
+                std::memory_order_relaxed);
         return;
       }
       case UpdatePolicy::kLocked: {
         std::lock_guard guard(locks_[0].value);
-        w_[j].store(w_[j].load(std::memory_order_relaxed) + delta,
-                    std::memory_order_relaxed);
+        r.store(r.load(std::memory_order_relaxed) + delta,
+                std::memory_order_relaxed);
         return;
       }
     }
@@ -104,9 +140,10 @@ class SharedModel {
   /// meaningless for a non-additive map — degrades to kWild.
   template <class Fn>
   void update(std::size_t j, Fn&& fn, UpdatePolicy policy) noexcept {
+    const std::atomic_ref<double> r = ref(j);
     auto racy = [&] {
-      w_[j].store(fn(w_[j].load(std::memory_order_relaxed)),
-                  std::memory_order_relaxed);
+      r.store(fn(r.load(std::memory_order_relaxed)),
+              std::memory_order_relaxed);
     };
     switch (policy) {
       case UpdatePolicy::kWild:
@@ -139,8 +176,13 @@ class SharedModel {
 
   /// Copies the model into a plain vector (evaluation fences only — callers
   /// must quiesce writers for an exact snapshot; a racy snapshot is still
-  /// well-defined, just temporally fuzzy).
+  /// well-defined, just temporally fuzzy). Allocates: steady-state fence
+  /// code should read wild_view() (quiesced ⇒ exact) or use snapshot_into.
   [[nodiscard]] std::vector<double> snapshot() const;
+
+  /// snapshot() into a caller-owned buffer (resized to dim()): the
+  /// allocation-free form for per-epoch scratch reuse.
+  void snapshot_into(std::vector<double>& out) const;
 
   /// Overwrites the model from a plain vector (size must match).
   void assign(std::span<const double> values);
@@ -149,7 +191,14 @@ class SharedModel {
   void reset() noexcept;
 
  private:
-  std::vector<std::atomic<double>> w_;
+  /// Atomic window onto coordinate j. The const_cast is sound: the storage
+  /// is always a mutable vector owned by this object, and a const
+  /// SharedModel only ever reaches relaxed loads through the ref.
+  [[nodiscard]] std::atomic_ref<double> ref(std::size_t j) const noexcept {
+    return std::atomic_ref<double>(const_cast<double&>(w_[j]));
+  }
+
+  std::vector<double> w_;
   /// Spinlock stripes, cache-line padded so neighbouring stripes do not
   /// false-share; mutable because locking is not logically a modification.
   mutable std::vector<util::CachePadded<util::Spinlock>> locks_;

@@ -11,6 +11,7 @@
 #include "solvers/importance_weights.hpp"
 #include "solvers/model.hpp"
 #include "solvers/solver.hpp"
+#include "sparse/kernels.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -37,7 +38,7 @@ Trace run_prox_asgd(const sparse::CsrMatrix& data,
 
   struct WorkerState {
     std::vector<double> weight;  // 1/(N_tid·p_i), unit for uniform
-    std::vector<sampling::SampleSequence> sequences;
+    std::unique_ptr<sampling::BlockSequence> seq;
     util::Rng rng;
   };
   std::vector<WorkerState> workers(threads);
@@ -47,23 +48,28 @@ Trace run_prox_asgd(const sparse::CsrMatrix& data,
     WorkerState& ws = workers[tid];
     ws.weight.assign(local_n, 1.0);
     ws.rng.reseed(util::derive_seed(options.seed, 0xa90c + tid));
-    if (use_importance) {
+    if (use_importance && local_n > 0) {
       for (std::size_t k = 0; k < local_n; ++k) {
         const double p = shard.probabilities[k];
         ws.weight[k] =
             p > 0 ? 1.0 / (static_cast<double>(local_n) * p) : 1.0;
       }
-      ws.sequences.reserve(options.epochs);
-      for (std::size_t e = 0; e < options.epochs; ++e) {
-        ws.sequences.push_back(sampling::SampleSequence::weighted(
-            shard.probabilities, local_n,
-            util::derive_seed(options.seed, 300 + tid * 1000 + e)));
-      }
+      // One persistent alias table per worker; per-epoch draws stream from
+      // it under the retired pre-materialized layout's epoch seeds.
+      ws.seq = std::make_unique<sampling::BlockSequence>(
+          sampling::BlockSequence::Mode::kIid, shard.probabilities, local_n,
+          options.seed);
     }
   }
   recorder.add_setup_seconds(setup.seconds());
 
   const UpdatePolicy policy = options.update_policy;
+  // Wild fast lane: margin dot through the SIMD kernel and the prox map
+  // applied directly on the raw view — the same racy load→fn→store the
+  // kWild branch of SharedModel::update performs, minus the per-element
+  // atomic_ref calls (see model.hpp's wild_view contract).
+  const bool wild = policy == UpdatePolicy::kWild;
+  const std::span<double> wv = model.wild_view();
   const double train_seconds = detail::run_epoch_fenced(
       detail::pool_or_default(pool), model, recorder, options.epochs, threads,
       [&](std::size_t tid, std::size_t epoch) {
@@ -72,28 +78,41 @@ Trace run_prox_asgd(const sparse::CsrMatrix& data,
         if (local_n == 0) return;
         WorkerState& ws = workers[tid];
         const double lambda = epoch_step(options, epoch);
+        if (use_importance) {
+          ws.seq->begin_epoch(
+              epoch,
+              util::derive_seed(options.seed, 300 + tid * 1000 + (epoch - 1)));
+        }
         for (std::size_t t = 0; t < local_n; ++t) {
           const std::size_t slot =
               use_importance
-                  ? ws.sequences[epoch - 1][t]
+                  ? ws.seq->next()
                   : static_cast<std::size_t>(
                         util::uniform_index(ws.rng, local_n));
           const std::size_t i = shard.rows[slot];
           const auto x = data.row(i);
-          const double margin = model.sparse_dot(x);
+          const double margin = detail::gather_margin(model, x, wild);
           const double g =
               objective.gradient_scale(margin, data.label(i)) *
               ws.weight[slot];
           const auto idx = x.indices();
           const auto val = x.values();
-          for (std::size_t k = 0; k < idx.size(); ++k) {
-            const double gstep = lambda * g * val[k];
-            model.update(
-                idx[k],
-                [&](double v) {
-                  return objectives::prox(options.reg, v - gstep, lambda);
-                },
-                policy);
+          if (wild) {
+            for (std::size_t k = 0; k < idx.size(); ++k) {
+              double& wj = wv[idx[k]];
+              wj = objectives::prox(options.reg, wj - lambda * g * val[k],
+                                    lambda);
+            }
+          } else {
+            for (std::size_t k = 0; k < idx.size(); ++k) {
+              const double gstep = lambda * g * val[k];
+              model.update(
+                  idx[k],
+                  [&](double v) {
+                    return objectives::prox(options.reg, v - gstep, lambda);
+                  },
+                  policy);
+            }
           }
         }
       });

@@ -1,6 +1,7 @@
 #include "solvers/prox_sgd.hpp"
 
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <vector>
 
@@ -26,10 +27,10 @@ Trace run_prox_sgd(const sparse::CsrMatrix& data,
   TraceRecorder recorder(use_importance ? "IS-PROX-SGD" : "PROX-SGD", 1,
                          options.step_size, eval, observer);
 
-  // ---- Offline phase (IS only): Eq. 12 distribution + sequences ----
+  // ---- Offline phase (IS only): Eq. 12 distribution + block stream ----
   util::Stopwatch setup;
   std::vector<double> weight(n, 1.0);  // 1/(n·p_i)
-  std::vector<sampling::SampleSequence> sequences;
+  std::unique_ptr<sampling::BlockSequence> seq;
   if (use_importance) {
     const std::vector<double> importance =
         detail::importance_weights(data, objective, options);
@@ -39,11 +40,11 @@ Trace run_prox_sgd(const sparse::CsrMatrix& data,
       const double p = total > 0 ? importance[i] / total : 1.0 / double(n);
       weight[i] = p > 0 ? 1.0 / (static_cast<double>(n) * p) : 1.0;
     }
-    sequences.reserve(options.epochs);
-    for (std::size_t e = 0; e < options.epochs; ++e) {
-      sequences.push_back(sampling::SampleSequence::weighted(
-          importance, n, util::derive_seed(options.seed, e)));
-    }
+    // One persistent alias table; each epoch's i.i.d. draws stream from it
+    // inside the epoch, seeded per epoch exactly like the retired
+    // pre-materialized layout.
+    seq = std::make_unique<sampling::BlockSequence>(
+        sampling::BlockSequence::Mode::kIid, importance, n, options.seed);
   }
   recorder.add_setup_seconds(setup.seconds());
 
@@ -78,13 +79,13 @@ Trace run_prox_sgd(const sparse::CsrMatrix& data,
           }
         };
 
-        const std::span<const std::uint32_t> seq =
-            use_importance ? sequences[epoch - 1].view()
-                           : std::span<const std::uint32_t>{};
+        if (use_importance) {
+          seq->begin_epoch(epoch, util::derive_seed(options.seed, epoch - 1));
+        }
         for (std::uint32_t t = 1; t <= n; ++t) {
           const std::size_t i =
               use_importance
-                  ? seq[t - 1]
+                  ? seq->next()
                   : static_cast<std::size_t>(util::uniform_index(rng, n));
           const auto x = data.row(i);
           const auto idx = x.indices();

@@ -70,7 +70,9 @@ double run_epoch_fenced_sharded(util::ThreadPool& pool,
                                 SharedModel& model, TraceRecorder& recorder,
                                 std::size_t epochs, std::size_t threads,
                                 WorkerShardFn&& worker_shard) {
-  recorder.record(0, 0.0, model.snapshot());
+  // Fence-time scoring reads the raw wild_view (pool quiescent ⇒ exact):
+  // the epoch loop never allocates a snapshot vector.
+  recorder.record(0, 0.0, model.wild_view());
   if (recorder.stop_requested()) return 0.0;
   pool.reserve(threads);
 
@@ -88,7 +90,7 @@ double run_epoch_fenced_sharded(util::ThreadPool& pool,
       });
     }
     clock.stop();  // fence: all workers arrived, clock paused for scoring
-    recorder.record(epoch, clock.seconds(), model.snapshot());
+    recorder.record(epoch, clock.seconds(), model.wild_view());
     if (recorder.stop_requested()) break;
   }
   return clock.seconds();

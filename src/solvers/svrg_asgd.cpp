@@ -57,13 +57,22 @@ Trace run_svrg_asgd(const sparse::CsrMatrix& data,
   SharedModel model(d);
   TraceRecorder recorder("SVRG-ASGD", threads,
                          options.step_size, eval, observer);
-  recorder.record(0, 0.0, model.snapshot());
+  recorder.record(0, 0.0, model.wild_view());
 
   std::vector<double> s(d, 0.0);
   std::vector<double> mu(d, 0.0);
   const std::size_t interval =
       std::max<std::size_t>(1, options.svrg_snapshot_interval);
   const UpdatePolicy policy = options.update_policy;
+  // Wild fast lane: the inner loop's dual margin read and its fused
+  // sparse-correction + dense-μ pass run on the raw wild_view through the
+  // ISASGD_RESTRICT kernels (sparse_dot_pair / scale_then_sparse_axpy) —
+  // per-coordinate arithmetic identical to the atomic-load loops below
+  // (see sparse/kernels.hpp's bit-compatibility contract).
+  const bool wild = policy == UpdatePolicy::kWild;
+  const std::span<double> wv = model.wild_view();
+  const double eta_l1 = options.reg.eta_l1();
+  const double eta_l2 = options.reg.eta_l2();
 
   // Warm the pool before the clock starts (one-time worker spawn must not
   // pollute epoch 1's timed window).
@@ -76,7 +85,9 @@ Trace run_svrg_asgd(const sparse::CsrMatrix& data,
     clock.start();
     if ((epoch - 1) % interval == 0) {
       // Algorithm 1 lines 4–6: sync point — snapshot + full gradient.
-      s = model.snapshot();
+      // Quiesced here (between pool.run fences), so the snapshot is exact
+      // and reuses s's storage — no per-refresh allocation.
+      model.snapshot_into(s);
       full_loss_gradient_parallel(pool, data, objective, s, mu, threads);
     }
 
@@ -87,6 +98,15 @@ Trace run_svrg_asgd(const sparse::CsrMatrix& data,
         const std::size_t i = util::uniform_index(rng, n);
         const auto x = data.row(i);
         const double y = data.label(i);
+        if (wild && !options.svrg_skip_mu) {
+          double margin_w = 0, margin_s = 0;
+          sparse::sparse_dot_pair(wv, s, x, margin_w, margin_s);
+          const double correction = objective.gradient_scale(margin_w, y) -
+                                    objective.gradient_scale(margin_s, y);
+          sparse::scale_then_sparse_axpy(wv, mu, step, eta_l1, eta_l2,
+                                         step * correction, x);
+          continue;
+        }
         const auto idx = x.indices();
         const auto val = x.values();
         double margin_w = 0, margin_s = 0;
@@ -123,7 +143,8 @@ Trace run_svrg_asgd(const sparse::CsrMatrix& data,
       }
     }
     clock.stop();
-    recorder.record(epoch, clock.seconds(), model.snapshot());
+    // Fence: workers quiesced, the raw view is an exact snapshot.
+    recorder.record(epoch, clock.seconds(), wv);
   }
   if (options.keep_final_model) recorder.set_final_model(model.snapshot());
   return std::move(recorder).finish(clock.seconds());

@@ -66,16 +66,25 @@ TEST(AdaptiveIsAsgd, QualityTracksStaticIs) {
 
 TEST(AdaptiveIsAsgd, RefreshCostIsInsideTheTrainingClock) {
   // The point of the extension: the Eq. 11 tracking cost must show up in
-  // the timed window, not in setup (compare to the static solver, whose
-  // sequence generation is all setup).
+  // the timed window, not in setup. Under streamed block sequences setup
+  // no longer generates per-epoch sequences for ANY mode, so the old
+  // adaptive-vs-static setup comparison is meaningless; what setup must
+  // now guarantee is epoch-count independence — 25x the epochs must not
+  // buy 25x the setup (the pre-streaming scheme scaled linearly).
   Fixture f;
   auto opt = f.options(6);
-  const Trace fixed = run_is_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
   opt.adaptive_importance = true;
   const Trace adaptive =
       run_is_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
-  EXPECT_LT(adaptive.setup_seconds, fixed.setup_seconds);
   EXPECT_GT(adaptive.train_seconds, 0.0);
+
+  const Trace few =
+      run_is_asgd(f.data, f.loss, f.options(2), f.evaluator.as_fn());
+  const Trace many =
+      run_is_asgd(f.data, f.loss, f.options(50), f.evaluator.as_fn());
+  // Generous slack (5x + 1ms absolute): only a regression back to
+  // per-epoch pre-generation (~25x here) can trip it.
+  EXPECT_LT(many.setup_seconds, 5.0 * few.setup_seconds + 1e-3);
 }
 
 TEST(AdaptiveIsAsgd, IntervalReusesSequences) {

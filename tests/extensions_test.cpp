@@ -187,11 +187,35 @@ TEST(AdaptiveImportance, ConvergesAndCostsTrainingTime) {
   opt.adaptive_importance = true;
   const Trace adaptive = run_is_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
   EXPECT_LT(final_rmse(adaptive), 0.75 * initial_rmse(adaptive));
-  // The re-estimation runs inside the timed window and skips offline
-  // pre-generation, so setup is near-zero compared to the static variant.
+  // The re-estimation runs inside the timed window; setup only pays the
+  // one-off O(nnz) row-norm cache, the same order as the static variant's
+  // importance pass (under streamed sequences NO mode pre-generates
+  // per-epoch sequences offline, so the two setups are comparable — the
+  // old "adaptive setup ≪ static setup" contract is gone by design).
   opt.adaptive_importance = false;
   const Trace fixed = run_is_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
-  EXPECT_LT(adaptive.setup_seconds, fixed.setup_seconds + 1e-3);
+  EXPECT_GT(adaptive.train_seconds, 0.0);
+  EXPECT_LT(adaptive.setup_seconds, 5.0 * fixed.setup_seconds + 1e-2);
+}
+
+TEST(AdaptiveImportance, TakesPrecedenceOverShuffledSequenceModes) {
+  // adaptive_importance + kReshuffle/kStratified (reachable directly, or
+  // via the deprecated reshuffle_sequences shim that validate folds into
+  // kReshuffle) must run the adaptive i.i.d. stream, not throw because the
+  // shuffled modes cannot rebuild() — a regression guard for the streamed
+  // sequence layer.
+  Fixture f;
+  for (auto mode : {SolverOptions::SequenceMode::kReshuffle,
+                    SolverOptions::SequenceMode::kStratified}) {
+    auto opt = f.options(1);
+    opt.adaptive_importance = true;
+    opt.sequence_mode = mode;
+    const Trace serial = run_is_sgd(f.data, f.loss, opt, f.evaluator.as_fn());
+    EXPECT_LT(final_rmse(serial), initial_rmse(serial));
+    const Trace async =
+        run_is_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
+    EXPECT_LT(final_rmse(async), initial_rmse(async));
+  }
 }
 
 TEST(AdaptiveImportance, IntervalIsRespected) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "data/synthetic.hpp"
 #include "metrics/evaluator.hpp"
@@ -283,22 +285,45 @@ TEST(SvrgAsgd, ConvergesWithThreads) {
 
 TEST(SvrgAsgd, IsSlowerPerEpochThanAsgdOnSparseData) {
   // The §1.2 bottleneck: dense μ update each iteration makes SVRG-ASGD's
-  // per-epoch wall clock far higher than ASGD's on sparse data.
-  Fixture f(1000, 2000);  // sparse: nnz/row = 10 ≪ d = 2000
+  // per-epoch wall clock far higher than ASGD's on sparse data. Re-pinned
+  // for the wild-view era: the fused dense pass cut SVRG-ASGD's constant
+  // ~3x, so the structural O(d)-vs-O(nnz) gap needs d ≫ nnz to dominate,
+  // and each wall clock is the min over repeats so a scheduler preemption
+  // inside one tiny timed window (parallel ctest on a loaded runner)
+  // cannot fake either side.
+  Fixture f(1000, 8000);  // sparse: nnz/row = 10 ≪ d = 8000
   auto opt = f.options(2, 0.2);
-  const Trace asgd = run_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
-  const Trace svrg = run_svrg_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
-  EXPECT_GT(svrg.train_seconds, 3.0 * asgd.train_seconds);
+  double asgd_s = std::numeric_limits<double>::infinity();
+  double svrg_s = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    asgd_s = std::min(
+        asgd_s, run_asgd(f.data, f.loss, opt, f.evaluator.as_fn()).train_seconds);
+    svrg_s = std::min(
+        svrg_s,
+        run_svrg_asgd(f.data, f.loss, opt, f.evaluator.as_fn()).train_seconds);
+  }
+  EXPECT_GT(svrg_s, 3.0 * asgd_s);
 }
 
 TEST(SvrgAsgd, SkipMuIsCheapButDifferent) {
-  Fixture f(500, 800);
+  // min-over-repeats on both sides, for the same loaded-runner reason as
+  // IsSlowerPerEpochThanAsgdOnSparseData above; d ≫ nnz so the faithful
+  // dense pass dominates even fused.
+  Fixture f(500, 4000);
   auto opt = f.options(2, 0.2);
-  const Trace faithful =
-      run_svrg_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
-  opt.svrg_skip_mu = true;
-  const Trace skip = run_svrg_asgd(f.data, f.loss, opt, f.evaluator.as_fn());
-  EXPECT_LT(skip.train_seconds, faithful.train_seconds);
+  double faithful_s = std::numeric_limits<double>::infinity();
+  double skip_s = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    opt.svrg_skip_mu = false;
+    faithful_s = std::min(
+        faithful_s,
+        run_svrg_asgd(f.data, f.loss, opt, f.evaluator.as_fn()).train_seconds);
+    opt.svrg_skip_mu = true;
+    skip_s = std::min(
+        skip_s,
+        run_svrg_asgd(f.data, f.loss, opt, f.evaluator.as_fn()).train_seconds);
+  }
+  EXPECT_LT(skip_s, faithful_s);
 }
 
 // ---------- cross-cutting ----------
