@@ -27,13 +27,20 @@
 //               (2) IS solvers must hold ≥ kIsFloor × their uniform
 //                   counterpart's steady-state throughput ("IS adds no
 //                   per-iteration cost", §1.3 — loose so scheduler noise on
-//                   shared runners cannot flake the job).
+//                   shared runners cannot flake the job),
+//               (3) with --baseline FILE, steady throughput per run must
+//                   hold ≥ kBaselineFloor × the same run in a prior
+//                   BENCH_solvers.json. A missing/unreadable baseline is a
+//                   hard, clearly-reported failure — the gate never
+//                   silently passes because no artifact was downloaded.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/execution.hpp"
@@ -42,6 +49,7 @@
 #include "objectives/logistic.hpp"
 #include "solvers/options.hpp"
 #include "util/cli.hpp"
+#include "util/logging.hpp"
 
 namespace {
 
@@ -52,6 +60,11 @@ using namespace isasgd;
 /// margin pass of tens; anything under this floor means the sampling layer
 /// regressed structurally, not noisily.
 constexpr double kIsFloor = 0.5;
+
+/// Steady-throughput floor against a --baseline file's matching run. Looser
+/// than the IS-vs-uniform gate: cross-CI-run comparisons see different
+/// machine load, so only halvings are treated as structural regressions.
+constexpr double kBaselineFloor = 0.5;
 
 struct RunResult {
   std::string solver;
@@ -164,8 +177,8 @@ int check_gate(const std::vector<RunResult>& results, std::size_t threads) {
   int failures = 0;
   for (const RunResult& r : results) {
     if (!std::isfinite(r.time_to_target)) {
-      std::cerr << "GATE: " << r.solver << " t=" << r.threads
-                << " never reached the target RMSE\n";
+      util::log_error() << "GATE: " << r.solver << " t=" << r.threads
+                        << " never reached the target RMSE";
       ++failures;
     }
   }
@@ -183,9 +196,81 @@ int check_gate(const std::vector<RunResult>& results, std::size_t threads) {
     const double ratio =
         is->steady_samples_per_sec / uni->steady_samples_per_sec;
     if (ratio < kIsFloor) {
-      std::cerr << "GATE: " << p.is << " t=" << p.threads << " holds only "
-                << ratio << "x of " << p.uniform << "'s steady throughput "
-                << "(floor " << kIsFloor << ")\n";
+      util::log_error() << "GATE: " << p.is << " t=" << p.threads
+                        << " holds only " << ratio << "x of " << p.uniform
+                        << "'s steady throughput (floor " << kIsFloor << ")";
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+/// Minimal reader for the JSON this binary writes: extracts
+/// (solver, threads) → steady_samples_per_sec from each run object. Only
+/// has to understand its own output format, so plain string scanning is
+/// enough — no JSON dependency.
+std::map<std::pair<std::string, std::size_t>, double> read_baseline(
+    std::istream& in) {
+  std::map<std::pair<std::string, std::size_t>, double> baseline;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t solver_at = line.find("\"solver\": \"");
+    if (solver_at == std::string::npos) continue;
+    const std::size_t name_begin = solver_at + 11;
+    const std::size_t name_end = line.find('"', name_begin);
+    const std::size_t threads_at = line.find("\"threads\": ");
+    const std::size_t steady_at = line.find("\"steady_samples_per_sec\": ");
+    if (name_end == std::string::npos || threads_at == std::string::npos ||
+        steady_at == std::string::npos) {
+      continue;
+    }
+    const std::string solver = line.substr(name_begin, name_end - name_begin);
+    const auto threads =
+        static_cast<std::size_t>(std::stoul(line.substr(threads_at + 11)));
+    const double steady = std::stod(line.substr(steady_at + 26));
+    baseline[{solver, threads}] = steady;
+  }
+  return baseline;
+}
+
+/// The --baseline gate. A missing or empty baseline file fails loudly (the
+/// perf trajectory must never look green because the prior artifact was
+/// absent); a run missing *from* the baseline is reported but tolerated, so
+/// adding a new solver configuration does not require hand-editing old
+/// artifacts.
+int check_baseline(const std::string& path,
+                   const std::vector<RunResult>& results) {
+  std::ifstream in(path);
+  if (!in) {
+    util::log_error()
+        << "GATE: baseline file '" << path
+        << "' is absent or unreadable — cannot gate the perf trajectory. "
+        << "Generate one on a known-good build with `end_to_end --out "
+        << path << "` (or download the prior CI artifact) and re-run.";
+    return 1;
+  }
+  const auto baseline = read_baseline(in);
+  if (baseline.empty()) {
+    util::log_error() << "GATE: baseline file '" << path
+                      << "' contains no runs (wrong or corrupt file?)";
+    return 1;
+  }
+  int failures = 0;
+  for (const RunResult& r : results) {
+    const auto it = baseline.find({r.solver, r.threads});
+    if (it == baseline.end()) {
+      util::log_warn() << "baseline '" << path << "' has no entry for "
+                       << r.solver << " t=" << r.threads << "; skipping";
+      continue;
+    }
+    if (it->second <= 0) continue;
+    const double ratio = r.steady_samples_per_sec / it->second;
+    if (ratio < kBaselineFloor) {
+      util::log_error() << "GATE: " << r.solver << " t=" << r.threads
+                        << " steady throughput is " << ratio
+                        << "x its baseline (" << r.steady_samples_per_sec
+                        << " vs " << it->second << " samples/s, floor "
+                        << kBaselineFloor << ")";
       ++failures;
     }
   }
@@ -200,6 +285,9 @@ int main(int argc, char** argv) {
                       "(BENCH_solvers.json)");
   cli.add_flag("out", "BENCH_solvers.json", "output JSON path");
   cli.add_flag("check", "false", "regression gate (CI)");
+  cli.add_flag("baseline", "",
+               "prior BENCH_solvers.json to gate steady throughput against "
+               "(with --check; absent file = hard failure)");
   cli.add_flag("dataset", "news20", "paper workload analog to run");
   cli.add_flag("scale", "1.0", "dataset scale factor");
   cli.add_flag("epochs", "10", "epochs per run");
@@ -265,7 +353,10 @@ int main(int argc, char** argv) {
   write_json(cli.get("out"), cfg, target_rmse, epochs, results);
 
   if (cli.get_bool("check")) {
-    const int failures = check_gate(results, threads);
+    int failures = check_gate(results, threads);
+    if (!cli.get("baseline").empty()) {
+      failures += check_baseline(cli.get("baseline"), results);
+    }
     if (failures) return 1;
     std::cout << "all solvers reached the target; IS throughput within "
               << kIsFloor << "x of uniform or better\n";

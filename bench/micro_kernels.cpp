@@ -38,6 +38,7 @@
 #include "solvers/model.hpp"
 #include "sparse/kernels.hpp"
 #include "sparse/sparse_vector.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -425,9 +426,10 @@ int check_regressions() {
   for (const BenchResult& r : g_results) {
     if (r.baseline.empty()) continue;
     if (r.speedup < kRegressionFloor) {
-      std::cerr << "REGRESSION: " << r.name << " is " << r.speedup
-                << "x its baseline " << r.baseline << " (floor "
-                << kRegressionFloor << ")\n";
+      isasgd::util::log_error()
+          << "REGRESSION: " << r.name << " is " << r.speedup
+          << "x its baseline " << r.baseline << " (floor " << kRegressionFloor
+          << ")";
       ++failures;
     }
   }
@@ -447,8 +449,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--min-time") == 0 && i + 1 < argc) {
       g_min_time_s = std::stod(argv[++i]);
     } else {
-      std::cerr << "usage: micro_kernels [--out FILE] [--check] "
-                   "[--min-time SECONDS]\n";
+      std::fprintf(stderr,
+                   "usage: micro_kernels [--out FILE] [--check] "
+                   "[--min-time SECONDS]\n");
       return 2;
     }
   }

@@ -16,7 +16,9 @@
 // automatic.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -74,10 +76,64 @@ class ExecutionContext
     return cluster_ ? &*cluster_ : nullptr;
   }
 
+  /// RAII job ticket from begin_job(): the context counts it as active
+  /// while alive. Movable, not copyable.
+  class JobToken {
+   public:
+    JobToken() = default;
+    explicit JobToken(ExecutionContext* ctx) : ctx_(ctx) {}
+    JobToken(JobToken&& other) noexcept : ctx_(other.ctx_) {
+      other.ctx_ = nullptr;
+    }
+    JobToken& operator=(JobToken&& other) noexcept {
+      if (this != &other) {
+        release();
+        ctx_ = other.ctx_;
+        other.ctx_ = nullptr;
+      }
+      return *this;
+    }
+    JobToken(const JobToken&) = delete;
+    JobToken& operator=(const JobToken&) = delete;
+    ~JobToken() { release(); }
+
+    void release() noexcept {
+      if (ctx_) {
+        ctx_->active_jobs_.fetch_sub(1, std::memory_order_relaxed);
+        ctx_ = nullptr;
+      }
+    }
+
+   private:
+    ExecutionContext* ctx_ = nullptr;
+  };
+
+  /// Registers a unit of work (one training run, one service job) against
+  /// this context. The counters are bookkeeping for multi-tenant owners —
+  /// the service layer reports them over its protocol — and impose no
+  /// limits themselves; admission control lives with the owner
+  /// (service::MemoryGovernor).
+  [[nodiscard]] JobToken begin_job() {
+    active_jobs_.fetch_add(1, std::memory_order_relaxed);
+    total_jobs_.fetch_add(1, std::memory_order_relaxed);
+    return JobToken(this);
+  }
+
+  /// Jobs currently holding a live JobToken.
+  [[nodiscard]] std::size_t active_jobs() const noexcept {
+    return active_jobs_.load(std::memory_order_relaxed);
+  }
+  /// Jobs ever begun on this context (monotonic).
+  [[nodiscard]] std::uint64_t total_jobs() const noexcept {
+    return total_jobs_.load(std::memory_order_relaxed);
+  }
+
  private:
   util::ThreadPool pool_;
   std::size_t eval_threads_;
   std::optional<distributed::ClusterSpec> cluster_;
+  std::atomic<std::size_t> active_jobs_{0};
+  std::atomic<std::uint64_t> total_jobs_{0};
 };
 
 using ExecutionContextPtr = std::shared_ptr<ExecutionContext>;

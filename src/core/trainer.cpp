@@ -43,6 +43,13 @@ Trainer::Trainer(const data::DataSource& source,
 solvers::Trace Trainer::train(std::string_view solver,
                               solvers::SolverOptions options,
                               solvers::TrainingObserver* observer) const {
+  return train(solver, std::move(options), observer, {});
+}
+
+solvers::Trace Trainer::train(std::string_view solver,
+                              solvers::SolverOptions options,
+                              solvers::TrainingObserver* observer,
+                              const solvers::SnapshotHooks& snapshot) const {
   const solvers::Solver& s = solvers::SolverRegistry::instance().get(solver);
   options.reg = reg_;
   return s.train(solvers::SolverContext{
@@ -53,6 +60,7 @@ solvers::Trace Trainer::train(std::string_view solver,
       .observer = observer,
       .pool = &execution_->pool(),
       .cluster = cluster_ ? &*cluster_ : execution_->cluster(),
+      .snapshot = snapshot,
   });
 }
 

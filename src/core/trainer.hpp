@@ -111,6 +111,16 @@ class Trainer {
       std::string_view solver, solvers::SolverOptions options,
       solvers::TrainingObserver* observer = nullptr) const;
 
+  /// Checkpoint-aware form: `snapshot` carries an optional resume state
+  /// and/or a fence-time capture sink (solvers/snapshot.hpp). Only solvers
+  /// declaring capabilities().checkpointable accept non-empty hooks —
+  /// Solver::train rejects the rest with std::invalid_argument. The service
+  /// layer (src/service/) drives all its jobs through this overload.
+  [[nodiscard]] solvers::Trace train(
+      std::string_view solver, solvers::SolverOptions options,
+      solvers::TrainingObserver* observer,
+      const solvers::SnapshotHooks& snapshot) const;
+
   /// Scores an arbitrary model snapshot.
   [[nodiscard]] solvers::EvalResult evaluate(std::span<const double> w) const {
     return evaluator_.evaluate(w);

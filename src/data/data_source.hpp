@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -81,6 +82,21 @@ class DataSource {
   /// shard_rows(s) for every shard — the shape ShardedSequence schedules
   /// over.
   [[nodiscard]] std::vector<std::size_t> shard_sizes() const;
+
+  /// Stable 64-bit identity of the dataset, used by checkpoint/resume to
+  /// refuse restoring a model trained on different data (io/checkpoint.hpp
+  /// records it; the service layer enforces the match). The default is an
+  /// FNV-1a hash of the geometry — rows, dim, nnz, shard layout — which is
+  /// cheap for any backend; InMemorySource strengthens it with a content
+  /// sample. Deterministic across processes and platforms for a given
+  /// source configuration.
+  [[nodiscard]] virtual std::uint64_t fingerprint() const;
+
+  /// Estimated bytes this source keeps resident while training — the
+  /// admission currency of the service layer's MemoryGovernor. Resident
+  /// backends estimate their full CSR footprint; the streaming backend
+  /// reports its configured cache budget (its actual cap) instead.
+  [[nodiscard]] virtual std::size_t resident_bytes() const;
 };
 
 /// Fully-resident DataSource over a borrowed CsrMatrix (which must outlive
@@ -106,6 +122,10 @@ class InMemorySource final : public DataSource {
   [[nodiscard]] const sparse::CsrMatrix& materialize() const override {
     return *matrix_;
   }
+  /// Geometry hash strengthened with a strided sample of the matrix content
+  /// (labels, column indices, value bits) — two same-shape datasets with
+  /// different content fingerprint differently.
+  [[nodiscard]] std::uint64_t fingerprint() const override;
 
  private:
   const sparse::CsrMatrix* matrix_;

@@ -81,6 +81,11 @@ class StreamingSource final : public DataSource {
   void prefetch(std::size_t s) const override;
   [[nodiscard]] bool resident() const override { return false; }
   [[nodiscard]] const sparse::CsrMatrix& materialize() const override;
+  /// The configured cache budget — what this source actually holds resident
+  /// while training, as opposed to the full-file estimate of the default.
+  [[nodiscard]] std::size_t resident_bytes() const override {
+    return options_.memory_budget_bytes;
+  }
 
   /// Cache behaviour counters (monotonic since construction).
   struct CacheStats {

@@ -1,0 +1,71 @@
+// Versioned binary checkpoint files for solvers::SnapshotState.
+//
+// A checkpoint is the durable form of one epoch-fence snapshot: the model
+// vector, the solver's named state sections (RNG words, SVRG anchors,
+// SAG/SAGA gradient memory, adaptive-IS vectors), and the run header (solver
+// name, completed epoch, seed, epoch budget, dataset fingerprint). The
+// format is deliberately dumb — length-prefixed little-endian sections, each
+// protected by its own CRC32 — so a checkpoint written by any build loads in
+// any other, and a partial write (kill mid-save) or a flipped byte is
+// detected and reported instead of silently resuming from garbage.
+//
+// File layout (all integers little-endian):
+//
+//   bytes 0..3   magic "ISCK"
+//   u32          format version (kCheckpointVersion)
+//   u32          solver-name length, then the name bytes
+//   u64 ×4       epoch, seed, epochs_budget, dataset_fingerprint
+//   u32          CRC32 of everything from the name length through the header
+//   u32          section count
+//   per section:
+//     u8         payload kind: 0 = f64 words, 1 = u64 words
+//     u32        name length, then the name bytes
+//     u64        element count
+//     payload    count × 8 bytes
+//     u32        CRC32 of the name bytes + payload bytes
+//
+// The model vector travels as an f64 section named "__model"; solver
+// sections keep their SnapshotState names ("rng", "svrg.anchor", ...).
+//
+// Durability: save_checkpoint writes to `path + ".tmp"` and renames over
+// `path`, so a reader never observes a half-written file at the final path —
+// the worst a crash leaves behind is a stale .tmp next to a complete
+// previous checkpoint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "solvers/snapshot.hpp"
+
+namespace isasgd::io {
+
+/// Raised on any checkpoint load/save failure: missing or unopenable file,
+/// bad magic, unsupported version, truncation, CRC mismatch. The message
+/// names the file and the failing part.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr char kCheckpointMagic[4] = {'I', 'S', 'C', 'K'};
+
+/// CRC-32 (reflected, polynomial 0xEDB88320 — the zlib/PNG polynomial) of
+/// `size` bytes at `data`, continued from `seed` (pass a previous return
+/// value to checksum discontiguous spans as one stream; 0 starts fresh).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0) noexcept;
+
+/// Serialises `state` to `path` atomically (tmp + rename). Throws
+/// CheckpointError when the file cannot be written.
+void save_checkpoint(const std::string& path,
+                     const solvers::SnapshotState& state);
+
+/// Loads and fully validates a checkpoint: magic, version, every CRC.
+/// Throws CheckpointError on any defect.
+[[nodiscard]] solvers::SnapshotState load_checkpoint(const std::string& path);
+
+}  // namespace isasgd::io

@@ -205,7 +205,29 @@ void BlockSequence::begin_epoch(std::size_t epoch, std::uint64_t epoch_seed) {
       block_data_ = stratified_->view().data();
       break;
   }
+  epoch_ = epoch;
   produced_ = 0;
+  cursor_ = block_end_ = 0;
+}
+
+void BlockSequence::rewind_to(std::size_t epoch) {
+  if (epoch < epoch_) {
+    throw std::logic_error(
+        "BlockSequence::rewind_to: cannot rewind backwards (at epoch " +
+        std::to_string(epoch_) + ", requested " + std::to_string(epoch) +
+        ") — rebuild the sequence and fast-forward instead");
+  }
+  // Only the shuffled modes carry cross-epoch sampler state (the reshuffle
+  // stream advanced by each begin_epoch); replay exactly those calls. The
+  // epoch_seed is irrelevant here — the shuffled modes ignore it, and the
+  // i.i.d. mode's stream is reseeded by the next real begin_epoch anyway.
+  if (mode_ != Mode::kIid) {
+    for (std::size_t e = epoch_ + 1; e <= epoch; ++e) begin_epoch(e);
+  }
+  epoch_ = epoch;
+  // Epoch `epoch` was fully consumed before the fence the caller is
+  // restoring; mark the stream exhausted until the next begin_epoch.
+  produced_ = epoch_length_;
   cursor_ = block_end_ = 0;
 }
 

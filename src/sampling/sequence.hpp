@@ -246,12 +246,35 @@ class BlockSequence {
 
   [[nodiscard]] Mode mode() const noexcept { return mode_; }
 
+  // ---- checkpoint cursor export/rewind (solvers/snapshot.hpp) ----
+
+  /// The epoch of the last begin_epoch call (0 before the first) — the
+  /// epoch-fence cursor a checkpoint records.
+  [[nodiscard]] std::size_t current_epoch() const noexcept { return epoch_; }
+
+  /// Indices handed out since the last begin_epoch — the intra-epoch
+  /// cursor. Checkpoints are taken at epoch fences, where this equals
+  /// epoch_length(); exported for diagnostics and corruption checks.
+  [[nodiscard]] std::size_t produced() const noexcept { return produced_; }
+
+  /// Fast-forwards a freshly built sequence to the state just after epoch
+  /// `epoch`'s fence: the shuffled modes replay their per-epoch reshuffles
+  /// (their generation stream is the only cross-epoch sampler state — the
+  /// multiset walk itself never advances it), the i.i.d. mode has nothing
+  /// to replay (begin_epoch reseeds its draw stream per epoch). After the
+  /// call the stream is exhausted, exactly as at a real fence; the next
+  /// begin_epoch(epoch + 1, ...) continues bit-identically to a sequence
+  /// that trained through epochs 1..epoch. Throws std::logic_error on a
+  /// backwards rewind (reshuffle streams cannot run in reverse).
+  void rewind_to(std::size_t epoch);
+
  private:
   void refill();
 
   Mode mode_;
   std::size_t block_size_;
   std::size_t epoch_length_ = 0;
+  std::size_t epoch_ = 0;     ///< last begin_epoch ordinal (0 = none yet)
   std::size_t produced_ = 0;  ///< indices handed out this epoch
   // Current block window: for kIid `buffer_` is one block refilled from the
   // alias table; for the shuffled modes it is the whole multiset and the

@@ -1,0 +1,90 @@
+// Job vocabulary of the training service: what a client submits (JobSpec),
+// where a job is in its lifecycle (JobState), and the snapshot of a job the
+// service reports back (JobStatus).
+//
+// A job is one solver run — solver name, dataset, objective, SolverOptions,
+// epoch budget — executed by service::TrainingService on the shared
+// execution context, time-sliced against the other resident jobs at epoch
+// fences. Checkpointing is per job: `checkpoint_path` + `checkpoint_every`
+// arm periodic fence-time saves, `resume_from` restores a prior run's state
+// (same solver, seed, and dataset — the determinism contract of
+// solvers/snapshot.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "data/streaming_source.hpp"
+#include "solvers/options.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::service {
+
+/// Everything needed to run one training job. Exactly one of `dataset`
+/// (a LibSVM/ISASGD-binary file path, opened as a StreamingSource) and
+/// `matrix` (an in-process dataset, wrapped in an InMemorySource) must be
+/// set.
+struct JobSpec {
+  /// Registry name of the solver, e.g. "is_sgd" (case/punctuation-
+  /// insensitive, like core::Trainer::train).
+  std::string solver;
+
+  /// Dataset file path; empty when `matrix` supplies the data.
+  std::string dataset;
+  /// Streaming knobs for the `dataset` path (shard size, cache budget).
+  data::StreamingOptions streaming;
+  /// In-process dataset; the shared_ptr keeps it alive for the job's life.
+  std::shared_ptr<const sparse::CsrMatrix> matrix;
+
+  /// Objective by name: "least_squares", "logistic", "smooth_hinge",
+  /// "squared_hinge", "huber".
+  std::string objective = "least_squares";
+
+  /// Solver options — epochs is the job's epoch budget; reg rides along to
+  /// the Trainer. keep_final_model is forced on by the service (the final
+  /// model backs `status`'s model hash).
+  solvers::SolverOptions options;
+
+  /// Checkpoint file for this job; empty disables fence-time saves. Each
+  /// save atomically replaces the file with the newest fence state.
+  std::string checkpoint_path;
+  /// Save every k-th epoch fence (0 = only on explicit `checkpoint`
+  /// requests). Requires checkpoint_path.
+  std::size_t checkpoint_every = 0;
+  /// Checkpoint file to restore before epoch 1; empty starts fresh. The
+  /// service verifies the dataset fingerprint and hands the state to the
+  /// solver, which verifies solver/seed/dimensions (snapshot.hpp).
+  std::string resume_from;
+};
+
+/// Lifecycle of a job inside the service.
+enum class JobState {
+  kQueued,     ///< admitted but waiting for memory budget
+  kRunning,    ///< training (or between epoch slices)
+  kPaused,     ///< paused at an epoch fence; resume() continues
+  kCompleted,  ///< trained to its epoch budget (or early-stopped clean)
+  kFailed,     ///< threw; see JobStatus::message
+  kCancelled,  ///< cancel() took effect at an epoch fence
+};
+
+[[nodiscard]] const char* job_state_name(JobState state) noexcept;
+
+/// Point-in-time view of one job, as reported over the protocol.
+struct JobStatus {
+  std::uint64_t id = 0;
+  JobState state = JobState::kQueued;
+  std::string solver;
+  std::size_t epoch = 0;         ///< completed epochs so far
+  std::size_t epochs_budget = 0; ///< the run's target
+  double objective_value = 0;    ///< F(w) at the last scored fence
+  std::size_t reserved_bytes = 0;  ///< memory reservation held
+  /// FNV-1a hash of the final model bytes; 0 until kCompleted. The value
+  /// the determinism contract is asserted on: an uninterrupted run and a
+  /// kill+resume run of the same job must report identical hashes.
+  std::uint64_t model_hash = 0;
+  std::string message;  ///< failure detail for kFailed, else empty
+};
+
+}  // namespace isasgd::service

@@ -1,0 +1,46 @@
+#include "service/memory_governor.hpp"
+
+#include <algorithm>
+
+namespace isasgd::service {
+
+namespace {
+
+std::string admission_message(std::size_t requested, std::size_t budget) {
+  return "admission rejected: job requires " + std::to_string(requested) +
+         " bytes resident, which exceeds the service memory budget of " +
+         std::to_string(budget) + " bytes";
+}
+
+}  // namespace
+
+AdmissionError::AdmissionError(std::size_t requested_bytes,
+                               std::size_t budget_bytes)
+    : std::runtime_error(admission_message(requested_bytes, budget_bytes)),
+      requested_(requested_bytes),
+      budget_(budget_bytes) {}
+
+bool MemoryGovernor::try_reserve(std::size_t bytes) {
+  if (bytes > budget_) throw AdmissionError(bytes, budget_);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > budget_ - used_) return false;
+  used_ += bytes;
+  return true;
+}
+
+void MemoryGovernor::release(std::size_t bytes) noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  used_ -= std::min(bytes, used_);
+}
+
+std::size_t MemoryGovernor::used() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+std::size_t MemoryGovernor::available() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return budget_ - used_;
+}
+
+}  // namespace isasgd::service

@@ -1,0 +1,66 @@
+// MemoryGovernor: process-wide admission control for the training service.
+//
+// Every job declares its resident footprint up front (the source's
+// data::DataSource::resident_bytes() plus the solver-side working set the
+// service estimates), and the governor decides among three outcomes:
+//
+//   * footprint > total budget          → reject, with a typed
+//     AdmissionError carrying the numbers — the job can never run here;
+//   * footprint > currently available   → queue; the service re-offers the
+//     job FIFO as running jobs complete and release their reservations;
+//   * fits                              → reserve and admit.
+//
+// The governor is pure bookkeeping — it never measures actual allocation;
+// it enforces the *declared* budget so a multi-tenant daemon degrades into
+// queueing, not OOM.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace isasgd::service {
+
+/// Thrown when a job's declared footprint exceeds the governor's total
+/// budget — the one admission outcome that is an error rather than a wait.
+class AdmissionError : public std::runtime_error {
+ public:
+  AdmissionError(std::size_t requested_bytes, std::size_t budget_bytes);
+
+  [[nodiscard]] std::size_t requested_bytes() const noexcept {
+    return requested_;
+  }
+  [[nodiscard]] std::size_t budget_bytes() const noexcept { return budget_; }
+
+ private:
+  std::size_t requested_;
+  std::size_t budget_;
+};
+
+class MemoryGovernor {
+ public:
+  /// `budget_bytes` caps the summed reservations of all admitted jobs.
+  explicit MemoryGovernor(std::size_t budget_bytes)
+      : budget_(budget_bytes) {}
+
+  /// Attempts to reserve `bytes`. Returns true on success; false when the
+  /// reservation does not fit *right now* (the caller should queue and
+  /// retry after a release). Throws AdmissionError when `bytes` exceeds the
+  /// total budget — queueing could never help.
+  [[nodiscard]] bool try_reserve(std::size_t bytes);
+
+  /// Returns a reservation made by try_reserve.
+  void release(std::size_t bytes) noexcept;
+
+  [[nodiscard]] std::size_t budget() const noexcept { return budget_; }
+  [[nodiscard]] std::size_t used() const;
+  [[nodiscard]] std::size_t available() const;
+
+ private:
+  std::size_t budget_;
+  mutable std::mutex mu_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace isasgd::service

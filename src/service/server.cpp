@@ -1,0 +1,150 @@
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace isasgd::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long (max " +
+                             std::to_string(sizeof(addr.sun_path) - 1) +
+                             " bytes): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// Reads from `fd` until '\n' or EOF; returns the line without the newline.
+std::string read_line(int fd) {
+  std::string line;
+  char c = 0;
+  while (true) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    if (n == 0 || c == '\n') return line;
+    line.push_back(c);
+  }
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+SocketServer::SocketServer(std::string socket_path, ProtocolHandler& handler)
+    : path_(std::move(socket_path)), handler_(handler) {
+  const sockaddr_un addr = make_address(path_);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  ::unlink(path_.c_str());  // replace a stale socket from a killed daemon
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("bind " + path_);
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+    errno = saved;
+    throw_errno("listen " + path_);
+  }
+}
+
+SocketServer::~SocketServer() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+void SocketServer::run() {
+  util::log_info() << "service: listening on " << path_;
+  while (!stop_.load(std::memory_order_relaxed) &&
+         !handler_.shutdown_requested()) {
+    // Poll with a timeout so stop()/shutdown are honoured within ~200ms
+    // even when no client ever connects again.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (ready == 0) continue;
+
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("accept");
+    }
+    try {
+      const std::string request = read_line(conn);
+      const std::string response = handler_.handle_line(request);
+      write_all(conn, response + "\n");
+    } catch (const std::exception& e) {
+      // A broken client connection must not take the daemon down.
+      util::log_warn() << "service: connection error: " << e.what();
+    }
+    ::close(conn);
+  }
+  util::log_info() << "service: leaving accept loop";
+}
+
+std::string send_command(const std::string& socket_path,
+                         const std::string& line) {
+  const sockaddr_un addr = make_address(socket_path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect " + socket_path);
+  }
+  try {
+    write_all(fd, line + "\n");
+    ::shutdown(fd, SHUT_WR);
+    std::string response = read_line(fd);
+    ::close(fd);
+    return response;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+}  // namespace isasgd::service

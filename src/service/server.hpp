@@ -1,0 +1,61 @@
+// AF_UNIX transport for the training service protocol.
+//
+// The daemon side is SocketServer: bind a filesystem socket path, accept
+// connections in a loop, and run one protocol request per connection — the
+// client writes one line, the server writes one `ok`/`err` line back and
+// closes. One-request connections keep the framing trivial (no pipelining,
+// no partial-line state across requests) and match the CLI usage pattern:
+//
+//   service::TrainingService svc({.max_concurrent = 2});
+//   service::ProtocolHandler handler(svc);
+//   service::SocketServer server("/tmp/isasgd.sock", handler);
+//   server.run();   // blocks until a `shutdown` request or stop()
+//
+// The client side is send_command(): connect, send the line, return the
+// response line. Throws std::runtime_error when the daemon is unreachable.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace isasgd::service {
+
+class SocketServer {
+ public:
+  /// Prepares a listener on `socket_path` (an existing socket file at that
+  /// path is replaced — stale sockets from a killed daemon must not block
+  /// restart). Throws std::runtime_error when the socket cannot be bound.
+  SocketServer(std::string socket_path, ProtocolHandler& handler);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Serves requests until the handler reports shutdown_requested() or
+  /// stop() is called; removes the socket file on exit.
+  void run();
+
+  /// Asks run() to return (safe from another thread or a signal-adjacent
+  /// context — it only sets a flag the accept loop polls).
+  void stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return path_;
+  }
+
+ private:
+  std::string path_;
+  ProtocolHandler& handler_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+};
+
+/// One protocol round-trip as a client: sends `line` to the daemon at
+/// `socket_path`, returns the response line (newline stripped). Throws
+/// std::runtime_error on connect/IO failure.
+[[nodiscard]] std::string send_command(const std::string& socket_path,
+                                       const std::string& line);
+
+}  // namespace isasgd::service

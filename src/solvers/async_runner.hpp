@@ -119,19 +119,36 @@ double run_epoch_fenced(util::ThreadPool& pool, SharedModel& model,
 /// Serial counterpart: `epoch_body(epoch)` performs one epoch's iterations
 /// on `w`; the driver manages clock pausing and recording symmetrically to
 /// the async version so serial and async traces are directly comparable.
+/// The range form exists for checkpoint resume (snapshot.hpp): a restored
+/// run starts its fence loop at `first_epoch` = fence + 1, records the
+/// restored model as its initial point (epoch first_epoch − 1), and runs the
+/// remaining epochs — the epoch indices the bodies see are identical to the
+/// uninterrupted run's, which is what keeps per-epoch seed derivations and
+/// refresh cadences bit-compatible. first_epoch > epochs runs zero epochs
+/// (a checkpoint taken at the final fence restores to a finished run).
 template <class EpochBodyFn>
-double run_epoch_fenced_serial(std::vector<double>& w, TraceRecorder& recorder,
-                               std::size_t epochs, EpochBodyFn&& epoch_body) {
-  recorder.record(0, 0.0, w);
+double run_epoch_fenced_serial_range(std::vector<double>& w,
+                                     TraceRecorder& recorder,
+                                     std::size_t first_epoch,
+                                     std::size_t epochs,
+                                     EpochBodyFn&& epoch_body) {
+  recorder.record(first_epoch - 1, 0.0, w);
   util::AccumulatingTimer clock;
-  for (std::size_t epoch = 1; epoch <= epochs && !recorder.stop_requested();
-       ++epoch) {
+  for (std::size_t epoch = first_epoch;
+       epoch <= epochs && !recorder.stop_requested(); ++epoch) {
     clock.start();
     epoch_body(epoch);
     clock.stop();
     recorder.record(epoch, clock.seconds(), w);
   }
   return clock.seconds();
+}
+
+template <class EpochBodyFn>
+double run_epoch_fenced_serial(std::vector<double>& w, TraceRecorder& recorder,
+                               std::size_t epochs, EpochBodyFn&& epoch_body) {
+  return run_epoch_fenced_serial_range(w, recorder, 1, epochs,
+                                       std::forward<EpochBodyFn>(epoch_body));
 }
 
 }  // namespace isasgd::solvers::detail

@@ -43,7 +43,7 @@ void floor_norms(std::vector<double>& norms) {
 Trace run_is_sgd(const sparse::CsrMatrix& data,
                  const objectives::Objective& objective,
                  const SolverOptions& options, const EvalFn& eval,
-                 TrainingObserver* observer) {
+                 TrainingObserver* observer, const SnapshotHooks& hooks) {
   const std::size_t n = data.rows();
   const std::size_t b = std::max<std::size_t>(1, options.batch_size);
   std::vector<double> w(data.dim(), 0.0);
@@ -88,13 +88,34 @@ Trace run_is_sgd(const sparse::CsrMatrix& data,
   }
   recorder.add_setup_seconds(setup.seconds());
 
+  if (hooks.resume) {
+    // Static mode carries no solver sections: `importance` was just
+    // recomputed above (pure function of data/objective/options) and the
+    // i.i.d. stream reseeds per epoch; only the shuffled modes hold state,
+    // replayed through rewind_to. Adaptive mode restores its live vectors
+    // and rebuilds the stream from the restored distribution.
+    w = hooks.resume->model;
+    if (options.adaptive_importance) {
+      last_g = hooks.resume->real_section("is.last_g");
+      importance = hooks.resume->real_section("is.importance");
+      refreshed_once = hooks.resume->word("is.refreshed") != 0;
+      weight = step_weights(importance);
+      if (refreshed_once) {
+        seq = std::make_unique<sampling::BlockSequence>(Mode::kIid, importance,
+                                                        n, options.seed);
+      }
+    }
+    if (seq) seq->rewind_to(hooks.resume->epoch);
+  }
+
   // ---- Training: kernel identical to SGD except index source + weight ----
   const double eta_l1 = options.reg.eta_l1();
   const double eta_l2 = options.reg.eta_l2();
   const bool adaptive = options.adaptive_importance;
   std::vector<std::pair<std::size_t, double>> batch(b);
-  const double train_seconds = detail::run_epoch_fenced_serial(
-      w, recorder, options.epochs, [&](std::size_t epoch) {
+  const double train_seconds = detail::run_epoch_fenced_serial_range(
+      w, recorder, hooks.first_epoch(), options.epochs,
+      [&](std::size_t epoch) {
         const double step = epoch_step(options, epoch);
         if (adaptive) {
           // Eq. 11 extension: refresh P from the live gradient norms,
@@ -152,6 +173,15 @@ Trace run_is_sgd(const sparse::CsrMatrix& data,
                                              eta_l1, eta_l2);
           }
         }
+        detail::maybe_capture(
+            hooks, "IS-SGD", epoch, options.seed, options.epochs, w,
+            [&](SnapshotState& state) {
+              if (adaptive) {
+                state.reals["is.last_g"] = last_g;
+                state.reals["is.importance"] = importance;
+                state.words["is.refreshed"] = {refreshed_once ? 1u : 0u};
+              }
+            });
       });
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(train_seconds);
@@ -163,13 +193,13 @@ class IsSgdSolver final : public Solver {
  public:
   std::string_view name() const noexcept override { return "IS-SGD"; }
   SolverCapabilities capabilities() const noexcept override {
-    return {.importance_sampling = true};
+    return {.importance_sampling = true, .checkpointable = true};
   }
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
     return run_is_sgd(ctx.data(), ctx.objective, ctx.options, ctx.eval,
-                      ctx.observer);
+                      ctx.observer, ctx.snapshot);
   }
 };
 

@@ -7,6 +7,7 @@
 
 #include "objectives/objective.hpp"
 #include "solvers/options.hpp"
+#include "solvers/snapshot.hpp"
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
@@ -15,9 +16,18 @@ namespace isasgd::solvers {
 /// Runs serial importance-sampled SGD. Sequence generation and distribution
 /// construction are accounted to Trace::setup_seconds, exactly the cost the
 /// paper's §4.2 overhead discussion covers.
+///
+/// Checkpointing (`hooks`, snapshot.hpp): in static mode the importance
+/// distribution is recomputed at setup (a pure function of the dataset and
+/// options) and the i.i.d. draw stream reseeds per epoch, so the snapshot
+/// carries the model alone; the shuffled sequence modes additionally replay
+/// their reshuffle stream via BlockSequence::rewind_to. Adaptive mode also
+/// snapshots its live state: per-sample |φ'| cache, current importance
+/// vector, and the first-refresh flag.
 Trace run_is_sgd(const sparse::CsrMatrix& data,
                  const objectives::Objective& objective,
                  const SolverOptions& options, const EvalFn& eval,
-                 TrainingObserver* observer = nullptr);
+                 TrainingObserver* observer = nullptr,
+                 const SnapshotHooks& hooks = {});
 
 }  // namespace isasgd::solvers

@@ -20,7 +20,7 @@ Trace run_prox_sgd(const sparse::CsrMatrix& data,
                    const objectives::Objective& objective,
                    const SolverOptions& options, bool use_importance,
                    const EvalFn& eval, ProxReport* report,
-                   TrainingObserver* observer) {
+                   TrainingObserver* observer, const SnapshotHooks& hooks) {
   const std::size_t n = data.rows();
   const std::size_t d = data.dim();
   std::vector<double> w(d, 0.0);
@@ -58,8 +58,21 @@ Trace run_prox_sgd(const sparse::CsrMatrix& data,
   const auto kind = options.reg.kind;
   util::Rng rng(options.seed);
 
-  const double train_seconds = detail::run_epoch_fenced_serial(
-      w, recorder, options.epochs, [&](std::size_t epoch) {
+  if (hooks.resume) {
+    // Fence state is {w, rng}: the lazy prox clock is caught up and `last`
+    // zeroed at every epoch end, and the IS stream (kIid) reseeds per epoch
+    // from a distribution recomputed at setup. The uniform flavour's rng
+    // draws continuously across epochs, so its words ride every snapshot
+    // (the IS flavour never draws from it — restore is then a no-op).
+    w = hooks.resume->model;
+    rng = hooks.resume->get_rng("rng");
+  }
+
+  const std::string_view trace_name = use_importance ? "IS-PROX-SGD"
+                                                     : "PROX-SGD";
+  const double train_seconds = detail::run_epoch_fenced_serial_range(
+      w, recorder, hooks.first_epoch(), options.epochs,
+      [&](std::size_t epoch) {
         const double step = epoch_step(options, epoch);
         const double l1_shrink = step * options.reg.eta;
         const double l2_scale = 1.0 / (1.0 + step * options.reg.eta);
@@ -110,6 +123,10 @@ Trace run_prox_sgd(const sparse::CsrMatrix& data,
           catch_up(j, static_cast<std::uint32_t>(n) - last[j]);
           last[j] = 0;
         }
+        detail::maybe_capture(hooks, trace_name, epoch, options.seed,
+                              options.epochs, w, [&](SnapshotState& state) {
+                                state.put_rng("rng", rng);
+                              });
       });
 
   {
@@ -136,13 +153,15 @@ class ProxSgdSolver final : public Solver {
 
   std::string_view name() const noexcept override { return name_; }
   SolverCapabilities capabilities() const noexcept override {
-    return {.importance_sampling = use_importance_, .proximal = true};
+    return {.importance_sampling = use_importance_, .proximal = true,
+            .checkpointable = true};
   }
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
     return run_prox_sgd(ctx.data(), ctx.objective, ctx.options, use_importance_,
-                        ctx.eval, /*report=*/nullptr, ctx.observer);
+                        ctx.eval, /*report=*/nullptr, ctx.observer,
+                        ctx.snapshot);
   }
 
  private:

@@ -18,6 +18,7 @@
 
 #include "objectives/objective.hpp"
 #include "solvers/options.hpp"
+#include "solvers/snapshot.hpp"
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
@@ -36,12 +37,16 @@ struct ProxReport {
 /// Runs serial proximal SGD. `use_importance` selects uniform vs Eq. 12
 /// sampling (with pre-generated sequences, as Algorithm 2). The regularizer
 /// enters through its prox map — all three Regularization kinds supported.
+/// Checkpoint state (`hooks`, snapshot.hpp) is {model, sampling RNG}: the
+/// lazy prox clock is fully caught up at every epoch fence, and the IS
+/// distribution is recomputed at setup.
 [[nodiscard]] Trace run_prox_sgd(const sparse::CsrMatrix& data,
                                  const objectives::Objective& objective,
                                  const SolverOptions& options,
                                  bool use_importance, const EvalFn& eval,
                                  ProxReport* report = nullptr,
-                                 TrainingObserver* observer = nullptr);
+                                 TrainingObserver* observer = nullptr,
+                                 const SnapshotHooks& hooks = {});
 
 /// Lock-free asynchronous proximal SGD — the direction of the asynchronous
 /// proximal works the paper cites (Meng et al. 2017), combined with Eq. 12

@@ -10,7 +10,7 @@ namespace isasgd::solvers {
 Trace run_sag(const sparse::CsrMatrix& data,
               const objectives::Objective& objective,
               const SolverOptions& options, const EvalFn& eval,
-              TrainingObserver* observer) {
+              TrainingObserver* observer, const SnapshotHooks& hooks) {
   const std::size_t n = data.rows();
   const std::size_t d = data.dim();
   std::vector<double> w(d, 0.0);
@@ -24,10 +24,19 @@ Trace run_sag(const sparse::CsrMatrix& data,
   const double inv_n = 1.0 / static_cast<double>(n);
 
   util::Rng rng(options.seed);
+  if (hooks.resume) {
+    // The gradient memory (α table + dense aggregate) accumulates across
+    // epochs with no refresh point, so all of it rides every checkpoint.
+    w = hooks.resume->model;
+    rng = hooks.resume->get_rng("rng");
+    alpha = hooks.resume->real_section("sag.alpha");
+    aggregate = hooks.resume->real_section("sag.aggregate");
+  }
   const double eta_l1 = options.reg.eta_l1();
   const double eta_l2 = options.reg.eta_l2();
-  const double train_seconds = detail::run_epoch_fenced_serial(
-      w, recorder, options.epochs, [&](std::size_t epoch) {
+  const double train_seconds = detail::run_epoch_fenced_serial_range(
+      w, recorder, hooks.first_epoch(), options.epochs,
+      [&](std::size_t epoch) {
         const double step = epoch_step(options, epoch);
         for (std::size_t t = 0; t < n; ++t) {
           const std::size_t i = util::uniform_index(rng, n);
@@ -47,6 +56,12 @@ Trace run_sag(const sparse::CsrMatrix& data,
           sparse::scale_then_sparse_axpy(w, aggregate, step, eta_l1, eta_l2,
                                          0.0, {});
         }
+        detail::maybe_capture(hooks, "SAG", epoch, options.seed,
+                              options.epochs, w, [&](SnapshotState& state) {
+                                state.put_rng("rng", rng);
+                                state.reals["sag.alpha"] = alpha;
+                                state.reals["sag.aggregate"] = aggregate;
+                              });
       });
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(train_seconds);
@@ -58,13 +73,13 @@ class SagSolver final : public Solver {
  public:
   std::string_view name() const noexcept override { return "SAG"; }
   SolverCapabilities capabilities() const noexcept override {
-    return {.variance_reduced = true};
+    return {.variance_reduced = true, .checkpointable = true};
   }
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
     return run_sag(ctx.data(), ctx.objective, ctx.options, ctx.eval,
-                   ctx.observer);
+                   ctx.observer, ctx.snapshot);
   }
 };
 

@@ -18,6 +18,7 @@
 
 #include "objectives/objective.hpp"
 #include "solvers/options.hpp"
+#include "solvers/snapshot.hpp"
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
@@ -25,10 +26,12 @@ namespace isasgd::solvers {
 
 /// Runs serial SAG. One epoch = n iterations; the gradient table starts at
 /// zero scales and the running average divides by n throughout (the
-/// standard "initialise with zeros" variant).
+/// standard "initialise with zeros" variant). Checkpoint state (`hooks`,
+/// snapshot.hpp) is {model, RNG, α table, dense aggregate ḡ}.
 Trace run_sag(const sparse::CsrMatrix& data,
               const objectives::Objective& objective,
               const SolverOptions& options, const EvalFn& eval,
-              TrainingObserver* observer = nullptr);
+              TrainingObserver* observer = nullptr,
+              const SnapshotHooks& hooks = {});
 
 }  // namespace isasgd::solvers

@@ -11,6 +11,7 @@
 
 #include "objectives/objective.hpp"
 #include "solvers/options.hpp"
+#include "solvers/snapshot.hpp"
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
@@ -18,9 +19,12 @@ namespace isasgd::solvers {
 
 /// Runs serial SAGA. One epoch = n iterations; the gradient table is
 /// initialised to zero scales (equivalent to a zero-gradient memory start).
+/// Checkpoint state (`hooks`, snapshot.hpp) is {model, RNG, α table, dense
+/// aggregate ḡ}.
 Trace run_saga(const sparse::CsrMatrix& data,
                const objectives::Objective& objective,
                const SolverOptions& options, const EvalFn& eval,
-               TrainingObserver* observer = nullptr);
+               TrainingObserver* observer = nullptr,
+               const SnapshotHooks& hooks = {});
 
 }  // namespace isasgd::solvers

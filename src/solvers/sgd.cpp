@@ -33,14 +33,20 @@ inline void apply_batch(std::vector<double>& w, const sparse::CsrMatrix& rows,
 Trace run_sgd(const sparse::CsrMatrix& data,
               const objectives::Objective& objective,
               const SolverOptions& options, const EvalFn& eval,
-              TrainingObserver* observer) {
+              TrainingObserver* observer, const SnapshotHooks& hooks) {
   const std::size_t n = data.rows();
   const std::size_t b = std::max<std::size_t>(1, options.batch_size);
   std::vector<double> w(data.dim(), 0.0);
   TraceRecorder recorder("SGD", 1, options.step_size,
                          eval, observer);
 
+  // Cross-epoch state: {w, rng}. The draw stream runs uninterrupted across
+  // epochs, so the RNG words travel with every checkpoint.
   util::Rng rng(options.seed);
+  if (hooks.resume) {
+    w = hooks.resume->model;
+    rng = hooks.resume->get_rng("rng");
+  }
   // Scratch for one mini-batch: (row id, gradient scale). All margins are
   // computed against the same model state, then all updates applied — the
   // standard mini-batch semantics (b = 1 degenerates to plain SGD).
@@ -49,8 +55,9 @@ Trace run_sgd(const sparse::CsrMatrix& data,
 
   const double eta_l1 = options.reg.eta_l1();
   const double eta_l2 = options.reg.eta_l2();
-  const double train_seconds = detail::run_epoch_fenced_serial(
-      w, recorder, options.epochs, [&](std::size_t epoch) {
+  const double train_seconds = detail::run_epoch_fenced_serial_range(
+      w, recorder, hooks.first_epoch(), options.epochs,
+      [&](std::size_t epoch) {
         const double step = epoch_step(options, epoch);
         for (std::size_t u = 0; u < updates_per_epoch; ++u) {
           for (std::size_t k = 0; k < b; ++k) {
@@ -60,6 +67,10 @@ Trace run_sgd(const sparse::CsrMatrix& data,
           }
           apply_batch(w, data, batch, step, eta_l1, eta_l2);
         }
+        detail::maybe_capture(hooks, "SGD", epoch, options.seed,
+                              options.epochs, w, [&](SnapshotState& state) {
+                                state.put_rng("rng", rng);
+                              });
       });
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(train_seconds);
@@ -68,18 +79,22 @@ Trace run_sgd(const sparse::CsrMatrix& data,
 Trace run_sgd_streaming(const data::DataSource& source,
                         const objectives::Objective& objective,
                         const SolverOptions& options, const EvalFn& eval,
-                        TrainingObserver* observer) {
+                        TrainingObserver* observer,
+                        const SnapshotHooks& hooks) {
   const std::size_t b = std::max<std::size_t>(1, options.batch_size);
   std::vector<double> w(source.dim(), 0.0);
   TraceRecorder recorder("SGD", 1, options.step_size,
                          eval, observer);
   sampling::ShardedSequence schedule(source.shard_sizes(), options.seed);
+  // Cross-epoch state is w alone: the schedule reseeds per epoch from
+  // (seed, epoch) and there is no draw RNG on this path.
+  if (hooks.resume) w = hooks.resume->model;
 
   const double eta_l1 = options.reg.eta_l1();
   const double eta_l2 = options.reg.eta_l2();
   std::vector<std::pair<std::size_t, double>> batch(b);
-  const double train_seconds = detail::run_epoch_fenced_serial_sharded(
-      source, schedule, w, recorder, options.epochs,
+  const double train_seconds = detail::run_epoch_fenced_serial_sharded_range(
+      source, schedule, w, recorder, hooks.first_epoch(), options.epochs,
       [&](const data::Shard& shard, std::span<const std::uint32_t> row_order,
           std::size_t epoch) {
         const sparse::CsrMatrix& rows = *shard.matrix;
@@ -95,6 +110,10 @@ Trace run_sgd_streaming(const data::DataSource& source,
           }
           apply_batch(w, rows, {batch.data(), count}, step, eta_l1, eta_l2);
         }
+      },
+      [&](std::size_t epoch) {
+        detail::maybe_capture(hooks, "SGD", epoch, options.seed,
+                              options.epochs, w, [](SnapshotState&) {});
       });
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(train_seconds);
@@ -106,17 +125,17 @@ class SgdSolver final : public Solver {
  public:
   std::string_view name() const noexcept override { return "SGD"; }
   SolverCapabilities capabilities() const noexcept override {
-    return {.streaming = true};
+    return {.streaming = true, .checkpointable = true};
   }
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
     if (ctx.sharded()) {
       return run_sgd_streaming(ctx.source, ctx.objective, ctx.options,
-                               ctx.eval, ctx.observer);
+                               ctx.eval, ctx.observer, ctx.snapshot);
     }
     return run_sgd(ctx.data(), ctx.objective, ctx.options, ctx.eval,
-                   ctx.observer);
+                   ctx.observer, ctx.snapshot);
   }
 };
 

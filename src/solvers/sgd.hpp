@@ -4,6 +4,7 @@
 #include "data/data_source.hpp"
 #include "objectives/objective.hpp"
 #include "solvers/options.hpp"
+#include "solvers/snapshot.hpp"
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
@@ -12,11 +13,13 @@ namespace isasgd::solvers {
 /// Runs serial SGD with uniform sampling: w ← w − λ·∇f_i(w), i ~ U[0, n).
 /// One epoch = n update iterations. The regularizer's subgradient is applied
 /// on the active row's support (the standard sparse-SGD discipline; see
-/// DESIGN.md §5).
+/// DESIGN.md §5). Cross-epoch state is {model, sampling RNG}; `hooks`
+/// captures/restores both at epoch fences (snapshot.hpp).
 Trace run_sgd(const sparse::CsrMatrix& data,
               const objectives::Objective& objective,
               const SolverOptions& options, const EvalFn& eval,
-              TrainingObserver* observer = nullptr);
+              TrainingObserver* observer = nullptr,
+              const SnapshotHooks& hooks = {});
 
 /// Out-of-core serial SGD: one epoch = one without-replacement shard-major
 /// pass over `source` in the ShardedSequence order (random-reshuffle SGD
@@ -25,9 +28,12 @@ Trace run_sgd(const sparse::CsrMatrix& data,
 /// shards. The "SGD" registry entry dispatches here whenever the source is
 /// sharded; results are a pure function of (options.seed, epoch, shard
 /// geometry) — independent of the backend serving the shards.
+/// Cross-epoch state is the model alone — the shard/row schedule is a pure
+/// function of (seed, epoch, shard) — so `hooks` checkpoints here too.
 Trace run_sgd_streaming(const data::DataSource& source,
                         const objectives::Objective& objective,
                         const SolverOptions& options, const EvalFn& eval,
-                        TrainingObserver* observer = nullptr);
+                        TrainingObserver* observer = nullptr,
+                        const SnapshotHooks& hooks = {});
 
 }  // namespace isasgd::solvers

@@ -1,0 +1,88 @@
+#include "solvers/snapshot.hpp"
+
+#include <array>
+
+namespace isasgd::solvers {
+
+const std::vector<double>& SnapshotState::real_section(
+    const std::string& name) const {
+  const auto it = reals.find(name);
+  if (it == reals.end()) {
+    throw std::invalid_argument("SnapshotState: missing real section '" +
+                                name + "' (checkpoint from solver '" +
+                                solver + "')");
+  }
+  return it->second;
+}
+
+const std::vector<std::uint64_t>& SnapshotState::word_section(
+    const std::string& name) const {
+  const auto it = words.find(name);
+  if (it == words.end()) {
+    throw std::invalid_argument("SnapshotState: missing word section '" +
+                                name + "' (checkpoint from solver '" +
+                                solver + "')");
+  }
+  return it->second;
+}
+
+std::uint64_t SnapshotState::word(const std::string& name) const {
+  const auto& section = word_section(name);
+  if (section.size() != 1) {
+    throw std::invalid_argument("SnapshotState: word section '" + name +
+                                "' holds " + std::to_string(section.size()) +
+                                " values, expected exactly 1");
+  }
+  return section[0];
+}
+
+void SnapshotState::put_rng(const std::string& name, const util::Rng& rng) {
+  const auto s = rng.state();
+  words[name] = {s[0], s[1], s[2], s[3]};
+}
+
+util::Rng SnapshotState::get_rng(const std::string& name) const {
+  const auto& section = word_section(name);
+  if (section.size() != 4) {
+    throw std::invalid_argument("SnapshotState: RNG section '" + name +
+                                "' holds " + std::to_string(section.size()) +
+                                " words, expected 4");
+  }
+  util::Rng rng;
+  rng.set_state({section[0], section[1], section[2], section[3]});
+  return rng;
+}
+
+namespace detail {
+
+void check_resume(const SnapshotState& state, std::string_view solver,
+                  std::uint64_t seed, std::size_t epochs, std::size_t dim) {
+  if (state.solver != solver) {
+    throw std::invalid_argument(
+        "checkpoint resume: state was captured by solver '" + state.solver +
+        "', cannot restore into '" + std::string(solver) + "'");
+  }
+  if (state.seed != seed) {
+    throw std::invalid_argument(
+        "checkpoint resume: state was captured under seed " +
+        std::to_string(state.seed) + " but the resuming run uses seed " +
+        std::to_string(seed) +
+        " — a seed change breaks the bit-parity contract");
+  }
+  if (state.model.size() != dim) {
+    throw std::invalid_argument(
+        "checkpoint resume: model dimensionality mismatch (checkpoint " +
+        std::to_string(state.model.size()) + ", dataset " +
+        std::to_string(dim) + ")");
+  }
+  if (state.epoch > epochs) {
+    throw std::invalid_argument(
+        "checkpoint resume: state is at epoch fence " +
+        std::to_string(state.epoch) + " but the resuming run's budget is " +
+        std::to_string(epochs) + " epochs");
+  }
+}
+
+}  // namespace detail
+
+}  // namespace isasgd::solvers

@@ -1,0 +1,142 @@
+// Deterministic checkpoint/resume: the solver-side state capture layer.
+//
+// A solver that declares SolverCapabilities::checkpointable can export its
+// complete cross-epoch state at any epoch fence as a SnapshotState — model
+// vector, RNG stream words, optimizer aggregates (SVRG anchors, SAG/SAGA
+// gradient memory, adaptive-IS weights) — and later restore from one and
+// continue as if never interrupted. The contract is *bit parity*: for a
+// fixed SolverOptions, capture-at-epoch-k + restore-in-a-fresh-process +
+// train-to-completion produces a final model bit-identical to the
+// uninterrupted run (tests/checkpoint_test.cpp enforces this for every
+// checkpointable registry solver).
+//
+// What makes the contract cheap to honour here is PR 5's sequence layer:
+// sampling::BlockSequence's i.i.d. draw stream is reseeded per epoch as a
+// pure function of (seed, epoch), so at an epoch fence the sampler carries
+// no hidden draw-cursor state — only the shuffled modes need their
+// reshuffle stream replayed (BlockSequence::rewind_to) and only the
+// uniform-sampling solvers need their raw RNG words exported.
+//
+// The wire format lives in io/checkpoint.hpp (versioned sections, CRC32
+// each); this header is deliberately I/O-free so solvers never depend on
+// the io layer. src/service/ connects the two: its TrainingService installs
+// a SnapshotSink per job and serialises captured states at fences.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace isasgd::solvers {
+
+/// A solver's complete cross-epoch state at one epoch fence. Generic
+/// container: the model and bookkeeping scalars are first-class fields;
+/// everything solver-specific rides in the named `reals`/`words` sections
+/// ("rng", "svrg.anchor", "sag.alpha", ...) so the io layer and the service
+/// never need per-solver knowledge.
+struct SnapshotState {
+  /// Canonical Solver::name() that produced (and may consume) this state.
+  std::string solver;
+  /// Completed epochs at capture — resume continues at epoch + 1.
+  std::uint64_t epoch = 0;
+  /// SolverOptions::seed of the producing run; restore refuses a mismatch
+  /// (a different seed would silently break the determinism contract).
+  std::uint64_t seed = 0;
+  /// SolverOptions::epochs of the producing run (diagnostic only; the
+  /// resuming run's own budget governs).
+  std::uint64_t epochs_budget = 0;
+  /// data::DataSource::fingerprint() of the training set; restore against a
+  /// different dataset is refused by the service layer.
+  std::uint64_t dataset_fingerprint = 0;
+  /// The model vector at the fence.
+  std::vector<double> model;
+  /// Solver-specific double-vector sections (optimizer aggregates, weights).
+  std::map<std::string, std::vector<double>> reals;
+  /// Solver-specific u64-vector sections (RNG states, flags, cursors).
+  std::map<std::string, std::vector<std::uint64_t>> words;
+
+  /// Section accessors that throw std::invalid_argument naming the missing
+  /// section — a checkpoint from the wrong solver fails loudly, not with a
+  /// silent default.
+  [[nodiscard]] const std::vector<double>& real_section(
+      const std::string& name) const;
+  [[nodiscard]] const std::vector<std::uint64_t>& word_section(
+      const std::string& name) const;
+  /// Single-scalar convenience over word_section.
+  [[nodiscard]] std::uint64_t word(const std::string& name) const;
+
+  /// Stores `rng`'s four state words under `name`.
+  void put_rng(const std::string& name, const util::Rng& rng);
+  /// Rebuilds a generator from put_rng's section.
+  [[nodiscard]] util::Rng get_rng(const std::string& name) const;
+};
+
+/// Receives fence-time state captures. Implemented by the training service
+/// (and the tests); solvers consult wants() before paying the O(d + state)
+/// copy, so an idle sink costs one predictable branch per epoch.
+class SnapshotSink {
+ public:
+  virtual ~SnapshotSink() = default;
+
+  /// True when the sink wants the state at this fence (1-based epoch, the
+  /// epoch that just completed). Must be cheap — called every epoch.
+  [[nodiscard]] virtual bool wants(std::size_t epoch) const = 0;
+
+  /// Delivers the captured state. Called at the fence, on the training
+  /// thread, with the pool quiescent.
+  virtual void capture(SnapshotState state) = 0;
+};
+
+/// The pair of optional checkpoint endpoints a run can carry: `resume`
+/// restores state before the first epoch; `sink` captures state at fences.
+/// Both null ⇒ exactly the pre-checkpoint behaviour.
+struct SnapshotHooks {
+  const SnapshotState* resume = nullptr;
+  SnapshotSink* sink = nullptr;
+
+  [[nodiscard]] bool active() const noexcept { return resume || sink; }
+
+  /// The epoch the run's fence loop starts from: 1 normally, or one past
+  /// the restored fence when resuming.
+  [[nodiscard]] std::size_t first_epoch() const noexcept {
+    return resume ? static_cast<std::size_t>(resume->epoch) + 1 : 1;
+  }
+};
+
+namespace detail {
+
+/// Fence-side capture helper: when the sink wants this epoch, builds the
+/// common header + model copy and lets `fill` add the solver's own
+/// sections. `solver` must be the canonical Solver::name().
+template <class FillFn>
+void maybe_capture(const SnapshotHooks& hooks, std::string_view solver,
+                   std::size_t epoch, std::uint64_t seed,
+                   std::size_t epochs_budget, std::span<const double> w,
+                   FillFn&& fill) {
+  if (!hooks.sink || !hooks.sink->wants(epoch)) return;
+  SnapshotState state;
+  state.solver = std::string(solver);
+  state.epoch = epoch;
+  state.seed = seed;
+  state.epochs_budget = epochs_budget;
+  state.model.assign(w.begin(), w.end());
+  fill(state);
+  hooks.sink->capture(std::move(state));
+}
+
+/// Restore-side validation shared by every checkpointable solver: the state
+/// must come from the same solver, the same seed, and a model of the same
+/// dimensionality, and its fence must lie within the resuming run's epoch
+/// budget. Throws std::invalid_argument describing the first mismatch.
+void check_resume(const SnapshotState& state, std::string_view solver,
+                  std::uint64_t seed, std::size_t epochs, std::size_t dim);
+
+}  // namespace detail
+
+}  // namespace isasgd::solvers

@@ -33,6 +33,16 @@ void Solver::validate(SolverOptions& options) const {
 Trace Solver::train(SolverContext ctx) const {
   validate(ctx.options);
   const std::string solver_name(name());
+  if (ctx.snapshot.active() && !capabilities().checkpointable) {
+    throw std::invalid_argument(
+        solver_name +
+        ": solver does not declare capabilities().checkpointable — "
+        "checkpoint/resume hooks are not supported");
+  }
+  if (ctx.snapshot.resume) {
+    detail::check_resume(*ctx.snapshot.resume, solver_name, ctx.options.seed,
+                         ctx.options.epochs, ctx.source.dim());
+  }
   if (ctx.observer) ctx.observer->on_train_begin(solver_name, ctx.options);
   Trace trace = run_impl(ctx);
   if (ctx.observer) ctx.observer->on_train_end(trace);

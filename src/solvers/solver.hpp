@@ -37,6 +37,7 @@
 #include "objectives/objective.hpp"
 #include "solvers/observer.hpp"
 #include "solvers/options.hpp"
+#include "solvers/snapshot.hpp"
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
@@ -73,6 +74,13 @@ struct SolverCapabilities {
   /// runs are bit-reproducible for a fixed seed. Evaluators/sweeps must not
   /// compare these times against host wall-clock traces.
   bool simulated_time = false;
+  /// Supports deterministic checkpoint/resume: honours SnapshotHooks —
+  /// captures complete cross-epoch state at epoch fences into a
+  /// SnapshotSink, restores from a SnapshotState, and guarantees the final
+  /// model of a kill-at-fence-k + resume run is bit-identical to the
+  /// uninterrupted run (see snapshot.hpp; enforced by
+  /// tests/checkpoint_test.cpp for every solver declaring this).
+  bool checkpointable = false;
 
   /// Ignores the thread count — one run covers every requested count.
   [[nodiscard]] bool serial() const noexcept { return !parallel; }
@@ -96,6 +104,12 @@ struct SolverContext {
   /// the ExecutionContext. Null ⇒ the default ClusterSpec (a 4-node 10 GbE
   /// cluster); non-simulated solvers ignore it entirely.
   const distributed::ClusterSpec* cluster = nullptr;
+  /// Checkpoint endpoints (snapshot.hpp): resume-from state and/or a
+  /// fence-time capture sink. Only consulted by solvers declaring
+  /// capabilities().checkpointable; Solver::train rejects hooks on any
+  /// other solver so a service can fail a checkpoint request up front
+  /// instead of silently training without one.
+  SnapshotHooks snapshot;
 
   /// The dataset as one full matrix — the classic in-memory view every
   /// non-streaming solver consumes. Free for in-memory sources; on a

@@ -31,18 +31,21 @@ namespace isasgd::solvers::detail {
 /// the updates for one shard: `shard.matrix->row(r)` for each shard-local r
 /// in `row_order` (global row id = shard.row_begin + r). Returns total
 /// training seconds; records one trace point per epoch like
-/// run_epoch_fenced_serial.
-template <class ShardBodyFn>
-double run_epoch_fenced_serial_sharded(const data::DataSource& source,
-                                       sampling::ShardedSequence& schedule,
-                                       std::vector<double>& w,
-                                       TraceRecorder& recorder,
-                                       std::size_t epochs,
-                                       ShardBodyFn&& shard_body) {
-  recorder.record(0, 0.0, w);
+/// run_epoch_fenced_serial. `fence(epoch)` runs after each epoch's shards
+/// complete, outside the clock — checkpoint capture lands there. The range
+/// form mirrors run_epoch_fenced_serial_range: the ShardedSequence schedule
+/// is a pure function of (seed, epoch, shard), so a resumed run starting at
+/// `first_epoch` replays exactly the shard/row orders the uninterrupted run
+/// would have used — no sampler state to restore.
+template <class ShardBodyFn, class FenceFn>
+double run_epoch_fenced_serial_sharded_range(
+    const data::DataSource& source, sampling::ShardedSequence& schedule,
+    std::vector<double>& w, TraceRecorder& recorder, std::size_t first_epoch,
+    std::size_t epochs, ShardBodyFn&& shard_body, FenceFn&& fence) {
+  recorder.record(first_epoch - 1, 0.0, w);
   util::AccumulatingTimer clock;
-  for (std::size_t epoch = 1; epoch <= epochs && !recorder.stop_requested();
-       ++epoch) {
+  for (std::size_t epoch = first_epoch;
+       epoch <= epochs && !recorder.stop_requested(); ++epoch) {
     schedule.begin_epoch(epoch);
     const auto order = schedule.shard_order();
     clock.start();
@@ -52,9 +55,22 @@ double run_epoch_fenced_serial_sharded(const data::DataSource& source,
       shard_body(*shard, schedule.rows(order[k]), epoch);
     }
     clock.stop();
+    fence(epoch);
     recorder.record(epoch, clock.seconds(), w);
   }
   return clock.seconds();
+}
+
+template <class ShardBodyFn>
+double run_epoch_fenced_serial_sharded(const data::DataSource& source,
+                                       sampling::ShardedSequence& schedule,
+                                       std::vector<double>& w,
+                                       TraceRecorder& recorder,
+                                       std::size_t epochs,
+                                       ShardBodyFn&& shard_body) {
+  return run_epoch_fenced_serial_sharded_range(
+      source, schedule, w, recorder, 1, epochs,
+      std::forward<ShardBodyFn>(shard_body), [](std::size_t) {});
 }
 
 /// Parallel counterpart: per shard, `threads` workers run

@@ -33,7 +33,8 @@ void full_loss_gradient(const sparse::CsrMatrix& data,
 Trace run_svrg_sgd_lazy(const sparse::CsrMatrix& data,
                         const objectives::Objective& objective,
                         const SolverOptions& options, const EvalFn& eval,
-                        TrainingObserver* observer) {
+                        TrainingObserver* observer,
+                        const SnapshotHooks& hooks) {
   if (options.reg.kind == objectives::Regularization::Kind::kL1) {
     throw std::invalid_argument(
         "run_svrg_sgd_lazy: L1's subgradient path has no per-coordinate "
@@ -53,8 +54,19 @@ Trace run_svrg_sgd_lazy(const sparse::CsrMatrix& data,
   const std::size_t interval =
       std::max<std::size_t>(1, options.svrg_snapshot_interval);
 
-  const double train_seconds = detail::run_epoch_fenced_serial(
-      w, recorder, options.epochs, [&](std::size_t epoch) {
+  if (hooks.resume) {
+    // The lazy clocks are all zero at every fence (the epoch flush below),
+    // so the cross-epoch state is exactly the faithful solver's:
+    // {w, rng, s, μ}.
+    w = hooks.resume->model;
+    rng = hooks.resume->get_rng("rng");
+    s = hooks.resume->real_section("svrg.anchor");
+    mu = hooks.resume->real_section("svrg.mu");
+  }
+
+  const double train_seconds = detail::run_epoch_fenced_serial_range(
+      w, recorder, hooks.first_epoch(), options.epochs,
+      [&](std::size_t epoch) {
         const double step = epoch_step(options, epoch);
         const double a = 1.0 - step * options.reg.eta;  // L2 decay per step
 
@@ -109,6 +121,12 @@ Trace run_svrg_sgd_lazy(const sparse::CsrMatrix& data,
           catch_up(j, static_cast<std::uint32_t>(n) - last[j]);
           last[j] = 0;
         }
+        detail::maybe_capture(hooks, "SVRG-LAZY", epoch, options.seed,
+                              options.epochs, w, [&](SnapshotState& state) {
+                                state.put_rng("rng", rng);
+                                state.reals["svrg.anchor"] = s;
+                                state.reals["svrg.mu"] = mu;
+                              });
       });
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(train_seconds);
@@ -120,7 +138,7 @@ class SvrgLazySolver final : public Solver {
  public:
   std::string_view name() const noexcept override { return "SVRG-LAZY"; }
   SolverCapabilities capabilities() const noexcept override {
-    return {.variance_reduced = true};
+    return {.variance_reduced = true, .checkpointable = true};
   }
 
   void validate(SolverOptions& options) const override {
@@ -137,7 +155,7 @@ class SvrgLazySolver final : public Solver {
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
     return run_svrg_sgd_lazy(ctx.data(), ctx.objective, ctx.options, ctx.eval,
-                             ctx.observer);
+                             ctx.observer, ctx.snapshot);
   }
 };
 

@@ -30,6 +30,7 @@
 
 #include "objectives/objective.hpp"
 #include "solvers/options.hpp"
+#include "solvers/snapshot.hpp"
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
@@ -39,9 +40,13 @@ namespace isasgd::solvers {
 /// iterates for Regularization kNone/kL2 (up to fp reassociation); throws
 /// std::invalid_argument for kL1 (no exact per-coordinate closed form).
 /// `options.svrg_skip_mu` is ignored — laziness *is* the faithful schedule.
+/// Checkpoint state (`hooks`, snapshot.hpp) is {model, RNG, anchor s, μ}:
+/// the lazy clocks are flushed to zero at every epoch fence, so they never
+/// appear in a snapshot.
 Trace run_svrg_sgd_lazy(const sparse::CsrMatrix& data,
                         const objectives::Objective& objective,
                         const SolverOptions& options, const EvalFn& eval,
-                        TrainingObserver* observer = nullptr);
+                        TrainingObserver* observer = nullptr,
+                        const SnapshotHooks& hooks = {});
 
 }  // namespace isasgd::solvers

@@ -30,7 +30,7 @@ void full_loss_gradient(const sparse::CsrMatrix& data,
 Trace run_svrg_sgd(const sparse::CsrMatrix& data,
                    const objectives::Objective& objective,
                    const SolverOptions& options, const EvalFn& eval,
-                   TrainingObserver* observer) {
+                   TrainingObserver* observer, const SnapshotHooks& hooks) {
   const std::size_t n = data.rows();
   const std::size_t d = data.dim();
   std::vector<double> w(d, 0.0);
@@ -44,8 +44,18 @@ Trace run_svrg_sgd(const sparse::CsrMatrix& data,
   const double eta_l1 = options.reg.eta_l1();
   const double eta_l2 = options.reg.eta_l2();
 
-  const double train_seconds = detail::run_epoch_fenced_serial(
-      w, recorder, options.epochs, [&](std::size_t epoch) {
+  if (hooks.resume) {
+    // The anchor pair (s, μ) persists across epochs between refreshes, so
+    // it rides every checkpoint alongside {w, rng}.
+    w = hooks.resume->model;
+    rng = hooks.resume->get_rng("rng");
+    s = hooks.resume->real_section("svrg.anchor");
+    mu = hooks.resume->real_section("svrg.mu");
+  }
+
+  const double train_seconds = detail::run_epoch_fenced_serial_range(
+      w, recorder, hooks.first_epoch(), options.epochs,
+      [&](std::size_t epoch) {
         const double step = epoch_step(options, epoch);
         if ((epoch - 1) % interval == 0) {
           s = w;
@@ -77,6 +87,12 @@ Trace run_svrg_sgd(const sparse::CsrMatrix& data,
           // One aggregate μ correction at epoch end ("multiplying µ with n").
           sparse::dense_axpy(w, -(step * static_cast<double>(n)), mu);
         }
+        detail::maybe_capture(hooks, "SVRG-SGD", epoch, options.seed,
+                              options.epochs, w, [&](SnapshotState& state) {
+                                state.put_rng("rng", rng);
+                                state.reals["svrg.anchor"] = s;
+                                state.reals["svrg.mu"] = mu;
+                              });
       });
   if (options.keep_final_model) recorder.set_final_model(w);
   return std::move(recorder).finish(train_seconds);
@@ -88,13 +104,13 @@ class SvrgSgdSolver final : public Solver {
  public:
   std::string_view name() const noexcept override { return "SVRG-SGD"; }
   SolverCapabilities capabilities() const noexcept override {
-    return {.variance_reduced = true};
+    return {.variance_reduced = true, .checkpointable = true};
   }
 
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
     return run_svrg_sgd(ctx.data(), ctx.objective, ctx.options, ctx.eval,
-                        ctx.observer);
+                        ctx.observer, ctx.snapshot);
   }
 };
 

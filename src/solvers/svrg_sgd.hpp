@@ -9,6 +9,7 @@
 
 #include "objectives/objective.hpp"
 #include "solvers/options.hpp"
+#include "solvers/snapshot.hpp"
 #include "solvers/trace.hpp"
 #include "sparse/csr_matrix.hpp"
 
@@ -17,9 +18,12 @@ namespace isasgd::solvers {
 /// Runs serial SVRG. `options.svrg_skip_mu` switches to the public-repo
 /// approximation (sparse inner loop + one aggregate μ correction per epoch)
 /// that the paper §1.2 shows diverges from the literature algorithm.
+/// Checkpoint state (`hooks`, snapshot.hpp) is {model, RNG, anchor s, μ} —
+/// the anchor pair persists across epochs between snapshot refreshes.
 Trace run_svrg_sgd(const sparse::CsrMatrix& data,
                    const objectives::Objective& objective,
                    const SolverOptions& options, const EvalFn& eval,
-                   TrainingObserver* observer = nullptr);
+                   TrainingObserver* observer = nullptr,
+                   const SnapshotHooks& hooks = {});
 
 }  // namespace isasgd::solvers

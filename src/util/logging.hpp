@@ -3,6 +3,7 @@
 // ergonomics of coarse progress messages, not throughput.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,6 +17,21 @@ LogLevel log_level();
 
 /// Emits one line: `[LEVEL ts] message`. Thread-safe (single write call).
 void log_message(LogLevel level, const std::string& message);
+
+/// Pluggable destination for log lines that pass the threshold. The daemon
+/// installs one to redirect the library's warnings/errors (e.g. the
+/// StreamingSource materialize() fallback) into its own per-job log file
+/// instead of the controlling terminal's stderr.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Installs `sink` as the destination for all subsequent log lines; passing
+/// an empty function restores the stderr default. The sink is invoked under
+/// an internal mutex (one line at a time) and must not log re-entrantly.
+void set_log_sink(LogSink sink);
+
+/// Fixed-width display name ("DEBUG", "INFO ", ...) for sinks that format
+/// their own lines.
+[[nodiscard]] const char* log_level_name(LogLevel level);
 
 namespace detail {
 class LogLine {

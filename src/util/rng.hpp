@@ -53,6 +53,22 @@ class Xoshiro256StarStar {
     for (auto& s : state_) s = sm();
   }
 
+  /// The four raw state words — checkpoint export. A generator restored via
+  /// set_state continues the exact stream, so a killed run resumed from a
+  /// checkpoint replays the same draws as the uninterrupted one.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return state_;
+  }
+
+  /// Restores a stream captured with state(). The all-zero state is invalid
+  /// for xoshiro (the generator would emit zeros forever); it is remapped to
+  /// the default seed, which can only occur on a corrupted checkpoint that
+  /// also defeated its CRC.
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) reseed(1);
+  }
+
   result_type operator()() noexcept {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;
