@@ -18,9 +18,17 @@
 //
 // Everything lands in BENCH_solvers.json (machine-readable, CI artifact).
 //
+// Every run row records the active kernel backend and the NUMA placement
+// that served it (flat vs striped, plus the populated node count), so the
+// perf trajectory can tell a dispatch change from a placement change.
+// --baseline files written before these columns existed still gate: the
+// matcher falls back to the (solver, threads) key when the baseline row
+// carries no backend.
+//
 // Usage:
 //   end_to_end [--out FILE] [--check] [--dataset news20] [--scale 1.0]
 //              [--epochs 10] [--threads 4] [--seed 7] [--repeats 1]
+//              [--backend scalar|avx2|avx512] [--numa auto|on|off]
 //     --check : regression gate for CI —
 //               (1) every solver must reach the SGD-derived RMSE target
 //                   (exact: catches correctness/convergence breakage),
@@ -39,15 +47,19 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "core/execution.hpp"
+#include "core/numa.hpp"
 #include "core/trainer.hpp"
 #include "data/paper_datasets.hpp"
 #include "objectives/logistic.hpp"
 #include "solvers/options.hpp"
+#include "sparse/dispatch.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 
@@ -69,6 +81,9 @@ constexpr double kBaselineFloor = 0.5;
 struct RunResult {
   std::string solver;
   std::size_t threads = 1;
+  std::string backend;    // active kernel backend during the run
+  std::string placement;  // "flat" or "striped" model placement
+  std::size_t numa_nodes = 1;
   double setup_seconds = 0;
   double train_seconds = 0;
   double samples_per_sec = 0;         // all epochs
@@ -149,6 +164,8 @@ void write_json(const std::string& path, const data::PaperDatasetConfig& cfg,
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
     out << "    {\"solver\": \"" << r.solver << "\", \"threads\": " << r.threads
+        << ", \"backend\": \"" << r.backend << "\", \"placement\": \""
+        << r.placement << "\", \"numa_nodes\": " << r.numa_nodes
         << ", \"samples_per_sec\": " << r.samples_per_sec
         << ", \"steady_samples_per_sec\": " << r.steady_samples_per_sec
         << ", \"time_to_target_s\": "
@@ -205,13 +222,17 @@ int check_gate(const std::vector<RunResult>& results, std::size_t threads) {
   return failures;
 }
 
+/// Baseline row key: (solver, threads, backend). Rows written before the
+/// backend column existed carry an empty backend — the lookup falls back to
+/// that so old artifacts keep gating new binaries.
+using BaselineKey = std::tuple<std::string, std::size_t, std::string>;
+
 /// Minimal reader for the JSON this binary writes: extracts
-/// (solver, threads) → steady_samples_per_sec from each run object. Only
+/// BaselineKey → steady_samples_per_sec from each run object. Only
 /// has to understand its own output format, so plain string scanning is
 /// enough — no JSON dependency.
-std::map<std::pair<std::string, std::size_t>, double> read_baseline(
-    std::istream& in) {
-  std::map<std::pair<std::string, std::size_t>, double> baseline;
+std::map<BaselineKey, double> read_baseline(std::istream& in) {
+  std::map<BaselineKey, double> baseline;
   std::string line;
   while (std::getline(in, line)) {
     const std::size_t solver_at = line.find("\"solver\": \"");
@@ -228,7 +249,16 @@ std::map<std::pair<std::string, std::size_t>, double> read_baseline(
     const auto threads =
         static_cast<std::size_t>(std::stoul(line.substr(threads_at + 11)));
     const double steady = std::stod(line.substr(steady_at + 26));
-    baseline[{solver, threads}] = steady;
+    std::string backend;  // empty for pre-dispatch baselines
+    const std::size_t backend_at = line.find("\"backend\": \"");
+    if (backend_at != std::string::npos) {
+      const std::size_t b_begin = backend_at + 12;
+      const std::size_t b_end = line.find('"', b_begin);
+      if (b_end != std::string::npos) {
+        backend = line.substr(b_begin, b_end - b_begin);
+      }
+    }
+    baseline[{solver, threads, backend}] = steady;
   }
   return baseline;
 }
@@ -257,10 +287,16 @@ int check_baseline(const std::string& path,
   }
   int failures = 0;
   for (const RunResult& r : results) {
-    const auto it = baseline.find({r.solver, r.threads});
+    // Exact backend match first; fall back to a backend-less (pre-dispatch)
+    // baseline row so old artifacts still gate.
+    auto it = baseline.find({r.solver, r.threads, r.backend});
+    if (it == baseline.end()) {
+      it = baseline.find({r.solver, r.threads, std::string()});
+    }
     if (it == baseline.end()) {
       util::log_warn() << "baseline '" << path << "' has no entry for "
-                       << r.solver << " t=" << r.threads << "; skipping";
+                       << r.solver << " t=" << r.threads << " backend="
+                       << r.backend << "; skipping";
       continue;
     }
     if (it->second <= 0) continue;
@@ -295,7 +331,40 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "7", "base RNG seed");
   cli.add_flag("repeats", "1",
                "timing repeats per configuration (fastest steady-state wins)");
+  cli.add_flag("backend", "",
+               "pin the kernel backend (scalar|avx2|avx512; default: runtime "
+               "dispatch, honours ISASGD_KERNEL_BACKEND)");
+  cli.add_flag("numa", "auto",
+               "model placement mode: auto (stripe only on multi-node "
+               "hosts), on, off");
   if (!cli.parse(argc, argv)) return 0;
+
+  namespace k = sparse::kernels;
+  if (!cli.get("backend").empty()) {
+    try {
+      if (!k::set_backend(k::backend_from_name(cli.get("backend")))) {
+        util::log_error() << "backend '" << cli.get("backend")
+                          << "' is not available on this host";
+        return 2;
+      }
+    } catch (const std::invalid_argument& e) {
+      util::log_error() << e.what();
+      return 2;
+    }
+  }
+  core::NumaOptions numa_options;
+  {
+    const std::string mode = cli.get("numa");
+    if (mode == "on") {
+      numa_options.mode = core::NumaOptions::Mode::kOn;
+    } else if (mode == "off") {
+      numa_options.mode = core::NumaOptions::Mode::kOff;
+    } else if (mode != "auto") {
+      util::log_error() << "unknown --numa mode '" << mode
+                        << "' (auto|on|off)";
+      return 2;
+    }
+  }
 
   const auto cfg = data::paper_dataset_config(
       data::paper_dataset_from_name(cli.get("dataset")),
@@ -323,7 +392,16 @@ int main(int argc, char** argv) {
                                     .data(data)
                                     .objective(objective)
                                     .regularization(opt.reg)
+                                    .numa(numa_options)
                                     .build();
+
+  const core::NumaPolicy numa_probe{numa_options, core::NumaTopology::detect()};
+  const std::string backend_name = k::backend_name(k::active_backend());
+  const std::string placement = numa_probe.active() ? "striped" : "flat";
+  std::printf("kernel backend: %s | placement: %s (%zu node%s)\n",
+              backend_name.c_str(), placement.c_str(),
+              numa_probe.topology().node_count(),
+              numa_probe.topology().node_count() == 1 ? "" : "s");
 
   // Serial SGD is the reference: its final loss under the same epoch budget
   // defines the target every other solver must reach. The 1.5% slack keeps
@@ -348,6 +426,11 @@ int main(int argc, char** argv) {
     results.push_back(measure(trainer, run.solver, opt, run.threads,
                               data.rows(), target_rmse, repeats));
     print_row(results.back());
+  }
+  for (RunResult& r : results) {
+    r.backend = backend_name;
+    r.placement = placement;
+    r.numa_nodes = numa_probe.topology().node_count();
   }
 
   write_json(cli.get("out"), cfg, target_rmse, epochs, results);

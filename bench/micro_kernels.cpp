@@ -12,21 +12,34 @@
 // ns/op and Mitems/s, and the whole table is written as machine-readable
 // JSON (BENCH_kernels.json by default) for the perf-trajectory files.
 //
+// With runtime dispatch the table also carries a per-backend ladder: each
+// available backend {scalar, avx2, avx512} is timed through its own
+// KernelTable on the representative kernels, reported as `kernel/backend`
+// rows. The legacy unsuffixed rows keep measuring whatever backend is
+// active (so existing baselines stay comparable across checkouts).
+//
 // Usage:
 //   micro_kernels [--out FILE] [--check] [--min-time SECONDS]
-//     --check : exit non-zero if any fused/unrolled kernel falls below
+//                 [--backend scalar|avx2|avx512]
+//     --backend : pin the active dispatch backend before measuring (same
+//               effect as ISASGD_KERNEL_BACKEND; fails if unavailable).
+//     --check : exit non-zero if (a) any fused/unrolled kernel falls below
 //               REGRESSION_FLOOR × its scalar baseline's throughput — the
 //               CI smoke gate (the floor is deliberately loose so scheduler
 //               noise on shared runners cannot flake the job; locally the
-//               fused kernels should simply win).
+//               fused kernels should simply win) — or (b) any available
+//               vector backend produces results that are not bit-identical
+//               to the scalar backend on randomized inputs.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -36,6 +49,7 @@
 #include "sampling/fenwick_sampler.hpp"
 #include "sampling/sequence.hpp"
 #include "solvers/model.hpp"
+#include "sparse/dispatch.hpp"
 #include "sparse/kernels.hpp"
 #include "sparse/sparse_vector.hpp"
 #include "util/logging.hpp"
@@ -56,7 +70,8 @@ struct BenchResult {
   std::string baseline;  // empty for baselines themselves
   double ns_per_op = 0;
   double items_per_sec = 0;
-  double speedup = 0;  // vs baseline's ns_per_op; 0 when no baseline
+  double speedup = 0;   // vs baseline's ns_per_op; 0 when no baseline
+  bool gated = true;    // false: speedup is informational, not a CI gate
 };
 
 double g_min_time_s = 0.05;
@@ -67,7 +82,8 @@ double g_sink = 0;  // defeats dead-code elimination across benches
 /// measurement window exceeds g_min_time_s, and records ns per repetition.
 /// `items_per_op` scales the throughput column (e.g. d for a dense pass).
 void bench(const std::string& name, const std::string& baseline,
-           double items_per_op, const std::function<void(std::size_t)>& body) {
+           double items_per_op, const std::function<void(std::size_t)>& body,
+           bool gated = true) {
   using clock = std::chrono::steady_clock;
   std::size_t iters = 1;
   double seconds = 0;
@@ -86,6 +102,7 @@ void bench(const std::string& name, const std::string& baseline,
   BenchResult r;
   r.name = name;
   r.baseline = baseline;
+  r.gated = gated;
   r.ns_per_op = seconds * 1e9 / static_cast<double>(iters);
   r.items_per_sec =
       items_per_op * static_cast<double>(iters) / seconds;
@@ -380,6 +397,72 @@ void bench_samplers() {
   }
 }
 
+void bench_backend_ladder() {
+  // Per-ISA ladder: the same representative kernels timed through every
+  // available backend's KernelTable, reported as `kernel/backend` rows.
+  // Vector rows carry their `/scalar` counterpart as baseline so the JSON
+  // shows the realized SIMD speedup, but they are NOT gated: on a gather-
+  // bound sparse kernel a vector backend is allowed to tie the scalar one —
+  // the dispatch contract is bit-identity, not a throughput floor, and that
+  // contract is enforced by check_backend_parity() instead.
+  namespace k = sparse::kernels;
+  const std::size_t d = std::size_t{1} << 16;
+  std::vector<double> a(d), b(d), mu(d, 0.01);
+  util::Rng rng(21);
+  for (auto& v : a) v = util::normal_double(rng);
+  for (auto& v : b) v = util::normal_double(rng);
+  const std::size_t nnz = 64;
+  const auto row = make_row(d, nnz, 23);
+  const auto reg = objectives::Regularization::l2(1e-4);
+
+  for (const k::Backend be : k::available_backends()) {
+    const k::KernelTable& t = *k::table_for(be);
+    const std::string suffix = "/" + k::backend_name(be);
+    const bool is_scalar = be == k::Backend::kScalar;
+    const auto base = [&](const char* kernel) {
+      return is_scalar ? std::string() : std::string(kernel) + "/scalar";
+    };
+
+    bench("dense_dot" + suffix, base("dense_dot"), static_cast<double>(d),
+          [&](std::size_t it) {
+            double acc = 0;
+            for (std::size_t i = 0; i < it; ++i) acc += t.dense_dot(a, b);
+            g_sink += acc;
+          },
+          /*gated=*/false);
+    bench("dense_axpy" + suffix, base("dense_axpy"), static_cast<double>(d),
+          [&](std::size_t it) {
+            for (std::size_t i = 0; i < it; ++i) {
+              t.dense_axpy(a, i % 2 ? 1e-9 : -1e-9, b);
+            }
+            g_sink += a[0];
+          },
+          /*gated=*/false);
+    bench("sgd_step_fused" + suffix, base("sgd_step_fused"),
+          static_cast<double>(nnz),
+          [&](std::size_t it) {
+            for (std::size_t i = 0; i < it; ++i) {
+              const double margin = t.sparse_dot(a, row.view());
+              t.sparse_dot_residual_axpy(a, row.view(), 1e-9, margin,
+                                         reg.eta_l1(), reg.eta_l2());
+            }
+            g_sink += a[row.view().index(0)];
+          },
+          /*gated=*/false);
+    bench("svrg_step_fused" + suffix, base("svrg_step_fused"),
+          static_cast<double>(d),
+          [&](std::size_t it) {
+            for (std::size_t i = 0; i < it; ++i) {
+              t.scale_then_sparse_axpy(a, mu, i % 2 ? 1e-9 : -1e-9,
+                                       reg.eta_l1(), reg.eta_l2(), 1e-9,
+                                       row.view());
+            }
+            g_sink += a[0];
+          },
+          /*gated=*/false);
+  }
+}
+
 void bench_shared_model() {
   solvers::SharedModel model(std::size_t{1} << 16);
   {
@@ -407,14 +490,17 @@ void bench_shared_model() {
 // ---------------------------------------------------------------------------
 
 void write_json(const std::string& path) {
+  namespace k = sparse::kernels;
   std::ofstream out(path);
-  out << "{\n  \"benchmarks\": [\n";
+  out << "{\n  \"backend\": \"" << k::backend_name(k::active_backend())
+      << "\",\n  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < g_results.size(); ++i) {
     const BenchResult& r = g_results[i];
     out << "    {\"name\": \"" << r.name << "\", \"baseline\": \""
         << r.baseline << "\", \"ns_per_op\": " << r.ns_per_op
         << ", \"items_per_sec\": " << r.items_per_sec
-        << ", \"speedup\": " << r.speedup << "}"
+        << ", \"speedup\": " << r.speedup
+        << ", \"gated\": " << (r.gated ? "true" : "false") << "}"
         << (i + 1 < g_results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -424,7 +510,7 @@ void write_json(const std::string& path) {
 int check_regressions() {
   int failures = 0;
   for (const BenchResult& r : g_results) {
-    if (r.baseline.empty()) continue;
+    if (r.baseline.empty() || !r.gated) continue;
     if (r.speedup < kRegressionFloor) {
       isasgd::util::log_error()
           << "REGRESSION: " << r.name << " is " << r.speedup
@@ -436,10 +522,79 @@ int check_regressions() {
   return failures;
 }
 
+/// The dispatch contract under --check: every available vector backend must
+/// be bit-identical to scalar on randomized sparse/dense inputs, including
+/// the fused kernels under every regularizer kind. EXPECT_EQ-strength
+/// equality — the TUs share one arithmetic body compiled with
+/// -ffp-contract=off, so any drift is a build-flag or codegen bug.
+int check_backend_parity() {
+  namespace k = sparse::kernels;
+  const k::KernelTable& scalar = *k::table_for(k::Backend::kScalar);
+  int failures = 0;
+  const std::size_t d = 1337;  // odd: exercises every unroll remainder
+  for (std::uint64_t trial = 0; trial < 4; ++trial) {
+    util::Rng rng(500 + trial);
+    std::vector<double> w0(d), s0(d);
+    for (auto& v : w0) v = util::normal_double(rng);
+    for (auto& v : s0) v = util::normal_double(rng);
+    const auto x = make_row(d, 5 + trial * 13, 600 + trial);
+    for (const k::Backend be : k::available_backends()) {
+      if (be == k::Backend::kScalar) continue;
+      const k::KernelTable& t = *k::table_for(be);
+      const auto expect = [&](bool ok, const char* kernel) {
+        if (ok) return;
+        util::log_error() << "PARITY: " << kernel << " under "
+                          << k::backend_name(be)
+                          << " is not bit-identical to scalar (trial "
+                          << trial << ")";
+        ++failures;
+      };
+      expect(t.sparse_dot(w0, x.view()) == scalar.sparse_dot(w0, x.view()),
+             "sparse_dot");
+      expect(t.dense_dot(w0, s0) == scalar.dense_dot(w0, s0), "dense_dot");
+      expect(t.dense_norm(w0) == scalar.dense_norm(w0), "dense_norm");
+      expect(t.dense_squared_distance(w0, s0) ==
+                 scalar.dense_squared_distance(w0, s0),
+             "dense_squared_distance");
+      expect(t.dense_l1_norm(w0) == scalar.dense_l1_norm(w0), "dense_l1_norm");
+      double aw = 0, as = 0, bw = 0, bs = 0;
+      scalar.sparse_dot_pair(w0, s0, x.view(), aw, as);
+      t.sparse_dot_pair(w0, s0, x.view(), bw, bs);
+      expect(aw == bw && as == bs, "sparse_dot_pair");
+      auto ref = w0, cand = w0;
+      scalar.sparse_axpy(ref, 0.37, x.view());
+      t.sparse_axpy(cand, 0.37, x.view());
+      expect(ref == cand, "sparse_axpy");
+      ref = w0, cand = w0;
+      scalar.dense_axpy(ref, -1.25, s0);
+      t.dense_axpy(cand, -1.25, s0);
+      expect(ref == cand, "dense_axpy");
+      ref = w0, cand = w0;
+      scalar.dense_scale(ref, 0.99);
+      t.dense_scale(cand, 0.99);
+      expect(ref == cand, "dense_scale");
+      for (const auto& [l1, l2] :
+           {std::pair{0.0, 0.0}, {0.0, 1e-3}, {1e-4, 0.0}}) {
+        ref = w0, cand = w0;
+        scalar.sparse_dot_residual_axpy(ref, x.view(), 0.05, 0.8, l1, l2);
+        t.sparse_dot_residual_axpy(cand, x.view(), 0.05, 0.8, l1, l2);
+        expect(ref == cand, "sparse_dot_residual_axpy");
+        ref = w0, cand = w0;
+        scalar.scale_then_sparse_axpy(ref, s0, 0.05, l1, l2, 0.02, x.view());
+        t.scale_then_sparse_axpy(cand, s0, 0.05, l1, l2, 0.02, x.view());
+        expect(ref == cand, "scale_then_sparse_axpy");
+      }
+    }
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  namespace k = isasgd::sparse::kernels;
   std::string out_path = "BENCH_kernels.json";
+  std::string backend;
   bool check = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
@@ -448,29 +603,52 @@ int main(int argc, char** argv) {
       check = true;
     } else if (std::strcmp(argv[i], "--min-time") == 0 && i + 1 < argc) {
       g_min_time_s = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backend = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: micro_kernels [--out FILE] [--check] "
-                   "[--min-time SECONDS]\n");
+                   "[--min-time SECONDS] [--backend scalar|avx2|avx512]\n");
       return 2;
     }
   }
+  if (!backend.empty()) {
+    try {
+      if (!k::set_backend(k::backend_from_name(backend))) {
+        std::fprintf(stderr, "backend '%s' is not available on this host\n",
+                     backend.c_str());
+        return 2;
+      }
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  std::printf("active kernel backend: %s\n",
+              k::backend_name(k::active_backend()).c_str());
 
   bench_dense_kernels();
   bench_sparse_vs_dense_update();
   bench_fused_sgd_step();
   bench_fused_svrg_step();
   bench_samplers();
+  bench_backend_ladder();
   bench_shared_model();
 
   write_json(out_path);
   if (g_sink == 12345.6789) std::cout << " ";  // keep the sink observable
 
   if (check) {
-    const int failures = check_regressions();
-    if (failures) return 1;
-    std::cout << "all fused/unrolled kernels within " << kRegressionFloor
-              << "x of their scalar baselines or better\n";
+    int failures = check_regressions();
+    if (!failures) {
+      std::cout << "all fused/unrolled kernels within " << kRegressionFloor
+                << "x of their scalar baselines or better\n";
+    }
+    const int parity = check_backend_parity();
+    if (!parity) {
+      std::cout << "all available backends bit-identical to scalar\n";
+    }
+    if (failures + parity) return 1;
   }
   return 0;
 }

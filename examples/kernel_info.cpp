@@ -1,0 +1,81 @@
+// Host introspection for the runtime kernel dispatch and NUMA placement:
+// prints the detected ISA backends, which one dispatch resolved, the node
+// topology, and the model stripe / shard→node maps a training run of the
+// requested geometry would use.
+//
+//   build/examples/kernel_info [--dim N] [--shards K]
+//
+// The selection honours ISASGD_KERNEL_BACKEND=scalar|avx2|avx512, so
+//
+//   ISASGD_KERNEL_BACKEND=scalar build/examples/kernel_info
+//
+// shows the override taking effect.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/numa.hpp"
+#include "sparse/dispatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isasgd;
+  namespace k = sparse::kernels;
+
+  std::size_t dim = 1u << 20;
+  std::size_t shards = 4;
+  for (int a = 1; a < argc; ++a) {
+    if (!std::strcmp(argv[a], "--dim") && a + 1 < argc) {
+      dim = std::strtoull(argv[++a], nullptr, 10);
+    } else if (!std::strcmp(argv[a], "--shards") && a + 1 < argc) {
+      shards = std::strtoull(argv[++a], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--dim N] [--shards K]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("=== Kernel backends ===\n");
+  for (k::Backend b : {k::Backend::kScalar, k::Backend::kAvx2,
+                       k::Backend::kAvx512}) {
+    std::printf("  %-7s compiled=%s cpu=%s%s\n",
+                k::backend_name(b).c_str(), k::compiled(b) ? "yes" : "no",
+                k::cpu_supports(b) ? "yes" : "no",
+                k::available(b) ? "  [selectable]" : "");
+  }
+  const char* env = std::getenv("ISASGD_KERNEL_BACKEND");
+  std::printf("  ISASGD_KERNEL_BACKEND=%s\n", env ? env : "(unset)");
+  std::printf("  active: %s\n\n", k::backend_name(k::active_backend()).c_str());
+
+  std::printf("=== NUMA topology ===\n");
+  const core::NumaTopology topo = core::NumaTopology::detect();
+  for (const core::NumaNode& node : topo.nodes) {
+    std::printf("  node%d: %zu cpus [", node.id, node.cpus.size());
+    for (std::size_t i = 0; i < node.cpus.size(); ++i) {
+      std::printf("%s%d", i ? "," : "", node.cpus[i]);
+    }
+    std::printf("]\n");
+  }
+  const core::NumaPolicy policy{core::NumaOptions{}, topo};
+  std::printf("  %s\n\n", policy.describe().c_str());
+
+  std::printf("=== Placement plan (dim=%zu, %zu shards, uniform mass) ===\n",
+              dim, shards);
+  // kOn instead of kAuto so the stripe/shard maps print even on the
+  // single-node boxes this introspection is most often run from.
+  const core::NumaPolicy forced{
+      core::NumaOptions{core::NumaOptions::Mode::kOn}, topo};
+  const std::vector<double> phis(shards, 1.0);
+  const core::NumaPlacement plan = core::plan_placement(&forced, phis, dim);
+  std::printf("  %s\n", plan.describe().c_str());
+  const std::vector<int> cpus = core::worker_cpu_plan(plan, shards);
+  std::printf("  worker pins: [");
+  for (std::size_t t = 0; t < cpus.size(); ++t) {
+    std::printf("%s%d", t ? "," : "", cpus[t]);
+  }
+  std::printf("]\n");
+  std::printf("  (auto mode would be %s on this host)\n",
+              policy.active() ? "ACTIVE" : "inactive");
+  return 0;
+}

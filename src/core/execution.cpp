@@ -6,12 +6,14 @@
 namespace isasgd::core {
 
 ExecutionContext::ExecutionContext(std::size_t eval_threads,
-                                   util::ThreadPool::Options pool_options)
+                                   util::ThreadPool::Options pool_options,
+                                   NumaOptions numa_options)
     : pool_(0, pool_options),
       eval_threads_(eval_threads
                         ? eval_threads
                         : std::max<std::size_t>(
-                              1, std::thread::hardware_concurrency() / 2)) {}
+                              1, std::thread::hardware_concurrency() / 2)),
+      numa_policy_(numa_options, NumaTopology::detect()) {}
 
 std::shared_ptr<data::StreamingSource> ExecutionContext::open_streaming(
     std::string path, data::StreamingOptions options) {

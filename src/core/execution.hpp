@@ -23,6 +23,7 @@
 #include <optional>
 #include <string>
 
+#include "core/numa.hpp"
 #include "data/streaming_source.hpp"
 #include "distributed/cluster.hpp"
 #include "util/thread_pool.hpp"
@@ -34,10 +35,14 @@ class ExecutionContext
  public:
   /// `eval_threads` parallelises snapshot scoring (0 = half the hardware
   /// threads, at least 1). `pool_options` tunes the worker pool (CPU
-  /// pinning, oversubscription clamp).
+  /// pinning, oversubscription clamp). `numa_options` governs NUMA model
+  /// placement (default kAuto: active only on multi-node hosts); the node
+  /// topology is detected once here and cached for every run on this
+  /// context.
   explicit ExecutionContext(
       std::size_t eval_threads = 0,
-      util::ThreadPool::Options pool_options = util::ThreadPool::Options());
+      util::ThreadPool::Options pool_options = util::ThreadPool::Options(),
+      NumaOptions numa_options = NumaOptions());
 
   [[nodiscard]] util::ThreadPool& pool() noexcept { return pool_; }
   [[nodiscard]] std::size_t eval_threads() const noexcept {
@@ -74,6 +79,19 @@ class ExecutionContext
   /// solvers then fall back to the default ClusterSpec).
   [[nodiscard]] const distributed::ClusterSpec* cluster() const noexcept {
     return cluster_ ? &*cluster_ : nullptr;
+  }
+
+  /// Reconfigures NUMA placement for subsequent runs (the topology stays
+  /// the one detected at construction). Mirrors set_cluster's "shared
+  /// context, per-context policy" pattern.
+  void set_numa(NumaOptions options) {
+    numa_policy_ = NumaPolicy(options, numa_policy_.topology());
+  }
+
+  /// NUMA options + detected topology; solvers receive it through
+  /// SolverContext::numa and build a per-run NumaPlacement from it.
+  [[nodiscard]] const NumaPolicy& numa_policy() const noexcept {
+    return numa_policy_;
   }
 
   /// RAII job ticket from begin_job(): the context counts it as active
@@ -131,6 +149,7 @@ class ExecutionContext
  private:
   util::ThreadPool pool_;
   std::size_t eval_threads_;
+  NumaPolicy numa_policy_;
   std::optional<distributed::ClusterSpec> cluster_;
   std::atomic<std::size_t> active_jobs_{0};
   std::atomic<std::uint64_t> total_jobs_{0};

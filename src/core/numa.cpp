@@ -1,0 +1,260 @@
+#include "core/numa.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace isasgd::core {
+
+namespace {
+
+std::size_t online_cpu_count() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+#if defined(__linux__)
+/// Best-effort pin of the calling thread to one CPU; failure (cgroup mask,
+/// offlined CPU) leaves the thread where it is — placement degrades to
+/// whatever the scheduler does, never to an error.
+void pin_self_to(int cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+}
+#endif
+
+}  // namespace
+
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::stringstream ss(text);
+  std::string chunk;
+  while (std::getline(ss, chunk, ',')) {
+    // Trim whitespace (the sysfs file ends in '\n').
+    const auto first = chunk.find_first_not_of(" \t\n\r");
+    if (first == std::string::npos) continue;
+    const auto last = chunk.find_last_not_of(" \t\n\r");
+    chunk = chunk.substr(first, last - first + 1);
+    try {
+      const auto dash = chunk.find('-');
+      if (dash == std::string::npos) {
+        cpus.push_back(std::stoi(chunk));
+      } else {
+        const int lo = std::stoi(chunk.substr(0, dash));
+        const int hi = std::stoi(chunk.substr(dash + 1));
+        for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+      }
+    } catch (...) {
+      // Malformed chunk (tests feed garbage): skip it, keep the rest.
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+NumaTopology NumaTopology::single_node(std::size_t cpu_count) {
+  NumaTopology topo;
+  NumaNode node;
+  node.id = 0;
+  node.cpus.resize(std::max<std::size_t>(1, cpu_count));
+  std::iota(node.cpus.begin(), node.cpus.end(), 0);
+  topo.nodes.push_back(std::move(node));
+  return topo;
+}
+
+NumaTopology NumaTopology::detect() {
+#if defined(__linux__)
+  namespace fs = std::filesystem;
+  NumaTopology topo;
+  std::error_code ec;
+  const fs::path root("/sys/devices/system/node");
+  if (fs::is_directory(root, ec) && !ec) {
+    for (const auto& entry : fs::directory_iterator(root, ec)) {
+      if (ec) break;
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("node", 0) != 0) continue;
+      int id = -1;
+      try {
+        id = std::stoi(name.substr(4));
+      } catch (...) {
+        continue;
+      }
+      std::ifstream in(entry.path() / "cpulist");
+      if (!in) continue;
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      std::vector<int> cpus = parse_cpulist(text);
+      if (cpus.empty()) continue;  // memory-only node: nothing to pin there
+      topo.nodes.push_back(NumaNode{id, std::move(cpus)});
+    }
+  }
+  if (!topo.nodes.empty()) {
+    std::sort(topo.nodes.begin(), topo.nodes.end(),
+              [](const NumaNode& a, const NumaNode& b) { return a.id < b.id; });
+    return topo;
+  }
+#endif
+  return single_node(online_cpu_count());
+}
+
+std::size_t NumaTopology::total_cpus() const noexcept {
+  std::size_t n = 0;
+  for (const NumaNode& node : nodes) n += node.cpus.size();
+  return n;
+}
+
+std::string NumaPolicy::describe() const {
+  std::string out = "numa: ";
+  switch (options_.mode) {
+    case NumaOptions::Mode::kAuto: out += "auto"; break;
+    case NumaOptions::Mode::kOn: out += "on"; break;
+    case NumaOptions::Mode::kOff: out += "off"; break;
+  }
+  out += active() ? " (active, " : " (inactive, ";
+  out += std::to_string(topology_.node_count()) + " node" +
+         (topology_.node_count() == 1 ? "" : "s") + ", " +
+         std::to_string(topology_.total_cpus()) + " cpus)";
+  return out;
+}
+
+StripeMap StripeMap::build(std::size_t dim, std::size_t node_count) {
+  node_count = std::max<std::size_t>(1, node_count);
+  StripeMap map;
+  map.dim = dim;
+  // Even split rounded UP to the page quantum: earlier nodes absorb the
+  // remainder, trailing nodes may own empty stripes on tiny models.
+  const std::size_t pages = (dim + kStripeAlign - 1) / kStripeAlign;
+  const std::size_t pages_per_node = (pages + node_count - 1) / node_count;
+  std::size_t begin = 0;
+  for (std::size_t n = 0; n < node_count; ++n) {
+    const std::size_t end =
+        std::min(dim, begin + pages_per_node * kStripeAlign);
+    map.stripes.push_back(Stripe{begin, end, static_cast<int>(n)});
+    begin = end;
+  }
+  return map;
+}
+
+int StripeMap::node_of(std::size_t j) const noexcept {
+  for (const Stripe& s : stripes) {
+    if (j >= s.begin && j < s.end) return s.node;
+  }
+  return stripes.empty() ? 0 : stripes.back().node;
+}
+
+std::vector<int> assign_shards_to_nodes(std::span<const double> phis,
+                                        std::size_t node_count) {
+  node_count = std::max<std::size_t>(1, node_count);
+  std::vector<int> assignment(phis.size(), 0);
+  if (phis.empty() || node_count == 1) return assignment;
+  // LPT: heaviest shard first onto the lightest node — the classic 4/3
+  // makespan bound, plenty for balancing update traffic across sockets.
+  std::vector<std::size_t> order(phis.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return phis[a] > phis[b];
+  });
+  std::vector<double> load(node_count, 0.0);
+  for (const std::size_t shard : order) {
+    const std::size_t lightest = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    assignment[shard] = static_cast<int>(lightest);
+    // Guard against all-zero Φ (e.g. empty shards): a tiny epsilon keeps
+    // LPT rotating instead of dumping every shard on node 0.
+    load[lightest] += phis[shard] > 0 ? phis[shard] : 1e-12;
+  }
+  return assignment;
+}
+
+std::string NumaPlacement::describe() const {
+  if (!active) return "placement: inactive";
+  std::string out = "placement: " + std::to_string(topology.node_count()) +
+                    "-node stripes [";
+  for (std::size_t i = 0; i < stripes.stripes.size(); ++i) {
+    const Stripe& s = stripes.stripes[i];
+    if (i) out += " ";
+    out += std::to_string(s.begin) + ":" + std::to_string(s.end) + "@n" +
+           std::to_string(s.node);
+  }
+  out += "] shards[";
+  for (std::size_t i = 0; i < shard_nodes.size(); ++i) {
+    if (i) out += " ";
+    out += std::to_string(i) + "@n" + std::to_string(shard_nodes[i]);
+  }
+  out += "]";
+  return out;
+}
+
+NumaPlacement plan_placement(const NumaPolicy* policy,
+                             std::span<const double> phis, std::size_t dim) {
+  NumaPlacement plan;
+  if (!policy || !policy->active()) return plan;
+  plan.active = true;
+  plan.topology = policy->topology();
+  plan.stripes = StripeMap::build(dim, plan.topology.node_count());
+  plan.shard_nodes = assign_shards_to_nodes(phis, plan.topology.node_count());
+  return plan;
+}
+
+std::vector<int> worker_cpu_plan(const NumaPlacement& plan, std::size_t team) {
+  if (!plan.active || plan.shard_nodes.empty() || team == 0) return {};
+  std::vector<int> cpus(team, -1);
+  // Round-robin cursor per node so co-located workers spread over the
+  // node's CPUs instead of stacking on the first one.
+  std::vector<std::size_t> cursor(plan.topology.node_count(), 0);
+  for (std::size_t t = 0; t < team; ++t) {
+    const std::size_t node_idx = static_cast<std::size_t>(
+        plan.shard_nodes[t % plan.shard_nodes.size()]);
+    if (node_idx >= plan.topology.nodes.size()) continue;
+    const NumaNode& node = plan.topology.nodes[node_idx];
+    if (node.cpus.empty()) continue;
+    cpus[t] = node.cpus[cursor[node_idx]++ % node.cpus.size()];
+  }
+  return cpus;
+}
+
+void first_touch_zero(double* data, const StripeMap& map,
+                      const NumaTopology& topology) {
+  if (map.dim == 0) return;
+  const bool threaded = map.stripes.size() > 1 && topology.multi_node();
+  if (!threaded) {
+    std::memset(data, 0, map.dim * sizeof(double));
+    return;
+  }
+  // One short-lived thread per stripe, pinned to the owning node before it
+  // touches a byte: the kernel's first-touch policy then backs each page
+  // with node-local memory. Setup cost is one-time per SharedModel and
+  // irrelevant next to an epoch.
+  std::vector<std::thread> threads;
+  threads.reserve(map.stripes.size());
+  for (const Stripe& s : map.stripes) {
+    if (s.begin >= s.end) continue;
+    threads.emplace_back([data, s, &topology] {
+#if defined(__linux__)
+      const std::size_t node_idx = static_cast<std::size_t>(s.node);
+      if (node_idx < topology.nodes.size() &&
+          !topology.nodes[node_idx].cpus.empty()) {
+        pin_self_to(topology.nodes[node_idx].cpus.front());
+      }
+#else
+      (void)topology;
+#endif
+      std::memset(data + s.begin, 0, (s.end - s.begin) * sizeof(double));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace isasgd::core

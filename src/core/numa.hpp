@@ -1,0 +1,179 @@
+// NUMA-aware model placement: topology detection, model striping, and
+// shard→node worker assignment.
+//
+// On a multi-socket box the shared model is the hottest data structure in
+// the library — every Hogwild worker reads it for the margin dot and writes
+// it for the fused update, every epoch. A model allocated by one thread is
+// first-touch-placed entirely on that thread's node, so remote workers pay
+// cross-socket latency for every coordinate. This layer:
+//
+//   1. detects the node topology from /sys/devices/system/node (no libnuma
+//      dependency — the sysfs files are plain text; a machine without the
+//      directory is treated as one node and everything degrades to no-ops),
+//   2. stripes the model across the nodes in contiguous page-aligned runs,
+//      first-touch-initialised from a thread pinned to the owning node, so
+//      the model's memory bandwidth is served by every socket instead of
+//      one, and
+//   3. assigns data shards to nodes by LPT over the partition Φ totals (the
+//      per-shard update-cost mass IS-ASGD already computes), then pins each
+//      pool worker to a CPU of the node owning its shard — the workers with
+//      the heaviest update traffic sit next to a proportional slice of the
+//      model.
+//
+// Activation: NumaOptions::Mode::kAuto (the default) enables placement only
+// when the host really has multiple populated nodes, so laptops, CI
+// runners, and this container see bit-for-bit the pre-NUMA behaviour. kOn
+// forces the striping/pinning paths even on one node (test coverage); kOff
+// disables them everywhere.
+//
+// Placement never changes results: stripes only decide which socket backs
+// which pages, workers still address the model through the same flat span,
+// and tests/numa_test.cpp pins striped-vs-flat bit identity.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace isasgd::core {
+
+/// One populated NUMA node: its sysfs id and the CPUs it owns.
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+/// The host's node layout. Detected once per process (ExecutionContext
+/// construction); tests build fake topologies directly.
+struct NumaTopology {
+  std::vector<NumaNode> nodes;
+
+  /// Parses /sys/devices/system/node/node*/cpulist. Nodes without CPUs
+  /// (CXL/ HBM memory-only nodes) are dropped — a worker cannot be pinned
+  /// there. Any failure (non-Linux, masked sysfs) yields a single node
+  /// owning every online CPU.
+  [[nodiscard]] static NumaTopology detect();
+
+  /// Single-node fallback: node 0 owning CPUs [0, cpu_count).
+  [[nodiscard]] static NumaTopology single_node(std::size_t cpu_count);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes.size();
+  }
+  [[nodiscard]] bool multi_node() const noexcept { return nodes.size() > 1; }
+  [[nodiscard]] std::size_t total_cpus() const noexcept;
+};
+
+/// Parses a sysfs cpulist string ("0-3,8,10-11") into sorted CPU ids.
+/// Malformed chunks are skipped (sysfs is trusted but tests feed garbage).
+[[nodiscard]] std::vector<int> parse_cpulist(const std::string& text);
+
+/// User-facing placement knobs (TrainerBuilder::numa / ExecutionContext).
+struct NumaOptions {
+  enum class Mode {
+    kAuto,  ///< stripe+pin only when the host has >1 populated node
+    kOn,    ///< force the placement paths even on one node
+    kOff,   ///< never stripe or pin
+  };
+  Mode mode = Mode::kAuto;
+};
+
+/// Options + detected topology: what an ExecutionContext owns and hands to
+/// solvers through SolverContext::numa.
+class NumaPolicy {
+ public:
+  NumaPolicy() : NumaPolicy(NumaOptions{}, NumaTopology::detect()) {}
+  NumaPolicy(NumaOptions options, NumaTopology topology)
+      : options_(options), topology_(std::move(topology)) {}
+
+  [[nodiscard]] const NumaOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const NumaTopology& topology() const noexcept {
+    return topology_;
+  }
+
+  /// True when placement should run: kOn, or kAuto on a multi-node host.
+  [[nodiscard]] bool active() const noexcept {
+    switch (options_.mode) {
+      case NumaOptions::Mode::kOn: return true;
+      case NumaOptions::Mode::kOff: return false;
+      case NumaOptions::Mode::kAuto: return topology_.multi_node();
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  NumaOptions options_;
+  NumaTopology topology_;
+};
+
+/// A contiguous run of model coordinates owned by one node.
+struct Stripe {
+  std::size_t begin = 0;  ///< first coordinate
+  std::size_t end = 0;    ///< one past last
+  int node = 0;           ///< index into NumaTopology::nodes
+};
+
+/// Model dimension → per-node stripes. Stripe boundaries are aligned to
+/// kStripeAlign coordinates (512 doubles = 4096 bytes = one page) so a
+/// first-touch page can never straddle two owners.
+struct StripeMap {
+  std::size_t dim = 0;
+  std::vector<Stripe> stripes;
+
+  /// One page-aligned stripe per node, sizes within one alignment quantum
+  /// of each other; trailing nodes get empty stripes when dim is small.
+  /// node_count is clamped up to 1.
+  [[nodiscard]] static StripeMap build(std::size_t dim,
+                                       std::size_t node_count);
+
+  /// Owning node index of coordinate j (dim must be > 0, j < dim).
+  [[nodiscard]] int node_of(std::size_t j) const noexcept;
+};
+
+/// 512 doubles = 4096 bytes: the x86/ARM base page, the first-touch
+/// placement granularity.
+inline constexpr std::size_t kStripeAlign = 512;
+
+/// LPT (longest-processing-time) assignment of shards to nodes: shards
+/// sorted by descending Φ, each placed on the currently lightest node.
+/// Returns shard → node index; empty input yields empty output.
+[[nodiscard]] std::vector<int> assign_shards_to_nodes(
+    std::span<const double> phis, std::size_t node_count);
+
+/// A fully materialised placement plan for one training run.
+struct NumaPlacement {
+  bool active = false;        ///< false ⇒ every other field is unused
+  NumaTopology topology;      ///< copied: independent of policy lifetime
+  StripeMap stripes;          ///< model coordinate → node
+  std::vector<int> shard_nodes;  ///< shard → node (LPT over Φ)
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Builds the plan for a run: inactive (all defaults) when `policy` is null
+/// or !policy->active(), otherwise stripes `dim` over the topology and
+/// LPT-assigns `phis` (per-shard Φ totals; uniform weights when empty).
+[[nodiscard]] NumaPlacement plan_placement(const NumaPolicy* policy,
+                                           std::span<const double> phis,
+                                           std::size_t dim);
+
+/// Per-worker CPU pin list for ThreadPool::set_worker_cpus: worker t works
+/// shard t (the solvers' tid ↔ shard convention), so it is pinned to a CPU
+/// of shard t's node, round-robin within the node. Empty when the plan is
+/// inactive or has no shard assignment.
+[[nodiscard]] std::vector<int> worker_cpu_plan(const NumaPlacement& plan,
+                                               std::size_t team);
+
+/// First-touch initialisation: zeroes data[0, map.dim) stripe by stripe,
+/// each stripe from a thread pinned to its owning node, so the kernel
+/// places each page on the node that will serve it. Inactive plans (or
+/// single-stripe maps) zero inline on the calling thread.
+void first_touch_zero(double* data, const StripeMap& map,
+                      const NumaTopology& topology);
+
+}  // namespace isasgd::core

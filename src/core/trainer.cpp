@@ -9,7 +9,8 @@ Trainer::Trainer(const sparse::CsrMatrix& data,
                  const objectives::Objective& objective,
                  objectives::Regularization reg, std::size_t eval_threads,
                  ExecutionContextPtr execution,
-                 std::optional<distributed::ClusterSpec> cluster)
+                 std::optional<distributed::ClusterSpec> cluster,
+                 std::optional<NumaOptions> numa)
     : owned_source_(std::make_shared<const data::InMemorySource>(data)),
       source_(owned_source_.get()),
       objective_(objective),
@@ -21,13 +22,19 @@ Trainer::Trainer(const sparse::CsrMatrix& data,
                  eval_threads ? eval_threads : execution_->eval_threads(),
                  &execution_->pool()) {
   if (cluster_) cluster_->validate();
+  if (numa) {
+    // Rebind the options to the context's already-detected topology: a
+    // per-Trainer policy must not re-walk sysfs.
+    numa_.emplace(*numa, execution_->numa_policy().topology());
+  }
 }
 
 Trainer::Trainer(const data::DataSource& source,
                  const objectives::Objective& objective,
                  objectives::Regularization reg, std::size_t eval_threads,
                  ExecutionContextPtr execution,
-                 std::optional<distributed::ClusterSpec> cluster)
+                 std::optional<distributed::ClusterSpec> cluster,
+                 std::optional<NumaOptions> numa)
     : source_(&source),
       objective_(objective),
       reg_(reg),
@@ -38,6 +45,9 @@ Trainer::Trainer(const data::DataSource& source,
                  eval_threads ? eval_threads : execution_->eval_threads(),
                  &execution_->pool()) {
   if (cluster_) cluster_->validate();
+  if (numa) {
+    numa_.emplace(*numa, execution_->numa_policy().topology());
+  }
 }
 
 solvers::Trace Trainer::train(std::string_view solver,
@@ -60,6 +70,7 @@ solvers::Trace Trainer::train(std::string_view solver,
       .observer = observer,
       .pool = &execution_->pool(),
       .cluster = cluster_ ? &*cluster_ : execution_->cluster(),
+      .numa = numa_ ? &*numa_ : &execution_->numa_policy(),
       .snapshot = snapshot,
   });
 }
@@ -80,10 +91,10 @@ Trainer TrainerBuilder::build() const {
   }
   if (source_) {
     return Trainer(*source_, *objective_, reg_, eval_threads_, execution_,
-                   cluster_);
+                   cluster_, numa_);
   }
   return Trainer(*data_, *objective_, reg_, eval_threads_, execution_,
-                 cluster_);
+                 cluster_, numa_);
 }
 
 }  // namespace isasgd::core

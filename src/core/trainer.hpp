@@ -87,7 +87,8 @@ class Trainer {
           const objectives::Objective& objective,
           objectives::Regularization reg, std::size_t eval_threads = 0,
           ExecutionContextPtr execution = nullptr,
-          std::optional<distributed::ClusterSpec> cluster = std::nullopt);
+          std::optional<distributed::ClusterSpec> cluster = std::nullopt,
+          std::optional<NumaOptions> numa = std::nullopt);
 
   /// Source form: trains (and evaluates) against a data::DataSource —
   /// the out-of-core entry point. Streaming-capable solvers iterate the
@@ -98,7 +99,8 @@ class Trainer {
           const objectives::Objective& objective,
           objectives::Regularization reg, std::size_t eval_threads = 0,
           ExecutionContextPtr execution = nullptr,
-          std::optional<distributed::ClusterSpec> cluster = std::nullopt);
+          std::optional<distributed::ClusterSpec> cluster = std::nullopt,
+          std::optional<NumaOptions> numa = std::nullopt);
 
   /// Resolves `solver` through SolverRegistry (case/punctuation-insensitive:
   /// "IS-ASGD" == "is_asgd") and runs it under `options` (the options' reg
@@ -161,6 +163,10 @@ class Trainer {
   /// This Trainer's cluster cost model; falls back to the execution
   /// context's spec, then to the default ClusterSpec, when unset.
   std::optional<distributed::ClusterSpec> cluster_;
+  /// This Trainer's NUMA placement policy (the builder's numa(...) options
+  /// bound to the execution context's detected topology); falls back to the
+  /// execution context's policy when unset.
+  std::optional<NumaPolicy> numa_;
   metrics::Evaluator evaluator_;
 };
 
@@ -240,6 +246,18 @@ class TrainerBuilder {
     return *this;
   }
 
+  /// NUMA placement options for the built Trainer, private to it (a shared
+  /// ExecutionContext is never mutated — same contract as cluster()). The
+  /// default, on any Trainer built without this call, is the execution
+  /// context's policy: Mode::kAuto, which stripes the model and pins
+  /// workers only on hosts with more than one populated node. Use
+  /// {.mode = NumaOptions::Mode::kOff} to opt a Trainer out on a NUMA box,
+  /// or kOn to force the placement paths single-node (tests).
+  TrainerBuilder& numa(NumaOptions options) {
+    numa_ = options;
+    return *this;
+  }
+
   /// Builds the Trainer. Throws std::logic_error unless objective() and
   /// exactly one of data()/source() were provided.
   [[nodiscard]] Trainer build() const;
@@ -252,6 +270,7 @@ class TrainerBuilder {
   std::size_t eval_threads_ = 0;
   ExecutionContextPtr execution_;
   std::optional<distributed::ClusterSpec> cluster_;
+  std::optional<NumaOptions> numa_;
 };
 
 }  // namespace isasgd::core

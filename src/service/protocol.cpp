@@ -9,6 +9,7 @@
 
 #include "io/checkpoint.hpp"
 #include "objectives/objective.hpp"
+#include "sparse/dispatch.hpp"
 
 namespace isasgd::service {
 
@@ -196,7 +197,9 @@ std::string ProtocolHandler::handle_line(const std::string& line) {
                  if (s.state == JobState::kQueued) ++queued;
                }
                return queued;
-             }();
+             }()
+          << " backend="
+          << sparse::kernels::backend_name(sparse::kernels::active_backend());
       return out.str();
     }
     if (req.verb == "shutdown") {

@@ -249,7 +249,7 @@ void TrainingService::pump_queue() {
 }
 
 void TrainingService::run_job(std::shared_ptr<Job> job) {
-  const core::ExecutionContext::JobToken token = execution_->begin_job();
+  core::ExecutionContext::JobToken token = execution_->begin_job();
   acquire_slice(*job);
 
   JobState final_state = JobState::kCompleted;
@@ -285,6 +285,11 @@ void TrainingService::run_job(std::shared_ptr<Job> job) {
   }
 
   release_slice(*job);
+  // Drop the active-job token BEFORE the terminal state becomes visible:
+  // a waiter woken by the state change (wait/wait_all) must never observe
+  // the job as both terminal and still active. The mutex below orders the
+  // relaxed decrement for that waiter.
+  token.release();
   {
     const std::lock_guard<std::mutex> lock(mu_);
     job->state = final_state;

@@ -4,6 +4,7 @@
 #include <span>
 #include <utility>
 
+#include "core/numa.hpp"
 #include "partition/balancer.hpp"
 #include "sampling/sequence.hpp"
 #include "solvers/async_runner.hpp"
@@ -36,10 +37,10 @@ inline void apply_batch(SharedModel& model, const sparse::CsrMatrix& rows,
 Trace run_asgd(const sparse::CsrMatrix& data,
                const objectives::Objective& objective,
                const SolverOptions& options, const EvalFn& eval,
-               TrainingObserver* observer, util::ThreadPool* pool) {
+               TrainingObserver* observer, util::ThreadPool* pool,
+               const core::NumaPolicy* numa) {
   const std::size_t n = data.rows();
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
-  SharedModel model(data.dim());
   TraceRecorder recorder("ASGD", threads,
                          options.step_size, eval, observer);
 
@@ -49,6 +50,21 @@ Trace run_asgd(const sparse::CsrMatrix& data,
       partition::random_shuffle(n, options.seed ^ 0xa5a5);
   std::vector<std::size_t> boundary(threads + 1);
   for (std::size_t a = 0; a <= threads; ++a) boundary[a] = n * a / threads;
+
+  // NUMA placement (inactive single-node): ASGD's shards are uniform, so
+  // row counts stand in for IS-ASGD's Φ totals when balancing shards over
+  // nodes. See run_is_asgd for the full rationale.
+  std::vector<double> shard_mass(threads);
+  for (std::size_t a = 0; a < threads; ++a) {
+    shard_mass[a] = static_cast<double>(boundary[a + 1] - boundary[a]);
+  }
+  const core::NumaPlacement placement =
+      core::plan_placement(numa, shard_mass, data.dim());
+  SharedModel model(data.dim(), placement);
+  if (placement.active) {
+    detail::pool_or_default(pool).set_worker_cpus(
+        core::worker_cpu_plan(placement, threads));
+  }
 
   // Per-worker RNG streams, padded to avoid false sharing.
   std::vector<util::CachePadded<util::Rng>> rngs(threads);
@@ -157,7 +173,7 @@ class AsgdSolver final : public Solver {
                                 ctx.eval, ctx.observer, ctx.pool);
     }
     return run_asgd(ctx.data(), ctx.objective, ctx.options, ctx.eval,
-                    ctx.observer, ctx.pool);
+                    ctx.observer, ctx.pool, ctx.numa);
   }
 };
 

@@ -17,15 +17,23 @@ namespace isasgd::util {
 class ThreadPool;
 }
 
+namespace isasgd::core {
+class NumaPolicy;
+}
+
 namespace isasgd::solvers {
 
 /// Runs lock-free asynchronous SGD with `options.threads` workers drawn
-/// from `pool` (the process-wide default pool when null).
+/// from `pool` (the process-wide default pool when null). `numa` (optional)
+/// enables NUMA model placement: striped first-touch model allocation plus
+/// shard→node worker pinning (shards are uniform here, so row counts stand
+/// in for IS-ASGD's Φ totals). Never changes results.
 Trace run_asgd(const sparse::CsrMatrix& data,
                const objectives::Objective& objective,
                const SolverOptions& options, const EvalFn& eval,
                TrainingObserver* observer = nullptr,
-               util::ThreadPool* pool = nullptr);
+               util::ThreadPool* pool = nullptr,
+               const core::NumaPolicy* numa = nullptr);
 
 /// Out-of-core ASGD: shards are visited sequentially in the ShardedSequence
 /// order; within each shard the workers split the shard's row order into

@@ -20,6 +20,7 @@
 #include "sampling/sequence.hpp"
 #include "solvers/model.hpp"
 #include "solvers/trace.hpp"
+#include "sparse/dispatch.hpp"
 #include "sparse/kernels.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -39,7 +40,10 @@ inline util::ThreadPool& pool_or_default(util::ThreadPool* pool) {
 /// wild_view contract.
 inline double gather_margin(const SharedModel& model,
                             sparse::SparseVectorView x, bool wild) noexcept {
-  return wild ? sparse::sparse_dot(model.wild_view(), x)
+  // Through the runtime-dispatched table directly: the per-call atomic load
+  // in the kernels.cpp forwarders is cheap but not free, and this is the
+  // hottest read in the library.
+  return wild ? sparse::kernels::active().sparse_dot(model.wild_view(), x)
               : model.sparse_dot(x);
 }
 
@@ -53,8 +57,8 @@ inline void apply_update(SharedModel& model, sparse::SparseVectorView x,
                          const objectives::Regularization& reg,
                          UpdatePolicy policy) noexcept {
   if (policy == UpdatePolicy::kWild) {
-    sparse::sparse_dot_residual_axpy(model.wild_view(), x, step, g,
-                                     reg.eta_l1(), reg.eta_l2());
+    sparse::kernels::active().sparse_dot_residual_axpy(
+        model.wild_view(), x, step, g, reg.eta_l1(), reg.eta_l2());
     return;
   }
   const auto idx = x.indices();

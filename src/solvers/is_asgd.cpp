@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "core/numa.hpp"
 #include "sampling/sequence.hpp"
 #include "solvers/async_runner.hpp"
 #include "solvers/importance_weights.hpp"
@@ -18,9 +19,8 @@ Trace run_is_asgd(const sparse::CsrMatrix& data,
                   const objectives::Objective& objective,
                   const SolverOptions& options, const EvalFn& eval,
                   IsAsgdReport* report, TrainingObserver* observer,
-                  util::ThreadPool* pool) {
+                  util::ThreadPool* pool, const core::NumaPolicy* numa) {
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
-  SharedModel model(data.dim());
   TraceRecorder recorder("IS-ASGD", threads,
                          options.step_size, eval, observer);
 
@@ -38,6 +38,20 @@ Trace run_is_asgd(const sparse::CsrMatrix& data,
     diagnostics.phi_imbalance = plan.imbalance();
     if (report) *report = diagnostics;
     if (observer) observer->on_diagnostics(diagnostics);
+  }
+
+  // NUMA placement (inactive on single-node hosts): stripe the model across
+  // the nodes (first-touch from node-pinned threads) and pin each worker to
+  // the node owning its shard, shard→node balanced over the plan's Φ totals
+  // — the workers with the heaviest update traffic sit next to local model
+  // pages. Placement decides page homes only; the arithmetic and every
+  // access path are identical to the flat model.
+  const core::NumaPlacement placement =
+      core::plan_placement(numa, plan.phis(), data.dim());
+  SharedModel model(data.dim(), placement);
+  if (placement.active) {
+    detail::pool_or_default(pool).set_worker_cpus(
+        core::worker_cpu_plan(placement, threads));
   }
 
   // Per-worker: step weight per local slot = 1/(N_tid·p_i) and a streamed
@@ -224,7 +238,7 @@ class IsAsgdSolver final : public Solver {
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
     return run_is_asgd(ctx.data(), ctx.objective, ctx.options, ctx.eval,
-                       /*report=*/nullptr, ctx.observer, ctx.pool);
+                       /*report=*/nullptr, ctx.observer, ctx.pool, ctx.numa);
   }
 };
 

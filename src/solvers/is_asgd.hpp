@@ -24,6 +24,10 @@ namespace isasgd::util {
 class ThreadPool;
 }
 
+namespace isasgd::core {
+class NumaPolicy;
+}
+
 namespace isasgd::solvers {
 
 /// Extra introspection from an IS-ASGD run (strategy actually applied, ρ,
@@ -37,12 +41,17 @@ struct IsAsgdReport {
 /// Runs IS-ASGD. If `report` is non-null it is filled with partition
 /// diagnostics; the same diagnostics are published to `observer` as an
 /// IsAsgdReport through on_diagnostics. Workers come from `pool` (the
-/// process-wide default pool when null).
+/// process-wide default pool when null). `numa` (optional) enables NUMA
+/// model placement: the shared model is striped across the nodes and each
+/// worker is pinned next to the node owning its shard, with shard→node
+/// assignment balanced over the partition's Φ totals. Placement never
+/// changes results — only where the model's pages live.
 Trace run_is_asgd(const sparse::CsrMatrix& data,
                   const objectives::Objective& objective,
                   const SolverOptions& options, const EvalFn& eval,
                   IsAsgdReport* report = nullptr,
                   TrainingObserver* observer = nullptr,
-                  util::ThreadPool* pool = nullptr);
+                  util::ThreadPool* pool = nullptr,
+                  const core::NumaPolicy* numa = nullptr);
 
 }  // namespace isasgd::solvers

@@ -1,29 +1,51 @@
 #include "solvers/model.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace isasgd::solvers {
 
+SharedModel::SharedModel(std::size_t dim, std::size_t lock_stripes)
+    : dim_(dim),
+      w_(std::make_unique_for_overwrite<double[]>(dim)),
+      locks_(lock_stripes == 0 ? 1 : lock_stripes) {
+  if (dim_ > 0) std::memset(w_.get(), 0, dim_ * sizeof(double));
+}
+
+SharedModel::SharedModel(std::size_t dim,
+                         const core::NumaPlacement& placement,
+                         std::size_t lock_stripes)
+    : dim_(dim),
+      w_(std::make_unique_for_overwrite<double[]>(dim)),
+      locks_(lock_stripes == 0 ? 1 : lock_stripes) {
+  if (dim_ == 0) return;
+  if (placement.active && placement.stripes.dim == dim_) {
+    core::first_touch_zero(w_.get(), placement.stripes, placement.topology);
+  } else {
+    std::memset(w_.get(), 0, dim_ * sizeof(double));
+  }
+}
+
 std::vector<double> SharedModel::snapshot() const {
-  std::vector<double> out(w_.size());
-  for (std::size_t j = 0; j < w_.size(); ++j) out[j] = load(j);
+  std::vector<double> out(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) out[j] = load(j);
   return out;
 }
 
 void SharedModel::snapshot_into(std::vector<double>& out) const {
-  out.resize(w_.size());
-  for (std::size_t j = 0; j < w_.size(); ++j) out[j] = load(j);
+  out.resize(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) out[j] = load(j);
 }
 
 void SharedModel::assign(std::span<const double> values) {
-  if (values.size() != w_.size()) {
+  if (values.size() != dim_) {
     throw std::invalid_argument("SharedModel::assign: size mismatch");
   }
-  for (std::size_t j = 0; j < w_.size(); ++j) store(j, values[j]);
+  for (std::size_t j = 0; j < dim_; ++j) store(j, values[j]);
 }
 
 void SharedModel::reset() noexcept {
-  for (std::size_t j = 0; j < w_.size(); ++j) store(j, 0.0);
+  for (std::size_t j = 0; j < dim_; ++j) store(j, 0.0);
 }
 
 std::string update_policy_name(UpdatePolicy p) {

@@ -31,10 +31,12 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
+#include "core/numa.hpp"
 #include "solvers/options.hpp"
 #include "sparse/sparse_vector.hpp"
 #include "util/barrier.hpp"
@@ -67,10 +69,18 @@ class SharedModel {
  public:
   /// `lock_stripes` sizes the spinlock table used by the locked policies
   /// (kLocked always uses stripe 0); it never affects kWild/kAtomic.
-  explicit SharedModel(std::size_t dim, std::size_t lock_stripes = 1024)
-      : w_(dim, 0.0), locks_(lock_stripes == 0 ? 1 : lock_stripes) {}
+  explicit SharedModel(std::size_t dim, std::size_t lock_stripes = 1024);
 
-  [[nodiscard]] std::size_t dim() const noexcept { return w_.size(); }
+  /// NUMA-placed construction: the buffer's pages are first-touch-zeroed in
+  /// the plan's per-node stripes, each from a thread pinned to the owning
+  /// node, so the model's bandwidth is served by every socket. Inactive
+  /// plans behave exactly like the flat constructor. Placement only moves
+  /// pages — the values, layout, and every access path are identical
+  /// (tests/numa_test.cpp pins striped ≡ flat bit identity).
+  SharedModel(std::size_t dim, const core::NumaPlacement& placement,
+              std::size_t lock_stripes = 1024);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
 
   /// Relaxed read of coordinate j.
   [[nodiscard]] double load(std::size_t j) const noexcept {
@@ -98,9 +108,11 @@ class SharedModel {
   ///   * Never mix raw access with kAtomic/kStriped/kLocked phases: those
   ///     disciplines' guarantees (no lost updates / mutual exclusion) only
   ///     hold when every writer goes through add()/update().
-  [[nodiscard]] std::span<double> wild_view() noexcept { return w_; }
+  [[nodiscard]] std::span<double> wild_view() noexcept {
+    return {w_.get(), dim_};
+  }
   [[nodiscard]] std::span<const double> wild_view() const noexcept {
-    return w_;
+    return {w_.get(), dim_};
   }
 
   /// w[j] += delta under the requested discipline.
@@ -198,7 +210,12 @@ class SharedModel {
     return std::atomic_ref<double>(const_cast<double&>(w_[j]));
   }
 
-  std::vector<double> w_;
+  std::size_t dim_;
+  /// Heap array (not std::vector): vector's value-initialising constructor
+  /// would zero — and therefore first-touch-place — every page from the
+  /// constructing thread, defeating the NUMA striping. The uninitialised
+  /// buffer is zeroed by first_touch_zero from per-node threads instead.
+  std::unique_ptr<double[]> w_;
   /// Spinlock stripes, cache-line padded so neighbouring stripes do not
   /// false-share; mutable because locking is not logically a modification.
   mutable std::vector<util::CachePadded<util::Spinlock>> locks_;

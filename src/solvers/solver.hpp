@@ -49,6 +49,10 @@ namespace isasgd::distributed {
 struct ClusterSpec;
 }
 
+namespace isasgd::core {
+class NumaPolicy;
+}
+
 namespace isasgd::solvers {
 
 /// Static facts about a solver, used by sweeps/CLIs to plan runs (e.g. a
@@ -104,6 +108,12 @@ struct SolverContext {
   /// the ExecutionContext. Null ⇒ the default ClusterSpec (a 4-node 10 GbE
   /// cluster); non-simulated solvers ignore it entirely.
   const distributed::ClusterSpec* cluster = nullptr;
+  /// NUMA placement policy (core/numa.hpp), normally the ExecutionContext's
+  /// detected-topology policy. Null or inactive ⇒ flat allocation and no
+  /// worker pinning — the pre-NUMA behaviour. Consulted by the shared-model
+  /// solvers (is_asgd, asgd) to stripe the model across nodes and pin
+  /// workers next to their shards.
+  const core::NumaPolicy* numa = nullptr;
   /// Checkpoint endpoints (snapshot.hpp): resume-from state and/or a
   /// fence-time capture sink. Only consulted by solvers declaring
   /// capabilities().checkpointable; Solver::train rejects hooks on any

@@ -1,0 +1,166 @@
+#include "sparse/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace isasgd::sparse::kernels {
+
+namespace {
+
+// The resolved selection. g_table doubles as the "resolved yet?" flag:
+// null until the first active() call (or an explicit set_backend), then
+// always a valid table. Relaxed loads suffice on the hot path — the table
+// contents are immutable statics, and resolution is release-published.
+std::atomic<const KernelTable*> g_table{nullptr};
+std::atomic<Backend> g_backend{Backend::kScalar};
+std::mutex g_resolve_mu;
+
+bool publish(Backend b) noexcept {
+  const KernelTable* t = table_for(b);
+  if (!t) return false;
+  g_backend.store(b, std::memory_order_relaxed);
+  g_table.store(t, std::memory_order_release);
+  return true;
+}
+
+}  // namespace
+
+std::string backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2: return "avx2";
+    case Backend::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+Backend backend_from_name(const std::string& name) {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "avx512") return Backend::kAvx512;
+  throw std::invalid_argument("backend_from_name: unknown backend '" + name +
+                              "' (expected scalar|avx2|avx512)");
+}
+
+bool compiled(Backend b) noexcept {
+  switch (b) {
+    case Backend::kScalar: return scalar_table() != nullptr;
+    case Backend::kAvx2: return avx2_table() != nullptr;
+    case Backend::kAvx512: return avx512_table() != nullptr;
+  }
+  return false;
+}
+
+bool cpu_supports(Backend b) noexcept {
+  if (b == Backend::kScalar) return true;
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  // GCC/Clang resolve the CPUID probes once at startup; each call here is a
+  // flag test, not a cpuid instruction.
+  switch (b) {
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Backend::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0;
+    default:
+      return false;
+  }
+#else
+  return false;
+#endif
+}
+
+bool available(Backend b) noexcept { return compiled(b) && cpu_supports(b); }
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> out;
+  for (Backend b : {Backend::kScalar, Backend::kAvx2, Backend::kAvx512}) {
+    if (available(b)) out.push_back(b);
+  }
+  return out;
+}
+
+const KernelTable* table_for(Backend b) noexcept {
+  if (!available(b)) return nullptr;
+  switch (b) {
+    case Backend::kScalar: return scalar_table();
+    case Backend::kAvx2: return avx2_table();
+    case Backend::kAvx512: return avx512_table();
+  }
+  return nullptr;
+}
+
+Backend resolve(const char* env_value) noexcept {
+  if (env_value && *env_value) {
+    try {
+      const Backend requested = backend_from_name(env_value);
+      if (available(requested)) return requested;
+      util::log_warn() << "ISASGD_KERNEL_BACKEND=" << env_value
+                       << " requests a backend that is "
+                       << (compiled(requested) ? "not supported by this CPU"
+                                               : "not compiled into this binary")
+                       << "; falling back to automatic selection";
+    } catch (const std::invalid_argument&) {
+      util::log_warn() << "ISASGD_KERNEL_BACKEND='" << env_value
+                       << "' is not a known backend "
+                       << "(scalar|avx2|avx512); falling back to automatic "
+                       << "selection";
+    }
+  }
+#if defined(ISASGD_DISPATCH_NATIVE_PIN)
+  // -DISASGD_NATIVE=ON: the scalar TU carries the -march=native tune; pin
+  // to it (pre-dispatch behaviour) unless the env var chose otherwise.
+  return Backend::kScalar;
+#else
+  // Widest available wins.
+  if (available(Backend::kAvx512)) return Backend::kAvx512;
+  if (available(Backend::kAvx2)) return Backend::kAvx2;
+  return Backend::kScalar;
+#endif
+}
+
+const KernelTable& active() noexcept {
+  const KernelTable* t = g_table.load(std::memory_order_acquire);
+  if (t) return *t;
+  const std::lock_guard<std::mutex> lock(g_resolve_mu);
+  t = g_table.load(std::memory_order_relaxed);
+  if (!t) {
+    publish(resolve(std::getenv("ISASGD_KERNEL_BACKEND")));
+    t = g_table.load(std::memory_order_relaxed);
+  }
+  return *t;
+}
+
+Backend active_backend() noexcept {
+  (void)active();  // force resolution
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+bool set_backend(Backend b) noexcept {
+  const std::lock_guard<std::mutex> lock(g_resolve_mu);
+  return publish(b);
+}
+
+std::string describe() {
+  std::string out = "kernel backend: " + backend_name(active_backend());
+  out += " (";
+  bool first = true;
+  for (Backend b : {Backend::kScalar, Backend::kAvx2, Backend::kAvx512}) {
+    if (!first) out += ", ";
+    first = false;
+    out += backend_name(b);
+    out += compiled(b) ? (cpu_supports(b) ? ": available"
+                                          : ": compiled, cpu unsupported")
+                       : ": not compiled";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace isasgd::sparse::kernels

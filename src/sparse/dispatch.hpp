@@ -1,0 +1,128 @@
+// Runtime kernel-backend dispatch: one binary, the widest vectors the host
+// actually has.
+//
+// The kernel bodies in kernels_body.inc are compiled three times into
+// per-ISA translation units — scalar (the portable baseline tune),
+// AVX2 (kernels_avx2.cpp, -mavx2) and AVX-512 (kernels_avx512.cpp,
+// -mavx512{f,dq,vl,bw}) — and gathered into per-backend KernelTables. At
+// first use the dispatcher picks the widest backend that is (a) compiled
+// into this binary and (b) supported by the running CPU, so a fleet binary
+// built WITHOUT -march=native still runs vector code on vector hardware.
+//
+// Selection order (first match wins):
+//   1. ISASGD_KERNEL_BACKEND=scalar|avx2|avx512 environment variable — the
+//      operator override. An unavailable or unknown value logs a warning
+//      and falls through (it never crashes a fleet binary).
+//   2. The ISASGD_NATIVE build pin: a library configured with
+//      -DISASGD_NATIVE=ON compiles the *scalar* TU with -march=native and
+//      pins dispatch to it — the pre-dispatch behaviour, kept as a
+//      dedicated-box convenience. The env var still overrides.
+//   3. The widest available backend (avx512 ≻ avx2 ≻ scalar).
+//
+// set_backend() re-pins at runtime (the benches' --backend flag).
+//
+// Bit-identity contract: every backend TU is compiled with
+// -ffp-contract=off and the bodies contain no ISA-specific code, so all
+// backends execute the same double arithmetic in the same per-coordinate
+// order — only the registers are wider. Switching backends NEVER changes a
+// result, it only changes how fast the result arrives. micro_kernels
+// --check and tests/dispatch_test.cpp verify bit-identical outputs across
+// every compiled-in backend, so a miscompiled ISA TU fails loudly in CI.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sparse/sparse_vector.hpp"
+
+namespace isasgd::sparse::kernels {
+
+/// The compiled-in kernel backends, narrowest to widest.
+enum class Backend { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+inline constexpr std::size_t kBackendCount = 3;
+
+[[nodiscard]] std::string backend_name(Backend b);
+/// Throws std::invalid_argument naming the valid spellings.
+[[nodiscard]] Backend backend_from_name(const std::string& name);
+
+/// One backend's kernel entry points. Function-pointer signatures mirror
+/// the public API of sparse/kernels.hpp exactly; see that header for the
+/// per-kernel contracts (aliasing, index ordering, arithmetic order).
+struct KernelTable {
+  Backend backend = Backend::kScalar;
+
+  value_t (*sparse_dot)(std::span<const value_t>, SparseVectorView) noexcept =
+      nullptr;
+  void (*sparse_dot_pair)(std::span<const value_t>, std::span<const value_t>,
+                          SparseVectorView, value_t&, value_t&) noexcept =
+      nullptr;
+  void (*sparse_axpy)(std::span<value_t>, value_t, SparseVectorView) noexcept =
+      nullptr;
+  void (*sparse_dot_residual_axpy)(std::span<value_t>, SparseVectorView,
+                                   value_t, value_t, value_t,
+                                   value_t) noexcept = nullptr;
+  void (*scale_then_sparse_axpy)(std::span<value_t>, std::span<const value_t>,
+                                 value_t, value_t, value_t, value_t,
+                                 SparseVectorView) noexcept = nullptr;
+  value_t (*dense_dot)(std::span<const value_t>,
+                       std::span<const value_t>) noexcept = nullptr;
+  void (*dense_axpy)(std::span<value_t>, value_t,
+                     std::span<const value_t>) noexcept = nullptr;
+  void (*dense_scale)(std::span<value_t>, value_t) noexcept = nullptr;
+  value_t (*dense_norm)(std::span<const value_t>) noexcept = nullptr;
+  value_t (*dense_squared_distance)(std::span<const value_t>,
+                                    std::span<const value_t>) noexcept =
+      nullptr;
+  value_t (*dense_l1_norm)(std::span<const value_t>) noexcept = nullptr;
+};
+
+/// True when the backend's TU was compiled with its ISA enabled (CMake
+/// skips the AVX TUs on non-x86 targets and compilers without the flags).
+[[nodiscard]] bool compiled(Backend b) noexcept;
+
+/// True when the running CPU can execute the backend (CPUID probe; scalar
+/// is always true).
+[[nodiscard]] bool cpu_supports(Backend b) noexcept;
+
+/// compiled(b) && cpu_supports(b) — selectable on this host.
+[[nodiscard]] bool available(Backend b) noexcept;
+
+/// Every selectable backend, narrowest first (always contains kScalar).
+[[nodiscard]] std::vector<Backend> available_backends();
+
+/// The backend's kernel table, or nullptr unless available(b). The pointer
+/// is valid for the process lifetime — benches and the parity tests call
+/// specific backends directly through it, bypassing the active selection.
+[[nodiscard]] const KernelTable* table_for(Backend b) noexcept;
+
+/// The active kernel table — what every public kernels.hpp entry point and
+/// every solver hot loop routes through. Resolved once on first use (env
+/// var → native pin → widest available) and stable until set_backend().
+[[nodiscard]] const KernelTable& active() noexcept;
+
+/// The backend active() currently resolves to.
+[[nodiscard]] Backend active_backend() noexcept;
+
+/// Re-pins dispatch to `b`. Returns false (and changes nothing) unless
+/// available(b). Not intended to be raced against in-flight training —
+/// callers (benches, tests, startup code) switch between runs.
+bool set_backend(Backend b) noexcept;
+
+/// Pure resolution rule: the backend a fresh process would pick given this
+/// ISASGD_KERNEL_BACKEND value (null/empty ⇒ no override). Exposed so the
+/// env-override logic is unit-testable without mutating the environment.
+[[nodiscard]] Backend resolve(const char* env_value) noexcept;
+
+/// Human-readable one-liner for logs and kernel_info: active backend plus
+/// the compiled/supported matrix.
+[[nodiscard]] std::string describe();
+
+// Per-TU table factories (internal wiring; nullptr when the TU was
+// compiled without its ISA). Use table_for() instead.
+[[nodiscard]] const KernelTable* scalar_table() noexcept;
+[[nodiscard]] const KernelTable* avx2_table() noexcept;
+[[nodiscard]] const KernelTable* avx512_table() noexcept;
+
+}  // namespace isasgd::sparse::kernels

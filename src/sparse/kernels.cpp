@@ -1,224 +1,68 @@
+// Public kernel entry points: thin forwarders through the runtime-dispatched
+// backend table. The implementations live in kernels_body.inc, compiled once
+// per ISA backend (see dispatch.hpp); kernels::active() resolves the widest
+// available backend on first use. Hot loops that issue many kernel calls in
+// a row (solvers, benches) should hoist `const auto& k = kernels::active()`
+// and call through the table directly to skip the per-call atomic load.
 #include "sparse/kernels.hpp"
 
-#include <cassert>
-#include <cmath>
-#include <cstddef>
+#include "sparse/dispatch.hpp"
 
 namespace isasgd::sparse {
 
-namespace {
-
-// Regularizer-subgradient functors, one per Regularization kind. The fused
-// kernels dispatch ONCE per call to a loop specialised on the kind, so the
-// none/L2 hot paths stay branch-free and vectorizable while each expression
-// reproduces Regularization::subgradient bit for bit (including kNone's
-// literal `+ 0.0`, which is part of the reference arithmetic — x + 0.0
-// flips -0.0 to +0.0 and must not be folded away).
-struct SubNone {
-  value_t operator()(value_t) const noexcept { return 0.0; }
-};
-struct SubL2 {
-  value_t eta;
-  value_t operator()(value_t v) const noexcept { return eta * v; }
-};
-struct SubL1 {
-  value_t eta;
-  value_t operator()(value_t v) const noexcept {
-    return v > 0 ? eta : (v < 0 ? -eta : 0.0);
-  }
-};
-
-template <class SubFn>
-inline void residual_axpy_impl(value_t* ISASGD_RESTRICT pw,
-                               const index_t* ISASGD_RESTRICT idx,
-                               const value_t* ISASGD_RESTRICT val,
-                               std::size_t nnz, value_t step, value_t g,
-                               SubFn sub) noexcept {
-  for (std::size_t k = 0; k < nnz; ++k) {
-    const std::size_t c = idx[k];
-    const value_t wc = pw[c];
-    pw[c] = wc - step * (g * val[k] + sub(wc));
-  }
-}
-
-template <class SubFn>
-inline void fused_vr_step_impl(value_t* ISASGD_RESTRICT pw,
-                               const value_t* ISASGD_RESTRICT pmu,
-                               std::size_t d,
-                               const index_t* ISASGD_RESTRICT idx,
-                               const value_t* ISASGD_RESTRICT val,
-                               std::size_t nnz, value_t step,
-                               value_t corr_step, SubFn sub) noexcept {
-  // Segment the dense pass by the (strictly increasing) support: the runs
-  // between support coordinates are branch-free and vectorize; only the nnz
-  // support coordinates take the combined sparse+dense update.
-  auto dense_run = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t j = begin; j < end; ++j) {
-      const value_t wj = pw[j];
-      pw[j] = wj - step * (pmu[j] + sub(wj));
-    }
-  };
-  std::size_t prev = 0;
-  for (std::size_t k = 0; k < nnz; ++k) {
-    const std::size_t j = idx[k];
-    dense_run(prev, j);
-    value_t wj = pw[j] - corr_step * val[k];
-    pw[j] = wj - step * (pmu[j] + sub(wj));
-    prev = j + 1;
-  }
-  dense_run(prev, d);
-}
-
-}  // namespace
-
 value_t sparse_dot(std::span<const value_t> w, SparseVectorView x) noexcept {
-  const index_t* ISASGD_RESTRICT idx = x.indices().data();
-  const value_t* ISASGD_RESTRICT val = x.values().data();
-  const std::size_t nnz = x.nnz();
-  value_t acc = 0;
-  for (std::size_t k = 0; k < nnz; ++k) {
-    acc += w[idx[k]] * val[k];
-  }
-  return acc;
+  return kernels::active().sparse_dot(w, x);
 }
 
 void sparse_dot_pair(std::span<const value_t> w, std::span<const value_t> s,
                      SparseVectorView x, value_t& dot_w,
                      value_t& dot_s) noexcept {
-  const index_t* ISASGD_RESTRICT idx = x.indices().data();
-  const value_t* ISASGD_RESTRICT val = x.values().data();
-  const std::size_t nnz = x.nnz();
-  value_t acc_w = 0, acc_s = 0;
-  for (std::size_t k = 0; k < nnz; ++k) {
-    const std::size_t j = idx[k];
-    const value_t v = val[k];
-    acc_w += w[j] * v;
-    acc_s += s[j] * v;
-  }
-  dot_w = acc_w;
-  dot_s = acc_s;
+  kernels::active().sparse_dot_pair(w, s, x, dot_w, dot_s);
 }
 
 void sparse_axpy(std::span<value_t> w, value_t alpha,
                  SparseVectorView x) noexcept {
-  const index_t* ISASGD_RESTRICT idx = x.indices().data();
-  const value_t* ISASGD_RESTRICT val = x.values().data();
-  const std::size_t nnz = x.nnz();
-  for (std::size_t k = 0; k < nnz; ++k) {
-    w[idx[k]] += alpha * val[k];
-  }
+  kernels::active().sparse_axpy(w, alpha, x);
 }
 
 void sparse_dot_residual_axpy(std::span<value_t> w, SparseVectorView x,
                               value_t step, value_t g, value_t eta_l1,
                               value_t eta_l2) noexcept {
-  value_t* pw = w.data();
-  const index_t* idx = x.indices().data();
-  const value_t* val = x.values().data();
-  const std::size_t nnz = x.nnz();
-  if (eta_l1 != 0.0) {
-    residual_axpy_impl(pw, idx, val, nnz, step, g, SubL1{eta_l1});
-  } else if (eta_l2 != 0.0) {
-    residual_axpy_impl(pw, idx, val, nnz, step, g, SubL2{eta_l2});
-  } else {
-    residual_axpy_impl(pw, idx, val, nnz, step, g, SubNone{});
-  }
+  kernels::active().sparse_dot_residual_axpy(w, x, step, g, eta_l1, eta_l2);
 }
 
 void scale_then_sparse_axpy(std::span<value_t> w, std::span<const value_t> mu,
                             value_t step, value_t eta_l1, value_t eta_l2,
                             value_t corr_step, SparseVectorView x) noexcept {
-  assert(w.size() == mu.size());
-  value_t* pw = w.data();
-  const value_t* pmu = mu.data();
-  const index_t* idx = x.indices().data();
-  const value_t* val = x.values().data();
-  const std::size_t d = w.size();
-  const std::size_t nnz = x.nnz();
-  if (eta_l1 != 0.0) {
-    fused_vr_step_impl(pw, pmu, d, idx, val, nnz, step, corr_step,
-                       SubL1{eta_l1});
-  } else if (eta_l2 != 0.0) {
-    fused_vr_step_impl(pw, pmu, d, idx, val, nnz, step, corr_step,
-                       SubL2{eta_l2});
-  } else {
-    fused_vr_step_impl(pw, pmu, d, idx, val, nnz, step, corr_step,
-                       SubNone{});
-  }
+  kernels::active().scale_then_sparse_axpy(w, mu, step, eta_l1, eta_l2,
+                                           corr_step, x);
 }
 
 value_t dense_dot(std::span<const value_t> a,
                   std::span<const value_t> b) noexcept {
-  assert(a.size() == b.size());
-  // Four independent accumulators break the loop-carried FP add dependence
-  // (the scalar chain is latency-bound, not bandwidth-bound) and give the
-  // vectorizer clean 4-lane reductions without -ffast-math.
-  const value_t* pa = a.data();
-  const value_t* pb = b.data();
-  const std::size_t n = a.size();
-  value_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
-  std::size_t j = 0;
-  for (; j + 4 <= n; j += 4) {
-    acc0 += pa[j] * pb[j];
-    acc1 += pa[j + 1] * pb[j + 1];
-    acc2 += pa[j + 2] * pb[j + 2];
-    acc3 += pa[j + 3] * pb[j + 3];
-  }
-  for (; j < n; ++j) acc0 += pa[j] * pb[j];
-  return (acc0 + acc1) + (acc2 + acc3);
+  return kernels::active().dense_dot(a, b);
 }
 
 void dense_axpy(std::span<value_t> a, value_t alpha,
                 std::span<const value_t> b) noexcept {
-  assert(a.size() == b.size());
-  value_t* ISASGD_RESTRICT pa = a.data();
-  const value_t* ISASGD_RESTRICT pb = b.data();
-  const std::size_t n = a.size();
-  for (std::size_t j = 0; j < n; ++j) pa[j] += alpha * pb[j];
+  kernels::active().dense_axpy(a, alpha, b);
 }
 
 void dense_scale(std::span<value_t> a, value_t alpha) noexcept {
-  value_t* ISASGD_RESTRICT pa = a.data();
-  const std::size_t n = a.size();
-  for (std::size_t j = 0; j < n; ++j) pa[j] *= alpha;
+  kernels::active().dense_scale(a, alpha);
 }
 
 value_t dense_norm(std::span<const value_t> a) noexcept {
-  return std::sqrt(dense_dot(a, a));
+  return kernels::active().dense_norm(a);
 }
 
 value_t dense_squared_distance(std::span<const value_t> a,
                                std::span<const value_t> b) noexcept {
-  assert(a.size() == b.size());
-  const value_t* pa = a.data();
-  const value_t* pb = b.data();
-  const std::size_t n = a.size();
-  value_t acc0 = 0, acc1 = 0;
-  std::size_t j = 0;
-  for (; j + 2 <= n; j += 2) {
-    const value_t d0 = pa[j] - pb[j];
-    const value_t d1 = pa[j + 1] - pb[j + 1];
-    acc0 += d0 * d0;
-    acc1 += d1 * d1;
-  }
-  if (j < n) {
-    const value_t d0 = pa[j] - pb[j];
-    acc0 += d0 * d0;
-  }
-  return acc0 + acc1;
+  return kernels::active().dense_squared_distance(a, b);
 }
 
 value_t dense_l1_norm(std::span<const value_t> a) noexcept {
-  const value_t* pa = a.data();
-  const std::size_t n = a.size();
-  value_t acc0 = 0, acc1 = 0;
-  std::size_t j = 0;
-  for (; j + 2 <= n; j += 2) {
-    acc0 += std::abs(pa[j]);
-    acc1 += std::abs(pa[j + 1]);
-  }
-  if (j < n) acc0 += std::abs(pa[j]);
-  return acc0 + acc1;
+  return kernels::active().dense_l1_norm(a);
 }
 
 }  // namespace isasgd::sparse

@@ -30,6 +30,16 @@ void pin_to_cpu(std::size_t wid) {
   // must not take the pool down.
   (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
 }
+
+/// Best-effort pin of an arbitrary live thread (set_worker_cpus re-pins
+/// already-running workers through their native handles).
+void pin_handle_to_cpu(pthread_t handle, int cpu) {
+  if (cpu < 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  (void)pthread_setaffinity_np(handle, sizeof(set), &set);
+}
 #endif
 
 }  // namespace
@@ -78,6 +88,14 @@ void ThreadPool::ensure_workers_locked(std::size_t want) {
     // its "already seen" watermark.
     workers_.emplace_back(&ThreadPool::worker_main, this, wid, job_id_);
     spawned_.fetch_add(1, std::memory_order_relaxed);
+#if defined(__linux__)
+    // A standing pin plan applies to late-spawned workers too. Pinning the
+    // handle here (after the worker's own optional pin_cpus self-pin could
+    // run) keeps the explicit plan authoritative.
+    if (wid < worker_cpus_.size()) {
+      pin_handle_to_cpu(workers_.back().native_handle(), worker_cpus_[wid]);
+    }
+#endif
   }
 }
 
@@ -116,6 +134,22 @@ void ThreadPool::reserve(std::size_t team) {
   if (team <= 1) return;
   const std::lock_guard<std::mutex> lock(mu_);
   ensure_workers_locked(std::min(team, max_workers_));
+}
+
+void ThreadPool::set_worker_cpus(std::vector<int> cpus) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  worker_cpus_ = std::move(cpus);
+#if defined(__linux__)
+  for (std::size_t w = 0; w < workers_.size() && w < worker_cpus_.size();
+       ++w) {
+    pin_handle_to_cpu(workers_[w].native_handle(), worker_cpus_[w]);
+  }
+#endif
+}
+
+std::vector<int> ThreadPool::worker_cpus() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return worker_cpus_;
 }
 
 void ThreadPool::run(std::size_t team,

@@ -91,6 +91,17 @@ class ThreadPool {
   /// window.
   void reserve(std::size_t team);
 
+  /// Installs an explicit per-worker CPU pin plan — the NUMA placement
+  /// hook (core::worker_cpu_plan): cpus[w] is the CPU for worker w, -1
+  /// leaves that worker unpinned. Applied immediately to live workers (via
+  /// their native handles) and at spawn time to future ones; takes
+  /// precedence over the Options::pin_cpus modular default. Best-effort
+  /// and Linux-only, like pin_cpus. An empty vector clears the plan.
+  void set_worker_cpus(std::vector<int> cpus);
+
+  /// The installed pin plan (empty when none). Diagnostics/tests.
+  [[nodiscard]] std::vector<int> worker_cpus() const;
+
   /// Workers currently alive (== threads_spawned(): workers are never
   /// respawned or retired while the pool lives).
   [[nodiscard]] std::size_t capacity() const;
@@ -160,6 +171,8 @@ class ThreadPool {
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::vector<std::thread> workers_;
+  /// Per-worker CPU pin plan (see set_worker_cpus); guarded by mu_.
+  std::vector<int> worker_cpus_;
   std::uint64_t job_id_ = 0;  // bumped per dispatched job
   Job job_;
   bool shutdown_ = false;

@@ -1,0 +1,256 @@
+// Runtime kernel-backend dispatch: detection sanity, the env-override
+// resolution rule, and — the load-bearing contract — bit-identical results
+// from every compiled-in backend on randomized sparse inputs, all the way
+// up to registry-wide solver parity (same final model bytes under every
+// backend).
+//
+// On a host where only the scalar backend is available the cross-backend
+// loops degenerate to zero comparisons; CI's vector-capable runners give
+// them teeth.
+#include "sparse/dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "objectives/logistic.hpp"
+#include "solvers/solver.hpp"
+#include "sparse/kernels.hpp"
+#include "sparse/sparse_vector.hpp"
+#include "util/rng.hpp"
+
+namespace isasgd::sparse {
+namespace {
+
+namespace k = kernels;
+
+/// Restores the ambient backend selection after a test that re-pins it.
+struct BackendGuard {
+  k::Backend previous = k::active_backend();
+  ~BackendGuard() { k::set_backend(previous); }
+};
+
+std::vector<value_t> random_vector(std::size_t d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<value_t> v(d);
+  for (auto& x : v) x = util::normal_double(rng);
+  return v;
+}
+
+SparseVector random_row(std::size_t d, std::size_t nnz, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<index_t> idx;
+  while (idx.size() < nnz) {
+    const auto j = static_cast<index_t>(util::uniform_index(rng, d));
+    if (std::find(idx.begin(), idx.end(), j) == idx.end()) idx.push_back(j);
+  }
+  std::sort(idx.begin(), idx.end());
+  std::vector<value_t> val(nnz);
+  for (auto& v : val) v = util::normal_double(rng);
+  return SparseVector(std::move(idx), std::move(val));
+}
+
+TEST(Dispatch, ScalarIsAlwaysAvailable) {
+  EXPECT_TRUE(k::compiled(k::Backend::kScalar));
+  EXPECT_TRUE(k::cpu_supports(k::Backend::kScalar));
+  EXPECT_TRUE(k::available(k::Backend::kScalar));
+  const auto menu = k::available_backends();
+  ASSERT_FALSE(menu.empty());
+  EXPECT_EQ(menu.front(), k::Backend::kScalar);
+}
+
+TEST(Dispatch, TablesAreSelfConsistent) {
+  for (const k::Backend b : k::available_backends()) {
+    const k::KernelTable* table = k::table_for(b);
+    ASSERT_NE(table, nullptr) << k::backend_name(b);
+    EXPECT_EQ(table->backend, b);
+    // Every entry point must be populated — a null slot would be a
+    // mis-assembled table that crashes mid-training.
+    EXPECT_NE(table->sparse_dot, nullptr);
+    EXPECT_NE(table->sparse_dot_pair, nullptr);
+    EXPECT_NE(table->sparse_axpy, nullptr);
+    EXPECT_NE(table->sparse_dot_residual_axpy, nullptr);
+    EXPECT_NE(table->scale_then_sparse_axpy, nullptr);
+    EXPECT_NE(table->dense_dot, nullptr);
+    EXPECT_NE(table->dense_axpy, nullptr);
+    EXPECT_NE(table->dense_scale, nullptr);
+    EXPECT_NE(table->dense_norm, nullptr);
+    EXPECT_NE(table->dense_squared_distance, nullptr);
+    EXPECT_NE(table->dense_l1_norm, nullptr);
+  }
+  // A CPU-unsupported or uncompiled backend is never offered.
+  for (const k::Backend b :
+       {k::Backend::kScalar, k::Backend::kAvx2, k::Backend::kAvx512}) {
+    if (!k::available(b)) {
+      EXPECT_EQ(k::table_for(b), nullptr);
+    }
+  }
+}
+
+TEST(Dispatch, NamesRoundTrip) {
+  for (const k::Backend b :
+       {k::Backend::kScalar, k::Backend::kAvx2, k::Backend::kAvx512}) {
+    EXPECT_EQ(k::backend_from_name(k::backend_name(b)), b);
+  }
+  EXPECT_THROW((void)k::backend_from_name("sse9"), std::invalid_argument);
+  EXPECT_THROW((void)k::backend_from_name(""), std::invalid_argument);
+}
+
+TEST(Dispatch, ResolveHonoursEnvOverride) {
+  // A valid, available name wins outright.
+  for (const k::Backend b : k::available_backends()) {
+    EXPECT_EQ(k::resolve(k::backend_name(b).c_str()), b);
+  }
+  // Garbage, empty, and null fall through to automatic selection, which
+  // must itself land on an available backend.
+  const k::Backend automatic = k::resolve(nullptr);
+  EXPECT_TRUE(k::available(automatic));
+  EXPECT_EQ(k::resolve(""), automatic);
+  EXPECT_EQ(k::resolve("not-a-backend"), automatic);
+  // A known but unavailable name also falls through.
+  for (const k::Backend b : {k::Backend::kAvx2, k::Backend::kAvx512}) {
+    if (!k::available(b)) {
+      EXPECT_EQ(k::resolve(k::backend_name(b).c_str()), automatic);
+    }
+  }
+}
+
+TEST(Dispatch, SetBackendRePinsAndRejectsUnavailable) {
+  const BackendGuard guard;
+  for (const k::Backend b : k::available_backends()) {
+    EXPECT_TRUE(k::set_backend(b));
+    EXPECT_EQ(k::active_backend(), b);
+    EXPECT_EQ(k::active().backend, b);
+  }
+  for (const k::Backend b : {k::Backend::kAvx2, k::Backend::kAvx512}) {
+    if (k::available(b)) continue;
+    const k::Backend before = k::active_backend();
+    EXPECT_FALSE(k::set_backend(b));
+    EXPECT_EQ(k::active_backend(), before);  // unchanged on refusal
+  }
+}
+
+// ---- Bit-identity across backends ----------------------------------------
+// The whole dispatch contract: every backend executes the same double
+// arithmetic, so outputs are EXPECT_EQ-equal, not approximately equal.
+
+TEST(DispatchParity, AllKernelsBitIdenticalToScalar) {
+  const k::KernelTable& scalar = *k::table_for(k::Backend::kScalar);
+  const std::size_t d = 1337;  // odd: exercises every unroll remainder
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    const auto w0 = random_vector(d, 100 + trial);
+    const auto s0 = random_vector(d, 200 + trial);
+    const SparseVector x =
+        random_row(d, 3 + static_cast<std::size_t>(trial) * 17, 300 + trial);
+    for (const k::Backend b : k::available_backends()) {
+      if (b == k::Backend::kScalar) continue;
+      const k::KernelTable& t = *k::table_for(b);
+      const std::string tag =
+          k::backend_name(b) + " trial " + std::to_string(trial);
+
+      EXPECT_EQ(t.sparse_dot(w0, x.view()), scalar.sparse_dot(w0, x.view()))
+          << tag;
+      value_t aw = 0, as = 0, bw = 0, bs = 0;
+      scalar.sparse_dot_pair(w0, s0, x.view(), aw, as);
+      t.sparse_dot_pair(w0, s0, x.view(), bw, bs);
+      EXPECT_EQ(aw, bw) << tag;
+      EXPECT_EQ(as, bs) << tag;
+      EXPECT_EQ(t.dense_dot(w0, s0), scalar.dense_dot(w0, s0)) << tag;
+      EXPECT_EQ(t.dense_norm(w0), scalar.dense_norm(w0)) << tag;
+      EXPECT_EQ(t.dense_squared_distance(w0, s0),
+                scalar.dense_squared_distance(w0, s0))
+          << tag;
+      EXPECT_EQ(t.dense_l1_norm(w0), scalar.dense_l1_norm(w0)) << tag;
+
+      // Mutating kernels: run both backends from identical state, compare
+      // every coordinate.
+      auto a = w0, c = w0;
+      scalar.sparse_axpy(a, 0.37, x.view());
+      t.sparse_axpy(c, 0.37, x.view());
+      EXPECT_EQ(a, c) << tag;
+
+      a = w0, c = w0;
+      scalar.dense_axpy(a, -1.25, s0);
+      t.dense_axpy(c, -1.25, s0);
+      EXPECT_EQ(a, c) << tag;
+
+      a = w0, c = w0;
+      scalar.dense_scale(a, 0.99);
+      t.dense_scale(c, 0.99);
+      EXPECT_EQ(a, c) << tag;
+
+      // Fused SGD step, all three regularizer kinds (none / L2 / L1).
+      for (const auto& [l1, l2] :
+           {std::pair{0.0, 0.0}, {0.0, 1e-3}, {1e-4, 0.0}}) {
+        a = w0, c = w0;
+        scalar.sparse_dot_residual_axpy(a, x.view(), 0.05, 0.8, l1, l2);
+        t.sparse_dot_residual_axpy(c, x.view(), 0.05, 0.8, l1, l2);
+        EXPECT_EQ(a, c) << tag << " l1=" << l1 << " l2=" << l2;
+      }
+      // Fused SVRG step, same regularizer sweep.
+      for (const auto& [l1, l2] :
+           {std::pair{0.0, 0.0}, {0.0, 1e-3}, {1e-4, 0.0}}) {
+        a = w0, c = w0;
+        scalar.scale_then_sparse_axpy(a, s0, 0.05, l1, l2, 0.02, x.view());
+        t.scale_then_sparse_axpy(c, s0, 0.05, l1, l2, 0.02, x.view());
+        EXPECT_EQ(a, c) << tag << " l1=" << l1 << " l2=" << l2;
+      }
+    }
+  }
+}
+
+// ---- Registry-wide solver parity ------------------------------------------
+// Every registered solver, trained serially under each available backend,
+// must produce byte-identical final models: the backends are
+// interchangeable all the way up the stack, not just kernel by kernel.
+
+TEST(DispatchParity, EverySolverProducesIdenticalModelsUnderEveryBackend) {
+  const auto menu = k::available_backends();
+  if (menu.size() < 2) GTEST_SKIP() << "only one backend available here";
+
+  data::SyntheticSpec spec;
+  spec.rows = 200;
+  spec.dim = 80;
+  spec.mean_row_nnz = 6;
+  spec.seed = 11;
+  const auto data = data::generate(spec);
+  objectives::LogisticLoss loss;
+  const core::Trainer trainer = core::TrainerBuilder()
+                                    .data(data)
+                                    .objective(loss)
+                                    .l2(1e-3)
+                                    .eval_threads(1)
+                                    .build();
+  solvers::SolverOptions opt;
+  opt.epochs = 2;
+  opt.step_size = 0.2;
+  opt.seed = 99;
+  opt.threads = 1;  // serial: async solvers become deterministic
+  opt.keep_final_model = true;
+
+  const BackendGuard guard;
+  const auto& registry = solvers::SolverRegistry::instance();
+  for (const std::string& name : registry.list()) {
+    ASSERT_TRUE(k::set_backend(k::Backend::kScalar));
+    const auto reference = trainer.train(name, opt);
+    for (const k::Backend b : menu) {
+      if (b == k::Backend::kScalar) continue;
+      ASSERT_TRUE(k::set_backend(b));
+      const auto candidate = trainer.train(name, opt);
+      ASSERT_EQ(reference.final_model.size(), candidate.final_model.size())
+          << name << " under " << k::backend_name(b);
+      for (std::size_t j = 0; j < reference.final_model.size(); ++j) {
+        ASSERT_EQ(reference.final_model[j], candidate.final_model[j])
+            << name << " under " << k::backend_name(b) << " coordinate " << j;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isasgd::sparse

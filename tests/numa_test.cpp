@@ -1,0 +1,264 @@
+// NUMA placement layer: cpulist parsing, topology detection, stripe-map
+// geometry, LPT shard→node balance, the striped SharedModel's bit identity
+// with the flat one, and worker pinning through the ThreadPool.
+//
+// The logic is exercised against fake multi-node topologies — the machines
+// this suite usually runs on have one node, where placement is by design
+// inactive (and the pinning tests only assert best-effort behaviour).
+#include "core/numa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "objectives/logistic.hpp"
+#include "solvers/model.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace isasgd::core {
+namespace {
+
+/// A fake 2-node box: node0 owns CPUs {0,1}, node1 owns {2,3}.
+NumaTopology fake_two_node() {
+  NumaTopology topo;
+  topo.nodes.push_back(NumaNode{0, {0, 1}});
+  topo.nodes.push_back(NumaNode{1, {2, 3}});
+  return topo;
+}
+
+TEST(Cpulist, ParsesRangesAndSingles) {
+  EXPECT_EQ(parse_cpulist("0-3,8,10-11\n"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(parse_cpulist("5"), (std::vector<int>{5}));
+  EXPECT_EQ(parse_cpulist(""), (std::vector<int>{}));
+  EXPECT_EQ(parse_cpulist("  2-2 , 0 \n"), (std::vector<int>{0, 2}));
+  // Malformed chunks are skipped, valid ones kept, duplicates collapsed.
+  EXPECT_EQ(parse_cpulist("garbage,3,3-4"), (std::vector<int>{3, 4}));
+}
+
+TEST(Topology, DetectFindsAtLeastOneNodeWithCpus) {
+  const NumaTopology topo = NumaTopology::detect();
+  ASSERT_GE(topo.node_count(), 1u);
+  for (const NumaNode& node : topo.nodes) {
+    EXPECT_FALSE(node.cpus.empty()) << "node" << node.id;
+  }
+  EXPECT_GE(topo.total_cpus(), 1u);
+}
+
+TEST(Topology, SingleNodeFallbackShape) {
+  const NumaTopology topo = NumaTopology::single_node(4);
+  ASSERT_EQ(topo.node_count(), 1u);
+  EXPECT_FALSE(topo.multi_node());
+  EXPECT_EQ(topo.nodes[0].cpus, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Policy, AutoActivatesOnlyMultiNode) {
+  const NumaPolicy auto_single{NumaOptions{}, NumaTopology::single_node(4)};
+  EXPECT_FALSE(auto_single.active());
+  const NumaPolicy auto_multi{NumaOptions{}, fake_two_node()};
+  EXPECT_TRUE(auto_multi.active());
+  const NumaPolicy off{NumaOptions{NumaOptions::Mode::kOff},
+                       fake_two_node()};
+  EXPECT_FALSE(off.active());
+  const NumaPolicy on{NumaOptions{NumaOptions::Mode::kOn},
+                      NumaTopology::single_node(1)};
+  EXPECT_TRUE(on.active());
+}
+
+TEST(Stripes, CoverDimContiguouslyWithPageAlignedBoundaries) {
+  for (const std::size_t dim : {std::size_t{1} << 20, std::size_t{100000},
+                                std::size_t{513}, std::size_t{512},
+                                std::size_t{7}}) {
+    for (const std::size_t nodes : {1u, 2u, 3u, 8u}) {
+      const StripeMap map = StripeMap::build(dim, nodes);
+      ASSERT_EQ(map.stripes.size(), nodes);
+      std::size_t expect_begin = 0;
+      for (std::size_t n = 0; n < nodes; ++n) {
+        const Stripe& s = map.stripes[n];
+        EXPECT_EQ(s.begin, expect_begin) << dim << "/" << nodes;
+        EXPECT_LE(s.begin, s.end);
+        // Interior boundaries land on page quanta; only dim may truncate.
+        if (s.end != dim) {
+          EXPECT_EQ(s.end % kStripeAlign, 0u);
+        }
+        EXPECT_EQ(s.node, static_cast<int>(n));
+        expect_begin = s.end;
+      }
+      EXPECT_EQ(map.stripes.back().end, dim);
+      // node_of agrees with the stripe table at the boundaries.
+      for (const Stripe& s : map.stripes) {
+        if (s.begin < s.end) {
+          EXPECT_EQ(map.node_of(s.begin), s.node);
+          EXPECT_EQ(map.node_of(s.end - 1), s.node);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(StripeMap::build(0, 4).stripes.size(), 4u);
+}
+
+TEST(Lpt, BalancesKnownCase) {
+  // Φ = {1,2,3,4} over two nodes: LPT yields loads {4+1, 3+2} = {5, 5}.
+  const std::vector<double> phis = {1, 2, 3, 4};
+  const std::vector<int> assign = assign_shards_to_nodes(phis, 2);
+  ASSERT_EQ(assign.size(), 4u);
+  std::vector<double> load(2, 0.0);
+  for (std::size_t s = 0; s < phis.size(); ++s) {
+    ASSERT_GE(assign[s], 0);
+    ASSERT_LT(assign[s], 2);
+    load[static_cast<std::size_t>(assign[s])] += phis[s];
+  }
+  EXPECT_DOUBLE_EQ(load[0], 5.0);
+  EXPECT_DOUBLE_EQ(load[1], 5.0);
+}
+
+TEST(Lpt, SkewedMassStaysBounded) {
+  util::Rng rng(42);
+  std::vector<double> phis(64);
+  for (auto& p : phis) p = 1.0 + 10.0 * util::uniform_double(rng);
+  const std::size_t nodes = 4;
+  const std::vector<int> assign = assign_shards_to_nodes(phis, nodes);
+  std::vector<double> load(nodes, 0.0);
+  for (std::size_t s = 0; s < phis.size(); ++s) {
+    load[static_cast<std::size_t>(assign[s])] += phis[s];
+  }
+  const double total = std::accumulate(phis.begin(), phis.end(), 0.0);
+  const double mean = total / static_cast<double>(nodes);
+  // LPT guarantees ≤ 4/3·OPT; with 64 shards over 4 nodes it lands far
+  // closer, but assert only the hard bound.
+  for (const double l : load) EXPECT_LE(l, mean * 4.0 / 3.0 + 1e-9);
+  EXPECT_EQ(assign_shards_to_nodes({}, 4), std::vector<int>{});
+}
+
+TEST(Placement, InactiveWithoutPolicyOrOnSingleNodeAuto) {
+  EXPECT_FALSE(plan_placement(nullptr, {}, 100).active);
+  const NumaPolicy single{NumaOptions{}, NumaTopology::single_node(2)};
+  EXPECT_FALSE(plan_placement(&single, {}, 100).active);
+  const NumaPolicy off{NumaOptions{NumaOptions::Mode::kOff}, fake_two_node()};
+  EXPECT_FALSE(plan_placement(&off, {}, 100).active);
+}
+
+TEST(Placement, ActivePlanHasConsistentMaps) {
+  const NumaPolicy policy{NumaOptions{}, fake_two_node()};
+  const std::vector<double> phis = {3.0, 1.0, 2.0, 2.0};
+  const NumaPlacement plan = plan_placement(&policy, phis, 4096);
+  ASSERT_TRUE(plan.active);
+  EXPECT_EQ(plan.stripes.dim, 4096u);
+  EXPECT_EQ(plan.stripes.stripes.size(), 2u);
+  ASSERT_EQ(plan.shard_nodes.size(), 4u);
+  // Both nodes get work under this mass profile.
+  EXPECT_NE(plan.shard_nodes[0], plan.shard_nodes[2]);
+  EXPECT_FALSE(plan.describe().empty());
+}
+
+TEST(Placement, WorkerCpuPlanPinsToOwningNode) {
+  const NumaPolicy policy{NumaOptions{}, fake_two_node()};
+  const std::vector<double> phis = {1.0, 1.0, 1.0, 1.0};
+  const NumaPlacement plan = plan_placement(&policy, phis, 1 << 14);
+  const std::vector<int> cpus = worker_cpu_plan(plan, 4);
+  ASSERT_EQ(cpus.size(), 4u);
+  for (std::size_t t = 0; t < 4; ++t) {
+    const auto node =
+        static_cast<std::size_t>(plan.shard_nodes[t]);
+    const auto& owned = plan.topology.nodes[node].cpus;
+    EXPECT_NE(std::find(owned.begin(), owned.end(), cpus[t]), owned.end())
+        << "worker " << t;
+  }
+  // Inactive plan: no pins.
+  EXPECT_TRUE(worker_cpu_plan(NumaPlacement{}, 4).empty());
+}
+
+TEST(StripedModel, BitIdenticalToFlatModel) {
+  const std::size_t dim = 3000;  // spans two stripes of the fake topology
+  const NumaPolicy policy{NumaOptions{NumaOptions::Mode::kOn},
+                          fake_two_node()};
+  const NumaPlacement plan =
+      plan_placement(&policy, std::vector<double>{1.0, 1.0}, dim);
+  ASSERT_TRUE(plan.active);
+
+  solvers::SharedModel flat(dim);
+  solvers::SharedModel striped(dim, plan);
+  ASSERT_EQ(striped.dim(), dim);
+  // Both start zeroed.
+  for (std::size_t j = 0; j < dim; ++j) {
+    ASSERT_EQ(striped.load(j), 0.0) << j;
+  }
+  // Same update stream → same bytes, through every access path.
+  util::Rng rng(7);
+  for (int step = 0; step < 2000; ++step) {
+    const std::size_t j = util::uniform_index(rng, dim);
+    const double delta = util::normal_double(rng);
+    flat.add(j, delta, solvers::UpdatePolicy::kWild);
+    striped.add(j, delta, solvers::UpdatePolicy::kWild);
+  }
+  const auto a = flat.wild_view();
+  const auto b = striped.wild_view();
+  for (std::size_t j = 0; j < dim; ++j) EXPECT_EQ(a[j], b[j]) << j;
+}
+
+TEST(ThreadPoolPinning, SetWorkerCpusIsBestEffortAndQueryable) {
+  util::ThreadPool pool(2);
+  // CPU 0 always exists; -1 leaves the second worker unpinned.
+  pool.set_worker_cpus({0, -1});
+  EXPECT_EQ(pool.worker_cpus(), (std::vector<int>{0, -1}));
+  // Pool still runs jobs normally after pinning, including late spawns.
+  std::atomic<int> hits{0};
+  pool.run(4, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 4);
+  pool.set_worker_cpus({});
+  EXPECT_TRUE(pool.worker_cpus().empty());
+}
+
+TEST(Integration, TrainerWithForcedNumaMatchesDefaultRun) {
+  // kOn forces the striped-model + pinning paths even on this (likely
+  // single-node) host; the trace must be bit-identical to the default run
+  // because placement never changes arithmetic.
+  data::SyntheticSpec spec;
+  spec.rows = 150;
+  spec.dim = 64;
+  spec.mean_row_nnz = 5;
+  spec.seed = 3;
+  const auto data = data::generate(spec);
+  objectives::LogisticLoss loss;
+  solvers::SolverOptions opt;
+  opt.epochs = 2;
+  opt.step_size = 0.3;
+  opt.seed = 17;
+  opt.threads = 1;
+  opt.keep_final_model = true;
+
+  const auto plain = core::TrainerBuilder()
+                         .data(data)
+                         .objective(loss)
+                         .eval_threads(1)
+                         .build()
+                         .train("is_asgd", opt);
+  const auto placed = core::TrainerBuilder()
+                          .data(data)
+                          .objective(loss)
+                          .eval_threads(1)
+                          .numa(NumaOptions{NumaOptions::Mode::kOn})
+                          .build()
+                          .train("is_asgd", opt);
+  ASSERT_EQ(plain.final_model.size(), placed.final_model.size());
+  for (std::size_t j = 0; j < plain.final_model.size(); ++j) {
+    EXPECT_EQ(plain.final_model[j], placed.final_model[j]) << j;
+  }
+}
+
+TEST(Execution, ContextExposesAndUpdatesNumaPolicy) {
+  ExecutionContext ctx(1);
+  EXPECT_EQ(ctx.numa_policy().options().mode, NumaOptions::Mode::kAuto);
+  ctx.set_numa(NumaOptions{NumaOptions::Mode::kOff});
+  EXPECT_EQ(ctx.numa_policy().options().mode, NumaOptions::Mode::kOff);
+  EXPECT_FALSE(ctx.numa_policy().active());
+  EXPECT_GE(ctx.numa_policy().topology().node_count(), 1u);
+  EXPECT_FALSE(ctx.numa_policy().describe().empty());
+}
+
+}  // namespace
+}  // namespace isasgd::core
