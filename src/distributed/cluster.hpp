@@ -24,6 +24,41 @@
 
 namespace isasgd::distributed {
 
+/// How the dist.* solvers execute.
+enum class Backend {
+  /// Discrete-event simulation on one thread (the default; every PR-4
+  /// engine). Traces carry simulated seconds.
+  kSimulate,
+  /// Real multi-process execution: one parameter-server process plus
+  /// `nodes` worker processes exchanging frames over a net:: transport.
+  /// Traces carry host wall-clock seconds. Requires
+  /// Schedule::kFencedRoundRobin (the deterministic schedule is what makes
+  /// the real run reproducible and cross-checkable against the simulator).
+  kProcess,
+};
+
+/// Update schedule for the distributed engines.
+enum class Schedule {
+  /// Free-running asynchronous schedule under the discrete-event cost
+  /// model: staleness *emerges* from latency/bandwidth prices. Simulation
+  /// only.
+  kEventClock,
+  /// Deterministic fenced schedule: per round every active node takes
+  /// exactly one step in rank order and updates apply immediately (for
+  /// all-reduce: per-node partial accumulators merged in rank order). The
+  /// same schedule is implemented by the simulator and the real process
+  /// backend, so for a fixed seed the two produce bit-identical models —
+  /// the correctness anchor of the process backend.
+  kFencedRoundRobin,
+};
+
+[[nodiscard]] constexpr const char* backend_name(Backend b) noexcept {
+  return b == Backend::kSimulate ? "simulate" : "process";
+}
+[[nodiscard]] constexpr const char* schedule_name(Schedule s) noexcept {
+  return s == Schedule::kEventClock ? "event_clock" : "fenced_round_robin";
+}
+
 /// Prices for the simulated cluster. All rates must be positive.
 struct ClusterSpec {
   /// Number of worker nodes (the paper's numT at node granularity).
@@ -54,6 +89,20 @@ struct ClusterSpec {
   /// slowest node's epoch — the measurement motivating speed-weighted
   /// sharding (see EXPERIMENTS.md).
   std::vector<double> node_speed;
+
+  /// Execution backend (see Backend). kSimulate preserves every PR-4
+  /// behaviour; kProcess spawns a real process group.
+  Backend backend = Backend::kSimulate;
+  /// Update schedule (see Schedule). kProcess requires kFencedRoundRobin.
+  Schedule schedule = Schedule::kEventClock;
+  /// Transport for the process backend: "shm" (same-host shared-memory
+  /// rings) or "tcp" (kernel sockets). Ignored under kSimulate.
+  std::string transport = "shm";
+  /// Optional explicit listen address for the process backend's parameter
+  /// server ("tcp://host:port" or "shm://path-prefix"). Empty = pick one:
+  /// an ephemeral loopback port for tcp, a /tmp prefix keyed by pid for
+  /// shm. Must agree with `transport`'s scheme when set.
+  std::string bind_address;
 
   /// The single validation point for every entry into the simulated
   /// cluster: TrainerBuilder::cluster / ExecutionContext::set_cluster call
@@ -93,6 +142,19 @@ struct ClusterSpec {
       for (double s : node_speed) {
         if (!(s > 0)) reject("node_speed", "entries must be positive");
       }
+    }
+    if (transport != "shm" && transport != "tcp") {
+      reject("transport", "must be \"shm\" or \"tcp\"");
+    }
+    if (backend == Backend::kProcess &&
+        schedule != Schedule::kFencedRoundRobin) {
+      reject("schedule",
+             "the process backend requires the fenced round-robin schedule "
+             "(the event-clock schedule exists only in simulation)");
+    }
+    if (!bind_address.empty() &&
+        bind_address.rfind(transport + "://", 0) != 0) {
+      reject("bind_address", "scheme must match ClusterSpec::transport");
     }
   }
 

@@ -19,9 +19,19 @@
 // node shards are whole source partitions dealt by the Algorithm-4
 // balancing machinery (run_param_server_sharded), so an out-of-core file
 // can feed the simulated cluster shard-by-shard.
+// Backend dispatch (ClusterSpec::backend / ::schedule):
+//   kSimulate + kEventClock        the PR-4 discrete-event engines (default)
+//   kSimulate + kFencedRoundRobin  deterministic fenced simulation (fenced.hpp)
+//   kProcess  (fenced only)        real 1-server/k-worker process group
+//                                  (real_runtime.hpp); traces carry host
+//                                  wall-clock seconds, and a sharded source
+//                                  is materialised first (the process
+//                                  backend partitions in memory pre-fork).
 #include "distributed/allreduce.hpp"
 #include "distributed/cluster.hpp"
+#include "distributed/fenced.hpp"
 #include "distributed/param_server.hpp"
+#include "distributed/real_runtime.hpp"
 #include "solvers/solver.hpp"
 
 namespace isasgd::distributed {
@@ -47,6 +57,21 @@ class ParamServerSolver : public solvers::Solver {
  protected:
   solvers::Trace run_impl(const solvers::SolverContext& ctx) const override {
     const ClusterSpec spec = cluster_or_default(ctx);
+    if (spec.backend == Backend::kProcess) {
+      return run_param_server_process(ctx.data(), ctx.objective, ctx.options,
+                                      spec, use_importance_, ctx.eval,
+                                      /*report=*/nullptr, ctx.observer);
+    }
+    if (spec.schedule == Schedule::kFencedRoundRobin) {
+      if (ctx.sharded()) {
+        return run_param_server_fenced_sharded(
+            ctx.source, ctx.objective, ctx.options, spec, use_importance_,
+            ctx.eval, /*report=*/nullptr, ctx.observer);
+      }
+      return run_param_server_fenced(ctx.data(), ctx.objective, ctx.options,
+                                     spec, use_importance_, ctx.eval,
+                                     /*report=*/nullptr, ctx.observer);
+    }
     if (ctx.sharded()) {
       return run_param_server_sharded(ctx.source, ctx.objective, ctx.options,
                                       spec, use_importance_, ctx.eval,
@@ -84,9 +109,20 @@ class AllreduceSgdSolver final : public solvers::Solver {
 
  protected:
   solvers::Trace run_impl(const solvers::SolverContext& ctx) const override {
-    return run_allreduce_sgd(ctx.data(), ctx.objective, ctx.options,
-                             cluster_or_default(ctx), /*use_importance=*/false,
-                             ctx.eval, /*report=*/nullptr, ctx.observer);
+    const ClusterSpec spec = cluster_or_default(ctx);
+    if (spec.backend == Backend::kProcess) {
+      return run_allreduce_process(ctx.data(), ctx.objective, ctx.options,
+                                   spec, /*use_importance=*/false, ctx.eval,
+                                   /*report=*/nullptr, ctx.observer);
+    }
+    if (spec.schedule == Schedule::kFencedRoundRobin) {
+      return run_allreduce_fenced(ctx.data(), ctx.objective, ctx.options, spec,
+                                  /*use_importance=*/false, ctx.eval,
+                                  /*report=*/nullptr, ctx.observer);
+    }
+    return run_allreduce_sgd(ctx.data(), ctx.objective, ctx.options, spec,
+                             /*use_importance=*/false, ctx.eval,
+                             /*report=*/nullptr, ctx.observer);
   }
 };
 

@@ -1,0 +1,306 @@
+#include "distributed/fenced.hpp"
+
+#include <algorithm>
+
+#include "sim/event_loop.hpp"
+#include "solvers/importance_weights.hpp"
+#include "solvers/schedule.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace isasgd::distributed {
+
+namespace fenced {
+
+Setup make_ps_setup(const sparse::CsrMatrix& data,
+                    const objectives::Objective& objective,
+                    const solvers::SolverOptions& options, std::size_t nodes,
+                    bool use_importance) {
+  Setup setup;
+  setup.k = std::min(nodes, data.rows());
+  setup.importance =
+      solvers::detail::importance_weights(data, objective, options);
+  partition::PartitionOptions popt = options.partition;
+  if (!use_importance) popt.strategy = partition::Strategy::kShuffle;
+  popt.shuffle_seed = options.seed ^ 0xd157;
+  setup.plan = std::make_unique<partition::PartitionPlan>(setup.importance,
+                                                          setup.k, popt);
+  setup.walks.reserve(setup.k);
+  for (std::size_t a = 0; a < setup.k; ++a) {
+    setup.walks.emplace_back(data, setup.plan->shard(a), use_importance,
+                             util::derive_seed(options.seed, 0xc0de + a));
+  }
+  return setup;
+}
+
+Setup make_ps_setup_sharded(const data::DataSource& source,
+                            const objectives::Objective& objective,
+                            const solvers::SolverOptions& options,
+                            std::size_t nodes, bool use_importance) {
+  Setup setup;
+  const std::size_t shards = source.shard_count();
+  setup.k = std::min(nodes, shards);
+  setup.shard_importance.resize(shards);
+  setup.shard_phi.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (s + 1 < shards) source.prefetch(s + 1);
+    const data::ShardPtr shard = source.shard(s);
+    setup.shard_importance[s] = solvers::detail::importance_weights(
+        *shard->matrix, objective, options);
+    double total = 0;
+    for (double v : setup.shard_importance[s]) total += v;
+    setup.shard_phi[s] = total;
+  }
+  partition::PartitionOptions popt = options.partition;
+  if (!use_importance) popt.strategy = partition::Strategy::kShuffle;
+  popt.shuffle_seed = options.seed ^ 0xd157;
+  setup.plan = std::make_unique<partition::PartitionPlan>(setup.shard_phi,
+                                                          setup.k, popt);
+  setup.walks.reserve(setup.k);
+  for (std::size_t a = 0; a < setup.k; ++a) {
+    setup.walks.emplace_back(source, setup.plan->shard(a).rows,
+                             setup.shard_importance, setup.shard_phi,
+                             use_importance,
+                             util::derive_seed(options.seed, 0xc0de + a));
+  }
+  return setup;
+}
+
+Setup make_allreduce_setup(const sparse::CsrMatrix& data,
+                           const objectives::Objective& objective,
+                           const solvers::SolverOptions& options,
+                           std::size_t nodes, bool use_importance) {
+  Setup setup;
+  setup.k = std::min(nodes, data.rows());
+  setup.importance =
+      solvers::detail::importance_weights(data, objective, options);
+  partition::PartitionOptions popt = options.partition;
+  if (!use_importance) popt.strategy = partition::Strategy::kShuffle;
+  popt.shuffle_seed = options.seed ^ 0xa11d;
+  setup.plan = std::make_unique<partition::PartitionPlan>(setup.importance,
+                                                          setup.k, popt);
+  setup.walks.reserve(setup.k);
+  for (std::size_t a = 0; a < setup.k; ++a) {
+    setup.walks.emplace_back(data, setup.plan->shard(a), use_importance,
+                             util::derive_seed(options.seed, 0xa22d + a));
+  }
+  return setup;
+}
+
+}  // namespace fenced
+
+namespace {
+
+/// Fenced PS epoch loop shared by the in-memory and sharded entry points:
+/// per round one step per active node in rank order, applied immediately.
+/// Simulated time is the fully serialized per-step cost — the fenced
+/// protocol serializes every step through the server, so costs add rather
+/// than overlap (this schedule is the determinism anchor, not the
+/// performance model; the event-clock engines remain the latter).
+solvers::Trace run_ps_fenced_core(fenced::Setup& setup,
+                                  const objectives::Objective& objective,
+                                  std::size_t dim,
+                                  const solvers::SolverOptions& options,
+                                  const ClusterSpec& spec, bool use_importance,
+                                  const solvers::EvalFn& eval,
+                                  double setup_seconds,
+                                  ParamServerReport* report,
+                                  solvers::TrainingObserver* observer) {
+  const std::size_t k = setup.k;
+  std::vector<double> w(dim, 0.0);
+  solvers::TraceRecorder recorder(use_importance ? "ps_is_asgd" : "ps_asgd", k,
+                                  options.step_size, eval, observer);
+  recorder.mark_simulated_time();
+  recorder.add_setup_seconds(setup_seconds);
+  recorder.record(0, 0.0, w);
+
+  double sim_time = 0;
+  std::size_t applied = 0, bytes = 0;
+  std::vector<std::size_t> remaining(k, 0);
+  for (std::size_t epoch = 1;
+       epoch <= options.epochs && !recorder.stop_requested(); ++epoch) {
+    const double lambda = solvers::epoch_step(options, epoch);
+    std::size_t active = 0;
+    for (std::size_t a = 0; a < k; ++a) {
+      setup.walks[a].begin_epoch();
+      remaining[a] = setup.walks[a].epoch_quota();
+      if (remaining[a] > 0) ++active;
+    }
+    while (active > 0) {
+      for (std::size_t a = 0; a < k; ++a) {
+        if (remaining[a] == 0) continue;
+        const NodeWalk::Sample s = setup.walks[a].next();
+        const auto x = s.matrix->row(s.row);
+        const auto idx = x.indices();
+        const auto val = x.values();
+        double margin = 0;
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+          margin += w[idx[j]] * val[j];
+        }
+        const double gradient_scale =
+            objective.gradient_scale(margin, s.matrix->label(s.row));
+        fenced::apply_push(idx, val, gradient_scale, lambda * s.weight,
+                           options.reg, w);
+        if (--remaining[a] == 0) --active;
+        const std::size_t nnz = idx.size();
+        ++applied;
+        bytes += nnz * spec.bytes_per_nnz;
+        sim_time += spec.node_compute_seconds(a, nnz) +
+                    spec.sparse_push_seconds(nnz) +
+                    spec.apply_seconds_per_nnz * static_cast<double>(nnz);
+      }
+    }
+    recorder.record(epoch, sim_time, w);
+  }
+
+  if (report || observer) {
+    ParamServerReport local;
+    local.mean_staleness_updates = 0;  // fenced: applies are immediate
+    local.messages = applied;
+    local.bytes_sent = bytes;
+    local.simulated_seconds = sim_time;
+    local.phi_imbalance = setup.plan->imbalance();
+    local.applied_strategy = setup.plan->applied_strategy();
+    if (report) *report = local;
+    if (observer) observer->on_diagnostics(local);
+  }
+  if (options.keep_final_model) recorder.set_final_model(w);
+  return std::move(recorder).finish(sim_time);
+}
+
+}  // namespace
+
+solvers::Trace run_param_server_fenced(const sparse::CsrMatrix& data,
+                                       const objectives::Objective& objective,
+                                       const solvers::SolverOptions& options,
+                                       const ClusterSpec& spec,
+                                       bool use_importance,
+                                       const solvers::EvalFn& eval,
+                                       ParamServerReport* report,
+                                       solvers::TrainingObserver* observer) {
+  spec.validate();
+  util::Stopwatch sw;
+  fenced::Setup setup =
+      fenced::make_ps_setup(data, objective, options, spec.nodes,
+                            use_importance);
+  return run_ps_fenced_core(setup, objective, data.dim(), options, spec,
+                            use_importance, eval, sw.seconds(), report,
+                            observer);
+}
+
+solvers::Trace run_param_server_fenced_sharded(
+    const data::DataSource& source, const objectives::Objective& objective,
+    const solvers::SolverOptions& options, const ClusterSpec& spec,
+    bool use_importance, const solvers::EvalFn& eval,
+    ParamServerReport* report, solvers::TrainingObserver* observer) {
+  spec.validate();
+  util::Stopwatch sw;
+  fenced::Setup setup = fenced::make_ps_setup_sharded(
+      source, objective, options, spec.nodes, use_importance);
+  return run_ps_fenced_core(setup, objective, source.dim(), options, spec,
+                            use_importance, eval, sw.seconds(), report,
+                            observer);
+}
+
+solvers::Trace run_allreduce_fenced(const sparse::CsrMatrix& data,
+                                    const objectives::Objective& objective,
+                                    const solvers::SolverOptions& options,
+                                    const ClusterSpec& spec,
+                                    bool use_importance,
+                                    const solvers::EvalFn& eval,
+                                    AllreduceReport* report,
+                                    solvers::TrainingObserver* observer) {
+  spec.validate();
+  const std::size_t n = data.rows();
+  const std::size_t b = std::max<std::size_t>(1, options.batch_size);
+  std::vector<double> w(data.dim(), 0.0);
+  util::Stopwatch sw;
+  fenced::Setup setup = fenced::make_allreduce_setup(
+      data, objective, options, spec.nodes, use_importance);
+  const std::size_t k = setup.k;
+  solvers::TraceRecorder recorder(
+      use_importance ? "allreduce_is_sgd" : "allreduce_sgd", k,
+      options.step_size, eval, observer);
+  recorder.mark_simulated_time();
+  recorder.add_setup_seconds(sw.seconds());
+  recorder.record(0, 0.0, w);
+
+  // Per-node partial + global accumulator, both dense scratch with touched
+  // lists. The partial is computed per node and merged into the global in
+  // rank order — the exact reduction order the real reducer replays.
+  std::vector<double> partial(data.dim(), 0.0), accum(data.dim(), 0.0);
+  std::vector<std::uint32_t> ptouched, touched;
+  const double allreduce_seconds = spec.ring_allreduce_seconds(data.dim());
+  const double per_round_bytes =
+      k > 1 ? 2.0 * (static_cast<double>(k) - 1.0) / static_cast<double>(k) *
+                  static_cast<double>(data.dim()) *
+                  static_cast<double>(spec.bytes_per_dense_coord)
+            : 0.0;
+  const std::size_t rounds_per_epoch = (n + k * b - 1) / (k * b);
+  const double samples_per_round = static_cast<double>(k * b);
+
+  double sim_time = 0, comm_time = 0;
+  std::size_t rounds = 0;
+  sim::NodeClocks clocks(k);
+  for (std::size_t epoch = 1;
+       epoch <= options.epochs && !recorder.stop_requested(); ++epoch) {
+    const double lambda = solvers::epoch_step(options, epoch);
+    for (std::size_t r = 0; r < rounds_per_epoch; ++r, ++rounds) {
+      clocks.reset();
+      for (std::size_t a = 0; a < k; ++a) {
+        // Node a's local partial over its b-sample mini-batch.
+        for (std::size_t s = 0; s < b; ++s) {
+          const NodeWalk::Sample sample = setup.walks[a].next();
+          const auto x = sample.matrix->row(sample.row);
+          const auto idx = x.indices();
+          const auto val = x.values();
+          double margin = 0;
+          for (std::size_t j = 0; j < idx.size(); ++j) {
+            margin += w[idx[j]] * val[j];
+          }
+          const double g =
+              objective.gradient_scale(margin,
+                                       sample.matrix->label(sample.row)) *
+              sample.weight;
+          for (std::size_t j = 0; j < idx.size(); ++j) {
+            const std::size_t c = idx[j];
+            if (partial[c] == 0.0) ptouched.push_back(idx[j]);
+            partial[c] += g * val[j];
+          }
+          clocks.advance(a, spec.node_compute_seconds(a, idx.size()));
+        }
+        // Rank-order merge of the partial into the global accumulator.
+        for (const std::uint32_t c : ptouched) {
+          if (accum[c] == 0.0) touched.push_back(c);
+          accum[c] += partial[c];
+          partial[c] = 0.0;
+        }
+        ptouched.clear();
+      }
+      const double slowest = clocks.barrier();
+      sim_time += slowest + allreduce_seconds;
+      comm_time += allreduce_seconds;
+      const double step = lambda / samples_per_round;
+      for (const std::uint32_t c : touched) {
+        w[c] -= step * accum[c] + lambda * options.reg.subgradient(w[c]);
+        accum[c] = 0.0;
+      }
+      touched.clear();
+    }
+    recorder.record(epoch, sim_time, w);
+  }
+
+  if (report || observer) {
+    AllreduceReport local;
+    local.rounds = rounds;
+    local.bytes_per_node_per_round = per_round_bytes;
+    local.simulated_seconds = sim_time;
+    local.comm_fraction = sim_time > 0 ? comm_time / sim_time : 0;
+    if (report) *report = local;
+    if (observer) observer->on_diagnostics(local);
+  }
+  if (options.keep_final_model) recorder.set_final_model(w);
+  return std::move(recorder).finish(sim_time);
+}
+
+}  // namespace isasgd::distributed

@@ -1,0 +1,123 @@
+// Fenced round-robin engines: the deterministic schedule implemented by BOTH
+// the simulator and the real process backend (ClusterSpec::Schedule).
+//
+// The event-clock engines (param_server.cpp / allreduce.cpp) let staleness
+// emerge from the cost model — realistic, but their apply order depends on
+// simulated message timing, which no real execution can reproduce bit for
+// bit. The fenced schedule removes timing from the semantics entirely:
+//
+//   parameter server   per round, every node with epoch quota left takes
+//                      exactly one step in rank order (a = 0..k−1): draw a
+//                      sample, compute the gradient against the *current*
+//                      model, apply immediately. Staleness is identically 0.
+//   all-reduce         per round, each node accumulates its b-sample partial
+//                      gradient locally; partials are merged into the global
+//                      accumulator in rank order, then one model step.
+//
+// Every floating-point operation — sample draw (NodeWalk), margin, gradient
+// scale, apply (apply_push), partial merge — is order-pinned, so for a fixed
+// seed the final model is a pure function of (data, options, k). The real
+// backend (real_runtime.cpp) executes this exact schedule with the PS
+// process enforcing the rank order, which is what makes "real run ≡
+// simulator, bit for bit" a testable invariant rather than a hope.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/data_source.hpp"
+#include "distributed/allreduce.hpp"
+#include "distributed/cluster.hpp"
+#include "distributed/node_walk.hpp"
+#include "distributed/param_server.hpp"
+#include "objectives/objective.hpp"
+#include "partition/partition.hpp"
+#include "solvers/observer.hpp"
+#include "solvers/options.hpp"
+#include "solvers/trace.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd::distributed {
+
+/// Fenced parameter-server run (in-memory). Same contract as
+/// run_param_server; the trace's time axis is still simulated seconds
+/// (serialized per-step costs), and mean staleness is reported as 0.
+[[nodiscard]] solvers::Trace run_param_server_fenced(
+    const sparse::CsrMatrix& data, const objectives::Objective& objective,
+    const solvers::SolverOptions& options, const ClusterSpec& spec,
+    bool use_importance, const solvers::EvalFn& eval,
+    ParamServerReport* report = nullptr,
+    solvers::TrainingObserver* observer = nullptr);
+
+/// Fenced parameter-server run over a sharded DataSource (shard-major node
+/// walks, like run_param_server_sharded).
+[[nodiscard]] solvers::Trace run_param_server_fenced_sharded(
+    const data::DataSource& source, const objectives::Objective& objective,
+    const solvers::SolverOptions& options, const ClusterSpec& spec,
+    bool use_importance, const solvers::EvalFn& eval,
+    ParamServerReport* report = nullptr,
+    solvers::TrainingObserver* observer = nullptr);
+
+/// Fenced synchronous all-reduce run: identical arithmetic to
+/// run_allreduce_sgd except the global accumulator is built from per-node
+/// partials merged in rank order (the reduction order a real reducer can —
+/// and does — reproduce).
+[[nodiscard]] solvers::Trace run_allreduce_fenced(
+    const sparse::CsrMatrix& data, const objectives::Objective& objective,
+    const solvers::SolverOptions& options, const ClusterSpec& spec,
+    bool use_importance, const solvers::EvalFn& eval,
+    AllreduceReport* report = nullptr,
+    solvers::TrainingObserver* observer = nullptr);
+
+namespace fenced {
+
+/// THE sparse apply. One implementation, inlined into the fenced simulator
+/// and the real PS process alike, so the two cannot drift: left-to-right
+/// over the row's nonzeros,
+///   w[c] -= scaled_step · (gradient_scale · val[j] + ∂r(w[c])).
+inline void apply_push(std::span<const std::uint32_t> idx,
+                       std::span<const double> val, double gradient_scale,
+                       double scaled_step,
+                       const objectives::Regularization& reg,
+                       std::vector<double>& w) {
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    const std::size_t c = idx[j];
+    w[c] -= scaled_step * (gradient_scale * val[j] + reg.subgradient(w[c]));
+  }
+}
+
+/// Shared pre-run setup: the Algorithm-4 partition plus one seeded NodeWalk
+/// per node. Built identically by the fenced simulator and (pre-fork) by the
+/// process runtime, so both worlds walk the same plan with the same streams.
+struct Setup {
+  std::size_t k = 0;
+  std::vector<double> importance;  // in-memory: keeps plan spans alive
+  std::vector<std::vector<double>> shard_importance;  // sharded
+  std::vector<double> shard_phi;                      // sharded
+  std::unique_ptr<partition::PartitionPlan> plan;
+  std::vector<NodeWalk> walks;  // one per node, seeded
+};
+
+/// Parameter-server setup over an in-memory matrix (seeds 0xc0de+a, shuffle
+/// seed ^0xd157 — the event engine's exact derivations).
+[[nodiscard]] Setup make_ps_setup(const sparse::CsrMatrix& data,
+                                  const objectives::Objective& objective,
+                                  const solvers::SolverOptions& options,
+                                  std::size_t nodes, bool use_importance);
+
+/// Parameter-server setup over a sharded source (whole-shard deal).
+[[nodiscard]] Setup make_ps_setup_sharded(
+    const data::DataSource& source, const objectives::Objective& objective,
+    const solvers::SolverOptions& options, std::size_t nodes,
+    bool use_importance);
+
+/// All-reduce setup (seeds 0xa22d+a, shuffle seed ^0xa11d).
+[[nodiscard]] Setup make_allreduce_setup(
+    const sparse::CsrMatrix& data, const objectives::Objective& objective,
+    const solvers::SolverOptions& options, std::size_t nodes,
+    bool use_importance);
+
+}  // namespace fenced
+
+}  // namespace isasgd::distributed

@@ -1,0 +1,110 @@
+// Wire protocol of the real distributed backend: frame types plus POD
+// packing helpers.
+//
+// Every payload is a flat little-endian sequence of u32/u64/f64 fields
+// written with memcpy — doubles travel as their exact 8-byte IEEE-754 bit
+// patterns, which is load-bearing: the bit-identity guarantee between the
+// process backend and the fenced simulator dies the moment a value is
+// formatted through text. (Same-architecture process groups only; this repo
+// targets x86-64/AArch64 little-endian, as the kernels already assume.)
+//
+// Message map (request/response over net::write_frame framing):
+//
+//   worker → server      kHello{role=0, rank}
+//   controller → server  kHello{role=1, rank=0}
+//   worker → server      kStep{ncols, idx[ncols]}          coordinate get
+//   server → worker      kStepReply{w[ncols]}              values, same order
+//   worker → server      kPush{gscale, sstep, nnz, (idx, val)[nnz]}
+//   server → worker      kPushAck{}
+//   worker → server      kEpochEnd{}                       quota exhausted
+//   server → controller  kFence{epoch, applied, messages, bytes, dim, w[dim]}
+//   controller → server  kFenceReply{continue}
+//   server → worker      kEpochGo{continue}
+//   worker → server      kReduce{count, (idx, val)[count]} all-reduce partial
+//   server → worker      kModelDelta{count, (idx, w)[count]} updated coords
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "net/transport.hpp"
+
+namespace isasgd::distributed::wire {
+
+enum MsgType : std::uint32_t {
+  kHello = 1,
+  kStep = 2,
+  kStepReply = 3,
+  kPush = 4,
+  kPushAck = 5,
+  kEpochEnd = 6,
+  kFence = 7,
+  kFenceReply = 8,
+  kEpochGo = 9,
+  kReduce = 10,
+  kModelDelta = 11,
+};
+
+inline constexpr std::uint32_t kRoleWorker = 0;
+inline constexpr std::uint32_t kRoleController = 1;
+
+/// Appends POD fields to a payload string.
+class Packer {
+ public:
+  Packer& u32(std::uint32_t v) { return raw(&v, sizeof(v)); }
+  Packer& u64(std::uint64_t v) { return raw(&v, sizeof(v)); }
+  Packer& f64(double v) { return raw(&v, sizeof(v)); }
+  Packer& raw(const void* data, std::size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+    return *this;
+  }
+
+  [[nodiscard]] std::string take() && { return std::move(buf_); }
+  [[nodiscard]] const std::string& view() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Reads POD fields back out; a short payload is a typed protocol error,
+/// never an out-of-bounds read.
+class Unpacker {
+ public:
+  explicit Unpacker(std::string_view payload) : buf_(payload) {}
+
+  [[nodiscard]] std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] double f64() {
+    double v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  void raw(void* out, std::size_t size) {
+    if (buf_.size() - off_ < size) {
+      throw net::TransportError(
+          net::TransportError::Kind::kProtocol,
+          "truncated payload: wanted " + std::to_string(size) +
+              " more bytes, have " + std::to_string(buf_.size() - off_));
+    }
+    std::memcpy(out, buf_.data() + off_, size);
+    off_ += size;
+  }
+
+  [[nodiscard]] bool done() const noexcept { return off_ == buf_.size(); }
+
+ private:
+  std::string_view buf_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace isasgd::distributed::wire

@@ -1,0 +1,594 @@
+#include "distributed/real_runtime.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "distributed/fenced.hpp"
+#include "distributed/node_walk.hpp"
+#include "distributed/ps_wire.hpp"
+#include "net/transport.hpp"
+#include "solvers/schedule.hpp"
+#include "util/timer.hpp"
+
+namespace isasgd::distributed {
+
+namespace {
+
+/// Generous per-call I/O deadline inside the group. Every blocking call a
+/// process makes is bounded by it, so a dead peer turns into a typed
+/// TransportError instead of a wedged group.
+constexpr int kGroupIoTimeoutMs = 120000;
+constexpr int kConnectTimeoutMs = 30000;
+
+std::string pick_address(const ClusterSpec& spec) {
+  if (!spec.bind_address.empty()) return spec.bind_address;
+  if (spec.transport == "tcp") return "tcp://127.0.0.1:0";
+  static std::atomic<std::uint32_t> counter{0};
+  return "shm:///tmp/isasgd_group_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1));
+}
+
+/// Reaps (and on scope exit kills) the forked children. The controller path
+/// rethrows transport errors; this guard guarantees the group never
+/// outlives the call, success or failure.
+class ChildReaper {
+ public:
+  ~ChildReaper() {
+    for (const pid_t pid : children_) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+  }
+
+  void add(pid_t pid) { children_.push_back(pid); }
+
+  /// Waits for every child; throws if any exited abnormally.
+  void join_all() {
+    std::string failures;
+    while (!children_.empty()) {
+      const pid_t pid = children_.back();
+      children_.pop_back();
+      int status = 0;
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        failures += " pid " + std::to_string(pid) +
+                    (WIFSIGNALED(status)
+                         ? " killed by signal " + std::to_string(WTERMSIG(status))
+                         : " exited " + std::to_string(WEXITSTATUS(status)));
+      }
+    }
+    if (!failures.empty()) {
+      throw std::runtime_error("distributed process group failed:" + failures);
+    }
+  }
+
+ private:
+  std::vector<pid_t> children_;
+};
+
+/// Writes the server's resolved listen address through the pipe fd, then
+/// closes it.
+void report_address(int fd, const std::string& address) {
+  const std::string line = address + "\n";
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("address pipe write failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+}
+
+/// Reads the resolved address line from the pipe fd (controller side).
+std::string read_address(int fd) {
+  std::string line;
+  char c = 0;
+  while (true) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0 || c == '\n') break;
+    line.push_back(c);
+  }
+  ::close(fd);
+  if (line.empty()) {
+    throw std::runtime_error(
+        "distributed server process died before reporting its address");
+  }
+  return line;
+}
+
+void send_hello(net::Endpoint& ep, std::uint32_t role, std::uint32_t rank) {
+  wire::Packer p;
+  p.u32(role).u32(rank);
+  net::write_frame(ep, wire::kHello, p.view());
+}
+
+/// Accepts k workers + 1 controller, identified by their hello frames.
+struct GroupEndpoints {
+  std::vector<std::unique_ptr<net::Endpoint>> worker;
+  std::unique_ptr<net::Endpoint> controller;
+};
+
+GroupEndpoints accept_group(net::Listener& listener, std::size_t k) {
+  GroupEndpoints group;
+  group.worker.resize(k);
+  listener.set_accept_timeout(kConnectTimeoutMs);
+  for (std::size_t i = 0; i < k + 1; ++i) {
+    std::unique_ptr<net::Endpoint> ep = listener.accept();
+    ep->set_io_timeout(kGroupIoTimeoutMs);
+    const net::Frame hello = net::expect_frame(*ep, wire::kHello, "hello");
+    wire::Unpacker u(hello.payload);
+    const std::uint32_t role = u.u32();
+    const std::uint32_t rank = u.u32();
+    if (role == wire::kRoleController) {
+      group.controller = std::move(ep);
+    } else if (rank < k && group.worker[rank] == nullptr) {
+      group.worker[rank] = std::move(ep);
+    } else {
+      throw net::TransportError(net::TransportError::Kind::kProtocol,
+                                "duplicate or out-of-range worker rank " +
+                                    std::to_string(rank));
+    }
+  }
+  return group;
+}
+
+/// Epoch fence as seen by the server: ship the model + counters to the
+/// controller, get the continue decision, relay it to every worker.
+bool fence_epoch(GroupEndpoints& group, std::size_t epoch,
+                 std::uint64_t c0, std::uint64_t c1, std::uint64_t c2,
+                 const std::vector<double>& w) {
+  wire::Packer fence;
+  fence.u64(epoch).u64(c0).u64(c1).u64(c2).u64(w.size());
+  fence.raw(w.data(), w.size() * sizeof(double));
+  net::write_frame(*group.controller, wire::kFence, fence.view());
+  const net::Frame reply =
+      net::expect_frame(*group.controller, wire::kFenceReply, "fence reply");
+  wire::Unpacker u(reply.payload);
+  const bool cont = u.u32() != 0;
+  wire::Packer go;
+  go.u32(cont ? 1 : 0);
+  for (auto& worker : group.worker) {
+    net::write_frame(*worker, wire::kEpochGo, go.view());
+  }
+  return cont;
+}
+
+// ---- Parameter-server group -------------------------------------------------
+
+/// The PS process: serves coordinate gets and applies pushes in the fenced
+/// rank order (one step per active worker per round — the exact apply
+/// sequence of run_param_server_fenced).
+void ps_server_main(int addr_fd, const std::string& bind, std::size_t k,
+                    std::size_t dim, const solvers::SolverOptions& options,
+                    const ClusterSpec& spec) {
+  auto listener = net::listen(bind);
+  report_address(addr_fd, listener->address());
+  GroupEndpoints group = accept_group(*listener, k);
+
+  std::vector<double> w(dim, 0.0);
+  std::uint64_t applied = 0, bytes = 0;
+  std::vector<std::uint32_t> idx;
+  std::vector<double> val;
+  for (std::size_t epoch = 1;; ++epoch) {
+    std::vector<bool> done(k, false);
+    std::size_t ndone = 0;
+    while (ndone < k) {
+      for (std::size_t a = 0; a < k; ++a) {
+        if (done[a]) continue;
+        net::Endpoint& worker = *group.worker[a];
+        const net::Frame f = net::read_frame(worker);
+        if (f.type == wire::kEpochEnd) {
+          done[a] = true;
+          ++ndone;
+          continue;
+        }
+        if (f.type != wire::kStep) {
+          throw net::TransportError(
+              net::TransportError::Kind::kProtocol,
+              "ps server: expected kStep/kEpochEnd, got frame type " +
+                  std::to_string(f.type));
+        }
+        wire::Unpacker u(f.payload);
+        const std::uint32_t ncols = u.u32();
+        wire::Packer reply;
+        for (std::uint32_t j = 0; j < ncols; ++j) reply.f64(w[u.u32()]);
+        net::write_frame(worker, wire::kStepReply, reply.view());
+
+        const net::Frame pf = net::expect_frame(worker, wire::kPush, "push");
+        wire::Unpacker up(pf.payload);
+        const double gradient_scale = up.f64();
+        const double scaled_step = up.f64();
+        const std::uint32_t nnz = up.u32();
+        idx.resize(nnz);
+        val.resize(nnz);
+        for (std::uint32_t j = 0; j < nnz; ++j) {
+          idx[j] = up.u32();
+          val[j] = up.f64();
+        }
+        fenced::apply_push(idx, val, gradient_scale, scaled_step, options.reg,
+                           w);
+        ++applied;
+        bytes += static_cast<std::uint64_t>(nnz) * spec.bytes_per_nnz;
+        net::write_frame(worker, wire::kPushAck, {});
+      }
+    }
+    if (!fence_epoch(group, epoch, applied, applied, bytes, w)) break;
+  }
+}
+
+/// One PS worker: walks its NodeWalk, get → compute → push per sample. The
+/// server's rank-order reads serialize the steps; the worker just blocks.
+void ps_worker_main(const std::string& address, std::size_t rank,
+                    NodeWalk& walk, const objectives::Objective& objective,
+                    const solvers::SolverOptions& options) {
+  auto ep = net::connect(address, kConnectTimeoutMs);
+  ep->set_io_timeout(kGroupIoTimeoutMs);
+  send_hello(*ep, wire::kRoleWorker, static_cast<std::uint32_t>(rank));
+  for (std::size_t epoch = 1; epoch <= options.epochs; ++epoch) {
+    const double lambda = solvers::epoch_step(options, epoch);
+    walk.begin_epoch();
+    const std::size_t quota = walk.epoch_quota();
+    for (std::size_t q = 0; q < quota; ++q) {
+      const NodeWalk::Sample s = walk.next();
+      const auto x = s.matrix->row(s.row);
+      const auto idx = x.indices();
+      const auto val = x.values();
+
+      wire::Packer step;
+      step.u32(static_cast<std::uint32_t>(idx.size()));
+      for (const std::uint32_t c : idx) step.u32(c);
+      net::write_frame(*ep, wire::kStep, step.view());
+      const net::Frame reply =
+          net::expect_frame(*ep, wire::kStepReply, "step reply");
+      wire::Unpacker u(reply.payload);
+      double margin = 0;
+      for (std::size_t j = 0; j < idx.size(); ++j) margin += u.f64() * val[j];
+
+      wire::Packer push;
+      push.f64(objective.gradient_scale(margin, s.matrix->label(s.row)));
+      push.f64(lambda * s.weight);
+      push.u32(static_cast<std::uint32_t>(idx.size()));
+      for (std::size_t j = 0; j < idx.size(); ++j) {
+        push.u32(idx[j]);
+        push.f64(val[j]);
+      }
+      net::write_frame(*ep, wire::kPush, push.view());
+      (void)net::expect_frame(*ep, wire::kPushAck, "push ack");
+    }
+    net::write_frame(*ep, wire::kEpochEnd, {});
+    const net::Frame go = net::expect_frame(*ep, wire::kEpochGo, "epoch go");
+    wire::Unpacker u(go.payload);
+    if (u.u32() == 0) break;
+  }
+}
+
+// ---- All-reduce group -------------------------------------------------------
+
+/// The reducer process: merges worker partials in rank order (the
+/// run_allreduce_fenced reduction order), applies the round's step, and
+/// broadcasts the touched coordinates so every replica stays bit-exact.
+void allreduce_server_main(int addr_fd, const std::string& bind,
+                           std::size_t k, std::size_t dim,
+                           std::size_t rounds_per_epoch,
+                           double samples_per_round,
+                           const solvers::SolverOptions& options) {
+  auto listener = net::listen(bind);
+  report_address(addr_fd, listener->address());
+  GroupEndpoints group = accept_group(*listener, k);
+
+  std::vector<double> w(dim, 0.0), accum(dim, 0.0);
+  std::vector<std::uint32_t> touched;
+  std::uint64_t rounds = 0, reduced_coords = 0;
+  for (std::size_t epoch = 1;; ++epoch) {
+    const double lambda = solvers::epoch_step(options, epoch);
+    for (std::size_t r = 0; r < rounds_per_epoch; ++r, ++rounds) {
+      for (std::size_t a = 0; a < k; ++a) {
+        const net::Frame f =
+            net::expect_frame(*group.worker[a], wire::kReduce, "reduce");
+        wire::Unpacker u(f.payload);
+        const std::uint32_t count = u.u32();
+        for (std::uint32_t j = 0; j < count; ++j) {
+          const std::uint32_t c = u.u32();
+          const double v = u.f64();
+          if (accum[c] == 0.0) touched.push_back(c);
+          accum[c] += v;
+        }
+        reduced_coords += count;
+      }
+      const double step = lambda / samples_per_round;
+      wire::Packer delta;
+      delta.u32(static_cast<std::uint32_t>(touched.size()));
+      for (const std::uint32_t c : touched) {
+        w[c] -= step * accum[c] + lambda * options.reg.subgradient(w[c]);
+        accum[c] = 0.0;
+        delta.u32(c);
+        delta.f64(w[c]);
+      }
+      touched.clear();
+      for (auto& worker : group.worker) {
+        net::write_frame(*worker, wire::kModelDelta, delta.view());
+      }
+    }
+    if (!fence_epoch(group, epoch, rounds, reduced_coords, 0, w)) break;
+  }
+}
+
+/// One all-reduce worker: b-sample partial per round against its local
+/// replica, which the server's coordinate broadcasts keep bit-identical to
+/// the master.
+void allreduce_worker_main(const std::string& address, std::size_t rank,
+                           NodeWalk& walk,
+                           const objectives::Objective& objective,
+                           const solvers::SolverOptions& options,
+                           std::size_t dim, std::size_t rounds_per_epoch,
+                           std::size_t batch) {
+  auto ep = net::connect(address, kConnectTimeoutMs);
+  ep->set_io_timeout(kGroupIoTimeoutMs);
+  send_hello(*ep, wire::kRoleWorker, static_cast<std::uint32_t>(rank));
+  std::vector<double> w(dim, 0.0), partial(dim, 0.0);
+  std::vector<std::uint32_t> ptouched;
+  for (std::size_t epoch = 1; epoch <= options.epochs; ++epoch) {
+    for (std::size_t r = 0; r < rounds_per_epoch; ++r) {
+      for (std::size_t s = 0; s < batch; ++s) {
+        const NodeWalk::Sample sample = walk.next();
+        const auto x = sample.matrix->row(sample.row);
+        const auto idx = x.indices();
+        const auto val = x.values();
+        double margin = 0;
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+          margin += w[idx[j]] * val[j];
+        }
+        const double g =
+            objective.gradient_scale(margin, sample.matrix->label(sample.row)) *
+            sample.weight;
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+          const std::size_t c = idx[j];
+          if (partial[c] == 0.0) ptouched.push_back(idx[j]);
+          partial[c] += g * val[j];
+        }
+      }
+      wire::Packer reduce;
+      reduce.u32(static_cast<std::uint32_t>(ptouched.size()));
+      for (const std::uint32_t c : ptouched) {
+        reduce.u32(c);
+        reduce.f64(partial[c]);
+        partial[c] = 0.0;
+      }
+      ptouched.clear();
+      net::write_frame(*ep, wire::kReduce, reduce.view());
+
+      const net::Frame delta =
+          net::expect_frame(*ep, wire::kModelDelta, "model delta");
+      wire::Unpacker u(delta.payload);
+      const std::uint32_t count = u.u32();
+      for (std::uint32_t j = 0; j < count; ++j) {
+        const std::uint32_t c = u.u32();
+        w[c] = u.f64();  // assignment: replica stays bit-exact
+      }
+    }
+    const net::Frame go = net::expect_frame(*ep, wire::kEpochGo, "epoch go");
+    wire::Unpacker u(go.payload);
+    if (u.u32() == 0) break;
+  }
+}
+
+// ---- Controller (the calling process) ---------------------------------------
+
+struct FencePoint {
+  std::size_t epoch = 0;
+  std::uint64_t c0 = 0, c1 = 0, c2 = 0;
+  std::vector<double> w;
+};
+
+FencePoint read_fence(net::Endpoint& ep) {
+  const net::Frame f = net::expect_frame(ep, wire::kFence, "fence");
+  wire::Unpacker u(f.payload);
+  FencePoint point;
+  point.epoch = u.u64();
+  point.c0 = u.u64();
+  point.c1 = u.u64();
+  point.c2 = u.u64();
+  const std::uint64_t dim = u.u64();
+  point.w.resize(dim);
+  u.raw(point.w.data(), dim * sizeof(double));
+  return point;
+}
+
+/// Runs the controller loop: record traces at fences, decide continuation.
+/// Returns the last fence (final counters + model). `train_seconds_out`
+/// accumulates inter-fence wall time (eval excluded).
+FencePoint run_controller(net::Endpoint& ep, std::size_t dim,
+                          const solvers::SolverOptions& options,
+                          solvers::TraceRecorder& recorder,
+                          double* train_seconds_out) {
+  send_hello(ep, wire::kRoleController, 0);
+  recorder.record(0, 0.0, std::vector<double>(dim, 0.0));
+  double train_seconds = 0;
+  FencePoint last;
+  while (true) {
+    util::Stopwatch lap;
+    FencePoint point = read_fence(ep);
+    train_seconds += lap.seconds();
+    recorder.record(point.epoch, train_seconds, point.w);
+    const bool cont =
+        point.epoch < options.epochs && !recorder.stop_requested();
+    wire::Packer reply;
+    reply.u32(cont ? 1 : 0);
+    net::write_frame(ep, wire::kFenceReply, reply.view());
+    last = std::move(point);
+    if (!cont) break;
+  }
+  *train_seconds_out = train_seconds;
+  return last;
+}
+
+/// Forks `fork_server` then k× `fork_worker`, runs the controller loop in
+/// the calling process, and reaps the group.
+template <typename ServerFn, typename WorkerFn>
+FencePoint run_group(std::size_t k, std::size_t dim,
+                     const solvers::SolverOptions& options,
+                     const ClusterSpec& spec, solvers::TraceRecorder& recorder,
+                     double* train_seconds, ServerFn&& server_fn,
+                     WorkerFn&& worker_fn) {
+  const std::string bind = pick_address(spec);
+  int addr_pipe[2];
+  if (::pipe(addr_pipe) < 0) {
+    throw std::runtime_error("pipe() failed for the distributed group");
+  }
+  ChildReaper reaper;
+  const pid_t server_pid = ::fork();
+  if (server_pid < 0) throw std::runtime_error("fork() failed (server)");
+  if (server_pid == 0) {
+    ::close(addr_pipe[0]);
+    try {
+      server_fn(addr_pipe[1], bind);
+      ::_exit(0);
+    } catch (...) {
+      ::_exit(1);
+    }
+  }
+  reaper.add(server_pid);
+  ::close(addr_pipe[1]);
+  const std::string address = read_address(addr_pipe[0]);
+
+  for (std::size_t a = 0; a < k; ++a) {
+    const pid_t pid = ::fork();
+    if (pid < 0) throw std::runtime_error("fork() failed (worker)");
+    if (pid == 0) {
+      try {
+        worker_fn(a, address);
+        ::_exit(0);
+      } catch (...) {
+        ::_exit(1);
+      }
+    }
+    reaper.add(pid);
+  }
+
+  auto ep = net::connect(address, kConnectTimeoutMs);
+  ep->set_io_timeout(kGroupIoTimeoutMs);
+  FencePoint last = run_controller(*ep, dim, options, recorder, train_seconds);
+  ep->close();
+  reaper.join_all();
+  return last;
+}
+
+}  // namespace
+
+solvers::Trace run_param_server_process(const sparse::CsrMatrix& data,
+                                        const objectives::Objective& objective,
+                                        const solvers::SolverOptions& options,
+                                        const ClusterSpec& spec,
+                                        bool use_importance,
+                                        const solvers::EvalFn& eval,
+                                        ParamServerReport* report,
+                                        solvers::TrainingObserver* observer) {
+  spec.validate();
+  util::Stopwatch sw;
+  // Shared setup BEFORE the forks: every process inherits the same plan and
+  // the same seeded walks.
+  fenced::Setup setup = fenced::make_ps_setup(data, objective, options,
+                                              spec.nodes, use_importance);
+  const std::size_t k = setup.k;
+  const std::size_t dim = data.dim();
+  solvers::TraceRecorder recorder(use_importance ? "ps_is_asgd" : "ps_asgd", k,
+                                  options.step_size, eval, observer);
+  recorder.add_setup_seconds(sw.seconds());
+
+  double train_seconds = 0;
+  const FencePoint last = run_group(
+      k, dim, options, spec, recorder, &train_seconds,
+      [&](int addr_fd, const std::string& bind) {
+        ps_server_main(addr_fd, bind, k, dim, options, spec);
+      },
+      [&](std::size_t rank, const std::string& address) {
+        ps_worker_main(address, rank, setup.walks[rank], objective, options);
+      });
+
+  if (report || observer) {
+    ParamServerReport local;
+    local.mean_staleness_updates = 0;  // fenced schedule: immediate applies
+    local.messages = last.c1;
+    local.bytes_sent = last.c2;
+    local.simulated_seconds = train_seconds;  // wall seconds: real backend
+    local.phi_imbalance = setup.plan->imbalance();
+    local.applied_strategy = setup.plan->applied_strategy();
+    if (report) *report = local;
+    if (observer) observer->on_diagnostics(local);
+  }
+  if (options.keep_final_model) recorder.set_final_model(last.w);
+  return std::move(recorder).finish(train_seconds);
+}
+
+solvers::Trace run_allreduce_process(const sparse::CsrMatrix& data,
+                                     const objectives::Objective& objective,
+                                     const solvers::SolverOptions& options,
+                                     const ClusterSpec& spec,
+                                     bool use_importance,
+                                     const solvers::EvalFn& eval,
+                                     AllreduceReport* report,
+                                     solvers::TrainingObserver* observer) {
+  spec.validate();
+  util::Stopwatch sw;
+  fenced::Setup setup = fenced::make_allreduce_setup(
+      data, objective, options, spec.nodes, use_importance);
+  const std::size_t k = setup.k;
+  const std::size_t dim = data.dim();
+  const std::size_t n = data.rows();
+  const std::size_t b = std::max<std::size_t>(1, options.batch_size);
+  const std::size_t rounds_per_epoch = (n + k * b - 1) / (k * b);
+  const double samples_per_round = static_cast<double>(k * b);
+  solvers::TraceRecorder recorder(
+      use_importance ? "allreduce_is_sgd" : "allreduce_sgd", k,
+      options.step_size, eval, observer);
+  recorder.add_setup_seconds(sw.seconds());
+
+  double train_seconds = 0;
+  const FencePoint last = run_group(
+      k, dim, options, spec, recorder, &train_seconds,
+      [&](int addr_fd, const std::string& bind) {
+        allreduce_server_main(addr_fd, bind, k, dim, rounds_per_epoch,
+                              samples_per_round, options);
+      },
+      [&](std::size_t rank, const std::string& address) {
+        allreduce_worker_main(address, rank, setup.walks[rank], objective,
+                              options, dim, rounds_per_epoch, b);
+      });
+
+  if (report || observer) {
+    AllreduceReport local;
+    local.rounds = last.c0;
+    local.bytes_per_node_per_round =
+        k > 1 ? 2.0 * (static_cast<double>(k) - 1.0) / static_cast<double>(k) *
+                    static_cast<double>(dim) *
+                    static_cast<double>(spec.bytes_per_dense_coord)
+              : 0.0;
+    local.simulated_seconds = train_seconds;  // wall seconds: real backend
+    local.comm_fraction = 0;  // not separable in a real run
+    if (report) *report = local;
+    if (observer) observer->on_diagnostics(local);
+  }
+  if (options.keep_final_model) recorder.set_final_model(last.w);
+  return std::move(recorder).finish(train_seconds);
+}
+
+}  // namespace isasgd::distributed

@@ -5,7 +5,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
 
@@ -17,6 +20,43 @@ namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Thrown when a connection exceeds its I/O deadline; the accept loop turns
+/// it into a typed `err timeout` response instead of wedging forever on a
+/// client that connected and went silent.
+struct IoTimeout : std::runtime_error {
+  explicit IoTimeout(const std::string& what) : std::runtime_error(what) {}
+};
+
+std::chrono::steady_clock::time_point deadline_from(int timeout_ms) {
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(
+                                                timeout_ms);
+}
+
+/// Polls `fd` for `events` until readiness or the absolute deadline passes
+/// (timeout_ms < 0 ⇒ wait forever). Deadline-based on purpose: a per-byte
+/// idle timeout would let a drip-feeding client hold the single-threaded
+/// accept loop indefinitely.
+void wait_ready(int fd, short events, int timeout_ms,
+                std::chrono::steady_clock::time_point deadline,
+                const char* what) {
+  while (true) {
+    int wait_ms = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      wait_ms = static_cast<int>(std::max<std::int64_t>(0, left.count()));
+    }
+    pollfd pfd{fd, events, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (ready == 0) throw IoTimeout(std::string(what) + " timed out");
+    return;
+  }
 }
 
 sockaddr_un make_address(const std::string& path) {
@@ -32,10 +72,13 @@ sockaddr_un make_address(const std::string& path) {
 }
 
 /// Reads from `fd` until '\n' or EOF; returns the line without the newline.
-std::string read_line(int fd) {
+/// The whole line must arrive before the deadline (timeout_ms < 0 ⇒ none).
+std::string read_line(int fd, int timeout_ms = -1) {
+  const auto deadline = deadline_from(timeout_ms < 0 ? 0 : timeout_ms);
   std::string line;
   char c = 0;
   while (true) {
+    wait_ready(fd, POLLIN, timeout_ms, deadline, "read");
     const ssize_t n = ::read(fd, &c, 1);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -46,10 +89,17 @@ std::string read_line(int fd) {
   }
 }
 
-void write_all(int fd, const std::string& data) {
+/// Full write under the same deadline discipline. ::send with MSG_NOSIGNAL
+/// instead of raw ::write: a client that disconnects before the response
+/// lands must produce EPIPE (caught per connection), not a process-fatal
+/// SIGPIPE that takes the whole daemon down.
+void write_all(int fd, const std::string& data, int timeout_ms = -1) {
+  const auto deadline = deadline_from(timeout_ms < 0 ? 0 : timeout_ms);
   std::size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    wait_ready(fd, POLLOUT, timeout_ms, deadline, "write");
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw_errno("write");
@@ -60,8 +110,11 @@ void write_all(int fd, const std::string& data) {
 
 }  // namespace
 
-SocketServer::SocketServer(std::string socket_path, ProtocolHandler& handler)
-    : path_(std::move(socket_path)), handler_(handler) {
+SocketServer::SocketServer(std::string socket_path, ProtocolHandler& handler,
+                           int io_timeout_ms)
+    : path_(std::move(socket_path)),
+      handler_(handler),
+      io_timeout_ms_(io_timeout_ms) {
   const sockaddr_un addr = make_address(path_);
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw_errno("socket");
@@ -111,9 +164,19 @@ void SocketServer::run() {
       throw_errno("accept");
     }
     try {
-      const std::string request = read_line(conn);
+      const std::string request = read_line(conn, io_timeout_ms_);
       const std::string response = handler_.handle_line(request);
-      write_all(conn, response + "\n");
+      write_all(conn, response + "\n", io_timeout_ms_);
+    } catch (const IoTimeout& e) {
+      // A client that connects and sends nothing (or stops draining its
+      // response) gets a typed error and its connection closed; the accept
+      // loop moves on to the next client instead of wedging forever.
+      util::log_warn() << "service: connection timeout: " << e.what();
+      try {
+        write_all(conn, "err timeout\n", 100);
+      } catch (const std::exception&) {
+        // Best effort — the peer may be gone or its buffer full.
+      }
     } catch (const std::exception& e) {
       // A broken client connection must not take the daemon down.
       util::log_warn() << "service: connection error: " << e.what();
@@ -124,7 +187,7 @@ void SocketServer::run() {
 }
 
 std::string send_command(const std::string& socket_path,
-                         const std::string& line) {
+                         const std::string& line, int timeout_ms) {
   const sockaddr_un addr = make_address(socket_path);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
@@ -136,11 +199,15 @@ std::string send_command(const std::string& socket_path,
     throw_errno("connect " + socket_path);
   }
   try {
-    write_all(fd, line + "\n");
+    write_all(fd, line + "\n", timeout_ms);
     ::shutdown(fd, SHUT_WR);
-    std::string response = read_line(fd);
+    std::string response = read_line(fd, timeout_ms);
     ::close(fd);
     return response;
+  } catch (const IoTimeout&) {
+    ::close(fd);
+    throw std::runtime_error("timeout waiting for response to '" + line +
+                             "' from " + socket_path);
   } catch (...) {
     ::close(fd);
     throw;

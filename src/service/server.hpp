@@ -27,7 +27,13 @@ class SocketServer {
   /// Prepares a listener on `socket_path` (an existing socket file at that
   /// path is replaced — stale sockets from a killed daemon must not block
   /// restart). Throws std::runtime_error when the socket cannot be bound.
-  SocketServer(std::string socket_path, ProtocolHandler& handler);
+  /// `io_timeout_ms` bounds each connection's request read and response
+  /// write against an absolute deadline (< 0 = no limit): a client that
+  /// connects and never sends its line, or never drains its response, gets
+  /// a typed `err timeout` and its connection closed instead of wedging the
+  /// single-threaded accept loop forever.
+  SocketServer(std::string socket_path, ProtocolHandler& handler,
+               int io_timeout_ms = 5000);
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
@@ -49,13 +55,17 @@ class SocketServer {
   std::string path_;
   ProtocolHandler& handler_;
   int listen_fd_ = -1;
+  int io_timeout_ms_ = 5000;
   std::atomic<bool> stop_{false};
 };
 
 /// One protocol round-trip as a client: sends `line` to the daemon at
 /// `socket_path`, returns the response line (newline stripped). Throws
-/// std::runtime_error on connect/IO failure.
+/// std::runtime_error on connect/IO failure, including when the daemon does
+/// not answer within `timeout_ms` (< 0 = wait forever — the default, since
+/// `wait id=N` legitimately blocks for a whole training run).
 [[nodiscard]] std::string send_command(const std::string& socket_path,
-                                       const std::string& line);
+                                       const std::string& line,
+                                       int timeout_ms = -1);
 
 }  // namespace isasgd::service

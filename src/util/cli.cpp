@@ -106,7 +106,21 @@ std::vector<int> CliParser::get_int_list(const std::string& name) const {
   std::string item;
   while (std::getline(ss, item, ',')) {
     if (item.empty()) continue;
-    out.push_back(std::stoi(item));
+    // Full-token consumption, like get_i64/get_double above: std::stoi
+    // would silently read "4x" as 4 and let a typo'd list train the wrong
+    // thread counts.
+    std::size_t pos = 0;
+    int value = 0;
+    try {
+      value = std::stoi(item, &pos);
+    } catch (const std::exception&) {
+      pos = std::string::npos;
+    }
+    if (pos != item.size()) {
+      throw std::invalid_argument("--" + name + ": list item '" + item +
+                                  "' is not an integer");
+    }
+    out.push_back(value);
   }
   if (out.empty()) {
     throw std::invalid_argument("--" + name + ": empty list");

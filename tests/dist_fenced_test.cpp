@@ -1,0 +1,155 @@
+// Fenced round-robin simulator (Schedule::kFencedRoundRobin): determinism,
+// convergence, and report semantics. These runs are the reference half of
+// the bit-identity contract exercised end-to-end by dist_process_test.cpp —
+// here we pin down the simulator itself.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "data/data_source.hpp"
+#include "data/synthetic.hpp"
+#include "distributed/cluster.hpp"
+#include "distributed/fenced.hpp"
+#include "metrics/evaluator.hpp"
+#include "objectives/logistic.hpp"
+
+namespace isasgd::distributed {
+namespace {
+
+struct Fixture {
+  sparse::CsrMatrix data;
+  objectives::LogisticLoss loss;
+  metrics::Evaluator evaluator;
+
+  explicit Fixture(std::size_t rows = 400, std::size_t dim = 80)
+      : data([&] {
+          data::SyntheticSpec spec;
+          spec.rows = rows;
+          spec.dim = dim;
+          spec.mean_row_nnz = 6;
+          spec.target_psi = 0.85;
+          spec.label_noise = 0.02;
+          return data::generate(spec);
+        }()),
+        evaluator(data, loss, objectives::Regularization::none(), 1) {}
+};
+
+solvers::SolverOptions base_options() {
+  solvers::SolverOptions opt;
+  opt.step_size = 0.3;
+  opt.epochs = 4;
+  opt.seed = 42;
+  opt.keep_final_model = true;
+  return opt;
+}
+
+ClusterSpec fenced_spec(std::size_t nodes = 3) {
+  ClusterSpec spec;
+  spec.nodes = nodes;
+  spec.schedule = Schedule::kFencedRoundRobin;
+  return spec;
+}
+
+TEST(FencedPs, SameSeedIsBitIdenticalAcrossRuns) {
+  Fixture fx;
+  const auto opt = base_options();
+  const auto spec = fenced_spec();
+  const solvers::Trace a = run_param_server_fenced(
+      fx.data, fx.loss, opt, spec, /*use_importance=*/true,
+      fx.evaluator.as_fn());
+  const solvers::Trace b = run_param_server_fenced(
+      fx.data, fx.loss, opt, spec, /*use_importance=*/true,
+      fx.evaluator.as_fn());
+  ASSERT_EQ(a.final_model.size(), b.final_model.size());
+  for (std::size_t j = 0; j < a.final_model.size(); ++j) {
+    ASSERT_EQ(a.final_model[j], b.final_model[j]) << "coordinate " << j;
+  }
+}
+
+TEST(FencedPs, DifferentSeedsDiverge) {
+  Fixture fx;
+  auto opt = base_options();
+  const auto spec = fenced_spec();
+  const solvers::Trace a = run_param_server_fenced(
+      fx.data, fx.loss, opt, spec, true, fx.evaluator.as_fn());
+  opt.seed = 43;
+  const solvers::Trace b = run_param_server_fenced(
+      fx.data, fx.loss, opt, spec, true, fx.evaluator.as_fn());
+  EXPECT_NE(a.final_model, b.final_model);
+}
+
+TEST(FencedPs, ConvergesAndReportsZeroStaleness) {
+  Fixture fx;
+  auto opt = base_options();
+  opt.epochs = 8;
+  ParamServerReport report;
+  const solvers::Trace trace = run_param_server_fenced(
+      fx.data, fx.loss, opt, fenced_spec(), /*use_importance=*/true,
+      fx.evaluator.as_fn(), &report);
+  ASSERT_GE(trace.points.size(), 2u);
+  EXPECT_LT(trace.points.back().objective, trace.points.front().objective);
+  // Fenced semantics: every gradient is computed against the model it is
+  // applied to.
+  EXPECT_EQ(report.mean_staleness_updates, 0.0);
+  // One push per drawn sample, k nodes × epochs × per-node quota = n·epochs.
+  EXPECT_EQ(report.messages, opt.epochs * fx.data.rows());
+  EXPECT_TRUE(trace.simulated_time);
+}
+
+TEST(FencedPs, ShardedSourceMatchesDeterministically) {
+  Fixture fx;
+  const data::InMemorySource chunked(fx.data, /*shard_rows=*/64);
+  metrics::Evaluator ev(chunked, fx.loss, objectives::Regularization::none(),
+                        1);
+  const auto opt = base_options();
+  const auto spec = fenced_spec();
+  const solvers::Trace a = run_param_server_fenced_sharded(
+      chunked, fx.loss, opt, spec, /*use_importance=*/true, ev.as_fn());
+  const solvers::Trace b = run_param_server_fenced_sharded(
+      chunked, fx.loss, opt, spec, /*use_importance=*/true, ev.as_fn());
+  ASSERT_FALSE(a.final_model.empty());
+  EXPECT_EQ(a.final_model, b.final_model);
+}
+
+TEST(FencedAllreduce, SameSeedIsBitIdenticalAndConverges) {
+  Fixture fx;
+  auto opt = base_options();
+  opt.batch_size = 8;
+  opt.epochs = 8;
+  const auto spec = fenced_spec();
+  AllreduceReport ra;
+  const solvers::Trace a = run_allreduce_fenced(
+      fx.data, fx.loss, opt, spec, /*use_importance=*/false,
+      fx.evaluator.as_fn(), &ra);
+  AllreduceReport rb;
+  const solvers::Trace b = run_allreduce_fenced(
+      fx.data, fx.loss, opt, spec, /*use_importance=*/false,
+      fx.evaluator.as_fn(), &rb);
+  EXPECT_EQ(a.final_model, b.final_model);
+  EXPECT_EQ(ra.rounds, rb.rounds);
+  EXPECT_GT(ra.rounds, 0u);
+  EXPECT_LT(a.points.back().objective, a.points.front().objective);
+}
+
+TEST(FencedPs, RegistryDispatchesFencedScheduleThroughTrainer) {
+  Fixture fx(200, 50);
+  const auto spec = fenced_spec(2);
+  const core::Trainer trainer = core::TrainerBuilder()
+                                    .data(fx.data)
+                                    .objective(fx.loss)
+                                    .cluster(spec)
+                                    .eval_threads(1)
+                                    .build();
+  auto opt = base_options();
+  opt.epochs = 2;
+  const solvers::Trace via_trainer = trainer.train("dist.ps.is_asgd", opt);
+  metrics::Evaluator ev(fx.data, fx.loss, objectives::Regularization::none(),
+                        1);
+  const solvers::Trace direct = run_param_server_fenced(
+      fx.data, fx.loss, opt, spec, /*use_importance=*/true, ev.as_fn());
+  EXPECT_EQ(via_trainer.final_model, direct.final_model);
+}
+
+}  // namespace
+}  // namespace isasgd::distributed

@@ -1,0 +1,245 @@
+// Real-backend cross-validation: the process group (1 PS + k workers over a
+// real transport) must produce the SAME BITS as the fenced simulator — per
+// solver, per transport — and must actually train (closed-form optimum on an
+// identity-design least-squares problem).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "sparse/csr_builder.hpp"
+#include "data/synthetic.hpp"
+#include "distributed/cluster.hpp"
+#include "distributed/fenced.hpp"
+#include "distributed/real_runtime.hpp"
+#include "metrics/evaluator.hpp"
+#include "objectives/least_squares.hpp"
+#include "objectives/logistic.hpp"
+
+namespace isasgd::distributed {
+namespace {
+
+struct Fixture {
+  sparse::CsrMatrix data;
+  objectives::LogisticLoss loss;
+  metrics::Evaluator evaluator;
+
+  explicit Fixture(std::size_t rows = 300, std::size_t dim = 60)
+      : data([&] {
+          data::SyntheticSpec spec;
+          spec.rows = rows;
+          spec.dim = dim;
+          spec.mean_row_nnz = 6;
+          spec.target_psi = 0.85;
+          spec.label_noise = 0.02;
+          return data::generate(spec);
+        }()),
+        evaluator(data, loss, objectives::Regularization::none(), 1) {}
+};
+
+solvers::SolverOptions small_options() {
+  solvers::SolverOptions opt;
+  opt.step_size = 0.3;
+  opt.epochs = 3;
+  opt.seed = 1234;
+  opt.keep_final_model = true;
+  return opt;
+}
+
+ClusterSpec process_spec(const std::string& transport, std::size_t nodes = 2) {
+  ClusterSpec spec;
+  spec.nodes = nodes;
+  spec.backend = Backend::kProcess;
+  spec.schedule = Schedule::kFencedRoundRobin;
+  spec.transport = transport;
+  return spec;
+}
+
+void expect_bit_identical(const solvers::Trace& real,
+                          const solvers::Trace& sim, const char* what) {
+  ASSERT_EQ(real.final_model.size(), sim.final_model.size()) << what;
+  for (std::size_t j = 0; j < real.final_model.size(); ++j) {
+    ASSERT_EQ(real.final_model[j], sim.final_model[j])
+        << what << ": coordinate " << j << " diverged";
+  }
+  ASSERT_EQ(real.points.size(), sim.points.size()) << what;
+  for (std::size_t p = 0; p < real.points.size(); ++p) {
+    // Same models at every fence ⇒ same metrics at every epoch (times
+    // differ: wall vs simulated).
+    ASSERT_EQ(real.points[p].objective, sim.points[p].objective)
+        << what << ": epoch " << real.points[p].epoch;
+  }
+}
+
+class PsProcessSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PsProcessSuite, IsAsgdMatchesFencedSimulatorBitForBit) {
+  Fixture fx;
+  const auto opt = small_options();
+  ClusterSpec spec = process_spec(GetParam());
+  ParamServerReport real_report;
+  const solvers::Trace real = run_param_server_process(
+      fx.data, fx.loss, opt, spec, /*use_importance=*/true,
+      fx.evaluator.as_fn(), &real_report);
+  spec.backend = Backend::kSimulate;
+  const solvers::Trace sim = run_param_server_fenced(
+      fx.data, fx.loss, opt, spec, /*use_importance=*/true,
+      fx.evaluator.as_fn());
+  expect_bit_identical(real, sim, "ps_is_asgd");
+  // 2 nodes × 3 epochs over 300 rows: every sample became one push.
+  EXPECT_EQ(real_report.messages, 3u * fx.data.rows());
+  EXPECT_EQ(real_report.mean_staleness_updates, 0.0);
+}
+
+TEST_P(PsProcessSuite, AsgdUniformMatchesFencedSimulatorBitForBit) {
+  Fixture fx;
+  const auto opt = small_options();
+  ClusterSpec spec = process_spec(GetParam());
+  const solvers::Trace real = run_param_server_process(
+      fx.data, fx.loss, opt, spec, /*use_importance=*/false,
+      fx.evaluator.as_fn());
+  spec.backend = Backend::kSimulate;
+  const solvers::Trace sim = run_param_server_fenced(
+      fx.data, fx.loss, opt, spec, /*use_importance=*/false,
+      fx.evaluator.as_fn());
+  expect_bit_identical(real, sim, "ps_asgd");
+}
+
+TEST_P(PsProcessSuite, AllreduceMatchesFencedSimulatorBitForBit) {
+  Fixture fx;
+  auto opt = small_options();
+  opt.batch_size = 8;
+  ClusterSpec spec = process_spec(GetParam());
+  AllreduceReport real_report;
+  const solvers::Trace real = run_allreduce_process(
+      fx.data, fx.loss, opt, spec, /*use_importance=*/false,
+      fx.evaluator.as_fn(), &real_report);
+  spec.backend = Backend::kSimulate;
+  AllreduceReport sim_report;
+  const solvers::Trace sim = run_allreduce_fenced(
+      fx.data, fx.loss, opt, spec, /*use_importance=*/false,
+      fx.evaluator.as_fn(), &sim_report);
+  expect_bit_identical(real, sim, "allreduce_sgd");
+  EXPECT_EQ(real_report.rounds, sim_report.rounds);
+}
+
+TEST_P(PsProcessSuite, ThreeWorkersAlsoMatch) {
+  Fixture fx;
+  const auto opt = small_options();
+  ClusterSpec spec = process_spec(GetParam(), /*nodes=*/3);
+  const solvers::Trace real = run_param_server_process(
+      fx.data, fx.loss, opt, spec, /*use_importance=*/true,
+      fx.evaluator.as_fn());
+  spec.backend = Backend::kSimulate;
+  const solvers::Trace sim = run_param_server_fenced(
+      fx.data, fx.loss, opt, spec, /*use_importance=*/true,
+      fx.evaluator.as_fn());
+  expect_bit_identical(real, sim, "ps_is_asgd k=3");
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, PsProcessSuite,
+                         ::testing::Values(std::string("shm"),
+                                           std::string("tcp")),
+                         [](const auto& info) { return info.param; });
+
+TEST(PsProcess, TrainsIdentityLeastSquaresToClosedFormOptimum) {
+  // Identity design: row i is e_{i mod d} with label y = target[i mod d].
+  // The least-squares optimum is w* = target exactly, and each fenced PS
+  // step contracts the owning coordinate toward it; 25 epochs at λ=0.5
+  // leave an error below 1e-6 per coordinate. A real 1-server/2-worker
+  // group must reach it — this is training doing work across processes,
+  // not just echoing bytes.
+  const std::size_t d = 8, reps = 4;
+  std::vector<double> target(d);
+  for (std::size_t c = 0; c < d; ++c) {
+    target[c] = 0.5 + 0.25 * static_cast<double>(c);
+  }
+  sparse::CsrBuilder builder(d);
+  for (std::size_t i = 0; i < d * reps; ++i) {
+    const sparse::index_t c = static_cast<sparse::index_t>(i % d);
+    const sparse::value_t one = 1.0;
+    builder.add_row(std::span<const sparse::index_t>(&c, 1),
+                    std::span<const sparse::value_t>(&one, 1), target[c]);
+  }
+  const sparse::CsrMatrix data = builder.build();
+  objectives::LeastSquaresLoss loss;
+  metrics::Evaluator evaluator(data, loss, objectives::Regularization::none(),
+                               1);
+  solvers::SolverOptions opt;
+  opt.step_size = 0.5;
+  opt.epochs = 25;
+  opt.seed = 7;
+  opt.keep_final_model = true;
+  const ClusterSpec spec = process_spec("shm");
+  const solvers::Trace trace = run_param_server_process(
+      data, loss, opt, spec, /*use_importance=*/false, evaluator.as_fn());
+  ASSERT_EQ(trace.final_model.size(), d);
+  for (std::size_t c = 0; c < d; ++c) {
+    EXPECT_NEAR(trace.final_model[c], target[c], 1e-6) << "coordinate " << c;
+  }
+}
+
+TEST(PsProcess, RegistryDispatchesProcessBackendThroughTrainer) {
+  Fixture fx(120, 40);
+  const core::Trainer trainer = core::TrainerBuilder()
+                                    .data(fx.data)
+                                    .objective(fx.loss)
+                                    .cluster(process_spec("shm"))
+                                    .build();
+  auto opt = small_options();
+  opt.epochs = 2;
+  const solvers::Trace via_trainer = trainer.train("dist.ps.is_asgd", opt);
+  ClusterSpec sim = process_spec("shm");
+  sim.backend = Backend::kSimulate;
+  const core::Trainer sim_trainer = core::TrainerBuilder()
+                                        .data(fx.data)
+                                        .objective(fx.loss)
+                                        .cluster(sim)
+                                        .build();
+  const solvers::Trace via_sim = sim_trainer.train("dist.ps.is_asgd", opt);
+  ASSERT_EQ(via_trainer.final_model.size(), via_sim.final_model.size());
+  for (std::size_t j = 0; j < via_trainer.final_model.size(); ++j) {
+    ASSERT_EQ(via_trainer.final_model[j], via_sim.final_model[j]);
+  }
+  // The process trace is real wall clock, the simulated one is not.
+  EXPECT_FALSE(via_trainer.simulated_time);
+  EXPECT_TRUE(via_sim.simulated_time);
+}
+
+TEST(PsProcess, EarlyStopPropagatesToTheGroup) {
+  // An observer stopping at epoch 2 must wind the whole process group down
+  // cleanly (no hangs, no zombie workers) with exactly 2 recorded epochs.
+  struct StopAtTwo final : solvers::TrainingObserver {
+    bool on_epoch(const solvers::TracePoint& point) override {
+      return point.epoch < 2;
+    }
+  } stopper;
+  Fixture fx(120, 40);
+  auto opt = small_options();
+  opt.epochs = 50;
+  const solvers::Trace trace = run_param_server_process(
+      fx.data, fx.loss, opt, process_spec("shm"), /*use_importance=*/true,
+      fx.evaluator.as_fn(), nullptr, &stopper);
+  ASSERT_FALSE(trace.points.empty());
+  EXPECT_EQ(trace.points.back().epoch, 2u);
+}
+
+TEST(ProcessSpec, ValidationRejectsEventClockProcessAndBadTransport) {
+  ClusterSpec spec = process_spec("shm");
+  spec.schedule = Schedule::kEventClock;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = process_spec("shm");
+  spec.transport = "carrier-pigeon";
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = process_spec("shm");
+  spec.bind_address = "tcp://127.0.0.1:0";  // scheme/transport mismatch
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = process_spec("tcp");
+  spec.bind_address = "tcp://127.0.0.1:0";
+  EXPECT_NO_THROW(spec.validate());
+}
+
+}  // namespace
+}  // namespace isasgd::distributed

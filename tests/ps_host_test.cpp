@@ -1,0 +1,149 @@
+// Hosted parameter-server endpoint (service::PsHost + the ps_serve/ps_stop
+// protocol verbs): a daemon-owned model that external workers train against
+// over the distributed wire protocol, applying pushes with the same
+// fenced::apply_push arithmetic as every other backend.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "distributed/fenced.hpp"
+#include "distributed/ps_wire.hpp"
+#include "net/transport.hpp"
+#include "objectives/objective.hpp"
+#include "service/protocol.hpp"
+#include "service/ps_host.hpp"
+#include "service/training_service.hpp"
+
+namespace isasgd {
+namespace {
+
+namespace wire = distributed::wire;
+
+std::vector<double> step_values(net::Endpoint& ep,
+                                const std::vector<std::uint32_t>& idx) {
+  wire::Packer req;
+  req.u64(idx.size());
+  for (const std::uint32_t c : idx) req.u32(c);
+  net::write_frame(ep, wire::kStep, std::move(req).take());
+  const net::Frame reply = net::expect_frame(ep, wire::kStepReply, "step");
+  wire::Unpacker in(reply.payload);
+  std::vector<double> values(idx.size());
+  for (double& v : values) v = in.f64();
+  return values;
+}
+
+void push(net::Endpoint& ep, double gradient_scale, double scaled_step,
+          const std::vector<std::uint32_t>& idx,
+          const std::vector<double>& val) {
+  wire::Packer req;
+  req.f64(gradient_scale).f64(scaled_step).u64(idx.size());
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    req.u32(idx[j]);
+    req.f64(val[j]);
+  }
+  net::write_frame(ep, wire::kPush, std::move(req).take());
+  (void)net::expect_frame(ep, wire::kPushAck, "push");
+}
+
+TEST(PsHost, ServesGetsAndAppliesPushesWithSharedApplyArithmetic) {
+  service::PsHost host(/*dim=*/16, "tcp://127.0.0.1:0");
+  auto ep = net::connect(host.address());
+  ep->set_io_timeout(5000);
+
+  // Fresh model is all zeros.
+  const std::vector<std::uint32_t> idx{1, 4, 9};
+  EXPECT_EQ(step_values(*ep, idx), (std::vector<double>{0.0, 0.0, 0.0}));
+
+  // One push must land exactly as fenced::apply_push lands it locally.
+  const std::vector<double> val{0.5, -1.25, 2.0};
+  const double gscale = 0.375, sstep = 0.0625;
+  std::vector<double> expected(16, 0.0);
+  distributed::fenced::apply_push(idx, val, gscale, sstep,
+                                  objectives::Regularization::none(),
+                                  expected);
+  push(*ep, gscale, sstep, idx, val);
+  const std::vector<double> got = step_values(*ep, idx);
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    EXPECT_EQ(got[j], expected[idx[j]]) << "coordinate " << idx[j];
+  }
+  EXPECT_EQ(host.pushes(), 1u);
+  EXPECT_EQ(host.model(), expected);
+}
+
+TEST(PsHost, ModelOutlivesWorkerConnections) {
+  service::PsHost host(/*dim=*/4, "tcp://127.0.0.1:0");
+  {
+    auto first = net::connect(host.address());
+    first->set_io_timeout(5000);
+    push(*first, 1.0, 0.5, {2}, {1.0});  // w[2] -= 0.5
+    first->close();
+  }
+  auto second = net::connect(host.address());
+  second->set_io_timeout(5000);
+  EXPECT_EQ(step_values(*second, {2}), (std::vector<double>{-0.5}));
+  EXPECT_EQ(host.pushes(), 1u);
+}
+
+TEST(PsHost, OutOfRangePushCoordinateCostsOnlyThatConnection) {
+  service::PsHost host(/*dim=*/4, "tcp://127.0.0.1:0");
+  {
+    auto bad = net::connect(host.address());
+    bad->set_io_timeout(5000);
+    wire::Packer req;
+    req.f64(1.0).f64(1.0).u64(1).u32(99).f64(1.0);
+    net::write_frame(*bad, wire::kPush, std::move(req).take());
+    // The host drops the connection without acking.
+    EXPECT_THROW((void)net::read_frame(*bad), net::TransportError);
+  }
+  auto good = net::connect(host.address());
+  good->set_io_timeout(5000);
+  EXPECT_EQ(step_values(*good, {0}), (std::vector<double>{0.0}));
+  EXPECT_EQ(host.pushes(), 0u);
+}
+
+TEST(PsHostProtocol, ServeStopRoundTripThroughTheVerbs) {
+  service::TrainingService svc{service::TrainingService::Options{}};
+  service::ProtocolHandler handler(svc);
+
+  EXPECT_EQ(handler.handle_line("ps_stop"), "err no hosted ps");
+
+  const std::string reply = handler.handle_line("ps_serve dim=8");
+  ASSERT_EQ(reply.rfind("ok addr=", 0), 0u) << reply;
+  ASSERT_NE(reply.find(" dim=8"), std::string::npos) << reply;
+  const std::string addr =
+      reply.substr(8, reply.find(' ', 8) - 8);  // between addr= and " dim"
+
+  // Second serve is refused while one is running.
+  EXPECT_EQ(handler.handle_line("ps_serve dim=8").rfind("err ", 0), 0u);
+
+  // A worker can train against the daemon-hosted model.
+  {
+    auto ep = net::connect(addr);
+    ep->set_io_timeout(5000);
+    push(*ep, 2.0, 0.25, {3}, {1.0});
+    push(*ep, 2.0, 0.25, {3}, {1.0});
+    EXPECT_EQ(step_values(*ep, {3}), (std::vector<double>{-1.0}));
+  }
+  EXPECT_EQ(handler.handle_line("ps_stop"), "ok pushes=2");
+  EXPECT_EQ(handler.handle_line("ps_stop"), "err no hosted ps");
+
+  // Bad arguments are typed errors, not crashes.
+  EXPECT_EQ(handler.handle_line("ps_serve dim=0"),
+            "err ps_serve requires dim > 0");
+  EXPECT_EQ(handler.handle_line("ps_serve").rfind("err ", 0), 0u);
+  EXPECT_EQ(handler.handle_line("ps_serve dim=-1").rfind("err bad integer", 0),
+            0u);
+}
+
+TEST(PsHostProtocol, ShutdownStopsTheHostedPs) {
+  service::TrainingService svc{service::TrainingService::Options{}};
+  service::ProtocolHandler handler(svc);
+  ASSERT_EQ(handler.handle_line("ps_serve dim=2").rfind("ok ", 0), 0u);
+  EXPECT_EQ(handler.handle_line("shutdown"), "ok bye");
+  EXPECT_TRUE(handler.shutdown_requested());
+  EXPECT_EQ(handler.ps_host(), nullptr);
+}
+
+}  // namespace
+}  // namespace isasgd

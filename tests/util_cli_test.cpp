@@ -61,6 +61,23 @@ TEST(CliParser, IntListParsing) {
   EXPECT_EQ(cli.get_int_list("threads"), (std::vector<int>{1, 2, 32}));
 }
 
+TEST(CliParser, IntListRejectsPartiallyNumericItems) {
+  // Pre-fix, unchecked std::stoi read "--threads=4x,8" as {4, 8}: the typo'd
+  // benchmark silently measured the wrong thread counts. Every item must now
+  // consume its full token, like get_int/get_double already did.
+  for (const char* bad : {"4x,8", "4,8x", "1,2.5", "1,two", "0x4,8", "4 ,8"}) {
+    CliParser cli = make_parser();
+    ASSERT_TRUE(parse(cli, {"--threads", bad}));
+    EXPECT_THROW(cli.get_int_list("threads"), std::invalid_argument) << bad;
+  }
+}
+
+TEST(CliParser, IntListStillAcceptsNegativesAndSkipsEmptyItems) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--threads", "-1,,8,"}));
+  EXPECT_EQ(cli.get_int_list("threads"), (std::vector<int>{-1, 8}));
+}
+
 TEST(CliParser, IntListDefault) {
   CliParser cli = make_parser();
   ASSERT_TRUE(parse(cli, {}));
