@@ -1,58 +1,109 @@
 // Streaming vs in-memory training throughput.
 //
-// Generates a synthetic dataset, writes it to disk (binary and libsvm), and
-// trains the same solver three ways on the same seed:
+// Generates a synthetic dataset, writes it to disk (binary/libsvm AND as a
+// compiled ISSP shardpack), and trains the same solver four ways on the
+// same seed:
 //
 //   inmem      — classic single-shard in-memory path (the seed behaviour)
 //   chunked    — in-memory source split into shards (shard-major schedule,
 //                zero I/O): isolates the schedule's cost from the I/O's
 //   stream     — StreamingSource under --budget-mb, with LRU cache +
-//                background prefetch: the out-of-core path
+//                background prefetch: the parse-on-fault out-of-core path
+//   packed     — PackedSource over the shardpack, same budget, cold cache:
+//                mmap decode + pooled buffers + prefetch autotuner
 //
-// Reports epochs/s, training-pass rows/s and the streaming cache counters,
-// and (with --check) asserts the streaming final loss is within 1e-6
-// relative of the chunked in-memory path — the PR's acceptance gate, run
-// on bench-scale data.
+// Reports epochs/s, training-pass rows/s and the shard-cache counters
+// (--stats prints the full counter set per lane). With --check the run
+// becomes the PR's acceptance gate: the dataset is sized at least 10x the
+// cache budget (the budget is clamped down if needed), the packed
+// cold-stream must reach >= 0.9x the classic in-memory throughput, and the
+// packed final model must match the streaming lane bit-for-bit (serial
+// solvers; async gates on relative objective instead). --out writes the
+// whole result as JSON for CI artifacts.
 //
 //   build/bench/streaming [--rows 200000 --dim 50000 --budget-mb 8 ...]
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/execution.hpp"
 #include "core/trainer.hpp"
 #include "data/data_source.hpp"
+#include "data/packed_source.hpp"
 #include "data/streaming_source.hpp"
 #include "data/synthetic.hpp"
 #include "io/binary.hpp"
 #include "io/libsvm.hpp"
+#include "io/shardpack.hpp"
 #include "objectives/logistic.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
+namespace {
+
+using namespace isasgd;
+
+struct LaneResult {
+  std::string label;
+  double train_seconds = 0;
+  double rows_per_s = 0;
+  double final_objective = 0;
+  std::vector<double> final_model;
+  std::optional<data::CacheStats> cache;
+};
+
+std::string cache_json(const data::CacheStats& s) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"loads\":%llu,\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
+      "\"prefetch_issued\":%llu,\"prefetch_hits\":%llu,"
+      "\"prefetch_races\":%llu,\"prefetch_wasted\":%llu,"
+      "\"resident_bytes\":%llu,\"resident_shards\":%llu}",
+      static_cast<unsigned long long>(s.loads),
+      static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.misses),
+      static_cast<unsigned long long>(s.evictions),
+      static_cast<unsigned long long>(s.prefetch_issued),
+      static_cast<unsigned long long>(s.prefetch_hits),
+      static_cast<unsigned long long>(s.prefetch_races),
+      static_cast<unsigned long long>(s.prefetch_wasted),
+      static_cast<unsigned long long>(s.resident_bytes),
+      static_cast<unsigned long long>(s.resident_shards));
+  return buf;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace isasgd;
   util::CliParser cli("streaming",
                       "Streaming (out-of-core) vs in-memory training "
                       "throughput on one synthetic dataset");
   cli.add_flag("rows", "120000", "dataset rows");
   cli.add_flag("dim", "40000", "feature dimensionality");
   cli.add_flag("nnz", "40", "mean nonzeros per row");
-  cli.add_flag("shard-rows", "8192", "rows per shard");
+  cli.add_flag("shard-rows", "2048", "rows per shard");
   cli.add_flag("budget-mb", "8", "streaming shard-cache budget (MiB)");
-  cli.add_flag("epochs", "3", "training epochs");
+  cli.add_flag("epochs", "6", "training epochs");
   cli.add_flag("threads", "4", "workers for the ASGD runs (solver=asgd)");
   cli.add_flag("solver", "sgd", "streaming-capable solver: sgd or asgd");
   cli.add_flag("format", "binary", "on-disk format: binary or libsvm");
   cli.add_flag("seed", "7", "RNG seed");
+  cli.add_flag("stats", "false", "print the full cache counter set per lane");
+  cli.add_flag("out", "", "write results as JSON to this path (CI artifact)");
   cli.add_flag("check",
                "false",
-               "assert streaming final loss within 1e-6 relative of the "
-               "chunked in-memory path (exit 1 on violation)");
+               "acceptance gate: dataset >= 10x budget, packed cold-stream "
+               ">= 0.9x in-memory throughput, packed == stream final model "
+               "(exit 1 on violation)");
   if (!cli.parse(argc, argv)) return 0;
 
   data::SyntheticSpec spec;
@@ -63,14 +114,16 @@ int main(int argc, char** argv) {
   std::printf("generating %zu x %zu (%g nnz/row)...\n", spec.rows, spec.dim,
               spec.mean_row_nnz);
   const sparse::CsrMatrix data = data::generate(spec);
-  const double data_mib =
-      static_cast<double>(data.nnz() * 12 + data.rows() * 16) / (1 << 20);
+  const std::size_t data_bytes = data.nnz() * 12 + data.rows() * 16;
+  const double data_mib = static_cast<double>(data_bytes) / (1 << 20);
+  const bool check = cli.get_bool("check");
 
   const auto dir = std::filesystem::temp_directory_path() / "isasgd_bench";
   std::filesystem::create_directories(dir);
   const bool binary = cli.get("format") != "libsvm";
   const std::string file =
       (dir / (binary ? "stream.bin" : "stream.libsvm")).string();
+  const std::string pack_file = (dir / "stream.issp").string();
   {
     util::Stopwatch timer;
     if (binary) {
@@ -84,8 +137,24 @@ int main(int argc, char** argv) {
 
   const std::size_t shard_rows =
       static_cast<std::size_t>(cli.get_i64("shard-rows"));
-  const std::size_t budget =
-      static_cast<std::size_t>(cli.get_i64("budget-mb")) << 20;
+  std::size_t budget = static_cast<std::size_t>(cli.get_i64("budget-mb")) << 20;
+  if (check && budget * 10 > data_bytes) {
+    // The gate's premise is genuine eviction pressure: a cache holding the
+    // whole dataset would measure the in-memory path twice. Clamp the
+    // budget to a tenth of the data footprint (floor 1 MiB).
+    budget = std::max<std::size_t>(std::size_t{1} << 20, data_bytes / 10);
+    std::printf("check: clamped budget to %.1f MiB (10x rule)\n",
+                static_cast<double>(budget) / (1 << 20));
+  }
+
+  {
+    util::Stopwatch timer;
+    io::ShardPackWriteOptions popt;
+    popt.shard_rows = shard_rows;
+    io::write_shardpack(pack_file, data, popt);
+    std::printf("packed %s in %.2fs\n", pack_file.c_str(), timer.seconds());
+  }
+
   auto ctx = std::make_shared<core::ExecutionContext>();
   data::StreamingOptions sopt;
   sopt.shard_rows = shard_rows;
@@ -95,6 +164,9 @@ int main(int argc, char** argv) {
   std::printf("indexed %zu shards in %.2fs (budget %.1f MiB)\n",
               stream->shard_count(), index_timer.seconds(),
               static_cast<double>(budget) / (1 << 20));
+  data::PackedOptions popts;
+  popts.memory_budget_bytes = budget;
+  const auto packed = ctx->open_packed(pack_file, popts);
   const data::InMemorySource inmem(data);
   const data::InMemorySource chunked(data, shard_rows);
 
@@ -104,11 +176,13 @@ int main(int argc, char** argv) {
   opt.step_size = 0.5;
   opt.threads = static_cast<std::size_t>(cli.get_i64("threads"));
   opt.seed = spec.seed;
+  opt.keep_final_model = true;
   const std::string solver = cli.get("solver");
+  const bool print_stats = cli.get_bool("stats");
 
   util::TablePrinter table({"path", "train_s", "epochs_per_s", "Mrows_per_s",
                             "final_obj", "cache"});
-  double f_chunked = 0, f_stream = 0;
+  std::vector<LaneResult> lanes;
   auto run = [&](const char* label, const data::DataSource& source) {
     const core::Trainer trainer = core::TrainerBuilder()
                                       .source(source)
@@ -119,51 +193,166 @@ int main(int argc, char** argv) {
     const solvers::Trace trace = trainer.train(solver, opt);
     const double rows_trained =
         static_cast<double>(data.rows()) * static_cast<double>(opt.epochs);
+    LaneResult lane;
+    lane.label = label;
+    lane.train_seconds = trace.train_seconds;
+    lane.rows_per_s = rows_trained / trace.train_seconds;
+    lane.final_objective = trace.points.back().objective;
+    lane.final_model = trace.final_model;
+    lane.cache = source.cache_stats();
     std::string cache = "-";
-    if (&source == stream.get()) {
-      const auto stats = stream->cache_stats();
+    if (lane.cache) {
       char buf[128];
       std::snprintf(buf, sizeof buf, "h%llu m%llu ev%llu pf%llu",
-                    static_cast<unsigned long long>(stats.hits),
-                    static_cast<unsigned long long>(stats.misses),
-                    static_cast<unsigned long long>(stats.evictions),
-                    static_cast<unsigned long long>(stats.prefetch_issued));
+                    static_cast<unsigned long long>(lane.cache->hits),
+                    static_cast<unsigned long long>(lane.cache->misses),
+                    static_cast<unsigned long long>(lane.cache->evictions),
+                    static_cast<unsigned long long>(lane.cache->prefetch_issued));
       cache = buf;
     }
-    table.add_row_values(
-        std::string(label), trace.train_seconds,
-        static_cast<double>(opt.epochs) / trace.train_seconds,
-        rows_trained / trace.train_seconds / 1e6,
-        trace.points.back().objective, cache);
-    return trace.points.back().objective;
+    table.add_row_values(lane.label, lane.train_seconds,
+                         static_cast<double>(opt.epochs) / trace.train_seconds,
+                         lane.rows_per_s / 1e6, lane.final_objective, cache);
+    lanes.push_back(std::move(lane));
+    return lanes.back().final_objective;
   };
 
   run("inmem", inmem);
-  f_chunked = run("chunked", chunked);
-  f_stream = run("stream", *stream);
+  const double f_chunked = run("chunked", chunked);
+  const double f_stream = run("stream", *stream);
+  // Cold-stream on purpose: this is the packed source's first epoch ever,
+  // so the first pass decodes every shard from the mmap.
+  const double f_packed = run("packed", *packed);
   std::printf("\n%s\n", table.render().c_str());
 
-  if (cli.get_bool("check")) {
-    // Serial streaming (sgd) is bit-identical to the chunked in-memory
-    // path, so the acceptance gate is 1e-6 with enormous margin. ASGD keeps
-    // the same schedule but its Hogwild updates race, so runs agree only
-    // statistically — gate at 1e-2 there.
-    const bool serial = solvers::SolverRegistry::instance()
-                            .get(solver)
-                            .capabilities()
-                            .serial();
-    const double gate = serial ? 1e-6 : 1e-2;
+  if (print_stats) {
+    for (const LaneResult& lane : lanes) {
+      if (!lane.cache) continue;
+      const data::CacheStats& s = *lane.cache;
+      std::printf(
+          "%-8s loads=%llu hits=%llu misses=%llu evictions=%llu "
+          "prefetch_issued=%llu prefetch_hits=%llu prefetch_races=%llu "
+          "prefetch_wasted=%llu resident=%llu/%llu shards\n",
+          lane.label.c_str(), static_cast<unsigned long long>(s.loads),
+          static_cast<unsigned long long>(s.hits),
+          static_cast<unsigned long long>(s.misses),
+          static_cast<unsigned long long>(s.evictions),
+          static_cast<unsigned long long>(s.prefetch_issued),
+          static_cast<unsigned long long>(s.prefetch_hits),
+          static_cast<unsigned long long>(s.prefetch_races),
+          static_cast<unsigned long long>(s.prefetch_wasted),
+          static_cast<unsigned long long>(s.resident_bytes),
+          static_cast<unsigned long long>(s.resident_shards));
+    }
+    std::printf("packed   prefetch_depth=%zu autotune_adjustments=%llu "
+                "buffer_reuses=%llu\n",
+                packed->prefetch_depth(),
+                static_cast<unsigned long long>(packed->autotune_adjustments()),
+                static_cast<unsigned long long>(packed->buffer_pool_reuses()));
+  }
+
+  int rc = 0;
+  const bool serial =
+      solvers::SolverRegistry::instance().get(solver).capabilities().serial();
+  double throughput_ratio = 0;
+  bool parity = false;
+  if (check || !cli.get("out").empty()) {
+    const LaneResult& inmem_lane = lanes[0];
+    const LaneResult& stream_lane = lanes[2];
+    const LaneResult& packed_lane = lanes[3];
+    // Gate against the classic in-memory lane: that is the "in-memory
+    // throughput" a user gives up by going out-of-core. The chunked lane
+    // can beat inmem outright (small shards fit L2), which would gate the
+    // cold-stream against a locality bonus it cannot earn back from disk.
+    throughput_ratio = packed_lane.rows_per_s / inmem_lane.rows_per_s;
+    // Bit parity packed vs stream: both lanes ran the identical shard-major
+    // schedule over identical f64 data, so serial solvers must agree to the
+    // bit. Hogwild lanes race by design and gate on relative objective.
+    if (serial) {
+      parity = packed_lane.final_model.size() ==
+                   stream_lane.final_model.size() &&
+               std::memcmp(packed_lane.final_model.data(),
+                           stream_lane.final_model.data(),
+                           packed_lane.final_model.size() * sizeof(double)) ==
+                   0;
+    } else {
+      const double rel = std::abs(f_packed - f_stream) /
+                         std::max(1e-300, std::abs(f_stream));
+      parity = rel <= 1e-2;
+    }
+  }
+
+  // The throughput gate needs a measurement window long enough that the
+  // cold start (first-ever decode + one-time CRC pass) amortises and timer
+  // noise stops dominating. Correctness gates (parity) always apply; a
+  // too-small window skips ONLY the throughput gate, loudly.
+  constexpr double kMinGateWindowSeconds = 0.2;
+  constexpr std::size_t kMinGateEpochs = 3;
+  const bool throughput_gated =
+      lanes[0].train_seconds >= kMinGateWindowSeconds &&
+      opt.epochs >= kMinGateEpochs;
+
+  if (check) {
+    constexpr double kThroughputGate = 0.9;
+    if (throughput_gated) {
+      std::printf("check: packed/inmem throughput = %.3f (gate %.2f)\n",
+                  throughput_ratio, kThroughputGate);
+    } else {
+      std::printf(
+          "check: packed/inmem throughput = %.3f (gate SKIPPED: inmem train "
+          "window %.3fs / %zu epochs below the %.1fs / %zu-epoch floor — "
+          "cold-start costs do not amortise; run the default sizes to gate)\n",
+          throughput_ratio, lanes[0].train_seconds, opt.epochs,
+          kMinGateWindowSeconds, kMinGateEpochs);
+    }
+    std::printf("check: packed vs stream %s parity: %s\n",
+                serial ? "bit" : "objective", parity ? "OK" : "FAIL");
     const double rel = std::abs(f_stream - f_chunked) /
                        std::max(1e-300, std::abs(f_chunked));
+    const double gate = serial ? 1e-6 : 1e-2;
     std::printf("check: |stream - chunked| / chunked = %.3e (gate %.0e)\n",
                 rel, gate);
+    if (throughput_gated && throughput_ratio < kThroughputGate) {
+      std::fprintf(stderr, "FAIL: packed cold-stream below %.2fx in-memory\n",
+                   kThroughputGate);
+      rc = 1;
+    }
+    if (!parity) {
+      std::fprintf(stderr, "FAIL: packed diverged from streaming path\n");
+      rc = 1;
+    }
     if (rel > gate) {
       std::fprintf(stderr, "FAIL: streaming diverged from in-memory path\n");
-      std::remove(file.c_str());
-      return 1;
+      rc = 1;
     }
-    std::printf("check: OK\n");
+    if (rc == 0) std::printf("check: OK\n");
   }
+
+  if (const std::string out = cli.get("out"); !out.empty()) {
+    std::ofstream js(out);
+    js << "{\n  \"rows\": " << spec.rows << ",\n  \"dim\": " << spec.dim
+       << ",\n  \"budget_bytes\": " << budget
+       << ",\n  \"shard_rows\": " << shard_rows << ",\n  \"solver\": \""
+       << solver << "\",\n  \"epochs\": " << opt.epochs
+       << ",\n  \"throughput_ratio_packed_vs_inmem\": " << throughput_ratio
+       << ",\n  \"throughput_gated\": " << (throughput_gated ? "true" : "false")
+       << ",\n  \"parity\": " << (parity ? "true" : "false")
+       << ",\n  \"check_passed\": " << (rc == 0 ? "true" : "false")
+       << ",\n  \"lanes\": [\n";
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      const LaneResult& lane = lanes[i];
+      js << "    {\"label\": \"" << lane.label
+         << "\", \"train_seconds\": " << lane.train_seconds
+         << ", \"rows_per_s\": " << lane.rows_per_s
+         << ", \"final_objective\": " << lane.final_objective;
+      if (lane.cache) js << ", \"cache\": " << cache_json(*lane.cache);
+      js << "}" << (i + 1 < lanes.size() ? "," : "") << "\n";
+    }
+    js << "  ]\n}\n";
+    std::printf("results written to %s\n", out.c_str());
+  }
+
   std::remove(file.c_str());
-  return 0;
+  std::remove(pack_file.c_str());
+  return rc;
 }

@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(cli.get_i64("stream-budget-mb")) << 20;
       const data::StreamingSource source(path.string(), sopt, &pool);
       const double mrows = streaming_pass_mrows(source);
-      const auto cache = source.cache_stats();
+      const auto cache = *source.cache_stats();
       stream_table.add_row_values(
           prepared.config.name, static_cast<double>(source.shard_count()),
           mrows, static_cast<double>(cache.loads),

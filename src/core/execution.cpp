@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "io/shardpack.hpp"
+
 namespace isasgd::core {
 
 ExecutionContext::ExecutionContext(std::size_t eval_threads,
@@ -25,6 +27,25 @@ std::shared_ptr<data::StreamingSource> ExecutionContext::open_streaming(
       new data::StreamingSource(std::move(path), options, &pool_);
   return std::shared_ptr<data::StreamingSource>(
       source, [self](data::StreamingSource* p) { delete p; });
+}
+
+std::shared_ptr<data::PackedSource> ExecutionContext::open_packed(
+    std::string path, data::PackedOptions options) {
+  std::shared_ptr<ExecutionContext> self = weak_from_this().lock();
+  auto* source = new data::PackedSource(std::move(path), options, &pool_);
+  return std::shared_ptr<data::PackedSource>(
+      source, [self](data::PackedSource* p) { delete p; });
+}
+
+std::shared_ptr<data::DataSource> ExecutionContext::open_source(
+    std::string path, data::StreamingOptions options) {
+  if (io::is_shardpack_file(path)) {
+    data::PackedOptions packed;
+    packed.memory_budget_bytes = options.memory_budget_bytes;
+    packed.prefetch = options.prefetch;
+    return open_packed(std::move(path), packed);
+  }
+  return open_streaming(std::move(path), options);
 }
 
 }  // namespace isasgd::core

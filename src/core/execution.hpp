@@ -24,6 +24,7 @@
 #include <string>
 
 #include "core/numa.hpp"
+#include "data/packed_source.hpp"
 #include "data/streaming_source.hpp"
 #include "distributed/cluster.hpp"
 #include "util/thread_pool.hpp"
@@ -62,6 +63,19 @@ class ExecutionContext
   /// the caller drops `ctx` first. A stack-allocated context cannot be
   /// retained that way and must simply outlive the source.
   [[nodiscard]] std::shared_ptr<data::StreamingSource> open_streaming(
+      std::string path, data::StreamingOptions options = {});
+
+  /// Opens a compiled shardpack (io::shardpack) as a PackedSource riding
+  /// this context's pool, with the same lifetime guarantee as
+  /// open_streaming.
+  [[nodiscard]] std::shared_ptr<data::PackedSource> open_packed(
+      std::string path, data::PackedOptions options = {});
+
+  /// Format-dispatching open: an ISSP shardpack becomes a PackedSource
+  /// (budget/prefetch carried over from `options`; autotuner on), anything
+  /// else a StreamingSource — so callers (service jobs, benches, examples)
+  /// accept either file kind through one entry point.
+  [[nodiscard]] std::shared_ptr<data::DataSource> open_source(
       std::string path, data::StreamingOptions options = {});
 
   /// Configures the simulated-cluster cost model shared by every Trainer

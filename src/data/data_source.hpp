@@ -25,11 +25,52 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sparse/csr_matrix.hpp"
 
 namespace isasgd::data {
+
+/// Cache behaviour counters of an out-of-core backend (monotonic since
+/// construction, except the resident_*/prefetch_inflight gauges). Shared by
+/// every cached backend — StreamingSource::CacheStats aliases it — and
+/// surfaced through DataSource::cache_stats() so bench/service layers report
+/// uniformly.
+struct CacheStats {
+  std::uint64_t loads = 0;       ///< shard reads that hit the file
+  std::uint64_t hits = 0;        ///< shard() served from cache
+  std::uint64_t misses = 0;      ///< shard() had to read the file
+  std::uint64_t evictions = 0;   ///< shards dropped for the budget
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_hits = 0;  ///< cache hits on a prefetched shard
+  /// shard() arrived while the shard's background prefetch was still
+  /// loading: the caller blocked on the in-flight read instead of issuing
+  /// its own. A racing prefetch beats a cold miss (the I/O was already in
+  /// motion) but loses to a hit — a high race rate means prefetches are
+  /// issued too late, i.e. the lookahead depth is too shallow.
+  std::uint64_t prefetch_races = 0;
+  /// Prefetched shards evicted before any shard() call touched them: I/O
+  /// and budget spent for nothing. A high wasted rate means the lookahead
+  /// overruns what the budget can hold resident.
+  std::uint64_t prefetch_wasted = 0;
+  /// Background loads in flight right now (gauge, not monotonic).
+  std::uint64_t prefetch_inflight = 0;
+  std::size_t resident_bytes = 0;  ///< current estimated cache footprint
+  std::size_t resident_shards = 0;
+};
+
+/// Per-row statistics recorded at pack time (io::shardpack sidecars) so
+/// adaptive-IS setup and PartitionPlan construction need no data pass.
+/// Values are the *exact* f64 results of the loaded-path arithmetic —
+/// row_squared_norm(i) is bit-identical to data.row(i).squared_norm() —
+/// so sidecar-fed setup produces bit-identical models.
+class RowStats {
+ public:
+  virtual ~RowStats() = default;
+  /// Exact row(i).squared_norm() of global row i.
+  [[nodiscard]] virtual double row_squared_norm(std::size_t row) const = 0;
+};
 
 /// One materialised shard. `matrix` may alias the full dataset (in-memory
 /// single shard) or own just this row range (chunked/streaming); holders
@@ -68,6 +109,27 @@ class DataSource {
   /// background. Default: no-op. Never throws for in-range ordinals
   /// (failures resurface on the blocking shard() call).
   virtual void prefetch(std::size_t s) const { (void)s; }
+
+  /// How many shards ahead a shard-major driver should prefetch (≥ 1).
+  /// Cached backends adapt this per epoch (see data::PrefetchAutotuner);
+  /// resident backends return 1 and ignore prefetch anyway.
+  [[nodiscard]] virtual std::size_t prefetch_depth() const { return 1; }
+
+  /// Epoch fence hook: cached backends feed the epoch's counter deltas to
+  /// their prefetch autotuner here. Default: no-op. Called by shard-major
+  /// epoch drivers; wall-clock tuning only, never affects results.
+  virtual void end_epoch() const {}
+
+  /// Cache/prefetch counters for out-of-core backends; nullopt when the
+  /// backend has no cache (fully resident).
+  [[nodiscard]] virtual std::optional<CacheStats> cache_stats() const {
+    return std::nullopt;
+  }
+
+  /// Pack-time per-row statistics, or null when the backend has none (only
+  /// io::shardpack files carry them). Borrowed pointer, valid for the
+  /// source's lifetime.
+  [[nodiscard]] virtual const RowStats* row_stats() const { return nullptr; }
 
   /// True when the whole dataset is resident in memory — shard() never does
   /// I/O and materialize() is free or cheap.

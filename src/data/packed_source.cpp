@@ -1,0 +1,157 @@
+#include "data/packed_source.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace isasgd::data {
+
+/// Recycled CSR decode buffers. A decoded shard's matrix carries a deleter
+/// that returns its four arrays here, so in steady state every decode
+/// starts from capacity-warm vectors and the data path stops allocating.
+struct PackedSource::BufferPool {
+  struct Buffers {
+    std::vector<std::size_t> row_ptr;
+    std::vector<sparse::index_t> col_idx;
+    std::vector<sparse::value_t> values;
+    std::vector<sparse::value_t> labels;
+  };
+
+  Buffers acquire() {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (free.empty()) return {};
+    Buffers b = std::move(free.back());
+    free.pop_back();
+    ++reuses;
+    return b;
+  }
+
+  void recycle(Buffers b) {
+    const std::lock_guard<std::mutex> lock(mu);
+    // An unbounded free list would defeat the memory budget if a burst of
+    // still-referenced shards all recycled at once; a small cap keeps the
+    // pool at "cache capacity + in-flight" depth in practice.
+    if (free.size() < 16) free.push_back(std::move(b));
+  }
+
+  std::mutex mu;
+  std::vector<Buffers> free;
+  std::uint64_t reuses = 0;
+};
+
+PackedSource::PackedSource(std::string path, PackedOptions options,
+                           util::ThreadPool* pool)
+    : options_(options),
+      pool_(pool),
+      reader_(std::move(path)),
+      buffers_(std::make_shared<BufferPool>()) {
+  ShardCache::Options cache_options;
+  cache_options.memory_budget_bytes = options_.memory_budget_bytes;
+  cache_options.prefetch = options_.prefetch;
+  cache_options.autotune = options_.autotune;
+  cache_ = std::make_unique<ShardCache>(
+      reader_.shard_count(), std::move(cache_options),
+      [this](std::size_t s) { return load_shard(s); }, pool_);
+}
+
+// The ShardCache destructor (last member, destroyed first) drains in-flight
+// background decodes before reader_/buffers_ disappear.
+PackedSource::~PackedSource() = default;
+
+ShardPtr PackedSource::load_shard(std::size_t s) const {
+  BufferPool::Buffers buf = buffers_->acquire();
+  reader_.decode_shard(s, buf.row_ptr, buf.col_idx, buf.values, buf.labels);
+  auto matrix = sparse::CsrMatrix::from_trusted_parts(
+      reader_.dim(), std::move(buf.row_ptr), std::move(buf.col_idx),
+      std::move(buf.values), std::move(buf.labels));
+
+  // The deleter recycles the arrays instead of freeing them. It holds the
+  // pool by shared_ptr, so shards handed to a solver stay safe to destroy
+  // after the source itself is gone.
+  std::shared_ptr<const sparse::CsrMatrix> owned(
+      new sparse::CsrMatrix(std::move(matrix)),
+      [pool = buffers_](sparse::CsrMatrix* m) {
+        BufferPool::Buffers reclaimed;
+        m->release(reclaimed.row_ptr, reclaimed.col_idx, reclaimed.values,
+                   reclaimed.labels);
+        delete m;
+        pool->recycle(std::move(reclaimed));
+      });
+
+  auto shard = std::make_shared<Shard>();
+  shard->index = s;
+  shard->row_begin = reader_.shard_begin(s);
+  shard->matrix = std::move(owned);
+  return shard;
+}
+
+ShardPtr PackedSource::shard(std::size_t s) const { return cache_->get(s); }
+
+void PackedSource::prefetch(std::size_t s) const { cache_->prefetch(s); }
+
+std::size_t PackedSource::prefetch_depth() const {
+  return cache_->prefetch_depth();
+}
+
+void PackedSource::end_epoch() const { cache_->end_epoch(); }
+
+std::uint64_t PackedSource::buffer_pool_reuses() const {
+  const std::lock_guard<std::mutex> lock(buffers_->mu);
+  return buffers_->reuses;
+}
+
+const sparse::CsrMatrix& PackedSource::materialize() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Single-flight, same contract as StreamingSource::materialize().
+  cv_.wait(lock, [&] { return !materializing_; });
+  if (materialized_) return *materialized_;
+  materializing_ = true;
+  lock.unlock();
+  util::log_warn() << "PackedSource: materialize() decodes the whole '"
+                   << reader_.path() << "' into memory, bypassing the "
+                   << (options_.memory_budget_bytes >> 20)
+                   << " MiB shard budget (solver without streaming support?)";
+  std::shared_ptr<const sparse::CsrMatrix> full;
+  std::exception_ptr error;
+  try {
+    // Concatenate per-shard decodes; global invariants hold by construction
+    // because shard row ranges are contiguous and each decode is in-range.
+    std::vector<std::size_t> row_ptr{0};
+    std::vector<sparse::index_t> col_idx;
+    std::vector<sparse::value_t> values;
+    std::vector<sparse::value_t> labels;
+    row_ptr.reserve(reader_.rows() + 1);
+    col_idx.reserve(reader_.nnz());
+    values.reserve(reader_.nnz());
+    labels.reserve(reader_.rows());
+    std::vector<std::size_t> srow;
+    std::vector<sparse::index_t> scol;
+    std::vector<sparse::value_t> sval;
+    std::vector<sparse::value_t> slab;
+    for (std::size_t s = 0; s < reader_.shard_count(); ++s) {
+      reader_.decode_shard(s, srow, scol, sval, slab);
+      const std::size_t base = row_ptr.back();
+      for (std::size_t r = 1; r < srow.size(); ++r) {
+        row_ptr.push_back(base + srow[r]);
+      }
+      col_idx.insert(col_idx.end(), scol.begin(), scol.end());
+      values.insert(values.end(), sval.begin(), sval.end());
+      labels.insert(labels.end(), slab.begin(), slab.end());
+    }
+    full = std::make_shared<const sparse::CsrMatrix>(
+        sparse::CsrMatrix::from_trusted_parts(
+            reader_.dim(), std::move(row_ptr), std::move(col_idx),
+            std::move(values), std::move(labels)));
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lock.lock();
+  materializing_ = false;
+  cv_.notify_all();
+  if (error) std::rethrow_exception(error);
+  materialized_ = std::move(full);
+  return *materialized_;
+}
+
+}  // namespace isasgd::data

@@ -30,12 +30,6 @@ void read_at(std::ifstream& in, std::uint64_t offset, void* out,
   }
 }
 
-/// Estimated resident footprint of one shard, for the cache budget.
-std::size_t shard_bytes(const sparse::CsrMatrix& m) {
-  return m.nnz() * (sizeof(sparse::index_t) + sizeof(sparse::value_t)) +
-         m.rows() * (sizeof(std::size_t) + sizeof(sparse::value_t)) + 128;
-}
-
 }  // namespace
 
 StreamingSource::StreamingSource(std::string path, StreamingOptions options,
@@ -100,14 +94,18 @@ StreamingSource::StreamingSource(std::string path, StreamingOptions options,
     shard_begin_.push_back(begin);
     shard_rows_.push_back(std::min(options_.shard_rows, rows_ - begin));
   }
+
+  ShardCache::Options cache_options;
+  cache_options.memory_budget_bytes = options_.memory_budget_bytes;
+  cache_options.prefetch = options_.prefetch;
+  cache_ = std::make_unique<ShardCache>(
+      shard_begin_.size(), std::move(cache_options),
+      [this](std::size_t s) { return load_shard(s); }, pool_);
 }
 
-StreamingSource::~StreamingSource() {
-  // Prefetch tasks capture `this`; wait for every in-flight load before the
-  // members they touch disappear.
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return inflight_ == 0; });
-}
+// The ShardCache destructor (last member, destroyed first) drains in-flight
+// background loads before the index members they read disappear.
+StreamingSource::~StreamingSource() = default;
 
 void StreamingSource::apply_label_map(sparse::CsrMatrix& shard) const {
   if (!map_labels_) return;
@@ -185,120 +183,22 @@ ShardPtr StreamingSource::load_shard(std::size_t s) const {
   return shard;
 }
 
-void StreamingSource::install_locked(std::size_t s, ShardPtr shard,
-                                     bool prefetched) const {
-  CacheEntry& entry = cache_[s];
-  entry.bytes = shard_bytes(*shard->matrix);
-  entry.shard = std::move(shard);
-  entry.loading = false;
-  entry.prefetched = prefetched;
-  entry.last_used = ++tick_;
-  ++stats_.loads;
-  stats_.resident_bytes += entry.bytes;
-  ++stats_.resident_shards;
-  evict_to_budget_locked(s);
-}
-
-void StreamingSource::evict_to_budget_locked(std::size_t keep) const {
-  while (stats_.resident_bytes > options_.memory_budget_bytes) {
-    auto victim = cache_.end();
-    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
-      if (it->first == keep || it->second.loading || !it->second.shard) {
-        continue;
-      }
-      if (victim == cache_.end() ||
-          it->second.last_used < victim->second.last_used) {
-        victim = it;
-      }
-    }
-    if (victim == cache_.end()) break;  // only `keep`/loading entries remain
-    stats_.resident_bytes -= victim->second.bytes;
-    --stats_.resident_shards;
-    ++stats_.evictions;
-    cache_.erase(victim);
-  }
-}
-
 ShardPtr StreamingSource::shard(std::size_t s) const {
   if (s >= shard_count()) {
     throw std::out_of_range("StreamingSource::shard: ordinal " +
                             std::to_string(s) + " of " +
                             std::to_string(shard_count()));
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  for (;;) {
-    auto it = cache_.find(s);
-    if (it != cache_.end() && it->second.shard) {
-      ++stats_.hits;
-      if (it->second.prefetched) {
-        // Count the prefetch as useful once; later hits on the same entry
-        // are ordinary cache hits, so prefetch_hits ≤ prefetch_issued.
-        ++stats_.prefetch_hits;
-        it->second.prefetched = false;
-      }
-      it->second.last_used = ++tick_;
-      return it->second.shard;
-    }
-    if (it != cache_.end() && it->second.loading) {
-      // A prefetch (or another caller) is already reading it; wait.
-      cv_.wait(lock);
-      continue;
-    }
-    ++stats_.misses;
-    cache_[s].loading = true;
-    ++inflight_;
-    lock.unlock();
-    ShardPtr loaded;
-    std::exception_ptr error;
-    try {
-      loaded = load_shard(s);
-    } catch (...) {
-      error = std::current_exception();
-    }
-    lock.lock();
-    --inflight_;
-    if (error) {
-      cache_.erase(s);
-      cv_.notify_all();
-      std::rethrow_exception(error);
-    }
-    install_locked(s, loaded, /*prefetched=*/false);
-    cv_.notify_all();
-    return loaded;
-  }
+  return cache_->get(s);
 }
 
-void StreamingSource::prefetch(std::size_t s) const {
-  if (s >= shard_count() || !pool_ || !options_.prefetch) return;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (cache_.count(s)) return;  // resident or already loading
-    CacheEntry& entry = cache_[s];
-    entry.loading = true;
-    entry.prefetched = true;
-    ++inflight_;
-    ++stats_.prefetch_issued;
-  }
-  pool_->submit([this, s] {
-    ShardPtr loaded;
-    bool failed = false;
-    try {
-      loaded = load_shard(s);
-    } catch (...) {
-      // A prefetch is a hint: drop the claim and let the blocking shard()
-      // call reload and surface the error synchronously.
-      failed = true;
-    }
-    const std::lock_guard<std::mutex> lock(mu_);
-    --inflight_;
-    if (failed) {
-      cache_.erase(s);
-    } else {
-      install_locked(s, std::move(loaded), /*prefetched=*/true);
-    }
-    cv_.notify_all();
-  });
+void StreamingSource::prefetch(std::size_t s) const { cache_->prefetch(s); }
+
+std::size_t StreamingSource::prefetch_depth() const {
+  return cache_->prefetch_depth();
 }
+
+void StreamingSource::end_epoch() const { cache_->end_epoch(); }
 
 const sparse::CsrMatrix& StreamingSource::materialize() const {
   std::unique_lock<std::mutex> lock(mu_);
@@ -336,9 +236,9 @@ const sparse::CsrMatrix& StreamingSource::materialize() const {
   return *materialized_;
 }
 
-StreamingSource::CacheStats StreamingSource::cache_stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+std::optional<StreamingSource::CacheStats> StreamingSource::cache_stats()
+    const {
+  return cache_->stats();
 }
 
 }  // namespace isasgd::data

@@ -22,11 +22,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "data/data_source.hpp"
+#include "data/shard_cache.hpp"
 #include "io/libsvm.hpp"
 
 namespace isasgd::util {
@@ -79,6 +80,8 @@ class StreamingSource final : public DataSource {
   }
   [[nodiscard]] ShardPtr shard(std::size_t s) const override;
   void prefetch(std::size_t s) const override;
+  [[nodiscard]] std::size_t prefetch_depth() const override;
+  void end_epoch() const override;
   [[nodiscard]] bool resident() const override { return false; }
   [[nodiscard]] const sparse::CsrMatrix& materialize() const override;
   /// The configured cache budget — what this source actually holds resident
@@ -87,31 +90,15 @@ class StreamingSource final : public DataSource {
     return options_.memory_budget_bytes;
   }
 
-  /// Cache behaviour counters (monotonic since construction).
-  struct CacheStats {
-    std::uint64_t loads = 0;       ///< shard reads that hit the file
-    std::uint64_t hits = 0;        ///< shard() served from cache
-    std::uint64_t misses = 0;      ///< shard() had to read the file
-    std::uint64_t evictions = 0;   ///< shards dropped for the budget
-    std::uint64_t prefetch_issued = 0;
-    std::uint64_t prefetch_hits = 0;  ///< cache hits on a prefetched shard
-    std::size_t resident_bytes = 0;   ///< current estimated cache footprint
-    std::size_t resident_shards = 0;
-  };
-  [[nodiscard]] CacheStats cache_stats() const;
+  /// Cache behaviour counters (monotonic since construction). The struct is
+  /// the shared data::CacheStats; kept as a nested alias for existing users.
+  using CacheStats = data::CacheStats;
+  [[nodiscard]] std::optional<CacheStats> cache_stats() const override;
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
   enum class Format { kLibsvm, kBinary };
-
-  struct CacheEntry {
-    ShardPtr shard;  ///< null while loading
-    std::size_t bytes = 0;
-    std::uint64_t last_used = 0;
-    bool loading = false;
-    bool prefetched = false;  ///< installed by a background load
-  };
 
   /// Reads shard s from the file (no locks held).
   [[nodiscard]] ShardPtr load_shard(std::size_t s) const;
@@ -119,9 +106,6 @@ class StreamingSource final : public DataSource {
   [[nodiscard]] sparse::CsrMatrix load_shard_binary(std::size_t s) const;
   /// Applies the global ±1 label mapping decided at index time.
   void apply_label_map(sparse::CsrMatrix& shard) const;
-  /// Installs a loaded shard and trims the cache to budget. Lock held.
-  void install_locked(std::size_t s, ShardPtr shard, bool prefetched) const;
-  void evict_to_budget_locked(std::size_t keep) const;
 
   std::string path_;
   StreamingOptions options_;
@@ -141,15 +125,15 @@ class StreamingSource final : public DataSource {
   /// else to +1 (the index pass proved the alphabet has exactly two).
   double label_lo_ = 0;
 
-  // Cache (all mutable: shard() is logically const).
+  // materialize() single-flight state.
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
-  mutable std::unordered_map<std::size_t, CacheEntry> cache_;
-  mutable std::uint64_t tick_ = 0;
-  mutable std::size_t inflight_ = 0;  ///< loads in progress (sync + async)
-  mutable CacheStats stats_;
-  mutable bool materializing_ = false;  ///< single-flight materialize()
+  mutable bool materializing_ = false;
   mutable std::shared_ptr<const sparse::CsrMatrix> materialized_;
+
+  /// Declared last: its destructor drains in-flight background loads, and
+  /// those loads read the index members above.
+  mutable std::unique_ptr<ShardCache> cache_;
 };
 
 }  // namespace isasgd::data

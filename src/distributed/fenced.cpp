@@ -42,14 +42,29 @@ Setup make_ps_setup_sharded(const data::DataSource& source,
   setup.k = std::min(nodes, shards);
   setup.shard_importance.resize(shards);
   setup.shard_phi.resize(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    if (s + 1 < shards) source.prefetch(s + 1);
-    const data::ShardPtr shard = source.shard(s);
-    setup.shard_importance[s] = solvers::detail::importance_weights(
-        *shard->matrix, objective, options);
-    double total = 0;
-    for (double v : setup.shard_importance[s]) total += v;
-    setup.shard_phi[s] = total;
+  const data::RowStats* stats = source.row_stats();
+  if (stats != nullptr && solvers::detail::stats_feed_importance(options)) {
+    // Sidecar-fed setup: importance and Φ per shard from pack-time row
+    // stats, in shard row order — bit-identical to the loaded pass below,
+    // with zero shard loads.
+    for (std::size_t s = 0; s < shards; ++s) {
+      setup.shard_importance[s] = solvers::detail::importance_weights_from_stats(
+          *stats, source.shard_begin(s), source.shard_rows(s), objective,
+          options);
+      double total = 0;
+      for (double v : setup.shard_importance[s]) total += v;
+      setup.shard_phi[s] = total;
+    }
+  } else {
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (s + 1 < shards) source.prefetch(s + 1);
+      const data::ShardPtr shard = source.shard(s);
+      setup.shard_importance[s] = solvers::detail::importance_weights(
+          *shard->matrix, objective, options);
+      double total = 0;
+      for (double v : setup.shard_importance[s]) total += v;
+      setup.shard_phi[s] = total;
+    }
   }
   partition::PartitionOptions popt = options.partition;
   if (!use_importance) popt.strategy = partition::Strategy::kShuffle;

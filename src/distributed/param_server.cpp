@@ -222,20 +222,33 @@ solvers::Trace run_param_server_sharded(
                                   options.step_size, eval, observer);
   recorder.mark_simulated_time();
 
-  // ---- Setup: one sequential pass for per-shard importance, then deal
-  // whole shards to nodes with the Algorithm-4 balancing machinery applied
-  // at shard granularity (shard Φ totals play the role of L_i). ----
+  // ---- Setup: per-shard importance (from the pack sidecar when the source
+  // carries row stats — zero shard loads — else one sequential data pass),
+  // then deal whole shards to nodes with the Algorithm-4 balancing machinery
+  // applied at shard granularity (shard Φ totals play the role of L_i). ----
   util::Stopwatch setup;
   std::vector<std::vector<double>> shard_importance(shards);
   std::vector<double> shard_phi(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    if (s + 1 < shards) source.prefetch(s + 1);
-    const data::ShardPtr shard = source.shard(s);
-    shard_importance[s] =
-        solvers::detail::importance_weights(*shard->matrix, objective, options);
-    double total = 0;
-    for (double v : shard_importance[s]) total += v;
-    shard_phi[s] = total;
+  const data::RowStats* stats = source.row_stats();
+  if (stats != nullptr && solvers::detail::stats_feed_importance(options)) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      shard_importance[s] = solvers::detail::importance_weights_from_stats(
+          *stats, source.shard_begin(s), source.shard_rows(s), objective,
+          options);
+      double total = 0;
+      for (double v : shard_importance[s]) total += v;
+      shard_phi[s] = total;
+    }
+  } else {
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (s + 1 < shards) source.prefetch(s + 1);
+      const data::ShardPtr shard = source.shard(s);
+      shard_importance[s] = solvers::detail::importance_weights(
+          *shard->matrix, objective, options);
+      double total = 0;
+      for (double v : shard_importance[s]) total += v;
+      shard_phi[s] = total;
+    }
   }
   partition::PartitionOptions popt = options.partition;
   if (!use_importance) popt.strategy = partition::Strategy::kShuffle;

@@ -23,9 +23,9 @@
 namespace isasgd::service {
 
 /// Everything needed to run one training job. Exactly one of `dataset`
-/// (a LibSVM/ISASGD-binary file path, opened as a StreamingSource) and
-/// `matrix` (an in-process dataset, wrapped in an InMemorySource) must be
-/// set.
+/// (a file path — an ISSP shardpack opens as a PackedSource, LibSVM/ISASGD
+/// binary as a StreamingSource) and `matrix` (an in-process dataset,
+/// wrapped in an InMemorySource) must be set.
 struct JobSpec {
   /// Registry name of the solver, e.g. "is_sgd" (case/punctuation-
   /// insensitive, like core::Trainer::train).

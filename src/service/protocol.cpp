@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "data/data_source.hpp"
 #include "io/checkpoint.hpp"
 #include "objectives/objective.hpp"
 #include "sparse/dispatch.hpp"
@@ -207,6 +208,18 @@ std::string ProtocolHandler::handle_line(const std::string& line) {
              }()
           << " backend="
           << sparse::kernels::backend_name(sparse::kernels::active_backend());
+      // Shard-cache counters summed over live streaming/packed jobs — the
+      // daemon-side view of the out-of-core data plane.
+      const data::CacheStats cache = service_.cache_stats();
+      out << " cache_loads=" << cache.loads << " cache_hits=" << cache.hits
+          << " cache_misses=" << cache.misses
+          << " cache_evictions=" << cache.evictions
+          << " prefetch_issued=" << cache.prefetch_issued
+          << " prefetch_hits=" << cache.prefetch_hits
+          << " prefetch_races=" << cache.prefetch_races
+          << " prefetch_wasted=" << cache.prefetch_wasted
+          << " prefetch_inflight=" << cache.prefetch_inflight
+          << " cache_resident=" << cache.resident_bytes;
       return out.str();
     }
     if (req.verb == "ps_serve") {

@@ -178,7 +178,7 @@ std::uint64_t TrainingService::submit(JobSpec spec) {
     job->source = std::move(source);
   } else {
     auto source =
-        execution_->open_streaming(job->spec.dataset, job->spec.streaming);
+        execution_->open_source(job->spec.dataset, job->spec.streaming);
     job->reserved_bytes = source->resident_bytes();
     job->source = std::move(source);
   }
@@ -468,6 +468,28 @@ bool terminal(JobState state) noexcept {
 }
 
 }  // namespace
+
+data::CacheStats TrainingService::cache_stats() const {
+  data::CacheStats total{};
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, job] : jobs_) {
+    if (terminal(job->state) || !job->source) continue;
+    const std::optional<data::CacheStats> s = job->source->cache_stats();
+    if (!s) continue;
+    total.loads += s->loads;
+    total.hits += s->hits;
+    total.misses += s->misses;
+    total.evictions += s->evictions;
+    total.prefetch_issued += s->prefetch_issued;
+    total.prefetch_hits += s->prefetch_hits;
+    total.prefetch_races += s->prefetch_races;
+    total.prefetch_wasted += s->prefetch_wasted;
+    total.prefetch_inflight += s->prefetch_inflight;
+    total.resident_bytes += s->resident_bytes;
+    total.resident_shards += s->resident_shards;
+  }
+  return total;
+}
 
 void TrainingService::wait(std::uint64_t id) {
   // Waits on the state transition only; threads are joined by the

@@ -120,6 +120,11 @@ class TrainingService {
     return governor_;
   }
 
+  /// Sum of the shard-cache counters across every non-terminal job whose
+  /// source reports them (streaming/packed backends) — the daemon-wide view
+  /// the protocol's `stats` verb prints. Zeros when no such job is live.
+  [[nodiscard]] data::CacheStats cache_stats() const;
+
  private:
   struct Job;
   class FenceObserver;

@@ -1,9 +1,24 @@
 // Importance vectors for the IS solvers: the per-sample weights that define
 // p_i (paper Eq. 12 or the Eq. 16 gradient-bound variant).
+//
+// Two feeds for the same numbers:
+//  * the loaded path — an O(nnz) pass over a CsrMatrix;
+//  * the sidecar path — pack-time per-row squared norms (data::RowStats,
+//    carried by io::shardpack files), usable whenever the configured
+//    importance depends on x_i only through ‖x_i‖². That is exactly
+//    ImportanceKind::kLipschitz (L_i = β·‖x_i‖² + reg term); the
+//    gradient-bound variant calls a virtual per-objective bound over the
+//    row view, so it keeps the loaded path.
+// The sidecar stores the *exact* f64 result of row(i).squared_norm(), and
+// the helpers below apply the exact loaded-path arithmetic to it, so the
+// two feeds are bit-identical — sidecar-fed setup changes how many data
+// passes a run costs, never its model.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
+#include "data/data_source.hpp"
 #include "objectives/objective.hpp"
 #include "solvers/options.hpp"
 #include "sparse/csr_matrix.hpp"
@@ -24,6 +39,28 @@ inline std::vector<double> importance_weights(
   for (std::size_t i = 0; i < data.rows(); ++i) {
     weights[i] = objective.gradient_norm_bound(data.row(i), data.label(i),
                                                kRadius, options.reg);
+  }
+  return weights;
+}
+
+/// True when the configured importance can be computed from pack-time row
+/// stats alone (see file comment).
+inline bool stats_feed_importance(const SolverOptions& options) {
+  return options.importance == ImportanceKind::kLipschitz;
+}
+
+/// Sidecar-fed importance for global rows [row_begin, row_begin + rows):
+/// L_i = β·‖x_i‖² + reg term, the exact per_sample_lipschitz arithmetic
+/// over the sidecar's exact squared norms — bit-identical to the loaded
+/// path. Only valid when stats_feed_importance(options).
+inline std::vector<double> importance_weights_from_stats(
+    const data::RowStats& stats, std::size_t row_begin, std::size_t rows,
+    const objectives::Objective& objective, const SolverOptions& options) {
+  std::vector<double> weights(rows);
+  const double beta = objective.smoothness();
+  const double reg_term = options.reg.lipschitz_term();
+  for (std::size_t i = 0; i < rows; ++i) {
+    weights[i] = beta * stats.row_squared_norm(row_begin + i) + reg_term;
   }
   return weights;
 }

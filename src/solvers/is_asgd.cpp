@@ -19,15 +19,22 @@ Trace run_is_asgd(const sparse::CsrMatrix& data,
                   const objectives::Objective& objective,
                   const SolverOptions& options, const EvalFn& eval,
                   IsAsgdReport* report, TrainingObserver* observer,
-                  util::ThreadPool* pool, const core::NumaPolicy* numa) {
+                  util::ThreadPool* pool, const core::NumaPolicy* numa,
+                  const data::RowStats* stats) {
   const std::size_t threads = std::max<std::size_t>(1, options.threads);
   TraceRecorder recorder("IS-ASGD", threads,
                          options.step_size, eval, observer);
 
   // ---- Offline phase (Algorithm 4 lines 2–12), timed as setup ----
   util::Stopwatch setup;
+  // Sidecar-fed setup when a pack carries row stats and the configured
+  // importance is a function of ‖x_i‖² alone — same numbers, no data pass.
+  const bool use_stats =
+      stats != nullptr && detail::stats_feed_importance(options);
   const std::vector<double> importance =
-      detail::importance_weights(data, objective, options);
+      use_stats ? detail::importance_weights_from_stats(*stats, 0, data.rows(),
+                                                        objective, options)
+                : detail::importance_weights(data, objective, options);
   partition::PartitionOptions popt = options.partition;
   popt.shuffle_seed = options.seed ^ 0x1517;
   const partition::PartitionPlan plan(importance, threads, popt);
@@ -95,8 +102,16 @@ Trace run_is_asgd(const sparse::CsrMatrix& data,
       // the dataset — are cached here so each refresh is O(N_tid), not
       // O(local nnz).
       ws.row_norm.resize(local_n);
-      for (std::size_t k = 0; k < local_n; ++k) {
-        ws.row_norm[k] = data.row(shard.rows[k]).norm();
+      if (stats != nullptr) {
+        // shard.rows[] holds global row ids, which index the sidecar
+        // directly; norm() = sqrt(squared_norm()) keeps this bit-identical.
+        for (std::size_t k = 0; k < local_n; ++k) {
+          ws.row_norm[k] = std::sqrt(stats->row_squared_norm(shard.rows[k]));
+        }
+      } else {
+        for (std::size_t k = 0; k < local_n; ++k) {
+          ws.row_norm[k] = data.row(shard.rows[k]).norm();
+        }
       }
       ws.last_g.assign(local_n, 0.0);
       ws.norms.resize(local_n);
@@ -238,7 +253,8 @@ class IsAsgdSolver final : public Solver {
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
     return run_is_asgd(ctx.data(), ctx.objective, ctx.options, ctx.eval,
-                       /*report=*/nullptr, ctx.observer, ctx.pool, ctx.numa);
+                       /*report=*/nullptr, ctx.observer, ctx.pool, ctx.numa,
+                       ctx.source.row_stats());
   }
 };
 

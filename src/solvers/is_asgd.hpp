@@ -15,6 +15,7 @@
 // point, and the ablation benches verify it empirically.
 #pragma once
 
+#include "data/data_source.hpp"
 #include "objectives/objective.hpp"
 #include "solvers/options.hpp"
 #include "solvers/trace.hpp"
@@ -46,12 +47,17 @@ struct IsAsgdReport {
 /// worker is pinned next to the node owning its shard, with shard→node
 /// assignment balanced over the partition's Φ totals. Placement never
 /// changes results — only where the model's pages live.
+///
+/// `stats` (optional) feeds setup from pack-time row statistics: the
+/// kLipschitz importance vector and the adaptive per-shard row norms come
+/// from the sidecar instead of an O(nnz) pass over `data`, bit-identically.
 Trace run_is_asgd(const sparse::CsrMatrix& data,
                   const objectives::Objective& objective,
                   const SolverOptions& options, const EvalFn& eval,
                   IsAsgdReport* report = nullptr,
                   TrainingObserver* observer = nullptr,
                   util::ThreadPool* pool = nullptr,
-                  const core::NumaPolicy* numa = nullptr);
+                  const core::NumaPolicy* numa = nullptr,
+                  const data::RowStats* stats = nullptr);
 
 }  // namespace isasgd::solvers

@@ -43,7 +43,8 @@ void floor_norms(std::vector<double>& norms) {
 Trace run_is_sgd(const sparse::CsrMatrix& data,
                  const objectives::Objective& objective,
                  const SolverOptions& options, const EvalFn& eval,
-                 TrainingObserver* observer, const SnapshotHooks& hooks) {
+                 TrainingObserver* observer, const SnapshotHooks& hooks,
+                 const data::RowStats* stats) {
   const std::size_t n = data.rows();
   const std::size_t b = std::max<std::size_t>(1, options.batch_size);
   std::vector<double> w(data.dim(), 0.0);
@@ -52,8 +53,14 @@ Trace run_is_sgd(const sparse::CsrMatrix& data,
 
   // ---- Offline phase (Algorithm 2 lines 2–3), timed as setup ----
   util::Stopwatch setup;
+  // Sidecar-fed setup when a pack carries row stats and the configured
+  // importance is a function of ‖x_i‖² alone — same numbers, no data pass.
+  const bool use_stats = stats != nullptr && detail::stats_feed_importance(options);
   std::vector<double> importance =
-      detail::importance_weights(data, objective, options);
+      use_stats
+          ? detail::importance_weights_from_stats(*stats, 0, n, objective,
+                                                  options)
+          : detail::importance_weights(data, objective, options);
   std::vector<double> weight = step_weights(importance);
   // The sequence layer is streamed: one persistent BlockSequence replaces
   // the pre-materialized `epochs × n` index store — the alias table is
@@ -83,7 +90,14 @@ Trace run_is_sgd(const sparse::CsrMatrix& data,
   bool refreshed_once = false;
   if (options.adaptive_importance) {
     row_norm.resize(n);
-    for (std::size_t i = 0; i < n; ++i) row_norm[i] = data.row(i).norm();
+    if (stats != nullptr) {
+      // norm() is sqrt(squared_norm()), so the sidecar feed is bit-identical.
+      for (std::size_t i = 0; i < n; ++i) {
+        row_norm[i] = std::sqrt(stats->row_squared_norm(i));
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) row_norm[i] = data.row(i).norm();
+    }
     last_g.assign(n, 0.0);
   }
   recorder.add_setup_seconds(setup.seconds());
@@ -199,7 +213,7 @@ class IsSgdSolver final : public Solver {
  protected:
   Trace run_impl(const SolverContext& ctx) const override {
     return run_is_sgd(ctx.data(), ctx.objective, ctx.options, ctx.eval,
-                      ctx.observer, ctx.snapshot);
+                      ctx.observer, ctx.snapshot, ctx.source.row_stats());
   }
 };
 

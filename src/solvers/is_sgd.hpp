@@ -5,6 +5,7 @@
 // SGD kernel; updates are re-weighted by 1/(n·p_i) for unbiasedness (Eq. 8).
 #pragma once
 
+#include "data/data_source.hpp"
 #include "objectives/objective.hpp"
 #include "solvers/options.hpp"
 #include "solvers/snapshot.hpp"
@@ -24,10 +25,16 @@ namespace isasgd::solvers {
 /// their reshuffle stream via BlockSequence::rewind_to. Adaptive mode also
 /// snapshots its live state: per-sample |φ'| cache, current importance
 /// vector, and the first-refresh flag.
+///
+/// `stats` (optional) feeds setup from pack-time row statistics: the
+/// kLipschitz importance vector and the adaptive row norms come from the
+/// sidecar instead of an O(nnz) pass over `data`, bit-identically (the
+/// sidecar stores the exact squared norms the loaded path would compute).
 Trace run_is_sgd(const sparse::CsrMatrix& data,
                  const objectives::Objective& objective,
                  const SolverOptions& options, const EvalFn& eval,
                  TrainingObserver* observer = nullptr,
-                 const SnapshotHooks& hooks = {});
+                 const SnapshotHooks& hooks = {},
+                 const data::RowStats* stats = nullptr);
 
 }  // namespace isasgd::solvers

@@ -4,10 +4,11 @@
 // One epoch = one pass over every shard of a data::DataSource, shards and
 // within-shard rows both visited in the ShardedSequence order (a pure
 // function of seed/epoch/shard, so results never depend on cache or
-// prefetch state). While shard k is being processed, shard k+1 of the
-// epoch's order is prefetched on the pool's background lane — on a
-// streaming source the next read overlaps this shard's compute; on an
-// in-memory source prefetch is a no-op.
+// prefetch state). While shard k is being processed, the next
+// source.prefetch_depth() shards of the epoch's order are prefetched on the
+// pool's background lane — on a streaming source the next reads overlap
+// this shard's compute; on an in-memory source prefetch is a no-op. Each
+// epoch ends with source.end_epoch(), the autotuner's observation point.
 //
 // Shard I/O deliberately lands *inside* the timed window: streaming traces
 // measure true out-of-core throughput, which is exactly what
@@ -48,13 +49,17 @@ double run_epoch_fenced_serial_sharded_range(
        epoch <= epochs && !recorder.stop_requested(); ++epoch) {
     schedule.begin_epoch(epoch);
     const auto order = schedule.shard_order();
+    const std::size_t depth = source.prefetch_depth();
     clock.start();
     for (std::size_t k = 0; k < order.size(); ++k) {
-      if (k + 1 < order.size()) source.prefetch(order[k + 1]);
+      for (std::size_t d = 1; d <= depth && k + d < order.size(); ++d) {
+        source.prefetch(order[k + d]);
+      }
       const data::ShardPtr shard = source.shard(order[k]);
       shard_body(*shard, schedule.rows(order[k]), epoch);
     }
     clock.stop();
+    source.end_epoch();
     fence(epoch);
     recorder.record(epoch, clock.seconds(), w);
   }
@@ -96,9 +101,12 @@ double run_epoch_fenced_sharded(util::ThreadPool& pool,
   for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
     schedule.begin_epoch(epoch);
     const auto order = schedule.shard_order();
+    const std::size_t depth = source.prefetch_depth();
     clock.start();
     for (std::size_t k = 0; k < order.size(); ++k) {
-      if (k + 1 < order.size()) source.prefetch(order[k + 1]);
+      for (std::size_t d = 1; d <= depth && k + d < order.size(); ++d) {
+        source.prefetch(order[k + d]);
+      }
       const data::ShardPtr shard = source.shard(order[k]);
       const auto row_order = schedule.rows(order[k]);
       pool.run(threads, [&](std::size_t tid) {
@@ -106,6 +114,7 @@ double run_epoch_fenced_sharded(util::ThreadPool& pool,
       });
     }
     clock.stop();  // fence: all workers arrived, clock paused for scoring
+    source.end_epoch();
     recorder.record(epoch, clock.seconds(), model.wild_view());
     if (recorder.stop_requested()) break;
   }

@@ -41,6 +41,41 @@ CsrMatrix::CsrMatrix(std::size_t dim, std::vector<std::size_t> row_ptr,
   }
 }
 
+CsrMatrix CsrMatrix::from_trusted_parts(std::size_t dim,
+                                        std::vector<std::size_t> row_ptr,
+                                        std::vector<index_t> col_idx,
+                                        std::vector<value_t> values,
+                                        std::vector<value_t> labels) {
+  if (row_ptr.empty() || row_ptr.front() != 0 ||
+      row_ptr.size() != labels.size() + 1 ||
+      row_ptr.back() != col_idx.size() || col_idx.size() != values.size()) {
+    throw std::invalid_argument(
+        "CsrMatrix::from_trusted_parts: inconsistent array sizes");
+  }
+  CsrMatrix m;
+  m.dim_ = dim;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  m.labels_ = std::move(labels);
+  return m;
+}
+
+void CsrMatrix::release(std::vector<std::size_t>& row_ptr,
+                        std::vector<index_t>& col_idx,
+                        std::vector<value_t>& values,
+                        std::vector<value_t>& labels) {
+  row_ptr = std::move(row_ptr_);
+  col_idx = std::move(col_idx_);
+  values = std::move(values_);
+  labels = std::move(labels_);
+  dim_ = 0;
+  row_ptr_ = {0};
+  col_idx_.clear();
+  values_.clear();
+  labels_.clear();
+}
+
 double CsrMatrix::density() const noexcept {
   const double cells = static_cast<double>(rows()) * static_cast<double>(dim_);
   return cells > 0 ? static_cast<double>(nnz()) / cells : 0.0;

@@ -28,6 +28,23 @@ class CsrMatrix {
             std::vector<index_t> col_idx, std::vector<value_t> values,
             std::vector<value_t> labels);
 
+  /// Adopts the arrays without the O(nnz) invariant walk of the validating
+  /// constructor. Only for producers whose output is an invariant by
+  /// construction AND integrity-checked another way — io::ShardPackReader
+  /// decodes behind a per-shard CRC and a delta encoding that cannot
+  /// express a non-increasing row. Size consistency (the O(1) checks) is
+  /// still enforced.
+  [[nodiscard]] static CsrMatrix from_trusted_parts(
+      std::size_t dim, std::vector<std::size_t> row_ptr,
+      std::vector<index_t> col_idx, std::vector<value_t> values,
+      std::vector<value_t> labels);
+
+  /// Moves the four arrays out, leaving the matrix empty. The recycling
+  /// half of buffer pooling: a cache evicting a decoded shard reclaims its
+  /// allocations for the next decode instead of freeing them.
+  void release(std::vector<std::size_t>& row_ptr, std::vector<index_t>& col_idx,
+               std::vector<value_t>& values, std::vector<value_t>& labels);
+
   [[nodiscard]] std::size_t rows() const noexcept {
     return labels_.size();
   }

@@ -150,7 +150,7 @@ TEST(StreamingSource, LruCacheHonoursBudgetAndCountsEvictions) {
       (void)source.shard(s);
     }
   }
-  const auto stats = source.cache_stats();
+  const auto stats = *source.cache_stats();
   EXPECT_EQ(stats.misses, 16u);  // no reuse possible under a 1-byte budget
   EXPECT_EQ(stats.loads, 16u);
   EXPECT_GE(stats.evictions, 15u);
@@ -165,7 +165,7 @@ TEST(StreamingSource, LruCacheHonoursBudgetAndCountsEvictions) {
       (void)cached.shard(s);
     }
   }
-  const auto cached_stats = cached.cache_stats();
+  const auto cached_stats = *cached.cache_stats();
   EXPECT_EQ(cached_stats.misses, 8u);
   EXPECT_EQ(cached_stats.hits, 8u);
   EXPECT_EQ(cached_stats.evictions, 0u);
@@ -183,17 +183,17 @@ TEST(StreamingSource, PrefetchLoadsInBackgroundAndIsCounted) {
   const StreamingSource source(file.path, opt, &pool);
   source.prefetch(2);
   pool.drain_background();
-  ASSERT_EQ(source.cache_stats().prefetch_issued, 1u);
-  ASSERT_EQ(source.cache_stats().resident_shards, 1u);
+  ASSERT_EQ(source.cache_stats()->prefetch_issued, 1u);
+  ASSERT_EQ(source.cache_stats()->resident_shards, 1u);
   (void)source.shard(2);
-  const auto stats = source.cache_stats();
+  const auto stats = *source.cache_stats();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.prefetch_hits, 1u);
   EXPECT_EQ(stats.misses, 0u);
   // Prefetching a resident or out-of-range shard is a silent no-op.
   source.prefetch(2);
   source.prefetch(999);
-  EXPECT_EQ(source.cache_stats().prefetch_issued, 1u);
+  EXPECT_EQ(source.cache_stats()->prefetch_issued, 1u);
 }
 
 TEST(StreamingSource, NormalisesBinaryLabelsFromTheWholeFile) {
@@ -240,8 +240,8 @@ TEST(ExecutionContext, OpenStreamingBindsThePool) {
   const auto source = ctx->open_streaming(file.path, opt);
   source->prefetch(1);
   ctx->pool().drain_background();
-  EXPECT_EQ(source->cache_stats().prefetch_issued, 1u);
-  EXPECT_EQ(source->cache_stats().resident_shards, 1u);
+  EXPECT_EQ(source->cache_stats()->prefetch_issued, 1u);
+  EXPECT_EQ(source->cache_stats()->resident_shards, 1u);
   expect_source_matches_matrix(*source, full);
 }
 

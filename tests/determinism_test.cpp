@@ -241,7 +241,7 @@ TEST(StreamingDeterminism, StreamingMatchesInMemoryTrajectoryAndFinalLoss) {
   const auto from_classic = train(classic);
 
   // The dataset did not fit the budget: evictions actually happened.
-  const auto stats = streaming.cache_stats();
+  const auto stats = *streaming.cache_stats();
   EXPECT_GT(stats.evictions, 0u);
   EXPECT_LT(stats.resident_bytes, sopt.memory_budget_bytes + 1);
 

@@ -1,0 +1,350 @@
+// io::shardpack format: round-trip fidelity, sidecar exactness, and defect
+// handling in the checkpoint_test mould — a pack with any flipped byte,
+// truncated prefix, wrong magic, or future version must be rejected with a
+// typed ShardPackError naming the path and the defect, never silently
+// served in part. Plus the PrefetchAutotuner policy, driven directly with
+// synthetic counter deltas.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/shard_cache.hpp"
+#include "data/synthetic.hpp"
+#include "io/shardpack.hpp"
+#include "sparse/csr_matrix.hpp"
+
+namespace isasgd {
+namespace {
+
+sparse::CsrMatrix small_data(std::size_t rows = 300, std::size_t dim = 64) {
+  data::SyntheticSpec spec;
+  spec.rows = rows;
+  spec.dim = dim;
+  spec.mean_row_nnz = 7;
+  spec.seed = 11;
+  return data::generate(spec);
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Decodes every shard of `reader` and compares against `expected` bit for
+/// bit (f64 packs are lossless by contract).
+void expect_pack_equals(const io::ShardPackReader& reader,
+                        const sparse::CsrMatrix& expected) {
+  ASSERT_EQ(reader.rows(), expected.rows());
+  ASSERT_EQ(reader.dim(), expected.dim());
+  ASSERT_EQ(reader.nnz(), expected.nnz());
+  std::vector<std::size_t> row_ptr;
+  std::vector<sparse::index_t> col_idx;
+  std::vector<sparse::value_t> values;
+  std::vector<sparse::value_t> labels;
+  for (std::size_t s = 0; s < reader.shard_count(); ++s) {
+    reader.decode_shard(s, row_ptr, col_idx, values, labels);
+    const std::size_t base = reader.shard_begin(s);
+    ASSERT_EQ(row_ptr.size(), reader.shard_rows(s) + 1);
+    for (std::size_t r = 0; r < reader.shard_rows(s); ++r) {
+      const auto want = expected.row(base + r);
+      ASSERT_EQ(row_ptr[r + 1] - row_ptr[r], want.indices().size())
+          << "row " << base + r;
+      for (std::size_t k = 0; k < want.indices().size(); ++k) {
+        EXPECT_EQ(col_idx[row_ptr[r] + k], want.index(k));
+        EXPECT_EQ(values[row_ptr[r] + k], want.value(k));
+      }
+      EXPECT_EQ(labels[r], expected.label(base + r));
+    }
+  }
+}
+
+TEST(ShardPackFormat, RoundTripIsBitExact) {
+  const sparse::CsrMatrix data = small_data();
+  const std::string path = temp_path("roundtrip.issp");
+  io::ShardPackWriteOptions opt;
+  opt.shard_rows = 64;  // uneven tail shard on purpose (300 % 64 != 0)
+  io::write_shardpack(path, data, opt);
+  const io::ShardPackReader reader(path);
+  EXPECT_EQ(reader.shard_count(), (data.rows() + 63) / 64);
+  expect_pack_equals(reader, data);
+  std::remove(path.c_str());
+}
+
+TEST(ShardPackFormat, SidecarStoresExactSquaredNorms) {
+  const sparse::CsrMatrix data = small_data();
+  const std::string path = temp_path("sidecar.issp");
+  io::write_shardpack(path, data, {.shard_rows = 50});
+  const io::ShardPackReader reader(path);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    // Bitwise equality, not near: the sidecar is the zero-pass replacement
+    // for this exact computation.
+    EXPECT_EQ(reader.row_squared_norm(i), data.row(i).squared_norm())
+        << "row " << i;
+  }
+  for (std::size_t s = 0; s < reader.shard_count(); ++s) {
+    double sum = 0;
+    for (std::size_t r = 0; r < reader.shard_rows(s); ++r) {
+      sum += data.row(reader.shard_begin(s) + r).squared_norm();
+    }
+    EXPECT_EQ(reader.shard_sq_norm_sum(s), sum) << "shard " << s;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardPackFormat, F32PackRoundTripsThroughFloat) {
+  const sparse::CsrMatrix data = small_data(120, 40);
+  const std::string path = temp_path("f32.issp");
+  io::write_shardpack(path, data,
+                      {.shard_rows = 48, .values = io::PackValueKind::kF32});
+  const io::ShardPackReader reader(path);
+  EXPECT_EQ(reader.value_kind(), io::PackValueKind::kF32);
+  std::vector<std::size_t> row_ptr;
+  std::vector<sparse::index_t> col_idx;
+  std::vector<sparse::value_t> values;
+  std::vector<sparse::value_t> labels;
+  for (std::size_t s = 0; s < reader.shard_count(); ++s) {
+    reader.decode_shard(s, row_ptr, col_idx, values, labels);
+    const std::size_t base = reader.shard_begin(s);
+    for (std::size_t r = 0; r < reader.shard_rows(s); ++r) {
+      const auto want = data.row(base + r);
+      for (std::size_t k = 0; k < want.indices().size(); ++k) {
+        // The decode widens float back to double: exact float round-trip.
+        EXPECT_EQ(values[row_ptr[r] + k],
+                  static_cast<double>(static_cast<float>(want.value(k))));
+      }
+      // Labels stay f64 in every pack kind.
+      EXPECT_EQ(labels[r], data.label(base + r));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardPackFormat, SniffDetectsPacks) {
+  const sparse::CsrMatrix data = small_data(40, 16);
+  const std::string pack = temp_path("sniff.issp");
+  const std::string text = temp_path("sniff.txt");
+  io::write_shardpack(pack, data);
+  spit(text, {'1', ' ', '3', ':', '1', '\n'});
+  EXPECT_TRUE(io::is_shardpack_file(pack));
+  EXPECT_FALSE(io::is_shardpack_file(text));
+  EXPECT_FALSE(io::is_shardpack_file("/nonexistent/nowhere.issp"));
+  std::remove(pack.c_str());
+  std::remove(text.c_str());
+}
+
+TEST(ShardPackFormat, MissingFileNamesThePath) {
+  try {
+    const io::ShardPackReader reader("/nonexistent/nowhere.issp");
+    FAIL() << "expected ShardPackError";
+  } catch (const io::ShardPackError& e) {
+    EXPECT_NE(std::string(e.what()).find("nowhere.issp"), std::string::npos);
+  }
+}
+
+TEST(ShardPackFormat, WrongMagicIsRefused) {
+  const std::string path = temp_path("magic.issp");
+  io::write_shardpack(path, small_data(60, 20));
+  std::vector<char> bytes = slurp(path);
+  bytes[0] = 'X';
+  spit(path, bytes);
+  EXPECT_THROW((void)io::ShardPackReader(path), io::ShardPackError);
+  std::remove(path.c_str());
+}
+
+TEST(ShardPackFormat, FutureVersionIsRefused) {
+  const std::string path = temp_path("version.issp");
+  io::write_shardpack(path, small_data(60, 20));
+  std::vector<char> bytes = slurp(path);
+  bytes[4] = 99;  // little-endian u32 version right after the magic
+  spit(path, bytes);
+  try {
+    const io::ShardPackReader reader(path);
+    FAIL() << "expected ShardPackError";
+  } catch (const io::ShardPackError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardPackFormat, FlippedMetadataByteIsRejectedAtOpen) {
+  const std::string path = temp_path("metacorrupt.issp");
+  io::write_shardpack(path, small_data(90, 24), {.shard_rows = 32});
+  const std::vector<char> pristine = slurp(path);
+  // Every byte of the metadata region (header + directory + sidecars) is
+  // CRC-covered; flip a few spread across it.
+  for (const std::size_t at : {std::size_t{9}, std::size_t{40},
+                               std::size_t{80}, std::size_t{160}}) {
+    ASSERT_LT(at, pristine.size());
+    std::vector<char> bytes = pristine;
+    bytes[at] = static_cast<char>(bytes[at] ^ 0x20);
+    spit(path, bytes);
+    EXPECT_THROW((void)io::ShardPackReader(path), io::ShardPackError)
+        << "flipped metadata byte " << at << " was accepted";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardPackFormat, FlippedBlockByteIsRejectedAtDecode) {
+  const std::string path = temp_path("blockcorrupt.issp");
+  const sparse::CsrMatrix data = small_data(90, 24);
+  io::write_shardpack(path, data, {.shard_rows = 32});
+  std::vector<char> bytes = slurp(path);
+  // Flip a byte deep in the last shard's payload: open-time metadata checks
+  // must still pass, the per-shard CRC must catch it on first decode.
+  bytes[bytes.size() - 16] =
+      static_cast<char>(bytes[bytes.size() - 16] ^ 0x40);
+  spit(path, bytes);
+  const io::ShardPackReader reader(path);
+  std::vector<std::size_t> row_ptr;
+  std::vector<sparse::index_t> col_idx;
+  std::vector<sparse::value_t> values;
+  std::vector<sparse::value_t> labels;
+  // Clean shards still decode.
+  reader.decode_shard(0, row_ptr, col_idx, values, labels);
+  try {
+    reader.decode_shard(reader.shard_count() - 1, row_ptr, col_idx, values,
+                        labels);
+    FAIL() << "expected ShardPackError";
+  } catch (const io::ShardPackError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CRC"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardPackFormat, TruncationIsRejectedAtEveryLength) {
+  const std::string path = temp_path("truncated.issp");
+  io::write_shardpack(path, small_data(90, 24), {.shard_rows = 32});
+  const std::vector<char> bytes = slurp(path);
+  // A kill mid-copy can leave any prefix; every one must fail at open (a
+  // stride keeps the loop fast, the endpoints cover the degenerate cases).
+  for (std::size_t keep = 0; keep < bytes.size();
+       keep += (keep < 80 ? 1 : 37)) {
+    spit(path, {bytes.begin(), bytes.begin() + static_cast<long>(keep)});
+    EXPECT_THROW((void)io::ShardPackReader(path), io::ShardPackError)
+        << "prefix of " << keep << " bytes was accepted";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardPackFormat, TrailingGarbageIsRejected) {
+  const std::string path = temp_path("trailing.issp");
+  io::write_shardpack(path, small_data(60, 20));
+  std::vector<char> bytes = slurp(path);
+  bytes.push_back('\0');
+  spit(path, bytes);
+  // file_bytes in the header pins the exact length; longer is as corrupt
+  // as shorter.
+  EXPECT_THROW((void)io::ShardPackReader(path), io::ShardPackError);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// PrefetchAutotuner policy, driven with synthetic per-epoch deltas.
+
+data::CacheStats delta(std::uint64_t hits, std::uint64_t misses,
+                       std::uint64_t issued, std::uint64_t races,
+                       std::uint64_t wasted) {
+  data::CacheStats d{};
+  d.hits = hits;
+  d.misses = misses;
+  d.prefetch_issued = issued;
+  d.prefetch_races = races;
+  d.prefetch_wasted = wasted;
+  return d;
+}
+
+TEST(PrefetchAutotuner, DeepensWhileDemandStillMisses) {
+  data::PrefetchAutotuner tuner;
+  EXPECT_EQ(tuner.depth(), 1u);
+  // Misses every epoch: depth climbs one step per epoch up to capacity-1.
+  EXPECT_EQ(tuner.update(delta(10, 5, 10, 0, 0), /*capacity_shards=*/6), 2u);
+  EXPECT_EQ(tuner.update(delta(12, 3, 10, 0, 0), 6), 3u);
+  EXPECT_EQ(tuner.update(delta(14, 1, 10, 0, 0), 6), 4u);
+  EXPECT_EQ(tuner.update(delta(15, 1, 10, 0, 0), 6), 5u);
+  EXPECT_EQ(tuner.update(delta(15, 1, 10, 0, 0), 6), 5u) << "capacity-1 cap";
+  EXPECT_EQ(tuner.adjustments(), 4u);
+}
+
+TEST(PrefetchAutotuner, BacksOffOnWaste) {
+  data::PrefetchAutotuner tuner;
+  (void)tuner.update(delta(10, 5, 10, 0, 0), 8);
+  (void)tuner.update(delta(10, 5, 10, 0, 0), 8);
+  ASSERT_EQ(tuner.depth(), 3u);
+  // More than waste_tolerance of the prefetches died unused: back off,
+  // even though misses continue (waste wins the arbitration).
+  EXPECT_EQ(tuner.update(delta(10, 2, 10, 0, 5), 8), 2u);
+  EXPECT_EQ(tuner.update(delta(10, 2, 10, 0, 5), 8), 1u);
+  EXPECT_EQ(tuner.update(delta(10, 2, 10, 0, 5), 8), 1u) << "floor at 1";
+}
+
+TEST(PrefetchAutotuner, DeepensOnRaces) {
+  data::PrefetchAutotuner tuner;
+  // No misses (single-flight absorbed them) but every second demand get
+  // blocked on an in-flight prefetch: I/O is late, look further ahead.
+  EXPECT_EQ(tuner.update(delta(10, 0, 10, 5, 0), 8), 2u);
+}
+
+TEST(PrefetchAutotuner, SteadyStateHoldsDepth) {
+  data::PrefetchAutotuner tuner;
+  (void)tuner.update(delta(10, 5, 10, 0, 0), 8);
+  ASSERT_EQ(tuner.depth(), 2u);
+  // All hits, no races, no waste: nothing to fix.
+  EXPECT_EQ(tuner.update(delta(20, 0, 10, 0, 0), 8), 2u);
+  EXPECT_EQ(tuner.update(delta(20, 0, 10, 0, 0), 8), 2u);
+  EXPECT_EQ(tuner.adjustments(), 1u);
+}
+
+TEST(PrefetchAutotuner, IdleWindowLeavesDepthAlone) {
+  data::PrefetchAutotuner tuner;
+  (void)tuner.update(delta(10, 5, 10, 0, 0), 8);
+  const std::size_t depth = tuner.depth();
+  EXPECT_EQ(tuner.update(delta(0, 0, 0, 0, 0), 8), depth);
+}
+
+TEST(PrefetchAutotuner, FutileRacingDisablesPrefetch) {
+  data::PrefetchAutotuner tuner;
+  // Nearly every prefetch raced a demand get (no spare core to decode on):
+  // one severe epoch deepens as usual, a second proves futility and latches
+  // prefetch off — depth 0, permanently.
+  EXPECT_EQ(tuner.update(delta(10, 0, 10, 8, 0), 8), 2u);
+  EXPECT_EQ(tuner.update(delta(10, 0, 10, 8, 0), 8), 0u);
+  // The latch is sticky: later misses (inevitable at depth 0) must not
+  // re-deepen, or the cache would oscillate off/on forever.
+  EXPECT_EQ(tuner.update(delta(0, 10, 0, 0, 0), 8), 0u);
+  EXPECT_EQ(tuner.update(delta(10, 5, 0, 0, 0), 8), 0u);
+}
+
+TEST(PrefetchAutotuner, RecoveredRacingResetsTheFutilityStreak) {
+  data::PrefetchAutotuner tuner;
+  // One severe epoch followed by a healthy one: the streak resets, so a
+  // single bad epoch later still does not disable prefetch.
+  (void)tuner.update(delta(10, 0, 10, 8, 0), 8);
+  (void)tuner.update(delta(20, 0, 10, 0, 0), 8);
+  EXPECT_GE(tuner.update(delta(10, 0, 10, 8, 0), 8), 1u);
+}
+
+TEST(PrefetchAutotuner, TinyCacheNeverLooksAhead) {
+  data::PrefetchAutotuner tuner;
+  // capacity 1: the current shard occupies the only slot; lookahead would
+  // just thrash. Depth pins at 1 no matter how many misses.
+  EXPECT_EQ(tuner.update(delta(0, 10, 10, 0, 0), 1), 1u);
+  EXPECT_EQ(tuner.update(delta(0, 10, 10, 0, 0), 1), 1u);
+}
+
+}  // namespace
+}  // namespace isasgd
