@@ -54,6 +54,11 @@ struct CacheStats {
   /// and budget spent for nothing. A high wasted rate means the lookahead
   /// overruns what the budget can hold resident.
   std::uint64_t prefetch_wasted = 0;
+  /// Failed background loads retried in place (transient I/O errors; see
+  /// ShardCache::Options::prefetch_retries). Only the retries themselves —
+  /// a load that fails past its retry budget is dropped as before, and the
+  /// blocking shard() reload surfaces the error.
+  std::uint64_t prefetch_retries = 0;
   /// Background loads in flight right now (gauge, not monotonic).
   std::uint64_t prefetch_inflight = 0;
   std::size_t resident_bytes = 0;  ///< current estimated cache footprint

@@ -1,8 +1,10 @@
 #include "data/shard_cache.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "util/thread_pool.hpp"
@@ -211,14 +213,31 @@ void ShardCache::prefetch(std::size_t s) {
     ++stats_.prefetch_inflight;
   }
   pool_->submit([this, s] {
+    // Per-shard deterministic retry schedule: same options + same shard ⇒
+    // same delays, independent of which pool thread runs the task.
+    util::Backoff::Options bopt = options_.retry_backoff;
+    bopt.seed ^= static_cast<std::uint64_t>(s) * 0x9e3779b97f4a7c15ull;
+    util::Backoff backoff(bopt);
     ShardPtr loaded;
     bool failed = false;
-    try {
-      loaded = loader_(s);
-    } catch (...) {
-      // A prefetch is a hint: drop the claim and let the blocking get()
-      // reload and surface the error synchronously.
-      failed = true;
+    for (std::size_t attempt = 0;; ++attempt) {
+      try {
+        loaded = loader_(s);
+        failed = false;
+        break;
+      } catch (...) {
+        // A prefetch is a hint: once the retry budget is spent, drop the
+        // claim and let the blocking get() reload and surface the error
+        // synchronously.
+        failed = true;
+      }
+      if (attempt >= options_.prefetch_retries) break;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.prefetch_retries;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff.next_ms()));
     }
     const std::lock_guard<std::mutex> lock(mu_);
     --inflight_;
@@ -243,6 +262,8 @@ void ShardCache::end_epoch() {
   delta.prefetch_hits = stats_.prefetch_hits - epoch_mark_.prefetch_hits;
   delta.prefetch_races = stats_.prefetch_races - epoch_mark_.prefetch_races;
   delta.prefetch_wasted = stats_.prefetch_wasted - epoch_mark_.prefetch_wasted;
+  delta.prefetch_retries =
+      stats_.prefetch_retries - epoch_mark_.prefetch_retries;
   tuner_.update(delta, capacity_shards_locked());
   epoch_mark_ = stats_;
 }

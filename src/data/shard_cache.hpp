@@ -27,6 +27,7 @@
 #include <unordered_map>
 
 #include "data/data_source.hpp"
+#include "util/backoff.hpp"
 
 namespace isasgd::util {
 class ThreadPool;
@@ -100,6 +101,16 @@ class ShardCache {
     /// Estimated resident footprint of one loaded shard, for the budget.
     std::function<std::size_t(const Shard&)> shard_bytes;
     PrefetchAutotuner::Options autotune;
+    /// Times a *failed* background load is retried in place before the
+    /// prefetch claim is dropped (0 = legacy behaviour: first failure drops
+    /// the claim and the blocking get() reloads). Retries ride the same
+    /// background-lane task, sleeping `retry_backoff` between attempts with
+    /// the schedule seeded per shard — transient I/O errors (NFS hiccup,
+    /// EINTR-ish loader failures) heal without ever blocking a consumer,
+    /// while a persistent error still falls through to get()'s synchronous
+    /// reload, which surfaces it unchanged.
+    std::size_t prefetch_retries = 0;
+    util::Backoff::Options retry_backoff;
   };
 
   /// `loader` and `pool` must outlive the cache; null pool disables

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "partition/partition.hpp"
@@ -22,6 +23,12 @@ solvers::Trace run_allreduce_sgd(const sparse::CsrMatrix& data,
                                  AllreduceReport* report,
                                  solvers::TrainingObserver* observer) {
   spec.validate();
+  if (spec.fault.enabled()) {
+    throw std::invalid_argument(
+        "run_allreduce_sgd: crash scenarios are implemented for the "
+        "parameter-server engines (the all-reduce schedule has no recovery "
+        "protocol)");
+  }
   const std::size_t n = data.rows();
   const std::size_t k = std::min(spec.nodes, n);
   const std::size_t b = std::max<std::size_t>(1, options.batch_size);

@@ -22,6 +22,9 @@
 #include <string>
 #include <vector>
 
+#include "distributed/recovery.hpp"
+#include "net/fault.hpp"
+
 namespace isasgd::distributed {
 
 /// How the dist.* solvers execute.
@@ -104,6 +107,18 @@ struct ClusterSpec {
   /// shm. Must agree with `transport`'s scheme when set.
   std::string bind_address;
 
+  /// Deterministic wire-fault injection for the process backend (frame
+  /// drops, delays, torn writes, resets — see net/fault.hpp). Disabled by
+  /// default; rejected under kSimulate, where there is no wire.
+  net::FaultSpec wire_faults;
+  /// Scripted worker crash (and optional rejoin) — honoured by the process
+  /// backend *and* the sim.* fenced/event-clock mirrors, which is what makes
+  /// crash recovery conformance-testable. Disabled by default.
+  FaultScenario fault;
+  /// Recovery policy and fault-tolerant wire deadlines. Only consulted when
+  /// `wire_faults` or `fault` is enabled.
+  RecoveryOptions recovery;
+
   /// The single validation point for every entry into the simulated
   /// cluster: TrainerBuilder::cluster / ExecutionContext::set_cluster call
   /// it at configuration time and the run_* engines call it defensively —
@@ -156,6 +171,14 @@ struct ClusterSpec {
         bind_address.rfind(transport + "://", 0) != 0) {
       reject("bind_address", "scheme must match ClusterSpec::transport");
     }
+    wire_faults.validate();
+    if (wire_faults.enabled() && backend == Backend::kSimulate) {
+      reject("wire_faults",
+             "wire-fault injection needs the process backend (the simulator "
+             "has no wire; script a FaultScenario instead)");
+    }
+    fault.validate(nodes);
+    if (fault.enabled() || wire_faults.enabled()) recovery.validate();
   }
 
   /// Relative speed of node a (1.0 when node_speed is unset).

@@ -107,21 +107,40 @@ Setup make_allreduce_setup(const sparse::CsrMatrix& data,
 namespace {
 
 /// Fenced PS epoch loop shared by the in-memory and sharded entry points:
-/// per round one step per active node in rank order, applied immediately.
+/// per round one step per live executor in rank order, applied immediately.
 /// Simulated time is the fully serialized per-step cost — the fenced
 /// protocol serializes every step through the server, so costs add rather
 /// than overlap (this schedule is the determinism anchor, not the
 /// performance model; the event-clock engines remain the latter).
+///
+/// This loop is also the crash-recovery mirror of the real process backend:
+/// executors (ranks) and walks (sample streams) are separate axes, tied
+/// together by the same plan_assignment the real controller runs at every
+/// fence. A scripted FaultScenario kills an executor at its round-robin
+/// turn after the scripted number of draws — exactly when the real server,
+/// whose liveness deadline expires at the dead rank's slot, stops applying
+/// its pushes — so a clean crash produces bit-identical models in both
+/// worlds.
 solvers::Trace run_ps_fenced_core(fenced::Setup& setup,
                                   const objectives::Objective& objective,
                                   std::size_t dim,
                                   const solvers::SolverOptions& options,
                                   const ClusterSpec& spec, bool use_importance,
                                   const solvers::EvalFn& eval,
-                                  double setup_seconds,
+                                  double setup_seconds, bool in_memory,
                                   ParamServerReport* report,
                                   solvers::TrainingObserver* observer) {
   const std::size_t k = setup.k;
+  const FaultScenario& scenario = spec.fault;
+  if (scenario.enabled()) {
+    scenario.validate(k);
+    if (!in_memory) {
+      throw std::invalid_argument(
+          "FaultScenario: crash recovery needs in-memory node walks (a "
+          "sharded walk rewinds at begin_epoch, so an adopted walk cannot "
+          "be fast-forwarded to the server's applied-draw count)");
+    }
+  }
   std::vector<double> w(dim, 0.0);
   solvers::TraceRecorder recorder(use_importance ? "ps_is_asgd" : "ps_asgd", k,
                                   options.step_size, eval, observer);
@@ -131,20 +150,67 @@ solvers::Trace run_ps_fenced_core(fenced::Setup& setup,
 
   double sim_time = 0;
   std::size_t applied = 0, bytes = 0;
-  std::vector<std::size_t> remaining(k, 0);
+  std::uint64_t crash_events = 0, rejoin_events = 0;
+  std::vector<char> alive(k, 1);
+  Assignment assign = identity_assignment(k);
+  std::vector<std::size_t> remaining(k, 0);  // per walk, this epoch
+  std::vector<std::size_t> cursor(k, 0);     // per executor, into assign[e]
   for (std::size_t epoch = 1;
        epoch <= options.epochs && !recorder.stop_requested(); ++epoch) {
-    const double lambda = solvers::epoch_step(options, epoch);
-    std::size_t active = 0;
-    for (std::size_t a = 0; a < k; ++a) {
-      setup.walks[a].begin_epoch();
-      remaining[a] = setup.walks[a].epoch_quota();
-      if (remaining[a] > 0) ++active;
+    if (scenario.enabled() && epoch == scenario.rejoin_epoch &&
+        !alive[scenario.crash_node]) {
+      alive[scenario.crash_node] = 1;
+      ++rejoin_events;
+      assign = plan_assignment(k, alive, spec.recovery.policy);
     }
-    while (active > 0) {
-      for (std::size_t a = 0; a < k; ++a) {
-        if (remaining[a] == 0) continue;
-        const NodeWalk::Sample s = setup.walks[a].next();
+    const double lambda = solvers::epoch_step(options, epoch);
+    std::size_t active_draws = 0;
+    for (std::size_t walk = 0; walk < k; ++walk) remaining[walk] = 0;
+    for (std::size_t e = 0; e < k; ++e) {
+      cursor[e] = 0;
+      if (!alive[e]) continue;
+      for (const std::uint32_t walk : assign[e]) {
+        setup.walks[walk].begin_epoch();
+        remaining[walk] = setup.walks[walk].epoch_quota();
+        active_draws += remaining[walk];
+      }
+    }
+    bool crashing = scenario.enabled() && epoch == scenario.crash_epoch &&
+                    alive[scenario.crash_node];
+    std::size_t crash_left = 0;
+    if (crashing) {
+      std::size_t node_quota = 0;
+      for (const std::uint32_t walk : assign[scenario.crash_node]) {
+        node_quota += remaining[walk];
+      }
+      crash_left = static_cast<std::size_t>(scenario.crash_fraction *
+                                            static_cast<double>(node_quota));
+    }
+    while (active_draws > 0) {
+      for (std::size_t e = 0; e < k; ++e) {
+        if (!alive[e]) continue;
+        while (cursor[e] < assign[e].size() &&
+               remaining[assign[e][cursor[e]]] == 0) {
+          ++cursor[e];
+        }
+        if (cursor[e] == assign[e].size()) continue;  // epoch quota drained
+        if (crashing && e == scenario.crash_node) {
+          if (crash_left == 0) {
+            // The executor dies at its turn; its unfinished epoch work is
+            // lost (the real server never reassigns mid-epoch).
+            alive[e] = 0;
+            ++crash_events;
+            for (const std::uint32_t walk : assign[e]) {
+              active_draws -= remaining[walk];
+              remaining[walk] = 0;
+            }
+            crashing = false;
+            continue;
+          }
+          --crash_left;
+        }
+        const std::uint32_t walk = assign[e][cursor[e]];
+        const NodeWalk::Sample s = setup.walks[walk].next();
         const auto x = s.matrix->row(s.row);
         const auto idx = x.indices();
         const auto val = x.values();
@@ -156,14 +222,18 @@ solvers::Trace run_ps_fenced_core(fenced::Setup& setup,
             objective.gradient_scale(margin, s.matrix->label(s.row));
         fenced::apply_push(idx, val, gradient_scale, lambda * s.weight,
                            options.reg, w);
-        if (--remaining[a] == 0) --active;
+        --remaining[walk];
+        --active_draws;
         const std::size_t nnz = idx.size();
         ++applied;
         bytes += nnz * spec.bytes_per_nnz;
-        sim_time += spec.node_compute_seconds(a, nnz) +
+        sim_time += spec.node_compute_seconds(e, nnz) +
                     spec.sparse_push_seconds(nnz) +
                     spec.apply_seconds_per_nnz * static_cast<double>(nnz);
       }
+    }
+    if (scenario.enabled()) {
+      assign = plan_assignment(k, alive, spec.recovery.policy);
     }
     recorder.record(epoch, sim_time, w);
   }
@@ -176,6 +246,8 @@ solvers::Trace run_ps_fenced_core(fenced::Setup& setup,
     local.simulated_seconds = sim_time;
     local.phi_imbalance = setup.plan->imbalance();
     local.applied_strategy = setup.plan->applied_strategy();
+    local.crash_events = crash_events;
+    local.rejoin_events = rejoin_events;
     if (report) *report = local;
     if (observer) observer->on_diagnostics(local);
   }
@@ -199,8 +271,8 @@ solvers::Trace run_param_server_fenced(const sparse::CsrMatrix& data,
       fenced::make_ps_setup(data, objective, options, spec.nodes,
                             use_importance);
   return run_ps_fenced_core(setup, objective, data.dim(), options, spec,
-                            use_importance, eval, sw.seconds(), report,
-                            observer);
+                            use_importance, eval, sw.seconds(),
+                            /*in_memory=*/true, report, observer);
 }
 
 solvers::Trace run_param_server_fenced_sharded(
@@ -213,8 +285,8 @@ solvers::Trace run_param_server_fenced_sharded(
   fenced::Setup setup = fenced::make_ps_setup_sharded(
       source, objective, options, spec.nodes, use_importance);
   return run_ps_fenced_core(setup, objective, source.dim(), options, spec,
-                            use_importance, eval, sw.seconds(), report,
-                            observer);
+                            use_importance, eval, sw.seconds(),
+                            /*in_memory=*/false, report, observer);
 }
 
 solvers::Trace run_allreduce_fenced(const sparse::CsrMatrix& data,
@@ -226,6 +298,12 @@ solvers::Trace run_allreduce_fenced(const sparse::CsrMatrix& data,
                                     AllreduceReport* report,
                                     solvers::TrainingObserver* observer) {
   spec.validate();
+  if (spec.fault.enabled()) {
+    throw std::invalid_argument(
+        "run_allreduce_fenced: crash scenarios are implemented for the "
+        "parameter-server engines (the all-reduce schedule has no recovery "
+        "protocol)");
+  }
   const std::size_t n = data.rows();
   const std::size_t b = std::max<std::size_t>(1, options.batch_size);
   std::vector<double> w(data.dim(), 0.0);

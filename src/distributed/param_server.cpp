@@ -2,8 +2,10 @@
 
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "distributed/recovery.hpp"
 #include "partition/partition.hpp"
 #include "sampling/alias_table.hpp"
 #include "sim/event_loop.hpp"
@@ -66,6 +68,8 @@ solvers::Trace run_param_server(const sparse::CsrMatrix& data,
   spec.validate();
   const std::size_t n = data.rows();
   const std::size_t k = std::min(spec.nodes, n);
+  const FaultScenario& scenario = spec.fault;
+  if (scenario.enabled()) scenario.validate(k);
   std::vector<double> w(data.dim(), 0.0);
   solvers::TraceRecorder recorder(use_importance ? "ps_is_asgd" : "ps_asgd", k,
                                   options.step_size, eval, observer);
@@ -80,97 +84,148 @@ solvers::Trace run_param_server(const sparse::CsrMatrix& data,
   popt.shuffle_seed = options.seed ^ 0xd157;
   const partition::PartitionPlan plan(importance, k, popt);
 
-  struct NodeState {
+  // Walks (sample streams over one shard) and executors (simulated
+  // processes) are separate axes, tied together by the fence-time
+  // plan_assignment — the same re-planning the real controller and the
+  // fenced mirror run. Walk state (shard, sampler, RNG) survives its home
+  // executor's crash; the adopting executor continues the stream.
+  struct WalkState {
     partition::Shard shard;
     std::vector<double> weight;  // 1/(N_a·p_i) per local slot (unit if ASGD)
     std::unique_ptr<sampling::AliasTable> sampler;  // null → uniform
     util::Rng rng;
-    std::size_t quota = 0;        // computes remaining this epoch
-    std::size_t outstanding = 0;  // unacknowledged pushes in flight
-    bool stalled = false;         // blocked on the flow-control window
+    std::size_t quota = 0;  // computes remaining this epoch
   };
-  std::vector<NodeState> node(k);
+  std::vector<WalkState> walk(k);
   for (std::size_t a = 0; a < k; ++a) {
-    node[a].shard = plan.shard(a);
-    const std::size_t local_n = node[a].shard.rows.size();
-    node[a].weight.assign(local_n, 1.0);
+    walk[a].shard = plan.shard(a);
+    const std::size_t local_n = walk[a].shard.rows.size();
+    walk[a].weight.assign(local_n, 1.0);
     if (use_importance) {
-      node[a].sampler = std::make_unique<sampling::AliasTable>(
-          node[a].shard.probabilities);
+      walk[a].sampler = std::make_unique<sampling::AliasTable>(
+          walk[a].shard.probabilities);
       for (std::size_t s = 0; s < local_n; ++s) {
-        const double p = node[a].shard.probabilities[s];
-        node[a].weight[s] =
+        const double p = walk[a].shard.probabilities[s];
+        walk[a].weight[s] =
             p > 0 ? 1.0 / (static_cast<double>(local_n) * p) : 1.0;
       }
     }
-    node[a].rng.reseed(util::derive_seed(options.seed, 0xc0de + a));
+    walk[a].rng.reseed(util::derive_seed(options.seed, 0xc0de + a));
   }
+  std::vector<char> ex_alive(k, 1);
+  Assignment assign = identity_assignment(k);
+  std::vector<std::size_t> ex_cursor(k, 0);       // into assign[e]
+  std::vector<std::size_t> ex_outstanding(k, 0);  // unacked pushes in flight
+  std::vector<char> ex_stalled(k, 0);  // blocked on the flow-control window
+  std::uint64_t crash_events = 0, rejoin_events = 0;
   recorder.add_setup_seconds(setup.seconds());
   recorder.record(0, 0.0, w);
 
   sim::EventLoop<PsEvent> loop;
   PsCounters counters;
+  bool crashing = false;
+  std::size_t crash_left = 0;
 
-  // Starts node a's next gradient at simulated time `now`: reads the margin
-  // against the *current* server state (this is ŵ for every in-flight
-  // update) and schedules the compute-done event.
-  auto start_compute = [&](std::size_t a, double now, double lambda) {
-    NodeState& ns = node[a];
-    const std::size_t local_n = ns.shard.rows.size();
+  // Starts executor e's next gradient at simulated time `now`: picks its
+  // current walk (advancing past drained ones), reads the margin against
+  // the *current* server state (this is ŵ for every in-flight update) and
+  // schedules the compute-done event. No-op once the executor is dead or
+  // out of epoch quota; the scripted crash fires here, at the moment the
+  // executor would start one compute past its scripted allowance.
+  auto start_compute = [&](std::size_t e, double now, double lambda) {
+    if (!ex_alive[e]) return;
+    while (ex_cursor[e] < assign[e].size() &&
+           walk[assign[e][ex_cursor[e]]].quota == 0) {
+      ++ex_cursor[e];
+    }
+    if (ex_cursor[e] == assign[e].size()) return;  // epoch done for e
+    if (crashing && e == scenario.crash_node) {
+      if (crash_left == 0) {
+        // The executor dies; its unfinished epoch quota is lost (in-flight
+        // pushes still land — they are already on the simulated wire).
+        ex_alive[e] = 0;
+        ++crash_events;
+        for (const std::uint32_t wlk : assign[e]) walk[wlk].quota = 0;
+        crashing = false;
+        return;
+      }
+      --crash_left;
+    }
+    WalkState& ws = walk[assign[e][ex_cursor[e]]];
+    const std::size_t local_n = ws.shard.rows.size();
     const std::size_t slot =
-        ns.sampler ? ns.sampler->sample(ns.rng)
+        ws.sampler ? ws.sampler->sample(ws.rng)
                    : static_cast<std::size_t>(
-                         util::uniform_index(ns.rng, local_n));
-    const std::size_t i = ns.shard.rows[slot];
+                         util::uniform_index(ws.rng, local_n));
+    const std::size_t i = ws.shard.rows[slot];
     const auto x = data.row(i);
     const auto idx = x.indices();
     const auto val = x.values();
     double margin = 0;
     for (std::size_t j = 0; j < idx.size(); ++j) margin += w[idx[j]] * val[j];
-    loop.schedule(now + spec.node_compute_seconds(a, idx.size()),
+    loop.schedule(now + spec.node_compute_seconds(e, idx.size()),
                   PsEvent{
                       .kind = EventKind::kComputeDone,
-                      .node = a,
+                      .node = e,
                       .row = static_cast<std::uint32_t>(i),
                       .gradient_scale =
                           objective.gradient_scale(margin, data.label(i)),
-                      .scaled_step = lambda * ns.weight[slot],
+                      .scaled_step = lambda * ws.weight[slot],
                       .computed_after_applies = counters.applied,
                   });
-    --ns.quota;
+    --ws.quota;
   };
 
   for (std::size_t epoch = 1;
        epoch <= options.epochs && !recorder.stop_requested(); ++epoch) {
-    const double lambda = solvers::epoch_step(options, epoch);
-    for (std::size_t a = 0; a < k; ++a) {
-      node[a].quota = node[a].shard.rows.size();
-      if (node[a].quota > 0) start_compute(a, loop.now(), lambda);
+    if (scenario.enabled() && epoch == scenario.rejoin_epoch &&
+        !ex_alive[scenario.crash_node]) {
+      ex_alive[scenario.crash_node] = 1;
+      ++rejoin_events;
+      assign = plan_assignment(k, ex_alive, spec.recovery.policy);
     }
+    const double lambda = solvers::epoch_step(options, epoch);
+    for (std::size_t a = 0; a < k; ++a) walk[a].quota = 0;
+    for (std::size_t e = 0; e < k; ++e) {
+      ex_cursor[e] = 0;
+      ex_stalled[e] = 0;
+      if (!ex_alive[e]) continue;
+      for (const std::uint32_t wlk : assign[e]) {
+        walk[wlk].quota = walk[wlk].shard.rows.size();
+      }
+    }
+    crashing = scenario.enabled() && epoch == scenario.crash_epoch &&
+               ex_alive[scenario.crash_node];
+    if (crashing) {
+      std::size_t node_quota = 0;
+      for (const std::uint32_t wlk : assign[scenario.crash_node]) {
+        node_quota += walk[wlk].quota;
+      }
+      crash_left = static_cast<std::size_t>(scenario.crash_fraction *
+                                            static_cast<double>(node_quota));
+    }
+    for (std::size_t e = 0; e < k; ++e) start_compute(e, loop.now(), lambda);
     loop.drain([&](PsEvent ev) {
       if (ev.kind == EventKind::kComputeDone) {
-        // Push goes on the wire; the node pipelines into its next gradient
-        // unless its flow-control window (max_outstanding_pushes) is full,
-        // in which case it stalls until an ack frees a slot.
+        // Push goes on the wire; the executor pipelines into its next
+        // gradient unless its flow-control window (max_outstanding_pushes)
+        // is full, in which case it stalls until an ack frees a slot.
         const std::size_t nnz = data.row(ev.row).indices().size();
-        NodeState& ns = node[ev.node];
         ev.kind = EventKind::kApply;
         ++counters.messages;
         counters.bytes_sent += nnz * spec.bytes_per_nnz;
-        const std::size_t a = ev.node;
+        const std::size_t e = ev.node;
         // Left-associated sum, matching the pre-EventLoop arithmetic bit
         // for bit (the frozen traces the tests pin depend on it).
         loop.schedule(loop.now() + spec.sparse_push_seconds(nnz) +
                           spec.apply_seconds_per_nnz *
                               static_cast<double>(nnz),
                       std::move(ev));
-        ++ns.outstanding;
-        if (ns.quota > 0) {
-          if (ns.outstanding < spec.max_outstanding_pushes) {
-            start_compute(a, loop.now(), lambda);
-          } else {
-            ns.stalled = true;
-          }
+        ++ex_outstanding[e];
+        if (ex_outstanding[e] < spec.max_outstanding_pushes) {
+          start_compute(e, loop.now(), lambda);
+        } else {
+          ex_stalled[e] = 1;
         }
       } else {
         const auto x = data.row(ev.row);
@@ -187,21 +242,26 @@ solvers::Trace run_param_server(const sparse::CsrMatrix& data,
         // Ack returns after one more latency hop; a stalled worker resumes
         // then (the ack itself needs no event — the worker's next compute
         // simply starts at ack arrival).
-        NodeState& ns = node[ev.node];
-        --ns.outstanding;
-        if (ns.stalled && ns.quota > 0) {
-          ns.stalled = false;
-          start_compute(ev.node, loop.now() + spec.latency_seconds, lambda);
+        const std::size_t e = ev.node;
+        --ex_outstanding[e];
+        if (ex_stalled[e]) {
+          ex_stalled[e] = 0;
+          start_compute(e, loop.now() + spec.latency_seconds, lambda);
         }
       }
     });
     // Queue drained = epoch fence: every push of the epoch has landed.
+    if (scenario.enabled()) {
+      assign = plan_assignment(k, ex_alive, spec.recovery.policy);
+    }
     recorder.record(epoch, loop.now(), w);
   }
 
   if (report || observer) {
     ParamServerReport local;
     fill_report(&local, counters, loop.now(), plan);
+    local.crash_events = crash_events;
+    local.rejoin_events = rejoin_events;
     if (report) *report = local;
     if (observer) observer->on_diagnostics(local);
   }
@@ -215,6 +275,12 @@ solvers::Trace run_param_server_sharded(
     bool use_importance, const solvers::EvalFn& eval,
     ParamServerReport* report, solvers::TrainingObserver* observer) {
   spec.validate();
+  if (spec.fault.enabled()) {
+    throw std::invalid_argument(
+        "run_param_server_sharded: crash scenarios need in-memory node walks "
+        "(use run_param_server or the fenced engines; sharded walks rewind "
+        "their sample streams and cannot be replayed onto a survivor)");
+  }
   const std::size_t shards = source.shard_count();
   const std::size_t k = std::min(spec.nodes, shards);
   std::vector<double> w(source.dim(), 0.0);

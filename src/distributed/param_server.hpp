@@ -22,6 +22,8 @@
 // tests pin down.
 #pragma once
 
+#include <cstdint>
+
 #include "data/data_source.hpp"
 #include "distributed/cluster.hpp"
 #include "objectives/objective.hpp"
@@ -48,6 +50,13 @@ struct ParamServerReport {
   double phi_imbalance = 0;
   /// Partition strategy actually applied (resolves kAdaptive).
   partition::Strategy applied_strategy = partition::Strategy::kNone;
+  /// Wire-client retransmits summed over ranks (0 without fault injection).
+  std::uint64_t wire_retries = 0;
+  /// Worker deaths observed (scripted FaultScenario crash, or a liveness
+  /// deadline expiring under wire faults).
+  std::uint64_t crash_events = 0;
+  /// Replacement workers admitted at an epoch fence.
+  std::uint64_t rejoin_events = 0;
 };
 
 /// Runs `options.epochs` passes of parameter-server SGD over the simulated

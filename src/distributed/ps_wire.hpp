@@ -8,20 +8,39 @@
 // formatted through text. (Same-architecture process groups only; this repo
 // targets x86-64/AArch64 little-endian, as the kernels already assume.)
 //
-// Message map (request/response over net::write_frame framing):
+// Message map (request/response over net::write_frame framing). Every
+// parameter-server request carries a per-rank sequence number and every
+// reply echoes it: the server treats seq == last as "resend the cached
+// reply" and seq < last as a stale duplicate to discard, which makes a
+// retried push apply exactly once no matter how many times the wire drops,
+// tears or resets frames in between (see net/fault.hpp). `resume` in the
+// hello distinguishes a mid-epoch reconnect (resume=1: keep the rank's
+// sequence state) from a fresh process (resume=0: reset it — a rejoining
+// replacement starts at seq 1).
 //
-//   worker → server      kHello{role=0, rank}
-//   controller → server  kHello{role=1, rank=0}
-//   worker → server      kStep{ncols, idx[ncols]}          coordinate get
-//   server → worker      kStepReply{w[ncols]}              values, same order
-//   worker → server      kPush{gscale, sstep, nnz, (idx, val)[nnz]}
-//   server → worker      kPushAck{}
-//   worker → server      kEpochEnd{}                       quota exhausted
-//   server → controller  kFence{epoch, applied, messages, bytes, dim, w[dim]}
-//   controller → server  kFenceReply{continue}
-//   server → worker      kEpochGo{continue}
+//   worker → server      kHello{role=0, rank, resume}
+//   controller → server  kHello{role=1, rank=0, resume=0}
+//   worker → server      kStep{seq, ncols, idx[ncols]}     coordinate get
+//   server → worker      kStepReply{seq, w[ncols]}         values, same order
+//   worker → server      kPush{seq, walk, gscale, sstep, nnz, (idx, val)[nnz]}
+//   server → worker      kPushAck{seq}
+//   worker → server      kEpochEnd{seq, retries}           quota exhausted
+//   server → controller  kFence{epoch, applied, messages, bytes, retries,
+//                               nranks, alive[nranks], nwalks, draws[nwalks],
+//                               dim, w[dim]}
+//   controller → server  kFenceReply{continue, nranks,
+//                               (alive, nwalks, (walk, ff)[nwalks])[nranks]}
+//   server → worker      kEpochGo{seq, continue, next_epoch,
+//                               nwalks, (walk, ff)[nwalks]}
 //   worker → server      kReduce{count, (idx, val)[count]} all-reduce partial
 //   server → worker      kModelDelta{count, (idx, w)[count]} updated coords
+//
+// The all-reduce group keeps the un-sequenced kReduce/kModelDelta exchange
+// (it has no retry layer — fault injection targets the PS runtime) but
+// shares the kFence/kFenceReply shape with nranks = nwalks = 0; the
+// controller-side parser is one implementation for both. Unpacker ignores
+// trailing bytes by design, which is what lets the all-reduce fence carry
+// the recovery fields as zeros without its own format.
 #pragma once
 
 #include <cstdint>

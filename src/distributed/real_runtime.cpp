@@ -6,28 +6,53 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "distributed/fenced.hpp"
 #include "distributed/node_walk.hpp"
 #include "distributed/ps_wire.hpp"
+#include "distributed/recovery.hpp"
+#include "net/fault.hpp"
 #include "net/transport.hpp"
 #include "solvers/schedule.hpp"
+#include "util/backoff.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace isasgd::distributed {
 
 namespace {
 
-/// Generous per-call I/O deadline inside the group. Every blocking call a
-/// process makes is bounded by it, so a dead peer turns into a typed
-/// TransportError instead of a wedged group.
+/// Generous per-call I/O deadline inside a fault-free group. Every blocking
+/// call a process makes is bounded by it, so a dead peer turns into a typed
+/// TransportError instead of a wedged group. Fault-tolerant runs (a wire
+/// FaultSpec or FaultScenario is active) switch to the much tighter
+/// RecoveryOptions deadlines instead.
 constexpr int kGroupIoTimeoutMs = 120000;
 constexpr int kConnectTimeoutMs = 30000;
+/// Accept/read poll granularity while a fault-tolerant server waits: short
+/// enough to notice reconnects promptly, long enough not to spin.
+constexpr int kPollMs = 50;
+
+using Clock = std::chrono::steady_clock;
+
+bool fault_tolerant(const ClusterSpec& spec) {
+  return spec.wire_faults.enabled() || spec.fault.enabled();
+}
+
+std::shared_ptr<const net::FaultPlan> make_plan(const ClusterSpec& spec) {
+  if (!spec.wire_faults.enabled()) return nullptr;
+  return std::make_shared<net::FaultPlan>(spec.wire_faults);
+}
 
 std::string pick_address(const ClusterSpec& spec) {
   if (!spec.bind_address.empty()) return spec.bind_address;
@@ -53,7 +78,9 @@ class ChildReaper {
 
   void add(pid_t pid) { children_.push_back(pid); }
 
-  /// Waits for every child; throws if any exited abnormally.
+  /// Waits for every child; throws if any exited abnormally. A scripted
+  /// crash is a clean _exit(0), so it passes — an assertion failure or
+  /// signal in any child still fails the run.
   void join_all() {
     std::string failures;
     while (!children_.empty()) {
@@ -115,13 +142,725 @@ std::string read_address(int fd) {
   return line;
 }
 
-void send_hello(net::Endpoint& ep, std::uint32_t role, std::uint32_t rank) {
+/// Hellos are always sent on the UNWRAPPED endpoint (before any fault
+/// decorator is attached): losing the handshake would deadlock group setup
+/// without exercising anything the recovery protocol is responsible for.
+void send_hello(net::Endpoint& ep, std::uint32_t role, std::uint32_t rank,
+                std::uint32_t resume) {
   wire::Packer p;
-  p.u32(role).u32(rank);
+  p.u32(role).u32(rank).u32(resume);
   net::write_frame(ep, wire::kHello, p.view());
 }
 
+// ---- Fault-tolerant PS wire client ------------------------------------------
+
+/// One (walk, fast-forward) assignment entry of a kEpochGo.
+struct GoEntry {
+  std::uint32_t walk = 0;
+  std::uint64_t ff = 0;
+};
+
+/// Parsed kEpochGo.
+struct EpochGo {
+  bool cont = false;
+  std::size_t next_epoch = 0;
+  std::vector<GoEntry> assign;
+};
+
+/// The worker side of the sequence-numbered PS protocol: every request gets
+/// a fresh seq, and request() retransmits (reconnecting on kClosed) until
+/// the matching reply arrives or the retry budget is spent. Because the
+/// server caches the last reply per rank and dedups on seq, a retried push
+/// is applied exactly once no matter where the wire failed.
+class PsClient {
+ public:
+  PsClient(std::string address, std::size_t rank, const ClusterSpec& spec,
+           std::shared_ptr<const net::FaultPlan> plan)
+      : address_(std::move(address)),
+        rank_(static_cast<std::uint32_t>(rank)),
+        spec_(spec),
+        plan_(std::move(plan)),
+        reply_timeout_ms_(fault_tolerant(spec) ? spec.recovery.reply_timeout_ms
+                                               : kGroupIoTimeoutMs),
+        fence_timeout_ms_(fault_tolerant(spec)
+                              ? spec.recovery.fence_reply_timeout_ms
+                              : kGroupIoTimeoutMs),
+        backoff_({.initial_ms = spec.recovery.backoff_initial_ms,
+                  .max_ms = spec.recovery.backoff_max_ms,
+                  .multiplier = 2.0,
+                  .jitter = spec.recovery.backoff_jitter,
+                  .seed = util::derive_seed(spec.wire_faults.seed,
+                                            0xba0fu + rank)}) {
+    connect();
+  }
+
+  /// Coordinate get: returns w[c] for each requested column, in order.
+  std::vector<double> step(std::span<const std::uint32_t> cols) {
+    const std::uint64_t seq = ++seq_;
+    wire::Packer p;
+    p.u64(seq).u32(static_cast<std::uint32_t>(cols.size()));
+    for (const std::uint32_t c : cols) p.u32(c);
+    const std::string reply = request(wire::kStep, seq, p.view(),
+                                      wire::kStepReply, reply_timeout_ms_);
+    wire::Unpacker u(reply);
+    (void)u.u64();  // seq, already matched
+    std::vector<double> values(cols.size());
+    for (double& v : values) v = u.f64();
+    return values;
+  }
+
+  /// Sparse push for `walk`, applied exactly once server-side.
+  void push(std::uint32_t walk, double gradient_scale, double scaled_step,
+            std::span<const std::uint32_t> idx, std::span<const double> val) {
+    const std::uint64_t seq = ++seq_;
+    wire::Packer p;
+    p.u64(seq).u32(walk).f64(gradient_scale).f64(scaled_step);
+    p.u32(static_cast<std::uint32_t>(idx.size()));
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      p.u32(idx[j]);
+      p.f64(val[j]);
+    }
+    (void)request(wire::kPush, seq, p.view(), wire::kPushAck,
+                  reply_timeout_ms_);
+  }
+
+  /// Epoch fence: reports this client's cumulative wire retries, blocks on
+  /// the kEpochGo carrying the continue flag and next epoch's assignment.
+  /// The wait retransmits kEpochEnd at the ordinary reply cadence — the
+  /// fence can legitimately take long (controller eval, dead-rank
+  /// detection), and only a steady frame stream keeps the server's liveness
+  /// deadline from declaring THIS rank dead meanwhile; the server dedups
+  /// the repeats by sequence number.
+  EpochGo epoch_end() {
+    const std::uint64_t seq = ++seq_;
+    wire::Packer p;
+    p.u64(seq).u64(retries_);
+    const std::string reply = request(wire::kEpochEnd, seq, p.view(),
+                                      wire::kEpochGo, reply_timeout_ms_);
+    wire::Unpacker u(reply);
+    (void)u.u64();  // seq
+    EpochGo go;
+    go.cont = u.u32() != 0;
+    go.next_epoch = u.u32();
+    const std::uint32_t nwalks = u.u32();
+    go.assign.resize(nwalks);
+    for (GoEntry& e : go.assign) {
+      e.walk = u.u32();
+      e.ff = u.u64();
+    }
+    return go;
+  }
+
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+
+ private:
+  void connect() {
+    auto raw = net::connect(address_, kConnectTimeoutMs);
+    raw->set_io_timeout(kConnectTimeoutMs);
+    // resume=0 only on a fresh process's first connection: the server resets
+    // the rank's sequence state so a rejoining replacement starts at seq 1.
+    send_hello(*raw, wire::kRoleWorker, rank_, incarnation_ > 0 ? 1 : 0);
+    ep_ = net::wrap_faulty(
+        std::move(raw), plan_,
+        net::FaultPlan::stream_id(0, rank_, incarnation_), nullptr);
+    ++incarnation_;
+  }
+
+  std::string request(std::uint32_t type, std::uint64_t seq,
+                      const std::string& payload, std::uint32_t reply_type,
+                      int timeout_ms) {
+    // Two failure budgets: timeouts retransmit until the fence deadline (a
+    // slow server mid-fence or mid-liveness-wait is not an error, and the
+    // retransmits are what keep THIS rank looking alive to it); closes
+    // reconnect at most max_retries times (a server that keeps tearing the
+    // connection down is one).
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(fence_timeout_ms_);
+    backoff_.reset();
+    std::size_t closes = 0;
+    while (true) {
+      try {
+        if (!ep_) connect();
+        ep_->set_io_timeout(timeout_ms);
+        net::write_frame(*ep_, type, payload);
+        while (true) {
+          const net::Frame f = net::read_frame(*ep_);
+          wire::Unpacker u(f.payload);
+          const std::uint64_t rseq = u.u64();
+          // A duplicate of an earlier reply (our retransmit crossed the
+          // original answer, or a stale cached resend): discard and keep
+          // reading — sequence numbers are monotonic per rank.
+          if (rseq < seq) continue;
+          if (rseq != seq || f.type != reply_type) {
+            throw net::TransportError(
+                net::TransportError::Kind::kProtocol,
+                "ps client rank " + std::to_string(rank_) +
+                    ": expected reply type " + std::to_string(reply_type) +
+                    " seq " + std::to_string(seq) + ", got type " +
+                    std::to_string(f.type) + " seq " + std::to_string(rseq));
+          }
+          return f.payload;
+        }
+      } catch (const net::TransportError& e) {
+        if (e.kind() == net::TransportError::Kind::kProtocol ||
+            e.kind() == net::TransportError::Kind::kIo) {
+          throw;
+        }
+        // kTimeout: the stream is still frame-aligned (whole frames are
+        // dropped or delayed, never split) — retransmit on it. kClosed:
+        // torn/reset/dead peer — reconnect with a fresh incarnation.
+        if (e.kind() == net::TransportError::Kind::kClosed) {
+          ep_.reset();
+          if (++closes > spec_.recovery.max_retries) throw;
+        }
+        if (Clock::now() >= deadline) throw;
+        ++retries_;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_.next_ms()));
+      }
+    }
+  }
+
+  std::string address_;
+  std::uint32_t rank_;
+  const ClusterSpec& spec_;
+  std::shared_ptr<const net::FaultPlan> plan_;
+  int reply_timeout_ms_;
+  int fence_timeout_ms_;
+  util::Backoff backoff_;
+  std::unique_ptr<net::Endpoint> ep_;
+  std::uint32_t incarnation_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+// ---- Fault-tolerant PS server -----------------------------------------------
+
+/// The PS process: serves coordinate gets and applies pushes in the fenced
+/// rank order (one applied push per live rank per round — the exact apply
+/// sequence of the fenced simulator, crash-aware or not). Detects a dead
+/// worker by its liveness deadline expiring, reports per-rank liveness and
+/// per-walk applied-draw counts at each fence, and executes whatever
+/// assignment the controller replies with.
+class PsServer {
+ public:
+  PsServer(int addr_fd, const std::string& bind, std::size_t k,
+           std::size_t dim, const solvers::SolverOptions& options,
+           const ClusterSpec& spec)
+      : k_(k),
+        options_(options),
+        spec_(spec),
+        plan_(make_plan(spec)),
+        ft_(fault_tolerant(spec)),
+        liveness_ms_(ft_ ? spec.recovery.liveness_timeout_ms
+                         : kGroupIoTimeoutMs),
+        poll_ms_(ft_ ? kPollMs : kGroupIoTimeoutMs),
+        w_(dim, 0.0),
+        walk_draws_(k, 0),
+        ranks_(k) {
+    listener_ = net::listen(bind);
+    report_address(addr_fd, listener_->address());
+    accept_initial();
+  }
+
+  void run() {
+    for (std::size_t epoch = 1;; ++epoch) {
+      std::size_t ndone = 0;
+      for (RankState& rs : ranks_) {
+        rs.done = rs.dead;  // dead ranks have nothing to serve
+        if (rs.done) ++ndone;
+      }
+      while (ndone < k_) {
+        for (std::size_t r = 0; r < k_; ++r) {
+          if (ranks_[r].done) continue;
+          if (serve_slot(r) != SlotResult::kApplied) {
+            ranks_[r].done = true;
+            ++ndone;
+          }
+        }
+      }
+      if (!fence(epoch)) break;
+    }
+    if (ft_) drain_shutdown();
+  }
+
+ private:
+  enum class SlotResult { kApplied, kDone, kDead };
+
+  struct RankState {
+    std::unique_ptr<net::Endpoint> ep;
+    bool dead = false;
+    bool done = false;
+    std::uint64_t last_seq = 0;
+    std::uint32_t cached_type = 0;  // 0 = no cached reply
+    std::string cached_reply;
+    std::uint32_t incarnations = 0;
+    std::uint64_t go_seq = 0;
+    std::uint64_t retries = 0;  // worker-reported cumulative wire retries
+  };
+
+  void install(std::uint32_t rank, std::uint32_t resume,
+               std::unique_ptr<net::Endpoint> ep) {
+    RankState& rs = ranks_[rank];
+    if (resume == 0) {
+      // Fresh process (first worker or rejoining replacement): its sequence
+      // numbers restart at 1.
+      rs.last_seq = 0;
+      rs.cached_type = 0;
+      rs.cached_reply.clear();
+      rs.retries = 0;
+    }
+    rs.ep = net::wrap_faulty(
+        std::move(ep), plan_,
+        net::FaultPlan::stream_id(1, rank, rs.incarnations), nullptr);
+    ++rs.incarnations;
+  }
+
+  void accept_initial() {
+    listener_->set_accept_timeout(kConnectTimeoutMs);
+    std::size_t have = 0;
+    while (controller_ == nullptr || have < k_) {
+      std::unique_ptr<net::Endpoint> ep = listener_->accept();
+      ep->set_io_timeout(kConnectTimeoutMs);
+      const net::Frame hello = net::expect_frame(*ep, wire::kHello, "hello");
+      wire::Unpacker u(hello.payload);
+      const std::uint32_t role = u.u32();
+      const std::uint32_t rank = u.u32();
+      const std::uint32_t resume = u.u32();
+      if (role == wire::kRoleController) {
+        controller_ = std::move(ep);
+        controller_->set_io_timeout(kGroupIoTimeoutMs);
+      } else if (rank < k_ && ranks_[rank].ep == nullptr) {
+        install(rank, resume, std::move(ep));
+        ++have;
+      } else {
+        throw net::TransportError(net::TransportError::Kind::kProtocol,
+                                  "duplicate or out-of-range worker rank " +
+                                      std::to_string(rank));
+      }
+    }
+  }
+
+  /// Accepts connections until `target`'s (re)connect arrives or the
+  /// deadline passes. Other ranks' reconnects arriving meanwhile are
+  /// installed too — a rank's slot must not eat another rank's handshake.
+  bool await_rank(std::size_t target, Clock::time_point deadline) {
+    listener_->set_accept_timeout(poll_ms_);
+    while (Clock::now() < deadline) {
+      std::unique_ptr<net::Endpoint> ep;
+      try {
+        ep = listener_->accept();
+      } catch (const net::TransportError& e) {
+        if (e.kind() == net::TransportError::Kind::kTimeout) continue;
+        throw;
+      }
+      std::uint32_t role = 0, rank = 0, resume = 0;
+      try {
+        ep->set_io_timeout(std::max(poll_ms_ * 4, 200));
+        const net::Frame hello = net::expect_frame(*ep, wire::kHello, "hello");
+        wire::Unpacker u(hello.payload);
+        role = u.u32();
+        rank = u.u32();
+        resume = u.u32();
+      } catch (const net::TransportError& e) {
+        if (e.kind() == net::TransportError::Kind::kProtocol) throw;
+        continue;  // half-open connection: drop it, keep waiting
+      }
+      if (role != wire::kRoleWorker || rank >= k_) {
+        throw net::TransportError(
+            net::TransportError::Kind::kProtocol,
+            "unexpected mid-run hello (role " + std::to_string(role) +
+                ", rank " + std::to_string(rank) + ")");
+      }
+      install(rank, resume, std::move(ep));
+      if (rank == target) return true;
+    }
+    return false;
+  }
+
+  void mark_dead(std::size_t r) {
+    RankState& rs = ranks_[r];
+    rs.dead = true;
+    rs.ep.reset();
+  }
+
+  /// Sends a reply and remembers it as the rank's cached reply, so a
+  /// duplicate of the request (seq == last_seq) can be answered again
+  /// without re-executing. A send failure just drops the connection — the
+  /// worker reconnects and retransmits, hitting the cache.
+  void reply_cached(RankState& rs, std::uint32_t type, std::string payload) {
+    rs.cached_type = type;
+    rs.cached_reply = std::move(payload);
+    send_cached(rs);
+  }
+
+  void send_cached(RankState& rs) {
+    if (!rs.ep) return;
+    try {
+      net::write_frame(*rs.ep, rs.cached_type, rs.cached_reply);
+    } catch (const net::TransportError& e) {
+      if (e.kind() == net::TransportError::Kind::kProtocol ||
+          e.kind() == net::TransportError::Kind::kIo) {
+        throw;
+      }
+      rs.ep.reset();
+    }
+  }
+
+  /// Serves rank r until it contributes one applied push (kApplied), ends
+  /// its epoch (kDone), or its liveness deadline expires (kDead).
+  SlotResult serve_slot(std::size_t r) {
+    RankState& rs = ranks_[r];
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(liveness_ms_);
+    while (true) {
+      if (!rs.ep) {
+        if (!await_rank(r, deadline)) {
+          mark_dead(r);
+          return SlotResult::kDead;
+        }
+        continue;
+      }
+      net::Frame f;
+      try {
+        rs.ep->set_io_timeout(poll_ms_);
+        f = net::read_frame(*rs.ep);
+      } catch (const net::TransportError& e) {
+        if (e.kind() == net::TransportError::Kind::kTimeout) {
+          if (Clock::now() < deadline) continue;
+          mark_dead(r);
+          return SlotResult::kDead;
+        }
+        if (e.kind() != net::TransportError::Kind::kClosed) throw;
+        rs.ep.reset();  // worker died or is reconnecting; await_rank decides
+        continue;
+      }
+      wire::Unpacker u(f.payload);
+      const std::uint64_t seq = u.u64();
+      if (seq <= rs.last_seq) {
+        // Retransmit of something already executed: resend the cached reply
+        // (exactly-once applies live here), ignore anything older.
+        if (seq == rs.last_seq && rs.cached_type != 0) send_cached(rs);
+        continue;
+      }
+      if (seq != rs.last_seq + 1) {
+        throw net::TransportError(
+            net::TransportError::Kind::kProtocol,
+            "ps server: rank " + std::to_string(r) + " jumped from seq " +
+                std::to_string(rs.last_seq) + " to " + std::to_string(seq));
+      }
+      switch (f.type) {
+        case wire::kStep: {
+          const std::uint32_t ncols = u.u32();
+          wire::Packer reply;
+          reply.u64(seq);
+          for (std::uint32_t j = 0; j < ncols; ++j) reply.f64(w_[u.u32()]);
+          rs.last_seq = seq;
+          reply_cached(rs, wire::kStepReply, std::move(reply).take());
+          continue;  // the step's push is still owed in this slot
+        }
+        case wire::kPush: {
+          const std::uint32_t walk = u.u32();
+          const double gradient_scale = u.f64();
+          const double scaled_step = u.f64();
+          const std::uint32_t nnz = u.u32();
+          if (walk >= k_) {
+            throw net::TransportError(
+                net::TransportError::Kind::kProtocol,
+                "ps server: push for out-of-range walk " +
+                    std::to_string(walk));
+          }
+          idx_.resize(nnz);
+          val_.resize(nnz);
+          for (std::uint32_t j = 0; j < nnz; ++j) {
+            idx_[j] = u.u32();
+            val_[j] = u.f64();
+          }
+          fenced::apply_push(idx_, val_, gradient_scale, scaled_step,
+                             options_.reg, w_);
+          ++applied_;
+          ++walk_draws_[walk];
+          bytes_ += static_cast<std::uint64_t>(nnz) * spec_.bytes_per_nnz;
+          rs.last_seq = seq;
+          wire::Packer ack;
+          ack.u64(seq);
+          reply_cached(rs, wire::kPushAck, std::move(ack).take());
+          return SlotResult::kApplied;
+        }
+        case wire::kEpochEnd: {
+          rs.retries = u.u64();
+          rs.last_seq = seq;
+          rs.go_seq = seq;
+          rs.cached_type = 0;  // the kEpochGo becomes the cached reply
+          rs.cached_reply.clear();
+          return SlotResult::kDone;
+        }
+        default:
+          throw net::TransportError(
+              net::TransportError::Kind::kProtocol,
+              "ps server: unexpected frame type " + std::to_string(f.type));
+      }
+    }
+  }
+
+  /// Admits rank r's replacement process at the fence: waits for its
+  /// connection (the controller forked it before replying) and consumes its
+  /// handshake kEpochEnd, after which the rank is alive and owed a kEpochGo
+  /// like everyone else.
+  void admit_rejoin(std::size_t r) {
+    RankState& rs = ranks_[r];
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(kConnectTimeoutMs);
+    while (true) {
+      if (!rs.ep) {
+        if (!await_rank(r, deadline)) {
+          throw std::runtime_error(
+              "ps server: rejoining worker rank " + std::to_string(r) +
+              " never connected");
+        }
+        continue;
+      }
+      net::Frame f;
+      try {
+        rs.ep->set_io_timeout(poll_ms_);
+        f = net::read_frame(*rs.ep);
+      } catch (const net::TransportError& e) {
+        if (e.kind() == net::TransportError::Kind::kTimeout) {
+          if (Clock::now() < deadline) continue;
+          throw std::runtime_error(
+              "ps server: rejoining worker rank " + std::to_string(r) +
+              " never sent its handshake");
+        }
+        if (e.kind() != net::TransportError::Kind::kClosed) throw;
+        rs.ep.reset();
+        continue;
+      }
+      wire::Unpacker u(f.payload);
+      const std::uint64_t seq = u.u64();
+      if (f.type != wire::kEpochEnd) continue;  // stale frame: ignore
+      rs.retries = u.u64();
+      rs.last_seq = seq;
+      rs.go_seq = seq;
+      rs.cached_type = 0;
+      rs.cached_reply.clear();
+      rs.dead = false;
+      return;
+    }
+  }
+
+  /// The final kEpochGo (continue = 0) has no ack of its own: a worker that
+  /// received it simply exits, closing its connection. Under fault
+  /// injection that last frame can be dropped, torn or reset like any
+  /// other — if the server exited straight away, the stranded worker would
+  /// retransmit kEpochEnd against a dead listener until its connect timeout
+  /// and die with an error. So serve the shutdown like a mini-epoch: treat
+  /// each rank's connection close as the implicit ack, and answer any
+  /// retransmitted kEpochEnd (including on a fresh connection after a
+  /// reset) by resending the cached go, until the liveness deadline.
+  void drain_shutdown() {
+    for (std::size_t r = 0; r < k_; ++r) {
+      RankState& rs = ranks_[r];
+      if (rs.dead) continue;
+      const Clock::time_point deadline =
+          Clock::now() + std::chrono::milliseconds(liveness_ms_);
+      while (true) {
+        if (!rs.ep) {
+          // Either the worker exited cleanly (no reconnect will come) or it
+          // is re-establishing after a reset. A reconnect arrives within
+          // one backoff period; anything longer means a clean exit, so a
+          // short grace keeps shutdown from stalling a liveness window per
+          // rank.
+          const Clock::time_point grace =
+              Clock::now() +
+              std::chrono::milliseconds(static_cast<int>(
+                  std::max(200.0, 2.0 * spec_.recovery.backoff_max_ms)));
+          if (!await_rank(r, std::min(grace, deadline))) break;
+          continue;
+        }
+        net::Frame f;
+        try {
+          rs.ep->set_io_timeout(poll_ms_);
+          f = net::read_frame(*rs.ep);
+        } catch (const net::TransportError& e) {
+          if (e.kind() == net::TransportError::Kind::kTimeout) {
+            if (Clock::now() < deadline) continue;
+            break;
+          }
+          if (e.kind() != net::TransportError::Kind::kClosed) throw;
+          rs.ep.reset();
+          continue;
+        }
+        wire::Unpacker u(f.payload);
+        if (u.u64() == rs.last_seq && rs.cached_type != 0) send_cached(rs);
+      }
+    }
+  }
+
+  /// Epoch fence: ship model + counters + per-rank liveness + per-walk
+  /// applied-draw counts to the controller; execute its reply (admissions
+  /// first, then per-rank assignments inside the kEpochGo).
+  bool fence(std::size_t epoch) {
+    wire::Packer p;
+    std::uint64_t retries = 0;
+    for (const RankState& rs : ranks_) retries += rs.retries;
+    p.u64(epoch).u64(applied_).u64(applied_).u64(bytes_).u64(retries);
+    p.u32(static_cast<std::uint32_t>(k_));
+    for (const RankState& rs : ranks_) p.u32(rs.dead ? 0 : 1);
+    p.u32(static_cast<std::uint32_t>(k_));
+    for (const std::uint64_t d : walk_draws_) p.u64(d);
+    p.u64(w_.size());
+    p.raw(w_.data(), w_.size() * sizeof(double));
+    net::write_frame(*controller_, wire::kFence, p.view());
+
+    const net::Frame reply =
+        net::expect_frame(*controller_, wire::kFenceReply, "fence reply");
+    wire::Unpacker u(reply.payload);
+    const bool cont = u.u32() != 0;
+    const std::uint32_t nranks = u.u32();
+    if (nranks != k_) {
+      throw net::TransportError(
+          net::TransportError::Kind::kProtocol,
+          "ps server: fence reply covers " + std::to_string(nranks) +
+              " ranks, expected " + std::to_string(k_));
+    }
+    std::vector<char> alive_next(k_, 0);
+    std::vector<std::vector<GoEntry>> assign(k_);
+    for (std::size_t r = 0; r < k_; ++r) {
+      alive_next[r] = static_cast<char>(u.u32());
+      const std::uint32_t nwalks = u.u32();
+      assign[r].resize(nwalks);
+      for (GoEntry& e : assign[r]) {
+        e.walk = u.u32();
+        e.ff = u.u64();
+      }
+    }
+    for (std::size_t r = 0; r < k_; ++r) {
+      if (alive_next[r] && ranks_[r].dead) admit_rejoin(r);
+    }
+    for (std::size_t r = 0; r < k_; ++r) {
+      RankState& rs = ranks_[r];
+      if (rs.dead) continue;
+      wire::Packer go;
+      go.u64(rs.go_seq).u32(cont ? 1 : 0);
+      go.u32(static_cast<std::uint32_t>(epoch + 1));
+      go.u32(static_cast<std::uint32_t>(assign[r].size()));
+      for (const GoEntry& e : assign[r]) {
+        go.u32(e.walk);
+        go.u64(e.ff);
+      }
+      reply_cached(rs, wire::kEpochGo, std::move(go).take());
+    }
+    return cont;
+  }
+
+  std::size_t k_;
+  const solvers::SolverOptions& options_;
+  const ClusterSpec& spec_;
+  std::shared_ptr<const net::FaultPlan> plan_;
+  bool ft_;
+  int liveness_ms_;
+  int poll_ms_;
+  std::unique_ptr<net::Listener> listener_;
+  std::unique_ptr<net::Endpoint> controller_;
+  std::vector<double> w_;
+  std::vector<std::uint64_t> walk_draws_;
+  std::vector<RankState> ranks_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::vector<std::uint32_t> idx_;
+  std::vector<double> val_;
+};
+
+void ps_server_main(int addr_fd, const std::string& bind, std::size_t k,
+                    std::size_t dim, const solvers::SolverOptions& options,
+                    const ClusterSpec& spec) {
+  PsServer server(addr_fd, bind, k, dim, options, spec);
+  server.run();
+}
+
+/// One PS worker process. It inherits ALL k NodeWalks from the pre-fork
+/// setup but draws only its assigned ones; adopting an orphaned walk after
+/// a crash means fast-forwarding the pristine inherited walk to the
+/// server's applied-draw count (one next() per draw — in-memory walks are
+/// deterministic sample streams), then continuing where the dead rank left
+/// off. A scripted FaultScenario crash is a clean _exit(0) between two
+/// complete push round trips.
+void ps_worker_main(const std::string& address, std::size_t rank,
+                    std::vector<NodeWalk>& walks,
+                    const objectives::Objective& objective,
+                    const solvers::SolverOptions& options,
+                    const ClusterSpec& spec, bool rejoiner) {
+  PsClient client(address, rank, spec, make_plan(spec));
+  const FaultScenario& scenario = spec.fault;
+  std::vector<std::uint64_t> local_draws(walks.size(), 0);
+  std::vector<GoEntry> assign;
+  std::size_t epoch = 1;
+  if (rejoiner) {
+    // Admission handshake: a rejoiner's first request is an empty epoch-end;
+    // the fence that admits it replies with its first real assignment.
+    const EpochGo go = client.epoch_end();
+    if (!go.cont) return;
+    epoch = go.next_epoch;
+    assign = go.assign;
+  } else {
+    assign = {{static_cast<std::uint32_t>(rank), 0}};
+  }
+  while (true) {
+    const double lambda = solvers::epoch_step(options, epoch);
+    std::size_t quota_total = 0;
+    for (const GoEntry& e : assign) {
+      NodeWalk& walk = walks[e.walk];
+      // Replay an adopted walk to the server's count. For a walk this rank
+      // has held all along, local_draws already equals ff and this no-ops.
+      while (local_draws[e.walk] < e.ff) {
+        (void)walk.next();
+        ++local_draws[e.walk];
+      }
+      walk.begin_epoch();
+      quota_total += walk.epoch_quota();
+    }
+    const bool crashing = scenario.enabled() && !rejoiner &&
+                          rank == scenario.crash_node &&
+                          epoch == scenario.crash_epoch;
+    const std::uint64_t crash_after =
+        crashing ? static_cast<std::uint64_t>(
+                       scenario.crash_fraction *
+                       static_cast<double>(quota_total))
+                 : 0;
+    std::uint64_t pushed = 0;
+    for (const GoEntry& e : assign) {
+      NodeWalk& walk = walks[e.walk];
+      const std::size_t quota = walk.epoch_quota();
+      for (std::size_t q = 0; q < quota; ++q) {
+        if (crashing && pushed == crash_after) ::_exit(0);
+        const NodeWalk::Sample s = walk.next();
+        const auto x = s.matrix->row(s.row);
+        const auto idx = x.indices();
+        const auto val = x.values();
+        const std::vector<double> values = client.step(idx);
+        double margin = 0;
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+          margin += values[j] * val[j];
+        }
+        client.push(e.walk,
+                    objective.gradient_scale(margin, s.matrix->label(s.row)),
+                    lambda * s.weight, idx, val);
+        ++local_draws[e.walk];
+        ++pushed;
+      }
+    }
+    if (crashing && pushed == crash_after) ::_exit(0);
+    const EpochGo go = client.epoch_end();
+    if (!go.cont) break;
+    epoch = go.next_epoch;
+    assign = go.assign;
+  }
+}
+
+// ---- All-reduce group -------------------------------------------------------
+
 /// Accepts k workers + 1 controller, identified by their hello frames.
+/// (All-reduce only; the PS server has its own fault-aware accept loop.)
 struct GroupEndpoints {
   std::vector<std::unique_ptr<net::Endpoint>> worker;
   std::unique_ptr<net::Endpoint> controller;
@@ -151,13 +890,16 @@ GroupEndpoints accept_group(net::Listener& listener, std::size_t k) {
   return group;
 }
 
-/// Epoch fence as seen by the server: ship the model + counters to the
-/// controller, get the continue decision, relay it to every worker.
+/// Epoch fence as seen by the all-reduce server: the unified kFence shape
+/// with the recovery fields zeroed (no ranks, no walks), continue decision
+/// relayed to every worker via the legacy un-sequenced kEpochGo.
 bool fence_epoch(GroupEndpoints& group, std::size_t epoch,
                  std::uint64_t c0, std::uint64_t c1, std::uint64_t c2,
                  const std::vector<double>& w) {
   wire::Packer fence;
-  fence.u64(epoch).u64(c0).u64(c1).u64(c2).u64(w.size());
+  fence.u64(epoch).u64(c0).u64(c1).u64(c2).u64(0);
+  fence.u32(0).u32(0);
+  fence.u64(w.size());
   fence.raw(w.data(), w.size() * sizeof(double));
   net::write_frame(*group.controller, wire::kFence, fence.view());
   const net::Frame reply =
@@ -171,117 +913,6 @@ bool fence_epoch(GroupEndpoints& group, std::size_t epoch,
   }
   return cont;
 }
-
-// ---- Parameter-server group -------------------------------------------------
-
-/// The PS process: serves coordinate gets and applies pushes in the fenced
-/// rank order (one step per active worker per round — the exact apply
-/// sequence of run_param_server_fenced).
-void ps_server_main(int addr_fd, const std::string& bind, std::size_t k,
-                    std::size_t dim, const solvers::SolverOptions& options,
-                    const ClusterSpec& spec) {
-  auto listener = net::listen(bind);
-  report_address(addr_fd, listener->address());
-  GroupEndpoints group = accept_group(*listener, k);
-
-  std::vector<double> w(dim, 0.0);
-  std::uint64_t applied = 0, bytes = 0;
-  std::vector<std::uint32_t> idx;
-  std::vector<double> val;
-  for (std::size_t epoch = 1;; ++epoch) {
-    std::vector<bool> done(k, false);
-    std::size_t ndone = 0;
-    while (ndone < k) {
-      for (std::size_t a = 0; a < k; ++a) {
-        if (done[a]) continue;
-        net::Endpoint& worker = *group.worker[a];
-        const net::Frame f = net::read_frame(worker);
-        if (f.type == wire::kEpochEnd) {
-          done[a] = true;
-          ++ndone;
-          continue;
-        }
-        if (f.type != wire::kStep) {
-          throw net::TransportError(
-              net::TransportError::Kind::kProtocol,
-              "ps server: expected kStep/kEpochEnd, got frame type " +
-                  std::to_string(f.type));
-        }
-        wire::Unpacker u(f.payload);
-        const std::uint32_t ncols = u.u32();
-        wire::Packer reply;
-        for (std::uint32_t j = 0; j < ncols; ++j) reply.f64(w[u.u32()]);
-        net::write_frame(worker, wire::kStepReply, reply.view());
-
-        const net::Frame pf = net::expect_frame(worker, wire::kPush, "push");
-        wire::Unpacker up(pf.payload);
-        const double gradient_scale = up.f64();
-        const double scaled_step = up.f64();
-        const std::uint32_t nnz = up.u32();
-        idx.resize(nnz);
-        val.resize(nnz);
-        for (std::uint32_t j = 0; j < nnz; ++j) {
-          idx[j] = up.u32();
-          val[j] = up.f64();
-        }
-        fenced::apply_push(idx, val, gradient_scale, scaled_step, options.reg,
-                           w);
-        ++applied;
-        bytes += static_cast<std::uint64_t>(nnz) * spec.bytes_per_nnz;
-        net::write_frame(worker, wire::kPushAck, {});
-      }
-    }
-    if (!fence_epoch(group, epoch, applied, applied, bytes, w)) break;
-  }
-}
-
-/// One PS worker: walks its NodeWalk, get → compute → push per sample. The
-/// server's rank-order reads serialize the steps; the worker just blocks.
-void ps_worker_main(const std::string& address, std::size_t rank,
-                    NodeWalk& walk, const objectives::Objective& objective,
-                    const solvers::SolverOptions& options) {
-  auto ep = net::connect(address, kConnectTimeoutMs);
-  ep->set_io_timeout(kGroupIoTimeoutMs);
-  send_hello(*ep, wire::kRoleWorker, static_cast<std::uint32_t>(rank));
-  for (std::size_t epoch = 1; epoch <= options.epochs; ++epoch) {
-    const double lambda = solvers::epoch_step(options, epoch);
-    walk.begin_epoch();
-    const std::size_t quota = walk.epoch_quota();
-    for (std::size_t q = 0; q < quota; ++q) {
-      const NodeWalk::Sample s = walk.next();
-      const auto x = s.matrix->row(s.row);
-      const auto idx = x.indices();
-      const auto val = x.values();
-
-      wire::Packer step;
-      step.u32(static_cast<std::uint32_t>(idx.size()));
-      for (const std::uint32_t c : idx) step.u32(c);
-      net::write_frame(*ep, wire::kStep, step.view());
-      const net::Frame reply =
-          net::expect_frame(*ep, wire::kStepReply, "step reply");
-      wire::Unpacker u(reply.payload);
-      double margin = 0;
-      for (std::size_t j = 0; j < idx.size(); ++j) margin += u.f64() * val[j];
-
-      wire::Packer push;
-      push.f64(objective.gradient_scale(margin, s.matrix->label(s.row)));
-      push.f64(lambda * s.weight);
-      push.u32(static_cast<std::uint32_t>(idx.size()));
-      for (std::size_t j = 0; j < idx.size(); ++j) {
-        push.u32(idx[j]);
-        push.f64(val[j]);
-      }
-      net::write_frame(*ep, wire::kPush, push.view());
-      (void)net::expect_frame(*ep, wire::kPushAck, "push ack");
-    }
-    net::write_frame(*ep, wire::kEpochEnd, {});
-    const net::Frame go = net::expect_frame(*ep, wire::kEpochGo, "epoch go");
-    wire::Unpacker u(go.payload);
-    if (u.u32() == 0) break;
-  }
-}
-
-// ---- All-reduce group -------------------------------------------------------
 
 /// The reducer process: merges worker partials in rank order (the
 /// run_allreduce_fenced reduction order), applies the round's step, and
@@ -343,7 +974,7 @@ void allreduce_worker_main(const std::string& address, std::size_t rank,
                            std::size_t batch) {
   auto ep = net::connect(address, kConnectTimeoutMs);
   ep->set_io_timeout(kGroupIoTimeoutMs);
-  send_hello(*ep, wire::kRoleWorker, static_cast<std::uint32_t>(rank));
+  send_hello(*ep, wire::kRoleWorker, static_cast<std::uint32_t>(rank), 0);
   std::vector<double> w(dim, 0.0), partial(dim, 0.0);
   std::vector<std::uint32_t> ptouched;
   for (std::size_t epoch = 1; epoch <= options.epochs; ++epoch) {
@@ -396,6 +1027,9 @@ void allreduce_worker_main(const std::string& address, std::size_t rank,
 struct FencePoint {
   std::size_t epoch = 0;
   std::uint64_t c0 = 0, c1 = 0, c2 = 0;
+  std::uint64_t retries = 0;
+  std::vector<char> alive;          // empty for all-reduce fences
+  std::vector<std::uint64_t> draws;  // per-walk applied draws
   std::vector<double> w;
 };
 
@@ -407,23 +1041,44 @@ FencePoint read_fence(net::Endpoint& ep) {
   point.c0 = u.u64();
   point.c1 = u.u64();
   point.c2 = u.u64();
+  point.retries = u.u64();
+  const std::uint32_t nranks = u.u32();
+  point.alive.resize(nranks);
+  for (char& a : point.alive) a = static_cast<char>(u.u32());
+  const std::uint32_t nwalks = u.u32();
+  point.draws.resize(nwalks);
+  for (std::uint64_t& d : point.draws) d = u.u64();
   const std::uint64_t dim = u.u64();
   point.w.resize(dim);
   u.raw(point.w.data(), dim * sizeof(double));
   return point;
 }
 
-/// Runs the controller loop: record traces at fences, decide continuation.
-/// Returns the last fence (final counters + model). `train_seconds_out`
-/// accumulates inter-fence wall time (eval excluded).
-FencePoint run_controller(net::Endpoint& ep, std::size_t dim,
+/// Counters the recovery-aware controller accumulates across fences.
+struct ControllerStats {
+  std::uint64_t crash_events = 0;
+  std::uint64_t rejoin_events = 0;
+  std::uint64_t wire_retries = 0;
+};
+
+using RespawnFn = std::function<void(std::size_t rank)>;
+
+/// Runs the controller loop: record traces at fences, decide continuation,
+/// and — when `respawn` is non-null (PS groups) — plan next epoch's
+/// walk→rank assignment from the server's liveness report, forking a
+/// replacement worker when the scripted scenario says the crashed rank
+/// rejoins. Returns the last fence (final counters + model).
+FencePoint run_controller(net::Endpoint& ep, std::size_t k, std::size_t dim,
                           const solvers::SolverOptions& options,
+                          const ClusterSpec& spec,
                           solvers::TraceRecorder& recorder,
-                          double* train_seconds_out) {
-  send_hello(ep, wire::kRoleController, 0);
+                          double* train_seconds_out, const RespawnFn* respawn,
+                          ControllerStats* stats) {
+  send_hello(ep, wire::kRoleController, 0, 0);
   recorder.record(0, 0.0, std::vector<double>(dim, 0.0));
   double train_seconds = 0;
   FencePoint last;
+  std::vector<char> alive(k, 1);
   while (true) {
     util::Stopwatch lap;
     FencePoint point = read_fence(ep);
@@ -433,6 +1088,36 @@ FencePoint run_controller(net::Endpoint& ep, std::size_t dim,
         point.epoch < options.epochs && !recorder.stop_requested();
     wire::Packer reply;
     reply.u32(cont ? 1 : 0);
+    if (respawn == nullptr || point.alive.empty()) {
+      reply.u32(0);
+    } else {
+      for (std::size_t r = 0; r < k; ++r) {
+        if (alive[r] && !point.alive[r] && stats) ++stats->crash_events;
+      }
+      alive = point.alive;
+      if (stats) stats->wire_retries = point.retries;
+      const FaultScenario& scenario = spec.fault;
+      if (cont && scenario.enabled() && scenario.rejoin_epoch != 0 &&
+          scenario.rejoin_epoch == point.epoch + 1 &&
+          !alive[scenario.crash_node]) {
+        // Fork the replacement BEFORE replying: by the time the server acts
+        // on the admission, the process exists and is connecting.
+        (*respawn)(scenario.crash_node);
+        alive[scenario.crash_node] = 1;
+        if (stats) ++stats->rejoin_events;
+      }
+      const Assignment assign =
+          plan_assignment(k, alive, spec.recovery.policy);
+      reply.u32(static_cast<std::uint32_t>(k));
+      for (std::size_t r = 0; r < k; ++r) {
+        reply.u32(alive[r] ? 1 : 0);
+        reply.u32(static_cast<std::uint32_t>(assign[r].size()));
+        for (const std::uint32_t wlk : assign[r]) {
+          reply.u32(wlk);
+          reply.u64(point.draws[wlk]);
+        }
+      }
+    }
     net::write_frame(ep, wire::kFenceReply, reply.view());
     last = std::move(point);
     if (!cont) break;
@@ -441,13 +1126,15 @@ FencePoint run_controller(net::Endpoint& ep, std::size_t dim,
   return last;
 }
 
-/// Forks `fork_server` then k× `fork_worker`, runs the controller loop in
-/// the calling process, and reaps the group.
+/// Forks `server_fn` then k× `worker_fn`, runs the controller loop in the
+/// calling process, and reaps the group. `with_recovery` enables the
+/// PS-side liveness/assignment protocol (and scripted respawns).
 template <typename ServerFn, typename WorkerFn>
 FencePoint run_group(std::size_t k, std::size_t dim,
                      const solvers::SolverOptions& options,
                      const ClusterSpec& spec, solvers::TraceRecorder& recorder,
-                     double* train_seconds, ServerFn&& server_fn,
+                     double* train_seconds, bool with_recovery,
+                     ControllerStats* stats, ServerFn&& server_fn,
                      WorkerFn&& worker_fn) {
   const std::string bind = pick_address(spec);
   int addr_pipe[2];
@@ -470,23 +1157,29 @@ FencePoint run_group(std::size_t k, std::size_t dim,
   ::close(addr_pipe[1]);
   const std::string address = read_address(addr_pipe[0]);
 
-  for (std::size_t a = 0; a < k; ++a) {
+  auto spawn_worker = [&](std::size_t rank, bool rejoiner) {
     const pid_t pid = ::fork();
     if (pid < 0) throw std::runtime_error("fork() failed (worker)");
     if (pid == 0) {
       try {
-        worker_fn(a, address);
+        worker_fn(rank, address, rejoiner);
         ::_exit(0);
       } catch (...) {
         ::_exit(1);
       }
     }
     reaper.add(pid);
-  }
+  };
+  for (std::size_t a = 0; a < k; ++a) spawn_worker(a, false);
 
   auto ep = net::connect(address, kConnectTimeoutMs);
   ep->set_io_timeout(kGroupIoTimeoutMs);
-  FencePoint last = run_controller(*ep, dim, options, recorder, train_seconds);
+  const RespawnFn respawn = [&](std::size_t rank) {
+    spawn_worker(rank, true);
+  };
+  FencePoint last =
+      run_controller(*ep, k, dim, options, spec, recorder, train_seconds,
+                     with_recovery ? &respawn : nullptr, stats);
   ep->close();
   reaper.join_all();
   return last;
@@ -505,23 +1198,28 @@ solvers::Trace run_param_server_process(const sparse::CsrMatrix& data,
   spec.validate();
   util::Stopwatch sw;
   // Shared setup BEFORE the forks: every process inherits the same plan and
-  // the same seeded walks.
+  // the same seeded walks (a rejoining replacement, forked from the
+  // controller at a fence, inherits them pristine and fast-forwards).
   fenced::Setup setup = fenced::make_ps_setup(data, objective, options,
                                               spec.nodes, use_importance);
   const std::size_t k = setup.k;
+  if (spec.fault.enabled()) spec.fault.validate(k);
   const std::size_t dim = data.dim();
   solvers::TraceRecorder recorder(use_importance ? "ps_is_asgd" : "ps_asgd", k,
                                   options.step_size, eval, observer);
   recorder.add_setup_seconds(sw.seconds());
 
   double train_seconds = 0;
+  ControllerStats stats;
   const FencePoint last = run_group(
-      k, dim, options, spec, recorder, &train_seconds,
+      k, dim, options, spec, recorder, &train_seconds, /*with_recovery=*/true,
+      &stats,
       [&](int addr_fd, const std::string& bind) {
         ps_server_main(addr_fd, bind, k, dim, options, spec);
       },
-      [&](std::size_t rank, const std::string& address) {
-        ps_worker_main(address, rank, setup.walks[rank], objective, options);
+      [&](std::size_t rank, const std::string& address, bool rejoiner) {
+        ps_worker_main(address, rank, setup.walks, objective, options, spec,
+                       rejoiner);
       });
 
   if (report || observer) {
@@ -532,6 +1230,9 @@ solvers::Trace run_param_server_process(const sparse::CsrMatrix& data,
     local.simulated_seconds = train_seconds;  // wall seconds: real backend
     local.phi_imbalance = setup.plan->imbalance();
     local.applied_strategy = setup.plan->applied_strategy();
+    local.wire_retries = stats.wire_retries;
+    local.crash_events = stats.crash_events;
+    local.rejoin_events = stats.rejoin_events;
     if (report) *report = local;
     if (observer) observer->on_diagnostics(local);
   }
@@ -548,6 +1249,12 @@ solvers::Trace run_allreduce_process(const sparse::CsrMatrix& data,
                                      AllreduceReport* report,
                                      solvers::TrainingObserver* observer) {
   spec.validate();
+  if (spec.fault.enabled() || spec.wire_faults.enabled()) {
+    throw std::invalid_argument(
+        "run_allreduce_process: fault injection and crash scenarios are "
+        "implemented for the parameter-server engines (the all-reduce group "
+        "has no recovery protocol)");
+  }
   util::Stopwatch sw;
   fenced::Setup setup = fenced::make_allreduce_setup(
       data, objective, options, spec.nodes, use_importance);
@@ -565,11 +1272,12 @@ solvers::Trace run_allreduce_process(const sparse::CsrMatrix& data,
   double train_seconds = 0;
   const FencePoint last = run_group(
       k, dim, options, spec, recorder, &train_seconds,
+      /*with_recovery=*/false, nullptr,
       [&](int addr_fd, const std::string& bind) {
         allreduce_server_main(addr_fd, bind, k, dim, rounds_per_epoch,
                               samples_per_round, options);
       },
-      [&](std::size_t rank, const std::string& address) {
+      [&](std::size_t rank, const std::string& address, bool /*rejoiner*/) {
         allreduce_worker_main(address, rank, setup.walks[rank], objective,
                               options, dim, rounds_per_epoch, b);
       });

@@ -1,0 +1,84 @@
+#include "distributed/recovery.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace isasgd::distributed {
+
+void FaultScenario::validate(std::size_t nodes) const {
+  auto reject = [](const char* field, const char* requirement) {
+    throw std::invalid_argument(std::string("FaultScenario::") + field + ": " +
+                                requirement);
+  };
+  if (!enabled()) return;
+  if (crash_node >= nodes) reject("crash_node", "must name an existing rank");
+  if (!(crash_fraction >= 0.0 && crash_fraction < 1.0)) {
+    reject("crash_fraction", "must be in [0, 1)");
+  }
+  if (rejoin_epoch != 0 && rejoin_epoch <= crash_epoch) {
+    reject("rejoin_epoch", "must be after crash_epoch (or 0 for never)");
+  }
+  if (nodes < 2) {
+    reject("crash_epoch", "needs at least 2 nodes (someone must survive)");
+  }
+}
+
+void RecoveryOptions::validate() const {
+  auto reject = [](const char* field, const char* requirement) {
+    throw std::invalid_argument(std::string("RecoveryOptions::") + field +
+                                ": " + requirement);
+  };
+  if (liveness_timeout_ms <= 0) reject("liveness_timeout_ms", "must be > 0");
+  if (reply_timeout_ms <= 0) reject("reply_timeout_ms", "must be > 0");
+  if (fence_reply_timeout_ms <= 0) {
+    reject("fence_reply_timeout_ms", "must be > 0");
+  }
+  if (max_retries == 0) reject("max_retries", "must be > 0");
+  if (!(backoff_initial_ms > 0)) reject("backoff_initial_ms", "must be > 0");
+  if (!(backoff_max_ms >= backoff_initial_ms)) {
+    reject("backoff_max_ms", "must be >= backoff_initial_ms");
+  }
+  if (!(backoff_jitter >= 0.0 && backoff_jitter < 1.0)) {
+    reject("backoff_jitter", "must be in [0, 1)");
+  }
+}
+
+Assignment identity_assignment(std::size_t k) {
+  Assignment a(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    a[r].push_back(static_cast<std::uint32_t>(r));
+  }
+  return a;
+}
+
+Assignment plan_assignment(std::size_t k, const std::vector<char>& alive,
+                           RecoveryPolicy policy) {
+  if (alive.size() != k) {
+    throw std::invalid_argument(
+        "plan_assignment: alive vector must have one entry per rank");
+  }
+  Assignment a(k);
+  std::vector<std::uint32_t> orphans;
+  for (std::size_t w = 0; w < k; ++w) {
+    if (alive[w]) {
+      a[w].push_back(static_cast<std::uint32_t>(w));
+    } else {
+      orphans.push_back(static_cast<std::uint32_t>(w));
+    }
+  }
+  if (policy == RecoveryPolicy::kNone) return a;
+  for (const std::uint32_t w : orphans) {
+    // Deal to the alive rank with the fewest walks, lowest rank on ties.
+    std::size_t best = k;
+    for (std::size_t r = 0; r < k; ++r) {
+      if (!alive[r]) continue;
+      if (best == k || a[r].size() < a[best].size()) best = r;
+    }
+    if (best == k) return a;  // nobody alive: nothing to deal to
+    a[best].push_back(w);
+  }
+  return a;
+}
+
+}  // namespace isasgd::distributed

@@ -1,0 +1,183 @@
+#include "net/fault.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace isasgd::net {
+
+void FaultSpec::validate() const {
+  auto reject = [](const char* field, const char* requirement) {
+    throw std::invalid_argument(std::string("FaultSpec::") + field + ": " +
+                                requirement);
+  };
+  auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+  if (!rate_ok(drop_rate)) reject("drop_rate", "must be in [0, 1]");
+  if (!rate_ok(delay_rate)) reject("delay_rate", "must be in [0, 1]");
+  if (!rate_ok(torn_rate)) reject("torn_rate", "must be in [0, 1]");
+  if (!rate_ok(reset_rate)) reject("reset_rate", "must be in [0, 1]");
+  if (!(drop_rate + delay_rate + torn_rate + reset_rate <= 1.0)) {
+    reject("drop_rate", "rates must sum to at most 1");
+  }
+  if (delay_rate > 0 && max_delay_ms == 0) {
+    reject("max_delay_ms", "must be positive when delay_rate > 0");
+  }
+}
+
+const char* fault_action_name(FaultAction action) noexcept {
+  switch (action) {
+    case FaultAction::kNone:
+      return "none";
+    case FaultAction::kDrop:
+      return "drop";
+    case FaultAction::kDelay:
+      return "delay";
+    case FaultAction::kTorn:
+      return "torn";
+    case FaultAction::kReset:
+      return "reset";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(FaultSpec spec) : spec_(spec) { spec_.validate(); }
+
+FaultDecision FaultPlan::decide(std::uint64_t stream,
+                                std::uint64_t frame) const {
+  FaultDecision d;
+  if (!spec_.enabled() || frame < spec_.first_faulty_frame) return d;
+  // Key-derived SplitMix64 stream: one warm-up step decorrelates keys that
+  // differ in a single low bit (adjacent frames of one stream).
+  util::SplitMix64 g(spec_.seed ^ (stream * 0x9e3779b97f4a7c15ULL) ^
+                     (frame * 0xbf58476d1ce4e5b9ULL));
+  (void)g();
+  const double u = util::uniform_double(g);
+  double acc = spec_.drop_rate;
+  if (u < acc) {
+    d.action = FaultAction::kDrop;
+    return d;
+  }
+  acc += spec_.delay_rate;
+  if (u < acc) {
+    d.action = FaultAction::kDelay;
+    d.delay_ms = 1 + static_cast<std::uint32_t>(g() % spec_.max_delay_ms);
+    return d;
+  }
+  acc += spec_.torn_rate;
+  if (u < acc) {
+    d.action = FaultAction::kTorn;
+    return d;
+  }
+  acc += spec_.reset_rate;
+  if (u < acc) d.action = FaultAction::kReset;
+  return d;
+}
+
+FaultyEndpoint::FaultyEndpoint(std::unique_ptr<Endpoint> inner,
+                               std::shared_ptr<const FaultPlan> plan,
+                               std::uint64_t stream,
+                               std::shared_ptr<FaultLog> log)
+    : inner_(std::move(inner)),
+      plan_(std::move(plan)),
+      log_(std::move(log)),
+      stream_(stream) {}
+
+void FaultyEndpoint::send_bytes(const void* data, std::size_t size) {
+  if (dead_) {
+    throw TransportError(TransportError::Kind::kClosed,
+                         "fault injection: connection was reset");
+  }
+  const std::uint64_t frame = frame_++;
+  FaultDecision d =
+      plan_ ? plan_->decide(stream_, frame) : FaultDecision{};
+  if (d.action != FaultAction::kNone &&
+      injected_ >= plan_->spec().max_faults_per_stream) {
+    d = FaultDecision{};
+  }
+  if (d.action != FaultAction::kNone) {
+    ++injected_;
+    if (log_) log_->record({stream_, frame, d.action, d.delay_ms});
+  }
+  switch (d.action) {
+    case FaultAction::kNone:
+      inner_->send_bytes(data, size);
+      return;
+    case FaultAction::kDrop:
+      return;  // the peer's read deadline turns this into a retransmit
+    case FaultAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
+      inner_->send_bytes(data, size);
+      return;
+    case FaultAction::kTorn: {
+      // Half the frame, then EOF: the reader sees a torn frame (kClosed
+      // mid-message), the canonical "peer died mid-write" shape.
+      if (size >= 2) inner_->send_bytes(data, size / 2);
+      dead_ = true;
+      inner_->close();
+      throw TransportError(TransportError::Kind::kClosed,
+                           "fault injection: torn write on stream " +
+                               std::to_string(stream_) + " frame " +
+                               std::to_string(frame));
+    }
+    case FaultAction::kReset: {
+      dead_ = true;
+      inner_->close();
+      throw TransportError(TransportError::Kind::kClosed,
+                           "fault injection: connection reset on stream " +
+                               std::to_string(stream_) + " frame " +
+                               std::to_string(frame));
+    }
+  }
+}
+
+void FaultyEndpoint::recv_bytes(void* data, std::size_t size) {
+  if (dead_) {
+    throw TransportError(TransportError::Kind::kClosed,
+                         "fault injection: connection was reset");
+  }
+  inner_->recv_bytes(data, size);
+}
+
+void FaultyEndpoint::set_io_timeout(int timeout_ms) {
+  inner_->set_io_timeout(timeout_ms);
+}
+
+void FaultyEndpoint::close() { inner_->close(); }
+
+FaultyListener::FaultyListener(std::unique_ptr<Listener> inner,
+                               std::shared_ptr<const FaultPlan> plan,
+                               std::shared_ptr<FaultLog> log,
+                               std::uint64_t stream_base)
+    : inner_(std::move(inner)),
+      plan_(std::move(plan)),
+      log_(std::move(log)),
+      next_stream_(stream_base) {}
+
+std::unique_ptr<Endpoint> FaultyListener::accept() {
+  auto ep = inner_->accept();
+  return std::make_unique<FaultyEndpoint>(std::move(ep), plan_,
+                                          next_stream_++, log_);
+}
+
+std::string FaultyListener::address() const { return inner_->address(); }
+
+void FaultyListener::set_accept_timeout(int timeout_ms) {
+  inner_->set_accept_timeout(timeout_ms);
+}
+
+void FaultyListener::close() { inner_->close(); }
+
+std::unique_ptr<Endpoint> wrap_faulty(std::unique_ptr<Endpoint> inner,
+                                      std::shared_ptr<const FaultPlan> plan,
+                                      std::uint64_t stream,
+                                      std::shared_ptr<FaultLog> log) {
+  if (!plan || !plan->spec().enabled()) return inner;
+  return std::make_unique<FaultyEndpoint>(std::move(inner), std::move(plan),
+                                          stream, std::move(log));
+}
+
+}  // namespace isasgd::net

@@ -1,0 +1,183 @@
+// Deterministic fault injection for the net:: transports.
+//
+// A FaultyEndpoint decorates any Endpoint (shm or tcp alike) and injects
+// failures on the SEND side: frame drops, bounded delays, torn writes (half
+// the bytes, then a close) and connection resets. The frame layer writes one
+// contiguous buffer per frame (see write_frame), so "one send_bytes call"
+// and "one wire frame" coincide and the injection site is exactly the frame
+// boundary the recovery protocol must survive.
+//
+// What makes this layer usable in conformance tests is that nothing about
+// it is random at run time: a FaultPlan maps (stream id, frame index) to a
+// FaultDecision as a *pure function* of its seed. Same seed, same schedule —
+// a failing fault run is replayable by rerunning it, and two endpoints
+// given the same stream id misbehave identically in both runs. Stream ids
+// encode (side, rank, incarnation) so a connection that is re-established
+// after a reset gets a FRESH fault schedule — otherwise the retransmit of a
+// dropped frame would hit the same fault forever and no retry policy could
+// terminate.
+//
+// Receiving is never faulted directly: every frame crosses a faulty sender
+// on one side or the other, so send-side injection already covers both
+// directions while keeping the injected-event log unambiguous (exactly one
+// decorator decides each frame's fate).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace isasgd::net {
+
+/// Injection rates and bounds. All rates are per-frame probabilities; their
+/// sum must be ≤ 1 (the remainder is the clean-delivery probability).
+struct FaultSpec {
+  std::uint64_t seed = 0;
+  /// Frame silently not sent (the peer times out waiting).
+  double drop_rate = 0.0;
+  /// Frame delivered after a bounded extra delay.
+  double delay_rate = 0.0;
+  /// Frame cut in half, then the connection is closed (torn frame at the
+  /// reader, kClosed at the writer).
+  double torn_rate = 0.0;
+  /// Connection closed instead of sending (kClosed at the writer).
+  double reset_rate = 0.0;
+  /// Upper bound on an injected delay, inclusive; delays are 1..max ms.
+  std::uint32_t max_delay_ms = 5;
+  /// Frames below this index on every stream pass clean — keeps connection
+  /// setup out of the blast radius when a test wants mid-run faults only.
+  std::uint64_t first_faulty_frame = 0;
+  /// Cap on injected faults per stream (endpoint-enforced); ~0 = unlimited.
+  std::uint64_t max_faults_per_stream = ~std::uint64_t{0};
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return drop_rate > 0 || delay_rate > 0 || torn_rate > 0 || reset_rate > 0;
+  }
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+enum class FaultAction : std::uint8_t { kNone, kDrop, kDelay, kTorn, kReset };
+
+[[nodiscard]] const char* fault_action_name(FaultAction action) noexcept;
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  std::uint32_t delay_ms = 0;  ///< set iff action == kDelay
+};
+
+/// One injected fault, as recorded in a FaultLog.
+struct FaultEvent {
+  std::uint64_t stream = 0;
+  std::uint64_t frame = 0;
+  FaultAction action = FaultAction::kNone;
+  std::uint32_t delay_ms = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Thread-safe append-only log of injected faults, shared by the decorators
+/// of one test run. The determinism contract is stated on this log: two
+/// runs with the same FaultSpec produce the same event sequence per stream.
+class FaultLog {
+ public:
+  void record(const FaultEvent& event) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+  }
+
+  [[nodiscard]] std::vector<FaultEvent> events() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FaultEvent> events_;
+};
+
+/// Pure (seed, stream, frame) → decision map. No state: decide() may be
+/// called in any order, from any process, and always agrees with itself —
+/// the property that lets forked worker processes and the test harness
+/// reason about the same schedule without sharing memory.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultSpec spec);
+
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+
+  [[nodiscard]] FaultDecision decide(std::uint64_t stream,
+                                     std::uint64_t frame) const;
+
+  /// Canonical stream id: side (0 = client/worker, 1 = server) ⊕ rank ⊕
+  /// incarnation (how many connections this rank has made — a reconnect
+  /// after a reset is a new stream with a new schedule).
+  [[nodiscard]] static std::uint64_t stream_id(
+      std::uint32_t side, std::uint32_t rank,
+      std::uint32_t incarnation) noexcept {
+    return (std::uint64_t{side} << 56) |
+           (std::uint64_t{incarnation & 0xffffffu} << 32) |
+           std::uint64_t{rank};
+  }
+
+ private:
+  FaultSpec spec_;
+};
+
+/// Send-side fault decorator. recv/close/set_io_timeout pass through; each
+/// send_bytes call counts as one frame and consults the plan. After a torn
+/// write or reset the endpoint is dead: both directions throw kClosed.
+class FaultyEndpoint final : public Endpoint {
+ public:
+  FaultyEndpoint(std::unique_ptr<Endpoint> inner,
+                 std::shared_ptr<const FaultPlan> plan, std::uint64_t stream,
+                 std::shared_ptr<FaultLog> log = nullptr);
+
+  void send_bytes(const void* data, std::size_t size) override;
+  void recv_bytes(void* data, std::size_t size) override;
+  void set_io_timeout(int timeout_ms) override;
+  void close() override;
+
+ private:
+  std::unique_ptr<Endpoint> inner_;
+  std::shared_ptr<const FaultPlan> plan_;
+  std::shared_ptr<FaultLog> log_;
+  std::uint64_t stream_;
+  std::uint64_t frame_ = 0;
+  std::uint64_t injected_ = 0;
+  bool dead_ = false;
+};
+
+/// Wraps accepted endpoints in FaultyEndpoints with accept-ordered stream
+/// ids (stream_base + 0, 1, 2, …). For tests that drive raw transports; the
+/// PS runtime wraps endpoints itself with rank-derived stream ids.
+class FaultyListener final : public Listener {
+ public:
+  FaultyListener(std::unique_ptr<Listener> inner,
+                 std::shared_ptr<const FaultPlan> plan,
+                 std::shared_ptr<FaultLog> log = nullptr,
+                 std::uint64_t stream_base = 0);
+
+  [[nodiscard]] std::unique_ptr<Endpoint> accept() override;
+  [[nodiscard]] std::string address() const override;
+  void set_accept_timeout(int timeout_ms) override;
+  void close() override;
+
+ private:
+  std::unique_ptr<Listener> inner_;
+  std::shared_ptr<const FaultPlan> plan_;
+  std::shared_ptr<FaultLog> log_;
+  std::uint64_t next_stream_;
+};
+
+/// Decorates `inner` when the plan is non-null and enabled; otherwise
+/// returns `inner` unchanged (zero overhead on the fault-free path).
+[[nodiscard]] std::unique_ptr<Endpoint> wrap_faulty(
+    std::unique_ptr<Endpoint> inner, std::shared_ptr<const FaultPlan> plan,
+    std::uint64_t stream, std::shared_ptr<FaultLog> log = nullptr);
+
+}  // namespace isasgd::net

@@ -22,7 +22,16 @@
 // ring and sees the peer CLOSED gets a typed kClosed, exactly like reading
 // EOF from a closed socket. Torn frames (peer died mid-message) therefore
 // surface identically on both backends.
+//
+// A peer that is SIGKILLed (or _exits) never sets its CLOSED flag, and a
+// ring has no kernel to deliver EOF — without help, the survivor would spin
+// on an untimed recv forever. Each side therefore registers its pid in the
+// connection header, and the stall loops' sleep phase probes the peer
+// process (kill(pid, 0) + /proc state — a dead worker is a *zombie* until
+// its parent reaps it at the next fence, and zombies pass the kill probe)
+// and surfaces kClosed when it is gone.
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -30,6 +39,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -71,6 +81,8 @@ struct ConnHeader {
   std::uint64_t capacity = kRingCapacity;      // per ring
   std::atomic<std::uint32_t> closed_server{0};
   std::atomic<std::uint32_t> closed_client{0};
+  std::atomic<std::uint32_t> pid_server{0};  // liveness probe targets;
+  std::atomic<std::uint32_t> pid_client{0};  // 0 = not yet registered
   Ring ring[2];  // [0] client→server, [1] server→client
 };
 
@@ -100,6 +112,32 @@ void backoff(unsigned& spins) {
     return;
   }
   std::this_thread::sleep_for(std::chrono::microseconds(100));
+}
+
+/// Whether `pid` can no longer make progress: gone entirely (ESRCH), or a
+/// zombie — exited but unreaped, which kill(pid, 0) still reports as alive.
+/// The PS controller reaps workers at epoch fences, so a crashed worker
+/// spends its whole detection window as a zombie; /proc is authoritative.
+bool process_gone(pid_t pid) {
+  if (::kill(pid, 0) < 0) return errno == ESRCH;
+  char path[48];
+  std::snprintf(path, sizeof(path), "/proc/%d/stat", static_cast<int>(pid));
+  const int fd = ::open(path, O_RDONLY);
+  if (fd < 0) return errno == ENOENT;
+  char buf[256];
+  ssize_t n = -1;
+  do {
+    n = ::read(fd, buf, sizeof(buf) - 1);
+  } while (n < 0 && errno == EINTR);
+  ::close(fd);
+  if (n <= 0) return false;
+  buf[n] = '\0';
+  // Format: "pid (comm) S ..." — comm may contain anything but a final ')',
+  // so scan from the last ')'. State Z (zombie) or X/x (dead) means gone.
+  const char* paren = std::strrchr(buf, ')');
+  if (paren == nullptr || paren[1] == '\0' || paren[2] == '\0') return false;
+  const char state = paren[2];
+  return state == 'Z' || state == 'X' || state == 'x';
 }
 
 /// mmaps `path` (creating + sizing it when `create`). Returns the mapping.
@@ -162,6 +200,10 @@ class ShmEndpoint final : public Endpoint {
           throw TransportError(TransportError::Kind::kClosed,
                                "shm peer closed while sending");
         }
+        if (peer_process_gone(h, spins)) {
+          throw TransportError(TransportError::Kind::kClosed,
+                               "shm peer process died while sending");
+        }
         check_deadline(deadline, "shm send");
         backoff(spins);
         continue;
@@ -202,6 +244,15 @@ class ShmEndpoint final : public Endpoint {
                         std::to_string(received) + " of " +
                         std::to_string(size) + " bytes)");
         }
+        if (peer_process_gone(h, spins)) {
+          throw TransportError(
+              TransportError::Kind::kClosed,
+              received == 0
+                  ? "shm peer process died"
+                  : "shm peer process died mid-message (torn frame: got " +
+                        std::to_string(received) + " of " +
+                        std::to_string(size) + " bytes)");
+        }
         check_deadline(deadline, "shm recv");
         backoff(spins);
         continue;
@@ -239,6 +290,18 @@ class ShmEndpoint final : public Endpoint {
   [[nodiscard]] bool peer_closed(const ConnHeader& h) const {
     const auto& flag = server_ ? h.closed_client : h.closed_server;
     return flag.load(std::memory_order_acquire) != 0;
+  }
+  /// Liveness probe for the stall loops: only once the backoff has reached
+  /// its sleep phase, and only every 16th sleep (~1.6 ms cadence) — the
+  /// kill/readlink syscalls must never touch the hot path.
+  [[nodiscard]] bool peer_process_gone(const ConnHeader& h,
+                                       unsigned spins) const {
+    if (spins < 512 || (spins & 15u) != 0) return false;
+    const auto& peer =
+        server_ ? h.pid_client : h.pid_server;
+    const auto pid =
+        static_cast<pid_t>(peer.load(std::memory_order_acquire));
+    return pid > 0 && process_gone(pid);
   }
   [[nodiscard]] Clock::time_point start_deadline() const {
     return timeout_ms_ >= 0
@@ -294,6 +357,8 @@ class ShmListener final : public Listener {
         if (h->magic == kConnMagic &&
             h->state.load(std::memory_order_acquire) == kStateReady) {
           ++next_accept_;
+          h->pid_server.store(static_cast<std::uint32_t>(::getpid()),
+                              std::memory_order_release);
           // The server side owns unlinking: the client may be a short-lived
           // worker process that exits first.
           return std::make_unique<ShmEndpoint>(mem, path, /*server=*/true,
@@ -370,6 +435,8 @@ std::unique_ptr<Endpoint> shm_connect(const std::string& prefix,
   const std::string path = prefix + "." + std::to_string(id);
   void* mem = map_file(path, kConnFileSize, /*create=*/true);
   auto* h = new (mem) ConnHeader();
+  h->pid_client.store(static_cast<std::uint32_t>(::getpid()),
+                      std::memory_order_relaxed);
   h->state.store(kStateReady, std::memory_order_release);
   return std::make_unique<ShmEndpoint>(mem, path, /*server=*/false,
                                        /*owns_unlink=*/false);

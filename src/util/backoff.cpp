@@ -1,0 +1,43 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace isasgd::util {
+
+namespace {
+
+void validate(const Backoff::Options& o) {
+  auto reject = [](const char* field, const char* requirement) {
+    throw std::invalid_argument(std::string("Backoff::Options::") + field +
+                                ": " + requirement);
+  };
+  if (!(o.initial_ms > 0)) reject("initial_ms", "must be positive");
+  if (!(o.max_ms >= o.initial_ms)) reject("max_ms", "must be >= initial_ms");
+  if (!(o.multiplier >= 1.0)) reject("multiplier", "must be >= 1");
+  if (!(o.jitter >= 0.0 && o.jitter < 1.0)) {
+    reject("jitter", "must be in [0, 1)");
+  }
+}
+
+}  // namespace
+
+Backoff::Backoff(Options options)
+    : options_(options), base_(options.initial_ms), rng_(options.seed) {
+  validate(options_);
+}
+
+double Backoff::next_ms() {
+  ++attempts_;
+  // Jitter downwards only: delay ∈ (base·(1−jitter), base], so the
+  // configured max_ms is a hard bound and the delay is never zero.
+  const double u = uniform_double(rng_);
+  const double delay = base_ * (1.0 - options_.jitter * u);
+  base_ = std::min(base_ * options_.multiplier, options_.max_ms);
+  return delay;
+}
+
+void Backoff::reset() noexcept { base_ = options_.initial_ms; }
+
+}  // namespace isasgd::util

@@ -1,0 +1,54 @@
+// Seeded exponential backoff with deterministic jitter.
+//
+// Retry loops across the codebase (the PS wire client re-sending a request
+// after a timeout, ShardCache re-issuing a failed background prefetch) all
+// need the same discipline: wait a little, then exponentially longer, with
+// jitter so k workers that failed together do not retry in lockstep. The
+// jitter is drawn from a private SplitMix64 stream seeded by the caller, so
+// a retry schedule is a pure function of (Options, call sequence) — tests
+// can assert the exact delays, and two runs with the same seed behave
+// identically down to the sleep lengths.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace isasgd::util {
+
+class Backoff {
+ public:
+  struct Options {
+    /// First delay (before jitter); doubles... ×multiplier each attempt.
+    double initial_ms = 10.0;
+    /// Ceiling for the un-jittered base delay.
+    double max_ms = 2000.0;
+    double multiplier = 2.0;
+    /// Fraction jittered *downwards*: a delay is drawn uniformly from
+    /// (base·(1−jitter), base], so max_ms stays a hard upper bound.
+    double jitter = 0.5;
+    std::uint64_t seed = 0;
+  };
+
+  explicit Backoff(Options options);
+
+  /// The next delay in milliseconds. Deterministic for a fixed seed:
+  /// attempt n's delay is min(initial·multiplier^n, max) jittered down.
+  [[nodiscard]] double next_ms();
+
+  /// Back to the initial delay. The jitter stream is NOT rewound — a reset
+  /// Backoff continues its seeded sequence, keeping the whole schedule a
+  /// function of the call history.
+  void reset() noexcept;
+
+  /// next_ms() calls since construction (NOT since reset()).
+  [[nodiscard]] std::uint64_t attempts() const noexcept { return attempts_; }
+
+ private:
+  Options options_;
+  double base_;
+  SplitMix64 rng_;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace isasgd::util

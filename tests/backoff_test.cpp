@@ -1,0 +1,129 @@
+// util::Backoff: the shared retry discipline of the PS wire client and the
+// ShardCache prefetch path. Pinning determinism, the jitter bounds, and the
+// reset contract (base rewinds, the jitter stream does not) — the wire
+// client relies on all three for replayable retry schedules.
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace isasgd::util {
+namespace {
+
+TEST(Backoff, SameSeedSameSchedule) {
+  Backoff::Options opt;
+  opt.seed = 1234;
+  Backoff a(opt);
+  Backoff b(opt);
+  for (int i = 0; i < 32; ++i) EXPECT_DOUBLE_EQ(a.next_ms(), b.next_ms());
+}
+
+TEST(Backoff, DifferentSeedsDiverge) {
+  Backoff::Options opt;
+  opt.seed = 1;
+  Backoff a(opt);
+  opt.seed = 2;
+  Backoff b(opt);
+  bool diverged = false;
+  for (int i = 0; i < 8 && !diverged; ++i) {
+    diverged = a.next_ms() != b.next_ms();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Backoff, DelaysStayInsideJitterWindow) {
+  // Attempt n draws from (base·(1−jitter), base] with
+  // base = min(initial·multiplier^n, max): a hard upper bound (max_ms is
+  // never exceeded) and a positive lower bound (never sleeps ~0).
+  Backoff::Options opt;
+  opt.initial_ms = 10;
+  opt.max_ms = 100;
+  opt.multiplier = 2;
+  opt.jitter = 0.5;
+  opt.seed = 7;
+  Backoff backoff(opt);
+  double base = opt.initial_ms;
+  for (int i = 0; i < 40; ++i) {
+    const double d = backoff.next_ms();
+    EXPECT_GT(d, base * (1.0 - opt.jitter)) << "attempt " << i;
+    EXPECT_LE(d, base) << "attempt " << i;
+    base = std::min(base * opt.multiplier, opt.max_ms);
+  }
+}
+
+TEST(Backoff, ZeroJitterIsExactExponential) {
+  Backoff::Options opt;
+  opt.initial_ms = 1;
+  opt.max_ms = 8;
+  opt.multiplier = 2;
+  opt.jitter = 0;
+  Backoff backoff(opt);
+  const std::vector<double> want = {1, 2, 4, 8, 8, 8};
+  for (const double w : want) EXPECT_DOUBLE_EQ(backoff.next_ms(), w);
+}
+
+TEST(Backoff, ResetRewindsBaseButNotTheJitterStream) {
+  Backoff::Options opt;
+  opt.jitter = 0.5;
+  opt.seed = 99;
+  Backoff backoff(opt);
+  const double first = backoff.next_ms();
+  (void)backoff.next_ms();
+  backoff.reset();
+  // Back to the initial base, but the draw is the stream's *third* sample —
+  // almost surely a different jitter than the very first call.
+  const double after_reset = backoff.next_ms();
+  EXPECT_LE(after_reset, opt.initial_ms);
+  EXPECT_GT(after_reset, opt.initial_ms * (1.0 - opt.jitter));
+  EXPECT_NE(after_reset, first);
+  // The whole schedule is still a pure function of (options, call history):
+  // replaying the identical call sequence reproduces it exactly.
+  Backoff replay(opt);
+  (void)replay.next_ms();
+  (void)replay.next_ms();
+  replay.reset();
+  EXPECT_DOUBLE_EQ(replay.next_ms(), after_reset);
+}
+
+TEST(Backoff, AttemptsCountAllCallsAcrossResets) {
+  Backoff backoff({});
+  EXPECT_EQ(backoff.attempts(), 0u);
+  (void)backoff.next_ms();
+  (void)backoff.next_ms();
+  backoff.reset();
+  (void)backoff.next_ms();
+  EXPECT_EQ(backoff.attempts(), 3u);
+}
+
+TEST(Backoff, ValidationNamesTheOffendingField) {
+  const auto expect_throw = [](Backoff::Options opt, const char* field) {
+    try {
+      Backoff backoff(opt);
+      FAIL() << field << " must be rejected";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+  Backoff::Options opt;
+  opt.initial_ms = 0;
+  expect_throw(opt, "initial_ms");
+  opt = {};
+  opt.max_ms = opt.initial_ms / 2;
+  expect_throw(opt, "max_ms");
+  opt = {};
+  opt.multiplier = 0.5;
+  expect_throw(opt, "multiplier");
+  opt = {};
+  opt.jitter = 1.0;
+  expect_throw(opt, "jitter");
+  opt = {};
+  opt.jitter = -0.1;
+  expect_throw(opt, "jitter");
+}
+
+}  // namespace
+}  // namespace isasgd::util

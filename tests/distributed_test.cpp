@@ -159,7 +159,9 @@ TEST(ClusterSpec, RingAllreduceScalesWithDimension) {
   const double small = spec.ring_allreduce_seconds(1000);
   const double large = spec.ring_allreduce_seconds(100000);
   EXPECT_NEAR(large / small, 100.0, 1e-6);
-  EXPECT_DOUBLE_EQ(ClusterSpec{.nodes = 1}.ring_allreduce_seconds(5000), 0.0);
+  ClusterSpec single;
+  single.nodes = 1;
+  EXPECT_DOUBLE_EQ(single.ring_allreduce_seconds(5000), 0.0);
 }
 
 TEST(ClusterSpec, ComputeCostLinearInNnz) {

@@ -4,6 +4,8 @@
 // fenced::apply_push arithmetic as every other backend.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -100,6 +102,45 @@ TEST(PsHost, OutOfRangePushCoordinateCostsOnlyThatConnection) {
   good->set_io_timeout(5000);
   EXPECT_EQ(step_values(*good, {0}), (std::vector<double>{0.0}));
   EXPECT_EQ(host.pushes(), 0u);
+}
+
+TEST(PsHost, MidPushConnectionDropLeavesNoHalfAppliedUpdate) {
+  service::PsHost host(/*dim=*/4, "tcp://127.0.0.1:0");
+  {
+    // A worker dies mid-push: hand-build the full kPush wire bytes, deliver
+    // the header plus half the payload, and vanish. The host parses a push
+    // only from a complete frame, so the torn one must cost nothing — not
+    // one coordinate of it may land.
+    auto torn = net::connect(host.address());
+    torn->set_io_timeout(5000);
+    wire::Packer req;
+    req.f64(1.0).f64(0.5).u64(2).u32(0).f64(1.0).u32(1).f64(1.0);
+    const std::string payload = std::move(req).take();
+    std::string bytes(16 + payload.size(), '\0');
+    const std::uint32_t magic = net::kFrameMagic;
+    const std::uint32_t type = wire::kPush;
+    const std::uint64_t length = payload.size();
+    std::memcpy(bytes.data(), &magic, 4);
+    std::memcpy(bytes.data() + 4, &type, 4);
+    std::memcpy(bytes.data() + 8, &length, 8);
+    std::memcpy(bytes.data() + 16, payload.data(), payload.size());
+    torn->send_bytes(bytes.data(), 16 + payload.size() / 2);
+    torn->close();
+  }
+  // The host stays serviceable: the next worker's push is the FIRST applied
+  // update, and the model is exactly that one push — nothing half-applied.
+  auto good = net::connect(host.address());
+  good->set_io_timeout(5000);
+  const std::vector<std::uint32_t> idx{2};
+  const std::vector<double> val{1.0};
+  push(*good, 1.0, 0.5, idx, val);
+  std::vector<double> expected(4, 0.0);
+  distributed::fenced::apply_push(idx, val, 1.0, 0.5,
+                                  objectives::Regularization::none(),
+                                  expected);
+  EXPECT_EQ(host.pushes(), 1u);
+  EXPECT_EQ(host.model(), expected);
+  EXPECT_EQ(step_values(*good, {0, 1}), (std::vector<double>{0.0, 0.0}));
 }
 
 TEST(PsHostProtocol, ServeStopRoundTripThroughTheVerbs) {
